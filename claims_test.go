@@ -1,0 +1,194 @@
+package repro_test
+
+// This file asserts the paper's concluding experimental observations
+// (§V, observations i–vii) as a single suite, each at a moderate but
+// statistically meaningful scale with fixed seeds. Individual packages test
+// the same facts in isolation; this is the top-level "does the reproduction
+// say what the paper says" gate.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+)
+
+// claimFleet builds one pattern's scenario.
+func claimFleet(t *testing.T, pattern repro.WorkloadPattern, n int, seed int64) ([]repro.VM, []repro.PM) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	vms, err := repro.GenerateVMs(repro.DefaultFleetParams(pattern, n), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pms, err := repro.GeneratePMs(n, 80, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vms, pms
+}
+
+func placeAll(t *testing.T, s repro.Strategy, vms []repro.VM, pms []repro.PM) *repro.Result {
+	t.Helper()
+	res, err := s.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unplaced) > 0 {
+		t.Fatalf("%s left %d VMs unplaced", s.Name(), len(res.Unplaced))
+	}
+	return res
+}
+
+func simulate(t *testing.T, res *repro.Result, table *repro.MappingTable, intervals int, migration bool, seed int64) *repro.SimReport {
+	t.Helper()
+	s, err := repro.NewSimulator(res.Placement, table, repro.SimConfig{
+		Intervals: intervals, Rho: 0.01, EnableMigration: migration,
+	}, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// Observation (i): QUEUE reduces PMs vs RP by ≈45% for large spikes and
+// ≈30% for normal spikes (abstract/conclusion assignment; see EXPERIMENTS.md
+// on the §V-C transposition).
+func TestClaimI_ConsolidationRatio(t *testing.T) {
+	saving := func(pattern repro.WorkloadPattern) float64 {
+		vms, pms := claimFleet(t, pattern, 300, 7001)
+		queue := placeAll(t, repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}, vms, pms)
+		rp := placeAll(t, repro.FFDByRp{}, vms, pms)
+		return 1 - float64(queue.UsedPMs())/float64(rp.UsedPMs())
+	}
+	large := saving(repro.PatternLargeSpike)
+	normal := saving(repro.PatternEqual)
+	small := saving(repro.PatternSmallSpike)
+	if large < 0.35 || large > 0.55 {
+		t.Errorf("large-spike saving %.1f%%, paper ≈45%%", large*100)
+	}
+	if normal < 0.18 || normal > 0.40 {
+		t.Errorf("normal-spike saving %.1f%%, paper ≈30%%", normal*100)
+	}
+	if !(small < normal && normal < large) {
+		t.Errorf("saving ordering broken: small %.2f, normal %.2f, large %.2f", small, normal, large)
+	}
+}
+
+// Observation (ii): QUEUE incurs very few migrations throughout.
+func TestClaimII_QueueFewMigrations(t *testing.T) {
+	vms, pms := claimFleet(t, repro.PatternEqual, 200, 7002)
+	s := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	res := placeAll(t, s, vms, pms)
+	table, err := s.Table(vms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := simulate(t, res, table, 100, true, 7002)
+	if rep.TotalMigrations > 10 {
+		t.Errorf("QUEUE migrations %d — paper says very few", rep.TotalMigrations)
+	}
+	if rep.CycleMigration() {
+		t.Error("QUEUE flagged for cycle migration")
+	}
+}
+
+// Observations (iii)+(iv): RB migrates excessively from the start and keeps
+// migrating; its PM count grows rapidly early in the run.
+func TestClaimIIIandIV_RBChurn(t *testing.T) {
+	vms, pms := claimFleet(t, repro.PatternEqual, 200, 7003)
+	table, err := repro.NewMappingTable(16, 0.01, 0.09, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := placeAll(t, repro.FFDByRb{}, vms, pms)
+	initial := res.UsedPMs()
+	rep := simulate(t, res, table, 100, true, 7003)
+	if rep.TotalMigrations < 30 {
+		t.Errorf("RB migrations %d — paper says unacceptably many", rep.TotalMigrations)
+	}
+	// Front-loaded: first fifth of the run has more events than the last.
+	buckets := rep.MigrationsOverTime.Buckets(5)
+	if buckets[0] <= buckets[4] {
+		t.Errorf("RB churn not front-loaded: buckets %v", buckets)
+	}
+	// PM count grows early ("increases rapidly during this period").
+	_, early := rep.PMsOverTime.At(rep.PMsOverTime.Len() / 5)
+	if int(early) <= initial {
+		t.Errorf("RB PM count %v at 20%% of run not above initial %d", early, initial)
+	}
+}
+
+// Observation (v): cycle migration — RB keeps migrating while its PM count
+// stays below QUEUE's.
+func TestClaimV_CycleMigration(t *testing.T) {
+	vms, pms := claimFleet(t, repro.PatternEqual, 200, 7004)
+	table, _ := repro.NewMappingTable(16, 0.01, 0.09, 0.01)
+	rbRep := simulate(t, placeAll(t, repro.FFDByRb{}, vms, pms), table, 100, true, 7004)
+	if !rbRep.CycleMigration() {
+		t.Error("RB should exhibit cycle migration")
+	}
+	s := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	qTable, _ := s.Table(vms)
+	qRep := simulate(t, placeAll(t, s, vms, pms), qTable, 100, true, 7004)
+	if rbRep.FinalPMs >= qRep.FinalPMs {
+		t.Errorf("cycle migration should keep RB's PM count (%d) below QUEUE's (%d)",
+			rbRep.FinalPMs, qRep.FinalPMs)
+	}
+}
+
+// Observation (vi): RB-EX lands between RB and QUEUE — fewer migrations than
+// RB, and either more PMs or residual churn.
+func TestClaimVI_RBEXIntermediate(t *testing.T) {
+	vms, pms := claimFleet(t, repro.PatternEqual, 200, 7005)
+	table, _ := repro.NewMappingTable(16, 0.01, 0.09, 0.01)
+	rbRep := simulate(t, placeAll(t, repro.FFDByRb{}, vms, pms), table, 100, true, 7005)
+	exRep := simulate(t, placeAll(t, repro.RBEX{Delta: 0.3}, vms, pms), table, 100, true, 7005)
+	if exRep.TotalMigrations >= rbRep.TotalMigrations {
+		t.Errorf("RB-EX migrations %d not below RB %d", exRep.TotalMigrations, rbRep.TotalMigrations)
+	}
+	s := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	qTable, _ := s.Table(vms)
+	qRep := simulate(t, placeAll(t, s, vms, pms), qTable, 100, true, 7005)
+	// One of the paper's two RB-EX regimes must hold: churn persists, or
+	// PM usage is at/above QUEUE's.
+	regimeChurn := exRep.TotalMigrations > qRep.TotalMigrations*2
+	regimeWaste := exRep.FinalPMs >= qRep.FinalPMs
+	if !regimeChurn && !regimeWaste {
+		t.Errorf("RB-EX in neither paper regime: %d migrations (QUEUE %d), %d PMs (QUEUE %d)",
+			exRep.TotalMigrations, qRep.TotalMigrations, exRep.FinalPMs, qRep.FinalPMs)
+	}
+}
+
+// Observation (vii): larger spikes → better QUEUE packing but slightly worse
+// runtime CVR; smaller spikes the opposite.
+func TestClaimVII_SpikeSizeTradeoff(t *testing.T) {
+	run := func(pattern repro.WorkloadPattern) (saving float64, cvr float64) {
+		vms, pms := claimFleet(t, pattern, 300, 7006)
+		s := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+		res := placeAll(t, s, vms, pms)
+		rp := placeAll(t, repro.FFDByRp{}, vms, pms)
+		table, err := s.Table(vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep := simulate(t, res, table, 1500, false, 7006)
+		return 1 - float64(res.UsedPMs())/float64(rp.UsedPMs()), rep.CVR.Mean()
+	}
+	largeSaving, largeCVR := run(repro.PatternLargeSpike)
+	smallSaving, smallCVR := run(repro.PatternSmallSpike)
+	if largeSaving <= smallSaving {
+		t.Errorf("large-spike saving %.2f not above small-spike %.2f", largeSaving, smallSaving)
+	}
+	if largeCVR < smallCVR-0.003 {
+		t.Errorf("large-spike CVR %.4f unexpectedly far below small-spike %.4f", largeCVR, smallCVR)
+	}
+	// Both remain near the budget.
+	if largeCVR > 0.02 || smallCVR > 0.02 {
+		t.Errorf("CVRs (%v, %v) drift beyond rho", largeCVR, smallCVR)
+	}
+}

@@ -1,0 +1,90 @@
+// Command burstsim regenerates the paper's evaluation artifacts (tables and
+// figures of §V). Run with -list to see the catalogue, -exp <id> for one
+// artifact, or -all for the full evaluation.
+//
+// Usage:
+//
+//	burstsim -list
+//	burstsim -exp fig5 [-seed 1] [-trials 10] [-intervals 100]
+//	burstsim -all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "burstsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("burstsim", flag.ContinueOnError)
+	var (
+		list      = fs.Bool("list", false, "list available experiments")
+		all       = fs.Bool("all", false, "run every experiment")
+		exp       = fs.String("exp", "", "experiment id to run (fig1, tab1, fig5, ..., fig10)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		trials    = fs.Int("trials", 0, "fig9 trials (default 10)")
+		intervals = fs.Int("intervals", 0, "evaluation period in σ-intervals (default 100)")
+		rho       = fs.Float64("rho", 0, "CVR threshold ρ (default 0.01)")
+		d         = fs.Int("d", 0, "max VMs per PM (default 16)")
+		vmCounts  = fs.String("vms", "", "comma-separated fleet sizes (default 50,100,200,400)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, e := range experiments.List() {
+			fmt.Fprintf(stdout, "%-6s %s\n", e.ID, e.Description)
+		}
+		return nil
+	}
+
+	opt := experiments.Options{
+		Out:       stdout,
+		Seed:      *seed,
+		Trials:    *trials,
+		Intervals: *intervals,
+		Rho:       *rho,
+		D:         *d,
+	}
+	if *vmCounts != "" {
+		counts, err := parseInts(*vmCounts)
+		if err != nil {
+			return err
+		}
+		opt.VMCounts = counts
+	}
+
+	if *all {
+		return experiments.RunAll(opt)
+	}
+	if *exp == "" {
+		return fmt.Errorf("nothing to do: pass -list, -all, or -exp <id>")
+	}
+	return experiments.Run(*exp, opt)
+}
+
+func parseInts(s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid fleet size %q: %w", p, err)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, id := range []string{"fig1", "fig5", "fig9", "fig10", "tab1"} {
+		if !strings.Contains(out, id) {
+			t.Errorf("list missing %s:\n%s", id, out)
+		}
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "tab1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("tab1 output missing header")
+	}
+}
+
+func TestRunWithCustomVMCounts(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-vms", "20,40", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "20") || !strings.Contains(out, "40") {
+		t.Error("custom fleet sizes not reflected in output")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("no action accepted")
+	}
+	if err := run([]string{"-exp", "fig99"}, &buf); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-vms", "abc", "-exp", "fig5"}, &buf); err == nil {
+		t.Error("garbage fleet sizes accepted")
+	}
+	if err := run([]string{"-bogusflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts(" 1, 2 ,3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Error("garbage accepted")
+	}
+}

@@ -1,0 +1,125 @@
+// Command consolidate reads a VM/PM fleet spec (JSON) and produces a
+// placement with the selected strategy, printing a per-PM audit record that
+// shows the Eq. (17) accounting.
+//
+// Usage:
+//
+//	consolidate -spec fleet.json [-strategy queue|rp|rb|rbex] [-delta 0.3]
+//
+// The spec format (see cloud.Fleet):
+//
+//	{
+//	  "vms": [{"ID":0,"POn":0.01,"POff":0.09,"Rb":10,"Re":5}, ...],
+//	  "pms": [{"ID":0,"Capacity":100}, ...],
+//	  "rho": 0.01,
+//	  "max_vms_per_pm": 16
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "consolidate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("consolidate", flag.ContinueOnError)
+	var (
+		specPath = fs.String("spec", "", "path to the fleet spec JSON (required)")
+		strategy = fs.String("strategy", "queue", "placement strategy: queue, rp, rb, rbex")
+		delta    = fs.Float64("delta", 0.3, "reserve fraction for rbex")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fleet, err := cloud.ReadFleet(f)
+	if err != nil {
+		return err
+	}
+
+	switch *strategy {
+	case "queue":
+		s := core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM}
+		res, err := s.Place(fleet.VMs, fleet.PMs)
+		if err != nil {
+			return err
+		}
+		table, err := s.Table(fleet.VMs)
+		if err != nil {
+			return err
+		}
+		return printRecord(stdout, s.BuildRecord(res, table))
+	case "rp", "rb", "rbex":
+		var s core.Strategy
+		switch *strategy {
+		case "rp":
+			s = core.FFDByRp{}
+		case "rb":
+			s = core.FFDByRb{}
+		default:
+			s = core.RBEX{Delta: *delta}
+		}
+		res, err := s.Place(fleet.VMs, fleet.PMs)
+		if err != nil {
+			return err
+		}
+		return printRecord(stdout, buildBaselineRecord(s.Name(), res))
+	default:
+		return fmt.Errorf("unknown strategy %q (want queue, rp, rb, or rbex)", *strategy)
+	}
+}
+
+// buildBaselineRecord renders a baseline placement without reservation
+// accounting (blocks/reservation stay zero).
+func buildBaselineRecord(name string, res *core.Result) *cloud.PlacementRecord {
+	rec := &cloud.PlacementRecord{Strategy: name, UsedPMs: res.UsedPMs()}
+	for _, vm := range res.Unplaced {
+		rec.Unplaced = append(rec.Unplaced, vm.ID)
+	}
+	p := res.Placement
+	for _, pmID := range p.UsedPMs() {
+		pm, _ := p.PM(pmID)
+		var ids []int
+		for _, vm := range p.VMsOn(pmID) {
+			ids = append(ids, vm.ID)
+		}
+		rec.Hosts = append(rec.Hosts, cloud.HostRecord{
+			PMID:      pmID,
+			Capacity:  pm.Capacity,
+			VMIDs:     ids,
+			SumRb:     p.SumRb(pmID),
+			SumRp:     p.SumRp(pmID),
+			MaxRe:     p.MaxRe(pmID),
+			Footprint: p.SumRb(pmID),
+		})
+	}
+	return rec
+}
+
+func printRecord(w io.Writer, rec *cloud.PlacementRecord) error {
+	data, err := rec.MarshalIndent()
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintln(w, string(data))
+	return err
+}

@@ -1,0 +1,102 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	spec := `{
+	  "vms": [
+	    {"ID":0,"POn":0.01,"POff":0.09,"Rb":20,"Re":8},
+	    {"ID":1,"POn":0.01,"POff":0.09,"Rb":15,"Re":6},
+	    {"ID":2,"POn":0.01,"POff":0.09,"Rb":12,"Re":5}
+	  ],
+	  "pms": [{"ID":0,"Capacity":100},{"ID":1,"Capacity":100}],
+	  "rho": 0.01,
+	  "max_vms_per_pm": 16
+	}`
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunQueueStrategy(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", writeSpec(t), "-strategy", "queue"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var rec cloud.PlacementRecord
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("output not valid JSON: %v\n%s", err, buf.String())
+	}
+	if rec.Strategy != "QUEUE" || rec.UsedPMs < 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	total := 0
+	for _, h := range rec.Hosts {
+		total += len(h.VMIDs)
+		if h.Footprint > h.Capacity {
+			t.Errorf("PM %d footprint %v > capacity %v", h.PMID, h.Footprint, h.Capacity)
+		}
+	}
+	if total != 3 {
+		t.Errorf("record covers %d VMs, want 3", total)
+	}
+}
+
+func TestRunBaselines(t *testing.T) {
+	spec := writeSpec(t)
+	for _, strategy := range []string{"rp", "rb", "rbex"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-spec", spec, "-strategy", strategy}, &buf); err != nil {
+			t.Fatalf("%s: %v", strategy, err)
+		}
+		var rec cloud.PlacementRecord
+		if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+			t.Fatalf("%s: bad JSON: %v", strategy, err)
+		}
+		if rec.UsedPMs < 1 {
+			t.Errorf("%s: no PMs used", strategy)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -spec accepted")
+	}
+	if err := run([]string{"-spec", "/nonexistent.json"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-spec", writeSpec(t), "-strategy", "bogus"}, &buf); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-spec", bad}, &buf); err == nil {
+		t.Error("garbage spec accepted")
+	}
+}
+
+func TestRunRBEXDeltaFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", writeSpec(t), "-strategy", "rbex", "-delta", "0.5"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "RB-EX") {
+		t.Error("RB-EX record missing strategy name")
+	}
+}

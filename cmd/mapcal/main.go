@@ -1,0 +1,185 @@
+// Command mapcal exposes the queuing-theory core as an operator tool: size
+// the reservation for one PM, sweep the budget or the population, or compute
+// the exact heterogeneous block count for a mixed fleet. Single-point mode
+// also prints the transient picture (mixing time, mean time to first
+// violation).
+//
+// Usage:
+//
+//	mapcal -k 8 [-pon 0.01] [-poff 0.09] [-rho 0.01]
+//	mapcal -sweep rho -k 16 -rhos 0.001,0.01,0.05,0.1
+//	mapcal -sweep k -ks 2,4,8,16,32 -rho 0.01
+//	mapcal -hetero -pons 0.01,0.01,0.2 -poffs 0.09,0.09,0.2 -rho 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/queuing"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mapcal:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("mapcal", flag.ContinueOnError)
+	var (
+		k      = fs.Int("k", 0, "number of collocated VMs")
+		pOn    = fs.Float64("pon", 0.01, "OFF→ON switch probability")
+		pOff   = fs.Float64("poff", 0.09, "ON→OFF switch probability")
+		rho    = fs.Float64("rho", 0.01, "CVR threshold ρ")
+		sweep  = fs.String("sweep", "", "sweep mode: rho or k")
+		rhos   = fs.String("rhos", "", "comma-separated ρ values for -sweep rho")
+		ks     = fs.String("ks", "", "comma-separated k values for -sweep k")
+		hetero = fs.Bool("hetero", false, "exact heterogeneous mode")
+		pOns   = fs.String("pons", "", "comma-separated per-VM p_on values (hetero)")
+		pOffs  = fs.String("poffs", "", "comma-separated per-VM p_off values (hetero)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	switch {
+	case *hetero:
+		return runHetero(stdout, *pOns, *pOffs, *rho)
+	case *sweep == "rho":
+		return runSweepRho(stdout, *k, *pOn, *pOff, *rhos)
+	case *sweep == "k":
+		return runSweepK(stdout, *ks, *pOn, *pOff, *rho)
+	case *sweep != "":
+		return fmt.Errorf("unknown sweep mode %q (want rho or k)", *sweep)
+	default:
+		return runSingle(stdout, *k, *pOn, *pOff, *rho)
+	}
+}
+
+func runSingle(w io.Writer, k int, pOn, pOff, rho float64) error {
+	if k < 1 {
+		return fmt.Errorf("-k is required (got %d)", k)
+	}
+	res, err := queuing.MapCal(k, pOn, pOff, rho)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "MapCal(k=%d, p_on=%g, p_off=%g, rho=%g)\n", k, pOn, pOff, rho)
+	fmt.Fprintf(w, "  blocks needed:  %d (shed %d of %d)\n", res.K, k-res.K, k)
+	fmt.Fprintf(w, "  analytic CVR:   %.6f\n", res.CVR)
+	fmt.Fprintf(w, "  occupancy distribution: %s\n", metrics.Sparkline(res.Stationary))
+
+	tr, err := queuing.NewTransient(k, pOn, pOff)
+	if err != nil {
+		return err
+	}
+	if mix, err := tr.MixingTime(0.01, 1000000); err == nil {
+		fmt.Fprintf(w, "  mixing time (TV ≤ 0.01): %d intervals\n", mix)
+	}
+	if res.K < k {
+		if h, err := tr.MeanTimeToViolation(res.K); err == nil {
+			fmt.Fprintf(w, "  mean time to first violation from empty: %.0f intervals\n", h[0])
+		}
+	} else {
+		fmt.Fprintln(w, "  no reduction possible: every VM keeps its own block")
+	}
+	return nil
+}
+
+func runSweepRho(w io.Writer, k int, pOn, pOff float64, rhoList string) error {
+	if k < 1 {
+		return fmt.Errorf("-k is required for -sweep rho")
+	}
+	values, err := parseFloats(rhoList)
+	if err != nil {
+		return err
+	}
+	points, err := queuing.SweepRho(k, pOn, pOff, values)
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable(fmt.Sprintf("Budget sweep, k=%d, p_on=%g, p_off=%g", k, pOn, pOff),
+		"rho", "blocks", "CVR", "shed", "shed %")
+	for _, p := range points {
+		tab.AddRow(p.Rho, p.Blocks, p.CVR, p.Saving, fmt.Sprintf("%.1f%%", p.SavingFrac*100))
+	}
+	_, err = fmt.Fprint(w, tab.String())
+	return err
+}
+
+func runSweepK(w io.Writer, kList string, pOn, pOff, rho float64) error {
+	values, err := parseIntList(kList)
+	if err != nil {
+		return err
+	}
+	points, err := queuing.SweepK(values, pOn, pOff, rho)
+	if err != nil {
+		return err
+	}
+	tab := metrics.NewTable(fmt.Sprintf("Population sweep, rho=%g, p_on=%g, p_off=%g", rho, pOn, pOff),
+		"k", "blocks", "CVR", "shed", "shed %")
+	for _, p := range points {
+		tab.AddRow(p.K, p.Blocks, p.CVR, p.Saving, fmt.Sprintf("%.1f%%", p.SavingFrac*100))
+	}
+	_, err = fmt.Fprint(w, tab.String())
+	return err
+}
+
+func runHetero(w io.Writer, pOnList, pOffList string, rho float64) error {
+	pOns, err := parseFloats(pOnList)
+	if err != nil {
+		return err
+	}
+	pOffs, err := parseFloats(pOffList)
+	if err != nil {
+		return err
+	}
+	res, err := queuing.MapCalHetero(pOns, pOffs, rho)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "MapCalHetero(%d VMs, rho=%g)\n", res.Sources, rho)
+	fmt.Fprintf(w, "  blocks needed: %d (shed %d)\n", res.K, res.Sources-res.K)
+	fmt.Fprintf(w, "  exact CVR:     %.6f\n", res.CVR)
+	fmt.Fprintf(w, "  occupancy distribution: %s\n", metrics.Sparkline(res.Stationary))
+	return nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty value list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]float64, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("empty value list")
+	}
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("invalid value %q: %w", p, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSingleMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-k", "8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"MapCal(k=8", "blocks needed", "analytic CVR", "mixing time", "mean time to first violation"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("single mode missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSingleModeNoReduction(t *testing.T) {
+	var buf bytes.Buffer
+	// Nearly-always-ON sources with a tight budget: no blocks can be shed.
+	if err := run([]string{"-k", "4", "-pon", "0.9", "-poff", "0.05", "-rho", "0.0001"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no reduction possible") {
+		t.Errorf("expected no-reduction note:\n%s", buf.String())
+	}
+}
+
+func TestSweepRhoMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "rho", "-k", "16", "-rhos", "0.001,0.01,0.1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Budget sweep") || !strings.Contains(out, "shed %") {
+		t.Errorf("sweep rho output wrong:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 5 {
+		t.Error("sweep table too short")
+	}
+}
+
+func TestSweepKMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-sweep", "k", "-ks", "2,8,16"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Population sweep") {
+		t.Errorf("sweep k output wrong:\n%s", buf.String())
+	}
+}
+
+func TestHeteroMode(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-hetero", "-pons", "0.01,0.01,0.2", "-poffs", "0.09,0.09,0.2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "MapCalHetero(3 VMs") || !strings.Contains(out, "exact CVR") {
+		t.Errorf("hetero output wrong:\n%s", out)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing -k accepted")
+	}
+	if err := run([]string{"-sweep", "bogus", "-k", "4"}, &buf); err == nil {
+		t.Error("unknown sweep mode accepted")
+	}
+	if err := run([]string{"-sweep", "rho", "-k", "4", "-rhos", "x"}, &buf); err == nil {
+		t.Error("garbage rho list accepted")
+	}
+	if err := run([]string{"-sweep", "rho", "-rhos", "0.01"}, &buf); err == nil {
+		t.Error("sweep rho without k accepted")
+	}
+	if err := run([]string{"-sweep", "k", "-ks", "x"}, &buf); err == nil {
+		t.Error("garbage k list accepted")
+	}
+	if err := run([]string{"-sweep", "k", "-ks", ""}, &buf); err == nil {
+		t.Error("empty k list accepted")
+	}
+	if err := run([]string{"-hetero", "-pons", "0.01", "-poffs", "0.09,0.09"}, &buf); err == nil {
+		t.Error("mismatched hetero lists accepted")
+	}
+	if err := run([]string{"-hetero"}, &buf); err == nil {
+		t.Error("hetero without lists accepted")
+	}
+	if err := run([]string{"-k", "4", "-rho", "2"}, &buf); err == nil {
+		t.Error("invalid rho accepted")
+	}
+}

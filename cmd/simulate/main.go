@@ -1,0 +1,139 @@
+// Command simulate consolidates a fleet spec and runs the datacenter
+// simulator over the resulting placement, emitting a JSON summary and,
+// optionally, CSV event/series logs.
+//
+// Usage:
+//
+//	simulate -spec fleet.json [-strategy queue|rp|rb|rbex|sbp]
+//	         [-intervals 100] [-migration] [-seed 1]
+//	         [-events events.csv] [-series series.csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/queuing"
+	"repro/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	var (
+		specPath   = fs.String("spec", "", "path to the fleet spec JSON (required)")
+		strategy   = fs.String("strategy", "queue", "placement strategy: queue, rp, rb, rbex, sbp, conv")
+		delta      = fs.Float64("delta", 0.3, "reserve fraction for rbex")
+		epsilon    = fs.Float64("epsilon", 0.01, "overflow budget for sbp")
+		intervals  = fs.Int("intervals", 100, "evaluation period in σ-intervals")
+		migration  = fs.Bool("migration", true, "enable live migration")
+		seed       = fs.Int64("seed", 1, "random seed")
+		eventsPath = fs.String("events", "", "write migration events CSV to this path")
+		seriesPath = fs.String("series", "", "write per-interval series CSV to this path")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	f, err := os.Open(*specPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fleet, err := cloud.ReadFleet(f)
+	if err != nil {
+		return err
+	}
+
+	s, err := pickStrategy(*strategy, fleet, *delta, *epsilon)
+	if err != nil {
+		return err
+	}
+	res, err := s.Place(fleet.VMs, fleet.PMs)
+	if err != nil {
+		return err
+	}
+	if len(res.Unplaced) > 0 {
+		return fmt.Errorf("%s left %d VMs unplaced; grow the PM pool", s.Name(), len(res.Unplaced))
+	}
+	pOn, pOff, err := core.RoundSwitchProbabilities(fleet.VMs, core.RoundMean)
+	if err != nil {
+		return err
+	}
+	table, err := queuing.NewMappingTable(fleet.MaxVMsPerPM, pOn, pOff, fleet.Rho)
+	if err != nil {
+		return err
+	}
+
+	simulator, err := sim.New(res.Placement, table, sim.Config{
+		Intervals:       *intervals,
+		Rho:             fleet.Rho,
+		EnableMigration: *migration,
+	}, rand.New(rand.NewSource(*seed)))
+	if err != nil {
+		return err
+	}
+	rep, err := simulator.Run()
+	if err != nil {
+		return err
+	}
+
+	if err := rep.WriteJSON(stdout); err != nil {
+		return err
+	}
+	if *eventsPath != "" {
+		if err := writeFile(*eventsPath, rep.WriteEventsCSV); err != nil {
+			return err
+		}
+	}
+	if *seriesPath != "" {
+		if err := writeFile(*seriesPath, rep.WriteSeriesCSV); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func pickStrategy(name string, fleet *cloud.Fleet, delta, epsilon float64) (core.Strategy, error) {
+	switch name {
+	case "queue":
+		return core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM}, nil
+	case "rp":
+		return core.FFDByRp{}, nil
+	case "rb":
+		return core.FFDByRb{}, nil
+	case "rbex":
+		return core.RBEX{Delta: delta}, nil
+	case "sbp":
+		return core.EffectiveSizing{Epsilon: epsilon}, nil
+	case "conv":
+		return core.ConvolutionFF{Rho: fleet.Rho, MaxVMsPerPM: min(fleet.MaxVMsPerPM, 24)}, nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q (want queue, rp, rb, rbex, sbp, or conv)", name)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func writeSpec(t *testing.T) string {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(`{"vms": [`)
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"ID":%d,"POn":0.01,"POff":0.09,"Rb":12,"Re":6}`, i)
+	}
+	b.WriteString(`], "pms": [`)
+	for i := 0; i < 30; i++ {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		fmt.Fprintf(&b, `{"ID":%d,"Capacity":90}`, i)
+	}
+	b.WriteString(`], "rho": 0.01, "max_vms_per_pm": 16}`)
+	path := filepath.Join(t.TempDir(), "fleet.json")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEmitsSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", writeSpec(t), "-intervals", "40"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var summary sim.Summary
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if summary.Intervals != 40 {
+		t.Errorf("intervals = %d", summary.Intervals)
+	}
+	if summary.FinalPMs < 1 {
+		t.Error("no PMs in summary")
+	}
+}
+
+func TestRunAllStrategies(t *testing.T) {
+	spec := writeSpec(t)
+	for _, s := range []string{"queue", "rp", "rb", "rbex", "sbp", "conv"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-spec", spec, "-strategy", s, "-intervals", "20"}, &buf); err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+	}
+}
+
+func TestRunWritesCSVs(t *testing.T) {
+	dir := t.TempDir()
+	events := filepath.Join(dir, "events.csv")
+	series := filepath.Join(dir, "series.csv")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-spec", writeSpec(t), "-strategy", "rb", "-intervals", "40",
+		"-events", events, "-series", series,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := os.ReadFile(events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(ev), "interval,vm,from_pm,to_pm,powered_on") {
+		t.Error("events CSV header missing")
+	}
+	se, err := os.ReadFile(series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(string(se)), "\n")) != 41 {
+		t.Error("series CSV row count wrong")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(nil, &buf); err == nil {
+		t.Error("missing spec accepted")
+	}
+	if err := run([]string{"-spec", "/nope.json"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-spec", writeSpec(t), "-strategy", "bogus"}, &buf); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+	if err := run([]string{"-spec", writeSpec(t), "-events", "/no/such/dir/x.csv"}, &buf); err == nil {
+		t.Error("unwritable events path accepted")
+	}
+}

@@ -1,0 +1,97 @@
+// Command tracegen emits workload traces as CSV for external plotting —
+// the raw data behind Figs. 1 and 8.
+//
+// Usage:
+//
+//	tracegen -kind demand  -len 500 -pon 0.01 -poff 0.09 -rb 10 -re 10
+//	tracegen -kind request -len 200 -rbclass small -reclass medium
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	var (
+		kind    = fs.String("kind", "demand", "trace kind: demand or request")
+		length  = fs.Int("len", 500, "trace length in intervals")
+		seed    = fs.Int64("seed", 1, "random seed")
+		pOn     = fs.Float64("pon", 0.01, "OFF→ON probability")
+		pOff    = fs.Float64("poff", 0.09, "ON→OFF probability")
+		rb      = fs.Float64("rb", 10, "normal demand (demand trace)")
+		re      = fs.Float64("re", 10, "spike size (demand trace)")
+		rbClass = fs.String("rbclass", "small", "R_b size class (request trace): small, medium, large")
+		reClass = fs.String("reclass", "small", "R_e size class (request trace)")
+		sigma   = fs.Float64("sigma", 30, "interval length in seconds (request trace)")
+		exact   = fs.Bool("exact", false, "per-user renewal simulation instead of Gaussian approximation")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(*seed))
+
+	switch *kind {
+	case "demand":
+		vm := cloud.VM{ID: 0, POn: *pOn, POff: *pOff, Rb: *rb, Re: *re}
+		trace, err := workload.GenerateDemandTrace(vm, *length, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "interval,state,demand")
+		for i := range trace.States {
+			fmt.Fprintf(stdout, "%d,%s,%g\n", i, trace.States[i], trace.Demand[i])
+		}
+		return nil
+	case "request":
+		rbc, err := parseClass(*rbClass)
+		if err != nil {
+			return err
+		}
+		rec, err := parseClass(*reClass)
+		if err != nil {
+			return err
+		}
+		entry := workload.TableIEntry{Pattern: workload.PatternEqual, RbClass: rbc, ReClass: rec}
+		trace, err := workload.GenerateRequestTrace(entry, *pOn, *pOff, *length, *sigma,
+			workload.PaperThinkTime(), *exact, rng)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, "interval,state,users,requests")
+		for i := range trace.States {
+			fmt.Fprintf(stdout, "%d,%s,%d,%d\n", i, trace.States[i], trace.Users[i], trace.Requests[i])
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown trace kind %q (want demand or request)", *kind)
+	}
+}
+
+func parseClass(s string) (workload.SizeClass, error) {
+	switch s {
+	case "small":
+		return workload.ClassSmall, nil
+	case "medium":
+		return workload.ClassMedium, nil
+	case "large":
+		return workload.ClassLarge, nil
+	default:
+		return 0, fmt.Errorf("unknown size class %q", s)
+	}
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDemandTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "demand", "-len", "50", "-seed", "3"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "interval,state,demand" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 51 {
+		t.Fatalf("got %d lines, want 51", len(lines))
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		if len(fields) != 3 {
+			t.Fatalf("bad CSV row %q", line)
+		}
+		if fields[1] != "ON" && fields[1] != "OFF" {
+			t.Fatalf("bad state %q", fields[1])
+		}
+		if _, err := strconv.ParseFloat(fields[2], 64); err != nil {
+			t.Fatalf("bad demand %q", fields[2])
+		}
+	}
+}
+
+func TestRequestTraceCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "request", "-len", "20", "-rbclass", "small", "-reclass", "medium"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "interval,state,users,requests" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines) != 21 {
+		t.Fatalf("got %d lines, want 21", len(lines))
+	}
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, ",")
+		users, err := strconv.Atoi(fields[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// small Rb = 400 users normal, small+medium = 1200 peak.
+		if fields[1] == "OFF" && users != 400 {
+			t.Errorf("OFF interval has %d users, want 400", users)
+		}
+		if fields[1] == "ON" && users != 1200 {
+			t.Errorf("ON interval has %d users, want 1200", users)
+		}
+	}
+}
+
+func TestRequestTraceExact(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "request", "-len", "5", "-exact"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Split(strings.TrimSpace(buf.String()), "\n")) != 6 {
+		t.Error("exact trace wrong length")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-kind", "bogus"}, &buf); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if err := run([]string{"-kind", "request", "-rbclass", "huge"}, &buf); err == nil {
+		t.Error("unknown rb class accepted")
+	}
+	if err := run([]string{"-kind", "request", "-reclass", "huge"}, &buf); err == nil {
+		t.Error("unknown re class accepted")
+	}
+	if err := run([]string{"-kind", "demand", "-len", "0"}, &buf); err == nil {
+		t.Error("zero length accepted")
+	}
+	if err := run([]string{"-unknownflag"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro"
+)
+
+// ExampleMapCal sizes the reservation for one PM: eight bursty VMs share
+// three spike-sized blocks instead of eight.
+func ExampleMapCal() {
+	res, err := repro.MapCal(8, 0.01, 0.09, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("blocks: %d of 8, CVR %.4f\n", res.K, res.CVR)
+	// Output:
+	// blocks: 3 of 8, CVR 0.0050
+}
+
+// ExampleQueuingFFD_Place runs the paper's Algorithm 2 end to end on a small
+// fleet and audits the reservation constraint.
+func ExampleQueuingFFD_Place() {
+	vms := []repro.VM{
+		{ID: 0, POn: 0.01, POff: 0.09, Rb: 20, Re: 8},
+		{ID: 1, POn: 0.01, POff: 0.09, Rb: 15, Re: 6},
+		{ID: 2, POn: 0.01, POff: 0.09, Rb: 12, Re: 5},
+		{ID: 3, POn: 0.01, POff: 0.09, Rb: 10, Re: 4},
+	}
+	pms := []repro.PM{{ID: 0, Capacity: 100}, {ID: 1, Capacity: 100}}
+	s := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	res, err := s.Place(vms, pms)
+	if err != nil {
+		panic(err)
+	}
+	table, err := s.Table(vms)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("PMs used: %d, Eq.(17) violations: %d\n",
+		res.UsedPMs(), len(repro.CheckReserved(res.Placement, table)))
+	// Output:
+	// PMs used: 1, Eq.(17) violations: 0
+}
+
+// ExampleNewOnOff shows the workload model's burst statistics.
+func ExampleNewOnOff() {
+	chain, err := repro.NewOnOff(0.01, 0.09)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("time at peak: %.0f%%, mean spike duration: %.1f intervals\n",
+		chain.StationaryOn()*100, chain.MeanSpikeDuration())
+	// Output:
+	// time at peak: 10%, mean spike duration: 11.1 intervals
+}
+
+// ExampleMapCalHetero sizes a mixed fleet exactly, without rounding the
+// switch probabilities to uniform values.
+func ExampleMapCalHetero() {
+	// Six calm VMs and two bursty ones.
+	pOns := []float64{0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.2, 0.2}
+	pOffs := []float64{0.19, 0.19, 0.19, 0.19, 0.19, 0.19, 0.2, 0.2}
+	res, err := repro.MapCalHetero(pOns, pOffs, 0.01)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("blocks: %d of %d, exact CVR %.4f\n", res.K, res.Sources, res.CVR)
+	// Output:
+	// blocks: 3 of 8, exact CVR 0.0093
+}
+
+// ExampleFitVM recovers the four-tuple from a monitoring trace.
+func ExampleFitVM() {
+	demand := []float64{10, 10, 10, 18, 18, 10, 10, 10, 18, 10}
+	levels, est, err := repro.FitVM(demand)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("Rb=%.0f Re=%.0f, observed %d OFF→ON switches\n",
+		levels.Rb, levels.Re(), est.Transitions[0][1])
+	// Output:
+	// Rb=10 Re=8, observed 2 OFF→ON switches
+}
+
+// ExampleSweepRho shows the budget dial: looser ρ, fewer blocks.
+func ExampleSweepRho() {
+	points, err := repro.SweepRho(16, 0.01, 0.09, []float64{0.001, 0.01, 0.1})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range points {
+		fmt.Printf("rho=%.3f → %d blocks\n", p.Rho, p.Blocks)
+	}
+	// Output:
+	// rho=0.001 → 6 blocks
+	// rho=0.010 → 5 blocks
+	// rho=0.100 → 3 blocks
+}
+
+// ExampleNewSimulator runs a placement through the datacenter simulator.
+func ExampleNewSimulator() {
+	rng := rand.New(rand.NewSource(1))
+	vms, _ := repro.GenerateVMs(repro.DefaultFleetParams(repro.PatternEqual, 30), rng)
+	pms, _ := repro.GeneratePMs(30, 80, 100, rng)
+	s := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	res, _ := s.Place(vms, pms)
+	table, _ := s.Table(vms)
+	simulator, err := repro.NewSimulator(res.Placement, table, repro.SimConfig{
+		Intervals: 500, Rho: 0.01,
+	}, rng)
+	if err != nil {
+		panic(err)
+	}
+	rep, _ := simulator.Run()
+	fmt.Printf("mean CVR within budget: %v\n", rep.CVR.Mean() <= 0.01)
+	// Output:
+	// mean CVR within budget: true
+}

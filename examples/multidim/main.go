@@ -1,0 +1,114 @@
+// Multidim: the §IV-E multi-dimensional extension. VMs demand CPU and memory
+// independently; the reservation is quantified per dimension and placement
+// uses First Fit with Eq. (17) enforced on every dimension. The correlated
+// case (map dimensions to one) is shown for contrast.
+//
+//	go run ./examples/multidim
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/cloud"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(21))
+
+	// 40 VMs with uncorrelated CPU (dim 0) and memory (dim 1) demands.
+	vms := make([]repro.MultiVM, 40)
+	for i := range vms {
+		vms[i] = repro.MultiVM{
+			ID: i, POn: 0.01, POff: 0.09,
+			Rb: repro.ResourceVec{2 + 14*rng.Float64(), 1 + 7*rng.Float64()},
+			Re: repro.ResourceVec{2 + 10*rng.Float64(), 1 + 5*rng.Float64()},
+		}
+	}
+	pms := make([]repro.MultiPM, 40)
+	for i := range pms {
+		pms[i] = repro.MultiPM{ID: i, Capacity: repro.ResourceVec{100, 50}}
+	}
+
+	strategy := repro.MultiDimFF{Rho: 0.01, MaxVMsPerPM: 16, SortByTotalPeak: true}
+	res, err := strategy.Place(vms, pms)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("uncorrelated dimensions: %d VMs on %d PMs (unplaced %d)\n",
+		len(vms)-len(res.Unplaced), res.UsedPMs, len(res.Unplaced))
+
+	// Show the per-PM load in both dimensions.
+	type loads struct {
+		cpuRb, memRb, cpuRe, memRe float64
+		count                      int
+	}
+	perPM := map[int]*loads{}
+	for _, vm := range vms {
+		pmID, ok := res.Assignments[vm.ID]
+		if !ok {
+			continue
+		}
+		l := perPM[pmID]
+		if l == nil {
+			l = &loads{}
+			perPM[pmID] = l
+		}
+		l.count++
+		l.cpuRb += vm.Rb[0]
+		l.memRb += vm.Rb[1]
+		if vm.Re[0] > l.cpuRe {
+			l.cpuRe = vm.Re[0]
+		}
+		if vm.Re[1] > l.memRe {
+			l.memRe = vm.Re[1]
+		}
+	}
+	table, err := repro.NewMappingTable(16, 0.01, 0.09, 0.01)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("per-PM footprint (ΣRb + maxRe·blocks per dimension):")
+	for pmID := 0; pmID < len(pms); pmID++ {
+		l, ok := perPM[pmID]
+		if !ok {
+			continue
+		}
+		blocks := float64(table.Blocks(l.count))
+		fmt.Printf("  PM %2d: %d VMs  cpu %.1f/100  mem %.1f/50\n",
+			pmID, l.count, l.cpuRb+l.cpuRe*blocks, l.memRb+l.memRe*blocks)
+	}
+
+	// Correlated alternative: map (cpu, mem) to one dimension with weights
+	// and run the full scalar Algorithm 2.
+	project, err := cloud.CorrelationWeights([]float64{0.5, 1.0})
+	if err != nil {
+		log.Fatal(err)
+	}
+	scalarVMs := make([]repro.VM, len(vms))
+	for i, vm := range vms {
+		scalarVMs[i], err = cloud.ProjectCorrelated(vm, project)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	scalarPMs := make([]repro.PM, len(pms))
+	for i := range pms {
+		c, err := project(pms[i].Capacity)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scalarPMs[i] = repro.PM{ID: i, Capacity: c}
+	}
+	scalar := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	sres, err := scalar.Place(scalarVMs, scalarPMs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ncorrelated projection (0.5·cpu + 1.0·mem): %d PMs with full Algorithm 2\n",
+		sres.UsedPMs())
+	fmt.Println("(the projection admits the two-step cluster scheme; per-dimension")
+	fmt.Println(" reservation requires plain First Fit, as §IV-E notes)")
+}

@@ -1,0 +1,102 @@
+// Multilevel: what the paper's two-state assumption costs on richer
+// workloads. A night/day/flash-crowd (3-level) workload is collapsed to the
+// ON-OFF model at each possible threshold; the example shows how the choice
+// of threshold trades reservation size against the risk of undershooting the
+// flash-crowd level, and validates the collapsed chain against a simulated
+// multi-level trace.
+//
+//	go run ./examples/multilevel
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/markov"
+	"repro/internal/metrics"
+)
+
+func main() {
+	// A web server: quiet nights (2 units), busy days (10), rare flash
+	// crowds (30). Transitions chosen so flash crowds are short and enter
+	// only from the day state.
+	ml, err := markov.NewMultiLevel([][]float64{
+		{0.95, 0.05, 0.00},
+		{0.04, 0.95, 0.01},
+		{0.00, 0.10, 0.90},
+	}, []float64{2, 10, 30})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pi, err := ml.Stationary()
+	if err != nil {
+		log.Fatal(err)
+	}
+	mean, _ := ml.MeanDemand()
+	fmt.Printf("3-level workload: stationary %.3f / %.3f / %.3f, mean demand %.2f\n",
+		pi[0], pi[1], pi[2], mean)
+
+	// Collapse at each threshold.
+	fmt.Println("\nTwo-level collapses:")
+	tab := metrics.NewTable("", "threshold", "p_on", "p_off", "R_b", "R_p", "demand RMSE")
+	for th := 1; th <= 2; th++ {
+		fit, err := ml.TwoLevelApproximation(th)
+		if err != nil {
+			log.Fatal(err)
+		}
+		label := "night | day+flash"
+		if th == 2 {
+			label = "night+day | flash"
+		}
+		tab.AddRow(label, fit.Chain.POn, fit.Chain.POff, fit.Rb, fit.Rp, fit.DemandRMSE)
+	}
+	fmt.Print(tab.String())
+	best, err := ml.BestTwoLevelApproximation()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best collapse by RMSE: threshold %d (RMSE %.2f)\n", best.Threshold, best.DemandRMSE)
+
+	// What each collapse implies for the reservation: MapCal blocks for 8
+	// collocated copies of this workload.
+	fmt.Println("\nReservation for 8 collocated copies (rho = 0.01):")
+	for th := 1; th <= 2; th++ {
+		fit, _ := ml.TwoLevelApproximation(th)
+		res, err := repro.MapCal(8, fit.Chain.POn, fit.Chain.POff, 0.01)
+		if err != nil {
+			log.Fatal(err)
+		}
+		footprint := 8*fit.Rb + float64(res.K)*(fit.Rp-fit.Rb)
+		fmt.Printf("  threshold %d: %d blocks of %.1f each → footprint %.1f units\n",
+			th, res.K, fit.Rp-fit.Rb, footprint)
+	}
+
+	// Validate the threshold-2 collapse against the true process: simulate
+	// the multi-level chain, binarise at the threshold, and compare the
+	// empirical switch rates with the collapsed chain's parameters.
+	fmt.Println("\nValidation against a simulated multi-level trace (threshold 2):")
+	rng := rand.New(rand.NewSource(9))
+	start, _ := ml.SampleStationary(rng)
+	states, _, err := ml.Trace(start, 400000, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	binary := make([]markov.State, len(states))
+	for i, s := range states {
+		if s >= 2 {
+			binary[i] = markov.On
+		}
+	}
+	est, err := repro.EstimateOnOff(binary)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fit, _ := ml.TwoLevelApproximation(2)
+	fmt.Printf("  analytic collapse: p_on %.5f, p_off %.5f\n", fit.Chain.POn, fit.Chain.POff)
+	fmt.Printf("  empirical (MLE):   p_on %.5f, p_off %.5f\n", est.POn, est.POff)
+	fmt.Println("\nTakeaway: threshold 2 keeps R_p at the true flash level (safe but big")
+	fmt.Println("blocks); threshold 1 halves the block size but its R_p undershoots flash")
+	fmt.Println("crowds — the quantisation optimism DemandRMSE quantifies.")
+}

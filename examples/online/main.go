@@ -1,0 +1,102 @@
+// Online: the §IV-E online situation. VMs arrive one at a time (and in one
+// batch), depart, and the per-PM queue sizes recalculate automatically; a
+// heterogeneous late wave triggers the periodic rounding refresh the paper
+// prescribes.
+//
+//	go run ./examples/online
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+)
+
+func main() {
+	pms := make([]repro.PM, 20)
+	for i := range pms {
+		pms[i] = repro.PM{ID: i, Capacity: 100}
+	}
+	strategy := repro.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	online, err := repro.NewOnline(strategy, pms, 0.01, 0.09)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase 1: ten VMs trickle in.
+	rng := rand.New(rand.NewSource(11))
+	fmt.Println("Phase 1 — single arrivals:")
+	for id := 0; id < 10; id++ {
+		vm := repro.VM{ID: id, POn: 0.01, POff: 0.09,
+			Rb: 5 + 15*rng.Float64(), Re: 3 + 10*rng.Float64()}
+		pmID, err := online.Arrive(vm)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  VM %2d (Rb %.1f, Re %.1f) → PM %d\n", vm.ID, vm.Rb, vm.Re, pmID)
+	}
+	report(online)
+
+	// Phase 2: three departures shrink queues implicitly.
+	fmt.Println("\nPhase 2 — departures of VMs 1, 4, 7:")
+	for _, id := range []int{1, 4, 7} {
+		if err := online.Depart(id); err != nil {
+			log.Fatal(err)
+		}
+	}
+	report(online)
+
+	// Phase 3: a batch arrives and is placed with the full Algorithm 2
+	// ordering (cluster by Re, sort, first-fit).
+	fmt.Println("\nPhase 3 — batch arrival of 15 VMs:")
+	batch := make([]repro.VM, 15)
+	for i := range batch {
+		batch[i] = repro.VM{ID: 100 + i, POn: 0.01, POff: 0.09,
+			Rb: 5 + 15*rng.Float64(), Re: 3 + 10*rng.Float64()}
+	}
+	unplaced, err := online.ArriveBatch(batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  placed %d, unplaced %d\n", len(batch)-len(unplaced), len(unplaced))
+	report(online)
+
+	// Phase 4: a burstier wave arrives; the rounded (p_on, p_off) drift, so
+	// refresh the mapping table and audit for overflows.
+	fmt.Println("\nPhase 4 — bursty wave and table refresh:")
+	for i := 0; i < 5; i++ {
+		vm := repro.VM{ID: 200 + i, POn: 0.05, POff: 0.05,
+			Rb: 5 + 10*rng.Float64(), Re: 3 + 8*rng.Float64()}
+		if _, err := online.Arrive(vm); err != nil {
+			log.Fatal(err)
+		}
+	}
+	before := online.Table().Blocks(8)
+	if err := online.RefreshTable(); err != nil {
+		log.Fatal(err)
+	}
+	after := online.Table().Blocks(8)
+	fmt.Printf("  mapping(8): %d blocks → %d blocks after refresh (p_on %.4f, p_off %.4f)\n",
+		before, after, online.Table().POn(), online.Table().POff())
+	if overflows := online.Overflows(); len(overflows) > 0 {
+		fmt.Printf("  %d PM(s) now overflow Eq. (17) and are migration candidates:\n", len(overflows))
+		for _, v := range overflows {
+			fmt.Printf("    PM %d: footprint %.1f > capacity %.1f\n", v.PMID, v.Footprint, v.Capacity)
+		}
+	} else {
+		fmt.Println("  no PM overflows the refreshed constraint")
+	}
+}
+
+func report(o *repro.Online) {
+	p := o.Placement()
+	fmt.Printf("  → %d VMs on %d PMs", p.NumVMs(), p.NumUsedPMs())
+	if v := repro.CheckReserved(p, o.Table()); v != nil {
+		fmt.Printf(" — WARNING: %d Eq. (17) violations", len(v))
+	} else {
+		fmt.Print(" — Eq. (17) holds everywhere")
+	}
+	fmt.Println()
+}

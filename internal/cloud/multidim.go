@@ -1,0 +1,168 @@
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// ResourceVec is a demand or capacity across several independent resource
+// dimensions (e.g. CPU, memory, network), in support of the paper's §IV-E
+// multi-dimensional extension.
+type ResourceVec []float64
+
+// Add returns v + w element-wise.
+func (v ResourceVec) Add(w ResourceVec) (ResourceVec, error) {
+	if len(v) != len(w) {
+		return nil, fmt.Errorf("cloud: dimension mismatch %d vs %d", len(v), len(w))
+	}
+	out := make(ResourceVec, len(v))
+	for i := range v {
+		out[i] = v[i] + w[i]
+	}
+	return out, nil
+}
+
+// FitsWithin reports whether v ≤ w in every dimension (with tolerance eps).
+func (v ResourceVec) FitsWithin(w ResourceVec, eps float64) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] > w[i]+eps {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the vector.
+func (v ResourceVec) Clone() ResourceVec {
+	out := make(ResourceVec, len(v))
+	copy(out, v)
+	return out
+}
+
+// MultiVM is a VM whose normal and spike demands span several dimensions but
+// share a single ON-OFF chain (a spike raises every dimension at once —
+// the "correlated" case of §IV-E is the scalar model; this type serves the
+// uncorrelated one).
+type MultiVM struct {
+	ID   int
+	POn  float64
+	POff float64
+	Rb   ResourceVec
+	Re   ResourceVec
+}
+
+// Dims returns the number of resource dimensions.
+func (v MultiVM) Dims() int { return len(v.Rb) }
+
+// Rp returns the per-dimension peak demand.
+func (v MultiVM) Rp() ResourceVec {
+	out, _ := v.Rb.Add(v.Re)
+	return out
+}
+
+// Demand returns the per-dimension instantaneous demand in state s.
+func (v MultiVM) Demand(s markov.State) ResourceVec {
+	if s == markov.On {
+		return v.Rp()
+	}
+	return v.Rb.Clone()
+}
+
+// Scalar projects the VM onto one dimension, producing the one-dimensional VM
+// the per-dimension MapCal run operates on.
+func (v MultiVM) Scalar(dim int) (VM, error) {
+	if dim < 0 || dim >= v.Dims() {
+		return VM{}, fmt.Errorf("cloud: dimension %d outside [0,%d)", dim, v.Dims())
+	}
+	return VM{ID: v.ID, POn: v.POn, POff: v.POff, Rb: v.Rb[dim], Re: v.Re[dim]}, nil
+}
+
+// Validate checks the multi-dimensional spec.
+func (v MultiVM) Validate() error {
+	if v.ID < 0 {
+		return fmt.Errorf("cloud: MultiVM id %d is negative", v.ID)
+	}
+	if _, err := markov.NewOnOff(v.POn, v.POff); err != nil {
+		return fmt.Errorf("cloud: MultiVM %d: %w", v.ID, err)
+	}
+	if len(v.Rb) == 0 || len(v.Rb) != len(v.Re) {
+		return fmt.Errorf("cloud: MultiVM %d has mismatched dimensions (Rb %d, Re %d)", v.ID, len(v.Rb), len(v.Re))
+	}
+	peakTotal := 0.0
+	for i := range v.Rb {
+		if v.Rb[i] < 0 || v.Re[i] < 0 {
+			return fmt.Errorf("cloud: MultiVM %d has negative demand in dimension %d", v.ID, i)
+		}
+		peakTotal += v.Rb[i] + v.Re[i]
+	}
+	if peakTotal <= 0 {
+		return fmt.Errorf("cloud: MultiVM %d has zero peak demand", v.ID)
+	}
+	return nil
+}
+
+// MultiPM is a PM with per-dimension capacity.
+type MultiPM struct {
+	ID       int
+	Capacity ResourceVec
+}
+
+// Validate checks the PM spec.
+func (p MultiPM) Validate() error {
+	if p.ID < 0 {
+		return fmt.Errorf("cloud: MultiPM id %d is negative", p.ID)
+	}
+	if len(p.Capacity) == 0 {
+		return fmt.Errorf("cloud: MultiPM %d has no dimensions", p.ID)
+	}
+	for i, c := range p.Capacity {
+		if c <= 0 {
+			return fmt.Errorf("cloud: MultiPM %d has non-positive capacity %v in dimension %d", p.ID, c, i)
+		}
+	}
+	return nil
+}
+
+// CorrelationWeights maps correlated multi-dimensional demands to one
+// dimension by a weighted sum (the first option of §IV-E). Weights must be
+// non-negative and sum to a positive value.
+func CorrelationWeights(weights []float64) (func(ResourceVec) (float64, error), error) {
+	total := 0.0
+	for i, w := range weights {
+		if w < 0 {
+			return nil, fmt.Errorf("cloud: negative weight %v in dimension %d", w, i)
+		}
+		total += w
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("cloud: weights sum to %v, want > 0", total)
+	}
+	return func(v ResourceVec) (float64, error) {
+		if len(v) != len(weights) {
+			return 0, fmt.Errorf("cloud: vector has %d dims, weights have %d", len(v), len(weights))
+		}
+		s := 0.0
+		for i := range v {
+			s += weights[i] * v[i]
+		}
+		return s, nil
+	}, nil
+}
+
+// ProjectCorrelated maps a MultiVM to a scalar VM using a weight mapping, for
+// the correlated-dimensions path of §IV-E.
+func ProjectCorrelated(v MultiVM, project func(ResourceVec) (float64, error)) (VM, error) {
+	rb, err := project(v.Rb)
+	if err != nil {
+		return VM{}, err
+	}
+	re, err := project(v.Re)
+	if err != nil {
+		return VM{}, err
+	}
+	return VM{ID: v.ID, POn: v.POn, POff: v.POff, Rb: rb, Re: re}, nil
+}

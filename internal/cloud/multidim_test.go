@@ -1,0 +1,153 @@
+package cloud
+
+import (
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func validMultiVM(id int) MultiVM {
+	return MultiVM{ID: id, POn: 0.01, POff: 0.09, Rb: ResourceVec{10, 4}, Re: ResourceVec{5, 2}}
+}
+
+func TestResourceVecAdd(t *testing.T) {
+	v, err := ResourceVec{1, 2}.Add(ResourceVec{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v[0] != 4 || v[1] != 6 {
+		t.Errorf("Add = %v, want [4 6]", v)
+	}
+	if _, err := (ResourceVec{1}).Add(ResourceVec{1, 2}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}
+
+func TestResourceVecFitsWithin(t *testing.T) {
+	if !(ResourceVec{1, 2}).FitsWithin(ResourceVec{1, 2}, 1e-9) {
+		t.Error("equal vectors should fit")
+	}
+	if (ResourceVec{1, 3}).FitsWithin(ResourceVec{1, 2}, 1e-9) {
+		t.Error("larger vector should not fit")
+	}
+	if (ResourceVec{1}).FitsWithin(ResourceVec{1, 2}, 1e-9) {
+		t.Error("dimension mismatch should not fit")
+	}
+}
+
+func TestResourceVecClone(t *testing.T) {
+	v := ResourceVec{1, 2}
+	c := v.Clone()
+	c[0] = 9
+	if v[0] != 1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestMultiVMBasics(t *testing.T) {
+	v := validMultiVM(1)
+	if v.Dims() != 2 {
+		t.Errorf("Dims = %d, want 2", v.Dims())
+	}
+	rp := v.Rp()
+	if rp[0] != 15 || rp[1] != 6 {
+		t.Errorf("Rp = %v, want [15 6]", rp)
+	}
+	off := v.Demand(markov.Off)
+	if off[0] != 10 || off[1] != 4 {
+		t.Errorf("OFF demand = %v", off)
+	}
+	on := v.Demand(markov.On)
+	if on[0] != 15 || on[1] != 6 {
+		t.Errorf("ON demand = %v", on)
+	}
+}
+
+func TestMultiVMScalar(t *testing.T) {
+	v := validMultiVM(1)
+	s, err := v.Scalar(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Rb != 4 || s.Re != 2 || s.ID != 1 || s.POn != 0.01 {
+		t.Errorf("Scalar(1) = %+v", s)
+	}
+	if _, err := v.Scalar(-1); err == nil {
+		t.Error("negative dimension accepted")
+	}
+	if _, err := v.Scalar(2); err == nil {
+		t.Error("out-of-range dimension accepted")
+	}
+}
+
+func TestMultiVMValidate(t *testing.T) {
+	if err := validMultiVM(1).Validate(); err != nil {
+		t.Errorf("valid MultiVM rejected: %v", err)
+	}
+	bad := []MultiVM{
+		{ID: -1, POn: 0.1, POff: 0.1, Rb: ResourceVec{1}, Re: ResourceVec{1}},
+		{ID: 0, POn: 0, POff: 0.1, Rb: ResourceVec{1}, Re: ResourceVec{1}},
+		{ID: 0, POn: 0.1, POff: 0.1, Rb: ResourceVec{}, Re: ResourceVec{}},
+		{ID: 0, POn: 0.1, POff: 0.1, Rb: ResourceVec{1, 2}, Re: ResourceVec{1}},
+		{ID: 0, POn: 0.1, POff: 0.1, Rb: ResourceVec{-1, 2}, Re: ResourceVec{1, 1}},
+		{ID: 0, POn: 0.1, POff: 0.1, Rb: ResourceVec{0, 0}, Re: ResourceVec{0, 0}},
+	}
+	for i, vm := range bad {
+		if err := vm.Validate(); err == nil {
+			t.Errorf("case %d: invalid MultiVM accepted", i)
+		}
+	}
+}
+
+func TestMultiPMValidate(t *testing.T) {
+	if err := (MultiPM{ID: 0, Capacity: ResourceVec{10, 20}}).Validate(); err != nil {
+		t.Errorf("valid MultiPM rejected: %v", err)
+	}
+	if err := (MultiPM{ID: -1, Capacity: ResourceVec{10}}).Validate(); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := (MultiPM{ID: 0, Capacity: ResourceVec{}}).Validate(); err == nil {
+		t.Error("zero dimensions accepted")
+	}
+	if err := (MultiPM{ID: 0, Capacity: ResourceVec{10, 0}}).Validate(); err == nil {
+		t.Error("zero capacity dimension accepted")
+	}
+}
+
+func TestCorrelationWeights(t *testing.T) {
+	project, err := CorrelationWeights([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := project(ResourceVec{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 15 {
+		t.Errorf("projection = %v, want 15", got)
+	}
+	if _, err := project(ResourceVec{10}); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+	if _, err := CorrelationWeights([]float64{-1, 2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if _, err := CorrelationWeights([]float64{0, 0}); err == nil {
+		t.Error("zero weights accepted")
+	}
+}
+
+func TestProjectCorrelated(t *testing.T) {
+	project, _ := CorrelationWeights([]float64{1, 1})
+	vm, err := ProjectCorrelated(validMultiVM(3), project)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vm.ID != 3 || vm.Rb != 14 || vm.Re != 7 {
+		t.Errorf("projected VM = %+v", vm)
+	}
+	badProject, _ := CorrelationWeights([]float64{1})
+	if _, err := ProjectCorrelated(validMultiVM(3), badProject); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

@@ -1,0 +1,244 @@
+package cloud
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/queuing"
+)
+
+// Placement is the binary mapping X = [x_ij]: which PM hosts each VM. It
+// maintains both directions of the mapping and the per-PM demand aggregates
+// every admission constraint needs.
+type Placement struct {
+	pms     map[int]PM
+	vms     map[int]VM
+	vmToPM  map[int]int
+	pmToVMs map[int][]int // VM ids per PM, kept sorted for determinism
+}
+
+// NewPlacement creates an empty placement over the given PM pool.
+func NewPlacement(pms []PM) (*Placement, error) {
+	if err := ValidatePMs(pms); err != nil {
+		return nil, err
+	}
+	p := &Placement{
+		pms:     make(map[int]PM, len(pms)),
+		vms:     make(map[int]VM),
+		vmToPM:  make(map[int]int),
+		pmToVMs: make(map[int][]int),
+	}
+	for _, pm := range pms {
+		p.pms[pm.ID] = pm
+	}
+	return p, nil
+}
+
+// Assign places a VM on a PM. It rejects unknown PMs, invalid VMs, and VMs
+// that are already placed — moving a VM is modelled explicitly as
+// Remove + Assign (a live migration), never an implicit overwrite.
+func (p *Placement) Assign(vm VM, pmID int) error {
+	if err := vm.Validate(); err != nil {
+		return err
+	}
+	if _, ok := p.pms[pmID]; !ok {
+		return fmt.Errorf("cloud: unknown PM %d", pmID)
+	}
+	if existing, ok := p.vmToPM[vm.ID]; ok {
+		return fmt.Errorf("cloud: VM %d already placed on PM %d", vm.ID, existing)
+	}
+	p.vms[vm.ID] = vm
+	p.vmToPM[vm.ID] = pmID
+	ids := append(p.pmToVMs[pmID], vm.ID)
+	sort.Ints(ids)
+	p.pmToVMs[pmID] = ids
+	return nil
+}
+
+// Remove detaches a VM from its PM (a departure or the first half of a
+// migration). It returns the PM the VM was on.
+func (p *Placement) Remove(vmID int) (int, error) {
+	pmID, ok := p.vmToPM[vmID]
+	if !ok {
+		return 0, fmt.Errorf("cloud: VM %d is not placed", vmID)
+	}
+	delete(p.vmToPM, vmID)
+	delete(p.vms, vmID)
+	ids := p.pmToVMs[pmID]
+	for i, id := range ids {
+		if id == vmID {
+			p.pmToVMs[pmID] = append(ids[:i], ids[i+1:]...)
+			break
+		}
+	}
+	if len(p.pmToVMs[pmID]) == 0 {
+		delete(p.pmToVMs, pmID)
+	}
+	return pmID, nil
+}
+
+// PMOf returns the PM hosting the VM.
+func (p *Placement) PMOf(vmID int) (int, bool) {
+	pmID, ok := p.vmToPM[vmID]
+	return pmID, ok
+}
+
+// VM returns the spec of a placed VM.
+func (p *Placement) VM(vmID int) (VM, bool) {
+	vm, ok := p.vms[vmID]
+	return vm, ok
+}
+
+// PM returns the spec of a PM in the pool.
+func (p *Placement) PM(pmID int) (PM, bool) {
+	pm, ok := p.pms[pmID]
+	return pm, ok
+}
+
+// VMsOn returns the VMs hosted by a PM, ordered by id. The slice is freshly
+// allocated; callers may mutate it.
+func (p *Placement) VMsOn(pmID int) []VM {
+	ids := p.pmToVMs[pmID]
+	out := make([]VM, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, p.vms[id])
+	}
+	return out
+}
+
+// CountOn returns the number of VMs hosted by a PM (|T_j|).
+func (p *Placement) CountOn(pmID int) int { return len(p.pmToVMs[pmID]) }
+
+// UsedPMs returns the ids of PMs hosting at least one VM, sorted.
+func (p *Placement) UsedPMs() []int {
+	out := make([]int, 0, len(p.pmToVMs))
+	for id := range p.pmToVMs {
+		out = append(out, id)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NumUsedPMs returns the objective value of Eq. (6): the number of PMs that
+// host at least one VM.
+func (p *Placement) NumUsedPMs() int { return len(p.pmToVMs) }
+
+// NumVMs returns the number of placed VMs.
+func (p *Placement) NumVMs() int { return len(p.vmToPM) }
+
+// PMs returns the full PM pool, sorted by id.
+func (p *Placement) PMs() []PM {
+	out := make([]PM, 0, len(p.pms))
+	for _, pm := range p.pms {
+		out = append(out, pm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// VMs returns all placed VMs, sorted by id.
+func (p *Placement) VMs() []VM {
+	out := make([]VM, 0, len(p.vms))
+	for _, vm := range p.vms {
+		out = append(out, vm)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Clone returns an independent copy of the placement.
+func (p *Placement) Clone() *Placement {
+	c := &Placement{
+		pms:     make(map[int]PM, len(p.pms)),
+		vms:     make(map[int]VM, len(p.vms)),
+		vmToPM:  make(map[int]int, len(p.vmToPM)),
+		pmToVMs: make(map[int][]int, len(p.pmToVMs)),
+	}
+	for k, v := range p.pms {
+		c.pms[k] = v
+	}
+	for k, v := range p.vms {
+		c.vms[k] = v
+	}
+	for k, v := range p.vmToPM {
+		c.vmToPM[k] = v
+	}
+	for k, v := range p.pmToVMs {
+		ids := make([]int, len(v))
+		copy(ids, v)
+		c.pmToVMs[k] = ids
+	}
+	return c
+}
+
+// Matrix materialises the binary mapping X = [x_ij] of Eq. (6): rows are VMs
+// and columns PMs, both in ascending id order, with the corresponding id
+// slices returned alongside. Intended for audits and interoperability with
+// formulations that want the paper's exact representation; the map-based
+// accessors are the efficient path.
+func (p *Placement) Matrix() (x [][]bool, vmIDs, pmIDs []int) {
+	vms := p.VMs()
+	pms := p.PMs()
+	pmIndex := make(map[int]int, len(pms))
+	pmIDs = make([]int, len(pms))
+	for j, pm := range pms {
+		pmIndex[pm.ID] = j
+		pmIDs[j] = pm.ID
+	}
+	vmIDs = make([]int, len(vms))
+	x = make([][]bool, len(vms))
+	for i, vm := range vms {
+		vmIDs[i] = vm.ID
+		x[i] = make([]bool, len(pms))
+		if pmID, ok := p.vmToPM[vm.ID]; ok {
+			x[i][pmIndex[pmID]] = true
+		}
+	}
+	return x, vmIDs, pmIDs
+}
+
+// SumRb returns Σ R_b over the VMs on a PM.
+func (p *Placement) SumRb(pmID int) float64 {
+	sum := 0.0
+	for _, id := range p.pmToVMs[pmID] {
+		sum += p.vms[id].Rb
+	}
+	return sum
+}
+
+// SumRp returns Σ R_p over the VMs on a PM (peak-provisioned footprint).
+func (p *Placement) SumRp(pmID int) float64 {
+	sum := 0.0
+	for _, id := range p.pmToVMs[pmID] {
+		sum += p.vms[id].Rp()
+	}
+	return sum
+}
+
+// MaxRe returns max R_e over the VMs on a PM — the uniform block size the
+// paper reserves (§IV-B) — or 0 for an empty PM.
+func (p *Placement) MaxRe(pmID int) float64 {
+	max := 0.0
+	for _, id := range p.pmToVMs[pmID] {
+		if re := p.vms[id].Re; re > max {
+			max = re
+		}
+	}
+	return max
+}
+
+// ReservationSize returns the reserved footprint on a PM under a mapping
+// table: blockSize · mapping(k) with blockSize = max R_e.
+func (p *Placement) ReservationSize(pmID int, table *queuing.MappingTable) float64 {
+	k := p.CountOn(pmID)
+	if k == 0 {
+		return 0
+	}
+	return p.MaxRe(pmID) * float64(table.Blocks(k))
+}
+
+// ReservedFootprint returns Σ R_b + reservation on a PM — the left side of
+// Eq. (17) for the current host set.
+func (p *Placement) ReservedFootprint(pmID int, table *queuing.MappingTable) float64 {
+	return p.SumRb(pmID) + p.ReservationSize(pmID, table)
+}

@@ -1,0 +1,299 @@
+package cloud
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/queuing"
+)
+
+func pool(n int, capacity float64) []PM {
+	pms := make([]PM, n)
+	for i := range pms {
+		pms[i] = PM{ID: i, Capacity: capacity}
+	}
+	return pms
+}
+
+func newTestPlacement(t *testing.T) *Placement {
+	t.Helper()
+	p, err := NewPlacement(pool(4, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPlacementRejectsBadPool(t *testing.T) {
+	if _, err := NewPlacement([]PM{{ID: 0, Capacity: -1}}); err == nil {
+		t.Error("invalid pool accepted")
+	}
+	if _, err := NewPlacement([]PM{{ID: 0, Capacity: 10}, {ID: 0, Capacity: 20}}); err == nil {
+		t.Error("duplicate PM ids accepted")
+	}
+}
+
+func TestAssignAndLookups(t *testing.T) {
+	p := newTestPlacement(t)
+	vm := validVM(7)
+	if err := p.Assign(vm, 2); err != nil {
+		t.Fatal(err)
+	}
+	if pmID, ok := p.PMOf(7); !ok || pmID != 2 {
+		t.Errorf("PMOf(7) = %d, %v", pmID, ok)
+	}
+	if got, ok := p.VM(7); !ok || got != vm {
+		t.Error("VM(7) lookup failed")
+	}
+	if _, ok := p.VM(99); ok {
+		t.Error("VM(99) should not exist")
+	}
+	if pm, ok := p.PM(2); !ok || pm.Capacity != 100 {
+		t.Error("PM(2) lookup failed")
+	}
+	if _, ok := p.PM(99); ok {
+		t.Error("PM(99) should not exist")
+	}
+	if p.NumVMs() != 1 || p.NumUsedPMs() != 1 {
+		t.Error("counters wrong after one assignment")
+	}
+}
+
+func TestAssignErrors(t *testing.T) {
+	p := newTestPlacement(t)
+	if err := p.Assign(VM{ID: -1}, 0); err == nil {
+		t.Error("invalid VM accepted")
+	}
+	if err := p.Assign(validVM(1), 99); err == nil {
+		t.Error("unknown PM accepted")
+	}
+	if err := p.Assign(validVM(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Assign(validVM(1), 1); err == nil {
+		t.Error("double placement accepted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	p := newTestPlacement(t)
+	if err := p.Assign(validVM(1), 0); err != nil {
+		t.Fatal(err)
+	}
+	pmID, err := p.Remove(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmID != 0 {
+		t.Errorf("Remove returned PM %d, want 0", pmID)
+	}
+	if p.NumVMs() != 0 || p.NumUsedPMs() != 0 {
+		t.Error("placement not empty after removal")
+	}
+	if _, err := p.Remove(1); err == nil {
+		t.Error("double removal accepted")
+	}
+}
+
+func TestVMsOnSortedAndCopied(t *testing.T) {
+	p := newTestPlacement(t)
+	for _, id := range []int{5, 1, 3} {
+		if err := p.Assign(validVM(id), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	vms := p.VMsOn(0)
+	if len(vms) != 3 || vms[0].ID != 1 || vms[1].ID != 3 || vms[2].ID != 5 {
+		t.Errorf("VMsOn not sorted: %v", vms)
+	}
+	vms[0] = validVM(42)
+	if got := p.VMsOn(0)[0].ID; got != 1 {
+		t.Error("VMsOn returned internal storage")
+	}
+	if p.CountOn(0) != 3 {
+		t.Errorf("CountOn = %d, want 3", p.CountOn(0))
+	}
+	if len(p.VMsOn(3)) != 0 {
+		t.Error("empty PM should give empty host list")
+	}
+}
+
+func TestUsedPMsSorted(t *testing.T) {
+	p := newTestPlacement(t)
+	_ = p.Assign(validVM(1), 3)
+	_ = p.Assign(validVM(2), 0)
+	used := p.UsedPMs()
+	if len(used) != 2 || used[0] != 0 || used[1] != 3 {
+		t.Errorf("UsedPMs = %v, want [0 3]", used)
+	}
+}
+
+func TestPMsAndVMsSorted(t *testing.T) {
+	p := newTestPlacement(t)
+	_ = p.Assign(validVM(9), 1)
+	_ = p.Assign(validVM(2), 1)
+	vms := p.VMs()
+	if len(vms) != 2 || vms[0].ID != 2 || vms[1].ID != 9 {
+		t.Errorf("VMs() = %v", vms)
+	}
+	pms := p.PMs()
+	if len(pms) != 4 || pms[0].ID != 0 || pms[3].ID != 3 {
+		t.Errorf("PMs() = %v", pms)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	p := newTestPlacement(t)
+	_ = p.Assign(validVM(1), 0)
+	c := p.Clone()
+	_ = c.Assign(validVM(2), 1)
+	if _, err := c.Remove(1); err != nil {
+		t.Fatal(err)
+	}
+	if p.NumVMs() != 1 {
+		t.Error("mutating clone affected original")
+	}
+	if pmID, ok := p.PMOf(1); !ok || pmID != 0 {
+		t.Error("original lost VM 1 after clone mutation")
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	p := newTestPlacement(t)
+	_ = p.Assign(VM{ID: 1, POn: 0.01, POff: 0.09, Rb: 10, Re: 4}, 0)
+	_ = p.Assign(VM{ID: 2, POn: 0.01, POff: 0.09, Rb: 20, Re: 7}, 0)
+	if p.SumRb(0) != 30 {
+		t.Errorf("SumRb = %v, want 30", p.SumRb(0))
+	}
+	if p.SumRp(0) != 41 {
+		t.Errorf("SumRp = %v, want 41", p.SumRp(0))
+	}
+	if p.MaxRe(0) != 7 {
+		t.Errorf("MaxRe = %v, want 7", p.MaxRe(0))
+	}
+	if p.SumRb(1) != 0 || p.SumRp(1) != 0 || p.MaxRe(1) != 0 {
+		t.Error("empty PM aggregates should be 0")
+	}
+}
+
+func TestReservationAccounting(t *testing.T) {
+	table, err := queuing.NewMappingTable(16, 0.01, 0.09, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := newTestPlacement(t)
+	if p.ReservationSize(0, table) != 0 {
+		t.Error("empty PM should have zero reservation")
+	}
+	for id := 1; id <= 6; id++ {
+		_ = p.Assign(VM{ID: id, POn: 0.01, POff: 0.09, Rb: 10, Re: 5}, 0)
+	}
+	wantBlocks := table.Blocks(6)
+	if got := p.ReservationSize(0, table); got != 5*float64(wantBlocks) {
+		t.Errorf("ReservationSize = %v, want %v", got, 5*float64(wantBlocks))
+	}
+	if got := p.ReservedFootprint(0, table); got != 60+5*float64(wantBlocks) {
+		t.Errorf("ReservedFootprint = %v", got)
+	}
+}
+
+// Property: a random sequence of assigns and removes keeps the two maps of
+// the placement mutually consistent.
+func TestPropPlacementConsistency(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, err := NewPlacement(pool(5, 100))
+		if err != nil {
+			return false
+		}
+		placed := make(map[int]bool)
+		nextID := 0
+		for op := 0; op < 200; op++ {
+			if rng.Float64() < 0.6 || len(placed) == 0 {
+				vm := validVM(nextID)
+				nextID++
+				if p.Assign(vm, rng.Intn(5)) != nil {
+					return false
+				}
+				placed[vm.ID] = true
+			} else {
+				// remove a random placed VM
+				var victim int
+				n := rng.Intn(len(placed))
+				for id := range placed {
+					if n == 0 {
+						victim = id
+						break
+					}
+					n--
+				}
+				if _, err := p.Remove(victim); err != nil {
+					return false
+				}
+				delete(placed, victim)
+			}
+			// Invariants: counts agree, every placed VM is found on its PM.
+			if p.NumVMs() != len(placed) {
+				return false
+			}
+			total := 0
+			for _, pmID := range p.UsedPMs() {
+				vms := p.VMsOn(pmID)
+				if len(vms) == 0 {
+					return false // used PM with no VMs
+				}
+				total += len(vms)
+				for _, vm := range vms {
+					if got, ok := p.PMOf(vm.ID); !ok || got != pmID {
+						return false
+					}
+				}
+			}
+			if total != len(placed) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMatrixRepresentation(t *testing.T) {
+	p := newTestPlacement(t)
+	_ = p.Assign(validVM(5), 2)
+	_ = p.Assign(validVM(3), 0)
+	x, vmIDs, pmIDs := p.Matrix()
+	if len(vmIDs) != 2 || vmIDs[0] != 3 || vmIDs[1] != 5 {
+		t.Fatalf("vmIDs = %v", vmIDs)
+	}
+	if len(pmIDs) != 4 {
+		t.Fatalf("pmIDs = %v", pmIDs)
+	}
+	// Each row has exactly one true, in the hosting PM's column.
+	for i, row := range x {
+		count := 0
+		for j, set := range row {
+			if set {
+				count++
+				wantPM, _ := p.PMOf(vmIDs[i])
+				if pmIDs[j] != wantPM {
+					t.Errorf("VM %d marked on PM %d, hosted on %d", vmIDs[i], pmIDs[j], wantPM)
+				}
+			}
+		}
+		if count != 1 {
+			t.Errorf("row %d has %d assignments", i, count)
+		}
+	}
+}
+
+func TestMatrixEmpty(t *testing.T) {
+	p := newTestPlacement(t)
+	x, vmIDs, pmIDs := p.Matrix()
+	if len(x) != 0 || len(vmIDs) != 0 || len(pmIDs) != 4 {
+		t.Errorf("empty matrix wrong: %v %v %v", x, vmIDs, pmIDs)
+	}
+}

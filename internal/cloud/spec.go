@@ -1,0 +1,90 @@
+package cloud
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Fleet is the JSON interchange format consumed by cmd/consolidate: a VM
+// fleet, a PM pool, and the consolidation parameters of §V.
+type Fleet struct {
+	VMs []VM `json:"vms"`
+	PMs []PM `json:"pms"`
+	// Rho is the CVR threshold ρ of Eq. (5).
+	Rho float64 `json:"rho"`
+	// MaxVMsPerPM is d, the VM cap of a single PM (Algorithm 2 input).
+	MaxVMsPerPM int `json:"max_vms_per_pm"`
+}
+
+// Validate checks the whole fleet spec.
+func (f *Fleet) Validate() error {
+	if err := ValidateVMs(f.VMs); err != nil {
+		return err
+	}
+	if err := ValidatePMs(f.PMs); err != nil {
+		return err
+	}
+	if len(f.VMs) == 0 {
+		return fmt.Errorf("cloud: fleet has no VMs")
+	}
+	if len(f.PMs) == 0 {
+		return fmt.Errorf("cloud: fleet has no PMs")
+	}
+	if f.Rho < 0 || f.Rho >= 1 {
+		return fmt.Errorf("cloud: rho = %v outside [0,1)", f.Rho)
+	}
+	if f.MaxVMsPerPM < 1 {
+		return fmt.Errorf("cloud: max_vms_per_pm = %d, want ≥ 1", f.MaxVMsPerPM)
+	}
+	return nil
+}
+
+// ReadFleet decodes and validates a fleet spec from JSON.
+func ReadFleet(r io.Reader) (*Fleet, error) {
+	var f Fleet
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("cloud: decoding fleet spec: %w", err)
+	}
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// WriteFleet encodes a fleet spec as indented JSON.
+func (f *Fleet) WriteFleet(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// PlacementRecord is the JSON output of a consolidation run: per-PM host
+// lists plus the footprint accounting, so operators can audit Eq. (17).
+type PlacementRecord struct {
+	Strategy string            `json:"strategy"`
+	UsedPMs  int               `json:"used_pms"`
+	Hosts    []HostRecord      `json:"hosts"`
+	Unplaced []int             `json:"unplaced_vms,omitempty"`
+	Params   map[string]string `json:"params,omitempty"`
+}
+
+// HostRecord describes one used PM in a PlacementRecord.
+type HostRecord struct {
+	PMID        int     `json:"pm_id"`
+	Capacity    float64 `json:"capacity"`
+	VMIDs       []int   `json:"vm_ids"`
+	SumRb       float64 `json:"sum_rb"`
+	SumRp       float64 `json:"sum_rp"`
+	MaxRe       float64 `json:"max_re"`
+	Blocks      int     `json:"blocks"`
+	Reservation float64 `json:"reservation"`
+	Footprint   float64 `json:"footprint"`
+}
+
+// MarshalIndent renders the record as indented JSON.
+func (r *PlacementRecord) MarshalIndent() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -1,0 +1,95 @@
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func validFleet() *Fleet {
+	return &Fleet{
+		VMs:         []VM{validVM(1), validVM(2)},
+		PMs:         []PM{{ID: 0, Capacity: 100}},
+		Rho:         0.01,
+		MaxVMsPerPM: 16,
+	}
+}
+
+func TestFleetValidate(t *testing.T) {
+	if err := validFleet().Validate(); err != nil {
+		t.Errorf("valid fleet rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Fleet)
+	}{
+		{"no VMs", func(f *Fleet) { f.VMs = nil }},
+		{"no PMs", func(f *Fleet) { f.PMs = nil }},
+		{"bad rho", func(f *Fleet) { f.Rho = 1.5 }},
+		{"negative rho", func(f *Fleet) { f.Rho = -0.1 }},
+		{"zero cap", func(f *Fleet) { f.MaxVMsPerPM = 0 }},
+		{"dup VM", func(f *Fleet) { f.VMs = append(f.VMs, validVM(1)) }},
+		{"dup PM", func(f *Fleet) { f.PMs = append(f.PMs, PM{ID: 0, Capacity: 1}) }},
+	}
+	for _, c := range cases {
+		f := validFleet()
+		c.mutate(f)
+		if err := f.Validate(); err == nil {
+			t.Errorf("%s: invalid fleet accepted", c.name)
+		}
+	}
+}
+
+func TestFleetRoundTrip(t *testing.T) {
+	f := validFleet()
+	var buf bytes.Buffer
+	if err := f.WriteFleet(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFleet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.VMs) != 2 || len(got.PMs) != 1 || got.Rho != 0.01 || got.MaxVMsPerPM != 16 {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+	if got.VMs[0] != f.VMs[0] {
+		t.Errorf("VM round trip mismatch: %+v vs %+v", got.VMs[0], f.VMs[0])
+	}
+}
+
+func TestReadFleetRejectsGarbage(t *testing.T) {
+	if _, err := ReadFleet(strings.NewReader("not json")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadFleet(strings.NewReader(`{"vms": [], "pms": [], "rho": 0.01, "max_vms_per_pm": 4}`)); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := ReadFleet(strings.NewReader(`{"bogus_field": 1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestPlacementRecordMarshal(t *testing.T) {
+	rec := &PlacementRecord{
+		Strategy: "queue",
+		UsedPMs:  1,
+		Hosts: []HostRecord{{
+			PMID: 0, Capacity: 100, VMIDs: []int{1, 2},
+			SumRb: 30, SumRp: 45, MaxRe: 10, Blocks: 2, Reservation: 20, Footprint: 50,
+		}},
+		Params: map[string]string{"rho": "0.01"},
+	}
+	data, err := rec.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded PlacementRecord
+	if err := json.Unmarshal(data, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Strategy != "queue" || decoded.Hosts[0].Footprint != 50 {
+		t.Errorf("marshal round trip mismatch: %+v", decoded)
+	}
+}

@@ -1,0 +1,103 @@
+// Package cloud defines the domain model shared by every consolidation
+// strategy: VMs described by the paper's four-tuple (p_on, p_off, R_b, R_e),
+// PMs described by capacity, and the VM-to-PM placement mapping X together
+// with its capacity/reservation accounting.
+package cloud
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// VM is the paper's Eq. (1) four-tuple V_i = (p_on, p_off, R_b, R_e): a
+// virtual machine whose demand alternates between the normal level R_b (OFF)
+// and the peak level R_p = R_b + R_e (ON) under a two-state Markov chain.
+type VM struct {
+	ID   int     // unique identifier, ≥ 0
+	POn  float64 // OFF→ON switch probability (spike frequency)
+	POff float64 // ON→OFF switch probability (inverse spike duration)
+	Rb   float64 // normal-workload resource requirement
+	Re   float64 // spike size (extra requirement while ON)
+}
+
+// Rp returns the peak requirement R_p = R_b + R_e.
+func (v VM) Rp() float64 { return v.Rb + v.Re }
+
+// Demand returns the instantaneous requirement in the given workload state.
+func (v VM) Demand(s markov.State) float64 {
+	if s == markov.On {
+		return v.Rp()
+	}
+	return v.Rb
+}
+
+// Chain returns the VM's ON-OFF workload chain.
+func (v VM) Chain() (markov.OnOff, error) { return markov.NewOnOff(v.POn, v.POff) }
+
+// Validate checks the four-tuple: probabilities in (0,1], non-negative
+// demands, and a positive peak (a VM that never needs resources is a spec
+// error, not a workload).
+func (v VM) Validate() error {
+	if v.ID < 0 {
+		return fmt.Errorf("cloud: VM id %d is negative", v.ID)
+	}
+	if _, err := markov.NewOnOff(v.POn, v.POff); err != nil {
+		return fmt.Errorf("cloud: VM %d: %w", v.ID, err)
+	}
+	if v.Rb < 0 || v.Re < 0 {
+		return fmt.Errorf("cloud: VM %d has negative demand (Rb=%v, Re=%v)", v.ID, v.Rb, v.Re)
+	}
+	if v.Rp() <= 0 {
+		return fmt.Errorf("cloud: VM %d has zero peak demand", v.ID)
+	}
+	return nil
+}
+
+// PM is the paper's Eq. (2): a physical machine with a one-dimensional
+// capacity.
+type PM struct {
+	ID       int
+	Capacity float64
+}
+
+// Validate checks the PM spec.
+func (p PM) Validate() error {
+	if p.ID < 0 {
+		return fmt.Errorf("cloud: PM id %d is negative", p.ID)
+	}
+	if p.Capacity <= 0 {
+		return fmt.Errorf("cloud: PM %d has non-positive capacity %v", p.ID, p.Capacity)
+	}
+	return nil
+}
+
+// ValidateVMs checks a fleet for individual validity and unique IDs.
+func ValidateVMs(vms []VM) error {
+	seen := make(map[int]bool, len(vms))
+	for _, v := range vms {
+		if err := v.Validate(); err != nil {
+			return err
+		}
+		if seen[v.ID] {
+			return fmt.Errorf("cloud: duplicate VM id %d", v.ID)
+		}
+		seen[v.ID] = true
+	}
+	return nil
+}
+
+// ValidatePMs checks a pool for individual validity and unique IDs.
+func ValidatePMs(pms []PM) error {
+	seen := make(map[int]bool, len(pms))
+	for _, p := range pms {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+		if seen[p.ID] {
+			return fmt.Errorf("cloud: duplicate PM id %d", p.ID)
+		}
+		seen[p.ID] = true
+	}
+	return nil
+}

@@ -1,0 +1,102 @@
+package cloud
+
+import (
+	"testing"
+
+	"repro/internal/markov"
+)
+
+func validVM(id int) VM {
+	return VM{ID: id, POn: 0.01, POff: 0.09, Rb: 10, Re: 5}
+}
+
+func TestVMRp(t *testing.T) {
+	v := validVM(0)
+	if v.Rp() != 15 {
+		t.Errorf("Rp = %v, want 15", v.Rp())
+	}
+}
+
+func TestVMDemand(t *testing.T) {
+	v := validVM(0)
+	if v.Demand(markov.Off) != 10 {
+		t.Errorf("OFF demand = %v, want 10", v.Demand(markov.Off))
+	}
+	if v.Demand(markov.On) != 15 {
+		t.Errorf("ON demand = %v, want 15", v.Demand(markov.On))
+	}
+}
+
+func TestVMChain(t *testing.T) {
+	v := validVM(0)
+	c, err := v.Chain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.POn != 0.01 || c.POff != 0.09 {
+		t.Error("Chain returned wrong parameters")
+	}
+}
+
+func TestVMValidate(t *testing.T) {
+	if err := validVM(0).Validate(); err != nil {
+		t.Errorf("valid VM rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		vm   VM
+	}{
+		{"negative id", VM{ID: -1, POn: 0.1, POff: 0.1, Rb: 1, Re: 1}},
+		{"zero p_on", VM{ID: 0, POn: 0, POff: 0.1, Rb: 1, Re: 1}},
+		{"p_off > 1", VM{ID: 0, POn: 0.1, POff: 1.5, Rb: 1, Re: 1}},
+		{"negative Rb", VM{ID: 0, POn: 0.1, POff: 0.1, Rb: -1, Re: 1}},
+		{"negative Re", VM{ID: 0, POn: 0.1, POff: 0.1, Rb: 1, Re: -1}},
+		{"zero peak", VM{ID: 0, POn: 0.1, POff: 0.1, Rb: 0, Re: 0}},
+	}
+	for _, c := range cases {
+		if err := c.vm.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid VM", c.name)
+		}
+	}
+	// Zero spike size is legal: a steady VM.
+	steady := VM{ID: 0, POn: 0.1, POff: 0.1, Rb: 5, Re: 0}
+	if err := steady.Validate(); err != nil {
+		t.Errorf("steady VM rejected: %v", err)
+	}
+}
+
+func TestPMValidate(t *testing.T) {
+	if err := (PM{ID: 0, Capacity: 100}).Validate(); err != nil {
+		t.Errorf("valid PM rejected: %v", err)
+	}
+	if err := (PM{ID: -1, Capacity: 100}).Validate(); err == nil {
+		t.Error("negative id accepted")
+	}
+	if err := (PM{ID: 0, Capacity: 0}).Validate(); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}
+
+func TestValidateVMsDuplicates(t *testing.T) {
+	if err := ValidateVMs([]VM{validVM(1), validVM(1)}); err == nil {
+		t.Error("duplicate VM ids accepted")
+	}
+	if err := ValidateVMs([]VM{validVM(1), validVM(2)}); err != nil {
+		t.Errorf("unique ids rejected: %v", err)
+	}
+	if err := ValidateVMs([]VM{{ID: 0}}); err == nil {
+		t.Error("invalid VM accepted")
+	}
+}
+
+func TestValidatePMsDuplicates(t *testing.T) {
+	if err := ValidatePMs([]PM{{ID: 1, Capacity: 10}, {ID: 1, Capacity: 20}}); err == nil {
+		t.Error("duplicate PM ids accepted")
+	}
+	if err := ValidatePMs([]PM{{ID: 1, Capacity: 10}, {ID: 2, Capacity: 20}}); err != nil {
+		t.Errorf("unique ids rejected: %v", err)
+	}
+	if err := ValidatePMs([]PM{{ID: 1, Capacity: -3}}); err == nil {
+		t.Error("invalid PM accepted")
+	}
+}

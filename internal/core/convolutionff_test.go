@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+)
+
+func convStrategy() ConvolutionFF { return ConvolutionFF{Rho: 0.01, MaxVMsPerPM: 16} }
+
+func TestConvolutionFFValidation(t *testing.T) {
+	vms := []cloud.VM{mkVM(1, 5, 5)}
+	pms := mkPool(1, 100)
+	if _, err := (ConvolutionFF{Rho: 1, MaxVMsPerPM: 8}).Place(vms, pms); err == nil {
+		t.Error("rho = 1 accepted")
+	}
+	if _, err := (ConvolutionFF{Rho: 0.01}).Place(vms, pms); err == nil {
+		t.Error("missing cap accepted")
+	}
+	if _, err := (ConvolutionFF{Rho: 0.01, MaxVMsPerPM: 32}).Place(vms, pms); err == nil {
+		t.Error("cap beyond convolution bound accepted")
+	}
+	if (ConvolutionFF{}).Name() != "CONV" {
+		t.Error("name wrong")
+	}
+}
+
+func TestConvolutionFFRespectsItsOwnAudit(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	vms, pms := randomFleet(rng, 120)
+	res, err := convStrategy().Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unplaced) != 0 {
+		t.Fatalf("%d unplaced", len(res.Unplaced))
+	}
+	v, err := ConvViolations(res.Placement, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("CONV placement violates its own constraint: %v", v)
+	}
+	// All-OFF load always fits (Eq. 3 at t = 0).
+	if cv := cloud.CheckNormal(res.Placement); cv != nil {
+		t.Errorf("normal constraint violated: %v", cv)
+	}
+}
+
+// The actual containment theorem: any host set admitted under Eq. (17) has
+// exact stationary overflow ≤ rho (load > C requires more than K VMs ON, and
+// that tail is what MapCal bounded). The packing comparison below is looser —
+// first-fit is NOT monotone in the admission region, so CONV can land within
+// a couple of PMs either side of QUEUE despite the larger region.
+func TestConvAdmissionRegionContainsEq17(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	vms, pms := randomFleet(rng, 150)
+	s := paperQueue()
+	res, err := s.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := ConvViolations(res.Placement, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != nil {
+		t.Errorf("QUEUE placement exceeds the exact tail bound: %v — containment broken", v)
+	}
+}
+
+func TestConvolutionFFPacksCloseToQueue(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	totalConv, totalQueue := 0, 0
+	for trial := 0; trial < 6; trial++ {
+		vms, pms := randomFleet(rng, 120)
+		conv, err := convStrategy().Place(vms, pms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		queue, err := paperQueue().Place(vms, pms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := FFDByRb{}.Place(vms, pms)
+		totalConv += conv.UsedPMs()
+		totalQueue += queue.UsedPMs()
+		if conv.UsedPMs() > queue.UsedPMs()+2 {
+			t.Errorf("trial %d: CONV %d PMs far above QUEUE %d", trial, conv.UsedPMs(), queue.UsedPMs())
+		}
+		if conv.UsedPMs() < rb.UsedPMs() {
+			t.Errorf("trial %d: CONV %d PMs < RB %d — cannot beat the no-constraint packing", trial, conv.UsedPMs(), rb.UsedPMs())
+		}
+	}
+	// Within 5% of each other in aggregate.
+	if diff := totalConv - totalQueue; diff > totalQueue/20 || diff < -totalQueue/5 {
+		t.Errorf("aggregate PM counts diverge: CONV %d vs QUEUE %d", totalConv, totalQueue)
+	}
+}
+
+func TestConvolutionFFSimulatedCVRBounded(t *testing.T) {
+	// The exact-tail guarantee must hold empirically: simulate the
+	// stationary load of each PM and compare against rho.
+	rng := rand.New(rand.NewSource(103))
+	vms, pms := randomFleet(rng, 150)
+	res, err := convStrategy().Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Placement
+	for _, pmID := range p.UsedPMs() {
+		hosted := p.VMsOn(pmID)
+		if len(hosted) < 2 {
+			continue
+		}
+		pm, _ := p.PM(pmID)
+		overflow := 0
+		const samples = 60000
+		for s := 0; s < samples; s++ {
+			load := 0.0
+			for _, vm := range hosted {
+				load += vm.Rb
+				if rng.Float64() < vm.POn/(vm.POn+vm.POff) {
+					load += vm.Re
+				}
+			}
+			if load > pm.Capacity+1e-9 {
+				overflow++
+			}
+		}
+		frac := float64(overflow) / samples
+		if frac > 0.01+0.004 {
+			t.Errorf("PM %d empirical overflow %v exceeds rho", pmID, frac)
+		}
+	}
+}
+
+func TestConvViolationsDetectsOverpack(t *testing.T) {
+	pms := mkPool(1, 50)
+	p, _ := cloud.NewPlacement(pms)
+	// Four bursty VMs whose joint peak mass far exceeds rho.
+	for i := 0; i < 4; i++ {
+		_ = p.Assign(cloud.VM{ID: i, POn: 0.3, POff: 0.3, Rb: 10, Re: 10}, 0)
+	}
+	v, err := ConvViolations(p, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) != 1 {
+		t.Fatalf("expected one violation, got %v", v)
+	}
+}
+
+// Property: CONV ≤ QUEUE ≤ RP in PM count, and CONV's audit always passes.
+func TestPropConvOrdering(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vms, pms := randomFleet(rng, 20+rng.Intn(80))
+		conv, err := convStrategy().Place(vms, pms)
+		if err != nil || len(conv.Unplaced) > 0 {
+			return false
+		}
+		queue, err := paperQueue().Place(vms, pms)
+		if err != nil {
+			return false
+		}
+		rp, _ := FFDByRp{}.Place(vms, pms)
+		if conv.UsedPMs() > queue.UsedPMs()+2 || conv.UsedPMs() > rp.UsedPMs() {
+			return false
+		}
+		v, err := ConvViolations(conv.Placement, 0.01)
+		return err == nil && v == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

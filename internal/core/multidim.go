@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/queuing"
+)
+
+// MultiDimFF is the §IV-E multi-dimensional extension for uncorrelated
+// dimensions: MapCal quantifies the reservation independently per dimension,
+// and VMs are placed by plain First Fit (the paper notes the two-step
+// cluster scheme does not carry over), admitting a VM only when Eq. (17)
+// holds in every dimension.
+type MultiDimFF struct {
+	Rho         float64
+	MaxVMsPerPM int
+	Rounding    RoundingPolicy
+	// SortByTotalPeak orders VMs by their summed peak demand descending
+	// before placement (a First-Fit-Decreasing flavour); false keeps the
+	// arrival order (plain First Fit, the paper's minimal variant).
+	SortByTotalPeak bool
+}
+
+// Name returns "QUEUE-MD".
+func (MultiDimFF) Name() string { return "QUEUE-MD" }
+
+// MultiResult is the outcome of a multi-dimensional consolidation.
+type MultiResult struct {
+	// Assignments maps VM id → PM id.
+	Assignments map[int]int
+	// Unplaced lists VMs no PM could admit.
+	Unplaced []cloud.MultiVM
+	// UsedPMs is the number of PMs hosting at least one VM.
+	UsedPMs int
+}
+
+// Place consolidates multi-dimensional VMs onto multi-dimensional PMs. All
+// VMs and PMs must agree on dimensionality.
+func (s MultiDimFF) Place(vms []cloud.MultiVM, pms []cloud.MultiPM) (*MultiResult, error) {
+	if len(vms) == 0 {
+		return nil, fmt.Errorf("core: no VMs")
+	}
+	if len(pms) == 0 {
+		return nil, fmt.Errorf("core: no PMs")
+	}
+	if s.MaxVMsPerPM < 1 {
+		return nil, fmt.Errorf("core: MultiDimFF needs MaxVMsPerPM ≥ 1, got %d", s.MaxVMsPerPM)
+	}
+	dims := vms[0].Dims()
+	seen := make(map[int]bool, len(vms))
+	scalars := make([]cloud.VM, len(vms)) // for probability rounding only
+	for i, v := range vms {
+		if err := v.Validate(); err != nil {
+			return nil, err
+		}
+		if v.Dims() != dims {
+			return nil, fmt.Errorf("core: VM %d has %d dims, want %d", v.ID, v.Dims(), dims)
+		}
+		if seen[v.ID] {
+			return nil, fmt.Errorf("core: duplicate VM id %d", v.ID)
+		}
+		seen[v.ID] = true
+		scalars[i] = cloud.VM{ID: v.ID, POn: v.POn, POff: v.POff, Rb: 1, Re: 0}
+	}
+	seenPM := make(map[int]bool, len(pms))
+	for _, pm := range pms {
+		if err := pm.Validate(); err != nil {
+			return nil, err
+		}
+		if len(pm.Capacity) != dims {
+			return nil, fmt.Errorf("core: PM %d has %d dims, want %d", pm.ID, len(pm.Capacity), dims)
+		}
+		if seenPM[pm.ID] {
+			return nil, fmt.Errorf("core: duplicate PM id %d", pm.ID)
+		}
+		seenPM[pm.ID] = true
+	}
+
+	pOn, pOff, err := RoundSwitchProbabilities(scalars, s.Rounding)
+	if err != nil {
+		return nil, err
+	}
+	// One shared table: the block *count* depends only on (k, p_on, p_off,
+	// ρ); the per-dimension difference is the block *size* (max R_e per
+	// dimension), applied below.
+	table, err := queuing.NewMappingTable(s.MaxVMsPerPM, pOn, pOff, s.Rho)
+	if err != nil {
+		return nil, err
+	}
+
+	ordered := append([]cloud.MultiVM(nil), vms...)
+	if s.SortByTotalPeak {
+		sort.SliceStable(ordered, func(i, j int) bool {
+			ti, tj := totalPeak(ordered[i]), totalPeak(ordered[j])
+			if ti != tj {
+				return ti > tj
+			}
+			return ordered[i].ID < ordered[j].ID
+		})
+	}
+	orderedPMs := append([]cloud.MultiPM(nil), pms...)
+	sort.Slice(orderedPMs, func(i, j int) bool { return orderedPMs[i].ID < orderedPMs[j].ID })
+
+	hosts := make(map[int][]cloud.MultiVM, len(pms))
+	res := &MultiResult{Assignments: make(map[int]int, len(vms))}
+	for _, vm := range ordered {
+		placed := false
+		for _, pm := range orderedPMs {
+			if admitMulti(hosts[pm.ID], vm, pm, table, s.MaxVMsPerPM) {
+				hosts[pm.ID] = append(hosts[pm.ID], vm)
+				res.Assignments[vm.ID] = pm.ID
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			res.Unplaced = append(res.Unplaced, vm)
+		}
+	}
+	res.UsedPMs = len(hosts)
+	return res, nil
+}
+
+// admitMulti evaluates Eq. (17) independently in every dimension: for each
+// dimension dim, Σ R_b[dim] + maxRe[dim]·mapping(k+1) ≤ C[dim].
+func admitMulti(hosted []cloud.MultiVM, vm cloud.MultiVM, pm cloud.MultiPM, table *queuing.MappingTable, maxVMs int) bool {
+	k := len(hosted)
+	if k+1 > maxVMs {
+		return false
+	}
+	blocks := float64(table.Blocks(k + 1))
+	for dim := range pm.Capacity {
+		sumRb := vm.Rb[dim]
+		maxRe := vm.Re[dim]
+		for _, h := range hosted {
+			sumRb += h.Rb[dim]
+			if h.Re[dim] > maxRe {
+				maxRe = h.Re[dim]
+			}
+		}
+		if sumRb+maxRe*blocks > pm.Capacity[dim]+capEps {
+			return false
+		}
+	}
+	return true
+}
+
+func totalPeak(v cloud.MultiVM) float64 {
+	sum := 0.0
+	for _, p := range v.Rp() {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,231 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+	"repro/internal/queuing"
+)
+
+func mdVM(id int, rb, re cloud.ResourceVec) cloud.MultiVM {
+	return cloud.MultiVM{ID: id, POn: 0.01, POff: 0.09, Rb: rb, Re: re}
+}
+
+func mdPool(n int, caps cloud.ResourceVec) []cloud.MultiPM {
+	pms := make([]cloud.MultiPM, n)
+	for i := range pms {
+		pms[i] = cloud.MultiPM{ID: i, Capacity: caps.Clone()}
+	}
+	return pms
+}
+
+func paperMD() MultiDimFF {
+	return MultiDimFF{Rho: 0.01, MaxVMsPerPM: 16}
+}
+
+func TestMultiDimValidation(t *testing.T) {
+	vms := []cloud.MultiVM{mdVM(1, cloud.ResourceVec{10, 4}, cloud.ResourceVec{5, 2})}
+	pms := mdPool(1, cloud.ResourceVec{100, 50})
+	if _, err := paperMD().Place(nil, pms); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := paperMD().Place(vms, nil); err == nil {
+		t.Error("empty pool accepted")
+	}
+	if _, err := (MultiDimFF{Rho: 0.01}).Place(vms, pms); err == nil {
+		t.Error("missing MaxVMsPerPM accepted")
+	}
+	mixed := append(vms, mdVM(2, cloud.ResourceVec{1}, cloud.ResourceVec{1}))
+	if _, err := paperMD().Place(mixed, pms); err == nil {
+		t.Error("dimension mismatch among VMs accepted")
+	}
+	badPM := mdPool(1, cloud.ResourceVec{100})
+	if _, err := paperMD().Place(vms, badPM); err == nil {
+		t.Error("PM dimension mismatch accepted")
+	}
+	dup := []cloud.MultiVM{vms[0], vms[0]}
+	if _, err := paperMD().Place(dup, pms); err == nil {
+		t.Error("duplicate VM ids accepted")
+	}
+	dupPM := []cloud.MultiPM{pms[0], pms[0]}
+	if _, err := paperMD().Place(vms, dupPM); err == nil {
+		t.Error("duplicate PM ids accepted")
+	}
+	invalid := []cloud.MultiVM{{ID: 1, POn: 0, POff: 0.1, Rb: cloud.ResourceVec{1}, Re: cloud.ResourceVec{1}}}
+	if _, err := paperMD().Place(invalid, mdPool(1, cloud.ResourceVec{10})); err == nil {
+		t.Error("invalid VM accepted")
+	}
+	invalidPM := []cloud.MultiPM{{ID: 0, Capacity: cloud.ResourceVec{0}}}
+	if _, err := paperMD().Place([]cloud.MultiVM{mdVM(1, cloud.ResourceVec{1}, cloud.ResourceVec{1})}, invalidPM); err == nil {
+		t.Error("invalid PM accepted")
+	}
+}
+
+func TestMultiDimPlacesSimpleFleet(t *testing.T) {
+	vms := []cloud.MultiVM{
+		mdVM(1, cloud.ResourceVec{10, 4}, cloud.ResourceVec{5, 2}),
+		mdVM(2, cloud.ResourceVec{12, 6}, cloud.ResourceVec{4, 3}),
+		mdVM(3, cloud.ResourceVec{8, 5}, cloud.ResourceVec{6, 1}),
+	}
+	res, err := paperMD().Place(vms, mdPool(3, cloud.ResourceVec{100, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unplaced) != 0 {
+		t.Fatalf("unplaced: %v", res.Unplaced)
+	}
+	if res.UsedPMs != 1 {
+		t.Errorf("small fleet should share one PM, used %d", res.UsedPMs)
+	}
+	for id := 1; id <= 3; id++ {
+		if _, ok := res.Assignments[id]; !ok {
+			t.Errorf("VM %d missing from assignments", id)
+		}
+	}
+}
+
+func TestMultiDimDimensionBinds(t *testing.T) {
+	// Dimension 1 is scarce: each VM nearly fills it, forcing one VM per PM
+	// even though dimension 0 has room for all.
+	vms := []cloud.MultiVM{
+		mdVM(1, cloud.ResourceVec{5, 40}, cloud.ResourceVec{1, 5}),
+		mdVM(2, cloud.ResourceVec{5, 40}, cloud.ResourceVec{1, 5}),
+	}
+	res, err := paperMD().Place(vms, mdPool(2, cloud.ResourceVec{1000, 50}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UsedPMs != 2 {
+		t.Errorf("scarce dimension should force 2 PMs, used %d", res.UsedPMs)
+	}
+}
+
+func TestMultiDimRespectsEq17PerDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vms := make([]cloud.MultiVM, 60)
+	for i := range vms {
+		vms[i] = mdVM(i,
+			cloud.ResourceVec{2 + 18*rng.Float64(), 1 + 9*rng.Float64()},
+			cloud.ResourceVec{2 + 18*rng.Float64(), 1 + 9*rng.Float64()})
+	}
+	pms := mdPool(60, cloud.ResourceVec{90, 45})
+	s := paperMD()
+	res, err := s.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unplaced) != 0 {
+		t.Fatalf("%d unplaced", len(res.Unplaced))
+	}
+	table, err := queuing.NewMappingTable(16, 0.01, 0.09, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recompute Eq. (17) per dimension per PM by hand.
+	hosts := make(map[int][]cloud.MultiVM)
+	for _, vm := range vms {
+		hosts[res.Assignments[vm.ID]] = append(hosts[res.Assignments[vm.ID]], vm)
+	}
+	for pmID, hosted := range hosts {
+		blocks := float64(table.Blocks(len(hosted)))
+		for dim := 0; dim < 2; dim++ {
+			sumRb, maxRe := 0.0, 0.0
+			for _, vm := range hosted {
+				sumRb += vm.Rb[dim]
+				if vm.Re[dim] > maxRe {
+					maxRe = vm.Re[dim]
+				}
+			}
+			capDim := pms[0].Capacity[dim]
+			if sumRb+maxRe*blocks > capDim+1e-9 {
+				t.Errorf("PM %d dim %d: footprint %v > capacity %v", pmID, dim, sumRb+maxRe*blocks, capDim)
+			}
+		}
+	}
+}
+
+func TestMultiDimSortByTotalPeak(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	vms := make([]cloud.MultiVM, 80)
+	for i := range vms {
+		vms[i] = mdVM(i,
+			cloud.ResourceVec{2 + 18*rng.Float64(), 1 + 9*rng.Float64()},
+			cloud.ResourceVec{2 + 18*rng.Float64(), 1 + 9*rng.Float64()})
+	}
+	pms := mdPool(80, cloud.ResourceVec{90, 45})
+	ff, err := paperMD().Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffd := MultiDimFF{Rho: 0.01, MaxVMsPerPM: 16, SortByTotalPeak: true}
+	sorted, err := ffd.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Decreasing order cannot be *worse* in this workload family by much;
+	// assert both are valid and report counts (FFD usually ≤ FF).
+	if sorted.UsedPMs > ff.UsedPMs+2 {
+		t.Errorf("FFD used %d PMs vs FF %d — unexpectedly worse", sorted.UsedPMs, ff.UsedPMs)
+	}
+}
+
+func TestMultiDimUnplacedReported(t *testing.T) {
+	vms := []cloud.MultiVM{mdVM(1, cloud.ResourceVec{500}, cloud.ResourceVec{1})}
+	res, err := paperMD().Place(vms, mdPool(1, cloud.ResourceVec{100}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Unplaced) != 1 || res.Unplaced[0].ID != 1 {
+		t.Errorf("unplaced not reported: %v", res.Unplaced)
+	}
+	if res.UsedPMs != 0 {
+		t.Error("no PM should be used")
+	}
+}
+
+// Property: multi-dim placement respects the d cap and every VM is either
+// assigned or reported unplaced (never both, never neither).
+func TestPropMultiDimPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		d := 1 + rng.Intn(8)
+		vms := make([]cloud.MultiVM, n)
+		for i := range vms {
+			vms[i] = mdVM(i,
+				cloud.ResourceVec{2 + 18*rng.Float64(), 1 + 9*rng.Float64()},
+				cloud.ResourceVec{2 + 18*rng.Float64(), 1 + 9*rng.Float64()})
+		}
+		pms := mdPool(n, cloud.ResourceVec{90, 45})
+		s := MultiDimFF{Rho: 0.01, MaxVMsPerPM: d}
+		res, err := s.Place(vms, pms)
+		if err != nil {
+			return false
+		}
+		unplaced := make(map[int]bool)
+		for _, vm := range res.Unplaced {
+			unplaced[vm.ID] = true
+		}
+		perPM := make(map[int]int)
+		for _, vm := range vms {
+			pmID, assigned := res.Assignments[vm.ID]
+			if assigned == unplaced[vm.ID] {
+				return false // must be exactly one of the two
+			}
+			if assigned {
+				perPM[pmID]++
+			}
+		}
+		for _, count := range perPM {
+			if count > d {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

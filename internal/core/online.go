@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cloud"
+	"repro/internal/queuing"
+)
+
+// Online adapts QueuingFFD to the online situation of §IV-E: single VM
+// arrivals are placed on the first PM satisfying Eq. (17), departures simply
+// shrink the queue on the affected PM (the reservation is a function of the
+// host set, so it "recalculates" automatically), and batch arrivals reuse the
+// full Algorithm 2 ordering over the batch.
+//
+// Heterogeneous fleets round (p_on, p_off) per the strategy's policy; as the
+// paper notes, arrivals and departures drift the rounded values, so
+// RefreshTable supports the periodic recalculation it prescribes.
+type Online struct {
+	strategy QueuingFFD
+	table    *queuing.MappingTable
+	place    *cloud.Placement
+}
+
+// NewOnline creates an online consolidator over an (initially empty) PM pool.
+// The mapping table is seeded from the given switch probabilities.
+func NewOnline(strategy QueuingFFD, pms []cloud.PM, pOn, pOff float64) (*Online, error) {
+	if strategy.MaxVMsPerPM < 1 {
+		return nil, fmt.Errorf("core: online consolidator needs MaxVMsPerPM ≥ 1, got %d", strategy.MaxVMsPerPM)
+	}
+	table, err := queuing.NewMappingTable(strategy.MaxVMsPerPM, pOn, pOff, strategy.Rho)
+	if err != nil {
+		return nil, err
+	}
+	place, err := cloud.NewPlacement(pms)
+	if err != nil {
+		return nil, err
+	}
+	return &Online{strategy: strategy, table: table, place: place}, nil
+}
+
+// Placement exposes the live placement (callers must treat it as read-only;
+// use Arrive/Depart to mutate).
+func (o *Online) Placement() *cloud.Placement { return o.place }
+
+// Table exposes the current mapping table.
+func (o *Online) Table() *queuing.MappingTable { return o.table }
+
+// Arrive places one VM on the first PM satisfying Eq. (17) and returns the
+// chosen PM. It returns an error when no PM can admit the VM.
+func (o *Online) Arrive(vm cloud.VM) (int, error) {
+	if err := vm.Validate(); err != nil {
+		return 0, err
+	}
+	for _, pm := range o.place.PMs() {
+		if o.strategy.admit(o.place, vm, pm.ID, o.table) {
+			if err := o.place.Assign(vm, pm.ID); err != nil {
+				return 0, err
+			}
+			return pm.ID, nil
+		}
+	}
+	return 0, fmt.Errorf("core: no PM can admit VM %d under Eq. (17)", vm.ID)
+}
+
+// Depart removes a VM; the PM's queue size shrinks implicitly because the
+// reservation is recomputed from the remaining host set.
+func (o *Online) Depart(vmID int) error {
+	_, err := o.place.Remove(vmID)
+	return err
+}
+
+// ArriveBatch places a batch of new VMs using the same cluster-and-sort
+// scheme as Algorithm 2 ("when a batch of new VMs arrives, we use the same
+// scheme to place them"). VMs that fit nowhere are returned.
+func (o *Online) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
+	if err := cloud.ValidateVMs(vms); err != nil {
+		return nil, err
+	}
+	ordered, err := o.strategy.order(vms)
+	if err != nil {
+		return nil, err
+	}
+	for _, vm := range ordered {
+		if _, err := o.Arrive(vm); err != nil {
+			unplaced = append(unplaced, vm)
+		}
+	}
+	return unplaced, nil
+}
+
+// RefreshTable recomputes the mapping table from the currently placed fleet's
+// rounded switch probabilities — the periodic recalculation §IV-E calls for
+// when heterogeneous arrivals/departures drift the rounded values. It returns
+// an error (leaving the old table in place) when the placement is empty.
+func (o *Online) RefreshTable() error {
+	vms := o.place.VMs()
+	if len(vms) == 0 {
+		return fmt.Errorf("core: cannot refresh table from an empty placement")
+	}
+	pOn, pOff, err := RoundSwitchProbabilities(vms, o.strategy.Rounding)
+	if err != nil {
+		return err
+	}
+	table, err := queuing.NewMappingTable(o.strategy.MaxVMsPerPM, pOn, pOff, o.strategy.Rho)
+	if err != nil {
+		return err
+	}
+	o.table = table
+	return nil
+}
+
+// Overflows reports PMs whose current host set no longer satisfies Eq. (17)
+// with the current table — possible after RefreshTable tightens the mapping.
+// These PMs are migration candidates for the dynamic scheduler.
+func (o *Online) Overflows() []cloud.Violation {
+	return cloud.CheckReserved(o.place, o.table)
+}

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+)
+
+// Move is one step of a migration plan: relocate a VM between PMs.
+type Move struct {
+	VMID   int
+	FromPM int
+	ToPM   int
+}
+
+// Plan is an ordered migration plan taking a running cloud from its current
+// placement to a target placement. Order matters: a move is only emitted once
+// its target has room, so executing the plan front to back never transits
+// through an over-committed state (under the supplied admission check).
+// Cycles of mutually-blocking moves are broken by *staging*: relocating one
+// VM to a third PM with room, then continuing — so a VM may appear twice in
+// Moves (once to the staging PM, once to its final host).
+type Plan struct {
+	Moves []Move
+	// Staged counts the extra cycle-breaking relocations included in Moves.
+	Staged int
+	// Deferred lists VMs whose move could not be ordered safely even with
+	// staging (the whole pool is too full); they stay on their current PM.
+	Deferred []int
+}
+
+// PlanMigrations computes the minimal move set between two placements of the
+// same VM fleet over the same PM pool — every VM whose host differs — and
+// orders it so each move lands on a PM that, at execution time, satisfies
+// `fits(target, vm)` given the in-flight state. The §IV-E periodic
+// recalculation uses this to apply a fresh Algorithm 2 output to a running
+// system with as few live migrations as possible.
+func PlanMigrations(current, target *cloud.Placement, fits func(p *cloud.Placement, vm cloud.VM, pmID int) bool) (*Plan, error) {
+	if current.NumVMs() != target.NumVMs() {
+		return nil, fmt.Errorf("core: placements host different fleets (%d vs %d VMs)", current.NumVMs(), target.NumVMs())
+	}
+	var pending []Move
+	for _, vm := range current.VMs() {
+		fromPM, _ := current.PMOf(vm.ID)
+		toPM, ok := target.PMOf(vm.ID)
+		if !ok {
+			return nil, fmt.Errorf("core: VM %d missing from target placement", vm.ID)
+		}
+		if _, ok := target.VM(vm.ID); !ok {
+			return nil, fmt.Errorf("core: VM %d spec missing from target", vm.ID)
+		}
+		if fromPM != toPM {
+			pending = append(pending, Move{VMID: vm.ID, FromPM: fromPM, ToPM: toPM})
+		}
+	}
+	sort.Slice(pending, func(i, j int) bool { return pending[i].VMID < pending[j].VMID })
+
+	// Greedy topological ordering: repeatedly emit any pending move whose
+	// final target currently admits the VM. When a whole pass makes no
+	// progress (a cycle of full PMs), break it by staging: relocate one
+	// blocked VM to any third PM with room, then continue. Each VM stages at
+	// most once, which bounds the loop.
+	working := current.Clone()
+	plan := &Plan{}
+	staged := make(map[int]bool)
+	for len(pending) > 0 {
+		progressed := false
+		var still []Move
+		for _, mv := range pending {
+			vm, _ := working.VM(mv.VMID)
+			if fits(working, vm, mv.ToPM) {
+				// A staged VM departs from its staging PM, not its
+				// original host.
+				fromPM, _ := working.PMOf(mv.VMID)
+				if err := relocate(working, vm, mv.ToPM); err != nil {
+					return nil, err
+				}
+				plan.Moves = append(plan.Moves, Move{VMID: mv.VMID, FromPM: fromPM, ToPM: mv.ToPM})
+				progressed = true
+			} else {
+				still = append(still, mv)
+			}
+		}
+		pending = still
+		if progressed || len(pending) == 0 {
+			continue
+		}
+		// Deadlocked: stage the first eligible VM on a third PM.
+		if !stageOne(working, pending, staged, fits, plan) {
+			for _, mv := range pending {
+				plan.Deferred = append(plan.Deferred, mv.VMID)
+			}
+			break
+		}
+	}
+	return plan, nil
+}
+
+// relocate moves a VM within a working placement.
+func relocate(working *cloud.Placement, vm cloud.VM, toPM int) error {
+	if _, err := working.Remove(vm.ID); err != nil {
+		return err
+	}
+	return working.Assign(vm, toPM)
+}
+
+// stageOne breaks a move cycle by relocating one pending VM to a PM that is
+// neither its current host nor its final target. It records the staging move
+// and reports whether it succeeded.
+func stageOne(working *cloud.Placement, pending []Move, staged map[int]bool,
+	fits func(p *cloud.Placement, vm cloud.VM, pmID int) bool, plan *Plan) bool {
+	for _, mv := range pending {
+		if staged[mv.VMID] {
+			continue
+		}
+		vm, _ := working.VM(mv.VMID)
+		fromPM, _ := working.PMOf(mv.VMID)
+		for _, pm := range working.PMs() {
+			if pm.ID == fromPM || pm.ID == mv.ToPM {
+				continue
+			}
+			if !fits(working, vm, pm.ID) {
+				continue
+			}
+			if err := relocate(working, vm, pm.ID); err != nil {
+				return false
+			}
+			plan.Moves = append(plan.Moves, Move{VMID: vm.ID, FromPM: fromPM, ToPM: pm.ID})
+			plan.Staged++
+			staged[vm.ID] = true
+			return true
+		}
+	}
+	return false
+}
+
+// Reconsolidate runs the §IV-E periodic recalculation end to end: re-derive
+// the QueuingFFD placement for the currently hosted fleet (with freshly
+// rounded switch probabilities) and return the safe migration plan from the
+// running placement to it, alongside the new placement and mapping table.
+// PM ids are taken from the current placement's pool.
+func (s QueuingFFD) Reconsolidate(current *cloud.Placement) (*Plan, *Result, error) {
+	vms := current.VMs()
+	if len(vms) == 0 {
+		return nil, nil, fmt.Errorf("core: nothing to reconsolidate")
+	}
+	res, err := s.Place(vms, current.PMs())
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(res.Unplaced) > 0 {
+		return nil, nil, fmt.Errorf("core: reconsolidation left %d VMs unplaced", len(res.Unplaced))
+	}
+	table, err := s.Table(vms)
+	if err != nil {
+		return nil, nil, err
+	}
+	plan, err := PlanMigrations(current, res.Placement, func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
+		return s.admit(p, vm, pmID, table)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return plan, res, nil
+}

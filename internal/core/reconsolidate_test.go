@@ -1,0 +1,266 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+)
+
+// alwaysFits is the trivial admission check for pure plan-structure tests.
+func alwaysFits(*cloud.Placement, cloud.VM, int) bool { return true }
+
+func TestPlanMigrationsIdenticalPlacements(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	vms, pms := randomFleet(rng, 40)
+	res, err := paperQueue().Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanMigrations(res.Placement, res.Placement, alwaysFits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 || len(plan.Deferred) != 0 {
+		t.Errorf("identical placements need no moves, got %+v", plan)
+	}
+}
+
+func TestPlanMigrationsMinimalMoveSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	vms, pms := randomFleet(rng, 60)
+	a, err := FFDByRb{}.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := paperQueue().Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := PlanMigrations(a.Placement, b.Placement, alwaysFits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exactly the VMs whose hosts differ move, each at most once.
+	seen := make(map[int]bool)
+	for _, mv := range plan.Moves {
+		if seen[mv.VMID] {
+			t.Errorf("VM %d moved twice", mv.VMID)
+		}
+		seen[mv.VMID] = true
+		fromA, _ := a.Placement.PMOf(mv.VMID)
+		toB, _ := b.Placement.PMOf(mv.VMID)
+		if mv.FromPM != fromA || mv.ToPM != toB {
+			t.Errorf("move %+v disagrees with placements (%d → %d)", mv, fromA, toB)
+		}
+	}
+	for _, vm := range vms {
+		pa, _ := a.Placement.PMOf(vm.ID)
+		pb, _ := b.Placement.PMOf(vm.ID)
+		if (pa != pb) != seen[vm.ID] {
+			t.Errorf("VM %d: moved=%v but hosts differ=%v", vm.ID, seen[vm.ID], pa != pb)
+		}
+	}
+	if len(plan.Deferred) != 0 {
+		t.Errorf("alwaysFits should defer nothing, got %v", plan.Deferred)
+	}
+}
+
+func TestPlanMigrationsRespectsOrderingConstraint(t *testing.T) {
+	// Two PMs, each full with one big VM; targets swapped. With a strict
+	// capacity check and no spare PM, neither move can go first: both defer.
+	vms := []cloud.VM{mkVM(1, 90, 1), mkVM(2, 90, 1)}
+	pms := mkPool(2, 100)
+	cur, _ := cloud.NewPlacement(pms)
+	_ = cur.Assign(vms[0], 0)
+	_ = cur.Assign(vms[1], 1)
+	tgt, _ := cloud.NewPlacement(pms)
+	_ = tgt.Assign(vms[0], 1)
+	_ = tgt.Assign(vms[1], 0)
+	strict := func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
+		pm, _ := p.PM(pmID)
+		return p.SumRb(pmID)+vm.Rb <= pm.Capacity
+	}
+	plan, err := PlanMigrations(cur, tgt, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) != 0 {
+		t.Errorf("deadlocked swap emitted moves: %v", plan.Moves)
+	}
+	if len(plan.Deferred) != 2 {
+		t.Errorf("expected both VMs deferred, got %v", plan.Deferred)
+	}
+}
+
+func TestPlanMigrationsBreaksDeadlockWithSparePM(t *testing.T) {
+	// Same swap, but a third empty PM exists: the planner stages one VM
+	// there, completes the swap, and nothing defers. Exactly one extra
+	// (staging) move is paid.
+	vms := []cloud.VM{mkVM(1, 90, 1), mkVM(2, 90, 1)}
+	pms := mkPool(3, 100)
+	cur, _ := cloud.NewPlacement(pms)
+	_ = cur.Assign(vms[0], 0)
+	_ = cur.Assign(vms[1], 1)
+	tgt, _ := cloud.NewPlacement(pms)
+	_ = tgt.Assign(vms[0], 1)
+	_ = tgt.Assign(vms[1], 0)
+	strict := func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
+		pm, _ := p.PM(pmID)
+		return p.SumRb(pmID)+vm.Rb <= pm.Capacity
+	}
+	plan, err := PlanMigrations(cur, tgt, strict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Deferred) != 0 {
+		t.Fatalf("staging should resolve the swap, deferred %v", plan.Deferred)
+	}
+	if plan.Staged != 1 || len(plan.Moves) != 3 {
+		t.Errorf("expected 3 moves with 1 staged, got %d moves, %d staged", len(plan.Moves), plan.Staged)
+	}
+	// Execute and confirm the target is reached without ever exceeding
+	// capacity.
+	working := cur.Clone()
+	for _, mv := range plan.Moves {
+		vm, _ := working.VM(mv.VMID)
+		if !strict(working, vm, mv.ToPM) {
+			t.Fatalf("unsafe move %+v", mv)
+		}
+		if _, err := working.Remove(mv.VMID); err != nil {
+			t.Fatal(err)
+		}
+		if err := working.Assign(vm, mv.ToPM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vm := range vms {
+		got, _ := working.PMOf(vm.ID)
+		want, _ := tgt.PMOf(vm.ID)
+		if got != want {
+			t.Errorf("VM %d ends on PM %d, want %d", vm.ID, got, want)
+		}
+	}
+}
+
+func TestPlanMigrationsErrors(t *testing.T) {
+	pms := mkPool(2, 100)
+	a, _ := cloud.NewPlacement(pms)
+	_ = a.Assign(mkVM(1, 10, 1), 0)
+	b, _ := cloud.NewPlacement(pms)
+	if _, err := PlanMigrations(a, b, alwaysFits); err == nil {
+		t.Error("fleet-size mismatch accepted")
+	}
+	_ = b.Assign(mkVM(2, 10, 1), 0) // same count, different VM
+	if _, err := PlanMigrations(a, b, alwaysFits); err == nil {
+		t.Error("missing VM in target accepted")
+	}
+}
+
+func TestReconsolidateFromRBPlacement(t *testing.T) {
+	// Start from an RB packing (tight, violation-prone) and reconsolidate
+	// with QUEUE: the plan must land every VM on its QUEUE host, and the
+	// final placement must satisfy Eq. (17).
+	rng := rand.New(rand.NewSource(63))
+	vms, pms := randomFleet(rng, 80)
+	rb, err := FFDByRb{}.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := paperQueue()
+	plan, res, err := s.Reconsolidate(rb.Placement)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Moves) == 0 {
+		t.Fatal("RB → QUEUE reconsolidation should move VMs")
+	}
+	// Execute the plan on a copy and compare with the target for every
+	// non-deferred VM.
+	working := rb.Placement.Clone()
+	deferred := make(map[int]bool)
+	for _, id := range plan.Deferred {
+		deferred[id] = true
+	}
+	for _, mv := range plan.Moves {
+		vm, _ := working.VM(mv.VMID)
+		if _, err := working.Remove(mv.VMID); err != nil {
+			t.Fatal(err)
+		}
+		if err := working.Assign(vm, mv.ToPM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, vm := range vms {
+		if deferred[vm.ID] {
+			continue
+		}
+		got, _ := working.PMOf(vm.ID)
+		want, _ := res.Placement.PMOf(vm.ID)
+		if got != want {
+			t.Errorf("VM %d on PM %d after plan, target %d", vm.ID, got, want)
+		}
+	}
+	// With no deferrals the result satisfies Eq. (17) exactly like a fresh
+	// placement.
+	if len(plan.Deferred) == 0 {
+		table, _ := s.Table(vms)
+		if v := cloud.CheckReserved(working, table); v != nil {
+			t.Errorf("post-plan placement violates Eq. (17): %v", v)
+		}
+	}
+}
+
+func TestReconsolidateEmptyPlacement(t *testing.T) {
+	empty, _ := cloud.NewPlacement(mkPool(1, 100))
+	if _, _, err := paperQueue().Reconsolidate(empty); err == nil {
+		t.Error("empty placement accepted")
+	}
+}
+
+// Property: executing a plan's moves in order never violates the admission
+// predicate that generated it.
+func TestPropPlanIsSafeInOrder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vms, pms := randomFleet(rng, 20+rng.Intn(40))
+		rb, err := FFDByRb{}.Place(vms, pms)
+		if err != nil || len(rb.Unplaced) > 0 {
+			return false
+		}
+		s := paperQueue()
+		table, err := s.Table(vms)
+		if err != nil {
+			return false
+		}
+		fits := func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
+			return s.admit(p, vm, pmID, table)
+		}
+		target, err := s.Place(vms, pms)
+		if err != nil || len(target.Unplaced) > 0 {
+			return false
+		}
+		plan, err := PlanMigrations(rb.Placement, target.Placement, fits)
+		if err != nil {
+			return false
+		}
+		working := rb.Placement.Clone()
+		for _, mv := range plan.Moves {
+			vm, _ := working.VM(mv.VMID)
+			if !fits(working, vm, mv.ToPM) {
+				return false // plan emitted an unsafe move
+			}
+			if _, err := working.Remove(mv.VMID); err != nil {
+				return false
+			}
+			if err := working.Assign(vm, mv.ToPM); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

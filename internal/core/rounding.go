@@ -1,0 +1,78 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/cloud"
+)
+
+// RoundingPolicy selects how heterogeneous per-VM switch probabilities are
+// rounded to the uniform (p_on, p_off) MapCal requires (§IV-E: "if p_on and
+// p_off varies among VMs, we need to round them to uniform values").
+type RoundingPolicy int
+
+const (
+	// RoundMean uses the fleet averages — the balanced default.
+	RoundMean RoundingPolicy = iota
+	// RoundConservative maximises the stationary ON probability: the
+	// largest p_on paired with the smallest p_off, so the reservation never
+	// under-provisions any VM.
+	RoundConservative
+	// RoundMedian uses the fleet medians, robust to outlier VMs.
+	RoundMedian
+)
+
+// RoundSwitchProbabilities derives the uniform (p_on, p_off) for a fleet.
+// Uniform fleets pass through exactly regardless of policy.
+func RoundSwitchProbabilities(vms []cloud.VM, policy RoundingPolicy) (pOn, pOff float64, err error) {
+	if len(vms) == 0 {
+		return 0, 0, fmt.Errorf("core: no VMs to round")
+	}
+	uniform := true
+	for _, v := range vms[1:] {
+		if v.POn != vms[0].POn || v.POff != vms[0].POff {
+			uniform = false
+			break
+		}
+	}
+	if uniform {
+		return vms[0].POn, vms[0].POff, nil
+	}
+	switch policy {
+	case RoundMean:
+		var sumOn, sumOff float64
+		for _, v := range vms {
+			sumOn += v.POn
+			sumOff += v.POff
+		}
+		n := float64(len(vms))
+		return sumOn / n, sumOff / n, nil
+	case RoundConservative:
+		maxOn, minOff := 0.0, math.Inf(1)
+		for _, v := range vms {
+			maxOn = math.Max(maxOn, v.POn)
+			minOff = math.Min(minOff, v.POff)
+		}
+		return maxOn, minOff, nil
+	case RoundMedian:
+		return median(vms, func(v cloud.VM) float64 { return v.POn }),
+			median(vms, func(v cloud.VM) float64 { return v.POff }), nil
+	default:
+		return 0, 0, fmt.Errorf("core: unknown rounding policy %d", policy)
+	}
+}
+
+func median(vms []cloud.VM, key func(cloud.VM) float64) float64 {
+	vals := make([]float64, len(vms))
+	for i, v := range vms {
+		vals[i] = key(v)
+	}
+	sort.Float64s(vals)
+	n := len(vals)
+	if n%2 == 1 {
+		return vals[n/2]
+	}
+	return (vals[n/2-1] + vals[n/2]) / 2
+}

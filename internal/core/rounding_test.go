@@ -1,0 +1,122 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+func hv(id int, pOn, pOff float64) cloud.VM {
+	return cloud.VM{ID: id, POn: pOn, POff: pOff, Rb: 10, Re: 5}
+}
+
+func TestRoundUniformPassThrough(t *testing.T) {
+	vms := []cloud.VM{hv(1, 0.01, 0.09), hv(2, 0.01, 0.09)}
+	for _, policy := range []RoundingPolicy{RoundMean, RoundConservative, RoundMedian} {
+		pOn, pOff, err := RoundSwitchProbabilities(vms, policy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pOn != 0.01 || pOff != 0.09 {
+			t.Errorf("policy %d: uniform fleet not passed through: %v, %v", policy, pOn, pOff)
+		}
+	}
+}
+
+func TestRoundEmpty(t *testing.T) {
+	if _, _, err := RoundSwitchProbabilities(nil, RoundMean); err == nil {
+		t.Error("empty fleet accepted")
+	}
+}
+
+func TestRoundUnknownPolicy(t *testing.T) {
+	vms := []cloud.VM{hv(1, 0.01, 0.09), hv(2, 0.02, 0.08)}
+	if _, _, err := RoundSwitchProbabilities(vms, RoundingPolicy(42)); err == nil {
+		t.Error("unknown policy accepted")
+	}
+}
+
+func TestRoundMean(t *testing.T) {
+	vms := []cloud.VM{hv(1, 0.01, 0.10), hv(2, 0.03, 0.20)}
+	pOn, pOff, err := RoundSwitchProbabilities(vms, RoundMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pOn-0.02) > 1e-12 || math.Abs(pOff-0.15) > 1e-12 {
+		t.Errorf("mean rounding = (%v, %v), want (0.02, 0.15)", pOn, pOff)
+	}
+}
+
+func TestRoundConservative(t *testing.T) {
+	vms := []cloud.VM{hv(1, 0.01, 0.10), hv(2, 0.05, 0.30), hv(3, 0.02, 0.05)}
+	pOn, pOff, err := RoundSwitchProbabilities(vms, RoundConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOn != 0.05 || pOff != 0.05 {
+		t.Errorf("conservative rounding = (%v, %v), want (0.05, 0.05)", pOn, pOff)
+	}
+}
+
+func TestRoundMedianOdd(t *testing.T) {
+	vms := []cloud.VM{hv(1, 0.01, 0.10), hv(2, 0.05, 0.30), hv(3, 0.02, 0.20)}
+	pOn, pOff, err := RoundSwitchProbabilities(vms, RoundMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pOn != 0.02 || pOff != 0.20 {
+		t.Errorf("median rounding = (%v, %v), want (0.02, 0.20)", pOn, pOff)
+	}
+}
+
+func TestRoundMedianEven(t *testing.T) {
+	vms := []cloud.VM{hv(1, 0.01, 0.10), hv(2, 0.03, 0.30)}
+	pOn, pOff, err := RoundSwitchProbabilities(vms, RoundMedian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pOn-0.02) > 1e-12 || math.Abs(pOff-0.20) > 1e-12 {
+		t.Errorf("median rounding = (%v, %v), want (0.02, 0.20)", pOn, pOff)
+	}
+}
+
+func TestRoundConservativeGivesHigherOnProbability(t *testing.T) {
+	// Conservative rounding must yield a stationary ON probability at least
+	// as high as any individual VM's — the property that makes it safe.
+	vms := []cloud.VM{hv(1, 0.01, 0.30), hv(2, 0.04, 0.08), hv(3, 0.02, 0.15)}
+	pOn, pOff, err := RoundSwitchProbabilities(vms, RoundConservative)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounded := pOn / (pOn + pOff)
+	for _, v := range vms {
+		individual := v.POn / (v.POn + v.POff)
+		if rounded < individual-1e-12 {
+			t.Errorf("conservative π_ON %v below VM %d's %v", rounded, v.ID, individual)
+		}
+	}
+}
+
+func TestQueuingFFDHeterogeneousFleet(t *testing.T) {
+	// A heterogeneous fleet should place fine under every rounding policy
+	// and respect Eq. (17) with the rounded table.
+	vms := []cloud.VM{
+		hv(1, 0.01, 0.10), hv(2, 0.02, 0.08), hv(3, 0.015, 0.12),
+		hv(4, 0.01, 0.09), hv(5, 0.03, 0.07),
+	}
+	for _, policy := range []RoundingPolicy{RoundMean, RoundConservative, RoundMedian} {
+		s := QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16, Rounding: policy}
+		res, err := s.Place(vms, mkPool(5, 100))
+		if err != nil {
+			t.Fatalf("policy %d: %v", policy, err)
+		}
+		table, err := s.Table(vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v := cloud.CheckReserved(res.Placement, table); v != nil {
+			t.Errorf("policy %d: Eq. (17) violated: %v", policy, v)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+)
+
+func TestNormalQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.99, 2.326348},
+		{0.999, 3.090232},
+		{0.025, -1.959964},
+		{0.01, -2.326348},
+	}
+	for _, c := range cases {
+		got := normalQuantile(c.p)
+		if math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("normalQuantile(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestNormalQuantilePanicsOutOfRange(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("normalQuantile(%v) did not panic", p)
+				}
+			}()
+			normalQuantile(p)
+		}()
+	}
+}
+
+func TestNormalQuantileSymmetric(t *testing.T) {
+	for _, p := range []float64{0.01, 0.1, 0.3, 0.45} {
+		if d := normalQuantile(p) + normalQuantile(1-p); math.Abs(d) > 1e-8 {
+			t.Errorf("quantile not antisymmetric at %v: residual %v", p, d)
+		}
+	}
+}
+
+func TestDemandMoments(t *testing.T) {
+	vm := mkVM(0, 10, 5) // q = 0.1
+	if math.Abs(demandMean(vm)-10.5) > 1e-12 {
+		t.Errorf("mean = %v, want 10.5", demandMean(vm))
+	}
+	if math.Abs(demandVariance(vm)-0.1*0.9*25) > 1e-12 {
+		t.Errorf("variance = %v, want 2.25", demandVariance(vm))
+	}
+}
+
+func TestEffectiveSizingValidation(t *testing.T) {
+	vms := []cloud.VM{mkVM(1, 5, 5)}
+	pms := mkPool(1, 100)
+	for _, eps := range []float64{0, -0.1, 0.6} {
+		if _, err := (EffectiveSizing{Epsilon: eps}).Place(vms, pms); err == nil {
+			t.Errorf("epsilon %v accepted", eps)
+		}
+	}
+}
+
+func TestEffectiveSizingBetweenRBAndRP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 8; trial++ {
+		vms, pms := randomFleet(rng, 120)
+		sbp, err := EffectiveSizing{Epsilon: 0.01}.Place(vms, pms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, _ := FFDByRb{}.Place(vms, pms)
+		rp, _ := FFDByRp{}.Place(vms, pms)
+		if sbp.UsedPMs() < rb.UsedPMs() {
+			t.Errorf("trial %d: SBP %d < RB %d", trial, sbp.UsedPMs(), rb.UsedPMs())
+		}
+		if sbp.UsedPMs() > rp.UsedPMs() {
+			t.Errorf("trial %d: SBP %d > RP %d", trial, sbp.UsedPMs(), rp.UsedPMs())
+		}
+	}
+}
+
+func TestEffectiveSizingTighterEpsilonUsesMorePMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	vms, pms := randomFleet(rng, 150)
+	loose, err := EffectiveSizing{Epsilon: 0.2}.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := EffectiveSizing{Epsilon: 0.001}.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.UsedPMs() < loose.UsedPMs() {
+		t.Errorf("tight ε used %d PMs < loose ε %d", tight.UsedPMs(), loose.UsedPMs())
+	}
+}
+
+func TestEffectiveSizingRespectsCap(t *testing.T) {
+	vms := make([]cloud.VM, 10)
+	for i := range vms {
+		vms[i] = mkVM(i, 0.1, 0.1)
+	}
+	res, err := EffectiveSizing{Epsilon: 0.01, MaxVMsPerPM: 3}.Place(vms, mkPool(10, 1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pmID := range res.Placement.UsedPMs() {
+		if res.Placement.CountOn(pmID) > 3 {
+			t.Errorf("PM %d hosts %d VMs, cap is 3", pmID, res.Placement.CountOn(pmID))
+		}
+	}
+}
+
+// The statistical guarantee: a PM packed by SBP has instantaneous overflow
+// probability ≈ ε under the stationary demand distribution.
+func TestEffectiveSizingOverflowProbability(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	vms, pms := randomFleet(rng, 200)
+	const eps = 0.05
+	res, err := EffectiveSizing{Epsilon: eps}.Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := res.Placement
+	// Empirically sample stationary demand on each PM with ≥ 4 VMs (the
+	// normal approximation needs some aggregation).
+	for _, pmID := range p.UsedPMs() {
+		hosted := p.VMsOn(pmID)
+		if len(hosted) < 4 {
+			continue
+		}
+		pm, _ := p.PM(pmID)
+		overflow := 0
+		const samples = 20000
+		for s := 0; s < samples; s++ {
+			load := 0.0
+			for _, vm := range hosted {
+				load += vm.Rb
+				if rng.Float64() < vm.POn/(vm.POn+vm.POff) {
+					load += vm.Re
+				}
+			}
+			if load > pm.Capacity {
+				overflow++
+			}
+		}
+		frac := float64(overflow) / samples
+		if frac > eps*3+0.01 {
+			t.Errorf("PM %d overflow fraction %v far above ε=%v", pmID, frac, eps)
+		}
+	}
+}
+
+// Property: SBP placements are valid and deterministic.
+func TestPropEffectiveSizingDeterministic(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		vms, pms := randomFleet(rng, 20+rng.Intn(60))
+		a, err := EffectiveSizing{Epsilon: 0.01}.Place(vms, pms)
+		if err != nil {
+			return false
+		}
+		b, err := EffectiveSizing{Epsilon: 0.01}.Place(vms, pms)
+		if err != nil {
+			return false
+		}
+		if a.UsedPMs() != b.UsedPMs() {
+			return false
+		}
+		for _, vm := range vms {
+			pa, oka := a.Placement.PMOf(vm.ID)
+			pb, okb := b.Placement.PMOf(vm.ID)
+			if oka != okb || pa != pb {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

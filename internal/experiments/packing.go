@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// generateScenario samples a Fig. 5 scenario: n VMs of the given pattern and
+// a generously sized PM pool with C ∈ [80, 100].
+func generateScenario(opt Options, pattern workload.Pattern, n int, rng *rand.Rand) ([]cloud.VM, []cloud.PM, error) {
+	vms, err := workload.GenerateVMs(opt.fleetParams(pattern, n), rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	pms, err := workload.GeneratePMs(n, 80, 100, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	return vms, pms, nil
+}
+
+// strategies returns the three packing strategies of Fig. 5 in presentation
+// order: QUEUE, RP, RB.
+func (o Options) strategies() []core.Strategy {
+	return []core.Strategy{
+		core.QueuingFFD{Rho: o.Rho, MaxVMsPerPM: o.D},
+		core.FFDByRp{},
+		core.FFDByRb{},
+	}
+}
+
+// runFig5 regenerates Figure 5(a–c): the number of PMs used by QUEUE, RP and
+// RB for each workload pattern across fleet sizes, plus QUEUE's reduction
+// ratio vs RP (the paper's 30%/45%/18% headline).
+func runFig5(opt Options) error {
+	panels := []struct {
+		label   string
+		pattern workload.Pattern
+	}{
+		{"Figure 5(a) — " + workload.PatternEqual.String() + " (normal spike size)", workload.PatternEqual},
+		{"Figure 5(b) — " + workload.PatternSmallSpike.String() + " (small spike size)", workload.PatternSmallSpike},
+		{"Figure 5(c) — " + workload.PatternLargeSpike.String() + " (large spike size)", workload.PatternLargeSpike},
+	}
+	for _, panel := range panels {
+		tab := metrics.NewTable(panel.label, "n", "QUEUE", "RP", "RB", "QUEUE saving vs RP")
+		for _, n := range opt.VMCounts {
+			rng := rand.New(rand.NewSource(opt.Seed + int64(n)))
+			vms, pms, err := generateScenario(opt, panel.pattern, n, rng)
+			if err != nil {
+				return err
+			}
+			used := make(map[string]int, 3)
+			for _, s := range opt.strategies() {
+				res, err := s.Place(vms, pms)
+				if err != nil {
+					return err
+				}
+				if len(res.Unplaced) > 0 {
+					return fmt.Errorf("fig5: %s left %d VMs unplaced at n=%d", s.Name(), len(res.Unplaced), n)
+				}
+				used[s.Name()] = res.UsedPMs()
+			}
+			saving := 1 - float64(used["QUEUE"])/float64(used["RP"])
+			tab.AddRow(n, used["QUEUE"], used["RP"], used["RB"], fmt.Sprintf("%.1f%%", saving*100))
+		}
+		if _, err := fmt.Fprint(opt.Out, tab.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runFig7 regenerates Figure 7: the wall-clock computation cost of
+// Algorithm 2 (mapping-table precomputation + cluster/sort/placement) for
+// various d and n values.
+func runFig7(opt Options) error {
+	tab := metrics.NewTable("Figure 7 — computation cost of Algorithm 2 (ms)",
+		append([]string{"d \\ n"}, headerInts(opt.VMCounts)...)...)
+	for _, d := range []int{4, 8, 16, 32} {
+		row := []interface{}{d}
+		for _, n := range opt.VMCounts {
+			rng := rand.New(rand.NewSource(opt.Seed + int64(d*10000+n)))
+			vms, pms, err := generateScenario(opt, workload.PatternEqual, n, rng)
+			if err != nil {
+				return err
+			}
+			s := core.QueuingFFD{Rho: opt.Rho, MaxVMsPerPM: d}
+			start := time.Now()
+			if _, err := s.Place(vms, pms); err != nil {
+				return err
+			}
+			row = append(row, fmt.Sprintf("%.2f", float64(time.Since(start).Microseconds())/1000))
+		}
+		tab.AddRow(row...)
+	}
+	_, err := fmt.Fprint(opt.Out, tab.String())
+	return err
+}
+
+func headerInts(ns []int) []string {
+	out := make([]string, len(ns))
+	for i, n := range ns {
+		out[i] = fmt.Sprintf("n=%d", n)
+	}
+	return out
+}

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"bytes"
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelMapOrdered(t *testing.T) {
+	got, err := parallelMap(50, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i*i {
+			t.Fatalf("result[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelMapSequentialPath(t *testing.T) {
+	got, err := parallelMap(5, 1, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 || got[4] != 4 {
+		t.Errorf("sequential results wrong: %v", got)
+	}
+}
+
+func TestParallelMapZeroTasks(t *testing.T) {
+	got, err := parallelMap(0, 4, func(i int) (int, error) { return 0, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("expected empty results, got %v", got)
+	}
+}
+
+func TestParallelMapNegativeTasks(t *testing.T) {
+	if _, err := parallelMap(-1, 4, func(i int) (int, error) { return 0, nil }); err == nil {
+		t.Error("negative task count accepted")
+	}
+}
+
+func TestParallelMapErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := parallelMap(20, 4, func(i int) (int, error) {
+		if i == 13 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("expected boom, got %v", err)
+	}
+	// Sequential path fails fast too.
+	_, err = parallelMap(20, 1, func(i int) (int, error) {
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("sequential path: expected boom, got %v", err)
+	}
+}
+
+func TestParallelMapAllTasksRunOnce(t *testing.T) {
+	var count int64
+	ran := make([]int64, 100)
+	_, err := parallelMap(100, 7, func(i int) (struct{}, error) {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt64(&ran[i], 1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Errorf("ran %d tasks, want 100", count)
+	}
+	for i, c := range ran {
+		if c != 1 {
+			t.Errorf("task %d ran %d times", i, c)
+		}
+	}
+}
+
+func TestParallelMapDefaultWorkers(t *testing.T) {
+	got, err := parallelMap(10, 0, func(i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Errorf("results length %d", len(got))
+	}
+}
+
+// fig9 must produce identical numbers whether trials run sequentially or in
+// parallel — the determinism contract of the per-trial seeding.
+func TestFig9DeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) string {
+		var buf bytes.Buffer
+		opt := smallOptions(&buf)
+		opt.Workers = workers
+		if err := Run("fig9", opt); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	sequential := run(1)
+	parallel := run(8)
+	if sequential != parallel {
+		t.Error("fig9 output differs between sequential and parallel execution")
+	}
+}
+
+func TestOptionsRejectNegativeWorkers(t *testing.T) {
+	var buf bytes.Buffer
+	o := smallOptions(&buf)
+	o.Workers = -2
+	if _, err := o.withDefaults(); err == nil {
+		t.Error("negative workers accepted")
+	}
+}

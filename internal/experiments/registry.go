@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Experiment is one reproducible paper artifact.
+type Experiment struct {
+	// ID is the paper artifact id ("fig5", "tab1", …).
+	ID string
+	// Description says what the artifact shows.
+	Description string
+	// Run executes the experiment, writing results to opt.Out.
+	Run func(opt Options) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic(fmt.Sprintf("experiments: duplicate id %q", e.ID))
+	}
+	registry[e.ID] = e
+}
+
+func init() {
+	register(Experiment{"fig1", "sample bursty workload trace with normal/peak provisioning levels", runFig1})
+	register(Experiment{"tab1", "Table I — experiment settings on workload patterns", runTab1})
+	register(Experiment{"fig5", "packing result: PMs used by QUEUE vs RP vs RB per pattern", runFig5})
+	register(Experiment{"fig6", "runtime CVR per placement without live migration", runFig6})
+	register(Experiment{"fig7", "computation cost of Algorithm 2 for various d and n", runFig7})
+	register(Experiment{"fig8", "sample generated web-request workload", runFig8})
+	register(Experiment{"fig9", "migrations and PMs used with live migration (avg/min/max over trials)", runFig9})
+	register(Experiment{"fig10", "time-order pattern of migration events", runFig10})
+}
+
+// List returns all experiments sorted by id (figures first, then tables,
+// both in numeric order).
+func List() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return artifactKey(out[i].ID) < artifactKey(out[j].ID) })
+	return out
+}
+
+// artifactKey sorts fig1 < fig5 < fig10 < tab1 (numeric within kind).
+func artifactKey(id string) string {
+	var kind string
+	var num int
+	if _, err := fmt.Sscanf(id, "fig%d", &num); err == nil {
+		kind = "a-fig"
+	} else if _, err := fmt.Sscanf(id, "tab%d", &num); err == nil {
+		kind = "b-tab"
+	} else {
+		return "z-" + id
+	}
+	return fmt.Sprintf("%s-%04d", kind, num)
+}
+
+// Run executes the experiment with the given id.
+func Run(id string, opt Options) error {
+	e, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, ids())
+	}
+	opt, err := opt.withDefaults()
+	if err != nil {
+		return err
+	}
+	return e.Run(opt)
+}
+
+// RunAll executes every registered experiment in List order.
+func RunAll(opt Options) error {
+	for _, e := range List() {
+		o, err := opt.withDefaults()
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(o.Out, "=== %s — %s ===\n", e.ID, e.Description)
+		if err := e.Run(o); err != nil {
+			return fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		fmt.Fprintln(o.Out)
+	}
+	return nil
+}
+
+func ids() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/markov"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// runFig1 regenerates Figure 1: a sample workload trace of one bursty VM,
+// annotated with the two provisioning levels (normal R_b and peak R_p).
+func runFig1(opt Options) error {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	vm := cloud.VM{ID: 0, POn: opt.POn, POff: opt.POff, Rb: 10, Re: 10}
+	trace, err := workload.GenerateDemandTrace(vm, opt.TraceLen, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "VM: p_on=%g p_off=%g R_b=%g R_e=%g (R_p=%g)\n",
+		vm.POn, vm.POff, vm.Rb, vm.Re, vm.Rp())
+	fmt.Fprintf(opt.Out, "provisioning for peak workload:   %g\n", vm.Rp())
+	fmt.Fprintf(opt.Out, "provisioning for normal workload: %g\n", vm.Rb)
+	fmt.Fprintf(opt.Out, "demand over %d intervals: %s\n", trace.Len(), metrics.Sparkline(trace.Demand))
+	fmt.Fprintf(opt.Out, "time at peak: %.1f%% (stationary %.1f%%)\n",
+		trace.PeakFraction()*100, vm.POn/(vm.POn+vm.POff)*100)
+	bursts := markov.Bursts(trace.States)
+	fmt.Fprintf(opt.Out, "spikes: %d, mean duration %.2f intervals (theory %.2f)\n",
+		len(bursts), markov.MeanBurstLength(trace.States), 1/vm.POff)
+	return nil
+}
+
+// runTab1 regenerates Table I: the workload-pattern settings of §V-D.
+func runTab1(opt Options) error {
+	tab := metrics.NewTable("Table I — experiment settings on workload patterns",
+		"pattern", "R_b", "R_e", "normal capability (users)", "peak capability (users)")
+	for _, e := range workload.TableI() {
+		tab.AddRow(e.Pattern.String(), e.RbClass.String(), e.ReClass.String(),
+			e.NormalUsers(), e.PeakUsers())
+	}
+	_, err := fmt.Fprint(opt.Out, tab.String())
+	return err
+}
+
+// runFig8 regenerates Figure 8: a sample of the generated request workload
+// for a Table I specification, driven by users with exponential think time
+// (mean 1 s, floor 0.1 s).
+func runFig8(opt Options) error {
+	rng := rand.New(rand.NewSource(opt.Seed))
+	entry := workload.TableIEntry{
+		Pattern: workload.PatternEqual,
+		RbClass: workload.ClassSmall,
+		ReClass: workload.ClassSmall,
+	}
+	tt := workload.PaperThinkTime()
+	trace, err := workload.GenerateRequestTrace(entry, opt.POn, opt.POff, opt.TraceLen, 30, tt, false, rng)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(opt.Out, "spec: %s R_b (%d users) / %s R_e (peak %d users), σ=30s, think time Exp(%g)≥%g\n",
+		entry.RbClass, entry.NormalUsers(), entry.ReClass, entry.PeakUsers(), tt.Mean, tt.Floor)
+	reqs := make([]float64, trace.Len())
+	var normal, peak []float64
+	for i, r := range trace.Requests {
+		reqs[i] = float64(r)
+		if trace.States[i] == markov.On {
+			peak = append(peak, float64(r))
+		} else {
+			normal = append(normal, float64(r))
+		}
+	}
+	fmt.Fprintf(opt.Out, "requests per interval: %s\n", metrics.Sparkline(reqs))
+	ns, ps := metrics.Summarize(normal), metrics.Summarize(peak)
+	rate := tt.RequestRate()
+	fmt.Fprintf(opt.Out, "normal intervals: n=%d mean %.0f req (theory %.0f)\n",
+		ns.N, ns.Mean, float64(entry.NormalUsers())*rate*30)
+	if ps.N > 0 {
+		fmt.Fprintf(opt.Out, "spike intervals:  n=%d mean %.0f req (theory %.0f)\n",
+			ps.N, ps.Mean, float64(entry.PeakUsers())*rate*30)
+	} else {
+		fmt.Fprintln(opt.Out, "spike intervals:  none in this sample")
+	}
+	return nil
+}

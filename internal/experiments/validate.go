@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/queuing"
+)
+
+// runValidate cross-checks the analytic machinery behind Figs. 2–4 and
+// Eqs. (12)–(16): for a grid of (k, p_on, p_off, ρ), MapCal's stationary
+// blocking probability is compared against a long simulation of the
+// underlying finite-source queue. The table's "max |Δ|" column is the paper's
+// correctness claim made measurable.
+func runValidate(opt Options) error {
+	type gridPoint struct {
+		k         int
+		pOn, pOff float64
+		rho       float64
+	}
+	var grid []gridPoint
+	for _, k := range []int{4, 8, 16} {
+		for _, probs := range [][2]float64{{0.01, 0.09}, {0.05, 0.15}, {0.1, 0.3}} {
+			for _, rho := range []float64{0.01, 0.05} {
+				grid = append(grid, gridPoint{k, probs[0], probs[1], rho})
+			}
+		}
+	}
+	const steps = 200000
+	tab := metrics.NewTable(
+		fmt.Sprintf("Validation — analytic vs simulated CVR (%d steps per point)", steps),
+		"k", "p_on", "p_off", "rho", "K", "analytic CVR", "simulated CVR", "|Δ|")
+	worst := 0.0
+	// Points are independent: evaluate them across the worker pool.
+	type pointResult struct {
+		g         gridPoint
+		kBlocks   int
+		analytic  float64
+		simulated float64
+	}
+	results, err := parallelMap(len(grid), opt.Workers, func(i int) (pointResult, error) {
+		g := grid[i]
+		res, err := queuing.MapCal(g.k, g.pOn, g.pOff, g.rho)
+		if err != nil {
+			return pointResult{}, err
+		}
+		q, err := queuing.NewGeomGeomK(g.k, res.K, g.pOn, g.pOff)
+		if err != nil {
+			return pointResult{}, err
+		}
+		stats, err := q.SimulateCVR(steps, rand.New(rand.NewSource(opt.Seed+int64(i))))
+		if err != nil {
+			return pointResult{}, err
+		}
+		return pointResult{g: g, kBlocks: res.K, analytic: res.CVR, simulated: stats.EmpiricalCVR}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		delta := math.Abs(r.analytic - r.simulated)
+		if delta > worst {
+			worst = delta
+		}
+		tab.AddRow(r.g.k, r.g.pOn, r.g.pOff, r.g.rho, r.kBlocks, r.analytic, r.simulated, delta)
+	}
+	if _, err := fmt.Fprint(opt.Out, tab.String()); err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(opt.Out, "\nworst |analytic − simulated| across the grid: %.5f\n", worst)
+	return err
+}
+
+func init() {
+	register(Experiment{"validate", "extension: analytic CVR vs simulation across a parameter grid", runValidate})
+}

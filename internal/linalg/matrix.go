@@ -1,0 +1,242 @@
+// Package linalg provides the small dense linear-algebra kernel used by the
+// queuing-theory machinery: dense matrices, Gaussian elimination with partial
+// pivoting, stationary-distribution solvers for stochastic matrices, and
+// power iteration. It is deliberately minimal — the chains produced by the
+// consolidation algorithms are (k+1)×(k+1) with k ≤ a few dozen — and favours
+// numerical robustness and clear failure modes over raw speed.
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	rows, cols int
+	data       []float64
+}
+
+// NewMatrix returns a zero-valued rows×cols matrix.
+// It panics if rows or cols is not positive.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("linalg: invalid matrix dimensions %dx%d", rows, cols))
+	}
+	return &Matrix{rows: rows, cols: cols, data: make([]float64, rows*cols)}
+}
+
+// NewMatrixFromRows builds a matrix from row slices. All rows must have the
+// same length. The data is copied.
+func NewMatrixFromRows(rows [][]float64) (*Matrix, error) {
+	if len(rows) == 0 || len(rows[0]) == 0 {
+		return nil, errors.New("linalg: empty row data")
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.cols {
+			return nil, fmt.Errorf("linalg: row %d has %d entries, want %d", i, len(r), m.cols)
+		}
+		copy(m.data[i*m.cols:(i+1)*m.cols], r)
+	}
+	return m, nil
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, 1)
+	}
+	return m
+}
+
+// Rows returns the number of rows.
+func (m *Matrix) Rows() int { return m.rows }
+
+// Cols returns the number of columns.
+func (m *Matrix) Cols() int { return m.cols }
+
+// At returns the element at (i, j). It panics on out-of-range indices.
+func (m *Matrix) At(i, j int) float64 {
+	m.check(i, j)
+	return m.data[i*m.cols+j]
+}
+
+// Set assigns the element at (i, j). It panics on out-of-range indices.
+func (m *Matrix) Set(i, j int, v float64) {
+	m.check(i, j)
+	m.data[i*m.cols+j] = v
+}
+
+func (m *Matrix) check(i, j int) {
+	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	}
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.rows, m.cols)
+	copy(out.data, m.data)
+	return out
+}
+
+// Row returns a copy of row i.
+func (m *Matrix) Row(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("linalg: row %d out of range for %dx%d matrix", i, m.rows, m.cols))
+	}
+	out := make([]float64, m.cols)
+	copy(out, m.data[i*m.cols:(i+1)*m.cols])
+	return out
+}
+
+// Col returns a copy of column j.
+func (m *Matrix) Col(j int) []float64 {
+	if j < 0 || j >= m.cols {
+		panic(fmt.Sprintf("linalg: col %d out of range for %dx%d matrix", j, m.rows, m.cols))
+	}
+	out := make([]float64, m.rows)
+	for i := 0; i < m.rows; i++ {
+		out[i] = m.data[i*m.cols+j]
+	}
+	return out
+}
+
+// Transpose returns a new matrix that is the transpose of m.
+func (m *Matrix) Transpose() *Matrix {
+	out := NewMatrix(m.cols, m.rows)
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			out.Set(j, i, m.At(i, j))
+		}
+	}
+	return out
+}
+
+// Mul returns the matrix product m·other.
+func (m *Matrix) Mul(other *Matrix) (*Matrix, error) {
+	if m.cols != other.rows {
+		return nil, fmt.Errorf("linalg: cannot multiply %dx%d by %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	out := NewMatrix(m.rows, other.cols)
+	for i := 0; i < m.rows; i++ {
+		mi := m.data[i*m.cols : (i+1)*m.cols]
+		oi := out.data[i*other.cols : (i+1)*other.cols]
+		for kk, a := range mi {
+			if a == 0 {
+				continue
+			}
+			ok := other.data[kk*other.cols : (kk+1)*other.cols]
+			for j, b := range ok {
+				oi[j] += a * b
+			}
+		}
+	}
+	return out, nil
+}
+
+// VecMul returns the row-vector product v·m (v interpreted as a 1×rows
+// vector), the operation that advances a probability distribution one step
+// through a transition matrix.
+func (m *Matrix) VecMul(v []float64) ([]float64, error) {
+	if len(v) != m.rows {
+		return nil, fmt.Errorf("linalg: vector length %d does not match %d rows", len(v), m.rows)
+	}
+	out := make([]float64, m.cols)
+	for i, a := range v {
+		if a == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, b := range row {
+			out[j] += a * b
+		}
+	}
+	return out, nil
+}
+
+// Pow returns m raised to the t-th power via exponentiation by squaring.
+// t must be non-negative; Pow(0) is the identity.
+func (m *Matrix) Pow(t int) (*Matrix, error) {
+	if m.rows != m.cols {
+		return nil, fmt.Errorf("linalg: cannot exponentiate non-square %dx%d matrix", m.rows, m.cols)
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("linalg: negative exponent %d", t)
+	}
+	result := Identity(m.rows)
+	base := m.Clone()
+	for t > 0 {
+		if t&1 == 1 {
+			r, err := result.Mul(base)
+			if err != nil {
+				return nil, err
+			}
+			result = r
+		}
+		b, err := base.Mul(base)
+		if err != nil {
+			return nil, err
+		}
+		base = b
+		t >>= 1
+	}
+	return result, nil
+}
+
+// MaxAbsDiff returns the maximum absolute element-wise difference between two
+// matrices of identical shape.
+func (m *Matrix) MaxAbsDiff(other *Matrix) (float64, error) {
+	if m.rows != other.rows || m.cols != other.cols {
+		return 0, fmt.Errorf("linalg: shape mismatch %dx%d vs %dx%d", m.rows, m.cols, other.rows, other.cols)
+	}
+	max := 0.0
+	for i, v := range m.data {
+		d := math.Abs(v - other.data[i])
+		if d > max {
+			max = d
+		}
+	}
+	return max, nil
+}
+
+// IsStochastic reports whether every entry is in [−tol, 1+tol] and every row
+// sums to 1 within tol, i.e. whether m is a valid one-step transition matrix.
+func (m *Matrix) IsStochastic(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		sum := 0.0
+		for j := 0; j < m.cols; j++ {
+			v := m.At(i, j)
+			if v < -tol || v > 1+tol || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.rows; i++ {
+		for j := 0; j < m.cols; j++ {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%10.6f", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

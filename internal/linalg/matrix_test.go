@@ -1,0 +1,340 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows() != 3 || m.Cols() != 4 {
+		t.Fatalf("got %dx%d, want 3x4", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			if m.At(i, j) != 0 {
+				t.Errorf("At(%d,%d) = %v, want 0", i, j, m.At(i, j))
+			}
+		}
+	}
+}
+
+func TestNewMatrixPanicsOnBadDims(t *testing.T) {
+	for _, dims := range [][2]int{{0, 1}, {1, 0}, {-1, 2}, {2, -3}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewMatrix(%d,%d) did not panic", dims[0], dims[1])
+				}
+			}()
+			NewMatrix(dims[0], dims[1])
+		}()
+	}
+}
+
+func TestNewMatrixFromRows(t *testing.T) {
+	m, err := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(0, 1) != 2 || m.At(1, 0) != 3 {
+		t.Errorf("unexpected contents: %v", m)
+	}
+}
+
+func TestNewMatrixFromRowsErrors(t *testing.T) {
+	if _, err := NewMatrixFromRows(nil); err == nil {
+		t.Error("expected error for nil rows")
+	}
+	if _, err := NewMatrixFromRows([][]float64{{}}); err == nil {
+		t.Error("expected error for empty first row")
+	}
+	if _, err := NewMatrixFromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+}
+
+func TestSetAt(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(1, 0, 7.5)
+	if m.At(1, 0) != 7.5 {
+		t.Errorf("At(1,0) = %v, want 7.5", m.At(1, 0))
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, idx := range [][2]int{{-1, 0}, {0, -1}, {2, 0}, {0, 2}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d,%d) did not panic", idx[0], idx[1])
+				}
+			}()
+			m.At(idx[0], idx[1])
+		}()
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	id := Identity(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if id.At(i, j) != want {
+				t.Errorf("Identity(4).At(%d,%d) = %v, want %v", i, j, id.At(i, j), want)
+			}
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) != 1 {
+		t.Error("Clone shares storage with original")
+	}
+}
+
+func TestRowColCopies(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Error("Row returned a view, want a copy")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Errorf("Col(1) = %v, want [2 4]", c)
+	}
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Error("Col returned a view, want a copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.Transpose()
+	if tr.Rows() != 3 || tr.Cols() != 2 {
+		t.Fatalf("transpose shape %dx%d, want 3x2", tr.Rows(), tr.Cols())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Errorf("transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMul(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Errorf("Mul At(%d,%d) = %v, want %v", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulShapeError(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Error("expected shape-mismatch error")
+	}
+}
+
+func TestVecMul(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{0.5, 0.5}, {0.2, 0.8}})
+	v, err := m.VecMul([]float64{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(v[0], 0.5, 1e-15) || !almostEqual(v[1], 0.5, 1e-15) {
+		t.Errorf("VecMul = %v, want [0.5 0.5]", v)
+	}
+	if _, err := m.VecMul([]float64{1}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+}
+
+func TestPow(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1, 1}, {0, 1}})
+	p, err := m.Pow(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// [[1,1],[0,1]]^n = [[1,n],[0,1]]
+	if p.At(0, 1) != 5 {
+		t.Errorf("Pow(5) upper-right = %v, want 5", p.At(0, 1))
+	}
+	p0, _ := m.Pow(0)
+	if d, _ := p0.MaxAbsDiff(Identity(2)); d != 0 {
+		t.Error("Pow(0) should be identity")
+	}
+	if _, err := m.Pow(-1); err == nil {
+		t.Error("expected error for negative exponent")
+	}
+	rect := NewMatrix(2, 3)
+	if _, err := rect.Pow(2); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+func TestIsStochastic(t *testing.T) {
+	good, _ := NewMatrixFromRows([][]float64{{0.3, 0.7}, {0.5, 0.5}})
+	if !good.IsStochastic(1e-12) {
+		t.Error("valid stochastic matrix rejected")
+	}
+	badSum, _ := NewMatrixFromRows([][]float64{{0.3, 0.6}, {0.5, 0.5}})
+	if badSum.IsStochastic(1e-12) {
+		t.Error("row sum 0.9 accepted")
+	}
+	neg, _ := NewMatrixFromRows([][]float64{{-0.1, 1.1}, {0.5, 0.5}})
+	if neg.IsStochastic(1e-12) {
+		t.Error("negative entry accepted")
+	}
+	rect := NewMatrix(2, 3)
+	if rect.IsStochastic(1e-12) {
+		t.Error("non-square matrix accepted")
+	}
+}
+
+func TestMaxAbsDiff(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := NewMatrixFromRows([][]float64{{1, 2.5}, {3, 4}})
+	d, err := a.MaxAbsDiff(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0.5 {
+		t.Errorf("MaxAbsDiff = %v, want 0.5", d)
+	}
+	c := NewMatrix(3, 2)
+	if _, err := a.MaxAbsDiff(c); err == nil {
+		t.Error("expected shape-mismatch error")
+	}
+}
+
+func TestStringContainsEntries(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{{1.5}})
+	if got := m.String(); got == "" {
+		t.Error("String returned empty")
+	}
+}
+
+// Property: (A·B)ᵀ = Bᵀ·Aᵀ for random square matrices.
+func TestPropTransposeOfProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		b := randomMatrix(rng, n, n)
+		ab, _ := a.Mul(b)
+		left := ab.Transpose()
+		right, _ := b.Transpose().Mul(a.Transpose())
+		d, _ := left.MaxAbsDiff(right)
+		return d < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: A·I = I·A = A.
+func TestPropIdentityNeutral(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomMatrix(rng, n, n)
+		id := Identity(n)
+		l, _ := a.Mul(id)
+		r, _ := id.Mul(a)
+		dl, _ := l.MaxAbsDiff(a)
+		dr, _ := r.MaxAbsDiff(a)
+		return dl == 0 && dr == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pow(a+b) = Pow(a)·Pow(b).
+func TestPropPowAdditive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		m := randomStochastic(rng, n)
+		a, b := rng.Intn(5), rng.Intn(5)
+		pa, _ := m.Pow(a)
+		pb, _ := m.Pow(b)
+		pab, _ := m.Pow(a + b)
+		prod, _ := pa.Mul(pb)
+		d, _ := pab.MaxAbsDiff(prod)
+		return d < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: products of stochastic matrices are stochastic.
+func TestPropStochasticClosedUnderMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		a := randomStochastic(rng, n)
+		b := randomStochastic(rng, n)
+		p, _ := a.Mul(b)
+		return p.IsStochastic(1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.Set(i, j, rng.NormFloat64())
+		}
+	}
+	return m
+}
+
+// randomStochastic returns a random row-stochastic matrix with strictly
+// positive entries (hence irreducible and aperiodic).
+func randomStochastic(rng *rand.Rand, n int) *Matrix {
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		sum := 0.0
+		row := make([]float64, n)
+		for j := 0; j < n; j++ {
+			row[j] = rng.Float64() + 0.01
+			sum += row[j]
+		}
+		for j := 0; j < n; j++ {
+			m.Set(i, j, row[j]/sum)
+		}
+	}
+	return m
+}

@@ -1,0 +1,190 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when Gaussian elimination encounters a pivot that
+// is numerically zero, i.e. the system has no unique solution.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial pivoting.
+// A must be square and is not modified. It returns ErrSingular when A has no
+// unique solution.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("linalg: SolveLinear needs a square matrix, got %dx%d", a.rows, a.cols)
+	}
+	if len(b) != a.rows {
+		return nil, fmt.Errorf("linalg: rhs length %d does not match %d rows", len(b), a.rows)
+	}
+	n := a.rows
+	// Augmented working copy.
+	aug := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		aug[i] = make([]float64, n+1)
+		copy(aug[i], a.data[i*n:(i+1)*n])
+		aug[i][n] = b[i]
+	}
+
+	for col := 0; col < n; col++ {
+		// Partial pivoting: pick the row with the largest absolute pivot.
+		pivot := col
+		maxAbs := math.Abs(aug[col][col])
+		for r := col + 1; r < n; r++ {
+			if abs := math.Abs(aug[r][col]); abs > maxAbs {
+				maxAbs = abs
+				pivot = r
+			}
+		}
+		if maxAbs < 1e-300 {
+			return nil, ErrSingular
+		}
+		aug[col], aug[pivot] = aug[pivot], aug[col]
+
+		inv := 1 / aug[col][col]
+		for r := col + 1; r < n; r++ {
+			f := aug[r][col] * inv
+			if f == 0 {
+				continue
+			}
+			aug[r][col] = 0
+			for c := col + 1; c <= n; c++ {
+				aug[r][c] -= f * aug[col][c]
+			}
+		}
+	}
+
+	// Back substitution.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		sum := aug[i][n]
+		for j := i + 1; j < n; j++ {
+			sum -= aug[i][j] * x[j]
+		}
+		x[i] = sum / aug[i][i]
+	}
+	return x, nil
+}
+
+// StationaryDistribution solves Π·P = Π, ΣΠ = 1 for a stochastic matrix P
+// (the global-balance system of Eq. (14) in the paper plus normalisation).
+// The homogeneous system (Pᵀ − I)·π = 0 is rank-deficient by one for an
+// irreducible chain, so the last balance equation is replaced by the
+// normalisation constraint Σπ_i = 1 before Gaussian elimination.
+//
+// Small negative entries from round-off are clamped to zero and the result
+// renormalised. An error is returned if P is not square, not stochastic, or
+// the resulting system is singular (e.g. a reducible chain).
+func StationaryDistribution(p *Matrix) ([]float64, error) {
+	if p.rows != p.cols {
+		return nil, fmt.Errorf("linalg: transition matrix must be square, got %dx%d", p.rows, p.cols)
+	}
+	if !p.IsStochastic(1e-8) {
+		return nil, errors.New("linalg: matrix is not row-stochastic")
+	}
+	n := p.rows
+	// Build A = Pᵀ − I with the last row replaced by ones (normalisation).
+	a := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := p.At(j, i) // transpose
+			if i == j {
+				v -= 1
+			}
+			a.Set(i, j, v)
+		}
+	}
+	for j := 0; j < n; j++ {
+		a.Set(n-1, j, 1)
+	}
+	b := make([]float64, n)
+	b[n-1] = 1
+
+	pi, err := SolveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("linalg: stationary solve failed: %w", err)
+	}
+	// Clamp tiny negatives and renormalise.
+	sum := 0.0
+	for i, v := range pi {
+		if v < 0 {
+			if v < -1e-8 {
+				return nil, fmt.Errorf("linalg: stationary solution has significant negative mass %g at state %d", v, i)
+			}
+			pi[i] = 0
+			v = 0
+		}
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, errors.New("linalg: stationary solution has zero total mass")
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// PowerIteration computes the limiting distribution lim_{t→∞} π₀·Pᵗ by
+// repeated vector-matrix products, the direct form of Eq. (13). It starts
+// from the given initial distribution (nil means all mass on state 0, the
+// paper's Π₀), iterates until successive distributions differ by less than
+// tol in max-norm, and returns the distribution together with the number of
+// iterations used. It fails if convergence is not reached within maxIter.
+func PowerIteration(p *Matrix, initial []float64, tol float64, maxIter int) ([]float64, int, error) {
+	if p.rows != p.cols {
+		return nil, 0, fmt.Errorf("linalg: transition matrix must be square, got %dx%d", p.rows, p.cols)
+	}
+	n := p.rows
+	cur := make([]float64, n)
+	if initial == nil {
+		cur[0] = 1
+	} else {
+		if len(initial) != n {
+			return nil, 0, fmt.Errorf("linalg: initial distribution length %d, want %d", len(initial), n)
+		}
+		copy(cur, initial)
+	}
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	if maxIter <= 0 {
+		maxIter = 100000
+	}
+	for it := 1; it <= maxIter; it++ {
+		next, err := p.VecMul(cur)
+		if err != nil {
+			return nil, it, err
+		}
+		maxDiff := 0.0
+		for i := range next {
+			if d := math.Abs(next[i] - cur[i]); d > maxDiff {
+				maxDiff = d
+			}
+		}
+		cur = next
+		if maxDiff < tol {
+			return cur, it, nil
+		}
+	}
+	return nil, maxIter, fmt.Errorf("linalg: power iteration did not converge within %d iterations", maxIter)
+}
+
+// StationaryResidual returns the max-norm of π·P − π, a direct measure of how
+// well π satisfies the balance equations.
+func StationaryResidual(p *Matrix, pi []float64) (float64, error) {
+	next, err := p.VecMul(pi)
+	if err != nil {
+		return 0, err
+	}
+	max := 0.0
+	for i := range next {
+		if d := math.Abs(next[i] - pi[i]); d > max {
+			max = d
+		}
+	}
+	return max, nil
+}

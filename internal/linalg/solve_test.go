@@ -1,0 +1,262 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	})
+	x, err := SolveLinear(a, []float64{8, -11, -3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if !almostEqual(x[i], want[i], 1e-10) {
+			t.Errorf("x[%d] = %v, want %v", i, x[i], want[i])
+		}
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a, _ := NewMatrixFromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	x, err := SolveLinear(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 4, 1e-12) || !almostEqual(x[1], 3, 1e-12) {
+		t.Errorf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a, _ := NewMatrixFromRows([][]float64{
+		{1, 2},
+		{2, 4},
+	})
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Error("expected ErrSingular for rank-deficient system")
+	}
+}
+
+func TestSolveLinearShapeErrors(t *testing.T) {
+	rect := NewMatrix(2, 3)
+	if _, err := SolveLinear(rect, []float64{1, 2}); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	sq := Identity(2)
+	if _, err := SolveLinear(sq, []float64{1}); err == nil {
+		t.Error("expected error for rhs length mismatch")
+	}
+}
+
+func TestStationaryTwoState(t *testing.T) {
+	// Classic two-state chain: stationary = (q/(p+q), p/(p+q)).
+	p, q := 0.01, 0.09
+	m, _ := NewMatrixFromRows([][]float64{
+		{1 - p, p},
+		{q, 1 - q},
+	})
+	pi, err := StationaryDistribution(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(pi[0], q/(p+q), 1e-12) || !almostEqual(pi[1], p/(p+q), 1e-12) {
+		t.Errorf("pi = %v, want [%v %v]", pi, q/(p+q), p/(p+q))
+	}
+}
+
+func TestStationaryUniformOnDoublyStochastic(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{
+		{0.2, 0.3, 0.5},
+		{0.5, 0.2, 0.3},
+		{0.3, 0.5, 0.2},
+	})
+	pi, err := StationaryDistribution(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range pi {
+		if !almostEqual(v, 1.0/3, 1e-12) {
+			t.Errorf("pi[%d] = %v, want 1/3", i, v)
+		}
+	}
+}
+
+func TestStationaryRejectsNonStochastic(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{
+		{0.5, 0.6},
+		{0.5, 0.5},
+	})
+	if _, err := StationaryDistribution(m); err == nil {
+		t.Error("expected rejection of non-stochastic matrix")
+	}
+	rect := NewMatrix(2, 3)
+	if _, err := StationaryDistribution(rect); err == nil {
+		t.Error("expected rejection of non-square matrix")
+	}
+}
+
+func TestPowerIterationMatchesDirectSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(8)
+		m := randomStochastic(rng, n)
+		direct, err := StationaryDistribution(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		iter, _, err := PowerIteration(m, nil, 1e-14, 200000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range direct {
+			if !almostEqual(direct[i], iter[i], 1e-8) {
+				t.Fatalf("trial %d state %d: direct %v vs power %v", trial, i, direct[i], iter[i])
+			}
+		}
+	}
+}
+
+func TestPowerIterationInitialDistribution(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{
+		{0.9, 0.1},
+		{0.4, 0.6},
+	})
+	pi, iters, err := PowerIteration(m, []float64{0.5, 0.5}, 1e-13, 100000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iters <= 0 {
+		t.Error("expected positive iteration count")
+	}
+	if !almostEqual(pi[0], 0.8, 1e-9) || !almostEqual(pi[1], 0.2, 1e-9) {
+		t.Errorf("pi = %v, want [0.8 0.2]", pi)
+	}
+}
+
+func TestPowerIterationErrors(t *testing.T) {
+	rect := NewMatrix(2, 3)
+	if _, _, err := PowerIteration(rect, nil, 1e-10, 100); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+	m := Identity(2)
+	if _, _, err := PowerIteration(m, []float64{1}, 1e-10, 100); err == nil {
+		t.Error("expected error for wrong-length initial distribution")
+	}
+	// A periodic chain (period 2) never converges pointwise from a corner.
+	per, _ := NewMatrixFromRows([][]float64{
+		{0, 1},
+		{1, 0},
+	})
+	if _, _, err := PowerIteration(per, nil, 1e-12, 500); err == nil {
+		t.Error("expected non-convergence for periodic chain")
+	}
+}
+
+func TestStationaryResidual(t *testing.T) {
+	m, _ := NewMatrixFromRows([][]float64{
+		{0.9, 0.1},
+		{0.4, 0.6},
+	})
+	pi, _ := StationaryDistribution(m)
+	r, err := StationaryResidual(m, pi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r > 1e-12 {
+		t.Errorf("residual %v too large", r)
+	}
+	bad := []float64{1, 0}
+	r2, _ := StationaryResidual(m, bad)
+	if r2 <= 0 {
+		t.Error("expected positive residual for non-stationary vector")
+	}
+}
+
+// Property: for random irreducible stochastic matrices the computed
+// stationary vector is a distribution and satisfies the balance equations.
+func TestPropStationaryIsValidDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(10)
+		m := randomStochastic(rng, n)
+		pi, err := StationaryDistribution(m)
+		if err != nil {
+			return false
+		}
+		sum := 0.0
+		for _, v := range pi {
+			if v < 0 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		if !almostEqual(sum, 1, 1e-10) {
+			return false
+		}
+		r, err := StationaryResidual(m, pi)
+		return err == nil && r < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SolveLinear(A, A·x) recovers x for well-conditioned random A.
+func TestPropSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		// Diagonally dominant ⇒ well conditioned.
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			rowSum := 0.0
+			for j := 0; j < n; j++ {
+				if i != j {
+					v := rng.NormFloat64()
+					a.Set(i, j, v)
+					rowSum += math.Abs(v)
+				}
+			}
+			a.Set(i, i, rowSum+1+rng.Float64())
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		// Compute b = A·x directly.
+		bv := make([]float64, n)
+		for i := 0; i < n; i++ {
+			s := 0.0
+			for j := 0; j < n; j++ {
+				s += a.At(i, j) * x[j]
+			}
+			bv[i] = s
+		}
+		got, err := SolveLinear(a, bv)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if !almostEqual(got[i], x[i], 1e-8) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,63 @@
+// Package markov implements the stochastic workload machinery of the paper:
+// the two-state ON-OFF Markov chain that models a single VM's bursty demand
+// (Fig. 2), and the (k+1)-state busy-blocks chain constructed from the
+// superposition of k independent ON-OFF sources (Fig. 4, Eq. 12), whose
+// stationary distribution drives the MapCal reservation algorithm.
+package markov
+
+import (
+	"fmt"
+	"math"
+)
+
+// BinomialPMF returns Pr{X = x} for X ~ B(n, p). Following the paper's
+// convention, out-of-support values (x < 0 or x > n) yield probability 0.
+// The computation runs in log space so that large n and extreme p do not
+// underflow intermediate terms.
+func BinomialPMF(n, x int, p float64) float64 {
+	if x < 0 || x > n || n < 0 {
+		return 0
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("markov: binomial probability %v out of [0,1]", p))
+	}
+	// Degenerate edges avoid log(0).
+	if p == 0 {
+		if x == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if x == n {
+			return 1
+		}
+		return 0
+	}
+	logPMF := logChoose(n, x) + float64(x)*math.Log(p) + float64(n-x)*math.Log1p(-p)
+	return math.Exp(logPMF)
+}
+
+// logChoose returns log C(n, x) using log-gamma.
+func logChoose(n, x int) float64 {
+	lg := func(v int) float64 {
+		r, _ := math.Lgamma(float64(v + 1))
+		return r
+	}
+	return lg(n) - lg(x) - lg(n-x)
+}
+
+// Choose returns the binomial coefficient C(n, x) as a float64, with the
+// paper's convention that C(n, x) = 0 when x < 0 or x > n.
+func Choose(n, x int) float64 {
+	if x < 0 || x > n || n < 0 {
+		return 0
+	}
+	return math.Round(math.Exp(logChoose(n, x)))
+}
+
+// BinomialMean returns the mean n·p of B(n, p).
+func BinomialMean(n int, p float64) float64 { return float64(n) * p }
+
+// BinomialVariance returns the variance n·p·(1−p) of B(n, p).
+func BinomialVariance(n int, p float64) float64 { return float64(n) * p * (1 - p) }

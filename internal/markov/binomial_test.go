@@ -1,0 +1,155 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialPMFKnownValues(t *testing.T) {
+	cases := []struct {
+		n, x int
+		p    float64
+		want float64
+	}{
+		{1, 0, 0.3, 0.7},
+		{1, 1, 0.3, 0.3},
+		{2, 1, 0.5, 0.5},
+		{4, 2, 0.5, 0.375},
+		{10, 0, 0.1, math.Pow(0.9, 10)},
+		{10, 10, 0.1, math.Pow(0.1, 10)},
+		{0, 0, 0.7, 1},
+	}
+	for _, c := range cases {
+		got := BinomialPMF(c.n, c.x, c.p)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("BinomialPMF(%d,%d,%v) = %v, want %v", c.n, c.x, c.p, got, c.want)
+		}
+	}
+}
+
+func TestBinomialPMFOutOfSupport(t *testing.T) {
+	if BinomialPMF(5, -1, 0.5) != 0 {
+		t.Error("x < 0 should give 0 (paper convention)")
+	}
+	if BinomialPMF(5, 6, 0.5) != 0 {
+		t.Error("x > n should give 0 (paper convention)")
+	}
+	if BinomialPMF(-1, 0, 0.5) != 0 {
+		t.Error("n < 0 should give 0")
+	}
+}
+
+func TestBinomialPMFDegenerateP(t *testing.T) {
+	if BinomialPMF(5, 0, 0) != 1 || BinomialPMF(5, 3, 0) != 0 {
+		t.Error("p = 0 should put all mass on x = 0")
+	}
+	if BinomialPMF(5, 5, 1) != 1 || BinomialPMF(5, 3, 1) != 0 {
+		t.Error("p = 1 should put all mass on x = n")
+	}
+}
+
+func TestBinomialPMFPanicsOnBadP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1.1, math.NaN()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("BinomialPMF with p=%v did not panic", p)
+				}
+			}()
+			BinomialPMF(3, 1, p)
+		}()
+	}
+}
+
+func TestBinomialPMFLargeNStable(t *testing.T) {
+	// Sum over full support must be 1 even for large n.
+	n := 500
+	sum := 0.0
+	for x := 0; x <= n; x++ {
+		v := BinomialPMF(n, x, 0.01)
+		if v < 0 || math.IsNaN(v) {
+			t.Fatalf("pmf(%d) = %v", x, v)
+		}
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("pmf sums to %v, want 1", sum)
+	}
+}
+
+func TestChoose(t *testing.T) {
+	cases := []struct {
+		n, x int
+		want float64
+	}{
+		{5, 2, 10}, {5, 0, 1}, {5, 5, 1}, {10, 3, 120},
+		{5, -1, 0}, {5, 6, 0}, {0, 0, 1},
+	}
+	for _, c := range cases {
+		if got := Choose(c.n, c.x); got != c.want {
+			t.Errorf("Choose(%d,%d) = %v, want %v", c.n, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	if BinomialMean(10, 0.3) != 3 {
+		t.Error("mean wrong")
+	}
+	if math.Abs(BinomialVariance(10, 0.3)-2.1) > 1e-12 {
+		t.Error("variance wrong")
+	}
+}
+
+// Property: PMF is a distribution (non-negative, sums to 1) for random n, p.
+func TestPropBinomialPMFIsDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(60)
+		p := rng.Float64()
+		sum := 0.0
+		for x := 0; x <= n; x++ {
+			v := BinomialPMF(n, x, p)
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-10
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: mean of PMF equals n·p.
+func TestPropBinomialPMFMean(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(40)
+		p := rng.Float64()
+		mean := 0.0
+		for x := 0; x <= n; x++ {
+			mean += float64(x) * BinomialPMF(n, x, p)
+		}
+		return math.Abs(mean-BinomialMean(n, p)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Pascal's rule C(n,x) = C(n−1,x−1) + C(n−1,x).
+func TestPropPascalsRule(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		x := rng.Intn(n + 1)
+		return Choose(n, x) == Choose(n-1, x-1)+Choose(n-1, x)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,185 @@
+package markov
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linalg"
+)
+
+// BusyBlocks is the (k+1)-state Markov chain {θ(t)} of Fig. 4: θ(t) is the
+// number of collocated VMs that are simultaneously ON (equivalently, the
+// number of busy reservation blocks) among k independent ON-OFF sources with
+// common switch probabilities. In queuing-theoretic terms it is the
+// state process of a discrete-time finite-source Geom/Geom/k queue with no
+// waiting room.
+type BusyBlocks struct {
+	k     int
+	chain OnOff
+	p     *linalg.Matrix // (k+1)×(k+1) one-step transition matrix, Eq. (12)
+}
+
+// NewBusyBlocks builds the chain for k sources. It validates the switch
+// probabilities via NewOnOff and materialises the transition matrix.
+func NewBusyBlocks(k int, pOn, pOff float64) (*BusyBlocks, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("markov: need at least one source, got k = %d", k)
+	}
+	chain, err := NewOnOff(pOn, pOff)
+	if err != nil {
+		return nil, err
+	}
+	b := &BusyBlocks{k: k, chain: chain}
+	b.p = b.buildTransitionMatrix()
+	if !b.p.IsStochastic(1e-9) {
+		return nil, fmt.Errorf("markov: constructed transition matrix for k=%d is not stochastic", k)
+	}
+	return b, nil
+}
+
+// K returns the number of sources (hosted VMs).
+func (b *BusyBlocks) K() int { return b.k }
+
+// Source returns the underlying per-VM ON-OFF chain.
+func (b *BusyBlocks) Source() OnOff { return b.chain }
+
+// TransitionMatrix returns a copy of the one-step transition matrix P.
+func (b *BusyBlocks) TransitionMatrix() *linalg.Matrix { return b.p.Clone() }
+
+// buildTransitionMatrix computes Eq. (12):
+//
+//	p_ij = Σ_{r=0}^{i} C(i,r)·p_off^r·(1−p_off)^{i−r}
+//	                 · C(k−i, j−i+r)·p_on^{j−i+r}·(1−p_on)^{k−j−r}
+//
+// the convolution of O(t) ~ B(i, p_off) leavers with I(t) ~ B(k−i, p_on)
+// arrivals, where out-of-support binomial terms vanish.
+func (b *BusyBlocks) buildTransitionMatrix() *linalg.Matrix {
+	k := b.k
+	pOn, pOff := b.chain.POn, b.chain.POff
+	p := linalg.NewMatrix(k+1, k+1)
+	for i := 0; i <= k; i++ {
+		for j := 0; j <= k; j++ {
+			sum := 0.0
+			for r := 0; r <= i; r++ {
+				leave := BinomialPMF(i, r, pOff)
+				if leave == 0 {
+					continue
+				}
+				enter := BinomialPMF(k-i, j-i+r, pOn)
+				sum += leave * enter
+			}
+			p.Set(i, j, sum)
+		}
+	}
+	return p
+}
+
+// TransitionProb returns p_ij directly from the cached matrix.
+func (b *BusyBlocks) TransitionProb(i, j int) float64 { return b.p.At(i, j) }
+
+// Stationary returns the limiting distribution Π of Eq. (13), computed by
+// solving the balance equations Π·P = Π (Eq. 14) with Gaussian elimination.
+// π_m is the long-run fraction of time exactly m blocks are busy.
+func (b *BusyBlocks) Stationary() ([]float64, error) {
+	return linalg.StationaryDistribution(b.p)
+}
+
+// StationaryByPowerIteration computes the same limiting distribution via
+// Π₀·Pᵗ with Π₀ = (1, 0, …, 0), the literal form of Eq. (13). It exists for
+// cross-validating the Gaussian solver and for the ablation benchmark.
+func (b *BusyBlocks) StationaryByPowerIteration(tol float64, maxIter int) ([]float64, int, error) {
+	return linalg.PowerIteration(b.p, nil, tol, maxIter)
+}
+
+// ExpectedBusy returns E[θ] under the stationary distribution. For k
+// independent sources it must equal k·p_on/(p_on+p_off).
+func (b *BusyBlocks) ExpectedBusy() (float64, error) {
+	pi, err := b.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	mean := 0.0
+	for m, p := range pi {
+		mean += float64(m) * p
+	}
+	return mean, nil
+}
+
+// TailProbability returns Pr{θ > kBlocks} under the stationary distribution —
+// the analytic capacity-violation ratio of a PM provisioned with kBlocks
+// reservation blocks (Eq. 16).
+func (b *BusyBlocks) TailProbability(kBlocks int) (float64, error) {
+	pi, err := b.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	return TailFromStationary(pi, kBlocks), nil
+}
+
+// TailFromStationary returns Pr{θ > kBlocks} = 1 − Σ_{m≤kBlocks} π_m given a
+// stationary vector. Values of kBlocks at or above len(pi)−1 give 0, negative
+// values give 1.
+func TailFromStationary(pi []float64, kBlocks int) float64 {
+	if kBlocks < 0 {
+		return 1
+	}
+	if kBlocks >= len(pi)-1 {
+		return 0
+	}
+	head := 0.0
+	for m := 0; m <= kBlocks; m++ {
+		head += pi[m]
+	}
+	tail := 1 - head
+	if tail < 0 {
+		return 0
+	}
+	return tail
+}
+
+// Step samples θ(t+1) given θ(t) = busy by drawing the binomial leaver and
+// arrival counts directly (Eq. 8), which is equivalent to — and much cheaper
+// than — tracking the k individual sources.
+func (b *BusyBlocks) Step(busy int, rng *rand.Rand) int {
+	if busy < 0 || busy > b.k {
+		panic(fmt.Sprintf("markov: busy count %d outside [0,%d]", busy, b.k))
+	}
+	leavers := binomialSample(busy, b.chain.POff, rng)
+	arrivals := binomialSample(b.k-busy, b.chain.POn, rng)
+	return busy - leavers + arrivals
+}
+
+// SimulateOccupancy runs the chain for steps transitions from the given start
+// state and returns the empirical distribution of θ as a (k+1)-vector of
+// visit frequencies. Used by tests to validate the analytic stationary
+// distribution and by the CVR cross-check experiments.
+func (b *BusyBlocks) SimulateOccupancy(start, steps int, rng *rand.Rand) ([]float64, error) {
+	if start < 0 || start > b.k {
+		return nil, fmt.Errorf("markov: start state %d outside [0,%d]", start, b.k)
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("markov: steps must be positive, got %d", steps)
+	}
+	counts := make([]float64, b.k+1)
+	cur := start
+	for t := 0; t < steps; t++ {
+		cur = b.Step(cur, rng)
+		counts[cur]++
+	}
+	for i := range counts {
+		counts[i] /= float64(steps)
+	}
+	return counts, nil
+}
+
+// binomialSample draws from B(n, p) by n Bernoulli trials; n is at most the
+// VM cap of a single PM (d ≤ a few dozen) so this is cheap and exact.
+func binomialSample(n int, p float64, rng *rand.Rand) int {
+	count := 0
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			count++
+		}
+	}
+	return count
+}

@@ -1,0 +1,160 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Estimate holds the maximum-likelihood fit of an ON-OFF chain to an observed
+// state trace — how an operator obtains the (p_on, p_off) the consolidation
+// algorithms need from monitoring data rather than prior knowledge.
+type Estimate struct {
+	POn  float64 // MLE of the OFF→ON switch probability
+	POff float64 // MLE of the ON→OFF switch probability
+	// Transitions counts observed steps by (from, to); index with the
+	// State constants, e.g. Transitions[Off][On].
+	Transitions [2][2]int
+}
+
+// Chain converts the estimate into a usable chain, failing when either
+// probability is degenerate (the trace never left, or never entered, a
+// state).
+func (e Estimate) Chain() (OnOff, error) { return NewOnOff(e.POn, e.POff) }
+
+// EstimateOnOff fits a two-state chain to a state trace by MLE: p̂_on is the
+// fraction of OFF-steps followed by ON, p̂_off the fraction of ON-steps
+// followed by OFF. The trace must contain at least two observations and at
+// least one step out of each state for the estimate to be invertible into a
+// chain; the raw counts are always returned.
+func EstimateOnOff(trace []State) (Estimate, error) {
+	if len(trace) < 2 {
+		return Estimate{}, fmt.Errorf("markov: need ≥ 2 observations to estimate, got %d", len(trace))
+	}
+	var e Estimate
+	for i := 0; i+1 < len(trace); i++ {
+		e.Transitions[trace[i]][trace[i+1]]++
+	}
+	fromOff := e.Transitions[Off][Off] + e.Transitions[Off][On]
+	fromOn := e.Transitions[On][Off] + e.Transitions[On][On]
+	if fromOff > 0 {
+		e.POn = float64(e.Transitions[Off][On]) / float64(fromOff)
+	}
+	if fromOn > 0 {
+		e.POff = float64(e.Transitions[On][Off]) / float64(fromOn)
+	}
+	return e, nil
+}
+
+// LevelFit is the two-level quantisation of a raw demand trace: the inferred
+// normal level R_b, peak level R_p, and the binarised state sequence — the
+// front half of fitting the paper's four-tuple to monitoring data.
+type LevelFit struct {
+	Rb     float64
+	Rp     float64
+	States []State
+}
+
+// Re returns the inferred spike size R_p − R_b.
+func (f LevelFit) Re() float64 { return f.Rp - f.Rb }
+
+// FitLevels quantises a demand trace into two levels by 1-D 2-means on the
+// demand values (initialised at the min and max), then maps each sample to
+// the nearer level. It fails on traces that are empty or flat (no spike to
+// fit).
+func FitLevels(demand []float64) (LevelFit, error) {
+	if len(demand) == 0 {
+		return LevelFit{}, fmt.Errorf("markov: empty demand trace")
+	}
+	sorted := append([]float64(nil), demand...)
+	sort.Float64s(sorted)
+	lo, hi := sorted[0], sorted[len(sorted)-1]
+	if lo == hi {
+		return LevelFit{}, fmt.Errorf("markov: flat demand trace (value %g everywhere) has no spikes to fit", lo)
+	}
+	for iter := 0; iter < 100; iter++ {
+		var sumLo, sumHi float64
+		var nLo, nHi int
+		for _, d := range demand {
+			if math.Abs(d-lo) <= math.Abs(d-hi) {
+				sumLo += d
+				nLo++
+			} else {
+				sumHi += d
+				nHi++
+			}
+		}
+		newLo, newHi := lo, hi
+		if nLo > 0 {
+			newLo = sumLo / float64(nLo)
+		}
+		if nHi > 0 {
+			newHi = sumHi / float64(nHi)
+		}
+		if newLo == lo && newHi == hi {
+			break
+		}
+		lo, hi = newLo, newHi
+	}
+	fit := LevelFit{Rb: lo, Rp: hi, States: make([]State, len(demand))}
+	for i, d := range demand {
+		if math.Abs(d-hi) < math.Abs(d-lo) {
+			fit.States[i] = On
+		}
+	}
+	return fit, nil
+}
+
+// FitVM runs the complete pipeline on a raw demand trace: quantise to two
+// levels, then MLE the switch probabilities — returning everything needed to
+// build the paper's four-tuple for an observed VM.
+func FitVM(demand []float64) (LevelFit, Estimate, error) {
+	fit, err := FitLevels(demand)
+	if err != nil {
+		return LevelFit{}, Estimate{}, err
+	}
+	est, err := EstimateOnOff(fit.States)
+	if err != nil {
+		return LevelFit{}, Estimate{}, err
+	}
+	return fit, est, nil
+}
+
+// IndexOfDispersion returns the index of dispersion for counts of the ON
+// indicator over non-overlapping windows of the given size: Var(N)/E(N),
+// where N is the number of ON steps per window. For independent samples it
+// tends to 1−π_ON; positive temporal correlation (burstiness) pushes it up —
+// the burstiness quantifier used by Mi et al. [5], §II.
+func IndexOfDispersion(trace []State, window int) (float64, error) {
+	if window < 1 {
+		return 0, fmt.Errorf("markov: window %d, want ≥ 1", window)
+	}
+	numWindows := len(trace) / window
+	if numWindows < 2 {
+		return 0, fmt.Errorf("markov: trace of %d steps too short for ≥ 2 windows of %d", len(trace), window)
+	}
+	counts := make([]float64, numWindows)
+	for w := 0; w < numWindows; w++ {
+		c := 0
+		for i := w * window; i < (w+1)*window; i++ {
+			if trace[i] == On {
+				c++
+			}
+		}
+		counts[w] = float64(c)
+	}
+	var sum float64
+	for _, c := range counts {
+		sum += c
+	}
+	mean := sum / float64(numWindows)
+	if mean == 0 {
+		return 0, fmt.Errorf("markov: trace has no ON steps")
+	}
+	var varSum float64
+	for _, c := range counts {
+		d := c - mean
+		varSum += d * d
+	}
+	return (varSum / float64(numWindows)) / mean, nil
+}

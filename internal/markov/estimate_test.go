@@ -1,0 +1,203 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEstimateOnOffRecoversParameters(t *testing.T) {
+	chain, _ := NewOnOff(0.03, 0.12)
+	rng := rand.New(rand.NewSource(1))
+	trace := chain.Trace(chain.SampleStationary(rng), 500000, rng)
+	est, err := EstimateOnOff(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.POn-0.03) > 0.003 {
+		t.Errorf("p̂_on = %v, want ≈ 0.03", est.POn)
+	}
+	if math.Abs(est.POff-0.12) > 0.012 {
+		t.Errorf("p̂_off = %v, want ≈ 0.12", est.POff)
+	}
+	if _, err := est.Chain(); err != nil {
+		t.Errorf("estimate not invertible: %v", err)
+	}
+}
+
+func TestEstimateOnOffCounts(t *testing.T) {
+	trace := []State{Off, Off, On, On, Off, On}
+	est, err := EstimateOnOff(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Steps: Off→Off, Off→On, On→On, On→Off, Off→On.
+	if est.Transitions[Off][Off] != 1 || est.Transitions[Off][On] != 2 ||
+		est.Transitions[On][On] != 1 || est.Transitions[On][Off] != 1 {
+		t.Errorf("transition counts wrong: %+v", est.Transitions)
+	}
+	if math.Abs(est.POn-2.0/3) > 1e-12 {
+		t.Errorf("p̂_on = %v, want 2/3", est.POn)
+	}
+	if math.Abs(est.POff-0.5) > 1e-12 {
+		t.Errorf("p̂_off = %v, want 1/2", est.POff)
+	}
+}
+
+func TestEstimateOnOffDegenerate(t *testing.T) {
+	if _, err := EstimateOnOff([]State{On}); err == nil {
+		t.Error("single observation accepted")
+	}
+	// All-OFF trace: counts fine, but Chain() must reject p̂_on = 0.
+	est, err := EstimateOnOff([]State{Off, Off, Off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.POn != 0 {
+		t.Errorf("p̂_on = %v for all-OFF trace", est.POn)
+	}
+	if _, err := est.Chain(); err == nil {
+		t.Error("degenerate estimate converted to chain")
+	}
+}
+
+func TestFitLevels(t *testing.T) {
+	demand := []float64{10, 10.2, 9.8, 20, 20.3, 10.1, 19.9, 10}
+	fit, err := FitLevels(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rb-10.02) > 0.1 {
+		t.Errorf("Rb = %v, want ≈ 10", fit.Rb)
+	}
+	if math.Abs(fit.Rp-20.07) > 0.1 {
+		t.Errorf("Rp = %v, want ≈ 20", fit.Rp)
+	}
+	if fit.Re() <= 9 || fit.Re() >= 11 {
+		t.Errorf("Re = %v, want ≈ 10", fit.Re())
+	}
+	wantStates := []State{Off, Off, Off, On, On, Off, On, Off}
+	for i, w := range wantStates {
+		if fit.States[i] != w {
+			t.Errorf("state %d = %v, want %v", i, fit.States[i], w)
+		}
+	}
+}
+
+func TestFitLevelsErrors(t *testing.T) {
+	if _, err := FitLevels(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := FitLevels([]float64{5, 5, 5}); err == nil {
+		t.Error("flat trace accepted")
+	}
+}
+
+func TestFitVMEndToEnd(t *testing.T) {
+	// Generate a demand trace from a known VM, then recover its four-tuple.
+	chain, _ := NewOnOff(0.02, 0.10)
+	rng := rand.New(rand.NewSource(2))
+	states := chain.Trace(chain.SampleStationary(rng), 300000, rng)
+	demand := make([]float64, len(states))
+	for i, s := range states {
+		if s == On {
+			demand[i] = 18 + rng.NormFloat64()*0.2
+		} else {
+			demand[i] = 10 + rng.NormFloat64()*0.2
+		}
+	}
+	fit, est, err := FitVM(demand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Rb-10) > 0.2 || math.Abs(fit.Rp-18) > 0.2 {
+		t.Errorf("levels (%v, %v), want (10, 18)", fit.Rb, fit.Rp)
+	}
+	if math.Abs(est.POn-0.02) > 0.004 {
+		t.Errorf("p̂_on = %v, want ≈ 0.02", est.POn)
+	}
+	if math.Abs(est.POff-0.10) > 0.02 {
+		t.Errorf("p̂_off = %v, want ≈ 0.10", est.POff)
+	}
+}
+
+func TestFitVMPropagatesErrors(t *testing.T) {
+	if _, _, err := FitVM(nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	// A two-sample trace fits levels and counts one transition, but the
+	// degenerate estimate (p̂_off = 0) must not convert into a chain.
+	_, est, err := FitVM([]float64{1, 2})
+	if err != nil {
+		t.Fatalf("two-sample trace should fit: %v", err)
+	}
+	if _, err := est.Chain(); err == nil {
+		t.Error("degenerate two-sample estimate converted to chain")
+	}
+}
+
+func TestIndexOfDispersionBurstyVsIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// Bursty chain: strong positive correlation.
+	bursty, _ := NewOnOff(0.01, 0.09)
+	bTrace := bursty.Trace(bursty.SampleStationary(rng), 200000, rng)
+	bIoD, err := IndexOfDispersion(bTrace, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Independent Bernoulli samples with the same mean.
+	iid := make([]State, 200000)
+	for i := range iid {
+		if rng.Float64() < 0.1 {
+			iid[i] = On
+		}
+	}
+	iIoD, err := IndexOfDispersion(iid, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bIoD < 3*iIoD {
+		t.Errorf("bursty IoD %v not clearly above independent IoD %v", bIoD, iIoD)
+	}
+	if math.Abs(iIoD-0.9) > 0.15 {
+		t.Errorf("independent IoD %v, want ≈ 1−π_ON = 0.9", iIoD)
+	}
+}
+
+func TestIndexOfDispersionErrors(t *testing.T) {
+	trace := []State{On, Off, On, Off}
+	if _, err := IndexOfDispersion(trace, 0); err == nil {
+		t.Error("zero window accepted")
+	}
+	if _, err := IndexOfDispersion(trace, 4); err == nil {
+		t.Error("single window accepted")
+	}
+	allOff := []State{Off, Off, Off, Off}
+	if _, err := IndexOfDispersion(allOff, 2); err == nil {
+		t.Error("no-ON trace accepted")
+	}
+}
+
+// Property: the MLE recovers parameters within statistical error for random
+// chains and long traces.
+func TestPropEstimateConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pOn := 0.02 + 0.4*rng.Float64()
+		pOff := 0.02 + 0.4*rng.Float64()
+		chain, err := NewOnOff(pOn, pOff)
+		if err != nil {
+			return false
+		}
+		trace := chain.Trace(chain.SampleStationary(rng), 150000, rng)
+		est, err := EstimateOnOff(trace)
+		if err != nil {
+			return false
+		}
+		return math.Abs(est.POn-pOn) < 0.05*pOn+0.01 && math.Abs(est.POff-pOff) < 0.05*pOff+0.01
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzBinomialPMF checks the PMF contract on arbitrary inputs: in-range
+// probabilities give values in [0, 1]; out-of-support points give 0.
+func FuzzBinomialPMF(f *testing.F) {
+	f.Add(10, 3, 0.5)
+	f.Add(0, 0, 0.0)
+	f.Add(100, 100, 1.0)
+	f.Add(50, -1, 0.3)
+	f.Fuzz(func(t *testing.T, n, x int, p float64) {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			return // panics by contract; covered by unit tests
+		}
+		if n > 2000 {
+			n %= 2000
+		}
+		v := BinomialPMF(n, x, p)
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			t.Fatalf("BinomialPMF(%d,%d,%v) = %v", n, x, p, v)
+		}
+		if (x < 0 || x > n || n < 0) && v != 0 {
+			t.Fatalf("out-of-support (%d,%d) gave %v", n, x, v)
+		}
+	})
+}
+
+// FuzzFitLevels checks the quantiser never panics and always returns
+// Rb ≤ Rp with a state per sample.
+func FuzzFitLevels(f *testing.F) {
+	f.Add([]byte{10, 10, 20, 20, 10})
+	f.Add([]byte{1})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if len(raw) > 4096 {
+			raw = raw[:4096]
+		}
+		demand := make([]float64, len(raw))
+		for i, b := range raw {
+			demand[i] = float64(b)
+		}
+		fit, err := FitLevels(demand)
+		if err != nil {
+			return // empty or flat traces are rejected by contract
+		}
+		if fit.Rb > fit.Rp {
+			t.Fatalf("Rb %v > Rp %v", fit.Rb, fit.Rp)
+		}
+		if len(fit.States) != len(demand) {
+			t.Fatalf("states length %d for %d samples", len(fit.States), len(demand))
+		}
+		if fit.Re() < 0 {
+			t.Fatalf("negative spike %v", fit.Re())
+		}
+	})
+}
+
+// FuzzEstimateOnOff checks the MLE on arbitrary binary traces.
+func FuzzEstimateOnOff(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 1})
+	f.Add([]byte{0})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		trace := make([]State, len(raw))
+		for i, b := range raw {
+			if b%2 == 1 {
+				trace[i] = On
+			}
+		}
+		est, err := EstimateOnOff(trace)
+		if err != nil {
+			if len(trace) >= 2 {
+				t.Fatalf("valid-length trace rejected: %v", err)
+			}
+			return
+		}
+		if est.POn < 0 || est.POn > 1 || est.POff < 0 || est.POff > 1 {
+			t.Fatalf("estimates outside [0,1]: %+v", est)
+		}
+		total := 0
+		for _, row := range est.Transitions {
+			for _, c := range row {
+				total += c
+			}
+		}
+		if total != len(trace)-1 {
+			t.Fatalf("counted %d transitions for %d observations", total, len(trace))
+		}
+	})
+}

@@ -1,0 +1,216 @@
+package markov
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/linalg"
+)
+
+// MultiLevel is an L-state demand chain — the natural generalisation of the
+// paper's two-state model (Fig. 2) for workloads with more than one plateau
+// (e.g. night / day / flash-crowd). It exists to quantify what the two-state
+// assumption costs on richer workloads: TwoLevelApproximation collapses the
+// chain to the best-fitting ON-OFF model, and the residual demand error is
+// measurable.
+type MultiLevel struct {
+	p      *linalg.Matrix
+	levels []float64 // demand at each state, strictly ascending
+}
+
+// NewMultiLevel builds the chain from an L×L transition matrix (row i =
+// outgoing probabilities of state i) and the demand level of each state.
+// Levels must be strictly ascending; the matrix must be stochastic.
+func NewMultiLevel(transition [][]float64, levels []float64) (*MultiLevel, error) {
+	if len(levels) < 2 {
+		return nil, fmt.Errorf("markov: need ≥ 2 levels, got %d", len(levels))
+	}
+	if len(transition) != len(levels) {
+		return nil, fmt.Errorf("markov: %d transition rows for %d levels", len(transition), len(levels))
+	}
+	for i := 1; i < len(levels); i++ {
+		if levels[i] <= levels[i-1] {
+			return nil, fmt.Errorf("markov: levels must be strictly ascending (level %d: %v ≤ %v)",
+				i, levels[i], levels[i-1])
+		}
+	}
+	p, err := linalg.NewMatrixFromRows(transition)
+	if err != nil {
+		return nil, err
+	}
+	if !p.IsStochastic(1e-9) {
+		return nil, fmt.Errorf("markov: transition matrix is not stochastic")
+	}
+	return &MultiLevel{p: p, levels: append([]float64(nil), levels...)}, nil
+}
+
+// NumLevels returns L.
+func (m *MultiLevel) NumLevels() int { return len(m.levels) }
+
+// Level returns the demand of state i.
+func (m *MultiLevel) Level(i int) float64 { return m.levels[i] }
+
+// Stationary returns the limiting state distribution.
+func (m *MultiLevel) Stationary() ([]float64, error) {
+	return linalg.StationaryDistribution(m.p)
+}
+
+// MeanDemand returns the stationary expected demand Σ π_i · level_i.
+func (m *MultiLevel) MeanDemand() (float64, error) {
+	pi, err := m.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	mean := 0.0
+	for i, p := range pi {
+		mean += p * m.levels[i]
+	}
+	return mean, nil
+}
+
+// Step samples the successor state.
+func (m *MultiLevel) Step(state int, rng *rand.Rand) int {
+	u := rng.Float64()
+	cum := 0.0
+	for j := 0; j < m.NumLevels(); j++ {
+		cum += m.p.At(state, j)
+		if u < cum {
+			return j
+		}
+	}
+	return m.NumLevels() - 1
+}
+
+// SampleStationary draws a state from the stationary distribution.
+func (m *MultiLevel) SampleStationary(rng *rand.Rand) (int, error) {
+	pi, err := m.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	u := rng.Float64()
+	cum := 0.0
+	for i, p := range pi {
+		cum += p
+		if u < cum {
+			return i, nil
+		}
+	}
+	return len(pi) - 1, nil
+}
+
+// Trace samples a demand trajectory of the given length from the given start
+// state, returning the state indices and the demands.
+func (m *MultiLevel) Trace(start, length int, rng *rand.Rand) (states []int, demand []float64, err error) {
+	if start < 0 || start >= m.NumLevels() {
+		return nil, nil, fmt.Errorf("markov: start state %d outside [0,%d)", start, m.NumLevels())
+	}
+	if length < 1 {
+		return nil, nil, fmt.Errorf("markov: trace length %d, want ≥ 1", length)
+	}
+	states = make([]int, length)
+	demand = make([]float64, length)
+	states[0] = start
+	demand[0] = m.levels[start]
+	for t := 1; t < length; t++ {
+		states[t] = m.Step(states[t-1], rng)
+		demand[t] = m.levels[states[t]]
+	}
+	return states, demand, nil
+}
+
+// TwoLevelFit is the ON-OFF collapse of a multi-level chain at one threshold.
+type TwoLevelFit struct {
+	Chain OnOff
+	// Rb and Rp are the stationary conditional mean demands below and at/
+	// above the threshold — the two-level representative demands.
+	Rb, Rp float64
+	// Threshold is the first level index counted as ON.
+	Threshold int
+	// DemandRMSE is the stationary root-mean-square error between the true
+	// per-state demand and its two-level representative — the quantisation
+	// cost of the paper's two-state assumption for this workload.
+	DemandRMSE float64
+}
+
+// TwoLevelApproximation collapses the chain to ON-OFF at the given threshold
+// (states < threshold become OFF, the rest ON): the switch probabilities are
+// the stationary-weighted cross-boundary transition rates, and R_b/R_p are
+// the conditional mean demands. Thresholds must split the states.
+func (m *MultiLevel) TwoLevelApproximation(threshold int) (TwoLevelFit, error) {
+	l := m.NumLevels()
+	if threshold < 1 || threshold >= l {
+		return TwoLevelFit{}, fmt.Errorf("markov: threshold %d must be in [1,%d)", threshold, l)
+	}
+	pi, err := m.Stationary()
+	if err != nil {
+		return TwoLevelFit{}, err
+	}
+	var massOff, massOn, rb, rp float64
+	for i, p := range pi {
+		if i < threshold {
+			massOff += p
+			rb += p * m.levels[i]
+		} else {
+			massOn += p
+			rp += p * m.levels[i]
+		}
+	}
+	if massOff == 0 || massOn == 0 {
+		return TwoLevelFit{}, fmt.Errorf("markov: threshold %d leaves an empty side in steady state", threshold)
+	}
+	rb /= massOff
+	rp /= massOn
+	// Cross-boundary rates: Pr{next ON | now OFF} etc., stationary-weighted.
+	var offToOn, onToOff float64
+	for i := 0; i < l; i++ {
+		for j := 0; j < l; j++ {
+			flow := pi[i] * m.p.At(i, j)
+			if i < threshold && j >= threshold {
+				offToOn += flow
+			}
+			if i >= threshold && j < threshold {
+				onToOff += flow
+			}
+		}
+	}
+	chain, err := NewOnOff(offToOn/massOff, onToOff/massOn)
+	if err != nil {
+		return TwoLevelFit{}, fmt.Errorf("markov: degenerate collapse: %w", err)
+	}
+	var mse float64
+	for i, p := range pi {
+		rep := rb
+		if i >= threshold {
+			rep = rp
+		}
+		d := m.levels[i] - rep
+		mse += p * d * d
+	}
+	return TwoLevelFit{
+		Chain:      chain,
+		Rb:         rb,
+		Rp:         rp,
+		Threshold:  threshold,
+		DemandRMSE: math.Sqrt(mse),
+	}, nil
+}
+
+// BestTwoLevelApproximation tries every threshold and returns the fit with
+// the smallest demand RMSE.
+func (m *MultiLevel) BestTwoLevelApproximation() (TwoLevelFit, error) {
+	fits := make([]TwoLevelFit, 0, m.NumLevels()-1)
+	for th := 1; th < m.NumLevels(); th++ {
+		fit, err := m.TwoLevelApproximation(th)
+		if err != nil {
+			continue // e.g. empty side; other thresholds may work
+		}
+		fits = append(fits, fit)
+	}
+	if len(fits) == 0 {
+		return TwoLevelFit{}, fmt.Errorf("markov: no valid two-level collapse exists")
+	}
+	sort.Slice(fits, func(i, j int) bool { return fits[i].DemandRMSE < fits[j].DemandRMSE })
+	return fits[0], nil
+}

@@ -1,0 +1,227 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// threeLevel returns a night/day/flash-crowd chain for tests.
+func threeLevel(t *testing.T) *MultiLevel {
+	t.Helper()
+	m, err := NewMultiLevel([][]float64{
+		{0.95, 0.05, 0.00},
+		{0.04, 0.95, 0.01},
+		{0.00, 0.10, 0.90},
+	}, []float64{2, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewMultiLevelValidation(t *testing.T) {
+	id2 := [][]float64{{1, 0}, {0, 1}}
+	if _, err := NewMultiLevel(id2, []float64{1}); err == nil {
+		t.Error("single level accepted")
+	}
+	if _, err := NewMultiLevel(id2, []float64{1, 2, 3}); err == nil {
+		t.Error("row/level mismatch accepted")
+	}
+	if _, err := NewMultiLevel(id2, []float64{2, 1}); err == nil {
+		t.Error("descending levels accepted")
+	}
+	if _, err := NewMultiLevel(id2, []float64{1, 1}); err == nil {
+		t.Error("equal levels accepted")
+	}
+	bad := [][]float64{{0.5, 0.4}, {0.5, 0.5}}
+	if _, err := NewMultiLevel(bad, []float64{1, 2}); err == nil {
+		t.Error("non-stochastic matrix accepted")
+	}
+}
+
+func TestMultiLevelTwoStateReducesToOnOff(t *testing.T) {
+	pOn, pOff := 0.03, 0.12
+	m, err := NewMultiLevel([][]float64{
+		{1 - pOn, pOn},
+		{pOff, 1 - pOff},
+	}, []float64{10, 18})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain, _ := NewOnOff(pOn, pOff)
+	if math.Abs(pi[1]-chain.StationaryOn()) > 1e-12 {
+		t.Errorf("two-level stationary %v vs ON-OFF %v", pi[1], chain.StationaryOn())
+	}
+	fit, err := m.TwoLevelApproximation(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Chain.POn-pOn) > 1e-12 || math.Abs(fit.Chain.POff-pOff) > 1e-12 {
+		t.Errorf("collapse of a 2-level chain changed parameters: %+v", fit.Chain)
+	}
+	if fit.Rb != 10 || fit.Rp != 18 {
+		t.Errorf("collapse demands (%v, %v), want (10, 18)", fit.Rb, fit.Rp)
+	}
+	if fit.DemandRMSE != 0 {
+		t.Errorf("2-level chain has quantisation error %v", fit.DemandRMSE)
+	}
+}
+
+func TestMultiLevelStationaryMatchesTrace(t *testing.T) {
+	m := threeLevel(t)
+	pi, err := m.Stationary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	start, err := m.SampleStationary(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	states, demand, err := m.Trace(start, 400000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]float64, m.NumLevels())
+	for _, s := range states {
+		counts[s]++
+	}
+	for i := range pi {
+		emp := counts[i] / float64(len(states))
+		if math.Abs(emp-pi[i]) > 0.01 {
+			t.Errorf("state %d: empirical %v vs stationary %v", i, emp, pi[i])
+		}
+	}
+	// Demand sequence must track the level of each state.
+	for i := 0; i < 100; i++ {
+		if demand[i] != m.Level(states[i]) {
+			t.Fatalf("demand %v for state %d", demand[i], states[i])
+		}
+	}
+}
+
+func TestMultiLevelMeanDemand(t *testing.T) {
+	m := threeLevel(t)
+	pi, _ := m.Stationary()
+	want := pi[0]*2 + pi[1]*10 + pi[2]*30
+	got, err := m.MeanDemand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("MeanDemand = %v, want %v", got, want)
+	}
+}
+
+func TestMultiLevelTraceErrors(t *testing.T) {
+	m := threeLevel(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, _, err := m.Trace(-1, 10, rng); err == nil {
+		t.Error("negative start accepted")
+	}
+	if _, _, err := m.Trace(3, 10, rng); err == nil {
+		t.Error("start ≥ L accepted")
+	}
+	if _, _, err := m.Trace(0, 0, rng); err == nil {
+		t.Error("zero length accepted")
+	}
+}
+
+func TestTwoLevelApproximationThresholds(t *testing.T) {
+	m := threeLevel(t)
+	if _, err := m.TwoLevelApproximation(0); err == nil {
+		t.Error("threshold 0 accepted")
+	}
+	if _, err := m.TwoLevelApproximation(3); err == nil {
+		t.Error("threshold L accepted")
+	}
+	for th := 1; th <= 2; th++ {
+		fit, err := m.TwoLevelApproximation(th)
+		if err != nil {
+			t.Fatalf("threshold %d: %v", th, err)
+		}
+		if fit.Rb >= fit.Rp {
+			t.Errorf("threshold %d: Rb %v ≥ Rp %v", th, fit.Rb, fit.Rp)
+		}
+		if fit.DemandRMSE <= 0 {
+			t.Errorf("threshold %d: 3-level chain must have quantisation error", th)
+		}
+	}
+}
+
+// The collapse must preserve the stationary ON mass and the cross-boundary
+// flow balance: π_ON(fit) = Σ π_i for i ≥ threshold.
+func TestTwoLevelApproximationPreservesMass(t *testing.T) {
+	m := threeLevel(t)
+	pi, _ := m.Stationary()
+	for th := 1; th <= 2; th++ {
+		fit, err := m.TwoLevelApproximation(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOn := 0.0
+		for i := th; i < 3; i++ {
+			wantOn += pi[i]
+		}
+		if math.Abs(fit.Chain.StationaryOn()-wantOn) > 1e-9 {
+			t.Errorf("threshold %d: collapsed π_ON %v vs true mass %v",
+				th, fit.Chain.StationaryOn(), wantOn)
+		}
+		// The collapse also preserves mean demand exactly.
+		meanFit := fit.Rb*fit.Chain.StationaryOff() + fit.Rp*fit.Chain.StationaryOn()
+		meanTrue, _ := m.MeanDemand()
+		if math.Abs(meanFit-meanTrue) > 1e-9 {
+			t.Errorf("threshold %d: mean demand %v vs %v", th, meanFit, meanTrue)
+		}
+	}
+}
+
+func TestBestTwoLevelApproximation(t *testing.T) {
+	m := threeLevel(t)
+	best, err := m.BestTwoLevelApproximation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for th := 1; th <= 2; th++ {
+		fit, err := m.TwoLevelApproximation(th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fit.DemandRMSE < best.DemandRMSE-1e-12 {
+			t.Errorf("threshold %d beats the reported best (%v < %v)",
+				th, fit.DemandRMSE, best.DemandRMSE)
+		}
+	}
+	// For this chain (rare tall flash crowds), splitting night|{day,flash}
+	// or {night,day}|flash — best must pick the lower-RMSE one and its
+	// collapsed chain must remain a valid workload model.
+	if _, err := NewOnOff(best.Chain.POn, best.Chain.POff); err != nil {
+		t.Errorf("best collapse is not a valid chain: %v", err)
+	}
+}
+
+// End-to-end: a 3-level workload consolidated via its best 2-level collapse
+// still gets a bounded CVR when the collapse is conservative (threshold
+// below the flash-crowd level), demonstrating the intended usage.
+func TestMultiLevelCollapseUnderestimatesFlashCrowds(t *testing.T) {
+	m := threeLevel(t)
+	fit, err := m.TwoLevelApproximation(1) // night vs {day, flash}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The representative peak (mixed day/flash mean) is below the true
+	// flash-crowd level — the quantisation optimism this type exposes.
+	if fit.Rp >= m.Level(2) {
+		t.Errorf("representative peak %v should undershoot the flash level %v", fit.Rp, m.Level(2))
+	}
+	// A conservative user would instead size R_p at the top level; verify
+	// the gap is what DemandRMSE reports (positive and meaningful).
+	if fit.DemandRMSE < 0.5 {
+		t.Errorf("expected a material quantisation error, got %v", fit.DemandRMSE)
+	}
+}

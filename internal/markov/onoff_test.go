@@ -1,0 +1,207 @@
+package markov
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperChain returns the chain with the paper's experimental parameters
+// (p_on = 0.01, p_off = 0.09, §V-C).
+func paperChain(t *testing.T) OnOff {
+	t.Helper()
+	c, err := NewOnOff(0.01, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewOnOffValidation(t *testing.T) {
+	for _, c := range []struct{ pOn, pOff float64 }{
+		{0, 0.5}, {0.5, 0}, {-0.1, 0.5}, {0.5, -0.1}, {1.1, 0.5}, {0.5, 1.1},
+		{math.NaN(), 0.5}, {0.5, math.NaN()},
+	} {
+		if _, err := NewOnOff(c.pOn, c.pOff); err == nil {
+			t.Errorf("NewOnOff(%v, %v) accepted invalid probabilities", c.pOn, c.pOff)
+		}
+	}
+	if _, err := NewOnOff(1, 1); err != nil {
+		t.Errorf("NewOnOff(1,1) should be valid (alternating chain): %v", err)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if On.String() != "ON" || Off.String() != "OFF" {
+		t.Error("State.String mismatch")
+	}
+}
+
+func TestStationaryProbabilities(t *testing.T) {
+	c := paperChain(t)
+	if !almost(c.StationaryOn(), 0.1, 1e-12) {
+		t.Errorf("StationaryOn = %v, want 0.1", c.StationaryOn())
+	}
+	if !almost(c.StationaryOff(), 0.9, 1e-12) {
+		t.Errorf("StationaryOff = %v, want 0.9", c.StationaryOff())
+	}
+	if !almost(c.StationaryOn()+c.StationaryOff(), 1, 1e-12) {
+		t.Error("stationary probabilities do not sum to 1")
+	}
+}
+
+func TestBurstStatistics(t *testing.T) {
+	c := paperChain(t)
+	if !almost(c.MeanSpikeDuration(), 1/0.09, 1e-12) {
+		t.Errorf("MeanSpikeDuration = %v", c.MeanSpikeDuration())
+	}
+	if !almost(c.MeanGapDuration(), 100, 1e-12) {
+		t.Errorf("MeanGapDuration = %v", c.MeanGapDuration())
+	}
+	if !almost(c.SpikeRate(), 0.9*0.01, 1e-12) {
+		t.Errorf("SpikeRate = %v", c.SpikeRate())
+	}
+}
+
+func TestTransitionMatrixRowsSumToOne(t *testing.T) {
+	c := paperChain(t)
+	m := c.TransitionMatrix()
+	for i := 0; i < 2; i++ {
+		if !almost(m[i][0]+m[i][1], 1, 1e-15) {
+			t.Errorf("row %d sums to %v", i, m[i][0]+m[i][1])
+		}
+	}
+	if m[0][1] != c.POn || m[1][0] != c.POff {
+		t.Error("transition matrix entries wrong")
+	}
+}
+
+func TestTraceLengthAndStart(t *testing.T) {
+	c := paperChain(t)
+	rng := rand.New(rand.NewSource(1))
+	tr := c.Trace(On, 100, rng)
+	if len(tr) != 100 {
+		t.Fatalf("trace length %d, want 100", len(tr))
+	}
+	if tr[0] != On {
+		t.Error("trace does not start at requested state")
+	}
+	if c.Trace(Off, 0, rng) != nil {
+		t.Error("zero-length trace should be nil")
+	}
+	if c.Trace(Off, -5, rng) != nil {
+		t.Error("negative-length trace should be nil")
+	}
+}
+
+func TestTraceConvergesToStationary(t *testing.T) {
+	c := paperChain(t)
+	rng := rand.New(rand.NewSource(42))
+	tr := c.Trace(Off, 400000, rng)
+	frac := OnFraction(tr)
+	if math.Abs(frac-c.StationaryOn()) > 0.01 {
+		t.Errorf("empirical ON fraction %v, want ≈ %v", frac, c.StationaryOn())
+	}
+}
+
+func TestMeanBurstLengthConverges(t *testing.T) {
+	c := paperChain(t)
+	rng := rand.New(rand.NewSource(7))
+	tr := c.Trace(Off, 500000, rng)
+	got := MeanBurstLength(tr)
+	want := c.MeanSpikeDuration()
+	if math.Abs(got-want)/want > 0.05 {
+		t.Errorf("empirical mean burst length %v, want ≈ %v", got, want)
+	}
+}
+
+func TestOnFractionEdgeCases(t *testing.T) {
+	if OnFraction(nil) != 0 {
+		t.Error("empty trace should give 0")
+	}
+	if OnFraction([]State{On, On, Off, Off}) != 0.5 {
+		t.Error("half-ON trace should give 0.5")
+	}
+}
+
+func TestBursts(t *testing.T) {
+	trace := []State{Off, On, On, Off, On, Off, Off, On, On, On}
+	bursts := Bursts(trace)
+	want := []Burst{{1, 2}, {4, 1}, {7, 3}}
+	if len(bursts) != len(want) {
+		t.Fatalf("got %d bursts, want %d", len(bursts), len(want))
+	}
+	for i := range want {
+		if bursts[i] != want[i] {
+			t.Errorf("burst %d = %+v, want %+v", i, bursts[i], want[i])
+		}
+	}
+	if Bursts([]State{Off, Off}) != nil {
+		t.Error("no-spike trace should give nil bursts")
+	}
+	if MeanBurstLength([]State{Off}) != 0 {
+		t.Error("no-spike trace should give 0 mean burst length")
+	}
+}
+
+func TestSampleStationaryFrequency(t *testing.T) {
+	c := paperChain(t)
+	rng := rand.New(rand.NewSource(3))
+	on := 0
+	const trials = 200000
+	for i := 0; i < trials; i++ {
+		if c.SampleStationary(rng) == On {
+			on++
+		}
+	}
+	frac := float64(on) / trials
+	if math.Abs(frac-0.1) > 0.01 {
+		t.Errorf("stationary sampling ON fraction %v, want ≈ 0.1", frac)
+	}
+}
+
+func TestAutocorrelationMatchesTheory(t *testing.T) {
+	c, _ := NewOnOff(0.05, 0.15)
+	rng := rand.New(rand.NewSource(11))
+	tr := c.Trace(c.SampleStationary(rng), 500000, rng)
+	for _, lag := range []int{1, 2, 5} {
+		got := Autocorrelation(tr, lag)
+		want := c.TheoreticalAutocorrelation(lag)
+		if math.Abs(got-want) > 0.03 {
+			t.Errorf("lag %d autocorrelation %v, want ≈ %v", lag, got, want)
+		}
+	}
+}
+
+func TestAutocorrelationDegenerate(t *testing.T) {
+	if Autocorrelation([]State{On}, 1) != 0 {
+		t.Error("short trace should give 0")
+	}
+	if Autocorrelation([]State{On, On, On}, -1) != 0 {
+		t.Error("negative lag should give 0")
+	}
+	// Constant trace has zero variance.
+	if Autocorrelation([]State{Off, Off, Off, Off}, 1) != 0 {
+		t.Error("constant trace should give 0")
+	}
+}
+
+// Property: for random valid chains, stationary probabilities form a
+// distribution and empirical traces converge toward them.
+func TestPropStationaryOnMatchesTrace(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, err := NewOnOff(0.02+0.4*rng.Float64(), 0.02+0.4*rng.Float64())
+		if err != nil {
+			return false
+		}
+		tr := c.Trace(c.SampleStationary(rng), 120000, rng)
+		return math.Abs(OnFraction(tr)-c.StationaryOn()) < 0.02
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

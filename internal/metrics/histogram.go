@@ -1,0 +1,146 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram buckets observations over a fixed range, used to render CVR
+// distributions across PMs (the per-PM scatter behind Fig. 6).
+type Histogram struct {
+	min, max float64
+	counts   []int
+	under    int // observations below min
+	over     int // observations above max
+	total    int
+}
+
+// NewHistogram creates a histogram with the given bucket count over
+// [min, max). Values outside the range are tallied separately.
+func NewHistogram(min, max float64, buckets int) (*Histogram, error) {
+	if buckets < 1 {
+		return nil, fmt.Errorf("metrics: buckets = %d, want ≥ 1", buckets)
+	}
+	if !(max > min) {
+		return nil, fmt.Errorf("metrics: range [%v, %v) is empty", min, max)
+	}
+	return &Histogram{min: min, max: max, counts: make([]int, buckets)}, nil
+}
+
+// Observe tallies one value.
+func (h *Histogram) Observe(v float64) {
+	h.total++
+	switch {
+	case math.IsNaN(v):
+		h.over++ // NaN treated as out of range high; never silently dropped
+	case v < h.min:
+		h.under++
+	case v >= h.max:
+		h.over++
+	default:
+		idx := int((v - h.min) / (h.max - h.min) * float64(len(h.counts)))
+		if idx >= len(h.counts) { // guard against float edge
+			idx = len(h.counts) - 1
+		}
+		h.counts[idx]++
+	}
+}
+
+// ObserveAll tallies a batch.
+func (h *Histogram) ObserveAll(vs []float64) {
+	for _, v := range vs {
+		h.Observe(v)
+	}
+}
+
+// Total returns the number of observations, including out-of-range ones.
+func (h *Histogram) Total() int { return h.total }
+
+// Count returns the tally of bucket i.
+func (h *Histogram) Count(i int) int { return h.counts[i] }
+
+// Buckets returns the number of in-range buckets.
+func (h *Histogram) Buckets() int { return len(h.counts) }
+
+// OutOfRange returns the below-range and above-range tallies.
+func (h *Histogram) OutOfRange() (under, over int) { return h.under, h.over }
+
+// BucketBounds returns bucket i's half-open interval [lo, hi).
+func (h *Histogram) BucketBounds(i int) (lo, hi float64) {
+	width := (h.max - h.min) / float64(len(h.counts))
+	return h.min + float64(i)*width, h.min + float64(i+1)*width
+}
+
+// Quantile returns an estimate of the q-quantile (q ∈ [0, 1]) from the
+// bucketed data, interpolating within the containing bucket. Out-of-range
+// mass is attributed to the range edges.
+func (h *Histogram) Quantile(q float64) (float64, error) {
+	if q < 0 || q > 1 {
+		return 0, fmt.Errorf("metrics: quantile %v outside [0,1]", q)
+	}
+	if h.total == 0 {
+		return 0, fmt.Errorf("metrics: empty histogram")
+	}
+	rank := q * float64(h.total)
+	cum := float64(h.under)
+	if rank <= cum {
+		return h.min, nil
+	}
+	for i, c := range h.counts {
+		next := cum + float64(c)
+		if rank <= next && c > 0 {
+			lo, hi := h.BucketBounds(i)
+			frac := (rank - cum) / float64(c)
+			return lo + frac*(hi-lo), nil
+		}
+		cum = next
+	}
+	return h.max, nil
+}
+
+// String renders the histogram as label-count-bar rows.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	maxCount := 1
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if h.under > 0 {
+		fmt.Fprintf(&b, "   < %8.4f  %6d\n", h.min, h.under)
+	}
+	for i, c := range h.counts {
+		lo, hi := h.BucketBounds(i)
+		bar := strings.Repeat("█", c*40/maxCount)
+		fmt.Fprintf(&b, "[%8.4f, %8.4f)  %6d %s\n", lo, hi, c, bar)
+	}
+	if h.over > 0 {
+		fmt.Fprintf(&b, "  >= %8.4f  %6d\n", h.max, h.over)
+	}
+	return b.String()
+}
+
+// FromValues builds a histogram spanning the observed range of the data
+// (right edge padded so the maximum lands in the last bucket).
+func FromValues(values []float64, buckets int) (*Histogram, error) {
+	if len(values) == 0 {
+		return nil, fmt.Errorf("metrics: no values")
+	}
+	sorted := append([]float64(nil), values...)
+	sort.Float64s(sorted)
+	min, max := sorted[0], sorted[len(sorted)-1]
+	if min == max {
+		max = min + 1
+	} else {
+		max += (max - min) * 1e-9
+	}
+	h, err := NewHistogram(min, max, buckets)
+	if err != nil {
+		return nil, err
+	}
+	h.ObserveAll(values)
+	return h, nil
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewHistogramValidation(t *testing.T) {
+	if _, err := NewHistogram(0, 1, 0); err == nil {
+		t.Error("zero buckets accepted")
+	}
+	if _, err := NewHistogram(1, 1, 4); err == nil {
+		t.Error("empty range accepted")
+	}
+	if _, err := NewHistogram(2, 1, 4); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	h, err := NewHistogram(0, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.ObserveAll([]float64{0, 1.9, 2, 5, 9.99})
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	if h.Count(0) != 2 { // 0 and 1.9
+		t.Errorf("bucket 0 = %d, want 2", h.Count(0))
+	}
+	if h.Count(1) != 1 || h.Count(2) != 1 || h.Count(4) != 1 {
+		t.Errorf("buckets = %v %v %v", h.Count(1), h.Count(2), h.Count(4))
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("Buckets = %d", h.Buckets())
+	}
+	lo, hi := h.BucketBounds(2)
+	if lo != 4 || hi != 6 {
+		t.Errorf("BucketBounds(2) = [%v, %v)", lo, hi)
+	}
+}
+
+func TestHistogramOutOfRange(t *testing.T) {
+	h, _ := NewHistogram(0, 1, 2)
+	h.Observe(-0.5)
+	h.Observe(1) // right edge is exclusive
+	h.Observe(2.5)
+	h.Observe(math.NaN())
+	under, over := h.OutOfRange()
+	if under != 1 || over != 3 {
+		t.Errorf("out of range = %d, %d; want 1, 3", under, over)
+	}
+	if h.Total() != 4 {
+		t.Errorf("Total = %d", h.Total())
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h, _ := NewHistogram(0, 100, 100)
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i) + 0.5)
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		got, err := h.Quantile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := q * 100
+		if math.Abs(got-want) > 1.5 {
+			t.Errorf("Quantile(%v) = %v, want ≈ %v", q, got, want)
+		}
+	}
+	if _, err := h.Quantile(-0.1); err == nil {
+		t.Error("negative quantile accepted")
+	}
+	if _, err := h.Quantile(1.1); err == nil {
+		t.Error("quantile > 1 accepted")
+	}
+	empty, _ := NewHistogram(0, 1, 2)
+	if _, err := empty.Quantile(0.5); err == nil {
+		t.Error("empty histogram quantile accepted")
+	}
+}
+
+func TestHistogramQuantileEdges(t *testing.T) {
+	h, _ := NewHistogram(0, 10, 2)
+	h.Observe(-5) // under
+	h.Observe(15) // over
+	q0, _ := h.Quantile(0)
+	if q0 != 0 {
+		t.Errorf("Quantile(0) = %v, want range min", q0)
+	}
+	q1, _ := h.Quantile(1)
+	if q1 != 10 {
+		t.Errorf("Quantile(1) = %v, want range max", q1)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h, _ := NewHistogram(0, 2, 2)
+	h.ObserveAll([]float64{-1, 0.5, 1.5, 1.6, 3})
+	out := h.String()
+	for _, want := range []string{"<", ">=", "█"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendering missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFromValues(t *testing.T) {
+	h, err := FromValues([]float64{1, 2, 3, 4, 5}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 5 {
+		t.Errorf("Total = %d", h.Total())
+	}
+	under, over := h.OutOfRange()
+	if under != 0 || over != 0 {
+		t.Errorf("auto-ranged histogram dropped values: %d, %d", under, over)
+	}
+	if _, err := FromValues(nil, 3); err == nil {
+		t.Error("empty input accepted")
+	}
+	flat, err := FromValues([]float64{7, 7, 7}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flat.Total() != 3 {
+		t.Error("flat input mishandled")
+	}
+}
+
+// Property: every observation lands somewhere (buckets + out-of-range sum to
+// total) for random data.
+func TestPropHistogramConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		h, err := NewHistogram(-1, 1, 1+rng.Intn(20))
+		if err != nil {
+			return false
+		}
+		n := rng.Intn(500)
+		for i := 0; i < n; i++ {
+			h.Observe(rng.NormFloat64())
+		}
+		sum := 0
+		for i := 0; i < h.Buckets(); i++ {
+			sum += h.Count(i)
+		}
+		under, over := h.OutOfRange()
+		return sum+under+over == h.Total() && h.Total() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,254 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCVRMeterBasics(t *testing.T) {
+	m := NewCVRMeter()
+	if m.CVR(0) != 0 {
+		t.Error("unobserved PM should have CVR 0")
+	}
+	for i := 0; i < 100; i++ {
+		m.Observe(0, i < 5) // 5 violations in 100 steps
+		m.Observe(1, false)
+	}
+	if got := m.CVR(0); got != 0.05 {
+		t.Errorf("CVR(0) = %v, want 0.05", got)
+	}
+	if got := m.CVR(1); got != 0 {
+		t.Errorf("CVR(1) = %v, want 0", got)
+	}
+	if pms := m.PMs(); len(pms) != 2 || pms[0] != 0 || pms[1] != 1 {
+		t.Errorf("PMs = %v", pms)
+	}
+	if got := m.Max(); got != 0.05 {
+		t.Errorf("Max = %v", got)
+	}
+	if got := m.Mean(); got != 0.025 {
+		t.Errorf("Mean = %v", got)
+	}
+	if all := m.All(); all[0] != 0.05 || all[1] != 0 {
+		t.Errorf("All = %v", all)
+	}
+	if vals := m.Values(); len(vals) != 2 || vals[0] != 0.05 {
+		t.Errorf("Values = %v", vals)
+	}
+}
+
+func TestCVRMeterEmptyMean(t *testing.T) {
+	m := NewCVRMeter()
+	if m.Mean() != 0 || m.Max() != 0 {
+		t.Error("empty meter should give zero aggregates")
+	}
+}
+
+func TestCVRMeterOverThreshold(t *testing.T) {
+	m := NewCVRMeter()
+	for i := 0; i < 100; i++ {
+		m.Observe(0, i < 2)  // CVR 0.02
+		m.Observe(1, i < 1)  // CVR 0.01
+		m.Observe(2, i < 50) // CVR 0.5
+	}
+	over := m.OverThreshold(0.01)
+	if len(over) != 2 || over[0] != 0 || over[1] != 2 {
+		t.Errorf("OverThreshold = %v, want [0 2]", over)
+	}
+	if len(m.OverThreshold(0.9)) != 0 {
+		t.Error("nothing should exceed 0.9")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
+		t.Errorf("Summary = %+v", s)
+	}
+	// Sample stddev of this classic set is sqrt(32/7).
+	if math.Abs(s.StdDev-math.Sqrt(32.0/7)) > 1e-12 {
+		t.Errorf("StdDev = %v", s.StdDev)
+	}
+	if z := Summarize(nil); z.N != 0 || z.Mean != 0 {
+		t.Errorf("empty summary = %+v", z)
+	}
+	one := Summarize([]float64{3})
+	if one.StdDev != 0 || one.Mean != 3 || one.Min != 3 || one.Max != 3 {
+		t.Errorf("singleton summary = %+v", one)
+	}
+}
+
+func TestTrialStats(t *testing.T) {
+	ts := NewTrialStats("migrations")
+	if ts.Name() != "migrations" {
+		t.Error("name lost")
+	}
+	for _, v := range []float64{10, 14, 12} {
+		ts.Add(v)
+	}
+	if ts.Trials() != 3 {
+		t.Errorf("Trials = %d", ts.Trials())
+	}
+	s := ts.Summary()
+	if s.Mean != 12 || s.Min != 10 || s.Max != 14 {
+		t.Errorf("Summary = %+v", s)
+	}
+	str := ts.String()
+	if !strings.Contains(str, "migrations") || !strings.Contains(str, "12.00") {
+		t.Errorf("String = %q", str)
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries("pms")
+	if ts.Name() != "pms" || ts.Len() != 0 || ts.Last() != 0 {
+		t.Error("empty series wrong")
+	}
+	for i := 0; i < 10; i++ {
+		ts.Append(i, float64(i))
+	}
+	if ts.Len() != 10 {
+		t.Errorf("Len = %d", ts.Len())
+	}
+	step, val := ts.At(3)
+	if step != 3 || val != 3 {
+		t.Errorf("At(3) = %d, %v", step, val)
+	}
+	if ts.Last() != 9 {
+		t.Errorf("Last = %v", ts.Last())
+	}
+	if ts.Sum() != 45 {
+		t.Errorf("Sum = %v", ts.Sum())
+	}
+	vals := ts.Values()
+	vals[0] = 99
+	if ts.values[0] != 0 {
+		t.Error("Values returned internal storage")
+	}
+}
+
+func TestTimeSeriesBuckets(t *testing.T) {
+	ts := NewTimeSeries("m")
+	for i := 0; i < 10; i++ {
+		ts.Append(i, 1)
+	}
+	b := ts.Buckets(5)
+	if len(b) != 5 {
+		t.Fatalf("buckets = %v", b)
+	}
+	for i, v := range b {
+		if v != 2 {
+			t.Errorf("bucket %d = %v, want 2", i, v)
+		}
+	}
+	// Remainder absorbed by last bucket: 10 values into 3 buckets of 3.
+	b3 := ts.Buckets(3)
+	if len(b3) != 3 || b3[0] != 3 || b3[1] != 3 || b3[2] != 4 {
+		t.Errorf("Buckets(3) = %v", b3)
+	}
+	if ts.Buckets(0) != nil {
+		t.Error("zero buckets should give nil")
+	}
+	empty := NewTimeSeries("e")
+	if empty.Buckets(3) != nil {
+		t.Error("empty series should give nil buckets")
+	}
+	// More buckets than points collapses to one value per point.
+	if got := ts.Buckets(100); len(got) != 10 {
+		t.Errorf("Buckets(100) length = %d", len(got))
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tab := NewTable("Figure 5(a)", "strategy", "pms", "ratio")
+	tab.AddRow("QUEUE", 42, 0.7)
+	tab.AddRow("RP", 60, 1.0)
+	if tab.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tab.NumRows())
+	}
+	out := tab.String()
+	for _, want := range []string{"Figure 5(a)", "strategy", "QUEUE", "42", "0.700", "-----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Errorf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tab := NewTable("", "a")
+	tab.AddRow(1)
+	if strings.HasPrefix(tab.String(), "\n") {
+		t.Error("untitled table should not start with a blank line")
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+	s := Sparkline([]float64{0, 1, 2, 3})
+	if len([]rune(s)) != 4 {
+		t.Errorf("sparkline rune count = %d", len([]rune(s)))
+	}
+	runes := []rune(s)
+	if runes[0] != '▁' || runes[3] != '█' {
+		t.Errorf("sparkline extremes wrong: %s", s)
+	}
+	flat := Sparkline([]float64{5, 5, 5})
+	for _, r := range flat {
+		if r != '▁' {
+			t.Errorf("flat series should render minimum ticks: %s", flat)
+		}
+	}
+}
+
+// Property: Summarize is order-invariant and bounded by min/max.
+func TestPropSummarizeInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		vals := make([]float64, n)
+		for i := range vals {
+			vals[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(vals)
+		if s.Mean < s.Min-1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		shuffled := append([]float64(nil), vals...)
+		rng.Shuffle(n, func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		s2 := Summarize(shuffled)
+		return math.Abs(s.Mean-s2.Mean) < 1e-9 && s.Min == s2.Min && s.Max == s2.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: bucket sums preserve the series total.
+func TestPropBucketsPreserveSum(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ts := NewTimeSeries("x")
+		n := 1 + rng.Intn(100)
+		for i := 0; i < n; i++ {
+			ts.Append(i, float64(rng.Intn(10)))
+		}
+		buckets := ts.Buckets(1 + rng.Intn(12))
+		sum := 0.0
+		for _, b := range buckets {
+			sum += b
+		}
+		return math.Abs(sum-ts.Sum()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

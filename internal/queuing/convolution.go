@@ -1,0 +1,137 @@
+package queuing
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// This file computes the *exact* stationary distribution of a PM's aggregate
+// load: each VM contributes a two-atom demand distribution (R_b with
+// probability 1−q, R_p with probability q, q = π_ON), the VMs are independent
+// in steady state, and the aggregate is their convolution. P(load > C) is
+// then the PM's exact CVR by ergodicity — the tightest admission test the
+// stationary constraint permits, against which the paper's block reservation
+// (structured but conservative) can be measured.
+
+// DemandAtom is one point of a discrete demand distribution.
+type DemandAtom struct {
+	Value float64
+	Prob  float64
+}
+
+// LoadDistribution is a discrete distribution over aggregate demand, kept
+// sorted by value with merged duplicates.
+type LoadDistribution struct {
+	atoms []DemandAtom
+}
+
+// NewLoadDistribution starts from the empty aggregate (one atom at 0).
+func NewLoadDistribution() *LoadDistribution {
+	return &LoadDistribution{atoms: []DemandAtom{{Value: 0, Prob: 1}}}
+}
+
+// pruneProb drops atoms below this mass after each convolution; their total
+// is folded into the nearest retained atom's bucket implicitly by
+// renormalisation, keeping the tail estimate conservative to ~1e-12 per VM.
+const pruneProb = 1e-15
+
+// valueEps merges atoms whose values differ by less than this.
+const valueEps = 1e-9
+
+// AddVM convolves one VM's two-atom demand (rb w.p. 1−q, rb+re w.p. q) into
+// the aggregate.
+func (d *LoadDistribution) AddVM(rb, re, q float64) error {
+	if rb < 0 || re < 0 {
+		return fmt.Errorf("queuing: negative demand (rb=%v, re=%v)", rb, re)
+	}
+	if q < 0 || q > 1 || math.IsNaN(q) {
+		return fmt.Errorf("queuing: ON probability %v outside [0,1]", q)
+	}
+	next := make([]DemandAtom, 0, 2*len(d.atoms))
+	for _, a := range d.atoms {
+		if off := a.Prob * (1 - q); off > 0 {
+			next = append(next, DemandAtom{Value: a.Value + rb, Prob: off})
+		}
+		if on := a.Prob * q; on > 0 {
+			next = append(next, DemandAtom{Value: a.Value + rb + re, Prob: on})
+		}
+	}
+	d.atoms = normalizeAtoms(next)
+	return nil
+}
+
+// normalizeAtoms sorts, merges near-equal values, prunes dust, renormalises.
+func normalizeAtoms(atoms []DemandAtom) []DemandAtom {
+	sort.Slice(atoms, func(i, j int) bool { return atoms[i].Value < atoms[j].Value })
+	merged := atoms[:0]
+	for _, a := range atoms {
+		if n := len(merged); n > 0 && a.Value-merged[n-1].Value < valueEps {
+			merged[n-1].Prob += a.Prob
+			continue
+		}
+		merged = append(merged, a)
+	}
+	kept := merged[:0]
+	total := 0.0
+	for _, a := range merged {
+		if a.Prob >= pruneProb {
+			kept = append(kept, a)
+			total += a.Prob
+		}
+	}
+	if total > 0 && math.Abs(total-1) > 1e-12 {
+		for i := range kept {
+			kept[i].Prob /= total
+		}
+	}
+	return kept
+}
+
+// Atoms returns a copy of the distribution's atoms.
+func (d *LoadDistribution) Atoms() []DemandAtom {
+	out := make([]DemandAtom, len(d.atoms))
+	copy(out, d.atoms)
+	return out
+}
+
+// Size returns the number of atoms.
+func (d *LoadDistribution) Size() int { return len(d.atoms) }
+
+// Mean returns the expected aggregate load.
+func (d *LoadDistribution) Mean() float64 {
+	m := 0.0
+	for _, a := range d.atoms {
+		m += a.Value * a.Prob
+	}
+	return m
+}
+
+// TailBeyond returns P(load > c) — the exact stationary CVR of a PM with
+// capacity c hosting the convolved VMs.
+func (d *LoadDistribution) TailBeyond(c float64) float64 {
+	tail := 0.0
+	for i := len(d.atoms) - 1; i >= 0; i-- {
+		if d.atoms[i].Value <= c+1e-9 {
+			break
+		}
+		tail += d.atoms[i].Prob
+	}
+	return tail
+}
+
+// ExactLoadTail is the one-shot helper: the exact stationary overflow
+// probability of capacity c under the given independent two-level VMs.
+// The slices are (rb, re, q) per VM and must have equal length.
+func ExactLoadTail(rbs, res, qs []float64, c float64) (float64, error) {
+	if len(rbs) != len(res) || len(rbs) != len(qs) {
+		return 0, fmt.Errorf("queuing: mismatched demand slices (%d, %d, %d)", len(rbs), len(res), len(qs))
+	}
+	d := NewLoadDistribution()
+	for i := range rbs {
+		if err := d.AddVM(rbs[i], res[i], qs[i]); err != nil {
+			return 0, err
+		}
+	}
+	return d.TailBeyond(c), nil
+}

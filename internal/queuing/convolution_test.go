@@ -1,0 +1,181 @@
+package queuing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/markov"
+)
+
+func TestLoadDistributionEmpty(t *testing.T) {
+	d := NewLoadDistribution()
+	if d.Size() != 1 || d.Mean() != 0 {
+		t.Errorf("empty distribution: size %d mean %v", d.Size(), d.Mean())
+	}
+	if d.TailBeyond(0) != 0 {
+		t.Error("empty aggregate never exceeds 0")
+	}
+}
+
+func TestLoadDistributionSingleVM(t *testing.T) {
+	d := NewLoadDistribution()
+	if err := d.AddVM(10, 5, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	atoms := d.Atoms()
+	if len(atoms) != 2 {
+		t.Fatalf("atoms = %v", atoms)
+	}
+	if atoms[0].Value != 10 || math.Abs(atoms[0].Prob-0.9) > 1e-12 {
+		t.Errorf("OFF atom = %+v", atoms[0])
+	}
+	if atoms[1].Value != 15 || math.Abs(atoms[1].Prob-0.1) > 1e-12 {
+		t.Errorf("ON atom = %+v", atoms[1])
+	}
+	if math.Abs(d.Mean()-10.5) > 1e-12 {
+		t.Errorf("mean = %v", d.Mean())
+	}
+	if got := d.TailBeyond(12); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("TailBeyond(12) = %v, want 0.1", got)
+	}
+	if d.TailBeyond(15) != 0 {
+		t.Error("capacity at the peak should not overflow")
+	}
+}
+
+func TestLoadDistributionValidation(t *testing.T) {
+	d := NewLoadDistribution()
+	if err := d.AddVM(-1, 5, 0.1); err == nil {
+		t.Error("negative rb accepted")
+	}
+	if err := d.AddVM(1, -5, 0.1); err == nil {
+		t.Error("negative re accepted")
+	}
+	if err := d.AddVM(1, 5, 1.5); err == nil {
+		t.Error("q > 1 accepted")
+	}
+}
+
+func TestLoadDistributionDegenerateQ(t *testing.T) {
+	d := NewLoadDistribution()
+	if err := d.AddVM(10, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1 || d.Atoms()[0].Value != 10 {
+		t.Errorf("q=0 should give a single OFF atom: %v", d.Atoms())
+	}
+	if err := d.AddVM(3, 2, 1); err != nil {
+		t.Fatal(err)
+	}
+	if d.Size() != 1 || d.Atoms()[0].Value != 15 {
+		t.Errorf("q=1 should shift deterministically: %v", d.Atoms())
+	}
+}
+
+func TestLoadDistributionMergesEqualValues(t *testing.T) {
+	// Two identical VMs: sums 20, 25, 25, 30 → three atoms after merging.
+	d := NewLoadDistribution()
+	_ = d.AddVM(10, 5, 0.5)
+	_ = d.AddVM(10, 5, 0.5)
+	if d.Size() != 3 {
+		t.Fatalf("atoms = %v", d.Atoms())
+	}
+	mid := d.Atoms()[1]
+	if mid.Value != 25 || math.Abs(mid.Prob-0.5) > 1e-12 {
+		t.Errorf("merged middle atom = %+v", mid)
+	}
+}
+
+func TestExactLoadTailMatchesBinomial(t *testing.T) {
+	// k identical VMs: load > C iff more than K are ON, so the tail must be
+	// the binomial tail MapCal uses.
+	const k = 10
+	rbs := make([]float64, k)
+	res := make([]float64, k)
+	qs := make([]float64, k)
+	for i := range rbs {
+		rbs[i], res[i], qs[i] = 10, 5, 0.1
+	}
+	// Capacity fits all Rb plus exactly 3 spikes.
+	c := 10*float64(k) + 5*3
+	got, err := ExactLoadTail(rbs, res, qs, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.0
+	for m := 4; m <= k; m++ {
+		want += markov.BinomialPMF(k, m, 0.1)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("tail = %v, want binomial %v", got, want)
+	}
+}
+
+func TestExactLoadTailValidation(t *testing.T) {
+	if _, err := ExactLoadTail([]float64{1}, []float64{1, 2}, []float64{0.1}, 10); err == nil {
+		t.Error("mismatched slices accepted")
+	}
+	if _, err := ExactLoadTail([]float64{1}, []float64{1}, []float64{2}, 10); err == nil {
+		t.Error("invalid q accepted")
+	}
+}
+
+// Property: the convolution stays a distribution and its mean is the sum of
+// per-VM means for random fleets.
+func TestPropConvolutionMoments(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(14)
+		d := NewLoadDistribution()
+		wantMean := 0.0
+		for i := 0; i < k; i++ {
+			rb := 1 + 19*rng.Float64()
+			re := 1 + 19*rng.Float64()
+			q := rng.Float64()
+			if d.AddVM(rb, re, q) != nil {
+				return false
+			}
+			wantMean += rb + q*re
+		}
+		total := 0.0
+		prev := math.Inf(-1)
+		for _, a := range d.Atoms() {
+			if a.Prob < 0 || a.Value < prev {
+				return false
+			}
+			prev = a.Value
+			total += a.Prob
+		}
+		return math.Abs(total-1) < 1e-9 && math.Abs(d.Mean()-wantMean) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the tail is non-increasing in capacity.
+func TestPropTailMonotoneInCapacity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := NewLoadDistribution()
+		for i := 0; i < 6; i++ {
+			if d.AddVM(1+9*rng.Float64(), 1+9*rng.Float64(), rng.Float64()) != nil {
+				return false
+			}
+		}
+		prev := 1.1
+		for c := 0.0; c < 120; c += 5 {
+			tail := d.TailBeyond(c)
+			if tail > prev+1e-12 {
+				return false
+			}
+			prev = tail
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,55 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// FuzzMapCal checks Algorithm 1's contract on arbitrary inputs: either a
+// validation error, or a K in [0, k] that is minimal and keeps the CVR
+// within ρ.
+func FuzzMapCal(f *testing.F) {
+	f.Add(8, 0.01, 0.09, 0.01)
+	f.Add(1, 0.5, 0.5, 0.1)
+	f.Add(16, 0.99, 0.01, 0.001)
+	f.Add(3, 1.0, 1.0, 0.25)
+	f.Fuzz(func(t *testing.T, k int, pOn, pOff, rho float64) {
+		if k > 64 {
+			k %= 64 // keep the O(k³) solve cheap
+		}
+		res, err := MapCal(k, pOn, pOff, rho)
+		if err != nil {
+			return // invalid input rejected, fine
+		}
+		if k < 1 || rho < 0 || rho >= 1 || !(pOn > 0 && pOn <= 1) || !(pOff > 0 && pOff <= 1) {
+			t.Fatalf("invalid input (k=%d p=%v/%v rho=%v) accepted", k, pOn, pOff, rho)
+		}
+		if res.K < 0 || res.K > k {
+			t.Fatalf("K = %d outside [0, %d]", res.K, k)
+		}
+		if res.K == k {
+			if res.CVR != 0 {
+				t.Fatalf("full blocks but CVR %v", res.CVR)
+			}
+		} else {
+			if res.CVR > rho+1e-12 {
+				t.Fatalf("CVR %v exceeds rho %v", res.CVR, rho)
+			}
+			if res.K >= 1 && markov.TailFromStationary(res.Stationary, res.K-1) <= rho {
+				t.Fatalf("K = %d not minimal", res.K)
+			}
+		}
+		sum := 0.0
+		for _, v := range res.Stationary {
+			if v < 0 || math.IsNaN(v) {
+				t.Fatalf("bad stationary mass %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("stationary sums to %v", sum)
+		}
+	})
+}

@@ -1,0 +1,228 @@
+package queuing
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/markov"
+)
+
+func TestPoissonBinomialPMFEmpty(t *testing.T) {
+	pmf, err := PoissonBinomialPMF(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pmf) != 1 || pmf[0] != 1 {
+		t.Errorf("empty PMF = %v, want [1]", pmf)
+	}
+}
+
+func TestPoissonBinomialMatchesBinomial(t *testing.T) {
+	// Identical probabilities reduce to the binomial.
+	qs := []float64{0.1, 0.1, 0.1, 0.1, 0.1, 0.1}
+	pmf, err := PoissonBinomialPMF(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := 0; m <= 6; m++ {
+		want := markov.BinomialPMF(6, m, 0.1)
+		if math.Abs(pmf[m]-want) > 1e-12 {
+			t.Errorf("m=%d: %v vs binomial %v", m, pmf[m], want)
+		}
+	}
+}
+
+func TestPoissonBinomialHandComputed(t *testing.T) {
+	pmf, err := PoissonBinomialPMF([]float64{0.5, 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0.4, 0.5, 0.1} // (0.5·0.8, 0.5·0.8+0.5·0.2, 0.5·0.2)
+	for m, w := range want {
+		if math.Abs(pmf[m]-w) > 1e-12 {
+			t.Errorf("m=%d: %v, want %v", m, pmf[m], w)
+		}
+	}
+}
+
+func TestPoissonBinomialRejectsBadProbability(t *testing.T) {
+	if _, err := PoissonBinomialPMF([]float64{0.5, 1.2}); err == nil {
+		t.Error("q > 1 accepted")
+	}
+	if _, err := PoissonBinomialPMF([]float64{-0.1}); err == nil {
+		t.Error("q < 0 accepted")
+	}
+}
+
+func TestStationaryOnProbabilities(t *testing.T) {
+	qs, err := StationaryOnProbabilities([]float64{0.01, 0.05}, []float64{0.09, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(qs[0]-0.1) > 1e-12 || math.Abs(qs[1]-0.5) > 1e-12 {
+		t.Errorf("qs = %v", qs)
+	}
+	if _, err := StationaryOnProbabilities([]float64{0.01}, []float64{0.09, 0.05}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := StationaryOnProbabilities([]float64{0}, []float64{0.09}); err == nil {
+		t.Error("invalid chain accepted")
+	}
+}
+
+func TestMapCalHeteroUniformMatchesMapCal(t *testing.T) {
+	for _, k := range []int{1, 4, 10, 16} {
+		pOns := make([]float64, k)
+		pOffs := make([]float64, k)
+		for i := range pOns {
+			pOns[i], pOffs[i] = paperPOn, paperPOff
+		}
+		hetero, err := MapCalHetero(pOns, pOffs, paperRho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uniform, err := MapCal(k, paperPOn, paperPOff, paperRho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hetero.K != uniform.K {
+			t.Errorf("k=%d: hetero K=%d vs uniform K=%d", k, hetero.K, uniform.K)
+		}
+		if math.Abs(hetero.CVR-uniform.CVR) > 1e-9 {
+			t.Errorf("k=%d: hetero CVR %v vs uniform %v", k, hetero.CVR, uniform.CVR)
+		}
+	}
+}
+
+func TestMapCalHeteroValidation(t *testing.T) {
+	if _, err := MapCalHetero(nil, nil, 0.01); err == nil {
+		t.Error("empty fleet accepted")
+	}
+	if _, err := MapCalHetero([]float64{0.01}, []float64{0.09}, 1); err == nil {
+		t.Error("rho = 1 accepted")
+	}
+	if _, err := MapCalHetero([]float64{0}, []float64{0.09}, 0.01); err == nil {
+		t.Error("invalid p_on accepted")
+	}
+}
+
+func TestMapCalHeteroExactVsRounding(t *testing.T) {
+	// A mixed fleet: 6 calm VMs (q=0.05) and 2 bursty ones (q=0.5).
+	pOns := []float64{0.01, 0.01, 0.01, 0.01, 0.01, 0.01, 0.2, 0.2}
+	pOffs := []float64{0.19, 0.19, 0.19, 0.19, 0.19, 0.19, 0.2, 0.2}
+	exact, err := MapCalHetero(pOns, pOffs, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean rounding: p_on = 0.0575, p_off = 0.1925 → q ≈ 0.23 for all 8,
+	// which misrepresents both groups.
+	var sumOn, sumOff float64
+	for i := range pOns {
+		sumOn += pOns[i]
+		sumOff += pOffs[i]
+	}
+	rounded, err := MapCal(8, sumOn/8, sumOff/8, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.CVR > 0.01 {
+		t.Errorf("exact CVR %v exceeds rho", exact.CVR)
+	}
+	t.Logf("exact K=%d (CVR %.4f) vs mean-rounded K=%d (nominal CVR %.4f)",
+		exact.K, exact.CVR, rounded.K, rounded.CVR)
+	// The rounded chain's nominal CVR says nothing about the real fleet;
+	// verify the *exact* model against simulation of the true sources.
+	rng := rand.New(rand.NewSource(77))
+	chains := make([]markov.OnOff, len(pOns))
+	states := make([]markov.State, len(pOns))
+	for i := range chains {
+		c, err := markov.NewOnOff(pOns[i], pOffs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		chains[i] = c
+		states[i] = c.SampleStationary(rng)
+	}
+	violations := 0
+	const steps = 300000
+	for s := 0; s < steps; s++ {
+		on := 0
+		for i := range chains {
+			states[i] = chains[i].Step(states[i], rng)
+			if states[i] == markov.On {
+				on++
+			}
+		}
+		if on > exact.K {
+			violations++
+		}
+	}
+	emp := float64(violations) / steps
+	if math.Abs(emp-exact.CVR) > 0.004 {
+		t.Errorf("simulated hetero CVR %v vs exact analytic %v", emp, exact.CVR)
+	}
+}
+
+// Property: the Poisson-binomial PMF is a distribution with mean Σq.
+func TestPropPoissonBinomialIsDistribution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(25)
+		qs := make([]float64, k)
+		wantMean := 0.0
+		for i := range qs {
+			qs[i] = rng.Float64()
+			wantMean += qs[i]
+		}
+		pmf, err := PoissonBinomialPMF(qs)
+		if err != nil || len(pmf) != k+1 {
+			return false
+		}
+		sum, mean := 0.0, 0.0
+		for m, p := range pmf {
+			if p < 0 || math.IsNaN(p) {
+				return false
+			}
+			sum += p
+			mean += float64(m) * p
+		}
+		return math.Abs(sum-1) < 1e-10 && math.Abs(mean-wantMean) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: MapCalHetero's K is minimal and its CVR within rho.
+func TestPropMapCalHeteroMinimal(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(15)
+		pOns := make([]float64, k)
+		pOffs := make([]float64, k)
+		for i := range pOns {
+			pOns[i] = 0.01 + 0.4*rng.Float64()
+			pOffs[i] = 0.01 + 0.4*rng.Float64()
+		}
+		rho := 0.001 + 0.2*rng.Float64()
+		res, err := MapCalHetero(pOns, pOffs, rho)
+		if err != nil {
+			return false
+		}
+		if res.K < 0 || res.K > k {
+			return false
+		}
+		if res.K < k && res.CVR > rho {
+			return false
+		}
+		if res.K >= 1 && res.K < k && markov.TailFromStationary(res.Stationary, res.K-1) <= rho {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

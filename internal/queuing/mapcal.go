@@ -1,0 +1,125 @@
+// Package queuing implements the paper's reservation quantification: MapCal
+// (Algorithm 1), which computes the minimum number of reservation blocks K a
+// PM hosting k bursty VMs needs so that its capacity-violation ratio stays
+// below a threshold ρ, plus the derived metrics of the underlying
+// finite-source Geom/Geom/K queue with no waiting room.
+package queuing
+
+import (
+	"fmt"
+
+	"repro/internal/markov"
+)
+
+// Result captures everything MapCal derives for one (k, p_on, p_off, ρ)
+// instance: the block count K, the stationary occupancy distribution Π, and
+// the analytic CVR that K blocks yield (the tail mass beyond K).
+type Result struct {
+	K          int       // minimum number of blocks satisfying CVR ≤ ρ
+	Stationary []float64 // π_0 … π_k, long-run occupancy distribution
+	CVR        float64   // analytic capacity-violation ratio with K blocks
+	Rho        float64   // the threshold the result was computed for
+	Sources    int       // k, number of hosted VMs
+}
+
+// Reduced reports whether MapCal managed to reserve fewer blocks than VMs
+// (K < k), i.e. whether consolidation gains anything over peak provisioning.
+func (r Result) Reduced() bool { return r.K < r.Sources }
+
+// MapCal is Algorithm 1. Given k VMs sharing a PM, their common switch
+// probabilities, and the CVR threshold ρ, it:
+//
+//  1. builds the (k+1)-state busy-blocks transition matrix (Eq. 12),
+//  2. solves the balance equations Π·P = Π by Gaussian elimination (Eq. 14),
+//  3. returns the minimum K with Σ_{m=0}^{K} π_m ≥ 1 − ρ (Eq. 15).
+//
+// When even K = k−1 leaves too much tail mass, K = k is returned (every VM
+// keeps its own block and the CVR is exactly 0), matching the paper's
+// requirement that the initial k-block configuration never violates.
+func MapCal(k int, pOn, pOff, rho float64) (Result, error) {
+	if k < 1 {
+		return Result{}, fmt.Errorf("queuing: k must be ≥ 1, got %d", k)
+	}
+	if rho < 0 || rho >= 1 {
+		return Result{}, fmt.Errorf("queuing: rho = %v outside [0,1)", rho)
+	}
+	bb, err := markov.NewBusyBlocks(k, pOn, pOff)
+	if err != nil {
+		return Result{}, fmt.Errorf("queuing: %w", err)
+	}
+	pi, err := bb.Stationary()
+	if err != nil {
+		return Result{}, fmt.Errorf("queuing: stationary solve for k=%d: %w", k, err)
+	}
+	kBlocks := blocksFromStationary(pi, rho)
+	return Result{
+		K:          kBlocks,
+		Stationary: pi,
+		CVR:        markov.TailFromStationary(pi, kBlocks),
+		Rho:        rho,
+		Sources:    k,
+	}, nil
+}
+
+// blocksFromStationary returns the minimum K such that the head mass
+// Σ_{m≤K} π_m reaches 1 − ρ, capped at k (= len(pi)−1).
+func blocksFromStationary(pi []float64, rho float64) int {
+	head := 0.0
+	for kBlocks := 0; kBlocks < len(pi)-1; kBlocks++ {
+		head += pi[kBlocks]
+		if head >= 1-rho {
+			return kBlocks
+		}
+	}
+	return len(pi) - 1
+}
+
+// MappingTable precomputes mapping[k] = MapCal(k).K for all k in [1, d],
+// the table QueuingFFD consults during placement (Algorithm 2, lines 1–6).
+// Index 0 is 0 by definition (an empty PM needs no blocks).
+type MappingTable struct {
+	pOn, pOff float64
+	rho       float64
+	blocks    []int // blocks[k] = K for k hosted VMs, k ∈ [0, d]
+}
+
+// NewMappingTable computes the table for the given maximum VM count d.
+func NewMappingTable(d int, pOn, pOff, rho float64) (*MappingTable, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("queuing: d must be ≥ 1, got %d", d)
+	}
+	t := &MappingTable{pOn: pOn, pOff: pOff, rho: rho, blocks: make([]int, d+1)}
+	for k := 1; k <= d; k++ {
+		res, err := MapCal(k, pOn, pOff, rho)
+		if err != nil {
+			return nil, err
+		}
+		t.blocks[k] = res.K
+	}
+	return t, nil
+}
+
+// Blocks returns mapping(k). It panics when k is outside [0, d]; the
+// consolidation layer is responsible for respecting the VM cap.
+func (t *MappingTable) Blocks(k int) int {
+	if k < 0 || k >= len(t.blocks) {
+		panic(fmt.Sprintf("queuing: mapping(%d) outside precomputed range [0,%d]", k, len(t.blocks)-1))
+	}
+	return t.blocks[k]
+}
+
+// MaxVMs returns d, the largest k the table covers.
+func (t *MappingTable) MaxVMs() int { return len(t.blocks) - 1 }
+
+// Rho returns the CVR threshold the table was computed for.
+func (t *MappingTable) Rho() float64 { return t.rho }
+
+// POn returns the common OFF→ON switch probability.
+func (t *MappingTable) POn() float64 { return t.pOn }
+
+// POff returns the common ON→OFF switch probability.
+func (t *MappingTable) POff() float64 { return t.pOff }
+
+// Savings returns k − mapping(k), the number of blocks the queue sheds
+// relative to peak provisioning for k VMs.
+func (t *MappingTable) Savings(k int) int { return k - t.Blocks(k) }

@@ -1,0 +1,155 @@
+package queuing
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSweepRhoMonotone(t *testing.T) {
+	rhos := []float64{0.001, 0.01, 0.05, 0.1, 0.3}
+	points, err := SweepRho(16, paperPOn, paperPOff, rhos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != len(rhos) {
+		t.Fatalf("got %d points", len(points))
+	}
+	prevBlocks := 17
+	for i, p := range points {
+		if p.K != 16 {
+			t.Errorf("point %d has K = %d", i, p.K)
+		}
+		// Looser budget never needs more blocks.
+		if p.Blocks > prevBlocks {
+			t.Errorf("blocks increased with rho at %v: %d > %d", p.Rho, p.Blocks, prevBlocks)
+		}
+		prevBlocks = p.Blocks
+		if p.CVR > p.Rho+1e-12 && p.Blocks < p.K {
+			t.Errorf("point %d: CVR %v exceeds rho %v", i, p.CVR, p.Rho)
+		}
+		if p.Saving != p.K-p.Blocks {
+			t.Errorf("point %d: saving accounting wrong", i)
+		}
+	}
+}
+
+func TestSweepRhoMatchesMapCal(t *testing.T) {
+	rhos := []float64{0.01, 0.05}
+	points, err := SweepRho(12, paperPOn, paperPOff, rhos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range points {
+		direct, err := MapCal(12, paperPOn, paperPOff, p.Rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Blocks != direct.K {
+			t.Errorf("rho %v: sweep %d vs MapCal %d", p.Rho, p.Blocks, direct.K)
+		}
+	}
+}
+
+func TestSweepRhoSortsInput(t *testing.T) {
+	points, err := SweepRho(8, paperPOn, paperPOff, []float64{0.1, 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if points[0].Rho != 0.01 || points[1].Rho != 0.1 {
+		t.Errorf("points not sorted by rho: %v, %v", points[0].Rho, points[1].Rho)
+	}
+}
+
+func TestSweepRhoErrors(t *testing.T) {
+	if _, err := SweepRho(8, paperPOn, paperPOff, nil); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := SweepRho(8, paperPOn, paperPOff, []float64{1.5}); err == nil {
+		t.Error("invalid rho accepted")
+	}
+	if _, err := SweepRho(0, paperPOn, paperPOff, []float64{0.01}); err == nil {
+		t.Error("invalid k accepted")
+	}
+}
+
+func TestSweepK(t *testing.T) {
+	points, err := SweepK([]int{16, 1, 4, 8}, paperPOn, paperPOff, paperRho)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 4 || points[0].K != 1 || points[3].K != 16 {
+		t.Fatalf("sweep order wrong: %+v", points)
+	}
+	// Shed fraction grows with multiplexing (statistical gain).
+	if points[3].SavingFrac <= points[0].SavingFrac {
+		t.Errorf("saving fraction not growing: k=1 %v vs k=16 %v",
+			points[0].SavingFrac, points[3].SavingFrac)
+	}
+}
+
+func TestSweepKErrors(t *testing.T) {
+	if _, err := SweepK(nil, paperPOn, paperPOff, paperRho); err == nil {
+		t.Error("empty sweep accepted")
+	}
+	if _, err := SweepK([]int{0}, paperPOn, paperPOff, paperRho); err == nil {
+		t.Error("invalid k accepted")
+	}
+}
+
+func TestBlocksForBudget(t *testing.T) {
+	rhos := []float64{0.001, 0.01, 0.05, 0.2}
+	// With k=16 and the paper's parameters, a small block budget should be
+	// achievable at some rho.
+	p, err := BlocksForBudget(16, 5, paperPOn, paperPOff, rhos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Blocks > 5 {
+		t.Errorf("budget exceeded: %d blocks", p.Blocks)
+	}
+	// The returned rho is the tightest candidate meeting the budget: the
+	// next-tighter candidate (if any) must need more blocks.
+	tighter, err := SweepRho(16, paperPOn, paperPOff, rhos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range tighter {
+		if q.Rho < p.Rho && q.Blocks <= 5 {
+			t.Errorf("tighter rho %v already meets the budget", q.Rho)
+		}
+	}
+	// Impossible budget errors.
+	if _, err := BlocksForBudget(16, 0, paperPOn, paperPOff, []float64{0.0001}); err == nil {
+		t.Error("impossible budget accepted")
+	}
+}
+
+// Property: sweep points are internally consistent for random parameters.
+func TestPropSweepConsistent(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(20)
+		pOn := 0.01 + 0.4*rng.Float64()
+		pOff := 0.01 + 0.4*rng.Float64()
+		rhos := []float64{0.001 + 0.01*rng.Float64(), 0.05, 0.2}
+		points, err := SweepRho(k, pOn, pOff, rhos)
+		if err != nil {
+			return false
+		}
+		prev := k + 1
+		for _, p := range points {
+			if p.Blocks < 0 || p.Blocks > k || p.Blocks > prev {
+				return false
+			}
+			prev = p.Blocks
+			if p.Saving != k-p.Blocks {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,153 @@
+package queuing
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+	"repro/internal/markov"
+)
+
+// Transient analyses the busy-blocks chain before it reaches steady state —
+// answering the operator questions the stationary analysis cannot: how fast a
+// freshly consolidated PM approaches its long-run CVR, and how long until its
+// reservation is first overrun.
+type Transient struct {
+	bb *markov.BusyBlocks
+	p  *linalg.Matrix
+}
+
+// NewTransient wraps a busy-blocks chain for transient queries.
+func NewTransient(k int, pOn, pOff float64) (*Transient, error) {
+	bb, err := markov.NewBusyBlocks(k, pOn, pOff)
+	if err != nil {
+		return nil, err
+	}
+	return &Transient{bb: bb, p: bb.TransitionMatrix()}, nil
+}
+
+// DistributionAt returns the occupancy distribution Π₀·Pᵗ after t steps from
+// the given initial distribution (nil = all mass on 0 busy blocks, the
+// paper's Π₀ — a PM whose VMs all start OFF).
+func (tr *Transient) DistributionAt(t int, initial []float64) ([]float64, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("queuing: negative time %d", t)
+	}
+	n := tr.bb.K() + 1
+	cur := make([]float64, n)
+	if initial == nil {
+		cur[0] = 1
+	} else {
+		if len(initial) != n {
+			return nil, fmt.Errorf("queuing: initial distribution length %d, want %d", len(initial), n)
+		}
+		sum := 0.0
+		for _, v := range initial {
+			if v < 0 {
+				return nil, fmt.Errorf("queuing: negative initial probability %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			return nil, fmt.Errorf("queuing: initial distribution sums to %v", sum)
+		}
+		copy(cur, initial)
+	}
+	for step := 0; step < t; step++ {
+		next, err := tr.p.VecMul(cur)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+	}
+	return cur, nil
+}
+
+// ViolationProbabilityAt returns Pr{θ(t) > kBlocks} starting from all-OFF —
+// the instantaneous violation probability t steps after consolidation.
+func (tr *Transient) ViolationProbabilityAt(t, kBlocks int) (float64, error) {
+	dist, err := tr.DistributionAt(t, nil)
+	if err != nil {
+		return 0, err
+	}
+	return markov.TailFromStationary(dist, kBlocks), nil
+}
+
+// MixingTime returns the smallest t at which the all-OFF transient
+// distribution is within tol of the stationary distribution in total
+// variation distance, searching up to maxT. It quantifies the paper's
+// empirical remark that "the system [has] stabilized merely within 10σ or
+// so".
+func (tr *Transient) MixingTime(tol float64, maxT int) (int, error) {
+	if tol <= 0 {
+		return 0, fmt.Errorf("queuing: tolerance %v, want > 0", tol)
+	}
+	if maxT < 1 {
+		return 0, fmt.Errorf("queuing: maxT %d, want ≥ 1", maxT)
+	}
+	pi, err := tr.bb.Stationary()
+	if err != nil {
+		return 0, err
+	}
+	n := tr.bb.K() + 1
+	cur := make([]float64, n)
+	cur[0] = 1
+	for t := 0; t <= maxT; t++ {
+		if totalVariation(cur, pi) <= tol {
+			return t, nil
+		}
+		next, err := tr.p.VecMul(cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return 0, fmt.Errorf("queuing: chain not within %v of stationarity after %d steps", tol, maxT)
+}
+
+// MeanTimeToViolation returns the expected number of steps until the number
+// of busy blocks first exceeds kBlocks, starting from each transient state
+// 0..kBlocks (states above kBlocks are already violating and get 0). It
+// solves the standard absorption system on the censored chain: for
+// non-absorbing states i,
+//
+//	h_i = 1 + Σ_{j ≤ kBlocks} p_ij · h_j
+//
+// i.e. (I − Q)·h = 1 with Q the sub-matrix of P restricted to {0..kBlocks}.
+// With kBlocks = k the chain never violates and an error is returned.
+func (tr *Transient) MeanTimeToViolation(kBlocks int) ([]float64, error) {
+	k := tr.bb.K()
+	if kBlocks < 0 || kBlocks > k {
+		return nil, fmt.Errorf("queuing: kBlocks %d outside [0, %d]", kBlocks, k)
+	}
+	if kBlocks == k {
+		return nil, fmt.Errorf("queuing: a PM with k blocks never violates; mean time is infinite")
+	}
+	m := kBlocks + 1
+	a := linalg.NewMatrix(m, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < m; j++ {
+			v := -tr.p.At(i, j)
+			if i == j {
+				v += 1
+			}
+			a.Set(i, j, v)
+		}
+		b[i] = 1
+	}
+	h, err := linalg.SolveLinear(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("queuing: absorption solve failed: %w", err)
+	}
+	return h, nil
+}
+
+// totalVariation returns ½·Σ|p_i − q_i|.
+func totalVariation(p, q []float64) float64 {
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2
+}

@@ -1,0 +1,212 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/metrics"
+	"repro/internal/queuing"
+	"repro/internal/workload"
+)
+
+// ChurnConfig extends a simulation into an open system: tenants arrive and
+// depart during the run, exercising the paper's §IV-E online operations under
+// real dynamics rather than as isolated calls.
+type ChurnConfig struct {
+	// Sim is the underlying closed-system configuration (intervals, ρ,
+	// migration, etc.).
+	Sim Config
+	// ArrivalProb is the per-interval probability that one new VM arrives.
+	ArrivalProb float64
+	// MeanLifetime is the expected tenancy in intervals; every placed VM
+	// departs with probability 1/MeanLifetime at each interval.
+	MeanLifetime float64
+	// NewVM generates the spec of the i-th arrival (the caller assigns ids
+	// that do not collide with the initial fleet).
+	NewVM func(arrival int, rng *rand.Rand) cloud.VM
+	// ReservationAwareAdmission places arrivals under Eq. (17) with the
+	// mapping table (the QUEUE way); false admits on current load only
+	// (the burstiness-unaware way).
+	ReservationAwareAdmission bool
+}
+
+func (c ChurnConfig) validate() error {
+	if c.ArrivalProb < 0 || c.ArrivalProb > 1 {
+		return fmt.Errorf("sim: arrival probability %v outside [0,1]", c.ArrivalProb)
+	}
+	if c.MeanLifetime <= 0 {
+		return fmt.Errorf("sim: mean lifetime %v, want > 0", c.MeanLifetime)
+	}
+	if c.NewVM == nil {
+		return fmt.Errorf("sim: ChurnConfig.NewVM is required")
+	}
+	return nil
+}
+
+// ChurnReport extends the base report with open-system accounting.
+type ChurnReport struct {
+	*Report
+	Arrivals         int
+	Departures       int
+	RejectedArrivals int
+	// FinalVMs is the tenant count at the end of the run.
+	FinalVMs int
+	// VMsOverTime tracks the tenant population per interval.
+	VMsOverTime *metrics.TimeSeries
+}
+
+// ChurnSimulator wraps the core simulator with tenant arrivals/departures.
+type ChurnSimulator struct {
+	inner *Simulator
+	fleet *workload.FleetStates // the mutable demand source behind inner
+	cfg   ChurnConfig
+	table *queuing.MappingTable
+}
+
+// NewChurn builds an open-system simulator over (a clone of) the placement.
+// The table sizes reservations for admission when ReservationAwareAdmission
+// is set; it is required in that case and optional otherwise.
+func NewChurn(placement *cloud.Placement, table *queuing.MappingTable, cfg ChurnConfig, rng *rand.Rand) (*ChurnSimulator, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ReservationAwareAdmission && table == nil {
+		return nil, fmt.Errorf("sim: reservation-aware admission needs a mapping table")
+	}
+	fleet, err := workload.NewFleetStates(placement.VMs(), rng)
+	if err != nil {
+		return nil, err
+	}
+	fleet.AllOff()
+	inner, err := NewWithSource(placement, table, cfg.Sim, fleet, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &ChurnSimulator{inner: inner, fleet: fleet, cfg: cfg, table: table}, nil
+}
+
+// Run executes the configured intervals with churn and returns the combined
+// report.
+func (c *ChurnSimulator) Run() (*ChurnReport, error) {
+	rep := &ChurnReport{VMsOverTime: metrics.NewTimeSeries("vms")}
+	nextArrival := 0
+	for t := 0; t < c.inner.cfg.Intervals; t++ {
+		// Departures first: every tenant leaves with probability
+		// 1/MeanLifetime, exactly the geometric tenancy of the model.
+		departProb := 1 / c.cfg.MeanLifetime
+		for _, vm := range c.inner.placement.VMs() {
+			if c.inner.rng.Float64() < departProb {
+				if _, err := c.inner.placement.Remove(vm.ID); err != nil {
+					return nil, err
+				}
+				if err := c.fleet.Remove(vm.ID); err != nil {
+					return nil, err
+				}
+				rep.Departures++
+			}
+		}
+		// Arrival: at most one per interval, starting OFF (the paper's
+		// admission condition Eq. (3) holds at arrival time).
+		if c.inner.rng.Float64() < c.cfg.ArrivalProb {
+			vm := c.cfg.NewVM(nextArrival, c.inner.rng)
+			nextArrival++
+			placed, err := c.admit(vm)
+			if err != nil {
+				return nil, err
+			}
+			if placed {
+				rep.Arrivals++
+			} else {
+				rep.RejectedArrivals++
+			}
+		}
+		if c.inner.placement.NumVMs() > 0 {
+			if err := c.inner.step(t); err != nil {
+				return nil, err
+			}
+		} else {
+			c.inner.migrationsPerStep.Append(t, 0)
+			c.inner.pmsInUse.Append(t, 0)
+		}
+		rep.VMsOverTime.Append(t, float64(c.inner.placement.NumVMs()))
+	}
+	rep.Report = &Report{
+		Intervals:          c.inner.cfg.Intervals,
+		TotalMigrations:    len(c.inner.events),
+		FinalPMs:           c.inner.placement.NumUsedPMs(),
+		PowerOns:           c.inner.powerOns,
+		CVR:                c.inner.meter,
+		MigrationsOverTime: c.inner.migrationsPerStep,
+		PMsOverTime:        c.inner.pmsInUse,
+		Events:             c.inner.events,
+		PerVMMigrations:    c.inner.perVMMigrations,
+		VMViolationRatio:   c.inner.vmViolationRatios(),
+	}
+	rep.FinalVMs = c.inner.placement.NumVMs()
+	return rep, nil
+}
+
+// admit places an arriving VM on the first feasible PM (lowest id), using
+// the configured admission rule, and registers it with the workload fleet.
+func (c *ChurnSimulator) admit(vm cloud.VM) (bool, error) {
+	if err := vm.Validate(); err != nil {
+		return false, err
+	}
+	for _, pm := range c.inner.placement.PMs() {
+		ok, err := c.arrivalFits(vm, pm)
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			continue
+		}
+		if err := c.inner.placement.Assign(vm, pm.ID); err != nil {
+			return false, err
+		}
+		if err := c.fleet.Add(vm, markov.Off); err != nil {
+			return false, err
+		}
+		return true, nil
+	}
+	return false, nil
+}
+
+func (c *ChurnSimulator) arrivalFits(vm cloud.VM, pm cloud.PM) (bool, error) {
+	p := c.inner.placement
+	if c.cfg.ReservationAwareAdmission {
+		k := p.CountOn(pm.ID)
+		if k+1 > c.table.MaxVMs() {
+			return false, nil
+		}
+		blockSize := vm.Re
+		if hosted := p.MaxRe(pm.ID); hosted > blockSize {
+			blockSize = hosted
+		}
+		footprint := p.SumRb(pm.ID) + vm.Rb + blockSize*float64(c.table.Blocks(k+1))
+		return footprint <= pm.Capacity+1e-9, nil
+	}
+	load, err := c.inner.pmLoad(pm.ID, c.fleet.States())
+	if err != nil {
+		return false, err
+	}
+	return load+vm.Rb <= pm.Capacity+1e-9, nil
+}
+
+// ChurnFromStrategy is a convenience that builds the initial placement with
+// the given strategy and wires reservation-aware admission for QueuingFFD.
+func ChurnFromStrategy(s core.Strategy, vms []cloud.VM, pms []cloud.PM, table *queuing.MappingTable, cfg ChurnConfig, rng *rand.Rand) (*ChurnSimulator, error) {
+	res, err := s.Place(vms, pms)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Unplaced) > 0 {
+		return nil, fmt.Errorf("sim: %s left %d VMs unplaced", s.Name(), len(res.Unplaced))
+	}
+	if _, isQueue := s.(core.QueuingFFD); isQueue {
+		cfg.ReservationAwareAdmission = true
+	}
+	return NewChurn(res.Placement, table, cfg, rng)
+}

@@ -1,0 +1,207 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+func churnSpec(arrival int, rng *rand.Rand) cloud.VM {
+	return cloud.VM{
+		ID:   100000 + arrival, // clear of initial-fleet ids
+		POn:  0.01,
+		POff: 0.09,
+		Rb:   2 + 18*rng.Float64(),
+		Re:   2 + 18*rng.Float64(),
+	}
+}
+
+func defaultChurnConfig() ChurnConfig {
+	return ChurnConfig{
+		Sim:          Config{Intervals: 120, Rho: 0.01, EnableMigration: true},
+		ArrivalProb:  0.5,
+		MeanLifetime: 200,
+		NewVM:        churnSpec,
+	}
+}
+
+func TestChurnConfigValidation(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 30, 51)
+	rng := rand.New(rand.NewSource(51))
+	bad := defaultChurnConfig()
+	bad.ArrivalProb = 1.5
+	if _, err := NewChurn(placement, table, bad, rng); err == nil {
+		t.Error("arrival probability > 1 accepted")
+	}
+	bad = defaultChurnConfig()
+	bad.MeanLifetime = 0
+	if _, err := NewChurn(placement, table, bad, rng); err == nil {
+		t.Error("zero lifetime accepted")
+	}
+	bad = defaultChurnConfig()
+	bad.NewVM = nil
+	if _, err := NewChurn(placement, table, bad, rng); err == nil {
+		t.Error("missing NewVM accepted")
+	}
+	aware := defaultChurnConfig()
+	aware.ReservationAwareAdmission = true
+	if _, err := NewChurn(placement, nil, aware, rng); err == nil {
+		t.Error("aware admission without table accepted")
+	}
+	bad = defaultChurnConfig()
+	bad.Sim.Intervals = 0
+	if _, err := NewChurn(placement, table, bad, rng); err == nil {
+		t.Error("bad inner config accepted")
+	}
+}
+
+func TestChurnAccounting(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 40, 52)
+	initialVMs := placement.NumVMs()
+	rng := rand.New(rand.NewSource(52))
+	cs, err := NewChurn(placement, table, defaultChurnConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrivals == 0 {
+		t.Error("no arrivals over 120 intervals with p=0.5")
+	}
+	if rep.Departures == 0 {
+		t.Error("no departures with mean lifetime 200 over 120 intervals of ~40 VMs")
+	}
+	// Conservation: initial + arrivals − departures = final.
+	if got := initialVMs + rep.Arrivals - rep.Departures; got != rep.FinalVMs {
+		t.Errorf("population accounting broken: %d + %d − %d = %d, report says %d",
+			initialVMs, rep.Arrivals, rep.Departures, got, rep.FinalVMs)
+	}
+	if rep.VMsOverTime.Len() != 120 {
+		t.Errorf("population series length %d", rep.VMsOverTime.Len())
+	}
+	if int(rep.VMsOverTime.Last()) != rep.FinalVMs {
+		t.Error("population series end disagrees with FinalVMs")
+	}
+	// Input placement untouched.
+	if placement.NumVMs() != initialVMs {
+		t.Error("churn mutated the caller's placement")
+	}
+}
+
+func TestChurnReservationAwareKeepsEq17(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 40, 53)
+	rng := rand.New(rand.NewSource(53))
+	cfg := defaultChurnConfig()
+	cfg.ReservationAwareAdmission = true
+	cfg.Sim.EnableMigration = false // isolate admission behaviour
+	cs, err := NewChurn(placement, table, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Admission under Eq. (17) keeps runtime CVR near rho even with churn.
+	if rep.CVR.Mean() > 0.03 {
+		t.Errorf("aware-admission churn mean CVR %v too high", rep.CVR.Mean())
+	}
+	if v := cloud.CheckReserved(cs.inner.placement, table); v != nil {
+		t.Errorf("final placement violates Eq. (17): %v", v)
+	}
+}
+
+func TestChurnUnawareAdmissionDegrades(t *testing.T) {
+	// Load-only admission packs arrivals into currently-quiet PMs; over a
+	// long run its CVR exceeds the aware variant's.
+	runWith := func(aware bool, seed int64) float64 {
+		placement, table := buildPlacement(t, queueStrategy(), 40, seed)
+		cfg := defaultChurnConfig()
+		cfg.Sim = Config{Intervals: 400, Rho: 0.01}
+		cfg.ArrivalProb = 0.8
+		cfg.MeanLifetime = 500
+		cfg.ReservationAwareAdmission = aware
+		cs, err := NewChurn(placement, table, cfg, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cs.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.CVR.Mean()
+	}
+	awareCVR := runWith(true, 54)
+	unawareCVR := runWith(false, 54)
+	if unawareCVR <= awareCVR {
+		t.Errorf("unaware admission CVR %v not above aware %v", unawareCVR, awareCVR)
+	}
+}
+
+func TestChurnRejectsOversizedArrivals(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 10, 55)
+	cfg := defaultChurnConfig()
+	cfg.Sim.Intervals = 30
+	cfg.ArrivalProb = 1
+	cfg.NewVM = func(arrival int, rng *rand.Rand) cloud.VM {
+		return cloud.VM{ID: 200000 + arrival, POn: 0.01, POff: 0.09, Rb: 1e6, Re: 1}
+	}
+	cs, err := NewChurn(placement, table, cfg, rand.New(rand.NewSource(55)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := cs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Arrivals != 0 {
+		t.Errorf("oversized arrivals placed: %d", rep.Arrivals)
+	}
+	if rep.RejectedArrivals != 30 {
+		t.Errorf("rejected %d arrivals, want 30", rep.RejectedArrivals)
+	}
+}
+
+func TestChurnFromStrategy(t *testing.T) {
+	rng := rand.New(rand.NewSource(56))
+	placement, table := buildPlacement(t, queueStrategy(), 30, 56)
+	_ = placement
+	vms, pms := fleetFor(t, 30, 56)
+	cs, err := ChurnFromStrategy(queueStrategy(), vms, pms, table, defaultChurnConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QueuingFFD triggers reservation-aware admission automatically.
+	if !cs.cfg.ReservationAwareAdmission {
+		t.Error("QueuingFFD churn should use reservation-aware admission")
+	}
+	if _, err := cs.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// RB does not.
+	cs2, err := ChurnFromStrategy(core.FFDByRb{}, vms, pms, table, defaultChurnConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs2.cfg.ReservationAwareAdmission {
+		t.Error("FFDByRb churn should not use reservation-aware admission")
+	}
+	// Unplaceable fleet propagates as error.
+	tiny := []cloud.PM{{ID: 0, Capacity: 1}}
+	if _, err := ChurnFromStrategy(core.FFDByRb{}, vms, tiny, table, defaultChurnConfig(), rng); err == nil {
+		t.Error("unplaceable fleet accepted")
+	}
+}
+
+// fleetFor reuses the buildPlacement generation without placing.
+func fleetFor(t *testing.T, n int, seed int64) ([]cloud.VM, []cloud.PM) {
+	t.Helper()
+	placement, _ := buildPlacement(t, queueStrategy(), n, seed)
+	vms := placement.VMs()
+	pms := placement.PMs()
+	return vms, pms
+}

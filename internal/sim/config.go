@@ -1,0 +1,151 @@
+// Package sim is the discrete-time datacenter simulator that stands in for
+// the paper's Xen Cloud Platform testbed (§V). Each interval (the paper's
+// σ = 30 s information-update period) every VM's ON-OFF chain advances, local
+// resizing adjusts allocations to the new demand for free (§I: "neglectable
+// time and resource overheads"), and PMs whose recent capacity-violation
+// ratio exceeds ρ evict one VM via live migration to a PM the scheduler
+// believes is idle. The scheduler's idleness estimate is based on *current*
+// load only — the burstiness-unaware judgement whose failure mode the paper
+// names "idle deception", which produces the "cycle migration" churn of
+// Fig. 9/10 under RB packing.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
+// TargetPolicy selects how the dynamic scheduler picks a migration target.
+type TargetPolicy int
+
+const (
+	// TargetLowestLoad picks the powered-on PM with the lowest current
+	// instantaneous load that can fit the VM's current demand — the
+	// burstiness-unaware policy of a production scheduler, vulnerable to
+	// idle deception.
+	TargetLowestLoad TargetPolicy = iota
+	// TargetReservationAware additionally requires the target to satisfy
+	// Eq. (17) with the mapping table after accepting the VM — the
+	// burstiness-aware extension.
+	TargetReservationAware
+)
+
+// Config parameterises one simulation run.
+type Config struct {
+	// Intervals is the evaluation period in σ-steps (the paper runs 100σ).
+	Intervals int
+	// Rho is the CVR threshold ρ that triggers a migration when exceeded.
+	Rho float64
+	// Window is the sliding-window length (in intervals) over which each
+	// PM's recent CVR is measured against Rho. The paper imposes ρ "rather
+	// than conducting migration upon PM's capacity overflow ... to tolerate
+	// minor fluctuation"; a window of w intervals triggers after more than
+	// ⌈ρ·w⌉ violations in the last w. Zero defaults to 10.
+	Window int
+	// EnableMigration turns the dynamic scheduler on. Off reproduces the
+	// §V-C "without live migration" setting where only CVR is measured.
+	EnableMigration bool
+	// MigrationOverhead is the extra load, as a fraction of the migrated
+	// VM's current demand, charged to the *source* PM for the interval the
+	// migration runs — the "noticeable CPU usage on the host PM" of [9].
+	MigrationOverhead float64
+	// Policy selects the migration-target policy.
+	Policy TargetPolicy
+	// RequestNoise modulates each VM's demand by the web-request renewal
+	// process of §V-D instead of the exact R_b/R_p levels: demand =
+	// level · actual/expected requests. Requires UsersPerUnit > 0.
+	RequestNoise bool
+	// UsersPerUnit converts demand units to user populations for the
+	// request generator (Table I expresses demand directly in users, so 1;
+	// Fig. 5-style units of ~2..20 need a larger factor).
+	UsersPerUnit float64
+	// IntervalSeconds is σ in seconds (only the request generator uses it;
+	// zero defaults to 30, the paper's setting).
+	IntervalSeconds float64
+	// ThinkTime parameterises the request generator; the zero value
+	// defaults to the paper's Exp(1) clamped at 0.1 s.
+	ThinkTime workload.ThinkTime
+}
+
+// withDefaults fills zero values and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Intervals <= 0 {
+		return c, fmt.Errorf("sim: Intervals = %d, want > 0", c.Intervals)
+	}
+	if c.Rho < 0 || c.Rho >= 1 {
+		return c, fmt.Errorf("sim: Rho = %v outside [0,1)", c.Rho)
+	}
+	if c.Window == 0 {
+		c.Window = 10
+	}
+	if c.Window < 0 {
+		return c, fmt.Errorf("sim: Window = %d, want ≥ 0", c.Window)
+	}
+	if c.MigrationOverhead < 0 {
+		return c, fmt.Errorf("sim: MigrationOverhead = %v, want ≥ 0", c.MigrationOverhead)
+	}
+	if c.IntervalSeconds == 0 {
+		c.IntervalSeconds = 30
+	}
+	if c.IntervalSeconds < 0 {
+		return c, fmt.Errorf("sim: IntervalSeconds = %v, want > 0", c.IntervalSeconds)
+	}
+	if c.ThinkTime == (workload.ThinkTime{}) {
+		c.ThinkTime = workload.PaperThinkTime()
+	}
+	if c.RequestNoise {
+		if c.UsersPerUnit <= 0 {
+			return c, fmt.Errorf("sim: RequestNoise requires UsersPerUnit > 0, got %v", c.UsersPerUnit)
+		}
+		if err := c.ThinkTime.Validate(); err != nil {
+			return c, err
+		}
+	}
+	return c, nil
+}
+
+// slidingWindow tracks the last Window booleans (capacity violations) of one
+// PM to evaluate the migration trigger.
+type slidingWindow struct {
+	size       int
+	buf        []bool
+	next       int
+	filled     int
+	violations int
+}
+
+func newSlidingWindow(size int) *slidingWindow {
+	return &slidingWindow{size: size, buf: make([]bool, size)}
+}
+
+func (w *slidingWindow) observe(violated bool) {
+	if w.filled == w.size {
+		if w.buf[w.next] {
+			w.violations--
+		}
+	} else {
+		w.filled++
+	}
+	w.buf[w.next] = violated
+	if violated {
+		w.violations++
+	}
+	w.next = (w.next + 1) % w.size
+}
+
+// cvr returns the violation ratio over the filled part of the window.
+func (w *slidingWindow) cvr() float64 {
+	if w.filled == 0 {
+		return 0
+	}
+	return float64(w.violations) / float64(w.filled)
+}
+
+// reset clears the window (used after a migration relieves the PM).
+func (w *slidingWindow) reset() {
+	for i := range w.buf {
+		w.buf[i] = false
+	}
+	w.next, w.filled, w.violations = 0, 0, 0
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	c, err := Config{Intervals: 100, Rho: 0.01}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Window != 10 {
+		t.Errorf("default window = %d, want 10", c.Window)
+	}
+	if c.IntervalSeconds != 30 {
+		t.Errorf("default sigma = %v, want 30", c.IntervalSeconds)
+	}
+	if c.ThinkTime != workload.PaperThinkTime() {
+		t.Errorf("default think time = %+v", c.ThinkTime)
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	cases := []Config{
+		{Intervals: 0, Rho: 0.01},
+		{Intervals: 10, Rho: -0.1},
+		{Intervals: 10, Rho: 1},
+		{Intervals: 10, Rho: 0.01, Window: -1},
+		{Intervals: 10, Rho: 0.01, MigrationOverhead: -0.5},
+		{Intervals: 10, Rho: 0.01, IntervalSeconds: -3},
+		{Intervals: 10, Rho: 0.01, RequestNoise: true}, // missing UsersPerUnit
+		{Intervals: 10, Rho: 0.01, RequestNoise: true, UsersPerUnit: 1, ThinkTime: workload.ThinkTime{Mean: -1}},
+	}
+	for i, c := range cases {
+		if _, err := c.withDefaults(); err == nil {
+			t.Errorf("case %d: invalid config accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestSlidingWindowBasics(t *testing.T) {
+	w := newSlidingWindow(4)
+	if w.cvr() != 0 {
+		t.Error("empty window should have CVR 0")
+	}
+	w.observe(true)
+	w.observe(false)
+	if w.cvr() != 0.5 {
+		t.Errorf("cvr = %v, want 0.5", w.cvr())
+	}
+	w.observe(false)
+	w.observe(false)
+	if w.cvr() != 0.25 {
+		t.Errorf("cvr = %v, want 0.25", w.cvr())
+	}
+	// Fifth observation evicts the first (true): CVR drops to 0.
+	w.observe(false)
+	if w.cvr() != 0 {
+		t.Errorf("cvr after eviction = %v, want 0", w.cvr())
+	}
+}
+
+func TestSlidingWindowEvictionAccounting(t *testing.T) {
+	w := newSlidingWindow(3)
+	for i := 0; i < 10; i++ {
+		w.observe(true)
+	}
+	if w.cvr() != 1 {
+		t.Errorf("all-true window cvr = %v", w.cvr())
+	}
+	for i := 0; i < 3; i++ {
+		w.observe(false)
+	}
+	if w.cvr() != 0 {
+		t.Errorf("all-false window cvr = %v", w.cvr())
+	}
+}
+
+func TestSlidingWindowReset(t *testing.T) {
+	w := newSlidingWindow(3)
+	w.observe(true)
+	w.observe(true)
+	w.reset()
+	if w.cvr() != 0 || w.filled != 0 || w.violations != 0 {
+		t.Error("reset did not clear window")
+	}
+	w.observe(false)
+	if w.cvr() != 0 {
+		t.Error("post-reset observation wrong")
+	}
+}

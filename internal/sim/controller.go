@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/queuing"
+)
+
+// Controller runs the full management loop the paper sketches across §IV-E
+// and §V-D: reactive migrations on capacity overflow (the base simulator)
+// plus *periodic reconsolidation* — every `Every` intervals the current fleet
+// is re-packed with a fresh Algorithm 2 run and the resulting migration plan
+// is executed, reclaiming the fragmentation that churn and reactive moves
+// accumulate.
+type Controller struct {
+	inner    *Simulator
+	strategy core.QueuingFFD
+	every    int
+
+	plannedMoves  int
+	reconRuns     int
+	releasedPMs   int
+	reconDeferred int
+}
+
+// ControllerReport extends the base report with reconsolidation accounting.
+type ControllerReport struct {
+	*Report
+	// ReconsolidationRuns counts periodic re-pack executions.
+	ReconsolidationRuns int
+	// PlannedMigrations counts migrations performed by plans (included in
+	// TotalMigrations; the remainder were reactive overflow evictions).
+	PlannedMigrations int
+	// DeferredMoves counts plan moves that could not be ordered safely.
+	DeferredMoves int
+	// ReleasedPMs sums the PMs freed immediately after each re-pack.
+	ReleasedPMs int
+}
+
+// NewController wraps the simulator with a reconsolidation loop. every must
+// be positive; the strategy supplies ρ, d and the admission constraint.
+func NewController(placement *cloud.Placement, table *queuing.MappingTable, cfg Config,
+	strategy core.QueuingFFD, every int, rng *rand.Rand) (*Controller, error) {
+	if every < 1 {
+		return nil, fmt.Errorf("sim: reconsolidation period %d, want ≥ 1", every)
+	}
+	if strategy.MaxVMsPerPM < 1 {
+		return nil, fmt.Errorf("sim: controller strategy needs MaxVMsPerPM ≥ 1")
+	}
+	inner, err := New(placement, table, cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{inner: inner, strategy: strategy, every: every}, nil
+}
+
+// Run executes the configured intervals, reconsolidating on schedule.
+func (c *Controller) Run() (*ControllerReport, error) {
+	for t := 0; t < c.inner.cfg.Intervals; t++ {
+		if t > 0 && t%c.every == 0 {
+			if err := c.reconsolidate(t); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.inner.step(t); err != nil {
+			return nil, err
+		}
+	}
+	return &ControllerReport{
+		Report: &Report{
+			Intervals:          c.inner.cfg.Intervals,
+			TotalMigrations:    len(c.inner.events),
+			FinalPMs:           c.inner.placement.NumUsedPMs(),
+			PowerOns:           c.inner.powerOns,
+			CVR:                c.inner.meter,
+			MigrationsOverTime: c.inner.migrationsPerStep,
+			PMsOverTime:        c.inner.pmsInUse,
+			Events:             c.inner.events,
+			PerVMMigrations:    c.inner.perVMMigrations,
+			VMViolationRatio:   c.inner.vmViolationRatios(),
+		},
+		ReconsolidationRuns: c.reconRuns,
+		PlannedMigrations:   c.plannedMoves,
+		DeferredMoves:       c.reconDeferred,
+		ReleasedPMs:         c.releasedPMs,
+	}, nil
+}
+
+// reconsolidate re-packs the live fleet and executes the safe plan, recording
+// each move as a migration event at interval t.
+func (c *Controller) reconsolidate(t int) error {
+	before := c.inner.placement.NumUsedPMs()
+	plan, _, err := c.strategy.Reconsolidate(c.inner.placement)
+	if err != nil {
+		return err
+	}
+	c.reconRuns++
+	c.reconDeferred += len(plan.Deferred)
+	for _, mv := range plan.Moves {
+		vm, ok := c.inner.placement.VM(mv.VMID)
+		if !ok {
+			return fmt.Errorf("sim: plan references unknown VM %d", mv.VMID)
+		}
+		targetWasIdle := c.inner.placement.CountOn(mv.ToPM) == 0
+		if _, err := c.inner.placement.Remove(mv.VMID); err != nil {
+			return err
+		}
+		if err := c.inner.placement.Assign(vm, mv.ToPM); err != nil {
+			return err
+		}
+		ev := MigrationEvent{Interval: t, VMID: mv.VMID, FromPM: mv.FromPM, ToPM: mv.ToPM, PoweredOn: targetWasIdle}
+		c.inner.events = append(c.inner.events, ev)
+		c.inner.perVMMigrations[mv.VMID]++
+		c.plannedMoves++
+		if targetWasIdle {
+			c.inner.powerOns++
+		}
+	}
+	// Moving VMs resets the affected windows so the re-pack does not
+	// immediately trigger reactive evictions from stale history.
+	for _, w := range c.inner.windows {
+		w.reset()
+	}
+	if after := c.inner.placement.NumUsedPMs(); after < before {
+		c.releasedPMs += before - after
+	}
+	return nil
+}

@@ -1,0 +1,118 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+)
+
+func TestNewControllerValidation(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 30, 91)
+	rng := rand.New(rand.NewSource(91))
+	cfg := Config{Intervals: 50, Rho: 0.01, EnableMigration: true}
+	if _, err := NewController(placement, table, cfg, queueStrategy(), 0, rng); err == nil {
+		t.Error("zero period accepted")
+	}
+	if _, err := NewController(placement, table, cfg, core.QueuingFFD{Rho: 0.01}, 10, rng); err == nil {
+		t.Error("strategy without d accepted")
+	}
+	empty, _ := cloud.NewPlacement([]cloud.PM{{ID: 0, Capacity: 10}})
+	if _, err := NewController(empty, table, cfg, queueStrategy(), 10, rng); err == nil {
+		t.Error("empty placement accepted")
+	}
+}
+
+func TestControllerReconsolidatesOnSchedule(t *testing.T) {
+	// Start from a QUEUE placement; the controller should run the re-pack
+	// at every period boundary and keep the system healthy.
+	placement, table := buildPlacement(t, queueStrategy(), 60, 92)
+	rng := rand.New(rand.NewSource(92))
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 100, Rho: 0.01, EnableMigration: true}, queueStrategy(), 25, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ReconsolidationRuns != 3 { // t = 25, 50, 75
+		t.Errorf("reconsolidation ran %d times, want 3", rep.ReconsolidationRuns)
+	}
+	if rep.PlannedMigrations > rep.TotalMigrations {
+		t.Error("planned migrations exceed total")
+	}
+	if rep.CVR.Mean() > 0.03 {
+		t.Errorf("controller-managed CVR %v too high", rep.CVR.Mean())
+	}
+}
+
+func TestControllerRecoversRBPacking(t *testing.T) {
+	// Start from the pathological RB packing: the first scheduled re-pack
+	// converts it into a reservation-respecting layout, after which reactive
+	// churn should collapse relative to an uncontrolled RB run.
+	placement, table := buildPlacement(t, core.FFDByRb{}, 120, 93)
+	cfg := Config{Intervals: 120, Rho: 0.01, EnableMigration: true}
+
+	uncontrolled, err := New(placement, table, cfg, rand.New(rand.NewSource(93)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRep, err := uncontrolled.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctrl, err := NewController(placement, table, cfg, queueStrategy(), 20, rand.New(rand.NewSource(93)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctrlRep, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reactive-only migrations under control = total − planned.
+	reactive := ctrlRep.TotalMigrations - ctrlRep.PlannedMigrations
+	baseline := baseRep.TotalMigrations
+	if reactive >= baseline {
+		t.Errorf("controller reactive migrations %d not below uncontrolled %d", reactive, baseline)
+	}
+	if ctrlRep.CVR.Mean() >= baseRep.CVR.Mean() {
+		t.Errorf("controller CVR %v not below uncontrolled %v", ctrlRep.CVR.Mean(), baseRep.CVR.Mean())
+	}
+}
+
+func TestControllerEventAccounting(t *testing.T) {
+	placement, table := buildPlacement(t, core.FFDByRb{}, 60, 94)
+	rng := rand.New(rand.NewSource(94))
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 60, Rho: 0.01, EnableMigration: true}, queueStrategy(), 30, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMigrations != len(rep.Events) {
+		t.Error("event count inconsistent")
+	}
+	perVM := 0
+	for _, n := range rep.PerVMMigrations {
+		perVM += n
+	}
+	if perVM != rep.TotalMigrations {
+		t.Error("per-VM accounting inconsistent")
+	}
+	// Every event's interval must be within the run.
+	for _, ev := range rep.Events {
+		if ev.Interval < 0 || ev.Interval >= 60 {
+			t.Fatalf("event at interval %d", ev.Interval)
+		}
+		if ev.FromPM == ev.ToPM {
+			t.Fatalf("self-migration %+v", ev)
+		}
+	}
+}

@@ -1,0 +1,141 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+func TestEnergyModelValidate(t *testing.T) {
+	if err := DefaultEnergyModel().Validate(); err != nil {
+		t.Errorf("default model invalid: %v", err)
+	}
+	bad := []EnergyModel{
+		{IdleWatts: -1, PeakWatts: 100, IntervalSeconds: 30},
+		{IdleWatts: 200, PeakWatts: 100, IntervalSeconds: 30},
+		{IdleWatts: 100, PeakWatts: 200, MigrationJoules: -1, IntervalSeconds: 30},
+		{IdleWatts: 100, PeakWatts: 200, IntervalSeconds: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: invalid model accepted", i)
+		}
+	}
+}
+
+func TestEnergyHandComputed(t *testing.T) {
+	// Two intervals of 10 s with 2 and 3 PMs on, one migration.
+	rep := &Report{
+		TotalMigrations: 1,
+		PMsOverTime:     metrics.NewTimeSeries("pms"),
+	}
+	rep.PMsOverTime.Append(0, 2)
+	rep.PMsOverTime.Append(1, 3)
+	m := EnergyModel{IdleWatts: 100, PeakWatts: 200, MigrationJoules: 500, IntervalSeconds: 10}
+	er, err := m.Energy(rep, 0.5) // 150 W per PM
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantHost := (2*10 + 3*10) * 150.0 // 7500 J
+	if math.Abs(er.TotalJoules-(wantHost+500)) > 1e-9 {
+		t.Errorf("total = %v, want %v", er.TotalJoules, wantHost+500)
+	}
+	if er.MigrationJoules != 500 {
+		t.Errorf("migration share = %v", er.MigrationJoules)
+	}
+	if math.Abs(er.PMSecondsOn-50) > 1e-9 {
+		t.Errorf("PM-seconds = %v, want 50", er.PMSecondsOn)
+	}
+	if math.Abs(er.MeanWatts-(wantHost+500)/20) > 1e-9 {
+		t.Errorf("mean watts = %v", er.MeanWatts)
+	}
+	if math.Abs(er.KWh()-er.TotalJoules/3.6e6) > 1e-15 {
+		t.Error("KWh conversion wrong")
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	rep := &Report{PMsOverTime: metrics.NewTimeSeries("pms")}
+	m := DefaultEnergyModel()
+	if _, err := m.Energy(rep, 0.5); err == nil {
+		t.Error("empty series accepted")
+	}
+	rep.PMsOverTime.Append(0, 1)
+	if _, err := m.Energy(rep, -0.1); err == nil {
+		t.Error("negative utilisation accepted")
+	}
+	if _, err := m.Energy(rep, 1.1); err == nil {
+		t.Error("utilisation > 1 accepted")
+	}
+	bad := EnergyModel{IdleWatts: -1, PeakWatts: 1, IntervalSeconds: 1}
+	if _, err := bad.Energy(rep, 0.5); err == nil {
+		t.Error("invalid model accepted")
+	}
+}
+
+func TestEnergyRBChurnCostsMoreThanQueuePerPM(t *testing.T) {
+	// RB uses fewer PMs but pays migration energy; the model must surface
+	// both terms so the trade-off is visible.
+	placement, table := buildPlacement(t, core.FFDByRb{}, 100, 41)
+	rng := rand.New(rand.NewSource(41))
+	s, _ := New(placement, table, Config{Intervals: 100, Rho: 0.01, EnableMigration: true}, rng)
+	rbRep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	qPlacement, qTable := buildPlacement(t, queueStrategy(), 100, 41)
+	qs, _ := New(qPlacement, qTable, Config{Intervals: 100, Rho: 0.01, EnableMigration: true}, rand.New(rand.NewSource(41)))
+	qRep, err := qs.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := DefaultEnergyModel()
+	rbEnergy, err := model.Energy(rbRep, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qEnergy, err := model.Energy(qRep, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rbEnergy.MigrationJoules <= qEnergy.MigrationJoules {
+		t.Errorf("RB migration energy %v not above QUEUE %v", rbEnergy.MigrationJoules, qEnergy.MigrationJoules)
+	}
+	if qEnergy.TotalJoules <= 0 || rbEnergy.TotalJoules <= 0 {
+		t.Error("non-positive total energy")
+	}
+}
+
+func TestCompareEnergyTable(t *testing.T) {
+	mk := func(pms float64, migrations int) *Report {
+		r := &Report{TotalMigrations: migrations, PMsOverTime: metrics.NewTimeSeries("pms")}
+		r.PMsOverTime.Append(0, pms)
+		return r
+	}
+	runs := map[string]*Report{
+		"QUEUE": mk(10, 1),
+		"RB":    mk(8, 50),
+	}
+	tab, err := CompareEnergy(DefaultEnergyModel(), runs, 0.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tab.String()
+	for _, want := range []string{"QUEUE", "RB", "kWh", "migration kJ"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("energy table missing %q:\n%s", want, out)
+		}
+	}
+	// Deterministic ordering: QUEUE before RB.
+	if strings.Index(out, "QUEUE") > strings.Index(out, "RB") {
+		t.Error("strategies not sorted")
+	}
+	bad := map[string]*Report{"X": {PMsOverTime: metrics.NewTimeSeries("pms")}}
+	if _, err := CompareEnergy(DefaultEnergyModel(), bad, 0.5); err == nil {
+		t.Error("empty run accepted")
+	}
+}

@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Summary is the JSON-serialisable digest of a run, for piping simulator
+// output into external tooling.
+type Summary struct {
+	Intervals       int              `json:"intervals"`
+	TotalMigrations int              `json:"total_migrations"`
+	FinalPMs        int              `json:"final_pms"`
+	PowerOns        int              `json:"power_ons"`
+	CycleMigration  bool             `json:"cycle_migration"`
+	MeanCVR         float64          `json:"mean_cvr"`
+	MaxCVR          float64          `json:"max_cvr"`
+	PerPMCVR        map[int]float64  `json:"per_pm_cvr"`
+	Events          []MigrationEvent `json:"events"`
+}
+
+// Summary digests the report.
+func (r *Report) Summary() Summary {
+	return Summary{
+		Intervals:       r.Intervals,
+		TotalMigrations: r.TotalMigrations,
+		FinalPMs:        r.FinalPMs,
+		PowerOns:        r.PowerOns,
+		CycleMigration:  r.CycleMigration(),
+		MeanCVR:         r.CVR.Mean(),
+		MaxCVR:          r.CVR.Max(),
+		PerPMCVR:        r.CVR.All(),
+		Events:          r.Events,
+	}
+}
+
+// WriteJSON writes the summary as indented JSON.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}
+
+// WriteEventsCSV writes the migration log as CSV
+// (interval,vm,from_pm,to_pm,powered_on).
+func (r *Report) WriteEventsCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "interval,vm,from_pm,to_pm,powered_on"); err != nil {
+		return err
+	}
+	for _, ev := range r.Events {
+		if _, err := fmt.Fprintf(w, "%d,%d,%d,%d,%t\n",
+			ev.Interval, ev.VMID, ev.FromPM, ev.ToPM, ev.PoweredOn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV writes the per-interval time series as CSV
+// (interval,migrations,pms_in_use).
+func (r *Report) WriteSeriesCSV(w io.Writer) error {
+	if r.MigrationsOverTime.Len() != r.PMsOverTime.Len() {
+		return fmt.Errorf("sim: series lengths differ (%d vs %d)",
+			r.MigrationsOverTime.Len(), r.PMsOverTime.Len())
+	}
+	if _, err := fmt.Fprintln(w, "interval,migrations,pms_in_use"); err != nil {
+		return err
+	}
+	for i := 0; i < r.MigrationsOverTime.Len(); i++ {
+		step, m := r.MigrationsOverTime.At(i)
+		_, p := r.PMsOverTime.At(i)
+		if _, err := fmt.Fprintf(w, "%d,%g,%g\n", step, m, p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func exportReport(t *testing.T) *Report {
+	t.Helper()
+	placement, table := buildPlacement(t, core.FFDByRb{}, 60, 71)
+	rng := rand.New(rand.NewSource(71))
+	s, err := New(placement, table, Config{Intervals: 60, Rho: 0.01, EnableMigration: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep := exportReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var summary Summary
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if summary.Intervals != rep.Intervals || summary.TotalMigrations != rep.TotalMigrations {
+		t.Errorf("summary mismatch: %+v", summary)
+	}
+	if summary.FinalPMs != rep.FinalPMs || summary.CycleMigration != rep.CycleMigration() {
+		t.Errorf("summary flags mismatch: %+v", summary)
+	}
+	if len(summary.Events) != len(rep.Events) {
+		t.Error("events lost in summary")
+	}
+	if len(summary.PerPMCVR) == 0 {
+		t.Error("per-PM CVR missing")
+	}
+}
+
+func TestWriteEventsCSV(t *testing.T) {
+	rep := exportReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteEventsCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "interval,vm,from_pm,to_pm,powered_on" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines)-1 != len(rep.Events) {
+		t.Errorf("%d rows for %d events", len(lines)-1, len(rep.Events))
+	}
+	for _, line := range lines[1:] {
+		if len(strings.Split(line, ",")) != 5 {
+			t.Fatalf("bad row %q", line)
+		}
+	}
+}
+
+func TestWriteSeriesCSV(t *testing.T) {
+	rep := exportReport(t)
+	var buf bytes.Buffer
+	if err := rep.WriteSeriesCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "interval,migrations,pms_in_use" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if len(lines)-1 != rep.Intervals {
+		t.Errorf("%d rows for %d intervals", len(lines)-1, rep.Intervals)
+	}
+}

@@ -1,0 +1,423 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/markov"
+	"repro/internal/metrics"
+	"repro/internal/queuing"
+	"repro/internal/workload"
+)
+
+// MigrationEvent records one live migration.
+type MigrationEvent struct {
+	Interval int
+	VMID     int
+	FromPM   int
+	ToPM     int
+	// PoweredOn reports whether the target PM had to be switched on for
+	// this migration (it was hosting nothing).
+	PoweredOn bool
+}
+
+// DemandSource supplies each VM's workload state per interval. The default
+// is the ON-OFF fleet model (workload.FleetStates); workload.TraceReplay
+// substitutes recorded traces for trace-driven evaluation.
+type DemandSource interface {
+	// Step advances every VM one interval.
+	Step(rng *rand.Rand)
+	// States returns the live state map (VM id → state). The simulator
+	// treats it as read-only.
+	States() map[int]markov.State
+}
+
+// Simulator advances a placement through time. It owns a clone of the
+// initial placement, so the caller's placement is never mutated.
+type Simulator struct {
+	cfg       Config
+	placement *cloud.Placement
+	fleet     DemandSource
+	rng       *rand.Rand
+	table     *queuing.MappingTable // only for TargetReservationAware
+
+	meter    *metrics.CVRMeter
+	windows  map[int]*slidingWindow
+	overhead map[int]float64 // extra source-PM load for the current interval
+
+	migrationsPerStep *metrics.TimeSeries
+	pmsInUse          *metrics.TimeSeries
+	events            []MigrationEvent
+	perVMMigrations   map[int]int
+	powerOns          int
+	vmViolation       map[int]int // intervals each VM spent on a violated PM
+	vmObserved        map[int]int // intervals each VM was hosted at all
+}
+
+// New builds a simulator over (a clone of) the given placement. table may be
+// nil unless cfg.Policy is TargetReservationAware. The fleet starts with all
+// VMs OFF — the paper's t = 0 condition, under which every strategy's
+// initial placement satisfies Eq. (3).
+func New(placement *cloud.Placement, table *queuing.MappingTable, cfg Config, rng *rand.Rand) (*Simulator, error) {
+	fleet, err := workload.NewFleetStates(placement.VMs(), rng)
+	if err != nil {
+		return nil, err
+	}
+	fleet.AllOff()
+	return NewWithSource(placement, table, cfg, fleet, rng)
+}
+
+// NewWithSource builds a simulator over a custom demand source — e.g. a
+// workload.TraceReplay over recorded traces. The source must cover every
+// placed VM.
+func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg Config, source DemandSource, rng *rand.Rand) (*Simulator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if placement.NumVMs() == 0 {
+		return nil, fmt.Errorf("sim: placement has no VMs")
+	}
+	if cfg.Policy == TargetReservationAware && table == nil {
+		return nil, fmt.Errorf("sim: TargetReservationAware needs a mapping table")
+	}
+	states := source.States()
+	for _, vm := range placement.VMs() {
+		if _, ok := states[vm.ID]; !ok {
+			return nil, fmt.Errorf("sim: demand source does not cover VM %d", vm.ID)
+		}
+	}
+	return &Simulator{
+		cfg:               cfg,
+		placement:         placement.Clone(),
+		fleet:             source,
+		rng:               rng,
+		table:             table,
+		meter:             metrics.NewCVRMeter(),
+		windows:           make(map[int]*slidingWindow),
+		overhead:          make(map[int]float64),
+		migrationsPerStep: metrics.NewTimeSeries("migrations"),
+		pmsInUse:          metrics.NewTimeSeries("pms_in_use"),
+		perVMMigrations:   make(map[int]int),
+		vmViolation:       make(map[int]int),
+		vmObserved:        make(map[int]int),
+	}, nil
+}
+
+// Report summarises a finished run.
+type Report struct {
+	Intervals       int
+	TotalMigrations int
+	// FinalPMs is the number of PMs in use at the end of the evaluation
+	// period — the paper's energy-consumption proxy (Fig. 9b).
+	FinalPMs int
+	// PowerOns counts migrations that had to switch on an idle PM.
+	PowerOns int
+	// CVR holds the per-PM capacity-violation ratios over the whole run
+	// (Fig. 6).
+	CVR *metrics.CVRMeter
+	// MigrationsOverTime gives migrations per interval (Fig. 10).
+	MigrationsOverTime *metrics.TimeSeries
+	// PMsOverTime gives PMs in use per interval.
+	PMsOverTime *metrics.TimeSeries
+	// Events lists every migration in order.
+	Events []MigrationEvent
+	// PerVMMigrations counts migrations per VM id.
+	PerVMMigrations map[int]int
+	// VMViolationRatio is the fraction of hosted intervals each VM spent on
+	// a capacity-violated PM — the per-tenant SLA view of CVR.
+	VMViolationRatio map[int]float64
+}
+
+// CycleMigration reports whether the run exhibits the paper's cycle-migration
+// pathology: sustained migration churn after the initial settling phase
+// ("migrations occur constantly inside the system while the number of PMs
+// used keeps at a low level"). The detector flags a run whose second-half
+// migration count is at least max(5, 10% of intervals) — QUEUE's occasional
+// trickle stays far below, RB's constant churn far above.
+func (r *Report) CycleMigration() bool {
+	if r.MigrationsOverTime.Len() == 0 {
+		return false
+	}
+	half := r.MigrationsOverTime.Len() / 2
+	late := 0.0
+	for i := half; i < r.MigrationsOverTime.Len(); i++ {
+		_, v := r.MigrationsOverTime.At(i)
+		late += v
+	}
+	threshold := math.Max(5, 0.1*float64(r.Intervals))
+	return late >= threshold
+}
+
+// MaxPerVMMigrations returns the largest per-VM migration count — cycling
+// VMs bounce repeatedly, stable systems stay at ≤ 1.
+func (r *Report) MaxPerVMMigrations() int {
+	max := 0
+	for _, n := range r.PerVMMigrations {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// Run executes the configured number of intervals and returns the report.
+func (s *Simulator) Run() (*Report, error) {
+	for t := 0; t < s.cfg.Intervals; t++ {
+		if err := s.step(t); err != nil {
+			return nil, err
+		}
+	}
+	return &Report{
+		Intervals:          s.cfg.Intervals,
+		TotalMigrations:    len(s.events),
+		FinalPMs:           s.placement.NumUsedPMs(),
+		PowerOns:           s.powerOns,
+		CVR:                s.meter,
+		MigrationsOverTime: s.migrationsPerStep,
+		PMsOverTime:        s.pmsInUse,
+		Events:             s.events,
+		PerVMMigrations:    s.perVMMigrations,
+		VMViolationRatio:   s.vmViolationRatios(),
+	}, nil
+}
+
+// vmViolationRatios derives each VM's violated-time fraction.
+func (s *Simulator) vmViolationRatios() map[int]float64 {
+	out := make(map[int]float64, len(s.vmObserved))
+	for id, observed := range s.vmObserved {
+		if observed > 0 {
+			out[id] = float64(s.vmViolation[id]) / float64(observed)
+		}
+	}
+	return out
+}
+
+// WorstVMViolation returns the highest per-VM violation ratio and the VM it
+// belongs to (-1 when nothing was observed) — the tenant with the worst SLA.
+func (r *Report) WorstVMViolation() (vmID int, ratio float64) {
+	vmID = -1
+	for id, v := range r.VMViolationRatio {
+		if v > ratio || vmID == -1 {
+			vmID, ratio = id, v
+		}
+	}
+	return vmID, ratio
+}
+
+// step advances one interval: workload transition, load measurement, and (if
+// enabled) migrations for PMs whose windowed CVR breached ρ.
+func (s *Simulator) step(t int) error {
+	s.fleet.Step(s.rng)
+	states := s.fleet.States()
+
+	// Measure every powered-on PM.
+	var triggered []int
+	for _, pmID := range s.placement.UsedPMs() {
+		load, err := s.pmLoad(pmID, states)
+		if err != nil {
+			return err
+		}
+		pm, _ := s.placement.PM(pmID)
+		violated := load > pm.Capacity+1e-9
+		s.meter.Observe(pmID, violated)
+		// A violated PM degrades every tenant on it; attribute the interval
+		// to each hosted VM for the per-VM SLA view.
+		for _, vm := range s.placement.VMsOn(pmID) {
+			s.vmObserved[vm.ID]++
+			if violated {
+				s.vmViolation[vm.ID]++
+			}
+		}
+		w := s.windows[pmID]
+		if w == nil {
+			w = newSlidingWindow(s.cfg.Window)
+			s.windows[pmID] = w
+		}
+		w.observe(violated)
+		if s.cfg.EnableMigration && w.cvr() > s.cfg.Rho {
+			triggered = append(triggered, pmID)
+		}
+	}
+	// Overhead charges last one interval.
+	for id := range s.overhead {
+		delete(s.overhead, id)
+	}
+
+	migrations := 0
+	sort.Ints(triggered)
+	for _, pmID := range triggered {
+		ev, ok, err := s.migrateFrom(t, pmID, states)
+		if err != nil {
+			return err
+		}
+		if ok {
+			s.events = append(s.events, ev)
+			s.perVMMigrations[ev.VMID]++
+			migrations++
+			if ev.PoweredOn {
+				s.powerOns++
+			}
+		}
+	}
+	s.migrationsPerStep.Append(t, float64(migrations))
+	s.pmsInUse.Append(t, float64(s.placement.NumUsedPMs()))
+	return nil
+}
+
+// pmLoad returns the PM's instantaneous load: Σ demand(state) plus any
+// migration overhead charged this interval, with optional request-level
+// noise.
+func (s *Simulator) pmLoad(pmID int, states map[int]markov.State) (float64, error) {
+	load := s.overhead[pmID]
+	for _, vm := range s.placement.VMsOn(pmID) {
+		d, err := s.vmDemand(vm, states[vm.ID])
+		if err != nil {
+			return 0, err
+		}
+		load += d
+	}
+	return load, nil
+}
+
+// vmDemand returns the VM's demand this interval — the exact model level, or
+// the request-modulated level under RequestNoise.
+func (s *Simulator) vmDemand(vm cloud.VM, state markov.State) (float64, error) {
+	level := vm.Demand(state)
+	if !s.cfg.RequestNoise || level == 0 {
+		return level, nil
+	}
+	users := int(math.Round(level * s.cfg.UsersPerUnit))
+	if users <= 0 {
+		return level, nil
+	}
+	actual, err := workload.RequestCount(users, s.cfg.IntervalSeconds, s.cfg.ThinkTime, s.rng)
+	if err != nil {
+		return 0, err
+	}
+	expected := float64(users) * s.cfg.IntervalSeconds / s.cfg.ThinkTime.EffectiveMean()
+	return level * float64(actual) / expected, nil
+}
+
+// migrateFrom evicts one VM from an overloaded PM to the scheduler's chosen
+// target. It returns ok=false when no victim or no feasible target exists
+// (the VM then stays put — the system is saturated).
+func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (MigrationEvent, bool, error) {
+	victim, ok := s.pickVictim(fromPM, states)
+	if !ok {
+		return MigrationEvent{}, false, nil
+	}
+	demand, err := s.vmDemand(victim, states[victim.ID])
+	if err != nil {
+		return MigrationEvent{}, false, err
+	}
+	target, poweredOn, ok, err := s.pickTarget(fromPM, victim, demand, states)
+	if err != nil || !ok {
+		return MigrationEvent{}, false, err
+	}
+	if _, err := s.placement.Remove(victim.ID); err != nil {
+		return MigrationEvent{}, false, err
+	}
+	if err := s.placement.Assign(victim, target); err != nil {
+		return MigrationEvent{}, false, err
+	}
+	// The source pays the migration's CPU overhead next interval, and both
+	// windows restart so one breach does not double-trigger.
+	s.overhead[fromPM] += demand * s.cfg.MigrationOverhead
+	if w := s.windows[fromPM]; w != nil {
+		w.reset()
+	}
+	if w := s.windows[target]; w != nil {
+		w.reset()
+	}
+	return MigrationEvent{Interval: t, VMID: victim.ID, FromPM: fromPM, ToPM: target, PoweredOn: poweredOn}, true, nil
+}
+
+// pickVictim selects the VM to evict: the spiking VM with the largest
+// current demand (evicting it relieves the overflow fastest); if none is ON,
+// the largest VM overall. A PM hosting a single VM keeps it — migrating the
+// only tenant cannot reduce load pressure anywhere it goes.
+func (s *Simulator) pickVictim(pmID int, states map[int]markov.State) (cloud.VM, bool) {
+	vms := s.placement.VMsOn(pmID)
+	if len(vms) <= 1 {
+		return cloud.VM{}, false
+	}
+	var best cloud.VM
+	bestDemand, bestOn := -1.0, false
+	for _, vm := range vms {
+		on := states[vm.ID] == markov.On
+		d := vm.Demand(states[vm.ID])
+		if (on && !bestOn) || (on == bestOn && d > bestDemand) {
+			best, bestDemand, bestOn = vm, d, on
+		}
+	}
+	return best, true
+}
+
+// pickTarget chooses the migration target. Powered-on PMs are preferred in
+// ascending order of *current* load (idle deception: the estimate ignores
+// burstiness); if none fits, an off PM is powered on. ok=false means the
+// whole pool is saturated.
+func (s *Simulator) pickTarget(fromPM int, vm cloud.VM, demand float64, states map[int]markov.State) (target int, poweredOn, ok bool, err error) {
+	type candidate struct {
+		pmID int
+		load float64
+	}
+	var on []candidate
+	used := make(map[int]bool)
+	for _, pmID := range s.placement.UsedPMs() {
+		used[pmID] = true
+		if pmID == fromPM {
+			continue
+		}
+		load, lerr := s.pmLoad(pmID, states)
+		if lerr != nil {
+			return 0, false, false, lerr
+		}
+		on = append(on, candidate{pmID, load})
+	}
+	sort.Slice(on, func(i, j int) bool {
+		if on[i].load != on[j].load {
+			return on[i].load < on[j].load
+		}
+		return on[i].pmID < on[j].pmID
+	})
+	for _, c := range on {
+		if s.targetAdmits(c.pmID, c.load, vm, demand) {
+			return c.pmID, false, true, nil
+		}
+	}
+	// Power on the lowest-id idle PM that can host the VM.
+	for _, pm := range s.placement.PMs() {
+		if used[pm.ID] {
+			continue
+		}
+		if s.targetAdmits(pm.ID, 0, vm, demand) {
+			return pm.ID, true, true, nil
+		}
+	}
+	return 0, false, false, nil
+}
+
+// targetAdmits applies the policy's admission test for a migration target.
+func (s *Simulator) targetAdmits(pmID int, currentLoad float64, vm cloud.VM, demand float64) bool {
+	pm, _ := s.placement.PM(pmID)
+	if currentLoad+demand > pm.Capacity+1e-9 {
+		return false
+	}
+	if s.cfg.Policy == TargetReservationAware {
+		k := s.placement.CountOn(pmID)
+		if k+1 > s.table.MaxVMs() {
+			return false
+		}
+		blockSize := math.Max(vm.Re, s.placement.MaxRe(pmID))
+		footprint := s.placement.SumRb(pmID) + vm.Rb + blockSize*float64(s.table.Blocks(k+1))
+		if footprint > pm.Capacity+1e-9 {
+			return false
+		}
+	}
+	return true
+}

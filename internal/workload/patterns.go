@@ -1,0 +1,237 @@
+// Package workload generates the paper's evaluation workloads: random VM
+// fleets for the three spike patterns of §V (R_b = R_e, R_b > R_e,
+// R_b < R_e), the Table I web-server size classes, ON-OFF demand traces
+// (Figs. 1 and 8), and the user-request generator with exponential think
+// times used in the live-migration experiments (§V-D).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/cloud"
+)
+
+// Pattern is one of the paper's three workload patterns, distinguished by
+// the relation between the normal demand R_b and the spike size R_e.
+type Pattern int
+
+const (
+	// PatternEqual is R_b = R_e — "normal spike size" (Fig. 5a).
+	PatternEqual Pattern = iota
+	// PatternSmallSpike is R_b > R_e — "small spike size" (Fig. 5b).
+	PatternSmallSpike
+	// PatternLargeSpike is R_b < R_e — "large spike size" (Fig. 5c).
+	PatternLargeSpike
+)
+
+// String names the pattern the way the paper's figures do.
+func (p Pattern) String() string {
+	switch p {
+	case PatternEqual:
+		return "Rb=Re"
+	case PatternSmallSpike:
+		return "Rb>Re"
+	case PatternLargeSpike:
+		return "Rb<Re"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Patterns lists all three patterns in the paper's presentation order.
+func Patterns() []Pattern {
+	return []Pattern{PatternEqual, PatternSmallSpike, PatternLargeSpike}
+}
+
+// FleetParams configures random fleet generation. The zero ranges are filled
+// by DefaultFleetParams with the exact settings in the caption of Fig. 5:
+// p_on = 0.01, p_off = 0.09, C ∈ [80,100], and per-pattern R ranges.
+type FleetParams struct {
+	N       int     // number of VMs
+	Pattern Pattern // spike pattern
+	POn     float64 // OFF→ON probability, uniform across the fleet
+	POff    float64 // ON→OFF probability, uniform across the fleet
+	RbMin   float64 // R_b sampled uniformly from [RbMin, RbMax]
+	RbMax   float64
+	ReMin   float64 // R_e sampled uniformly from [ReMin, ReMax]
+	ReMax   float64
+}
+
+// DefaultFleetParams returns the Fig. 5 experiment settings for a pattern:
+//
+//	R_b = R_e:  R_b, R_e ∈ [2, 20]
+//	R_b > R_e:  R_b ∈ [12, 20], R_e ∈ [2, 10]
+//	R_b < R_e:  R_b ∈ [2, 10],  R_e ∈ [12, 20]
+func DefaultFleetParams(pattern Pattern, n int) FleetParams {
+	p := FleetParams{N: n, Pattern: pattern, POn: 0.01, POff: 0.09}
+	switch pattern {
+	case PatternSmallSpike:
+		p.RbMin, p.RbMax, p.ReMin, p.ReMax = 12, 20, 2, 10
+	case PatternLargeSpike:
+		p.RbMin, p.RbMax, p.ReMin, p.ReMax = 2, 10, 12, 20
+	default: // PatternEqual
+		p.RbMin, p.RbMax, p.ReMin, p.ReMax = 2, 20, 2, 20
+	}
+	return p
+}
+
+// Validate checks the parameter ranges.
+func (p FleetParams) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("workload: fleet size %d, want ≥ 1", p.N)
+	}
+	if !(p.POn > 0 && p.POn <= 1) || !(p.POff > 0 && p.POff <= 1) {
+		return fmt.Errorf("workload: switch probabilities (%v, %v) outside (0,1]", p.POn, p.POff)
+	}
+	if p.RbMin < 0 || p.RbMax < p.RbMin {
+		return fmt.Errorf("workload: bad R_b range [%v, %v]", p.RbMin, p.RbMax)
+	}
+	if p.ReMin < 0 || p.ReMax < p.ReMin {
+		return fmt.Errorf("workload: bad R_e range [%v, %v]", p.ReMin, p.ReMax)
+	}
+	if p.RbMax == 0 && p.ReMax == 0 {
+		return fmt.Errorf("workload: fleet would have zero peak demand")
+	}
+	return nil
+}
+
+// GenerateVMs samples a fleet of N VMs with ids 0..N−1. For PatternEqual the
+// paper's "R_b = R_e" is interpreted per its Fig. 5(a) caption — both drawn
+// from the same range — rather than literally equal values.
+func GenerateVMs(p FleetParams, rng *rand.Rand) ([]cloud.VM, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	vms := make([]cloud.VM, p.N)
+	for i := range vms {
+		vms[i] = cloud.VM{
+			ID:   i,
+			POn:  p.POn,
+			POff: p.POff,
+			Rb:   uniform(rng, p.RbMin, p.RbMax),
+			Re:   uniform(rng, p.ReMin, p.ReMax),
+		}
+	}
+	return vms, nil
+}
+
+// GeneratePMs samples n PMs with ids 0..n−1 and capacities uniform in
+// [capMin, capMax] — the paper's C_j ∈ [80, 100].
+func GeneratePMs(n int, capMin, capMax float64, rng *rand.Rand) ([]cloud.PM, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("workload: pool size %d, want ≥ 1", n)
+	}
+	if capMin <= 0 || capMax < capMin {
+		return nil, fmt.Errorf("workload: bad capacity range [%v, %v]", capMin, capMax)
+	}
+	pms := make([]cloud.PM, n)
+	for i := range pms {
+		pms[i] = cloud.PM{ID: i, Capacity: uniform(rng, capMin, capMax)}
+	}
+	return pms, nil
+}
+
+func uniform(rng *rand.Rand, lo, hi float64) float64 {
+	if hi == lo {
+		return lo
+	}
+	return lo + (hi-lo)*rng.Float64()
+}
+
+// SizeClass is a Table I workload size: the number of users a VM
+// specification accommodates.
+type SizeClass int
+
+const (
+	// ClassSmall accommodates 400 users.
+	ClassSmall SizeClass = iota
+	// ClassMedium accommodates 800 users.
+	ClassMedium
+	// ClassLarge accommodates 1600 users.
+	ClassLarge
+)
+
+// Users returns the user population of the class (§V-D: 400 for small, 800
+// for medium, 1600 for large).
+func (c SizeClass) Users() int {
+	switch c {
+	case ClassSmall:
+		return 400
+	case ClassMedium:
+		return 800
+	case ClassLarge:
+		return 1600
+	default:
+		return 0
+	}
+}
+
+// String names the class as in Table I.
+func (c SizeClass) String() string {
+	switch c {
+	case ClassSmall:
+		return "small"
+	case ClassMedium:
+		return "medium"
+	case ClassLarge:
+		return "large"
+	default:
+		return fmt.Sprintf("SizeClass(%d)", int(c))
+	}
+}
+
+// TableIEntry is one row of Table I: a workload pattern realised by R_b and
+// R_e size classes, with the user populations the VM accommodates at normal
+// and peak capability.
+type TableIEntry struct {
+	Pattern Pattern
+	RbClass SizeClass
+	ReClass SizeClass
+}
+
+// NormalUsers returns the users accommodated at normal capability (the R_b
+// class population).
+func (e TableIEntry) NormalUsers() int { return e.RbClass.Users() }
+
+// PeakUsers returns the users accommodated at peak capability
+// (R_b + R_e class populations — e.g. small+medium = 400+800 = 1200,
+// matching Table I).
+func (e TableIEntry) PeakUsers() int { return e.RbClass.Users() + e.ReClass.Users() }
+
+// TableI returns the seven experiment settings of Table I in paper order.
+func TableI() []TableIEntry {
+	return []TableIEntry{
+		{PatternEqual, ClassSmall, ClassSmall},
+		{PatternEqual, ClassMedium, ClassMedium},
+		{PatternEqual, ClassLarge, ClassLarge},
+		{PatternSmallSpike, ClassMedium, ClassSmall},
+		{PatternSmallSpike, ClassLarge, ClassMedium},
+		{PatternLargeSpike, ClassSmall, ClassMedium},
+		{PatternLargeSpike, ClassMedium, ClassLarge},
+	}
+}
+
+// TableIForPattern returns the Table I rows matching one pattern.
+func TableIForPattern(p Pattern) []TableIEntry {
+	var out []TableIEntry
+	for _, e := range TableI() {
+		if e.Pattern == p {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// VMFromEntry builds a VM spec from a Table I row, expressing demand in
+// "users served" units: R_b is the normal population and R_e the extra
+// population a spike brings, with the paper's switch probabilities.
+func VMFromEntry(id int, e TableIEntry, pOn, pOff float64) cloud.VM {
+	return cloud.VM{
+		ID:   id,
+		POn:  pOn,
+		POff: pOff,
+		Rb:   float64(e.RbClass.Users()),
+		Re:   float64(e.ReClass.Users()),
+	}
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+)
+
+func TestPatternString(t *testing.T) {
+	if PatternEqual.String() != "Rb=Re" || PatternSmallSpike.String() != "Rb>Re" || PatternLargeSpike.String() != "Rb<Re" {
+		t.Error("pattern names wrong")
+	}
+	if Pattern(9).String() == "" {
+		t.Error("unknown pattern should still render")
+	}
+	if len(Patterns()) != 3 {
+		t.Error("Patterns() should list all three")
+	}
+}
+
+func TestDefaultFleetParamsRanges(t *testing.T) {
+	eq := DefaultFleetParams(PatternEqual, 10)
+	if eq.RbMin != 2 || eq.RbMax != 20 || eq.ReMin != 2 || eq.ReMax != 20 {
+		t.Errorf("equal pattern ranges wrong: %+v", eq)
+	}
+	small := DefaultFleetParams(PatternSmallSpike, 10)
+	if small.RbMin != 12 || small.RbMax != 20 || small.ReMin != 2 || small.ReMax != 10 {
+		t.Errorf("small-spike ranges wrong: %+v", small)
+	}
+	large := DefaultFleetParams(PatternLargeSpike, 10)
+	if large.RbMin != 2 || large.RbMax != 10 || large.ReMin != 12 || large.ReMax != 20 {
+		t.Errorf("large-spike ranges wrong: %+v", large)
+	}
+	if eq.POn != 0.01 || eq.POff != 0.09 {
+		t.Error("default switch probabilities should match the paper")
+	}
+}
+
+func TestFleetParamsValidate(t *testing.T) {
+	good := DefaultFleetParams(PatternEqual, 5)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	cases := []func(*FleetParams){
+		func(p *FleetParams) { p.N = 0 },
+		func(p *FleetParams) { p.POn = 0 },
+		func(p *FleetParams) { p.POff = 1.5 },
+		func(p *FleetParams) { p.RbMin = -1 },
+		func(p *FleetParams) { p.RbMax = p.RbMin - 1 },
+		func(p *FleetParams) { p.ReMin, p.ReMax = 5, 2 },
+		func(p *FleetParams) { p.RbMin, p.RbMax, p.ReMin, p.ReMax = 0, 0, 0, 0 },
+	}
+	for i, mutate := range cases {
+		p := DefaultFleetParams(PatternEqual, 5)
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}
+
+func TestGenerateVMsRespectsRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, pattern := range Patterns() {
+		params := DefaultFleetParams(pattern, 200)
+		vms, err := GenerateVMs(params, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vms) != 200 {
+			t.Fatalf("%v: got %d VMs", pattern, len(vms))
+		}
+		if err := cloud.ValidateVMs(vms); err != nil {
+			t.Fatalf("%v: generated invalid fleet: %v", pattern, err)
+		}
+		for _, vm := range vms {
+			if vm.Rb < params.RbMin || vm.Rb > params.RbMax {
+				t.Errorf("%v: Rb %v outside [%v,%v]", pattern, vm.Rb, params.RbMin, params.RbMax)
+			}
+			if vm.Re < params.ReMin || vm.Re > params.ReMax {
+				t.Errorf("%v: Re %v outside [%v,%v]", pattern, vm.Re, params.ReMin, params.ReMax)
+			}
+			if vm.POn != 0.01 || vm.POff != 0.09 {
+				t.Errorf("%v: switch probabilities not propagated", pattern)
+			}
+		}
+	}
+}
+
+func TestGenerateVMsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := DefaultFleetParams(PatternEqual, 0)
+	if _, err := GenerateVMs(bad, rng); err == nil {
+		t.Error("invalid params accepted")
+	}
+}
+
+func TestGeneratePMs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pms, err := GeneratePMs(50, 80, 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pms) != 50 {
+		t.Fatalf("got %d PMs", len(pms))
+	}
+	if err := cloud.ValidatePMs(pms); err != nil {
+		t.Fatal(err)
+	}
+	for _, pm := range pms {
+		if pm.Capacity < 80 || pm.Capacity > 100 {
+			t.Errorf("capacity %v outside [80,100]", pm.Capacity)
+		}
+	}
+	if _, err := GeneratePMs(0, 80, 100, rng); err == nil {
+		t.Error("zero pool accepted")
+	}
+	if _, err := GeneratePMs(5, 0, 100, rng); err == nil {
+		t.Error("zero capMin accepted")
+	}
+	if _, err := GeneratePMs(5, 100, 80, rng); err == nil {
+		t.Error("inverted range accepted")
+	}
+}
+
+func TestGeneratePMsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	pms, err := GeneratePMs(3, 90, 90, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pm := range pms {
+		if pm.Capacity != 90 {
+			t.Errorf("fixed-capacity pool produced %v", pm.Capacity)
+		}
+	}
+}
+
+func TestSizeClassUsers(t *testing.T) {
+	if ClassSmall.Users() != 400 || ClassMedium.Users() != 800 || ClassLarge.Users() != 1600 {
+		t.Error("size-class populations must match §V-D")
+	}
+	if SizeClass(9).Users() != 0 {
+		t.Error("unknown class should give 0 users")
+	}
+	if ClassSmall.String() != "small" || ClassMedium.String() != "medium" || ClassLarge.String() != "large" {
+		t.Error("size-class names wrong")
+	}
+	if SizeClass(9).String() == "" {
+		t.Error("unknown class should still render")
+	}
+}
+
+func TestTableIMatchesPaper(t *testing.T) {
+	rows := TableI()
+	if len(rows) != 7 {
+		t.Fatalf("Table I has %d rows, want 7", len(rows))
+	}
+	// The exact populations printed in Table I.
+	want := []struct {
+		normal, peak int
+	}{
+		{400, 800}, {800, 1600}, {1600, 3200},
+		{800, 1200}, {1600, 2400},
+		{400, 1200}, {800, 2400},
+	}
+	for i, row := range rows {
+		if row.NormalUsers() != want[i].normal {
+			t.Errorf("row %d normal = %d, want %d", i, row.NormalUsers(), want[i].normal)
+		}
+		if row.PeakUsers() != want[i].peak {
+			t.Errorf("row %d peak = %d, want %d", i, row.PeakUsers(), want[i].peak)
+		}
+	}
+	// Pattern partition: 3 equal, 2 small-spike, 2 large-spike.
+	if len(TableIForPattern(PatternEqual)) != 3 {
+		t.Error("Rb=Re should have 3 rows")
+	}
+	if len(TableIForPattern(PatternSmallSpike)) != 2 {
+		t.Error("Rb>Re should have 2 rows")
+	}
+	if len(TableIForPattern(PatternLargeSpike)) != 2 {
+		t.Error("Rb<Re should have 2 rows")
+	}
+}
+
+func TestVMFromEntry(t *testing.T) {
+	e := TableIEntry{PatternLargeSpike, ClassSmall, ClassMedium}
+	vm := VMFromEntry(3, e, 0.01, 0.09)
+	if vm.ID != 3 || vm.Rb != 400 || vm.Re != 800 {
+		t.Errorf("VMFromEntry = %+v", vm)
+	}
+	if vm.Rp() != 1200 {
+		t.Errorf("peak = %v, want 1200 (Table I row)", vm.Rp())
+	}
+	if err := vm.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: generated fleets always validate and respect their ranges.
+func TestPropGeneratedFleetsValid(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		pattern := Patterns()[rng.Intn(3)]
+		params := DefaultFleetParams(pattern, 1+rng.Intn(100))
+		vms, err := GenerateVMs(params, rng)
+		if err != nil {
+			return false
+		}
+		if cloud.ValidateVMs(vms) != nil {
+			return false
+		}
+		for _, vm := range vms {
+			if vm.Rb < params.RbMin || vm.Rb > params.RbMax || vm.Re < params.ReMin || vm.Re > params.ReMax {
+				return false
+			}
+			// Pattern semantics: small spike ⇒ Rb > Re, large ⇒ Rb < Re.
+			switch pattern {
+			case PatternSmallSpike:
+				if vm.Rb <= vm.Re {
+					return false
+				}
+			case PatternLargeSpike:
+				if vm.Rb >= vm.Re {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

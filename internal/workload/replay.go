@@ -1,0 +1,91 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/markov"
+)
+
+// TraceReplay is a sim.DemandSource that replays recorded per-VM state
+// traces instead of sampling the ON-OFF model — the evaluation mode for the
+// record → fit → consolidate → validate workflow, where the placement was
+// computed from *fitted* parameters but is judged against the *real* trace.
+type TraceReplay struct {
+	traces map[int][]markov.State
+	states map[int]markov.State
+	pos    int
+	loop   bool
+}
+
+// NewTraceReplay builds a replay source. Every trace must be non-empty; with
+// loop=false, traces clamp at their final state once exhausted, with
+// loop=true they wrap around. States start at each trace's first entry.
+func NewTraceReplay(traces map[int][]markov.State, loop bool) (*TraceReplay, error) {
+	if len(traces) == 0 {
+		return nil, fmt.Errorf("workload: no traces to replay")
+	}
+	r := &TraceReplay{
+		traces: make(map[int][]markov.State, len(traces)),
+		states: make(map[int]markov.State, len(traces)),
+		loop:   loop,
+	}
+	for id, trace := range traces {
+		if len(trace) == 0 {
+			return nil, fmt.Errorf("workload: VM %d has an empty trace", id)
+		}
+		copied := make([]markov.State, len(trace))
+		copy(copied, trace)
+		r.traces[id] = copied
+		r.states[id] = copied[0]
+	}
+	return r, nil
+}
+
+// FromDemandTraces builds a replay source from demand traces keyed by their
+// VM specs (as produced by GenerateDemandTrace or monitoring ingestion).
+func FromDemandTraces(traces []DemandTrace, loop bool) (*TraceReplay, error) {
+	m := make(map[int][]markov.State, len(traces))
+	for _, tr := range traces {
+		if _, dup := m[tr.VM.ID]; dup {
+			return nil, fmt.Errorf("workload: duplicate trace for VM %d", tr.VM.ID)
+		}
+		m[tr.VM.ID] = tr.States
+	}
+	return NewTraceReplay(m, loop)
+}
+
+// Step advances the replay cursor one interval. The rng is unused — replay is
+// deterministic — but kept for the sim.DemandSource contract.
+func (r *TraceReplay) Step(_ *rand.Rand) {
+	r.pos++
+	for id, trace := range r.traces {
+		idx := r.pos
+		if idx >= len(trace) {
+			if r.loop {
+				idx %= len(trace)
+			} else {
+				idx = len(trace) - 1
+			}
+		}
+		r.states[id] = trace[idx]
+	}
+}
+
+// States returns the live state map (VM id → state).
+func (r *TraceReplay) States() map[int]markov.State { return r.states }
+
+// Pos returns the current replay cursor.
+func (r *TraceReplay) Pos() int { return r.pos }
+
+// Len returns the length of the shortest trace — the horizon over which the
+// replay is fully faithful without looping or clamping.
+func (r *TraceReplay) Len() int {
+	min := -1
+	for _, trace := range r.traces {
+		if min == -1 || len(trace) < min {
+			min = len(trace)
+		}
+	}
+	return min
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// ThinkTime models a user's pause between requests: exponentially distributed
+// with the given mean but floored at Floor, because "in reality the user
+// think time cannot be infinitely small" (§V-D: mean = 1, floor = 0.1).
+type ThinkTime struct {
+	Mean  float64 // mean of the underlying exponential, seconds
+	Floor float64 // lower clamp, seconds
+}
+
+// PaperThinkTime returns the §V-D setting: Exp(mean 1) clamped at 0.1 s.
+func PaperThinkTime() ThinkTime { return ThinkTime{Mean: 1, Floor: 0.1} }
+
+// Validate checks the parameters.
+func (tt ThinkTime) Validate() error {
+	if tt.Mean <= 0 {
+		return fmt.Errorf("workload: think-time mean %v, want > 0", tt.Mean)
+	}
+	if tt.Floor < 0 || tt.Floor > tt.Mean*100 {
+		return fmt.Errorf("workload: think-time floor %v unreasonable for mean %v", tt.Floor, tt.Mean)
+	}
+	return nil
+}
+
+// Sample draws one think time: max(Floor, Exp(Mean)).
+func (tt ThinkTime) Sample(rng *rand.Rand) float64 {
+	return math.Max(tt.Floor, rng.ExpFloat64()*tt.Mean)
+}
+
+// EffectiveMean returns E[max(Floor, X)] for X ~ Exp(Mean):
+// Floor + Mean·exp(−Floor/Mean).
+func (tt ThinkTime) EffectiveMean() float64 {
+	return tt.Floor + tt.Mean*math.Exp(-tt.Floor/tt.Mean)
+}
+
+// EffectiveVariance returns Var[max(Floor, X)] for X ~ Exp(Mean), from
+// E[Y²] = Floor² + e^{−Floor/Mean}·(2·Floor·Mean + 2·Mean²).
+func (tt ThinkTime) EffectiveVariance() float64 {
+	a, m := tt.Floor, tt.Mean
+	ey := tt.EffectiveMean()
+	ey2 := a*a + math.Exp(-a/m)*(2*a*m+2*m*m)
+	return ey2 - ey*ey
+}
+
+// RequestRate returns the long-run requests per second per user:
+// 1 / EffectiveMean.
+func (tt ThinkTime) RequestRate() float64 { return 1 / tt.EffectiveMean() }
+
+// RequestCountExact simulates `users` independent renewal processes for dt
+// seconds and returns the total request count — the faithful §V-D generator,
+// used for traces and validation. Each user's first request occurs after an
+// initial residual think time.
+func RequestCountExact(users int, dt float64, tt ThinkTime, rng *rand.Rand) (int, error) {
+	if err := tt.Validate(); err != nil {
+		return 0, err
+	}
+	if users < 0 || dt <= 0 {
+		return 0, fmt.Errorf("workload: invalid users=%d dt=%v", users, dt)
+	}
+	total := 0
+	for u := 0; u < users; u++ {
+		t := tt.Sample(rng) * rng.Float64() // residual of the first gap
+		for t < dt {
+			total++
+			t += tt.Sample(rng)
+		}
+	}
+	return total, nil
+}
+
+// RequestCount approximates the same total by the renewal central limit
+// theorem: N(users·dt/μ, users·dt·σ²/μ³) with μ, σ² the effective think-time
+// moments. It is the generator the fleet-scale simulation uses, where exact
+// per-user renewal simulation (≈ users·dt draws per VM per interval) would
+// dominate the run time. Counts are clamped at 0.
+func RequestCount(users int, dt float64, tt ThinkTime, rng *rand.Rand) (int, error) {
+	if err := tt.Validate(); err != nil {
+		return 0, err
+	}
+	if users < 0 || dt <= 0 {
+		return 0, fmt.Errorf("workload: invalid users=%d dt=%v", users, dt)
+	}
+	if users == 0 {
+		return 0, nil
+	}
+	mu := tt.EffectiveMean()
+	sigma2 := tt.EffectiveVariance()
+	mean := float64(users) * dt / mu
+	stddev := math.Sqrt(float64(users) * dt * sigma2 / (mu * mu * mu))
+	count := mean + stddev*rng.NormFloat64()
+	if count < 0 {
+		count = 0
+	}
+	return int(math.Round(count)), nil
+}

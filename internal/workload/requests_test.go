@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperThinkTime(t *testing.T) {
+	tt := PaperThinkTime()
+	if tt.Mean != 1 || tt.Floor != 0.1 {
+		t.Errorf("paper think time = %+v", tt)
+	}
+	if err := tt.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThinkTimeValidate(t *testing.T) {
+	if err := (ThinkTime{Mean: 0, Floor: 0.1}).Validate(); err == nil {
+		t.Error("zero mean accepted")
+	}
+	if err := (ThinkTime{Mean: 1, Floor: -0.1}).Validate(); err == nil {
+		t.Error("negative floor accepted")
+	}
+	if err := (ThinkTime{Mean: 0.001, Floor: 10}).Validate(); err == nil {
+		t.Error("floor ≫ mean accepted")
+	}
+}
+
+func TestThinkTimeSampleRespectsFloor(t *testing.T) {
+	tt := PaperThinkTime()
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		if s := tt.Sample(rng); s < 0.1 {
+			t.Fatalf("sample %v below floor", s)
+		}
+	}
+}
+
+func TestEffectiveMeanAnalytic(t *testing.T) {
+	tt := PaperThinkTime()
+	want := 0.1 + math.Exp(-0.1)
+	if math.Abs(tt.EffectiveMean()-want) > 1e-12 {
+		t.Errorf("EffectiveMean = %v, want %v", tt.EffectiveMean(), want)
+	}
+	// Zero floor reduces to the plain exponential mean.
+	plain := ThinkTime{Mean: 2, Floor: 0}
+	if math.Abs(plain.EffectiveMean()-2) > 1e-12 {
+		t.Errorf("zero-floor mean = %v, want 2", plain.EffectiveMean())
+	}
+}
+
+func TestEffectiveMeanMatchesSampling(t *testing.T) {
+	tt := PaperThinkTime()
+	rng := rand.New(rand.NewSource(2))
+	sum := 0.0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		sum += tt.Sample(rng)
+	}
+	emp := sum / n
+	if math.Abs(emp-tt.EffectiveMean()) > 0.01 {
+		t.Errorf("empirical mean %v vs analytic %v", emp, tt.EffectiveMean())
+	}
+}
+
+func TestEffectiveVarianceMatchesSampling(t *testing.T) {
+	tt := PaperThinkTime()
+	rng := rand.New(rand.NewSource(3))
+	var sum, sumSq float64
+	const n = 400000
+	for i := 0; i < n; i++ {
+		s := tt.Sample(rng)
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / n
+	empVar := sumSq/n - mean*mean
+	if math.Abs(empVar-tt.EffectiveVariance()) > 0.02 {
+		t.Errorf("empirical variance %v vs analytic %v", empVar, tt.EffectiveVariance())
+	}
+	// Zero floor reduces to Exp variance = mean².
+	plain := ThinkTime{Mean: 3, Floor: 0}
+	if math.Abs(plain.EffectiveVariance()-9) > 1e-9 {
+		t.Errorf("zero-floor variance = %v, want 9", plain.EffectiveVariance())
+	}
+}
+
+func TestRequestRate(t *testing.T) {
+	tt := PaperThinkTime()
+	if math.Abs(tt.RequestRate()*tt.EffectiveMean()-1) > 1e-12 {
+		t.Error("rate × mean should be 1")
+	}
+}
+
+func TestRequestCountExactMatchesRate(t *testing.T) {
+	tt := PaperThinkTime()
+	rng := rand.New(rand.NewSource(4))
+	users, dt := 200, 30.0
+	total := 0
+	const trials = 30
+	for i := 0; i < trials; i++ {
+		c, err := RequestCountExact(users, dt, tt, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += c
+	}
+	avg := float64(total) / trials
+	want := float64(users) * dt / tt.EffectiveMean()
+	if math.Abs(avg-want)/want > 0.05 {
+		t.Errorf("exact count avg %v, want ≈ %v", avg, want)
+	}
+}
+
+func TestRequestCountApproxMatchesExact(t *testing.T) {
+	tt := PaperThinkTime()
+	rng := rand.New(rand.NewSource(5))
+	users, dt := 400, 30.0
+	var sumApprox, sumExact float64
+	const trials = 40
+	for i := 0; i < trials; i++ {
+		a, err := RequestCount(users, dt, tt, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := RequestCountExact(users, dt, tt, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sumApprox += float64(a)
+		sumExact += float64(e)
+	}
+	if math.Abs(sumApprox-sumExact)/sumExact > 0.05 {
+		t.Errorf("approx mean %v vs exact mean %v", sumApprox/trials, sumExact/trials)
+	}
+}
+
+func TestRequestCountEdgeCases(t *testing.T) {
+	tt := PaperThinkTime()
+	rng := rand.New(rand.NewSource(6))
+	if c, err := RequestCount(0, 30, tt, rng); err != nil || c != 0 {
+		t.Errorf("zero users: %d, %v", c, err)
+	}
+	if _, err := RequestCount(-1, 30, tt, rng); err == nil {
+		t.Error("negative users accepted")
+	}
+	if _, err := RequestCount(10, 0, tt, rng); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, err := RequestCount(10, 30, ThinkTime{Mean: 0}, rng); err == nil {
+		t.Error("invalid think time accepted")
+	}
+	if _, err := RequestCountExact(-1, 30, tt, rng); err == nil {
+		t.Error("exact: negative users accepted")
+	}
+	if _, err := RequestCountExact(10, -1, tt, rng); err == nil {
+		t.Error("exact: negative dt accepted")
+	}
+	if _, err := RequestCountExact(10, 30, ThinkTime{Mean: -1}, rng); err == nil {
+		t.Error("exact: invalid think time accepted")
+	}
+	if c, err := RequestCountExact(0, 30, tt, rng); err != nil || c != 0 {
+		t.Errorf("exact zero users: %d, %v", c, err)
+	}
+}
+
+// Property: request counts are non-negative and scale roughly linearly with
+// the user population.
+func TestPropRequestCountScales(t *testing.T) {
+	tt := PaperThinkTime()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		users := 50 + rng.Intn(400)
+		c1, err := RequestCount(users, 30, tt, rng)
+		if err != nil || c1 < 0 {
+			return false
+		}
+		c2, err := RequestCount(users*2, 30, tt, rng)
+		if err != nil || c2 < 0 {
+			return false
+		}
+		ratio := float64(c2) / float64(c1)
+		return ratio > 1.5 && ratio < 2.7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
