@@ -1,0 +1,36 @@
+# Development entry points for the repro module. Everything is standard
+# library only; the targets below are the same commands CI / reviewers run.
+
+GO ?= go
+
+.PHONY: all build test vet race bench bench-baseline cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Race-detector pass over the concurrency-bearing packages: the telemetry
+# registry/tracer (hammered from parallel workers) and the experiment runner.
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... .
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the committed benchmark baseline (root-package harness only,
+# one short iteration set — a smoke baseline, not a rigorous comparison).
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_baseline.json
+
+cover:
+	$(GO) test -cover ./...
+
+clean:
+	$(GO) clean ./...

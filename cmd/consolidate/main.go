@@ -5,6 +5,11 @@
 // Usage:
 //
 //	consolidate -spec fleet.json [-strategy queue|rp|rb|rbex] [-delta 0.3]
+//	            [-trace pack.jsonl] [-metrics-addr 127.0.0.1:9090]
+//
+// -trace records every MapCal solve and Eq. (17) admission test as JSON
+// lines; -metrics-addr serves the aggregated counters and solve-duration
+// histograms as Prometheus /metrics for the duration of the run.
 //
 // The spec format (see cloud.Fleet):
 //
@@ -24,6 +29,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -40,11 +46,21 @@ func run(args []string, stdout io.Writer) error {
 		strategy = fs.String("strategy", "queue", "placement strategy: queue, rp, rb, rbex")
 		delta    = fs.Float64("delta", 0.3, "reserve fraction for rbex")
 	)
+	var tf telemetry.Flags
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
+	}
+	tracer, err := tf.Activate()
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if url := tf.MetricsURL(); url != "" {
+		fmt.Fprintln(os.Stderr, "consolidate: serving metrics at", url)
 	}
 	f, err := os.Open(*specPath)
 	if err != nil {
@@ -58,7 +74,7 @@ func run(args []string, stdout io.Writer) error {
 
 	switch *strategy {
 	case "queue":
-		s := core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM}
+		s := core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM, Tracer: tracer}
 		res, err := s.Place(fleet.VMs, fleet.PMs)
 		if err != nil {
 			return err
@@ -67,7 +83,10 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return printRecord(stdout, s.BuildRecord(res, table))
+		if err := printRecord(stdout, s.BuildRecord(res, table)); err != nil {
+			return err
+		}
+		return tf.Close()
 	case "rp", "rb", "rbex":
 		var s core.Strategy
 		switch *strategy {
@@ -82,7 +101,10 @@ func run(args []string, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
-		return printRecord(stdout, buildBaselineRecord(s.Name(), res))
+		if err := printRecord(stdout, buildBaselineRecord(s.Name(), res)); err != nil {
+			return err
+		}
+		return tf.Close()
 	default:
 		return fmt.Errorf("unknown strategy %q (want queue, rp, rb, or rbex)", *strategy)
 	}

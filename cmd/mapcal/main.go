@@ -10,6 +10,10 @@
 //	mapcal -sweep rho -k 16 -rhos 0.001,0.01,0.05,0.1
 //	mapcal -sweep k -ks 2,4,8,16,32 -rho 0.01
 //	mapcal -hetero -pons 0.01,0.01,0.2 -poffs 0.09,0.09,0.2 -rho 0.01
+//
+// The shared observability flags apply: -trace <file> records each solve as a
+// JSONL telemetry.SolveEvent, -metrics-addr <host:port> serves solve counters
+// and duration histograms as Prometheus /metrics during the run.
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/queuing"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,29 +50,43 @@ func run(args []string, stdout io.Writer) error {
 		pOns   = fs.String("pons", "", "comma-separated per-VM p_on values (hetero)")
 		pOffs  = fs.String("poffs", "", "comma-separated per-VM p_off values (hetero)")
 	)
+	var tf telemetry.Flags
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	tracer, err := tf.Activate()
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if url := tf.MetricsURL(); url != "" {
+		fmt.Fprintln(os.Stderr, "mapcal: serving metrics at", url)
 	}
 
 	switch {
 	case *hetero:
-		return runHetero(stdout, *pOns, *pOffs, *rho)
+		err = runHetero(stdout, *pOns, *pOffs, *rho, tracer)
 	case *sweep == "rho":
-		return runSweepRho(stdout, *k, *pOn, *pOff, *rhos)
+		err = runSweepRho(stdout, *k, *pOn, *pOff, *rhos)
 	case *sweep == "k":
-		return runSweepK(stdout, *ks, *pOn, *pOff, *rho)
+		err = runSweepK(stdout, *ks, *pOn, *pOff, *rho)
 	case *sweep != "":
-		return fmt.Errorf("unknown sweep mode %q (want rho or k)", *sweep)
+		err = fmt.Errorf("unknown sweep mode %q (want rho or k)", *sweep)
 	default:
-		return runSingle(stdout, *k, *pOn, *pOff, *rho)
+		err = runSingle(stdout, *k, *pOn, *pOff, *rho, tracer)
 	}
+	if err != nil {
+		return err
+	}
+	return tf.Close()
 }
 
-func runSingle(w io.Writer, k int, pOn, pOff, rho float64) error {
+func runSingle(w io.Writer, k int, pOn, pOff, rho float64, tracer telemetry.Tracer) error {
 	if k < 1 {
 		return fmt.Errorf("-k is required (got %d)", k)
 	}
-	res, err := queuing.MapCal(k, pOn, pOff, rho)
+	res, err := queuing.MapCalTraced(k, pOn, pOff, rho, tracer)
 	if err != nil {
 		return err
 	}
@@ -132,7 +151,7 @@ func runSweepK(w io.Writer, kList string, pOn, pOff, rho float64) error {
 	return err
 }
 
-func runHetero(w io.Writer, pOnList, pOffList string, rho float64) error {
+func runHetero(w io.Writer, pOnList, pOffList string, rho float64, tracer telemetry.Tracer) error {
 	pOns, err := parseFloats(pOnList)
 	if err != nil {
 		return err
@@ -141,7 +160,7 @@ func runHetero(w io.Writer, pOnList, pOffList string, rho float64) error {
 	if err != nil {
 		return err
 	}
-	res, err := queuing.MapCalHetero(pOns, pOffs, rho)
+	res, err := queuing.MapCalHeteroTraced(pOns, pOffs, rho, tracer)
 	if err != nil {
 		return err
 	}

@@ -7,6 +7,12 @@
 //	simulate -spec fleet.json [-strategy queue|rp|rb|rbex|sbp]
 //	         [-intervals 100] [-migration] [-seed 1]
 //	         [-events events.csv] [-series series.csv]
+//	         [-trace run.jsonl] [-metrics-addr 127.0.0.1:9090]
+//
+// -trace records decision-level telemetry (MapCal solves, Eq. (17) admission
+// tests, per-interval simulator steps, migrations) as JSON lines;
+// -metrics-addr serves the same signals as Prometheus /metrics plus expvar
+// for the duration of the run.
 package main
 
 import (
@@ -20,6 +26,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/queuing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,11 +49,21 @@ func run(args []string, stdout io.Writer) error {
 		eventsPath = fs.String("events", "", "write migration events CSV to this path")
 		seriesPath = fs.String("series", "", "write per-interval series CSV to this path")
 	)
+	var tf telemetry.Flags
+	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
+	}
+	tracer, err := tf.Activate()
+	if err != nil {
+		return err
+	}
+	defer tf.Close()
+	if url := tf.MetricsURL(); url != "" {
+		fmt.Fprintln(os.Stderr, "simulate: serving metrics at", url)
 	}
 	f, err := os.Open(*specPath)
 	if err != nil {
@@ -58,7 +75,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	s, err := pickStrategy(*strategy, fleet, *delta, *epsilon)
+	s, err := pickStrategy(*strategy, fleet, *delta, *epsilon, tracer)
 	if err != nil {
 		return err
 	}
@@ -73,7 +90,7 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	table, err := queuing.NewMappingTable(fleet.MaxVMsPerPM, pOn, pOff, fleet.Rho)
+	table, err := queuing.NewMappingTableTraced(fleet.MaxVMsPerPM, pOn, pOff, fleet.Rho, tracer)
 	if err != nil {
 		return err
 	}
@@ -82,6 +99,7 @@ func run(args []string, stdout io.Writer) error {
 		Intervals:       *intervals,
 		Rho:             fleet.Rho,
 		EnableMigration: *migration,
+		Tracer:          tracer,
 	}, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
@@ -104,13 +122,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 	}
-	return nil
+	return tf.Close()
 }
 
-func pickStrategy(name string, fleet *cloud.Fleet, delta, epsilon float64) (core.Strategy, error) {
+func pickStrategy(name string, fleet *cloud.Fleet, delta, epsilon float64, tracer telemetry.Tracer) (core.Strategy, error) {
 	switch name {
 	case "queue":
-		return core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM}, nil
+		return core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM, Tracer: tracer}, nil
 	case "rp":
 		return core.FFDByRp{}, nil
 	case "rb":

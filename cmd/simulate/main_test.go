@@ -4,12 +4,19 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/queuing"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 func writeSpec(t *testing.T) string {
@@ -89,6 +96,112 @@ func TestRunWritesCSVs(t *testing.T) {
 	}
 	if len(strings.Split(strings.TrimSpace(string(se)), "\n")) != 41 {
 		t.Error("series CSV row count wrong")
+	}
+}
+
+// TestRunWritesDecodableTrace is the acceptance check for -trace: the run
+// must produce a JSONL file whose every line decodes, covering at least the
+// solve, placement, and sim_step event families.
+func TestRunWritesDecodableTrace(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	var buf bytes.Buffer
+	err := run([]string{
+		"-spec", writeSpec(t), "-strategy", "queue", "-intervals", "40",
+		"-trace", trace,
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := telemetry.ReadTraceFile(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) == 0 {
+		t.Fatal("trace file is empty")
+	}
+	kinds := map[string]int{}
+	for _, r := range recs {
+		kinds[r.Event.Kind()]++
+	}
+	for _, want := range []string{"solve", "placement", "sim_step"} {
+		if kinds[want] == 0 {
+			t.Errorf("trace has no %q events (kinds seen: %v)", want, kinds)
+		}
+	}
+	// Every interval must have produced exactly one step event.
+	if kinds["sim_step"] != 40 {
+		t.Errorf("sim_step events = %d, want 40", kinds["sim_step"])
+	}
+}
+
+// TestMetricsServedForPipeline drives the same pipeline run() executes —
+// consolidate then simulate, instrumented through telemetry.Flags — and
+// scrapes the live endpoint, checking the acceptance criterion: valid
+// Prometheus text with solve-duration histograms and placement/migration
+// counters. (run() closes its server on exit, so the scrape happens here
+// between the simulation and Close.)
+func TestMetricsServedForPipeline(t *testing.T) {
+	tf := telemetry.Flags{MetricsAddr: "127.0.0.1:0"}
+	tracer, err := tf.Activate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tf.Close()
+
+	f, err := os.Open(writeSpec(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := cloud.ReadFleet(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := pickStrategy("queue", fleet, 0.3, 0.01, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Place(fleet.VMs, fleet.PMs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pOn, pOff, err := core.RoundSwitchProbabilities(fleet.VMs, core.RoundMean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	table, err := queuing.NewMappingTableTraced(fleet.MaxVMsPerPM, pOn, pOff, fleet.Rho, tracer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simulator, err := sim.New(res.Placement, table, sim.Config{
+		Intervals: 40, Rho: fleet.Rho, EnableMigration: true, Tracer: tracer,
+	}, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := simulator.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(tf.MetricsURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE mapcal_solve_duration_seconds histogram",
+		`mapcal_solve_duration_seconds_bucket{le="+Inf"}`,
+		`placement_decisions_total{decision="accept"}`,
+		"sim_steps_total 40",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/cluster"
 	"repro/internal/queuing"
+	"repro/internal/telemetry"
 )
 
 // BlockSizing selects how the reserved blocks on a PM are sized.
@@ -66,6 +67,17 @@ type QueuingFFD struct {
 	// Costs an O(k²) dynamic program per admission test instead of a table
 	// lookup.
 	ExactHetero bool
+	// Tracer receives decision-level telemetry: one SolveEvent per MapCal run
+	// during table precompute and one PlacementEvent per Eq. (17) admission
+	// test, carrying both sides of the constraint and the accept/reject
+	// reason. Nil disables instrumentation at the cost of one branch per
+	// admission test.
+	Tracer telemetry.Tracer
+	// Cache optionally memoises MapCal solves across Table calls. Periodic
+	// reconsolidation re-packs the fleet with identical (p_on, p_off, ρ, d),
+	// so every table build after the first is served from cache; hits are
+	// visible in the trace as SolveEvents with cache_hit = true.
+	Cache *queuing.SolveCache
 }
 
 // Name returns "QUEUE".
@@ -85,11 +97,10 @@ func (s QueuingFFD) Table(vms []cloud.VM) (*queuing.MappingTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	table, err := queuing.NewMappingTable(s.MaxVMsPerPM, pOn, pOff, s.Rho)
-	if err != nil {
-		return nil, err
+	if s.Cache != nil {
+		return s.Cache.NewMappingTable(s.MaxVMsPerPM, pOn, pOff, s.Rho, s.Tracer)
 	}
-	return table, nil
+	return queuing.NewMappingTableTraced(s.MaxVMsPerPM, pOn, pOff, s.Rho, s.Tracer)
 }
 
 // Place runs the complete Algorithm 2.
@@ -165,8 +176,14 @@ func (s QueuingFFD) numClusters(n int) int {
 //
 // (or the top-K variant under BlockTopKRe), plus the d cap.
 func (s QueuingFFD) admit(p *cloud.Placement, vm cloud.VM, pmID int, table *queuing.MappingTable) bool {
+	tr := telemetry.OrNop(s.Tracer)
 	k := p.CountOn(pmID)
 	if k+1 > s.MaxVMsPerPM {
+		if tr.Enabled() {
+			tr.Emit(telemetry.PlacementEvent{
+				VMID: vm.ID, PMID: pmID, HostedK: k + 1, Reason: telemetry.ReasonVMCap,
+			})
+		}
 		return false
 	}
 	pm, _ := p.PM(pmID)
@@ -175,6 +192,11 @@ func (s QueuingFFD) admit(p *cloud.Placement, vm cloud.VM, pmID int, table *queu
 		var ok bool
 		blocks, ok = s.heteroBlocks(p, vm, pmID)
 		if !ok {
+			if tr.Enabled() {
+				tr.Emit(telemetry.PlacementEvent{
+					VMID: vm.ID, PMID: pmID, HostedK: k + 1, Reason: telemetry.ReasonHeteroError,
+				})
+			}
 			return false
 		}
 	} else {
@@ -191,7 +213,19 @@ func (s QueuingFFD) admit(p *cloud.Placement, vm cloud.VM, pmID int, table *queu
 		}
 		reservation = blockSize * float64(blocks)
 	}
-	return p.SumRb(pmID)+vm.Rb+reservation <= pm.Capacity+capEps
+	lhs := p.SumRb(pmID) + vm.Rb + reservation
+	admitted := lhs <= pm.Capacity+capEps
+	if tr.Enabled() {
+		reason := telemetry.ReasonFits
+		if !admitted {
+			reason = telemetry.ReasonOverflow
+		}
+		tr.Emit(telemetry.PlacementEvent{
+			VMID: vm.ID, PMID: pmID, HostedK: k + 1, Blocks: blocks,
+			LHS: lhs, RHS: pm.Capacity, Accepted: admitted, Reason: reason,
+		})
+	}
+	return admitted
 }
 
 // heteroBlocks computes the exact block count for the candidate host set
@@ -206,7 +240,7 @@ func (s QueuingFFD) heteroBlocks(p *cloud.Placement, vm cloud.VM, pmID int) (int
 	}
 	pOns = append(pOns, vm.POn)
 	pOffs = append(pOffs, vm.POff)
-	res, err := queuing.MapCalHetero(pOns, pOffs, s.Rho)
+	res, err := queuing.MapCalHeteroTraced(pOns, pOffs, s.Rho, s.Tracer)
 	if err != nil {
 		return 0, false // specs are pre-validated; treat failure as no-fit
 	}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -43,6 +44,11 @@ type Options struct {
 	// (fig9). 0 uses all cores; 1 forces sequential execution. Results are
 	// deterministic regardless — each trial derives its own seed.
 	Workers int
+	// Tracer receives decision-level telemetry from instrumented experiments
+	// (MapCal solves, placement decisions, simulator steps). Parallel trial
+	// workers share it, so the sink must be safe for concurrent Emit calls
+	// (telemetry.JSONL and the metrics bridge are). Nil disables tracing.
+	Tracer telemetry.Tracer
 }
 
 func (o Options) withDefaults() (Options, error) {

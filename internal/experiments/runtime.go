@@ -16,7 +16,7 @@ import (
 // each placement without live migration. RP is omitted as in the paper — its
 // CVR is identically zero by construction.
 func runFig6(opt Options) error {
-	table, err := queuing.NewMappingTable(opt.D, opt.POn, opt.POff, opt.Rho)
+	table, err := queuing.NewMappingTableTraced(opt.D, opt.POn, opt.POff, opt.Rho, opt.Tracer)
 	if err != nil {
 		return err
 	}
@@ -32,7 +32,7 @@ func runFig6(opt Options) error {
 		}
 		var queueCVRs []float64
 		for _, s := range []core.Strategy{
-			core.QueuingFFD{Rho: opt.Rho, MaxVMsPerPM: opt.D},
+			core.QueuingFFD{Rho: opt.Rho, MaxVMsPerPM: opt.D, Tracer: opt.Tracer},
 			core.FFDByRb{},
 		} {
 			res, err := s.Place(vms, pms)
@@ -42,6 +42,7 @@ func runFig6(opt Options) error {
 			simulator, err := sim.New(res.Placement, table, sim.Config{
 				Intervals: opt.SimIntervals,
 				Rho:       opt.Rho,
+				Tracer:    opt.Tracer,
 			}, rng)
 			if err != nil {
 				return err
@@ -76,7 +77,7 @@ func runFig6(opt Options) error {
 // migrationStrategies returns the Fig. 9/10 lineup: QUEUE, RB, RB-EX(δ).
 func (o Options) migrationStrategies() []core.Strategy {
 	return []core.Strategy{
-		core.QueuingFFD{Rho: o.Rho, MaxVMsPerPM: o.D},
+		core.QueuingFFD{Rho: o.Rho, MaxVMsPerPM: o.D, Tracer: o.Tracer},
 		core.FFDByRb{},
 		core.RBEX{Delta: o.Delta},
 	}
@@ -123,6 +124,7 @@ func fig9Scenario(opt Options, s core.Strategy, pattern workload.Pattern, table 
 		EnableMigration: true,
 		RequestNoise:    true,
 		UsersPerUnit:    100, // demand units are hundreds of users
+		Tracer:          opt.Tracer,
 	}, rng)
 	if err != nil {
 		return nil, err
@@ -134,7 +136,7 @@ func fig9Scenario(opt Options, s core.Strategy, pattern workload.Pattern, table 
 // used at the end of the evaluation period (energy) for QUEUE, RB and RB-EX,
 // as avg/min/max over repeated trials.
 func runFig9(opt Options) error {
-	table, err := queuing.NewMappingTable(opt.D, opt.POn, opt.POff, opt.Rho)
+	table, err := queuing.NewMappingTableTraced(opt.D, opt.POn, opt.POff, opt.Rho, opt.Tracer)
 	if err != nil {
 		return err
 	}
@@ -182,7 +184,7 @@ func runFig9(opt Options) error {
 // for one R_b = R_e run of each strategy, bucketed over the evaluation
 // period.
 func runFig10(opt Options) error {
-	table, err := queuing.NewMappingTable(opt.D, opt.POn, opt.POff, opt.Rho)
+	table, err := queuing.NewMappingTableTraced(opt.D, opt.POn, opt.POff, opt.Rho, opt.Tracer)
 	if err != nil {
 		return err
 	}

@@ -71,13 +71,35 @@ func (m *CVRMeter) Values() []float64 {
 
 // Max returns the largest CVR across PMs (0 when nothing observed).
 func (m *CVRMeter) Max() float64 {
-	max := 0.0
+	maxCVR := 0.0
 	for id := range m.steps {
-		if c := m.CVR(id); c > max {
-			max = c
+		if c := m.CVR(id); c > maxCVR {
+			maxCVR = c
 		}
 	}
-	return max
+	return maxCVR
+}
+
+// Reset discards every observation, returning the meter to its initial state.
+func (m *CVRMeter) Reset() {
+	m.violations = make(map[int]int)
+	m.steps = make(map[int]int)
+}
+
+// Merge folds another meter's observations into this one, summing the
+// per-PM violation and step counts — the combination rule for experiment
+// shards that observed disjoint interval ranges of the same fleet. The other
+// meter is left unchanged; a nil other is a no-op.
+func (m *CVRMeter) Merge(other *CVRMeter) {
+	if other == nil {
+		return
+	}
+	for id, n := range other.steps {
+		m.steps[id] += n
+	}
+	for id, n := range other.violations {
+		m.violations[id] += n
+	}
 }
 
 // Mean returns the average CVR across observed PMs (0 when nothing
@@ -162,6 +184,20 @@ func (t *TrialStats) Trials() int { return len(t.values) }
 // Summary returns the cross-trial statistics.
 func (t *TrialStats) Summary() Summary { return Summarize(t.values) }
 
+// Reset discards every recorded trial, keeping the name.
+func (t *TrialStats) Reset() { t.values = t.values[:0] }
+
+// Merge appends another accumulator's trials to this one, so shards of a
+// parallel experiment can be combined without re-running trials. The other
+// accumulator is left unchanged; a nil other is a no-op. Names are not
+// reconciled — the receiver's name wins.
+func (t *TrialStats) Merge(other *TrialStats) {
+	if other == nil {
+		return
+	}
+	t.values = append(t.values, other.values...)
+}
+
 // String renders "name: avg X (min Y, max Z) over N trials".
 func (t *TrialStats) String() string {
 	s := t.Summary()
@@ -220,7 +256,13 @@ func (ts *TimeSeries) Sum() float64 {
 
 // Buckets partitions the series into numBuckets contiguous windows and
 // returns each window's sum — how Fig. 10 presents migration events over
-// time. The final bucket absorbs any remainder.
+// time. The final bucket absorbs any remainder when Len is not divisible by
+// numBuckets, and numBuckets is clamped to Len so every bucket covers at
+// least one observation.
+//
+// The returned slice is freshly allocated on every call — a defensive copy
+// the caller owns and may mutate without affecting the series or later
+// Buckets calls.
 func (ts *TimeSeries) Buckets(numBuckets int) []float64 {
 	if numBuckets < 1 || ts.Len() == 0 {
 		return nil

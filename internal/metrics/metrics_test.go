@@ -63,6 +63,85 @@ func TestCVRMeterOverThreshold(t *testing.T) {
 	}
 }
 
+func TestCVRMeterResetAndMerge(t *testing.T) {
+	m := NewCVRMeter()
+	for i := 0; i < 10; i++ {
+		m.Observe(0, i < 5)
+	}
+	m.Reset()
+	if len(m.PMs()) != 0 || m.CVR(0) != 0 || m.Max() != 0 {
+		t.Error("Reset left observations behind")
+	}
+	m.Observe(0, true) // meter must stay usable after Reset
+	if m.CVR(0) != 1 {
+		t.Errorf("post-Reset CVR = %v, want 1", m.CVR(0))
+	}
+
+	// Two shards observing disjoint interval ranges of the same fleet.
+	a, b := NewCVRMeter(), NewCVRMeter()
+	for i := 0; i < 50; i++ {
+		a.Observe(1, i < 5) // 5/50
+		a.Observe(2, false)
+		b.Observe(1, i < 10) // 10/50
+		b.Observe(3, i < 1)
+	}
+	a.Merge(b)
+	if got := a.CVR(1); got != 15.0/100 {
+		t.Errorf("merged CVR(1) = %v, want 0.15", got)
+	}
+	if got := a.CVR(3); got != 1.0/50 {
+		t.Errorf("merged CVR(3) = %v, want 0.02", got)
+	}
+	if pms := a.PMs(); len(pms) != 3 {
+		t.Errorf("merged PMs = %v, want 3 ids", pms)
+	}
+	// The source shard must be untouched.
+	if got := b.CVR(1); got != 0.2 {
+		t.Errorf("source shard mutated: CVR(1) = %v", got)
+	}
+	a.Merge(nil) // no-op, must not panic
+	if got := a.CVR(1); got != 0.15 {
+		t.Errorf("nil merge changed state: %v", got)
+	}
+}
+
+func TestTrialStatsResetAndMerge(t *testing.T) {
+	a := NewTrialStats("pms")
+	for _, v := range []float64{40, 42} {
+		a.Add(v)
+	}
+	b := NewTrialStats("pms-shard2")
+	for _, v := range []float64{44, 46} {
+		b.Add(v)
+	}
+	a.Merge(b)
+	if a.Trials() != 4 {
+		t.Errorf("merged Trials = %d, want 4", a.Trials())
+	}
+	if s := a.Summary(); s.Mean != 43 || s.Min != 40 || s.Max != 46 {
+		t.Errorf("merged Summary = %+v", s)
+	}
+	if a.Name() != "pms" {
+		t.Errorf("receiver name lost: %q", a.Name())
+	}
+	if b.Trials() != 2 {
+		t.Error("source accumulator mutated by Merge")
+	}
+	a.Merge(nil)
+	if a.Trials() != 4 {
+		t.Error("nil merge changed state")
+	}
+
+	a.Reset()
+	if a.Trials() != 0 || a.Name() != "pms" {
+		t.Errorf("Reset: Trials=%d Name=%q", a.Trials(), a.Name())
+	}
+	a.Add(7) // usable after Reset
+	if s := a.Summary(); s.N != 1 || s.Mean != 7 {
+		t.Errorf("post-Reset Summary = %+v", s)
+	}
+}
+
 func TestSummarize(t *testing.T) {
 	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
 	if s.N != 8 || s.Mean != 5 || s.Min != 2 || s.Max != 9 {
@@ -159,6 +238,51 @@ func TestTimeSeriesBuckets(t *testing.T) {
 	// More buckets than points collapses to one value per point.
 	if got := ts.Buckets(100); len(got) != 10 {
 		t.Errorf("Buckets(100) length = %d", len(got))
+	}
+}
+
+func TestTimeSeriesBucketsEdges(t *testing.T) {
+	// numBuckets > Len: clamped so each bucket holds exactly one observation,
+	// in order.
+	ts := NewTimeSeries("m")
+	for i := 0; i < 3; i++ {
+		ts.Append(i, float64(i+1))
+	}
+	got := ts.Buckets(7)
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("Buckets(7) on 3 points = %v, want [1 2 3]", got)
+	}
+
+	// Len not divisible by numBuckets: 7 points into 4 buckets of size 1 with
+	// the final bucket absorbing the 3-point remainder.
+	ts7 := NewTimeSeries("m7")
+	for i := 0; i < 7; i++ {
+		ts7.Append(i, 1)
+	}
+	b := ts7.Buckets(4)
+	if len(b) != 4 || b[0] != 1 || b[1] != 1 || b[2] != 1 || b[3] != 4 {
+		t.Errorf("Buckets(4) on 7 points = %v, want [1 1 1 4]", b)
+	}
+
+	// Single bucket collects the whole series.
+	if one := ts7.Buckets(1); len(one) != 1 || one[0] != 7 {
+		t.Errorf("Buckets(1) = %v, want [7]", one)
+	}
+
+	// Negative bucket counts behave like zero.
+	if ts7.Buckets(-3) != nil {
+		t.Error("negative bucket count should give nil")
+	}
+
+	// Defensive-copy contract: mutating a returned slice must not leak into
+	// the series or later calls.
+	first := ts7.Buckets(4)
+	first[0] = 999
+	if again := ts7.Buckets(4); again[0] != 1 {
+		t.Errorf("Buckets shares storage across calls: %v", again)
+	}
+	if ts7.Sum() != 7 {
+		t.Errorf("mutating bucket slice changed the series: Sum = %v", ts7.Sum())
 	}
 }
 

@@ -1,0 +1,146 @@
+package queuing
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// MapCalTraced is MapCal with observability: when the tracer is enabled the
+// solve is timed and a telemetry.SolveEvent is emitted. The disabled path
+// costs one branch — MapCal itself is untouched.
+func MapCalTraced(k int, pOn, pOff, rho float64, tr telemetry.Tracer) (Result, error) {
+	tr = telemetry.OrNop(tr)
+	if !tr.Enabled() {
+		return MapCal(k, pOn, pOff, rho)
+	}
+	start := time.Now()
+	res, err := MapCal(k, pOn, pOff, rho)
+	if err != nil {
+		return res, err
+	}
+	tr.Emit(telemetry.SolveEvent{
+		Sources:  k,
+		Blocks:   res.K,
+		CVR:      res.CVR,
+		Rho:      rho,
+		Duration: time.Since(start),
+	})
+	return res, nil
+}
+
+// MapCalHeteroTraced is MapCalHetero with the same observability contract as
+// MapCalTraced; emitted events carry Hetero = true.
+func MapCalHeteroTraced(pOns, pOffs []float64, rho float64, tr telemetry.Tracer) (HeteroResult, error) {
+	tr = telemetry.OrNop(tr)
+	if !tr.Enabled() {
+		return MapCalHetero(pOns, pOffs, rho)
+	}
+	start := time.Now()
+	res, err := MapCalHetero(pOns, pOffs, rho)
+	if err != nil {
+		return res, err
+	}
+	tr.Emit(telemetry.SolveEvent{
+		Sources:  len(pOns),
+		Blocks:   res.K,
+		CVR:      res.CVR,
+		Rho:      rho,
+		Duration: time.Since(start),
+		Hetero:   true,
+	})
+	return res, nil
+}
+
+// NewMappingTableTraced precomputes the table like NewMappingTable, emitting
+// one SolveEvent per k when the tracer is enabled.
+func NewMappingTableTraced(d int, pOn, pOff, rho float64, tr telemetry.Tracer) (*MappingTable, error) {
+	tr = telemetry.OrNop(tr)
+	if !tr.Enabled() {
+		return NewMappingTable(d, pOn, pOff, rho)
+	}
+	if d < 1 {
+		return NewMappingTable(d, pOn, pOff, rho) // reuse the error path
+	}
+	t := &MappingTable{pOn: pOn, pOff: pOff, rho: rho, blocks: make([]int, d+1)}
+	for k := 1; k <= d; k++ {
+		res, err := MapCalTraced(k, pOn, pOff, rho, tr)
+		if err != nil {
+			return nil, err
+		}
+		t.blocks[k] = res.K
+	}
+	return t, nil
+}
+
+// solveKey identifies one MapCal instance; the solver is deterministic, so
+// equal keys always yield equal results.
+type solveKey struct {
+	k         int
+	pOn, pOff float64
+	rho       float64
+}
+
+// SolveCache memoises MapCal results across repeated table builds — the
+// controller re-packs the live fleet with identical parameters every period,
+// so every solve after the first is a hit. It is safe for concurrent use.
+type SolveCache struct {
+	mu sync.RWMutex
+	m  map[solveKey]Result
+}
+
+// NewSolveCache returns an empty cache.
+func NewSolveCache() *SolveCache {
+	return &SolveCache{m: make(map[solveKey]Result)}
+}
+
+// Len returns the number of cached solves.
+func (c *SolveCache) Len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.m)
+}
+
+// MapCal returns the cached result for (k, pOn, pOff, rho) or solves and
+// caches it. When the tracer is enabled a SolveEvent is emitted either way,
+// with CacheHit marking served-from-cache results.
+func (c *SolveCache) MapCal(k int, pOn, pOff, rho float64, tr telemetry.Tracer) (Result, error) {
+	tr = telemetry.OrNop(tr)
+	key := solveKey{k: k, pOn: pOn, pOff: pOff, rho: rho}
+	c.mu.RLock()
+	res, ok := c.m[key]
+	c.mu.RUnlock()
+	if ok {
+		if tr.Enabled() {
+			tr.Emit(telemetry.SolveEvent{
+				Sources: k, Blocks: res.K, CVR: res.CVR, Rho: rho, CacheHit: true,
+			})
+		}
+		return res, nil
+	}
+	res, err := MapCalTraced(k, pOn, pOff, rho, tr)
+	if err != nil {
+		return res, err
+	}
+	c.mu.Lock()
+	c.m[key] = res
+	c.mu.Unlock()
+	return res, nil
+}
+
+// NewMappingTable builds a mapping table through the cache.
+func (c *SolveCache) NewMappingTable(d int, pOn, pOff, rho float64, tr telemetry.Tracer) (*MappingTable, error) {
+	if d < 1 {
+		return NewMappingTable(d, pOn, pOff, rho) // reuse the error path
+	}
+	t := &MappingTable{pOn: pOn, pOff: pOff, rho: rho, blocks: make([]int, d+1)}
+	for k := 1; k <= d; k++ {
+		res, err := c.MapCal(k, pOn, pOff, rho, tr)
+		if err != nil {
+			return nil, err
+		}
+		t.blocks[k] = res.K
+	}
+	return t, nil
+}

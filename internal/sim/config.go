@@ -13,6 +13,7 @@ package sim
 import (
 	"fmt"
 
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -66,6 +67,11 @@ type Config struct {
 	// ThinkTime parameterises the request generator; the zero value
 	// defaults to the paper's Exp(1) clamped at 0.1 s.
 	ThinkTime workload.ThinkTime
+	// Tracer receives runtime telemetry: one StepEvent per interval
+	// (violations, migrations, power-ons, PMs in use) and one
+	// MigrationTraceEvent per executed migration. Nil disables
+	// instrumentation.
+	Tracer telemetry.Tracer
 }
 
 // withDefaults fills zero values and validates.

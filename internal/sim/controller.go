@@ -7,6 +7,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/queuing"
+	"repro/internal/telemetry"
 )
 
 // Controller runs the full management loop the paper sketches across §IV-E
@@ -118,14 +119,28 @@ func (c *Controller) reconsolidate(t int) error {
 		if targetWasIdle {
 			c.inner.powerOns++
 		}
+		if c.inner.tracer.Enabled() {
+			c.inner.tracer.Emit(telemetry.MigrationTraceEvent{
+				Interval: t, VMID: mv.VMID, FromPM: mv.FromPM, ToPM: mv.ToPM,
+				PoweredOn: targetWasIdle, Planned: true,
+			})
+		}
 	}
 	// Moving VMs resets the affected windows so the re-pack does not
 	// immediately trigger reactive evictions from stale history.
 	for _, w := range c.inner.windows {
 		w.reset()
 	}
+	released := 0
 	if after := c.inner.placement.NumUsedPMs(); after < before {
-		c.releasedPMs += before - after
+		released = before - after
+		c.releasedPMs += released
+	}
+	if c.inner.tracer.Enabled() {
+		c.inner.tracer.Emit(telemetry.ReconsolidateEvent{
+			Interval: t, Moves: len(plan.Moves), Deferred: len(plan.Deferred),
+			ReleasedPMs: released,
+		})
 	}
 	return nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/metrics"
 	"repro/internal/queuing"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -43,6 +44,7 @@ type Simulator struct {
 	fleet     DemandSource
 	rng       *rand.Rand
 	table     *queuing.MappingTable // only for TargetReservationAware
+	tracer    telemetry.Tracer
 
 	meter    *metrics.CVRMeter
 	windows  map[int]*slidingWindow
@@ -96,6 +98,7 @@ func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg 
 		fleet:             source,
 		rng:               rng,
 		table:             table,
+		tracer:            telemetry.OrNop(cfg.Tracer),
 		meter:             metrics.NewCVRMeter(),
 		windows:           make(map[int]*slidingWindow),
 		overhead:          make(map[int]float64),
@@ -216,6 +219,7 @@ func (s *Simulator) step(t int) error {
 
 	// Measure every powered-on PM.
 	var triggered []int
+	violations := 0
 	for _, pmID := range s.placement.UsedPMs() {
 		load, err := s.pmLoad(pmID, states)
 		if err != nil {
@@ -223,6 +227,9 @@ func (s *Simulator) step(t int) error {
 		}
 		pm, _ := s.placement.PM(pmID)
 		violated := load > pm.Capacity+1e-9
+		if violated {
+			violations++
+		}
 		s.meter.Observe(pmID, violated)
 		// A violated PM degrades every tenant on it; attribute the interval
 		// to each hosted VM for the per-VM SLA view.
@@ -247,7 +254,7 @@ func (s *Simulator) step(t int) error {
 		delete(s.overhead, id)
 	}
 
-	migrations := 0
+	migrations, stepPowerOns := 0, 0
 	sort.Ints(triggered)
 	for _, pmID := range triggered {
 		ev, ok, err := s.migrateFrom(t, pmID, states)
@@ -260,11 +267,27 @@ func (s *Simulator) step(t int) error {
 			migrations++
 			if ev.PoweredOn {
 				s.powerOns++
+				stepPowerOns++
+			}
+			if s.tracer.Enabled() {
+				s.tracer.Emit(telemetry.MigrationTraceEvent{
+					Interval: t, VMID: ev.VMID, FromPM: ev.FromPM, ToPM: ev.ToPM,
+					PoweredOn: ev.PoweredOn,
+				})
 			}
 		}
 	}
 	s.migrationsPerStep.Append(t, float64(migrations))
 	s.pmsInUse.Append(t, float64(s.placement.NumUsedPMs()))
+	if s.tracer.Enabled() {
+		s.tracer.Emit(telemetry.StepEvent{
+			Interval:   t,
+			Violations: violations,
+			Migrations: migrations,
+			PowerOns:   stepPowerOns,
+			PMsInUse:   s.placement.NumUsedPMs(),
+		})
+	}
 	return nil
 }
 

@@ -1,0 +1,42 @@
+package telemetry
+
+import (
+	"io"
+	"testing"
+)
+
+// BenchmarkNopGuard measures the cost instrumented call sites pay when
+// telemetry is disabled: one OrNop normalisation plus the Enabled branch.
+// This is the "no flags" overhead the acceptance criteria require to stay
+// within noise — expect low single-digit nanoseconds and zero allocations.
+func BenchmarkNopGuard(b *testing.B) {
+	var configured Tracer // nil, as in a zero-value Config / QueuingFFD
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := OrNop(configured)
+		if tr.Enabled() {
+			tr.Emit(StepEvent{Interval: i})
+		}
+	}
+}
+
+// BenchmarkJSONLEmit measures the enabled path's per-event cost.
+func BenchmarkJSONLEmit(b *testing.B) {
+	tr := NewJSONL(io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(PlacementEvent{VMID: i, PMID: 3, HostedK: 4, Blocks: 2, LHS: 88.5, RHS: 100, Accepted: true, Reason: ReasonFits})
+	}
+	if err := tr.Err(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkMetricsBridgeEmit measures the registry-update path per event.
+func BenchmarkMetricsBridgeEmit(b *testing.B) {
+	tr := NewMetrics(NewRegistry())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(StepEvent{Interval: i, Violations: 1, Migrations: 1, PMsInUse: 9})
+	}
+}

@@ -1,0 +1,85 @@
+package telemetry
+
+// metricsTracer derives registry instruments from the trace stream, so every
+// instrumented call site feeds both the JSONL trace and the /metrics endpoint
+// through one Emit.
+type metricsTracer struct {
+	reg *Registry
+
+	solveDuration *Timer
+	solves        *Counter
+	solveHits     *Counter
+
+	accepted *Counter
+	rejected *Counter
+
+	steps      *Counter
+	violations *Counter
+	migrations *Counter
+	powerOns   *Counter
+	pmsInUse   *Gauge
+
+	planned  *Counter
+	recons   *Counter
+	released *Counter
+}
+
+// NewMetrics returns a tracer that updates reg from every event it sees:
+// mapcal_solve_duration_seconds (histogram), mapcal_solves_total and
+// mapcal_cache_hits_total, placement_decisions_total{decision=...},
+// sim_steps_total / sim_violations_total / sim_migrations_total /
+// sim_power_ons_total, sim_pms_in_use (gauge), and the reconsolidation
+// counters.
+func NewMetrics(reg *Registry) Tracer {
+	return &metricsTracer{
+		reg:           reg,
+		solveDuration: reg.Timer("mapcal_solve_duration_seconds"),
+		solves:        reg.Counter("mapcal_solves_total"),
+		solveHits:     reg.Counter("mapcal_cache_hits_total"),
+		accepted:      reg.Counter(`placement_decisions_total{decision="accept"}`),
+		rejected:      reg.Counter(`placement_decisions_total{decision="reject"}`),
+		steps:         reg.Counter("sim_steps_total"),
+		violations:    reg.Counter("sim_violations_total"),
+		migrations:    reg.Counter("sim_migrations_total"),
+		powerOns:      reg.Counter("sim_power_ons_total"),
+		pmsInUse:      reg.Gauge("sim_pms_in_use"),
+		planned:       reg.Counter("reconsolidation_moves_total"),
+		recons:        reg.Counter("reconsolidation_runs_total"),
+		released:      reg.Counter("reconsolidation_released_pms_total"),
+	}
+}
+
+// Enabled returns true.
+func (m *metricsTracer) Enabled() bool { return true }
+
+// Emit folds the event into the registry.
+func (m *metricsTracer) Emit(e Event) {
+	switch ev := e.(type) {
+	case SolveEvent:
+		m.solves.Inc()
+		if ev.CacheHit {
+			m.solveHits.Inc()
+		} else {
+			m.solveDuration.Observe(ev.Duration)
+		}
+	case PlacementEvent:
+		if ev.Accepted {
+			m.accepted.Inc()
+		} else {
+			m.rejected.Inc()
+		}
+	case StepEvent:
+		m.steps.Inc()
+		m.violations.Add(uint64(ev.Violations))
+		m.migrations.Add(uint64(ev.Migrations))
+		m.powerOns.Add(uint64(ev.PowerOns))
+		m.pmsInUse.Set(float64(ev.PMsInUse))
+	case MigrationTraceEvent:
+		// Counted via StepEvent (reactive) or ReconsolidateEvent (planned);
+		// the per-move record is for the trace, not the aggregates.
+	case ReconsolidateEvent:
+		m.recons.Inc()
+		m.planned.Add(uint64(ev.Moves))
+		m.released.Add(uint64(ev.ReleasedPMs))
+	}
+}

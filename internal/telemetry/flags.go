@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+// Flags bundles the shared observability CLI flags: -trace <file> writes a
+// JSONL event trace, -metrics-addr <host:port> serves /metrics and
+// /debug/vars for the lifetime of the run. Zero values disable both.
+//
+// Usage:
+//
+//	var tf telemetry.Flags
+//	tf.Register(fs)
+//	fs.Parse(args)
+//	tracer, err := tf.Activate()
+//	defer tf.Close()
+type Flags struct {
+	Trace       string
+	MetricsAddr string
+
+	registry *Registry
+	file     *os.File
+	jsonl    *JSONL
+	server   *Server
+}
+
+// Register binds the flags onto fs.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Trace, "trace", "", "write a JSONL event trace to this path")
+	fs.StringVar(&f.MetricsAddr, "metrics-addr", "", "serve Prometheus /metrics and expvar on host:port for the run")
+}
+
+// Activate opens the configured sinks and returns the tracer to instrument
+// with: a JSONL sink when -trace is set, a metrics bridge (plus HTTP
+// endpoint) when -metrics-addr is set, both fanned out when both are, and
+// Nop when neither. Call Close when the run finishes.
+func (f *Flags) Activate() (Tracer, error) {
+	tracers := make([]Tracer, 0, 2)
+	if f.Trace != "" {
+		file, err := os.Create(f.Trace)
+		if err != nil {
+			return nil, fmt.Errorf("telemetry: -trace: %w", err)
+		}
+		f.file = file
+		f.jsonl = NewJSONL(file)
+		tracers = append(tracers, f.jsonl)
+	}
+	if f.MetricsAddr != "" {
+		f.registry = NewRegistry()
+		server, err := Serve(f.MetricsAddr, f.registry)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("telemetry: -metrics-addr: %w", err)
+		}
+		f.server = server
+		tracers = append(tracers, NewMetrics(f.registry))
+	}
+	return Multi(tracers...), nil
+}
+
+// Registry returns the registry backing -metrics-addr (nil when the flag is
+// unset or Activate has not run).
+func (f *Flags) Registry() *Registry { return f.registry }
+
+// MetricsURL returns the served /metrics URL, or "" when disabled.
+func (f *Flags) MetricsURL() string {
+	if f.server == nil {
+		return ""
+	}
+	return "http://" + f.server.Addr() + "/metrics"
+}
+
+// Close flushes and releases every sink Activate opened. It returns the first
+// error encountered — including a sticky JSONL write error.
+func (f *Flags) Close() error {
+	var first error
+	if f.server != nil {
+		if err := f.server.Close(); err != nil && first == nil {
+			first = err
+		}
+		f.server = nil
+	}
+	if f.jsonl != nil {
+		if err := f.jsonl.Err(); err != nil && first == nil {
+			first = err
+		}
+		f.jsonl = nil
+	}
+	if f.file != nil {
+		if err := f.file.Close(); err != nil && first == nil {
+			first = err
+		}
+		f.file = nil
+	}
+	return first
+}

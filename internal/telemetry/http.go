@@ -1,0 +1,88 @@
+package telemetry
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// Handler returns an http.Handler serving the registry in Prometheus text
+// format.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// Server is a running telemetry HTTP endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Addr returns the bound address (useful with a ":0" listen request).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// Serve starts an HTTP endpoint on addr exposing the registry at /metrics
+// (Prometheus text format) and the process expvars — including a "telemetry"
+// var mirroring the registry snapshot — at /debug/vars. It returns once the
+// listener is bound; serving continues in a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return &Server{ln: ln, srv: srv}, nil
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registry as the process-wide "telemetry"
+// expvar. expvar forbids re-publication, so only the first registry passed
+// here (per process) is exported; later calls are no-ops.
+func PublishExpvar(r *Registry) {
+	expvarOnce.Do(func() {
+		expvar.Publish("telemetry", expvar.Func(func() any {
+			return expvarView(r.Snapshot())
+		}))
+	})
+}
+
+// expvarView rewrites a snapshot into JSON-marshallable form: histogram
+// bucket bounds become strings so the +Inf bucket survives encoding (exvar
+// silently drops values json.Marshal rejects).
+func expvarView(s Snapshot) any {
+	type bucket struct {
+		Le    string `json:"le"`
+		Count uint64 `json:"count"`
+	}
+	type hist struct {
+		Buckets []bucket `json:"buckets"`
+		Sum     float64  `json:"sum"`
+		Count   uint64   `json:"count"`
+	}
+	hists := make(map[string]hist, len(s.Histograms))
+	for name, h := range s.Histograms {
+		v := hist{Sum: h.Sum, Count: h.Count, Buckets: make([]bucket, len(h.Buckets))}
+		for i, b := range h.Buckets {
+			v.Buckets[i] = bucket{Le: formatFloat(b.UpperBound), Count: b.Count}
+		}
+		hists[name] = v
+	}
+	return map[string]any{
+		"counters":   s.Counters,
+		"gauges":     s.Gauges,
+		"histograms": hists,
+	}
+}

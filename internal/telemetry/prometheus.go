@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders every registered instrument in the Prometheus text
+// exposition format (version 0.0.4): a `# TYPE` header per metric family
+// followed by its samples, families and series in lexical order so output is
+// deterministic and diff-friendly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.Snapshot().WritePrometheus(w)
+}
+
+// WritePrometheus renders the snapshot; see Registry.WritePrometheus.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	type series struct {
+		name string // full series name incl. labels
+		kind string
+	}
+	bySeries := make([]series, 0, len(s.Counters)+len(s.Gauges)+len(s.Histograms))
+	for name := range s.Counters {
+		bySeries = append(bySeries, series{name, "counter"})
+	}
+	for name := range s.Gauges {
+		bySeries = append(bySeries, series{name, "gauge"})
+	}
+	for name := range s.Histograms {
+		bySeries = append(bySeries, series{name, "histogram"})
+	}
+	sort.Slice(bySeries, func(i, j int) bool { return bySeries[i].name < bySeries[j].name })
+
+	typed := make(map[string]bool) // families whose TYPE line is out
+	for _, sr := range bySeries {
+		family, labels := SplitSeries(sr.name)
+		if !typed[family] {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, sr.kind); err != nil {
+				return err
+			}
+			typed[family] = true
+		}
+		var err error
+		switch sr.kind {
+		case "counter":
+			_, err = fmt.Fprintf(w, "%s %d\n", sr.name, s.Counters[sr.name])
+		case "gauge":
+			_, err = fmt.Fprintf(w, "%s %s\n", sr.name, formatFloat(s.Gauges[sr.name]))
+		case "histogram":
+			err = writeHistogram(w, family, labels, s.Histograms[sr.name])
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeHistogram emits the cumulative _bucket series plus _sum and _count.
+func writeHistogram(w io.Writer, family, labels string, h HistogramSnapshot) error {
+	for _, b := range h.Buckets {
+		le := formatFloat(b.UpperBound)
+		body := fmt.Sprintf("le=%q", le)
+		if labels != "" {
+			body = labels + "," + body
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", family, body, b.Count); err != nil {
+			return err
+		}
+	}
+	suffix := ""
+	if labels != "" {
+		suffix = "{" + labels + "}"
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", family, suffix, formatFloat(h.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, h.Count)
+	return err
+}
+
+// formatFloat renders a float the way Prometheus expects, with +Inf/-Inf/NaN
+// spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// PrometheusString renders the exposition to a string (convenience for tests
+// and debug dumps).
+func (r *Registry) PrometheusString() string {
+	var b strings.Builder
+	_ = r.WritePrometheus(&b)
+	return b.String()
+}

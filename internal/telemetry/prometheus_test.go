@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every instrument type and
+// deterministic values, mirroring the series the instrumented engine emits.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter(`placement_decisions_total{decision="accept"}`).Add(30)
+	r.Counter(`placement_decisions_total{decision="reject"}`).Add(12)
+	r.Counter("sim_migrations_total").Add(7)
+	r.Gauge("sim_pms_in_use").Set(9)
+	h := r.Histogram(`mapcal_solve_duration_seconds{table="precompute"}`, []float64{0.001, 0.01, 0.1})
+	for _, v := range []float64{0.0004, 0.002, 0.003, 0.05, 0.2} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPrometheusGolden locks the exposition format against
+// testdata/exposition.golden; regenerate with `go test -run Golden -update`.
+func TestPrometheusGolden(t *testing.T) {
+	got := goldenRegistry().PrometheusString()
+	path := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden file\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusFormatInvariants(t *testing.T) {
+	out := goldenRegistry().PrometheusString()
+	lines := strings.Split(strings.TrimSuffix(out, "\n"), "\n")
+	typed := map[string]int{}
+	for _, l := range lines {
+		if strings.HasPrefix(l, "# TYPE ") {
+			typed[l]++
+			continue
+		}
+		if !strings.HasPrefix(l, "# ") && len(strings.Fields(l)) != 2 {
+			t.Errorf("sample line %q is not <series> <value>", l)
+		}
+	}
+	for l, n := range typed {
+		if n != 1 {
+			t.Errorf("TYPE line %q emitted %d times", l, n)
+		}
+	}
+	// Histogram series must carry cumulative buckets ending in +Inf and agree
+	// with _count.
+	if !strings.Contains(out, `mapcal_solve_duration_seconds_bucket{table="precompute",le="+Inf"} 5`) {
+		t.Errorf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `mapcal_solve_duration_seconds_count{table="precompute"} 5`) {
+		t.Errorf("missing _count series:\n%s", out)
+	}
+	// Repeated renders are deterministic.
+	if again := goldenRegistry().PrometheusString(); again != out {
+		t.Error("exposition is not deterministic")
+	}
+}
+
+func TestSnapshotIsStable(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("n")
+	c.Inc()
+	s := r.Snapshot()
+	c.Add(100)
+	if s.Counters["n"] != 1 {
+		t.Error("snapshot changed after later updates")
+	}
+	// Timer histograms appear in snapshots under their series name.
+	r.Timer("t_seconds").Observe(time.Millisecond)
+	if _, ok := r.Snapshot().Histograms["t_seconds"]; !ok {
+		t.Error("timer histogram missing from snapshot")
+	}
+}

@@ -1,0 +1,142 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("requests_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("requests_total"); again != c {
+		t.Error("get-or-create returned a different counter")
+	}
+
+	g := r.Gauge("queue_depth")
+	g.Set(3)
+	g.Add(2.5)
+	g.Add(-1)
+	if got := g.Value(); math.Abs(got-4.5) > 1e-12 {
+		t.Errorf("gauge = %v, want 4.5", got)
+	}
+}
+
+func TestHistogramObserve(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("latency", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 10} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if math.Abs(h.Sum()-16) > 1e-12 {
+		t.Errorf("sum = %v, want 16", h.Sum())
+	}
+	s := r.Snapshot().Histograms["latency"]
+	wantCum := []uint64{2, 3, 4, 5} // ≤1, ≤2, ≤5, ≤+Inf
+	for i, want := range wantCum {
+		if s.Buckets[i].Count != want {
+			t.Errorf("bucket[%d] = %d, want %d", i, s.Buckets[i].Count, want)
+		}
+	}
+	if !math.IsInf(s.Buckets[3].UpperBound, 1) {
+		t.Error("final bucket bound is not +Inf")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []float64{10, 20, 30})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i % 30))
+	}
+	s := r.Snapshot().Histograms["q"]
+	if q := s.Quantile(0.5); q < 10 || q > 20 {
+		t.Errorf("median = %v, want within (10, 20]", q)
+	}
+	empty := HistogramSnapshot{}
+	if !math.IsNaN(empty.Quantile(0.5)) {
+		t.Error("empty histogram quantile should be NaN")
+	}
+}
+
+func TestTimerObservesSeconds(t *testing.T) {
+	r := NewRegistry()
+	tm := r.Timer("op_duration_seconds")
+	tm.Observe(250 * time.Millisecond)
+	s := r.Snapshot().Histograms["op_duration_seconds"]
+	if s.Count != 1 || math.Abs(s.Sum-0.25) > 1e-9 {
+		t.Errorf("timer snapshot = count %d sum %v, want 1 / 0.25", s.Count, s.Sum)
+	}
+}
+
+func TestRegistryPanicsOnAbuse(t *testing.T) {
+	expectPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	r := NewRegistry()
+	r.Counter("taken")
+	expectPanic("kind conflict", func() { r.Gauge("taken") })
+	expectPanic("bad family", func() { r.Counter("1starts_with_digit") })
+	expectPanic("bad label body", func() { r.Counter("x{unclosed") })
+	expectPanic("empty labels", func() { r.Counter("x{}") })
+	expectPanic("unsorted buckets", func() { r.Histogram("h", []float64{2, 1}) })
+}
+
+// TestConcurrentHammering drives every instrument type from many goroutines
+// while snapshots are taken concurrently; run under -race this is the
+// registry's thread-safety proof, and the final counts check for lost
+// updates.
+func TestConcurrentHammering(t *testing.T) {
+	r := NewRegistry()
+	const workers = 16
+	const perWorker = 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("hammer_total")
+			g := r.Gauge("hammer_gauge")
+			h := r.Histogram("hammer_hist", []float64{0.25, 0.5, 0.75})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%4) / 4)
+				if i%500 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := r.Snapshot()
+	const want = workers * perWorker
+	if got := s.Counters["hammer_total"]; got != want {
+		t.Errorf("counter = %d, want %d (lost updates)", got, want)
+	}
+	if got := s.Gauges["hammer_gauge"]; got != want {
+		t.Errorf("gauge = %v, want %d", got, want)
+	}
+	h := s.Histograms["hammer_hist"]
+	if h.Count != want {
+		t.Errorf("histogram count = %d, want %d", h.Count, want)
+	}
+	if last := h.Buckets[len(h.Buckets)-1].Count; last != want {
+		t.Errorf("+Inf cumulative bucket = %d, want %d", last, want)
+	}
+}

@@ -1,0 +1,345 @@
+// Package telemetry is the runtime observability layer of the consolidation
+// engine: a zero-dependency metrics registry (counters, gauges, histograms,
+// timers) safe for concurrent use from experiment workers, plus a structured
+// trace facility emitting typed, decision-level events (MapCal solves,
+// QueuingFFD admission tests, simulator steps) to JSON-lines sinks.
+//
+// The two halves compose: a Registry can subscribe to the trace stream via
+// NewMetrics, so instrumented code emits each fact exactly once and both the
+// Prometheus endpoint and the JSONL trace observe it. Disabled telemetry is
+// free — instrumented call sites guard event construction behind
+// Tracer.Enabled, and the Nop tracer reports false.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct {
+	n atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds n, which must be ≥ 0.
+func (c *Counter) Add(n uint64) { c.n.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add increments the value by delta (negative deltas decrement).
+func (g *Gauge) Add(delta float64) { addFloat(&g.bits, delta) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into configurable cumulative buckets and
+// tracks their sum — the Prometheus histogram model.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // float bits
+	count  atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	addFloat(&h.sum, v)
+	h.count.Add(1)
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Timer is a histogram of durations, observed in seconds.
+type Timer struct {
+	h *Histogram
+}
+
+// Observe records one duration.
+func (t *Timer) Observe(d time.Duration) { t.h.Observe(d.Seconds()) }
+
+// ObserveSince records the time elapsed since start.
+func (t *Timer) ObserveSince(start time.Time) { t.Observe(time.Since(start)) }
+
+// DefDurationBuckets are the default Timer bucket bounds, in seconds, spanning
+// microsecond solves to multi-second simulator runs.
+var DefDurationBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.5, 1, 5, 10,
+}
+
+// DefBuckets are the default Histogram bounds for unit-less values.
+var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+
+// Registry is a concurrent-safe collection of named instruments. Series names
+// follow the Prometheus convention: a metric family name, optionally followed
+// by a fixed label set in braces, e.g.
+//
+//	placement_decisions_total{decision="accept"}
+//
+// Lookups are get-or-create; requesting an existing name with a different
+// instrument type panics (a programming error, like expvar duplicate
+// publication).
+type Registry struct {
+	mu    sync.RWMutex
+	kinds map[string]string
+	cnts  map[string]*Counter
+	gags  map[string]*Gauge
+	hists map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		kinds: make(map[string]string),
+		cnts:  make(map[string]*Counter),
+		gags:  make(map[string]*Gauge),
+		hists: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter with the given series name, creating it on
+// first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.cnts[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.cnts[name]; ok {
+		return c
+	}
+	r.claim(name, "counter")
+	c = &Counter{}
+	r.cnts[name] = c
+	return c
+}
+
+// Gauge returns the gauge with the given series name, creating it on first
+// use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gags[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gags[name]; ok {
+		return g
+	}
+	r.claim(name, "gauge")
+	g = &Gauge{}
+	r.gags[name] = g
+	return g
+}
+
+// Histogram returns the histogram with the given series name, creating it
+// with the given bucket upper bounds on first use (nil takes DefBuckets).
+// Later calls return the existing histogram regardless of the bounds
+// argument.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	r.claim(name, "histogram")
+	if bounds == nil {
+		bounds = DefBuckets
+	}
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] <= sorted[i-1] {
+			panic(fmt.Sprintf("telemetry: histogram %q buckets not strictly increasing", name))
+		}
+	}
+	h = &Histogram{bounds: sorted, counts: make([]atomic.Uint64, len(sorted)+1)}
+	r.hists[name] = h
+	return h
+}
+
+// Timer returns a duration histogram with DefDurationBuckets bounds.
+func (r *Registry) Timer(name string) *Timer {
+	return &Timer{h: r.Histogram(name, DefDurationBuckets)}
+}
+
+// claim records the series' instrument kind; it panics on a name already
+// claimed by a different kind or on a malformed series name. Callers hold the
+// write lock.
+func (r *Registry) claim(name, kind string) {
+	if err := checkSeries(name); err != nil {
+		panic("telemetry: " + err.Error())
+	}
+	if prev, ok := r.kinds[name]; ok && prev != kind {
+		panic(fmt.Sprintf("telemetry: series %q already registered as %s, requested as %s", name, prev, kind))
+	}
+	r.kinds[name] = kind
+}
+
+// BucketCount is one cumulative histogram bucket: the number of observations
+// with value ≤ UpperBound.
+type BucketCount struct {
+	UpperBound float64 // +Inf for the final bucket
+	Count      uint64
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram.
+type HistogramSnapshot struct {
+	Buckets []BucketCount
+	Sum     float64
+	Count   uint64
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the containing bucket; the +Inf bucket reports its lower bound.
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Buckets) == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	lower := 0.0
+	var below uint64
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return lower
+			}
+			inBucket := float64(b.Count - below)
+			if inBucket == 0 {
+				return b.UpperBound
+			}
+			return lower + (b.UpperBound-lower)*(rank-float64(below))/inBucket
+		}
+		lower = b.UpperBound
+		below = b.Count
+	}
+	return lower
+}
+
+// Snapshot is a consistent-enough point-in-time copy of every instrument:
+// each value is read atomically, but values of different instruments may be
+// skewed by concurrent updates.
+type Snapshot struct {
+	Counters   map[string]uint64
+	Gauges     map[string]float64
+	Histograms map[string]HistogramSnapshot
+}
+
+// Snapshot copies the current value of every registered instrument.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]uint64, len(r.cnts)),
+		Gauges:     make(map[string]float64, len(r.gags)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.cnts {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gags {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.hists {
+		hs := HistogramSnapshot{
+			Buckets: make([]BucketCount, len(h.bounds)+1),
+			Sum:     h.Sum(),
+			Count:   h.Count(),
+		}
+		var cum uint64
+		for i := range h.counts {
+			cum += h.counts[i].Load()
+			bound := math.Inf(1)
+			if i < len(h.bounds) {
+				bound = h.bounds[i]
+			}
+			hs.Buckets[i] = BucketCount{UpperBound: bound, Count: cum}
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// addFloat atomically adds v to the float64 stored as bits.
+func addFloat(bits *atomic.Uint64, v float64) {
+	for {
+		old := bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// checkSeries validates a series name: a Prometheus-style family name,
+// optionally followed by a brace-enclosed label body.
+func checkSeries(name string) error {
+	fam, labels := SplitSeries(name)
+	if fam == "" {
+		return fmt.Errorf("empty series name %q", name)
+	}
+	for i, c := range fam {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric family name %q", fam)
+		}
+	}
+	if i := len(fam); i < len(name) {
+		if name[i] != '{' || name[len(name)-1] != '}' {
+			return fmt.Errorf("malformed label body in series %q", name)
+		}
+		if labels == "" {
+			return fmt.Errorf("empty label body in series %q", name)
+		}
+	}
+	return nil
+}
+
+// SplitSeries splits a series name into its metric family and the label body
+// (the text inside the braces, "" when unlabelled).
+func SplitSeries(name string) (family, labels string) {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			body := name[i+1:]
+			if len(body) > 0 && body[len(body)-1] == '}' {
+				body = body[:len(body)-1]
+			}
+			return name[:i], body
+		}
+	}
+	return name, ""
+}
