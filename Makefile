@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline cover clean
+.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-compare fuzz cover clean
 
 all: build vet test
 
@@ -17,9 +17,12 @@ vet:
 	$(GO) vet ./...
 
 # Race-detector pass over the concurrency-bearing packages: the telemetry
-# registry/tracer (hammered from parallel workers) and the experiment runner.
+# registry/tracer (hammered from parallel workers), the experiment runner's
+# parallel table builds, the goroutine-safe solve cache in queuing, the
+# shared log-factorial table in markov, and the solver scratch in linalg.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... .
+	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... \
+		./internal/queuing/... ./internal/markov/... ./internal/linalg/... .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -28,6 +31,23 @@ bench:
 # one short iteration set — a smoke baseline, not a rigorous comparison).
 bench-baseline:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_baseline.json
+
+# Snapshot of the fast-path solve engine's numbers, committed next to the
+# baseline so bench-compare can verify the speedup (and catch regressions).
+bench-pr2:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_pr2.json
+
+# Diff two committed benchmark snapshots. Fails when a critical benchmark
+# (Fig7 MapCal or MappingTable, by default) regresses by more than 20%.
+OLD ?= BENCH_baseline.json
+NEW ?= BENCH_pr2.json
+bench-compare:
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW)
+
+# Short fuzz smoke of the solver-agreement and MapCal contracts.
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzSolverAgreement -fuzztime 10s ./internal/queuing/
+	$(GO) test -run '^$$' -fuzz FuzzMapCal -fuzztime 10s ./internal/queuing/
 
 cover:
 	$(GO) test -cover ./...

@@ -256,15 +256,25 @@ func BenchmarkFig10EventBucketing(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationStationarySolver compares the two ways of computing the
-// limiting distribution Π (Eq. 13): Gaussian elimination on the balance
-// equations vs literal power iteration.
+// BenchmarkAblationStationarySolver compares the three ways of computing the
+// limiting distribution Π (Eq. 13): the closed-form Binomial(k, q) fast path,
+// Gaussian elimination on the balance equations, and literal power iteration.
+// The matrix-backed entries exclude the (cached) matrix build, so they show
+// pure solve cost; the fast path has no matrix to build at all.
 func BenchmarkAblationStationarySolver(b *testing.B) {
 	bb, err := markov.NewBusyBlocks(16, benchPOn, benchPOff)
 	if err != nil {
 		b.Fatal(err)
 	}
 	p := bb.TransitionMatrix()
+	b.Run("closedform", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := bb.Stationary(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("gaussian", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -281,6 +291,23 @@ func BenchmarkAblationStationarySolver(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkAblationMapCalSolver runs Algorithm 1 end to end under each
+// explicit solver option at the cost curve's largest k — the ablation behind
+// the fast-path engine: closed form never touches the Eq. (12) matrix, the
+// matrix-backed solvers pay the build plus an O(k³) solve per call.
+func BenchmarkAblationMapCalSolver(b *testing.B) {
+	for _, s := range []queuing.Solver{queuing.SolverClosedForm, queuing.SolverGaussian, queuing.SolverPower} {
+		b.Run(s.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := queuing.MapCalWithSolver(64, benchPOn, benchPOff, benchRho, s); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationClustering compares the three VM-ordering variants of

@@ -1,0 +1,95 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `go test -bench . -json` (the format of BENCH_baseline.json / BENCH_pr2.json)
+// and reports the per-benchmark ns/op delta. Benchmarks matching the
+// -critical regexp (the Fig7 MapCal and MappingTable solve-engine targets by
+// default) fail the run when they regress by more than -max-regress.
+//
+// Usage:
+//
+//	benchdiff -old BENCH_baseline.json -new BENCH_pr2.json
+//	benchdiff -old a.json -new b.json -critical 'BenchmarkFig5' -max-regress 0.1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+
+	"repro/internal/benchfmt"
+)
+
+func main() {
+	oldPath := flag.String("old", "BENCH_baseline.json", "baseline snapshot (test2json format)")
+	newPath := flag.String("new", "BENCH_pr2.json", "candidate snapshot (test2json format)")
+	critical := flag.String("critical", "BenchmarkFig7MapCal|BenchmarkMappingTable",
+		"regexp of benchmarks that must not regress")
+	maxRegress := flag.Float64("max-regress", 0.20,
+		"maximum tolerated ns/op regression for critical benchmarks (0.20 = +20%)")
+	flag.Parse()
+
+	if err := run(*oldPath, *newPath, *critical, *maxRegress, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(oldPath, newPath, critical string, maxRegress float64, out *os.File) error {
+	criticalRE, err := regexp.Compile(critical)
+	if err != nil {
+		return fmt.Errorf("bad -critical pattern: %w", err)
+	}
+	oldRes, err := benchfmt.ParseFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newRes, err := benchfmt.ParseFile(newPath)
+	if err != nil {
+		return err
+	}
+	if len(oldRes) == 0 {
+		return fmt.Errorf("%s holds no benchmark results", oldPath)
+	}
+	if len(newRes) == 0 {
+		return fmt.Errorf("%s holds no benchmark results", newPath)
+	}
+
+	names := make([]string, 0, len(oldRes))
+	for name := range oldRes {
+		if _, ok := newRes[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return fmt.Errorf("no common benchmarks between %s and %s", oldPath, newPath)
+	}
+
+	var regressed []string
+	fmt.Fprintf(out, "%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	for _, name := range names {
+		o, n := oldRes[name].NsPerOp, newRes[name].NsPerOp
+		delta := 0.0
+		if o > 0 {
+			delta = n/o - 1
+		}
+		mark := ""
+		if criticalRE.MatchString(name) {
+			mark = " *"
+			if delta > maxRegress {
+				regressed = append(regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", name, o, n, 100*delta))
+			}
+		}
+		fmt.Fprintf(out, "%-60s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, 100*delta, mark)
+	}
+	fmt.Fprintf(out, "\n* critical (pattern %q, max regression %.0f%%)\n", critical, 100*maxRegress)
+
+	if len(regressed) > 0 {
+		for _, r := range regressed {
+			fmt.Fprintln(out, "REGRESSION:", r)
+		}
+		return fmt.Errorf("%d critical benchmark(s) regressed beyond %.0f%%", len(regressed), 100*maxRegress)
+	}
+	return nil
+}

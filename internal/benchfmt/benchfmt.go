@@ -1,0 +1,93 @@
+// Package benchfmt parses benchmark snapshots produced by
+// `go test -bench . -json` (the test2json stream committed as
+// BENCH_baseline.json and BENCH_pr2.json). Only the ns/op figure is
+// extracted; custom metrics and allocation counters are ignored.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's parsed measurement.
+type Result struct {
+	Name    string  // full name including sub-benchmark path, without -P suffix
+	Iters   int64   // iteration count of the measurement
+	NsPerOp float64 // reported ns/op
+}
+
+// event is the subset of the test2json envelope we care about.
+type event struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// resultLine matches a benchmark result line after output reassembly, e.g.
+//
+//	BenchmarkFig7MapCal/k=64-8   	      62	  18983683 ns/op	...
+//
+// The trailing -N GOMAXPROCS suffix is stripped from the reported name.
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+
+// Parse reads a test2json stream and returns the benchmark results keyed by
+// name. Benchmark result lines are split across multiple Output events by
+// test2json, so the stream's Output payloads are reassembled into logical
+// lines before matching.
+func Parse(lines *bufio.Scanner) (map[string]Result, error) {
+	var buf strings.Builder
+	for lines.Scan() {
+		raw := lines.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(raw, &ev); err != nil {
+			return nil, fmt.Errorf("benchfmt: bad test2json line: %w", err)
+		}
+		if ev.Action == "output" {
+			buf.WriteString(ev.Output)
+		}
+	}
+	if err := lines.Err(); err != nil {
+		return nil, err
+	}
+
+	results := make(map[string]Result)
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := resultLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[3], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad iteration count in %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[4], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: bad ns/op in %q: %w", line, err)
+		}
+		results[m[1]] = Result{Name: m[1], Iters: iters, NsPerOp: ns}
+	}
+	return results, nil
+}
+
+// ParseFile parses a snapshot file.
+func ParseFile(path string) (map[string]Result, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	res, err := Parse(sc)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return res, nil
+}

@@ -1,0 +1,56 @@
+package benchfmt
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+// stream builds a minimal test2json stream; result lines are deliberately
+// split across Output events the way test2json emits them.
+const stream = `{"Action":"output","Package":"repro","Output":"goos: linux\n"}
+{"Action":"run","Package":"repro","Test":"BenchmarkFig7MapCal"}
+{"Action":"output","Package":"repro","Test":"BenchmarkFig7MapCal/k=64","Output":"BenchmarkFig7MapCal/k=64-8         \t"}
+{"Action":"output","Package":"repro","Test":"BenchmarkFig7MapCal/k=64","Output":"      62\t  18983683 ns/op\t 1474006 B/op\t     266 allocs/op\n"}
+{"Action":"output","Package":"repro","Test":"BenchmarkMappingTable/d=16","Output":"BenchmarkMappingTable/d=16-8       \t     606\t   1987829 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"PASS\n"}
+`
+
+func TestParse(t *testing.T) {
+	res, err := Parse(bufio.NewScanner(strings.NewReader(stream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("parsed %d results, want 2: %v", len(res), res)
+	}
+	mc, ok := res["BenchmarkFig7MapCal/k=64"]
+	if !ok {
+		t.Fatalf("BenchmarkFig7MapCal/k=64 missing (GOMAXPROCS suffix not stripped?): %v", res)
+	}
+	if mc.Iters != 62 || mc.NsPerOp != 18983683 {
+		t.Errorf("MapCal result = %+v", mc)
+	}
+	if mt := res["BenchmarkMappingTable/d=16"]; mt.NsPerOp != 1987829 {
+		t.Errorf("MappingTable result = %+v", mt)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse(bufio.NewScanner(strings.NewReader("not json\n"))); err == nil {
+		t.Fatal("accepted a non-JSON line")
+	}
+}
+
+func TestParseFileBaseline(t *testing.T) {
+	res, err := ParseFile("../../BENCH_baseline.json")
+	if err != nil {
+		t.Skipf("baseline snapshot unavailable: %v", err)
+	}
+	if _, ok := res["BenchmarkFig7MapCal/k=64"]; !ok {
+		t.Errorf("baseline snapshot lacks BenchmarkFig7MapCal/k=64")
+	}
+	if _, ok := res["BenchmarkMappingTable/d=64"]; !ok {
+		t.Errorf("baseline snapshot lacks BenchmarkMappingTable/d=64")
+	}
+}

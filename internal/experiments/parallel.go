@@ -6,11 +6,14 @@ import (
 	"sync"
 )
 
-// parallelMap evaluates fn(0..n-1) across a bounded worker pool and returns
+// ParallelMap evaluates fn(0..n-1) across a bounded worker pool and returns
 // the results in index order. Each call gets an independent index, so callers
 // keep determinism by deriving per-index seeds. The first error cancels
 // nothing (remaining work is cheap) but is returned after all workers drain.
-func parallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+// Exported because it is the fan-out primitive for every concurrent build in
+// this package: trial replication, validation grids, and the mapping-table /
+// hetero-sweep builders in tables.go.
+func ParallelMap[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
 	if n < 0 {
 		return nil, fmt.Errorf("experiments: negative task count %d", n)
 	}

@@ -8,7 +8,7 @@ import (
 )
 
 func TestParallelMapOrdered(t *testing.T) {
-	got, err := parallelMap(50, 8, func(i int) (int, error) { return i * i, nil })
+	got, err := ParallelMap(50, 8, func(i int) (int, error) { return i * i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +20,7 @@ func TestParallelMapOrdered(t *testing.T) {
 }
 
 func TestParallelMapSequentialPath(t *testing.T) {
-	got, err := parallelMap(5, 1, func(i int) (int, error) { return i, nil })
+	got, err := ParallelMap(5, 1, func(i int) (int, error) { return i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +30,7 @@ func TestParallelMapSequentialPath(t *testing.T) {
 }
 
 func TestParallelMapZeroTasks(t *testing.T) {
-	got, err := parallelMap(0, 4, func(i int) (int, error) { return 0, nil })
+	got, err := ParallelMap(0, 4, func(i int) (int, error) { return 0, nil })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,14 +40,14 @@ func TestParallelMapZeroTasks(t *testing.T) {
 }
 
 func TestParallelMapNegativeTasks(t *testing.T) {
-	if _, err := parallelMap(-1, 4, func(i int) (int, error) { return 0, nil }); err == nil {
+	if _, err := ParallelMap(-1, 4, func(i int) (int, error) { return 0, nil }); err == nil {
 		t.Error("negative task count accepted")
 	}
 }
 
 func TestParallelMapErrorPropagates(t *testing.T) {
 	boom := errors.New("boom")
-	_, err := parallelMap(20, 4, func(i int) (int, error) {
+	_, err := ParallelMap(20, 4, func(i int) (int, error) {
 		if i == 13 {
 			return 0, boom
 		}
@@ -57,7 +57,7 @@ func TestParallelMapErrorPropagates(t *testing.T) {
 		t.Errorf("expected boom, got %v", err)
 	}
 	// Sequential path fails fast too.
-	_, err = parallelMap(20, 1, func(i int) (int, error) {
+	_, err = ParallelMap(20, 1, func(i int) (int, error) {
 		if i == 3 {
 			return 0, boom
 		}
@@ -71,7 +71,7 @@ func TestParallelMapErrorPropagates(t *testing.T) {
 func TestParallelMapAllTasksRunOnce(t *testing.T) {
 	var count int64
 	ran := make([]int64, 100)
-	_, err := parallelMap(100, 7, func(i int) (struct{}, error) {
+	_, err := ParallelMap(100, 7, func(i int) (struct{}, error) {
 		atomic.AddInt64(&count, 1)
 		atomic.AddInt64(&ran[i], 1)
 		return struct{}{}, nil
@@ -90,7 +90,7 @@ func TestParallelMapAllTasksRunOnce(t *testing.T) {
 }
 
 func TestParallelMapDefaultWorkers(t *testing.T) {
-	got, err := parallelMap(10, 0, func(i int) (int, error) { return i, nil })
+	got, err := ParallelMap(10, 0, func(i int) (int, error) { return i, nil })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -16,7 +16,7 @@ import (
 // each placement without live migration. RP is omitted as in the paper — its
 // CVR is identically zero by construction.
 func runFig6(opt Options) error {
-	table, err := queuing.NewMappingTableTraced(opt.D, opt.POn, opt.POff, opt.Rho, opt.Tracer)
+	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
 	if err != nil {
 		return err
 	}
@@ -136,7 +136,7 @@ func fig9Scenario(opt Options, s core.Strategy, pattern workload.Pattern, table 
 // used at the end of the evaluation period (energy) for QUEUE, RB and RB-EX,
 // as avg/min/max over repeated trials.
 func runFig9(opt Options) error {
-	table, err := queuing.NewMappingTableTraced(opt.D, opt.POn, opt.POff, opt.Rho, opt.Tracer)
+	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
 	if err != nil {
 		return err
 	}
@@ -153,7 +153,7 @@ func runFig9(opt Options) error {
 			cycles := 0
 			// Trials are independent; run them across a worker pool with
 			// deterministic per-trial seeds.
-			reports, err := parallelMap(opt.Trials, opt.Workers, func(trial int) (*sim.Report, error) {
+			reports, err := ParallelMap(opt.Trials, opt.Workers, func(trial int) (*sim.Report, error) {
 				return fig9Scenario(opt, s, pattern, table, opt.Seed+int64(trial)*997+int64(pattern))
 			})
 			if err != nil {
@@ -184,7 +184,7 @@ func runFig9(opt Options) error {
 // for one R_b = R_e run of each strategy, bucketed over the evaluation
 // period.
 func runFig10(opt Options) error {
-	table, err := queuing.NewMappingTableTraced(opt.D, opt.POn, opt.POff, opt.Rho, opt.Tracer)
+	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
 	if err != nil {
 		return err
 	}

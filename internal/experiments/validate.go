@@ -40,7 +40,7 @@ func runValidate(opt Options) error {
 		analytic  float64
 		simulated float64
 	}
-	results, err := parallelMap(len(grid), opt.Workers, func(i int) (pointResult, error) {
+	results, err := ParallelMap(len(grid), opt.Workers, func(i int) (pointResult, error) {
 		g := grid[i]
 		res, err := queuing.MapCal(g.k, g.pOn, g.pOff, g.rho)
 		if err != nil {

@@ -10,10 +10,45 @@ import (
 // is numerically zero, i.e. the system has no unique solution.
 var ErrSingular = errors.New("linalg: matrix is singular to working precision")
 
-// SolveLinear solves A·x = b by Gaussian elimination with partial pivoting.
+// LinearSolver performs Gaussian-elimination solves with reusable scratch
+// storage. Callers that solve many systems of the same (or growing) size —
+// transient analysis, the Gaussian cross-check oracle, mapping-table ablation
+// runs — amortise the augmented-matrix allocation across solves instead of
+// paying O(n²) garbage per call. A LinearSolver is NOT safe for concurrent
+// use; give each goroutine its own (the zero value is ready to use).
+type LinearSolver struct {
+	buf  []float64   // backing store for the n×(n+1) augmented system
+	rows [][]float64 // row views into buf, swapped during pivoting
+	a    *Matrix     // scratch for the stationary balance system
+	b    []float64   // scratch rhs for the stationary balance system
+}
+
+// NewLinearSolver returns a solver with no scratch allocated yet; buffers
+// grow on first use and are retained across calls.
+func NewLinearSolver() *LinearSolver { return &LinearSolver{} }
+
+// grow ensures the scratch can hold an n×(n+1) augmented system and
+// re-slices the row views.
+func (s *LinearSolver) grow(n int) {
+	need := n * (n + 1)
+	if cap(s.buf) < need {
+		s.buf = make([]float64, need)
+	}
+	s.buf = s.buf[:need]
+	if cap(s.rows) < n {
+		s.rows = make([][]float64, n)
+	}
+	s.rows = s.rows[:n]
+	for i := 0; i < n; i++ {
+		s.rows[i] = s.buf[i*(n+1) : (i+1)*(n+1)]
+	}
+}
+
+// Solve solves A·x = b by Gaussian elimination with partial pivoting into a
+// freshly allocated solution vector (only the O(n²) working copy is reused).
 // A must be square and is not modified. It returns ErrSingular when A has no
 // unique solution.
-func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+func (s *LinearSolver) Solve(a *Matrix, b []float64) ([]float64, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("linalg: SolveLinear needs a square matrix, got %dx%d", a.rows, a.cols)
 	}
@@ -21,10 +56,9 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 		return nil, fmt.Errorf("linalg: rhs length %d does not match %d rows", len(b), a.rows)
 	}
 	n := a.rows
-	// Augmented working copy.
-	aug := make([][]float64, n)
+	s.grow(n)
+	aug := s.rows
 	for i := 0; i < n; i++ {
-		aug[i] = make([]float64, n+1)
 		copy(aug[i], a.data[i*n:(i+1)*n])
 		aug[i][n] = b[i]
 	}
@@ -69,16 +103,10 @@ func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// StationaryDistribution solves Π·P = Π, ΣΠ = 1 for a stochastic matrix P
-// (the global-balance system of Eq. (14) in the paper plus normalisation).
-// The homogeneous system (Pᵀ − I)·π = 0 is rank-deficient by one for an
-// irreducible chain, so the last balance equation is replaced by the
-// normalisation constraint Σπ_i = 1 before Gaussian elimination.
-//
-// Small negative entries from round-off are clamped to zero and the result
-// renormalised. An error is returned if P is not square, not stochastic, or
-// the resulting system is singular (e.g. a reducible chain).
-func StationaryDistribution(p *Matrix) ([]float64, error) {
+// Stationary solves Π·P = Π, ΣΠ = 1 for a stochastic matrix P like the
+// package-level StationaryDistribution, reusing the solver's scratch for the
+// balance system.
+func (s *LinearSolver) Stationary(p *Matrix) ([]float64, error) {
 	if p.rows != p.cols {
 		return nil, fmt.Errorf("linalg: transition matrix must be square, got %dx%d", p.rows, p.cols)
 	}
@@ -87,7 +115,10 @@ func StationaryDistribution(p *Matrix) ([]float64, error) {
 	}
 	n := p.rows
 	// Build A = Pᵀ − I with the last row replaced by ones (normalisation).
-	a := NewMatrix(n, n)
+	if s.a == nil || s.a.rows != n {
+		s.a = NewMatrix(n, n)
+	}
+	a := s.a
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
 			v := p.At(j, i) // transpose
@@ -100,10 +131,16 @@ func StationaryDistribution(p *Matrix) ([]float64, error) {
 	for j := 0; j < n; j++ {
 		a.Set(n-1, j, 1)
 	}
-	b := make([]float64, n)
-	b[n-1] = 1
+	if cap(s.b) < n {
+		s.b = make([]float64, n)
+	}
+	s.b = s.b[:n]
+	for i := range s.b {
+		s.b[i] = 0
+	}
+	s.b[n-1] = 1
 
-	pi, err := SolveLinear(a, b)
+	pi, err := s.Solve(a, s.b)
 	if err != nil {
 		return nil, fmt.Errorf("linalg: stationary solve failed: %w", err)
 	}
@@ -126,6 +163,29 @@ func StationaryDistribution(p *Matrix) ([]float64, error) {
 		pi[i] /= sum
 	}
 	return pi, nil
+}
+
+// SolveLinear solves A·x = b by Gaussian elimination with partial pivoting.
+// A must be square and is not modified. It returns ErrSingular when A has no
+// unique solution. Callers with many same-sized systems should hold a
+// LinearSolver instead to reuse the scratch storage.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	var s LinearSolver
+	return s.Solve(a, b)
+}
+
+// StationaryDistribution solves Π·P = Π, ΣΠ = 1 for a stochastic matrix P
+// (the global-balance system of Eq. (14) in the paper plus normalisation).
+// The homogeneous system (Pᵀ − I)·π = 0 is rank-deficient by one for an
+// irreducible chain, so the last balance equation is replaced by the
+// normalisation constraint Σπ_i = 1 before Gaussian elimination.
+//
+// Small negative entries from round-off are clamped to zero and the result
+// renormalised. An error is returned if P is not square, not stochastic, or
+// the resulting system is singular (e.g. a reducible chain).
+func StationaryDistribution(p *Matrix) ([]float64, error) {
+	var s LinearSolver
+	return s.Stationary(p)
 }
 
 // PowerIteration computes the limiting distribution lim_{t→∞} π₀·Pᵗ by
@@ -154,10 +214,21 @@ func PowerIteration(p *Matrix, initial []float64, tol float64, maxIter int) ([]f
 	if maxIter <= 0 {
 		maxIter = 100000
 	}
+	// Double-buffer the distribution instead of allocating one vector per
+	// VecMul round trip.
+	next := make([]float64, n)
 	for it := 1; it <= maxIter; it++ {
-		next, err := p.VecMul(cur)
-		if err != nil {
-			return nil, it, err
+		for j := range next {
+			next[j] = 0
+		}
+		for i, a := range cur {
+			if a == 0 {
+				continue
+			}
+			row := p.data[i*n : (i+1)*n]
+			for j, b := range row {
+				next[j] += a * b
+			}
 		}
 		maxDiff := 0.0
 		for i := range next {
@@ -165,9 +236,11 @@ func PowerIteration(p *Matrix, initial []float64, tol float64, maxIter int) ([]f
 				maxDiff = d
 			}
 		}
-		cur = next
+		cur, next = next, cur
 		if maxDiff < tol {
-			return cur, it, nil
+			out := make([]float64, n)
+			copy(out, cur)
+			return out, it, nil
 		}
 	}
 	return nil, maxIter, fmt.Errorf("linalg: power iteration did not converge within %d iterations", maxIter)

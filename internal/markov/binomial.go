@@ -38,13 +38,11 @@ func BinomialPMF(n, x int, p float64) float64 {
 	return math.Exp(logPMF)
 }
 
-// logChoose returns log C(n, x) using log-gamma.
+// logChoose returns log C(n, x) from the shared log-factorial table (see
+// factorial.go); the table entries are the same Lgamma values the previous
+// per-call computation produced.
 func logChoose(n, x int) float64 {
-	lg := func(v int) float64 {
-		r, _ := math.Lgamma(float64(v + 1))
-		return r
-	}
-	return lg(n) - lg(x) - lg(n-x)
+	return logFactorial(n) - logFactorial(x) - logFactorial(n-x)
 }
 
 // Choose returns the binomial coefficient C(n, x) as a float64, with the

@@ -3,6 +3,8 @@ package markov
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"sync"
 
 	"repro/internal/linalg"
 )
@@ -13,14 +15,36 @@ import (
 // common switch probabilities. In queuing-theoretic terms it is the
 // state process of a discrete-time finite-source Geom/Geom/k queue with no
 // waiting room.
+//
+// The stationary distribution is available in closed form (Binomial(k, q)
+// with q the per-source ON probability — see Stationary), so the Eq. (12)
+// transition matrix is only materialised when a caller actually needs it
+// (transient analysis, power iteration, the Gaussian cross-check). All lazy
+// state is initialised through sync.Once, so a BusyBlocks value may be shared
+// by concurrent readers.
 type BusyBlocks struct {
 	k     int
 	chain OnOff
-	p     *linalg.Matrix // (k+1)×(k+1) one-step transition matrix, Eq. (12)
+
+	// Cached binomial kernels: leaveRows[i] is the PMF of O(t) ~ B(i, p_off)
+	// (departures among i busy sources), enterRows[n] the PMF of
+	// I(t) ~ B(n, p_on) (arrivals among n idle sources). Both the matrix
+	// build and the occupancy sampler are assembled from these rows.
+	rowsOnce  sync.Once
+	leaveRows [][]float64
+	enterRows [][]float64
+
+	matrixOnce sync.Once
+	p          *linalg.Matrix // (k+1)×(k+1) one-step transition matrix, Eq. (12)
+
+	samplerOnce sync.Once
+	leaveCDF    [][]float64
+	enterCDF    [][]float64
 }
 
 // NewBusyBlocks builds the chain for k sources. It validates the switch
-// probabilities via NewOnOff and materialises the transition matrix.
+// probabilities via NewOnOff; the transition matrix is built lazily on first
+// use.
 func NewBusyBlocks(k int, pOn, pOff float64) (*BusyBlocks, error) {
 	if k < 1 {
 		return nil, fmt.Errorf("markov: need at least one source, got k = %d", k)
@@ -29,12 +53,7 @@ func NewBusyBlocks(k int, pOn, pOff float64) (*BusyBlocks, error) {
 	if err != nil {
 		return nil, err
 	}
-	b := &BusyBlocks{k: k, chain: chain}
-	b.p = b.buildTransitionMatrix()
-	if !b.p.IsStochastic(1e-9) {
-		return nil, fmt.Errorf("markov: constructed transition matrix for k=%d is not stochastic", k)
-	}
-	return b, nil
+	return &BusyBlocks{k: k, chain: chain}, nil
 }
 
 // K returns the number of sources (hosted VMs).
@@ -43,8 +62,29 @@ func (b *BusyBlocks) K() int { return b.k }
 // Source returns the underlying per-VM ON-OFF chain.
 func (b *BusyBlocks) Source() OnOff { return b.chain }
 
+// rows builds (once) the cached departure/arrival PMF rows.
+func (b *BusyBlocks) rows() ([][]float64, [][]float64) {
+	b.rowsOnce.Do(func() {
+		b.leaveRows = make([][]float64, b.k+1)
+		b.enterRows = make([][]float64, b.k+1)
+		for n := 0; n <= b.k; n++ {
+			b.leaveRows[n] = BinomialPMFRow(n, b.chain.POff)
+			b.enterRows[n] = BinomialPMFRow(n, b.chain.POn)
+		}
+	})
+	return b.leaveRows, b.enterRows
+}
+
+// matrix returns the lazily built transition matrix.
+func (b *BusyBlocks) matrix() *linalg.Matrix {
+	b.matrixOnce.Do(func() {
+		b.p = b.buildTransitionMatrix()
+	})
+	return b.p
+}
+
 // TransitionMatrix returns a copy of the one-step transition matrix P.
-func (b *BusyBlocks) TransitionMatrix() *linalg.Matrix { return b.p.Clone() }
+func (b *BusyBlocks) TransitionMatrix() *linalg.Matrix { return b.matrix().Clone() }
 
 // buildTransitionMatrix computes Eq. (12):
 //
@@ -52,21 +92,27 @@ func (b *BusyBlocks) TransitionMatrix() *linalg.Matrix { return b.p.Clone() }
 //	                 · C(k−i, j−i+r)·p_on^{j−i+r}·(1−p_on)^{k−j−r}
 //
 // the convolution of O(t) ~ B(i, p_off) leavers with I(t) ~ B(k−i, p_on)
-// arrivals, where out-of-support binomial terms vanish.
+// arrivals, where out-of-support binomial terms vanish. The binomial factors
+// come from the cached PMF rows, so the innermost loop is a multiply-add —
+// no Lgamma/Exp calls.
 func (b *BusyBlocks) buildTransitionMatrix() *linalg.Matrix {
 	k := b.k
-	pOn, pOff := b.chain.POn, b.chain.POff
+	leave, enter := b.rows()
 	p := linalg.NewMatrix(k+1, k+1)
 	for i := 0; i <= k; i++ {
+		leaveRow := leave[i]   // PMF of departures from i busy sources
+		enterRow := enter[k-i] // PMF of arrivals from k−i idle sources
 		for j := 0; j <= k; j++ {
 			sum := 0.0
 			for r := 0; r <= i; r++ {
-				leave := BinomialPMF(i, r, pOff)
-				if leave == 0 {
+				x := j - i + r
+				if x < 0 {
 					continue
 				}
-				enter := BinomialPMF(k-i, j-i+r, pOn)
-				sum += leave * enter
+				if x >= len(enterRow) {
+					break
+				}
+				sum += leaveRow[r] * enterRow[x]
 			}
 			p.Set(i, j, sum)
 		}
@@ -74,21 +120,40 @@ func (b *BusyBlocks) buildTransitionMatrix() *linalg.Matrix {
 	return p
 }
 
-// TransitionProb returns p_ij directly from the cached matrix.
-func (b *BusyBlocks) TransitionProb(i, j int) float64 { return b.p.At(i, j) }
+// TransitionProb returns p_ij from the cached matrix.
+func (b *BusyBlocks) TransitionProb(i, j int) float64 { return b.matrix().At(i, j) }
 
-// Stationary returns the limiting distribution Π of Eq. (13), computed by
-// solving the balance equations Π·P = Π (Eq. 14) with Gaussian elimination.
-// π_m is the long-run fraction of time exactly m blocks are busy.
+// Stationary returns the limiting distribution Π of Eq. (13) in closed form:
+// the k sources are independent, each ON with stationary probability
+// q = p_on/(p_on+p_off), so θ is Binomial(k, q). The PMF row is computed by
+// the O(k) multiplicative recurrence and renormalised; no matrix is built and
+// no linear system is solved. The error return is always nil and kept only
+// for signature compatibility with the solver-backed variants.
 func (b *BusyBlocks) Stationary() ([]float64, error) {
-	return linalg.StationaryDistribution(b.p)
+	pi := BinomialPMFRow(b.k, b.chain.StationaryOn())
+	sum := 0.0
+	for _, v := range pi {
+		sum += v
+	}
+	for i := range pi {
+		pi[i] /= sum
+	}
+	return pi, nil
+}
+
+// StationaryByGaussian computes the limiting distribution the way the paper
+// states it: materialise the Eq. (12) matrix and solve the balance equations
+// Π·P = Π (Eq. 14) by Gaussian elimination. It is the cross-validation oracle
+// for the closed-form fast path and the ablation benchmark's baseline.
+func (b *BusyBlocks) StationaryByGaussian() ([]float64, error) {
+	return linalg.StationaryDistribution(b.matrix())
 }
 
 // StationaryByPowerIteration computes the same limiting distribution via
 // Π₀·Pᵗ with Π₀ = (1, 0, …, 0), the literal form of Eq. (13). It exists for
-// cross-validating the Gaussian solver and for the ablation benchmark.
+// cross-validating the other solvers and for the ablation benchmark.
 func (b *BusyBlocks) StationaryByPowerIteration(tol float64, maxIter int) ([]float64, int, error) {
-	return linalg.PowerIteration(b.p, nil, tol, maxIter)
+	return linalg.PowerIteration(b.matrix(), nil, tol, maxIter)
 }
 
 // ExpectedBusy returns E[θ] under the stationary distribution. For k
@@ -137,16 +202,47 @@ func TailFromStationary(pi []float64, kBlocks int) float64 {
 	return tail
 }
 
+// sampler builds (once) the cumulative forms of the cached PMF rows used by
+// inverse-transform sampling in Step.
+func (b *BusyBlocks) sampler() ([][]float64, [][]float64) {
+	b.samplerOnce.Do(func() {
+		leave, enter := b.rows()
+		b.leaveCDF = make([][]float64, b.k+1)
+		b.enterCDF = make([][]float64, b.k+1)
+		for n := 0; n <= b.k; n++ {
+			b.leaveCDF[n] = cumulativeRow(leave[n])
+			b.enterCDF[n] = cumulativeRow(enter[n])
+		}
+	})
+	return b.leaveCDF, b.enterCDF
+}
+
 // Step samples θ(t+1) given θ(t) = busy by drawing the binomial leaver and
-// arrival counts directly (Eq. 8), which is equivalent to — and much cheaper
-// than — tracking the k individual sources.
+// arrival counts (Eq. 8) by inverse transform over the cached PMF rows: two
+// uniform draws per step regardless of k, instead of the k Bernoulli draws
+// the previous implementation used. (The sampled law is identical, but the
+// consumption of the RNG stream differs, so fixed-seed trajectories changed
+// when this was introduced.)
 func (b *BusyBlocks) Step(busy int, rng *rand.Rand) int {
 	if busy < 0 || busy > b.k {
 		panic(fmt.Sprintf("markov: busy count %d outside [0,%d]", busy, b.k))
 	}
-	leavers := binomialSample(busy, b.chain.POff, rng)
-	arrivals := binomialSample(b.k-busy, b.chain.POn, rng)
+	leaveCDF, enterCDF := b.sampler()
+	leavers := sampleCDF(leaveCDF[busy], rng)
+	arrivals := sampleCDF(enterCDF[b.k-busy], rng)
 	return busy - leavers + arrivals
+}
+
+// sampleCDF draws an index from a cumulative distribution row by binary
+// search (inverse-transform sampling).
+func sampleCDF(cdf []float64, rng *rand.Rand) int {
+	u := rng.Float64()
+	i := sort.SearchFloat64s(cdf, u)
+	if i >= len(cdf) {
+		// Unreachable: the final entry is pinned to 1 and u < 1.
+		i = len(cdf) - 1
+	}
+	return i
 }
 
 // SimulateOccupancy runs the chain for steps transitions from the given start
@@ -170,16 +266,4 @@ func (b *BusyBlocks) SimulateOccupancy(start, steps int, rng *rand.Rand) ([]floa
 		counts[i] /= float64(steps)
 	}
 	return counts, nil
-}
-
-// binomialSample draws from B(n, p) by n Bernoulli trials; n is at most the
-// VM cap of a single PM (d ≤ a few dozen) so this is cheap and exact.
-func binomialSample(n int, p float64, rng *rand.Rand) int {
-	count := 0
-	for i := 0; i < n; i++ {
-		if rng.Float64() < p {
-			count++
-		}
-	}
-	return count
 }

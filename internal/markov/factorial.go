@@ -1,0 +1,126 @@
+package markov
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// The log-factorial table backs every binomial computation in this package.
+// Before it existed, logChoose called math.Lgamma three times per PMF term —
+// the single hottest instruction stream in a MapCal matrix build (O(k³)
+// terms). The table makes each logChoose three array loads.
+//
+// Reads are lock-free: the current table is published through an
+// atomic.Pointer and never mutated after publication; growth copies into a
+// larger slice under a mutex and republishes. Entries are computed with
+// Lgamma directly (not by accumulating log sums), so table values are
+// bit-identical to what the previous per-call Lgamma code produced.
+var logFactTable struct {
+	mu  sync.Mutex
+	tab atomic.Pointer[[]float64]
+}
+
+// logFactorialSeed is the table size allocated on first use; it covers every
+// chain the consolidation layer builds (k ≤ a few dozen) without regrowth.
+const logFactorialSeed = 256
+
+// logFactorial returns log(n!), growing the shared table on demand.
+func logFactorial(n int) float64 {
+	if tab := logFactTable.tab.Load(); tab != nil && n < len(*tab) {
+		return (*tab)[n]
+	}
+	return growLogFactorial(n)
+}
+
+// growLogFactorial extends the table to cover n and returns log(n!).
+func growLogFactorial(n int) float64 {
+	logFactTable.mu.Lock()
+	defer logFactTable.mu.Unlock()
+	old := logFactTable.tab.Load()
+	if old != nil && n < len(*old) {
+		return (*old)[n]
+	}
+	size := logFactorialSeed
+	if old != nil {
+		size = len(*old)
+	}
+	for size <= n {
+		size *= 2
+	}
+	next := make([]float64, size)
+	start := 0
+	if old != nil {
+		start = copy(next, *old)
+	}
+	for i := start; i < size; i++ {
+		next[i], _ = math.Lgamma(float64(i + 1))
+	}
+	logFactTable.tab.Store(&next)
+	return next[n]
+}
+
+// BinomialPMFRow returns the full PMF of B(n, p) as a slice of length n+1,
+// computed in O(n) by the multiplicative recurrence
+//
+//	pmf(x+1) = pmf(x) · (n−x)/(x+1) · p/(1−p)
+//
+// run outward from the mode, where the PMF is largest, so neither direction
+// multiplies up from an underflowed tail. One term (the mode) is evaluated in
+// log space; every other term costs a handful of multiplies. n must be ≥ 0
+// and p must lie in [0, 1] (NaN and out-of-range p panic, as in BinomialPMF).
+func BinomialPMFRow(n int, p float64) []float64 {
+	if n < 0 {
+		panic("markov: BinomialPMFRow needs n ≥ 0")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("markov: binomial probability out of [0,1]")
+	}
+	row := make([]float64, n+1)
+	fillBinomialRow(row, n, p)
+	return row
+}
+
+// fillBinomialRow writes the PMF of B(n, p) into row, which must have length
+// n+1.
+func fillBinomialRow(row []float64, n int, p float64) {
+	for i := range row {
+		row[i] = 0
+	}
+	switch {
+	case p == 0:
+		row[0] = 1
+		return
+	case p == 1:
+		row[n] = 1
+		return
+	}
+	mode := int(float64(n+1) * p)
+	if mode > n {
+		mode = n
+	}
+	row[mode] = BinomialPMF(n, mode, p)
+	odds := p / (1 - p)
+	for x := mode; x < n; x++ {
+		row[x+1] = row[x] * odds * float64(n-x) / float64(x+1)
+	}
+	for x := mode; x > 0; x-- {
+		row[x-1] = row[x] / odds * float64(x) / float64(n-x+1)
+	}
+}
+
+// cumulativeRow converts a PMF row into its CDF in place-style copy: out[i] =
+// Σ_{x≤i} pmf[x]. The final entry is forced to 1 so inverse-transform
+// sampling can never fall off the end through round-off.
+func cumulativeRow(pmf []float64) []float64 {
+	cdf := make([]float64, len(pmf))
+	sum := 0.0
+	for i, v := range pmf {
+		sum += v
+		cdf[i] = sum
+	}
+	if n := len(cdf); n > 0 {
+		cdf[n-1] = 1
+	}
+	return cdf
+}

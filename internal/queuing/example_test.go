@@ -17,7 +17,10 @@ func ExampleMapCal() {
 	// K=4, reduced=true, CVR=0.0043
 }
 
-// Precomputing mapping(k) for Algorithm 2.
+// Precomputing mapping(k) for Algorithm 2. mapping(2)=1 is an exact
+// boundary: with q = 0.1 the tail beyond one block is q² = ρ = 0.01, so a
+// single block satisfies CVR ≤ ρ with equality (the old head-mass
+// accumulation lost this case to round-off and over-provisioned K=2).
 func ExampleNewMappingTable() {
 	table, err := queuing.NewMappingTable(8, 0.01, 0.09, 0.01)
 	if err != nil {
@@ -28,7 +31,7 @@ func ExampleNewMappingTable() {
 	}
 	fmt.Println()
 	// Output:
-	// mapping(1)=1 mapping(2)=2 mapping(3)=2 mapping(4)=2 mapping(5)=2 mapping(6)=3 mapping(7)=3 mapping(8)=3
+	// mapping(1)=1 mapping(2)=1 mapping(3)=2 mapping(4)=2 mapping(5)=2 mapping(6)=3 mapping(7)=3 mapping(8)=3
 }
 
 // The queue-theoretic view of a reserved PM: blocking probability and how

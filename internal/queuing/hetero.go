@@ -21,19 +21,25 @@ import (
 // PoissonBinomialPMF returns the distribution of the number of successes
 // among independent Bernoulli trials with the given probabilities, via the
 // standard O(k²) dynamic program. An empty input yields the point mass on 0.
+//
+// The DP runs in place over a single allocation: after trial i the prefix
+// pmf[0..i] holds the distribution over the first i trials, and each update
+// sweeps backwards (pmf[m] = pmf[m−1]·q + pmf[m]·(1−q)) so the values it
+// reads are still from the previous round. The old version allocated a fresh
+// slice per trial — O(k²) garbage on the hetero sweep's hottest call.
 func PoissonBinomialPMF(qs []float64) ([]float64, error) {
-	pmf := make([]float64, 1, len(qs)+1)
-	pmf[0] = 1
 	for i, q := range qs {
 		if q < 0 || q > 1 {
 			return nil, fmt.Errorf("queuing: probability %v at index %d outside [0,1]", q, i)
 		}
-		next := make([]float64, len(pmf)+1)
-		for m, p := range pmf {
-			next[m] += p * (1 - q)
-			next[m+1] += p * q
+	}
+	pmf := make([]float64, len(qs)+1)
+	pmf[0] = 1
+	for i, q := range qs {
+		for m := i + 1; m > 0; m-- {
+			pmf[m] = pmf[m-1]*q + pmf[m]*(1-q)
 		}
-		pmf = next
+		pmf[0] *= 1 - q
 	}
 	return pmf, nil
 }
@@ -55,6 +61,11 @@ func StationaryOnProbabilities(pOns, pOffs []float64) ([]float64, error) {
 	return qs, nil
 }
 
+// HeteroSolverName labels the Poisson-binomial fast path in Result.Solver
+// and telemetry; like the closed-form homogeneous path it never builds a
+// transition matrix.
+const HeteroSolverName = "poisson_binomial"
+
 // HeteroResult is the heterogeneous counterpart of Result.
 type HeteroResult struct {
 	K          int       // minimum blocks with CVR ≤ rho
@@ -62,6 +73,7 @@ type HeteroResult struct {
 	CVR        float64   // exact tail beyond K
 	Rho        float64
 	Sources    int
+	Solver     string // always HeteroSolverName
 }
 
 // MapCalHetero computes the minimum number of reservation blocks for k VMs
@@ -90,5 +102,6 @@ func MapCalHetero(pOns, pOffs []float64, rho float64) (HeteroResult, error) {
 		CVR:        markov.TailFromStationary(pmf, kBlocks),
 		Rho:        rho,
 		Sources:    len(pOns),
+		Solver:     HeteroSolverName,
 	}, nil
 }

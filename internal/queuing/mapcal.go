@@ -11,6 +11,44 @@ import (
 	"repro/internal/markov"
 )
 
+// Solver selects how the stationary occupancy distribution is computed.
+//
+// SolverAuto (the default, and what MapCal uses) takes the analytic fast
+// path: for k iid ON-OFF sources θ is Binomial(k, q) with
+// q = p_on/(p_on+p_off), computed in O(k) with no matrix build and no linear
+// system. The remaining solvers materialise the Eq. (12) transition matrix
+// and exist as cross-validation oracles and ablation-benchmark baselines:
+// SolverGaussian solves the balance equations (Eq. 14) by Gaussian
+// elimination, SolverPower iterates Π₀·Pᵗ (Eq. 13) to convergence.
+type Solver int
+
+const (
+	SolverAuto       Solver = iota // fast path: closed-form Binomial(k, q)
+	SolverClosedForm               // explicit fast path (same as Auto for homogeneous k)
+	SolverGaussian                 // O(k³) matrix build + Gaussian elimination
+	SolverPower                    // O(k³) matrix build + power iteration
+)
+
+// String returns the label recorded in telemetry SolveEvents.
+func (s Solver) String() string {
+	switch s {
+	case SolverAuto, SolverClosedForm:
+		return "closed_form"
+	case SolverGaussian:
+		return "gaussian"
+	case SolverPower:
+		return "power"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// IsFastPath reports whether the solver avoids the O(k³) matrix machinery.
+// Telemetry uses this to split solves into fast-path vs fallback counters.
+func (s Solver) IsFastPath() bool {
+	return s == SolverAuto || s == SolverClosedForm
+}
+
 // Result captures everything MapCal derives for one (k, p_on, p_off, ρ)
 // instance: the block count K, the stationary occupancy distribution Π, and
 // the analytic CVR that K blocks yield (the tail mass beyond K).
@@ -20,6 +58,7 @@ type Result struct {
 	CVR        float64   // analytic capacity-violation ratio with K blocks
 	Rho        float64   // the threshold the result was computed for
 	Sources    int       // k, number of hosted VMs
+	Solver     string    // which solve path produced Stationary
 }
 
 // Reduced reports whether MapCal managed to reserve fewer blocks than VMs
@@ -27,16 +66,26 @@ type Result struct {
 func (r Result) Reduced() bool { return r.K < r.Sources }
 
 // MapCal is Algorithm 1. Given k VMs sharing a PM, their common switch
-// probabilities, and the CVR threshold ρ, it:
+// probabilities, and the CVR threshold ρ, it computes the stationary
+// occupancy distribution Π of the busy-blocks chain and returns the minimum
+// K with Σ_{m=0}^{K} π_m ≥ 1 − ρ (Eq. 15).
 //
-//  1. builds the (k+1)-state busy-blocks transition matrix (Eq. 12),
-//  2. solves the balance equations Π·P = Π by Gaussian elimination (Eq. 14),
-//  3. returns the minimum K with Σ_{m=0}^{K} π_m ≥ 1 − ρ (Eq. 15).
+// The paper states the solve as "build the Eq. (12) matrix, solve Π·P = Π by
+// Gaussian elimination (Eq. 14)"; because the k sources are iid, Π is
+// Binomial(k, q) in closed form and MapCal takes that O(k) path. Use
+// MapCalWithSolver to force the matrix-backed solvers for cross-validation.
 //
 // When even K = k−1 leaves too much tail mass, K = k is returned (every VM
 // keeps its own block and the CVR is exactly 0), matching the paper's
 // requirement that the initial k-block configuration never violates.
 func MapCal(k int, pOn, pOff, rho float64) (Result, error) {
+	return MapCalWithSolver(k, pOn, pOff, rho, SolverAuto)
+}
+
+// MapCalWithSolver is MapCal with an explicit choice of stationary solver.
+// All solvers agree to ≤ 1e-10 (enforced by tests and fuzzing); the
+// matrix-backed ones exist for cross-validation and ablation benchmarks.
+func MapCalWithSolver(k int, pOn, pOff, rho float64, solver Solver) (Result, error) {
 	if k < 1 {
 		return Result{}, fmt.Errorf("queuing: k must be ≥ 1, got %d", k)
 	}
@@ -47,7 +96,17 @@ func MapCal(k int, pOn, pOff, rho float64) (Result, error) {
 	if err != nil {
 		return Result{}, fmt.Errorf("queuing: %w", err)
 	}
-	pi, err := bb.Stationary()
+	var pi []float64
+	switch solver {
+	case SolverAuto, SolverClosedForm:
+		pi, err = bb.Stationary()
+	case SolverGaussian:
+		pi, err = bb.StationaryByGaussian()
+	case SolverPower:
+		pi, _, err = bb.StationaryByPowerIteration(1e-14, 0)
+	default:
+		return Result{}, fmt.Errorf("queuing: unknown solver %d", int(solver))
+	}
 	if err != nil {
 		return Result{}, fmt.Errorf("queuing: stationary solve for k=%d: %w", k, err)
 	}
@@ -58,20 +117,41 @@ func MapCal(k int, pOn, pOff, rho float64) (Result, error) {
 		CVR:        markov.TailFromStationary(pi, kBlocks),
 		Rho:        rho,
 		Sources:    k,
+		Solver:     solver.String(),
 	}, nil
 }
 
-// blocksFromStationary returns the minimum K such that the head mass
-// Σ_{m≤K} π_m reaches 1 − ρ, capped at k (= len(pi)−1).
+// tailEpsilon absorbs round-off at the acceptance boundary: a candidate K is
+// accepted when the tail mass beyond it is ≤ ρ·(1 + tailEpsilon). Without the
+// slack, boundaries where the tail equals ρ exactly (e.g. k=2, q=0.1,
+// ρ=0.01: tail = q² = ρ) flip K by one depending on summation order — the
+// old head-mass test and TailFromStationary disagreed in exactly those
+// cases. The slack is relative, not absolute, so ρ=0 still demands a tail of
+// exactly zero and genuinely tiny tails (q^k can reach 1e-12 at modest k)
+// are never waved through.
+const tailEpsilon = 1e-12
+
+// blocksFromStationary returns the minimum K whose tail mass
+// Pr{θ > K} = Σ_{m>K} π_m is ≤ ρ (up to relative tailEpsilon), capped at
+// k = len(pi)−1. The tail is accumulated backwards as a direct suffix sum
+// rather than 1 − head: small tails survive (a head sum within one ulp of 1
+// makes 1 − head collapse to exactly 0, silently accepting a positive tail
+// at ρ = 0), and the comparison agrees with TailFromStationary to the
+// summation's round-off, which the relative slack absorbs.
 func blocksFromStationary(pi []float64, rho float64) int {
-	head := 0.0
-	for kBlocks := 0; kBlocks < len(pi)-1; kBlocks++ {
-		head += pi[kBlocks]
-		if head >= 1-rho {
-			return kBlocks
+	bound := rho * (1 + tailEpsilon)
+	tail := 0.0
+	k := len(pi) - 1
+	best := k
+	for kBlocks := k - 1; kBlocks >= 0; kBlocks-- {
+		tail += pi[kBlocks+1]
+		if tail <= bound {
+			best = kBlocks
+		} else {
+			break
 		}
 	}
-	return len(pi) - 1
+	return best
 }
 
 // MappingTable precomputes mapping[k] = MapCal(k).K for all k in [1, d],
@@ -97,6 +177,21 @@ func NewMappingTable(d int, pOn, pOff, rho float64) (*MappingTable, error) {
 		t.blocks[k] = res.K
 	}
 	return t, nil
+}
+
+// NewMappingTableFromBlocks assembles a table from an already computed
+// blocks slice (blocks[k] = K for k hosted VMs; blocks[0] must be 0). It is
+// the assembly half of the parallel table builder in internal/experiments,
+// which computes the per-k solves concurrently and hands the ordered results
+// here. The slice is taken over, not copied.
+func NewMappingTableFromBlocks(blocks []int, pOn, pOff, rho float64) (*MappingTable, error) {
+	if len(blocks) < 2 {
+		return nil, fmt.Errorf("queuing: blocks table needs entries for k=0 and k=1, got %d", len(blocks))
+	}
+	if blocks[0] != 0 {
+		return nil, fmt.Errorf("queuing: blocks[0] must be 0 (empty PM), got %d", blocks[0])
+	}
+	return &MappingTable{pOn: pOn, pOff: pOff, rho: rho, blocks: blocks}, nil
 }
 
 // Blocks returns mapping(k). It panics when k is outside [0, d]; the

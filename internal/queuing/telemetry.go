@@ -26,6 +26,31 @@ func MapCalTraced(k int, pOn, pOff, rho float64, tr telemetry.Tracer) (Result, e
 		CVR:      res.CVR,
 		Rho:      rho,
 		Duration: time.Since(start),
+		Solver:   res.Solver,
+	})
+	return res, nil
+}
+
+// MapCalWithSolverTraced is MapCalWithSolver with the MapCalTraced
+// observability contract; the emitted event carries the solver label, which
+// the metrics bridge splits into fast-path vs fallback counters.
+func MapCalWithSolverTraced(k int, pOn, pOff, rho float64, solver Solver, tr telemetry.Tracer) (Result, error) {
+	tr = telemetry.OrNop(tr)
+	if !tr.Enabled() {
+		return MapCalWithSolver(k, pOn, pOff, rho, solver)
+	}
+	start := time.Now()
+	res, err := MapCalWithSolver(k, pOn, pOff, rho, solver)
+	if err != nil {
+		return res, err
+	}
+	tr.Emit(telemetry.SolveEvent{
+		Sources:  k,
+		Blocks:   res.K,
+		CVR:      res.CVR,
+		Rho:      rho,
+		Duration: time.Since(start),
+		Solver:   res.Solver,
 	})
 	return res, nil
 }
@@ -49,6 +74,7 @@ func MapCalHeteroTraced(pOns, pOffs []float64, rho float64, tr telemetry.Tracer)
 		Rho:      rho,
 		Duration: time.Since(start),
 		Hetero:   true,
+		Solver:   res.Solver,
 	})
 	return res, nil
 }
@@ -115,6 +141,7 @@ func (c *SolveCache) MapCal(k int, pOn, pOff, rho float64, tr telemetry.Tracer) 
 		if tr.Enabled() {
 			tr.Emit(telemetry.SolveEvent{
 				Sources: k, Blocks: res.K, CVR: res.CVR, Rho: rho, CacheHit: true,
+				Solver: res.Solver,
 			})
 		}
 		return res, nil

@@ -9,6 +9,8 @@ type metricsTracer struct {
 	solveDuration *Timer
 	solves        *Counter
 	solveHits     *Counter
+	solveFast     *Counter
+	solveFallback *Counter
 
 	accepted *Counter
 	rejected *Counter
@@ -26,16 +28,19 @@ type metricsTracer struct {
 
 // NewMetrics returns a tracer that updates reg from every event it sees:
 // mapcal_solve_duration_seconds (histogram), mapcal_solves_total and
-// mapcal_cache_hits_total, placement_decisions_total{decision=...},
-// sim_steps_total / sim_violations_total / sim_migrations_total /
-// sim_power_ons_total, sim_pms_in_use (gauge), and the reconsolidation
-// counters.
+// mapcal_cache_hits_total, mapcal_fastpath_solves_total vs
+// mapcal_fallback_solves_total (analytic solve paths vs matrix-backed
+// solvers), placement_decisions_total{decision=...}, sim_steps_total /
+// sim_violations_total / sim_migrations_total / sim_power_ons_total,
+// sim_pms_in_use (gauge), and the reconsolidation counters.
 func NewMetrics(reg *Registry) Tracer {
 	return &metricsTracer{
 		reg:           reg,
 		solveDuration: reg.Timer("mapcal_solve_duration_seconds"),
 		solves:        reg.Counter("mapcal_solves_total"),
 		solveHits:     reg.Counter("mapcal_cache_hits_total"),
+		solveFast:     reg.Counter("mapcal_fastpath_solves_total"),
+		solveFallback: reg.Counter("mapcal_fallback_solves_total"),
 		accepted:      reg.Counter(`placement_decisions_total{decision="accept"}`),
 		rejected:      reg.Counter(`placement_decisions_total{decision="reject"}`),
 		steps:         reg.Counter("sim_steps_total"),
@@ -61,6 +66,11 @@ func (m *metricsTracer) Emit(e Event) {
 			m.solveHits.Inc()
 		} else {
 			m.solveDuration.Observe(ev.Duration)
+			if ev.FastPathSolver() {
+				m.solveFast.Inc()
+			} else {
+				m.solveFallback.Inc()
+			}
 		}
 	case PlacementEvent:
 		if ev.Accepted {

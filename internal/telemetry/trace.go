@@ -19,7 +19,10 @@ type Event interface {
 
 // SolveEvent records one MapCal stationary-distribution solve (Algorithm 1):
 // the population k, the resulting block count, and how long the solve took.
-// CacheHit marks results served from a SolveCache without re-solving.
+// CacheHit marks results served from a SolveCache without re-solving. Solver
+// names the solve path ("closed_form", "poisson_binomial", "gaussian",
+// "power"); the first two are the analytic fast paths, the rest the
+// matrix-backed fallbacks.
 type SolveEvent struct {
 	Sources  int           `json:"k"`
 	Blocks   int           `json:"blocks"`
@@ -28,6 +31,13 @@ type SolveEvent struct {
 	Duration time.Duration `json:"duration_ns"`
 	CacheHit bool          `json:"cache_hit,omitempty"`
 	Hetero   bool          `json:"hetero,omitempty"`
+	Solver   string        `json:"solver,omitempty"`
+}
+
+// FastPathSolver reports whether the event's solver label names one of the
+// analytic fast paths (no transition matrix, no linear system).
+func (e SolveEvent) FastPathSolver() bool {
+	return e.Solver == "closed_form" || e.Solver == "poisson_binomial"
 }
 
 // Kind returns "solve".
