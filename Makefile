@@ -44,10 +44,11 @@ NEW ?= BENCH_pr2.json
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW)
 
-# Short fuzz smoke of the solver-agreement and MapCal contracts.
+# Short fuzz smoke of the solver-agreement, MapCal, and fault-plan contracts.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSolverAgreement -fuzztime 10s ./internal/queuing/
 	$(GO) test -run '^$$' -fuzz FuzzMapCal -fuzztime 10s ./internal/queuing/
+	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/faults/
 
 cover:
 	$(GO) test -cover ./...

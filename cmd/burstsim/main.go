@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/faults"
 )
 
 func main() {
@@ -39,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		rho       = fs.Float64("rho", 0, "CVR threshold ρ (default 0.01)")
 		d         = fs.Int("d", 0, "max VMs per PM (default 16)")
 		vmCounts  = fs.String("vms", "", "comma-separated fleet sizes (default 50,100,200,400)")
+		faultSpec = fs.String("faults", "", "JSON fault schedule for the faultcvr experiment (default: built-in 5% crash scenario)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +67,13 @@ func run(args []string, stdout io.Writer) error {
 			return err
 		}
 		opt.VMCounts = counts
+	}
+	if *faultSpec != "" {
+		sched, err := faults.Load(*faultSpec)
+		if err != nil {
+			return err
+		}
+		opt.Faults = sched
 	}
 
 	if *all {

@@ -51,8 +51,11 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *specPath == "" {
-		return fmt.Errorf("-spec is required")
+	// Validate the flag combination up front so a bad invocation exits
+	// non-zero with the usage text before any I/O happens.
+	if err := validateFlags(*specPath, *strategy, *delta); err != nil {
+		fs.Usage()
+		return err
 	}
 	tracer, err := tf.Activate()
 	if err != nil {
@@ -108,6 +111,22 @@ func run(args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown strategy %q (want queue, rp, rb, or rbex)", *strategy)
 	}
+}
+
+// validateFlags rejects bad flag combinations before any work happens.
+func validateFlags(spec, strategy string, delta float64) error {
+	if spec == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	switch strategy {
+	case "queue", "rp", "rb", "rbex":
+	default:
+		return fmt.Errorf("unknown strategy %q (want queue, rp, rb, or rbex)", strategy)
+	}
+	if delta < 0 || delta >= 1 {
+		return fmt.Errorf("-delta = %v outside [0,1)", delta)
+	}
+	return nil
 }
 
 // buildBaselineRecord renders a baseline placement without reservation

@@ -91,6 +91,22 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestFlagValidationRejectsBadCombinations(t *testing.T) {
+	spec := writeSpec(t)
+	cases := [][]string{
+		{"-strategy", "queue"}, // no spec
+		{"-spec", spec, "-delta", "1.0"},
+		{"-spec", spec, "-delta", "-0.5"},
+		{"-spec", spec, "-strategy", "sbp"}, // simulate-only strategy
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
 func TestRunRBEXDeltaFlag(t *testing.T) {
 	var buf bytes.Buffer
 	if err := run([]string{"-spec", writeSpec(t), "-strategy", "rbex", "-delta", "0.5"}, &buf); err != nil {

@@ -6,13 +6,16 @@
 //
 //	simulate -spec fleet.json [-strategy queue|rp|rb|rbex|sbp]
 //	         [-intervals 100] [-migration] [-seed 1]
+//	         [-faults schedule.json]
 //	         [-events events.csv] [-series series.csv]
 //	         [-trace run.jsonl] [-metrics-addr 127.0.0.1:9090]
 //
 // -trace records decision-level telemetry (MapCal solves, Eq. (17) admission
 // tests, per-interval simulator steps, migrations) as JSON lines;
 // -metrics-addr serves the same signals as Prometheus /metrics plus expvar
-// for the duration of the run.
+// for the duration of the run. -faults replays a deterministic fault schedule
+// (PM crashes, flaky migrations, demand overshoot — see internal/faults) and
+// surfaces the degraded-behaviour digest in the JSON summary.
 package main
 
 import (
@@ -24,6 +27,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -48,14 +52,28 @@ func run(args []string, stdout io.Writer) error {
 		seed       = fs.Int64("seed", 1, "random seed")
 		eventsPath = fs.String("events", "", "write migration events CSV to this path")
 		seriesPath = fs.String("series", "", "write per-interval series CSV to this path")
+		faultsPath = fs.String("faults", "", "replay the JSON fault schedule at this path")
 	)
 	var tf telemetry.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *specPath == "" {
-		return fmt.Errorf("-spec is required")
+	// Validate the flag combination up front, before any I/O or telemetry
+	// activation, so a bad invocation fails fast with the usage text.
+	if err := validateFlags(*specPath, *strategy, *intervals, *delta, *epsilon); err != nil {
+		fs.Usage()
+		return err
+	}
+	var plan *faults.Plan
+	if *faultsPath != "" {
+		sched, err := faults.Load(*faultsPath)
+		if err != nil {
+			return err
+		}
+		if plan, err = sched.Compile(); err != nil {
+			return err
+		}
 	}
 	tracer, err := tf.Activate()
 	if err != nil {
@@ -95,12 +113,16 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 
-	simulator, err := sim.New(res.Placement, table, sim.Config{
+	cfg := sim.Config{
 		Intervals:       *intervals,
 		Rho:             fleet.Rho,
 		EnableMigration: *migration,
 		Tracer:          tracer,
-	}, rand.New(rand.NewSource(*seed)))
+	}
+	if plan != nil {
+		cfg.Faults = plan
+	}
+	simulator, err := sim.New(res.Placement, table, cfg, rand.New(rand.NewSource(*seed)))
 	if err != nil {
 		return err
 	}
@@ -123,6 +145,29 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 	return tf.Close()
+}
+
+// validateFlags rejects bad flag combinations before any work happens, so the
+// process exits non-zero with the usage message instead of failing mid-run.
+func validateFlags(spec, strategy string, intervals int, delta, epsilon float64) error {
+	if spec == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	switch strategy {
+	case "queue", "rp", "rb", "rbex", "sbp", "conv":
+	default:
+		return fmt.Errorf("unknown strategy %q (want queue, rp, rb, rbex, sbp, or conv)", strategy)
+	}
+	if intervals < 1 {
+		return fmt.Errorf("-intervals = %d, want ≥ 1", intervals)
+	}
+	if delta < 0 || delta >= 1 {
+		return fmt.Errorf("-delta = %v outside [0,1)", delta)
+	}
+	if epsilon <= 0 || epsilon >= 1 {
+		return fmt.Errorf("-epsilon = %v outside (0,1)", epsilon)
+	}
+	return nil
 }
 
 func pickStrategy(name string, fleet *cloud.Fleet, delta, epsilon float64, tracer telemetry.Tracer) (core.Strategy, error) {

@@ -220,3 +220,56 @@ func TestRunErrors(t *testing.T) {
 		t.Error("unwritable events path accepted")
 	}
 }
+
+func TestFlagValidationRejectsBadCombinations(t *testing.T) {
+	spec := writeSpec(t)
+	cases := [][]string{
+		{"-spec", spec, "-intervals", "0"},
+		{"-spec", spec, "-intervals", "-3"},
+		{"-spec", spec, "-delta", "1.0"},
+		{"-spec", spec, "-delta", "-0.1"},
+		{"-spec", spec, "-epsilon", "0"},
+		{"-spec", spec, "-epsilon", "1"},
+		{"-spec", spec, "-faults", "/no/such/schedule.json"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
+func TestRunWithFaultSchedule(t *testing.T) {
+	sched := filepath.Join(t.TempDir(), "faults.json")
+	body := `{"seed": 5, "crashes": [{"pm": 0, "start": 5, "duration": 10}], "migration_fail_prob": 0.2}`
+	if err := os.WriteFile(sched, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", writeSpec(t), "-intervals", "30", "-faults", sched}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var summary sim.Summary
+	if err := json.Unmarshal(buf.Bytes(), &summary); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if summary.Faults == nil {
+		t.Fatal("summary has no fault digest despite -faults")
+	}
+	if summary.Faults.PMCrashes != 1 {
+		t.Errorf("PMCrashes = %d, want 1 (explicit window)", summary.Faults.PMCrashes)
+	}
+	// Without -faults the digest is omitted entirely.
+	buf.Reset()
+	if err := run([]string{"-spec", writeSpec(t), "-intervals", "30"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var clean sim.Summary
+	if err := json.Unmarshal(buf.Bytes(), &clean); err != nil {
+		t.Fatal(err)
+	}
+	if clean.Faults != nil {
+		t.Error("fault digest present on a fault-free run")
+	}
+}

@@ -1,0 +1,19 @@
+package cloud
+
+import "errors"
+
+// Sentinel errors for the fault-tolerance layer. They are defined here — the
+// lowest layer every consolidation and simulation package imports — so that
+// core, sim and callers above them can wrap and test with errors.Is without
+// import cycles. Wrapping one of these marks a condition as *degradation*
+// (capacity transiently missing, a move that can be retried) rather than
+// corruption (an invariant violation that must abort the run).
+var (
+	// ErrPMDown marks an operation that targeted a crashed PM.
+	ErrPMDown = errors.New("cloud: PM is down")
+	// ErrMigrationFailed marks a live migration attempt that did not
+	// complete; the VM stays on its source PM and the move may be retried.
+	ErrMigrationFailed = errors.New("cloud: live migration failed")
+	// ErrNoCapacity marks a placement request no PM in the pool can admit.
+	ErrNoCapacity = errors.New("cloud: no PM has capacity")
+)

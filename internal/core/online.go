@@ -60,7 +60,7 @@ func (o *Online) Arrive(vm cloud.VM) (int, error) {
 			return pm.ID, nil
 		}
 	}
-	return 0, fmt.Errorf("core: no PM can admit VM %d under Eq. (17)", vm.ID)
+	return 0, fmt.Errorf("core: no PM can admit VM %d under Eq. (17): %w", vm.ID, cloud.ErrNoCapacity)
 }
 
 // Depart removes a VM; the PM's queue size shrinks implicitly because the

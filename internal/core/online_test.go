@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -60,8 +61,14 @@ func TestOnlineArriveNoCapacity(t *testing.T) {
 	if _, err := o.Arrive(mkVM(1, 15, 2)); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.Arrive(mkVM(2, 15, 2)); err == nil {
-		t.Error("over-capacity arrival accepted")
+	_, err := o.Arrive(mkVM(2, 15, 2))
+	if err == nil {
+		t.Fatal("over-capacity arrival accepted")
+	}
+	// The rejection is the errors.Is-able capacity sentinel, so callers can
+	// distinguish "pool full" from a corrupted placement.
+	if !errors.Is(err, cloud.ErrNoCapacity) {
+		t.Errorf("rejection %v does not wrap cloud.ErrNoCapacity", err)
 	}
 }
 

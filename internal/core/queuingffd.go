@@ -188,17 +188,9 @@ func (s QueuingFFD) admit(p *cloud.Placement, vm cloud.VM, pmID int, table *queu
 	}
 	pm, _ := p.PM(pmID)
 	var blocks int
+	peakFallback := false
 	if s.ExactHetero {
-		var ok bool
-		blocks, ok = s.heteroBlocks(p, vm, pmID)
-		if !ok {
-			if tr.Enabled() {
-				tr.Emit(telemetry.PlacementEvent{
-					VMID: vm.ID, PMID: pmID, HostedK: k + 1, Reason: telemetry.ReasonHeteroError,
-				})
-			}
-			return false
-		}
+		blocks, peakFallback = s.heteroBlocks(p, vm, pmID)
 	} else {
 		blocks = table.Blocks(k + 1)
 	}
@@ -217,8 +209,11 @@ func (s QueuingFFD) admit(p *cloud.Placement, vm cloud.VM, pmID int, table *queu
 	admitted := lhs <= pm.Capacity+capEps
 	if tr.Enabled() {
 		reason := telemetry.ReasonFits
-		if !admitted {
+		switch {
+		case !admitted:
 			reason = telemetry.ReasonOverflow
+		case peakFallback:
+			reason = telemetry.ReasonPeakFallback
 		}
 		tr.Emit(telemetry.PlacementEvent{
 			VMID: vm.ID, PMID: pmID, HostedK: k + 1, Blocks: blocks,
@@ -229,8 +224,11 @@ func (s QueuingFFD) admit(p *cloud.Placement, vm cloud.VM, pmID int, table *queu
 }
 
 // heteroBlocks computes the exact block count for the candidate host set
-// (hosted VMs plus vm) from their individual switch probabilities.
-func (s QueuingFFD) heteroBlocks(p *cloud.Placement, vm cloud.VM, pmID int) (int, bool) {
+// (hosted VMs plus vm) from their individual switch probabilities. When the
+// exact solve fails (degenerate probabilities the oracle cannot handle), it
+// degrades to peak provisioning — one block per VM, zero analytic CVR — and
+// reports peak=true so the admission trace marks the decision.
+func (s QueuingFFD) heteroBlocks(p *cloud.Placement, vm cloud.VM, pmID int) (blocks int, peak bool) {
 	hosted := p.VMsOn(pmID)
 	pOns := make([]float64, 0, len(hosted)+1)
 	pOffs := make([]float64, 0, len(hosted)+1)
@@ -242,9 +240,9 @@ func (s QueuingFFD) heteroBlocks(p *cloud.Placement, vm cloud.VM, pmID int) (int
 	pOffs = append(pOffs, vm.POff)
 	res, err := queuing.MapCalHeteroTraced(pOns, pOffs, s.Rho, s.Tracer)
 	if err != nil {
-		return 0, false // specs are pre-validated; treat failure as no-fit
+		return len(pOns), true // K = k: every VM keeps its own block
 	}
-	return res.K, true
+	return res.K, false
 }
 
 // HeteroViolations audits a placement under the exact heterogeneous model:

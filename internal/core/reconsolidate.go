@@ -141,23 +141,46 @@ func stageOne(working *cloud.Placement, pending []Move, staged map[int]bool,
 // running placement to it, alongside the new placement and mapping table.
 // PM ids are taken from the current placement's pool.
 func (s QueuingFFD) Reconsolidate(current *cloud.Placement) (*Plan, *Result, error) {
+	return s.ReconsolidateAvoiding(current, nil)
+}
+
+// ReconsolidateAvoiding is Reconsolidate over a degraded pool: PMs marked in
+// `down` are excluded from the target placement, and the migration plan never
+// routes a VM — not even a staging hop — through one of them. Errors caused by
+// the surviving pool being too small wrap cloud.ErrNoCapacity, so callers can
+// distinguish "skip this cycle" from a corrupted placement.
+func (s QueuingFFD) ReconsolidateAvoiding(current *cloud.Placement, down map[int]bool) (*Plan, *Result, error) {
 	vms := current.VMs()
 	if len(vms) == 0 {
 		return nil, nil, fmt.Errorf("core: nothing to reconsolidate")
 	}
-	res, err := s.Place(vms, current.PMs())
+	pool := current.PMs()
+	if len(down) > 0 {
+		up := make([]cloud.PM, 0, len(pool))
+		for _, pm := range pool {
+			if !down[pm.ID] {
+				up = append(up, pm)
+			}
+		}
+		pool = up
+	}
+	if len(pool) == 0 {
+		return nil, nil, fmt.Errorf("core: every PM in the pool is down: %w", cloud.ErrNoCapacity)
+	}
+	res, err := s.Place(vms, pool)
 	if err != nil {
 		return nil, nil, err
 	}
 	if len(res.Unplaced) > 0 {
-		return nil, nil, fmt.Errorf("core: reconsolidation left %d VMs unplaced", len(res.Unplaced))
+		return nil, nil, fmt.Errorf("core: reconsolidation left %d VMs unplaced: %w",
+			len(res.Unplaced), cloud.ErrNoCapacity)
 	}
 	table, err := s.Table(vms)
 	if err != nil {
 		return nil, nil, err
 	}
 	plan, err := PlanMigrations(current, res.Placement, func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
-		return s.admit(p, vm, pmID, table)
+		return !down[pmID] && s.admit(p, vm, pmID, table)
 	})
 	if err != nil {
 		return nil, nil, err

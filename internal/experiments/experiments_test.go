@@ -56,7 +56,7 @@ func TestOptionsValidation(t *testing.T) {
 }
 
 func TestListCoversAllArtifacts(t *testing.T) {
-	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "ablate", "churn", "energy", "recon", "validate"}
+	want := []string{"fig1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "tab1", "ablate", "churn", "energy", "faultcvr", "recon", "validate"}
 	got := List()
 	if len(got) != len(want) {
 		t.Fatalf("List has %d experiments, want %d", len(got), len(want))

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/faults"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -49,6 +50,10 @@ type Options struct {
 	// workers share it, so the sink must be safe for concurrent Emit calls
 	// (telemetry.JSONL and the metrics bridge are). Nil disables tracing.
 	Tracer telemetry.Tracer
+	// Faults overrides the fault schedule used by the faultcvr experiment
+	// (default: faults.CrashTest — the 5%-PM-crash scenario). Other
+	// experiments ignore it.
+	Faults *faults.Schedule
 }
 
 func (o Options) withDefaults() (Options, error) {

@@ -1,0 +1,254 @@
+// Package faults is the deterministic, seed-driven fault-injection layer for
+// the datacenter simulator. A Schedule — hand-written JSON or one of the
+// canned scenarios — compiles into a Plan that answers, for any (interval,
+// entity) pair, whether a fault fires there: PM crash windows, per-attempt
+// live-migration failures and stragglers, and demand overshoot beyond the
+// declared R_p. Every answer is a pure function of (seed, query), computed by
+// hashing rather than by consuming a shared RNG stream, so fault decisions
+// are bit-identical across runs, independent of call order, and stable under
+// refactors of the surrounding simulation code.
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// CrashWindow is one scheduled PM outage: the PM is down for the intervals
+// [Start, Start+Duration).
+type CrashWindow struct {
+	PM       int `json:"pm"`
+	Start    int `json:"start"`
+	Duration int `json:"duration"`
+}
+
+// Schedule is the JSON-serialisable fault-injection specification. The zero
+// value injects nothing. All probabilities are evaluated deterministically
+// from Seed; the same schedule replayed against the same simulation produces
+// the same faults.
+type Schedule struct {
+	// Seed drives every probabilistic decision in the compiled plan.
+	Seed int64 `json:"seed"`
+	// Crashes lists explicit PM outage windows.
+	Crashes []CrashWindow `json:"crashes,omitempty"`
+	// CrashProb is the probability that each PM suffers one random outage
+	// during the run (e.g. 0.05 = a 5%-PM-crash schedule). The outage start
+	// is drawn uniformly over [0, CrashSpread) and lasts Downtime intervals.
+	CrashProb float64 `json:"pm_crash_prob,omitempty"`
+	// CrashSpread bounds the random outage start interval (default 100, the
+	// paper's evaluation horizon).
+	CrashSpread int `json:"crash_spread,omitempty"`
+	// Downtime is the duration of random outages in intervals (default 20).
+	Downtime int `json:"downtime,omitempty"`
+	// MigrationFailProb is the per-attempt probability that a live migration
+	// fails and must be retried.
+	MigrationFailProb float64 `json:"migration_fail_prob,omitempty"`
+	// StragglerProb is the probability that a succeeding migration straggles,
+	// charging the source PM its CPU overhead for an extra interval.
+	StragglerProb float64 `json:"migration_straggler_prob,omitempty"`
+	// OvershootProb is the per-(interval, VM) probability that demand
+	// overshoots the declared level by OvershootFactor.
+	OvershootProb float64 `json:"overshoot_prob,omitempty"`
+	// OvershootFactor multiplies the VM's demand when an overshoot fires
+	// (default 1.5; must be ≥ 1 — the injection only ever adds load).
+	OvershootFactor float64 `json:"overshoot_factor,omitempty"`
+}
+
+// CrashTest is the EXPERIMENTS failure scenario: each PM crashes with 5%
+// probability for 20 intervals somewhere in the first `horizon` intervals,
+// one migration in five fails, one in ten straggles, and demand occasionally
+// overshoots the declared peak by half.
+func CrashTest(seed int64, horizon int) Schedule {
+	return Schedule{
+		Seed:              seed,
+		CrashProb:         0.05,
+		CrashSpread:       horizon,
+		Downtime:          20,
+		MigrationFailProb: 0.2,
+		StragglerProb:     0.1,
+		OvershootProb:     0.02,
+		OvershootFactor:   1.5,
+	}
+}
+
+// Validate checks ranges: probabilities in [0,1] and finite, non-negative
+// window coordinates and durations, and an overshoot factor ≥ 1 when set.
+func (s Schedule) Validate() error {
+	for name, p := range map[string]float64{
+		"pm_crash_prob":            s.CrashProb,
+		"migration_fail_prob":      s.MigrationFailProb,
+		"migration_straggler_prob": s.StragglerProb,
+		"overshoot_prob":           s.OvershootProb,
+	} {
+		if math.IsNaN(p) || p < 0 || p > 1 {
+			return fmt.Errorf("faults: %s = %v outside [0,1]", name, p)
+		}
+	}
+	if s.CrashSpread < 0 {
+		return fmt.Errorf("faults: crash_spread = %d, want ≥ 0", s.CrashSpread)
+	}
+	if s.Downtime < 0 {
+		return fmt.Errorf("faults: downtime = %d, want ≥ 0", s.Downtime)
+	}
+	if s.OvershootFactor != 0 && (math.IsNaN(s.OvershootFactor) || math.IsInf(s.OvershootFactor, 0) || s.OvershootFactor < 1) {
+		return fmt.Errorf("faults: overshoot_factor = %v, want ≥ 1", s.OvershootFactor)
+	}
+	for i, w := range s.Crashes {
+		if w.PM < 0 || w.Start < 0 || w.Duration < 0 {
+			return fmt.Errorf("faults: crash window %d (pm=%d start=%d duration=%d) has a negative field",
+				i, w.PM, w.Start, w.Duration)
+		}
+	}
+	return nil
+}
+
+// Compile validates the schedule and returns the queryable plan, with
+// defaults filled in (CrashSpread 100, Downtime 20, OvershootFactor 1.5).
+func (s Schedule) Compile() (*Plan, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Plan{
+		s:        s,
+		byPM:     make(map[int][]CrashWindow),
+		spread:   s.CrashSpread,
+		downtime: s.Downtime,
+		factor:   s.OvershootFactor,
+	}
+	if p.spread == 0 {
+		p.spread = 100
+	}
+	if p.downtime == 0 {
+		p.downtime = 20
+	}
+	if p.factor == 0 {
+		p.factor = 1.5
+	}
+	for _, w := range s.Crashes {
+		p.byPM[w.PM] = append(p.byPM[w.PM], w)
+	}
+	for pm := range p.byPM {
+		ws := p.byPM[pm]
+		sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	}
+	return p, nil
+}
+
+// Parse reads a JSON schedule. Unknown fields are rejected so a typo in a
+// fault-schedule file fails loudly instead of silently injecting nothing.
+func Parse(r io.Reader) (*Schedule, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Schedule
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: bad schedule: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// Load reads and validates a JSON schedule file.
+func Load(path string) (*Schedule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}
+
+// Plan is a compiled Schedule. All methods are pure functions of the seed and
+// their arguments — safe for concurrent use, identical across replays.
+type Plan struct {
+	s        Schedule
+	byPM     map[int][]CrashWindow
+	spread   int
+	downtime int
+	factor   float64
+}
+
+// Schedule returns the schedule the plan was compiled from.
+func (p *Plan) Schedule() Schedule { return p.s }
+
+// Per-decision hash streams; distinct constants keep the decision families
+// independent even for equal arguments.
+const (
+	streamCrash      = 0xc3a5c85c97cb3127
+	streamCrashStart = 0xb492b66fbe98f273
+	streamMigFail    = 0x9ae16a3b2f90404f
+	streamStraggle   = 0xca5f9c6a6aa9dbf1
+	streamOvershoot  = 0x8f14e45fceea1685
+)
+
+// mix is the splitmix64 finaliser — a bijective avalanche over 64 bits.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// uniform hashes (seed, stream, a, b, c) to a float64 in [0, 1).
+func (p *Plan) uniform(stream uint64, a, b, c int) float64 {
+	h := mix(uint64(p.s.Seed) ^ 0x9e3779b97f4a7c15)
+	h = mix(h ^ stream)
+	h = mix(h ^ uint64(uint32(a)) ^ uint64(uint32(b))<<32)
+	h = mix(h ^ uint64(uint32(c)))
+	return float64(h>>11) / (1 << 53)
+}
+
+// randomWindow returns the PM's hash-drawn outage window, or ok=false when
+// the PM does not crash under the probabilistic model.
+func (p *Plan) randomWindow(pmID int) (CrashWindow, bool) {
+	if p.s.CrashProb <= 0 || p.uniform(streamCrash, pmID, 0, 0) >= p.s.CrashProb {
+		return CrashWindow{}, false
+	}
+	start := int(p.uniform(streamCrashStart, pmID, 0, 0) * float64(p.spread))
+	return CrashWindow{PM: pmID, Start: start, Duration: p.downtime}, true
+}
+
+// PMDown reports whether the PM is crashed at the given interval — inside an
+// explicit crash window or the PM's hash-drawn random outage.
+func (p *Plan) PMDown(pmID, interval int) bool {
+	for _, w := range p.byPM[pmID] {
+		if interval >= w.Start && interval < w.Start+w.Duration {
+			return true
+		}
+	}
+	if w, ok := p.randomWindow(pmID); ok {
+		return interval >= w.Start && interval < w.Start+w.Duration
+	}
+	return false
+}
+
+// MigrationFails reports whether the given migration attempt fails. Distinct
+// attempts re-roll, so retries can succeed.
+func (p *Plan) MigrationFails(interval, vmID, attempt int) bool {
+	return p.s.MigrationFailProb > 0 &&
+		p.uniform(streamMigFail, interval, vmID, attempt) < p.s.MigrationFailProb
+}
+
+// MigrationStraggles reports whether a succeeding migration straggles,
+// extending its CPU overhead on the source PM by one interval.
+func (p *Plan) MigrationStraggles(interval, vmID int) bool {
+	return p.s.StragglerProb > 0 &&
+		p.uniform(streamStraggle, interval, vmID, 0) < p.s.StragglerProb
+}
+
+// DemandOvershoot returns the multiplicative demand factor for the VM at the
+// interval: 1 normally, OvershootFactor when an overshoot fires.
+func (p *Plan) DemandOvershoot(interval, vmID int) float64 {
+	if p.s.OvershootProb > 0 &&
+		p.uniform(streamOvershoot, interval, vmID, 0) < p.s.OvershootProb {
+		return p.factor
+	}
+	return 1
+}

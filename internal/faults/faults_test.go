@@ -1,0 +1,199 @@
+package faults
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidateRejectsBadSchedules(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Schedule
+	}{
+		{"crash prob > 1", Schedule{CrashProb: 1.5}},
+		{"crash prob < 0", Schedule{CrashProb: -0.1}},
+		{"crash prob NaN", Schedule{CrashProb: math.NaN()}},
+		{"mig fail prob > 1", Schedule{MigrationFailProb: 2}},
+		{"straggler prob NaN", Schedule{StragglerProb: math.NaN()}},
+		{"overshoot prob < 0", Schedule{OvershootProb: -1}},
+		{"negative spread", Schedule{CrashSpread: -1}},
+		{"negative downtime", Schedule{Downtime: -5}},
+		{"overshoot factor < 1", Schedule{OvershootFactor: 0.5}},
+		{"overshoot factor NaN", Schedule{OvershootFactor: math.NaN()}},
+		{"overshoot factor Inf", Schedule{OvershootFactor: math.Inf(1)}},
+		{"negative crash window pm", Schedule{Crashes: []CrashWindow{{PM: -1, Start: 0, Duration: 1}}}},
+		{"negative crash window start", Schedule{Crashes: []CrashWindow{{PM: 0, Start: -1, Duration: 1}}}},
+		{"negative crash window duration", Schedule{Crashes: []CrashWindow{{PM: 0, Start: 0, Duration: -1}}}},
+	}
+	for _, c := range cases {
+		if err := c.s.Validate(); err == nil {
+			t.Errorf("%s: invalid schedule accepted", c.name)
+		}
+		if _, err := c.s.Compile(); err == nil {
+			t.Errorf("%s: invalid schedule compiled", c.name)
+		}
+	}
+}
+
+func TestZeroScheduleInjectsNothing(t *testing.T) {
+	plan, err := Schedule{}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for interval := 0; interval < 50; interval++ {
+		for id := 0; id < 20; id++ {
+			if plan.PMDown(id, interval) {
+				t.Fatalf("zero schedule crashed PM %d at %d", id, interval)
+			}
+			if plan.MigrationFails(interval, id, 1) || plan.MigrationStraggles(interval, id) {
+				t.Fatalf("zero schedule failed a migration for VM %d at %d", id, interval)
+			}
+			if f := plan.DemandOvershoot(interval, id); f != 1 {
+				t.Fatalf("zero schedule overshot VM %d at %d: factor %v", id, interval, f)
+			}
+		}
+	}
+}
+
+func TestCompileDefaults(t *testing.T) {
+	plan, err := Schedule{Seed: 7, CrashProb: 1}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.spread != 100 || plan.downtime != 20 || plan.factor != 1.5 {
+		t.Errorf("defaults = (%d, %d, %v), want (100, 20, 1.5)", plan.spread, plan.downtime, plan.factor)
+	}
+}
+
+func TestExplicitCrashWindows(t *testing.T) {
+	s := Schedule{Crashes: []CrashWindow{{PM: 3, Start: 10, Duration: 5}}}
+	plan, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for interval := 0; interval < 30; interval++ {
+		down := interval >= 10 && interval < 15
+		if plan.PMDown(3, interval) != down {
+			t.Errorf("PM 3 at interval %d: down = %v, want %v", interval, plan.PMDown(3, interval), down)
+		}
+		if plan.PMDown(4, interval) {
+			t.Errorf("PM 4 crashed at interval %d without a window", interval)
+		}
+	}
+}
+
+func TestRandomCrashesHitRoughlyCrashProb(t *testing.T) {
+	plan, err := Schedule{Seed: 42, CrashProb: 0.05, CrashSpread: 100, Downtime: 20}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pms = 2000
+	crashed := 0
+	for id := 0; id < pms; id++ {
+		if _, ok := plan.randomWindow(id); ok {
+			crashed++
+		}
+	}
+	frac := float64(crashed) / pms
+	if frac < 0.02 || frac > 0.09 {
+		t.Errorf("crash fraction %v far from 0.05", frac)
+	}
+	// Every drawn window starts inside the spread and lasts the downtime.
+	for id := 0; id < pms; id++ {
+		if w, ok := plan.randomWindow(id); ok {
+			if w.Start < 0 || w.Start >= 100 || w.Duration != 20 {
+				t.Fatalf("window %+v outside spread/downtime bounds", w)
+			}
+		}
+	}
+}
+
+func TestPlanIsDeterministic(t *testing.T) {
+	s := CrashTest(99, 100)
+	a, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for interval := 0; interval < 100; interval++ {
+		for id := 0; id < 40; id++ {
+			if a.PMDown(id, interval) != b.PMDown(id, interval) {
+				t.Fatalf("PMDown(%d, %d) disagrees between identical plans", id, interval)
+			}
+			for attempt := 1; attempt <= 3; attempt++ {
+				if a.MigrationFails(interval, id, attempt) != b.MigrationFails(interval, id, attempt) {
+					t.Fatalf("MigrationFails(%d, %d, %d) disagrees", interval, id, attempt)
+				}
+			}
+			if a.MigrationStraggles(interval, id) != b.MigrationStraggles(interval, id) {
+				t.Fatalf("MigrationStraggles(%d, %d) disagrees", interval, id)
+			}
+			if a.DemandOvershoot(interval, id) != b.DemandOvershoot(interval, id) {
+				t.Fatalf("DemandOvershoot(%d, %d) disagrees", interval, id)
+			}
+		}
+	}
+}
+
+func TestSeedChangesDecisions(t *testing.T) {
+	a, _ := Schedule{Seed: 1, MigrationFailProb: 0.5}.Compile()
+	b, _ := Schedule{Seed: 2, MigrationFailProb: 0.5}.Compile()
+	differ := false
+	for i := 0; i < 200 && !differ; i++ {
+		differ = a.MigrationFails(i, 0, 1) != b.MigrationFails(i, 0, 1)
+	}
+	if !differ {
+		t.Error("seeds 1 and 2 produced identical fail decisions over 200 intervals")
+	}
+}
+
+func TestRetriesReRoll(t *testing.T) {
+	plan, _ := Schedule{Seed: 5, MigrationFailProb: 0.5}.Compile()
+	differ := false
+	for vm := 0; vm < 100 && !differ; vm++ {
+		differ = plan.MigrationFails(0, vm, 1) != plan.MigrationFails(0, vm, 2)
+	}
+	if !differ {
+		t.Error("attempt 1 and attempt 2 never disagree — retries would be pointless")
+	}
+}
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	if _, err := Parse(strings.NewReader(`{"seed": 1, "pm_crash_probability": 0.5}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Parse(strings.NewReader(`{"seed": 1, "pm_crash_prob": 1.7}`)); err == nil {
+		t.Error("out-of-range probability accepted")
+	}
+	s, err := Parse(strings.NewReader(`{"seed": 3, "pm_crash_prob": 0.05, "crashes": [{"pm": 0, "start": 5, "duration": 2}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Seed != 3 || s.CrashProb != 0.05 || len(s.Crashes) != 1 {
+		t.Errorf("parsed schedule %+v lost fields", s)
+	}
+}
+
+func TestLoadExampleSchedule(t *testing.T) {
+	s, err := Load("../../testdata/faults_example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Compile(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashTestMatchesDocumentedScenario(t *testing.T) {
+	s := CrashTest(11, 250)
+	if s.Seed != 11 || s.CrashProb != 0.05 || s.CrashSpread != 250 || s.Downtime != 20 {
+		t.Errorf("CrashTest = %+v, want the 5%%/20-interval scenario", s)
+	}
+	if err := s.Validate(); err != nil {
+		t.Errorf("canned scenario invalid: %v", err)
+	}
+}

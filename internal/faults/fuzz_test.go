@@ -1,0 +1,71 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzFaultPlan feeds arbitrary bytes through Parse and, for schedules that
+// survive validation, checks the Compile → query → re-marshal path: compiled
+// plans never panic, every probability answer respects its schedule knob, and
+// the schedule round-trips through JSON to an equivalent plan.
+func FuzzFaultPlan(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"seed": 1, "pm_crash_prob": 0.05, "downtime": 20}`))
+	f.Add([]byte(`{"seed": -7, "migration_fail_prob": 1, "migration_straggler_prob": 0.5}`))
+	f.Add([]byte(`{"crashes": [{"pm": 0, "start": 3, "duration": 2}], "overshoot_prob": 1, "overshoot_factor": 2}`))
+	f.Add([]byte(`{"pm_crash_prob": 2}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // malformed or invalid input is rejected, not processed
+		}
+		plan, err := s.Compile()
+		if err != nil {
+			t.Fatalf("Parse accepted %q but Compile rejected it: %v", data, err)
+		}
+		for interval := 0; interval < 8; interval++ {
+			for id := 0; id < 4; id++ {
+				plan.PMDown(id, interval)
+				if plan.MigrationFails(interval, id, 1) && s.MigrationFailProb == 0 {
+					t.Fatal("migration failed with zero fail probability")
+				}
+				if plan.MigrationStraggles(interval, id) && s.StragglerProb == 0 {
+					t.Fatal("migration straggled with zero straggler probability")
+				}
+				if f := plan.DemandOvershoot(interval, id); f < 1 {
+					t.Fatalf("overshoot factor %v < 1", f)
+				} else if f != 1 && s.OvershootProb == 0 {
+					t.Fatal("overshoot fired with zero overshoot probability")
+				}
+			}
+		}
+		// JSON round-trip: an emitted schedule re-parses to identical decisions.
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		s2, err := Parse(bytes.NewReader(out))
+		if err != nil {
+			t.Fatalf("round-trip parse of %s: %v", out, err)
+		}
+		plan2, err := s2.Compile()
+		if err != nil {
+			t.Fatalf("round-trip compile: %v", err)
+		}
+		for interval := 0; interval < 8; interval++ {
+			for id := 0; id < 4; id++ {
+				if plan.PMDown(id, interval) != plan2.PMDown(id, interval) {
+					t.Fatalf("PMDown(%d, %d) changed across JSON round-trip", id, interval)
+				}
+				if plan.MigrationFails(interval, id, 2) != plan2.MigrationFails(interval, id, 2) {
+					t.Fatalf("MigrationFails(%d, %d) changed across JSON round-trip", interval, id)
+				}
+				if plan.DemandOvershoot(interval, id) != plan2.DemandOvershoot(interval, id) {
+					t.Fatalf("DemandOvershoot(%d, %d) changed across JSON round-trip", interval, id)
+				}
+			}
+		}
+	})
+}

@@ -108,8 +108,11 @@ func (m *CVRMeter) Mean() float64 {
 	if len(m.steps) == 0 {
 		return 0
 	}
+	// Accumulate in sorted-id order: float addition is not associative, so
+	// map-iteration order would make the mean differ across runs by an ulp
+	// and break bit-identical replay of seeded simulations.
 	sum := 0.0
-	for id := range m.steps {
+	for _, id := range m.PMs() {
 		sum += m.CVR(id)
 	}
 	return sum / float64(len(m.steps))

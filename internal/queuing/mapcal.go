@@ -6,8 +6,10 @@
 package queuing
 
 import (
+	"errors"
 	"fmt"
 
+	"repro/internal/linalg"
 	"repro/internal/markov"
 )
 
@@ -119,6 +121,53 @@ func MapCalWithSolver(k int, pOn, pOff, rho float64, solver Solver) (Result, err
 		Sources:    k,
 		Solver:     solver.String(),
 	}, nil
+}
+
+// SolverPeakFallback labels Results produced by the peak-provisioning
+// fallback rather than an actual stationary solve.
+const SolverPeakFallback = "peak_fallback"
+
+// PeakProvisioned returns the degenerate safe configuration for k VMs: every
+// VM keeps its own block (K = k), so the analytic CVR is exactly 0 regardless
+// of the switch probabilities. It is the graceful-degradation answer when no
+// stationary solve is available.
+func PeakProvisioned(k int, rho float64) Result {
+	return Result{K: k, CVR: 0, Rho: rho, Sources: k, Solver: SolverPeakFallback}
+}
+
+// MapCalOrPeak is MapCalWithSolver with graceful degradation: when the
+// matrix-backed solver finds the balance equations singular to working
+// precision (linalg.ErrSingular — possible for extreme switch probabilities
+// that collapse the transition matrix), it falls back to peak provisioning
+// (K = k, zero CVR) instead of failing the admission path. Genuine input
+// errors (bad k, ρ, or probabilities) still return an error.
+func MapCalOrPeak(k int, pOn, pOff, rho float64, solver Solver) (Result, error) {
+	res, err := MapCalWithSolver(k, pOn, pOff, rho, solver)
+	if err == nil {
+		return res, nil
+	}
+	if errors.Is(err, linalg.ErrSingular) {
+		return PeakProvisioned(k, rho), nil
+	}
+	return Result{}, err
+}
+
+// NewMappingTableWithSolver computes the table with an explicit solver,
+// falling back to peak provisioning (mapping(k) = k) for any k whose solve is
+// singular — so a degraded oracle still yields a usable, conservative table.
+func NewMappingTableWithSolver(d int, pOn, pOff, rho float64, solver Solver) (*MappingTable, error) {
+	if d < 1 {
+		return nil, fmt.Errorf("queuing: d must be ≥ 1, got %d", d)
+	}
+	t := &MappingTable{pOn: pOn, pOff: pOff, rho: rho, blocks: make([]int, d+1)}
+	for k := 1; k <= d; k++ {
+		res, err := MapCalOrPeak(k, pOn, pOff, rho, solver)
+		if err != nil {
+			return nil, err
+		}
+		t.blocks[k] = res.K
+	}
+	return t, nil
 }
 
 // tailEpsilon absorbs round-off at the acceptance boundary: a candidate K is

@@ -1,0 +1,73 @@
+package queuing
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+func TestPeakProvisionedShape(t *testing.T) {
+	res := PeakProvisioned(5, 0.01)
+	if res.K != 5 || res.CVR != 0 || res.Sources != 5 || res.Solver != SolverPeakFallback {
+		t.Errorf("PeakProvisioned(5) = %+v, want K=5 CVR=0 Sources=5 solver=%q", res, SolverPeakFallback)
+	}
+}
+
+func TestMapCalOrPeakFallsBackOnSingular(t *testing.T) {
+	// Switch probabilities this extreme collapse the balance equations to
+	// working-precision singularity under Gaussian elimination.
+	const p = 1e-18
+	if _, err := MapCalWithSolver(4, p, p, 0.01, SolverGaussian); !errors.Is(err, linalg.ErrSingular) {
+		t.Skipf("k=4 p=%g no longer singular under Gaussian (err=%v); fallback untestable here", p, err)
+	}
+	res, err := MapCalOrPeak(4, p, p, 0.01, SolverGaussian)
+	if err != nil {
+		t.Fatalf("singular solve not degraded: %v", err)
+	}
+	if res.K != 4 || res.CVR != 0 || res.Solver != SolverPeakFallback {
+		t.Errorf("fallback result %+v, want peak provisioning (K=4, CVR=0)", res)
+	}
+}
+
+func TestMapCalOrPeakPassesThroughHealthySolves(t *testing.T) {
+	want, err := MapCalWithSolver(8, 0.01, 0.09, 0.01, SolverGaussian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := MapCalOrPeak(8, 0.01, 0.09, 0.01, SolverGaussian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.K != want.K || got.CVR != want.CVR || got.Solver != want.Solver {
+		t.Errorf("healthy solve altered by fallback wrapper: %+v vs %+v", got, want)
+	}
+}
+
+func TestMapCalOrPeakPropagatesGenuineErrors(t *testing.T) {
+	if _, err := MapCalOrPeak(0, 0.01, 0.09, 0.01, SolverGaussian); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := MapCalOrPeak(4, -1, 0.09, 0.01, SolverGaussian); err == nil {
+		t.Error("negative probability accepted")
+	}
+}
+
+func TestNewMappingTableWithSolverMatchesDefault(t *testing.T) {
+	a, err := NewMappingTable(8, 0.01, 0.09, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewMappingTableWithSolver(8, 0.01, 0.09, 0.01, SolverGaussian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k <= 8; k++ {
+		if a.Blocks(k) != b.Blocks(k) {
+			t.Errorf("mapping(%d): %d (default) vs %d (explicit solver)", k, a.Blocks(k), b.Blocks(k))
+		}
+	}
+	if _, err := NewMappingTableWithSolver(0, 0.01, 0.09, 0.01, SolverGaussian); err == nil {
+		t.Error("d=0 accepted")
+	}
+}

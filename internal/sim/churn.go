@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"repro/internal/cloud"
@@ -34,11 +35,14 @@ type ChurnConfig struct {
 }
 
 func (c ChurnConfig) validate() error {
-	if c.ArrivalProb < 0 || c.ArrivalProb > 1 {
+	if math.IsNaN(c.ArrivalProb) || c.ArrivalProb < 0 || c.ArrivalProb > 1 {
 		return fmt.Errorf("sim: arrival probability %v outside [0,1]", c.ArrivalProb)
 	}
-	if c.MeanLifetime <= 0 {
-		return fmt.Errorf("sim: mean lifetime %v, want > 0", c.MeanLifetime)
+	if math.IsNaN(c.MeanLifetime) || math.IsInf(c.MeanLifetime, 0) || c.MeanLifetime <= 0 {
+		return fmt.Errorf("sim: mean lifetime %v, want finite and > 0", c.MeanLifetime)
+	}
+	if c.Sim.Intervals < 0 {
+		return fmt.Errorf("sim: negative horizon %d intervals", c.Sim.Intervals)
 	}
 	if c.NewVM == nil {
 		return fmt.Errorf("sim: ChurnConfig.NewVM is required")
@@ -133,18 +137,7 @@ func (c *ChurnSimulator) Run() (*ChurnReport, error) {
 		}
 		rep.VMsOverTime.Append(t, float64(c.inner.placement.NumVMs()))
 	}
-	rep.Report = &Report{
-		Intervals:          c.inner.cfg.Intervals,
-		TotalMigrations:    len(c.inner.events),
-		FinalPMs:           c.inner.placement.NumUsedPMs(),
-		PowerOns:           c.inner.powerOns,
-		CVR:                c.inner.meter,
-		MigrationsOverTime: c.inner.migrationsPerStep,
-		PMsOverTime:        c.inner.pmsInUse,
-		Events:             c.inner.events,
-		PerVMMigrations:    c.inner.perVMMigrations,
-		VMViolationRatio:   c.inner.vmViolationRatios(),
-	}
+	rep.Report = c.inner.report()
 	rep.FinalVMs = c.inner.placement.NumVMs()
 	return rep, nil
 }
@@ -156,6 +149,9 @@ func (c *ChurnSimulator) admit(vm cloud.VM) (bool, error) {
 		return false, err
 	}
 	for _, pm := range c.inner.placement.PMs() {
+		if c.inner.pmDown(pm.ID) {
+			continue // crashed PMs admit nothing
+		}
 		ok, err := c.arrivalFits(vm, pm)
 		if err != nil {
 			return false, err
@@ -203,7 +199,7 @@ func ChurnFromStrategy(s core.Strategy, vms []cloud.VM, pms []cloud.PM, table *q
 		return nil, err
 	}
 	if len(res.Unplaced) > 0 {
-		return nil, fmt.Errorf("sim: %s left %d VMs unplaced", s.Name(), len(res.Unplaced))
+		return nil, fmt.Errorf("sim: %s left %d VMs unplaced: %w", s.Name(), len(res.Unplaced), cloud.ErrNoCapacity)
 	}
 	if _, isQueue := s.(core.QueuingFFD); isQueue {
 		cfg.ReservationAwareAdmission = true

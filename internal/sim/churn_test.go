@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"math/rand"
 	"testing"
 
@@ -54,6 +55,34 @@ func TestChurnConfigValidation(t *testing.T) {
 	bad.Sim.Intervals = 0
 	if _, err := NewChurn(placement, table, bad, rng); err == nil {
 		t.Error("bad inner config accepted")
+	}
+}
+
+func TestChurnConfigRejectsNonFiniteRates(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 30, 52)
+	rng := rand.New(rand.NewSource(52))
+	cases := []struct {
+		name   string
+		mutate func(*ChurnConfig)
+	}{
+		{"NaN arrival probability", func(c *ChurnConfig) { c.ArrivalProb = math.NaN() }},
+		{"negative arrival probability", func(c *ChurnConfig) { c.ArrivalProb = -0.1 }},
+		{"NaN mean lifetime", func(c *ChurnConfig) { c.MeanLifetime = math.NaN() }},
+		{"+Inf mean lifetime", func(c *ChurnConfig) { c.MeanLifetime = math.Inf(1) }},
+		{"-Inf mean lifetime", func(c *ChurnConfig) { c.MeanLifetime = math.Inf(-1) }},
+		{"negative horizon", func(c *ChurnConfig) { c.Sim.Intervals = -5 }},
+		{"NaN rho", func(c *ChurnConfig) { c.Sim.Rho = math.NaN() }},
+		{"NaN migration overhead", func(c *ChurnConfig) { c.Sim.MigrationOverhead = math.NaN() }},
+		{"Inf migration overhead", func(c *ChurnConfig) { c.Sim.MigrationOverhead = math.Inf(1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := defaultChurnConfig()
+			c.mutate(&cfg)
+			if _, err := NewChurn(placement, table, cfg, rng); err == nil {
+				t.Errorf("%s accepted", c.name)
+			}
+		})
 	}
 }
 

@@ -12,10 +12,31 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// FaultPlan injects deterministic failures into a run. internal/faults
+// compiles JSON schedules into plans satisfying this interface; the
+// simulator consults it every interval. Implementations must be pure
+// functions of their arguments (no internal RNG state) so that a run with a
+// fixed seed and plan replays bit-identically.
+type FaultPlan interface {
+	// PMDown reports whether the PM is crashed at the interval. The
+	// simulator derives crash/recovery transitions from consecutive answers.
+	PMDown(pmID, interval int) bool
+	// MigrationFails reports whether the numbered migration attempt
+	// (1 = first try) for the VM fails at the interval.
+	MigrationFails(interval, vmID, attempt int) bool
+	// MigrationStraggles reports whether a succeeding migration runs long,
+	// charging the source PM its CPU overhead for an extra interval.
+	MigrationStraggles(interval, vmID int) bool
+	// DemandOvershoot returns the multiplicative demand factor for the VM at
+	// the interval (1 = no fault; > 1 pushes demand beyond the declared R_p).
+	DemandOvershoot(interval, vmID int) float64
+}
 
 // TargetPolicy selects how the dynamic scheduler picks a migration target.
 type TargetPolicy int
@@ -72,6 +93,19 @@ type Config struct {
 	// MigrationTraceEvent per executed migration. Nil disables
 	// instrumentation.
 	Tracer telemetry.Tracer
+	// Faults injects deterministic failures (PM crashes, flaky migrations,
+	// demand overshoot). Nil runs fault-free.
+	Faults FaultPlan
+	// MaxRetries bounds how many times a failed migration is retried before
+	// the move is abandoned (the VM stays put). Zero defaults to 3; negative
+	// disables retries.
+	MaxRetries int
+	// RetryBackoff is the base delay, in intervals, before the first retry of
+	// a failed migration; each subsequent retry doubles it. Zero defaults to 1.
+	RetryBackoff int
+	// MoveDeadline is the per-move deadline in intervals: a pending retry older
+	// than this is abandoned even if attempts remain. Zero defaults to 16.
+	MoveDeadline int
 }
 
 // withDefaults fills zero values and validates.
@@ -79,7 +113,7 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Intervals <= 0 {
 		return c, fmt.Errorf("sim: Intervals = %d, want > 0", c.Intervals)
 	}
-	if c.Rho < 0 || c.Rho >= 1 {
+	if math.IsNaN(c.Rho) || c.Rho < 0 || c.Rho >= 1 {
 		return c, fmt.Errorf("sim: Rho = %v outside [0,1)", c.Rho)
 	}
 	if c.Window == 0 {
@@ -88,25 +122,43 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Window < 0 {
 		return c, fmt.Errorf("sim: Window = %d, want ≥ 0", c.Window)
 	}
-	if c.MigrationOverhead < 0 {
-		return c, fmt.Errorf("sim: MigrationOverhead = %v, want ≥ 0", c.MigrationOverhead)
+	if math.IsNaN(c.MigrationOverhead) || math.IsInf(c.MigrationOverhead, 0) || c.MigrationOverhead < 0 {
+		return c, fmt.Errorf("sim: MigrationOverhead = %v, want finite and ≥ 0", c.MigrationOverhead)
 	}
 	if c.IntervalSeconds == 0 {
 		c.IntervalSeconds = 30
 	}
-	if c.IntervalSeconds < 0 {
-		return c, fmt.Errorf("sim: IntervalSeconds = %v, want > 0", c.IntervalSeconds)
+	if math.IsNaN(c.IntervalSeconds) || math.IsInf(c.IntervalSeconds, 0) || c.IntervalSeconds < 0 {
+		return c, fmt.Errorf("sim: IntervalSeconds = %v, want finite and > 0", c.IntervalSeconds)
 	}
 	if c.ThinkTime == (workload.ThinkTime{}) {
 		c.ThinkTime = workload.PaperThinkTime()
 	}
 	if c.RequestNoise {
-		if c.UsersPerUnit <= 0 {
-			return c, fmt.Errorf("sim: RequestNoise requires UsersPerUnit > 0, got %v", c.UsersPerUnit)
+		if math.IsNaN(c.UsersPerUnit) || math.IsInf(c.UsersPerUnit, 0) || c.UsersPerUnit <= 0 {
+			return c, fmt.Errorf("sim: RequestNoise requires finite UsersPerUnit > 0, got %v", c.UsersPerUnit)
 		}
 		if err := c.ThinkTime.Validate(); err != nil {
 			return c, err
 		}
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 3
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0 // negative disables retries
+	}
+	if c.RetryBackoff == 0 {
+		c.RetryBackoff = 1
+	}
+	if c.RetryBackoff < 0 {
+		return c, fmt.Errorf("sim: RetryBackoff = %d, want ≥ 0", c.RetryBackoff)
+	}
+	if c.MoveDeadline == 0 {
+		c.MoveDeadline = 16
+	}
+	if c.MoveDeadline < 0 {
+		return c, fmt.Errorf("sim: MoveDeadline = %d, want ≥ 0", c.MoveDeadline)
 	}
 	return c, nil
 }

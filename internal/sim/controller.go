@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 
@@ -25,6 +26,8 @@ type Controller struct {
 	reconRuns     int
 	releasedPMs   int
 	reconDeferred int
+	reconSkipped  int
+	rollbacks     int
 }
 
 // ControllerReport extends the base report with reconsolidation accounting.
@@ -39,6 +42,11 @@ type ControllerReport struct {
 	DeferredMoves int
 	// ReleasedPMs sums the PMs freed immediately after each re-pack.
 	ReleasedPMs int
+	// SkippedRuns counts reconsolidation cycles skipped gracefully because
+	// the pool was too full (or too broken) to re-pack at the time.
+	SkippedRuns int
+	// Rollbacks counts plans that failed mid-execution and were unwound.
+	Rollbacks int
 }
 
 // NewController wraps the simulator with a reconsolidation loop. every must
@@ -71,60 +79,42 @@ func (c *Controller) Run() (*ControllerReport, error) {
 		}
 	}
 	return &ControllerReport{
-		Report: &Report{
-			Intervals:          c.inner.cfg.Intervals,
-			TotalMigrations:    len(c.inner.events),
-			FinalPMs:           c.inner.placement.NumUsedPMs(),
-			PowerOns:           c.inner.powerOns,
-			CVR:                c.inner.meter,
-			MigrationsOverTime: c.inner.migrationsPerStep,
-			PMsOverTime:        c.inner.pmsInUse,
-			Events:             c.inner.events,
-			PerVMMigrations:    c.inner.perVMMigrations,
-			VMViolationRatio:   c.inner.vmViolationRatios(),
-		},
+		Report:              c.inner.report(),
 		ReconsolidationRuns: c.reconRuns,
 		PlannedMigrations:   c.plannedMoves,
 		DeferredMoves:       c.reconDeferred,
 		ReleasedPMs:         c.releasedPMs,
+		SkippedRuns:         c.reconSkipped,
+		Rollbacks:           c.rollbacks,
 	}, nil
 }
 
-// reconsolidate re-packs the live fleet and executes the safe plan, recording
-// each move as a migration event at interval t.
+// reconsolidate re-packs the live fleet (avoiding crashed PMs) and executes
+// the safe plan, recording each move as a migration event at interval t. A
+// pool too full to re-pack skips the cycle gracefully; a plan that fails
+// mid-execution — a move hitting a crashed PM or a failed live migration —
+// rolls back its staged moves instead of aborting the run.
 func (c *Controller) reconsolidate(t int) error {
 	before := c.inner.placement.NumUsedPMs()
-	plan, _, err := c.strategy.Reconsolidate(c.inner.placement)
+	plan, _, err := c.strategy.ReconsolidateAvoiding(c.inner.placement, c.inner.downPMs)
 	if err != nil {
+		if errors.Is(err, cloud.ErrNoCapacity) {
+			// Degraded but not fatal: the up pool cannot host a full re-pack
+			// right now. Skip this cycle and try again next period.
+			c.reconSkipped++
+			if c.inner.tracer.Enabled() {
+				c.inner.tracer.Emit(telemetry.ReconsolidateEvent{Interval: t, Skipped: true})
+			}
+			return nil
+		}
 		return err
 	}
 	c.reconRuns++
 	c.reconDeferred += len(plan.Deferred)
-	for _, mv := range plan.Moves {
-		vm, ok := c.inner.placement.VM(mv.VMID)
-		if !ok {
-			return fmt.Errorf("sim: plan references unknown VM %d", mv.VMID)
-		}
-		targetWasIdle := c.inner.placement.CountOn(mv.ToPM) == 0
-		if _, err := c.inner.placement.Remove(mv.VMID); err != nil {
-			return err
-		}
-		if err := c.inner.placement.Assign(vm, mv.ToPM); err != nil {
-			return err
-		}
-		ev := MigrationEvent{Interval: t, VMID: mv.VMID, FromPM: mv.FromPM, ToPM: mv.ToPM, PoweredOn: targetWasIdle}
-		c.inner.events = append(c.inner.events, ev)
-		c.inner.perVMMigrations[mv.VMID]++
-		c.plannedMoves++
-		if targetWasIdle {
-			c.inner.powerOns++
-		}
-		if c.inner.tracer.Enabled() {
-			c.inner.tracer.Emit(telemetry.MigrationTraceEvent{
-				Interval: t, VMID: mv.VMID, FromPM: mv.FromPM, ToPM: mv.ToPM,
-				PoweredOn: targetWasIdle, Planned: true,
-			})
-		}
+	executed, execErr := c.executePlan(t, plan)
+	if execErr != nil {
+		c.rollback(t, executed, execErr)
+		return nil
 	}
 	// Moving VMs resets the affected windows so the re-pack does not
 	// immediately trigger reactive evictions from stale history.
@@ -143,4 +133,79 @@ func (c *Controller) reconsolidate(t int) error {
 		})
 	}
 	return nil
+}
+
+// executePlan applies the plan's moves in order, committing the migration
+// events and accounting only for moves that completed. It returns the moves
+// executed so far alongside any error, so the caller can unwind them. A move
+// whose target crashed since planning wraps cloud.ErrPMDown; one the fault
+// layer fails wraps cloud.ErrMigrationFailed.
+func (c *Controller) executePlan(t int, plan *core.Plan) ([]core.Move, error) {
+	var executed []core.Move
+	for _, mv := range plan.Moves {
+		vm, ok := c.inner.placement.VM(mv.VMID)
+		if !ok {
+			return executed, fmt.Errorf("sim: plan references unknown VM %d", mv.VMID)
+		}
+		if c.inner.pmDown(mv.ToPM) {
+			return executed, fmt.Errorf("sim: planned move of VM %d targets PM %d: %w",
+				mv.VMID, mv.ToPM, cloud.ErrPMDown)
+		}
+		if c.inner.migrationFails(t, mv.VMID, mv.FromPM, 1) {
+			return executed, fmt.Errorf("sim: planned move of VM %d from PM %d: %w",
+				mv.VMID, mv.FromPM, cloud.ErrMigrationFailed)
+		}
+		targetWasIdle := c.inner.placement.CountOn(mv.ToPM) == 0
+		if _, err := c.inner.placement.Remove(mv.VMID); err != nil {
+			return executed, err
+		}
+		if err := c.inner.placement.Assign(vm, mv.ToPM); err != nil {
+			return executed, err
+		}
+		executed = append(executed, mv)
+		ev := MigrationEvent{Interval: t, VMID: mv.VMID, FromPM: mv.FromPM, ToPM: mv.ToPM, PoweredOn: targetWasIdle}
+		c.inner.events = append(c.inner.events, ev)
+		c.inner.perVMMigrations[mv.VMID]++
+		c.plannedMoves++
+		if targetWasIdle {
+			c.inner.powerOns++
+		}
+		if c.inner.tracer.Enabled() {
+			c.inner.tracer.Emit(telemetry.MigrationTraceEvent{
+				Interval: t, VMID: mv.VMID, FromPM: mv.FromPM, ToPM: mv.ToPM,
+				PoweredOn: targetWasIdle, Planned: true,
+			})
+		}
+	}
+	return executed, nil
+}
+
+// rollback unwinds executed plan moves in reverse order, restoring the
+// placement that existed before the plan started. Returning to the original
+// hosts is always feasible — it is the placement the system was running.
+func (c *Controller) rollback(t int, executed []core.Move, cause error) {
+	c.rollbacks++
+	for i := len(executed) - 1; i >= 0; i-- {
+		mv := executed[i]
+		vm, ok := c.inner.placement.VM(mv.VMID)
+		if !ok {
+			continue
+		}
+		if _, err := c.inner.placement.Remove(mv.VMID); err != nil {
+			continue
+		}
+		// Assign back to the source host cannot fail: the PM exists and the
+		// VM was just detached.
+		_ = c.inner.placement.Assign(vm, mv.FromPM)
+		// The forward move's event and accounting stay in the log — the
+		// migrations happened; the rollback just moves the VMs home again.
+		ev := MigrationEvent{Interval: t, VMID: mv.VMID, FromPM: mv.ToPM, ToPM: mv.FromPM}
+		c.inner.events = append(c.inner.events, ev)
+		c.inner.perVMMigrations[mv.VMID]++
+	}
+	if c.inner.tracer.Enabled() {
+		c.inner.tracer.Emit(telemetry.RollbackEvent{
+			Interval: t, RolledBack: len(executed), Reason: cause.Error(),
+		})
+	}
 }

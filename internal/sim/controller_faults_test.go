@@ -1,0 +1,204 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/queuing"
+)
+
+// swapFleet builds the minimal reconsolidation deadlock: two VMs whose
+// QueuingFFD re-pack target is exactly their hosts swapped. Neither can
+// colocate with the other under Eq. (17), so the plan needs a third PM to
+// stage through — and defers both moves when none exists.
+func swapFleet(t *testing.T, spares int) (*cloud.Placement, *queuing.MappingTable) {
+	t.Helper()
+	a := cloud.VM{ID: 1, POn: 0.01, POff: 0.09, Rb: 55, Re: 10}
+	b := cloud.VM{ID: 2, POn: 0.01, POff: 0.09, Rb: 50, Re: 10}
+	pms := make([]cloud.PM, 2+spares)
+	for i := range pms {
+		pms[i] = cloud.PM{ID: i, Capacity: 100}
+	}
+	placement, err := cloud.NewPlacement(pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FFD order is A then B (larger Rb first), so the re-pack target is
+	// A → PM 0, B → PM 1. Host them swapped.
+	if err := placement.Assign(a, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := placement.Assign(b, 0); err != nil {
+		t.Fatal(err)
+	}
+	table, err := queuing.NewMappingTable(16, 0.01, 0.09, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return placement, table
+}
+
+// hostsOf maps every VM id to its current host PM.
+func hostsOf(t *testing.T, p *cloud.Placement) map[int]int {
+	t.Helper()
+	out := make(map[int]int)
+	for _, vm := range p.VMs() {
+		pmID, ok := p.PMOf(vm.ID)
+		if !ok {
+			t.Fatalf("VM %d hosted nowhere", vm.ID)
+		}
+		out[vm.ID] = pmID
+	}
+	return out
+}
+
+func TestControllerDefersDeadlockedPlan(t *testing.T) {
+	// Two PMs, no spare: the swap plan cannot be ordered safely, so both
+	// moves defer and the placement stays put.
+	placement, table := swapFleet(t, 0)
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 10, Rho: 0.01}, queueStrategy(), 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hostsOf(t, ctrl.inner.placement)
+	if err := ctrl.reconsolidate(5); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.reconDeferred != 2 {
+		t.Errorf("DeferredMoves = %d, want 2", ctrl.reconDeferred)
+	}
+	if ctrl.plannedMoves != 0 {
+		t.Errorf("%d moves executed from a fully deferred plan", ctrl.plannedMoves)
+	}
+	after := hostsOf(t, ctrl.inner.placement)
+	if before[1] != after[1] || before[2] != after[2] {
+		t.Errorf("deferred plan moved VMs: %v → %v", before, after)
+	}
+}
+
+func TestControllerStagesThroughSparePM(t *testing.T) {
+	// Same swap with a spare PM: the planner stages one VM through it (the
+	// stageOne path), the controller executes all three moves, and the fleet
+	// reaches the re-pack target with nothing deferred.
+	placement, table := swapFleet(t, 1)
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 10, Rho: 0.01}, queueStrategy(), 5, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ctrl.reconsolidate(5); err != nil {
+		t.Fatal(err)
+	}
+	if ctrl.reconDeferred != 0 {
+		t.Errorf("DeferredMoves = %d, want 0 with a staging PM", ctrl.reconDeferred)
+	}
+	if ctrl.plannedMoves != 3 {
+		t.Errorf("executed %d moves, want 3 (2 swap + 1 staging)", ctrl.plannedMoves)
+	}
+	after := hostsOf(t, ctrl.inner.placement)
+	if after[1] != 0 || after[2] != 1 {
+		t.Errorf("swap not completed: VM1 on %d (want 0), VM2 on %d (want 1)", after[1], after[2])
+	}
+	if n := ctrl.inner.placement.CountOn(2); n != 0 {
+		t.Errorf("staging PM still hosts %d VMs", n)
+	}
+}
+
+func TestControllerSkipsReconsolidationWhenPoolDown(t *testing.T) {
+	placement, table := buildPlacement(t, core.FFDByRb{}, 40, 95)
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 10, Rho: 0.01}, queueStrategy(), 5, rand.New(rand.NewSource(95)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every PM is down: the re-pack cannot place anything and must skip
+	// gracefully instead of failing the run.
+	for _, pm := range ctrl.inner.placement.PMs() {
+		ctrl.inner.downPMs[pm.ID] = true
+	}
+	before := hostsOf(t, ctrl.inner.placement)
+	if err := ctrl.reconsolidate(5); err != nil {
+		t.Fatalf("down pool aborted the run: %v", err)
+	}
+	if ctrl.reconSkipped != 1 || ctrl.reconRuns != 0 {
+		t.Errorf("skipped = %d runs = %d, want 1 skip and 0 runs", ctrl.reconSkipped, ctrl.reconRuns)
+	}
+	after := hostsOf(t, ctrl.inner.placement)
+	for id, pm := range before {
+		if after[id] != pm {
+			t.Fatalf("skipped cycle moved VM %d: %d → %d", id, pm, after[id])
+		}
+	}
+}
+
+func TestControllerRollsBackFailedPlan(t *testing.T) {
+	// Fail the third planned move: the two staged moves must be unwound,
+	// restoring the pre-plan placement, and the run keeps going.
+	placement, table := buildPlacement(t, core.FFDByRb{}, 60, 96)
+	calls := 0
+	plan := stubPlan{fails: func(interval, vmID, attempt int) bool {
+		calls++
+		return calls == 3
+	}}
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 10, Rho: 0.01, Faults: plan}, queueStrategy(), 5, rand.New(rand.NewSource(96)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := hostsOf(t, ctrl.inner.placement)
+	if err := ctrl.reconsolidate(5); err != nil {
+		t.Fatalf("failed plan aborted the run: %v", err)
+	}
+	if ctrl.rollbacks != 1 {
+		t.Fatalf("rollbacks = %d, want 1", ctrl.rollbacks)
+	}
+	after := hostsOf(t, ctrl.inner.placement)
+	for id, pm := range before {
+		if after[id] != pm {
+			t.Fatalf("rollback left VM %d on PM %d, want %d", id, after[id], pm)
+		}
+	}
+	// The two forward moves and their two reverse moves all stay in the log.
+	if len(ctrl.inner.events) != 4 {
+		t.Errorf("event log has %d entries, want 4 (2 forward + 2 reverse)", len(ctrl.inner.events))
+	}
+	if ctrl.inner.faults.MigrationFailures != 1 {
+		t.Errorf("MigrationFailures = %d, want 1", ctrl.inner.faults.MigrationFailures)
+	}
+}
+
+func TestControllerRunSurvivesCrashesAndRollbacks(t *testing.T) {
+	// End to end: a full controller run under a crash-and-flaky-migration
+	// plan completes without a run-aborting error and reports consistent
+	// accounting.
+	plan := stubPlan{
+		down:  func(pmID, interval int) bool { return pmID%7 == 0 && interval >= 20 && interval < 40 },
+		fails: func(interval, vmID, attempt int) bool { return (interval+vmID)%5 == 0 && attempt == 1 },
+	}
+	placement, table := buildPlacement(t, core.FFDByRb{}, 60, 97)
+	ctrl, err := NewController(placement, table,
+		Config{Intervals: 80, Rho: 0.01, EnableMigration: true, Faults: plan},
+		queueStrategy(), 20, rand.New(rand.NewSource(97)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := ctrl.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == nil {
+		t.Fatal("no fault report from a faulted controller run")
+	}
+	if rep.Faults.PMCrashes == 0 {
+		t.Error("no crashes recorded despite scheduled outages")
+	}
+	if rep.TotalMigrations != len(rep.Events) {
+		t.Error("event accounting inconsistent")
+	}
+	if rep.ReconsolidationRuns+rep.SkippedRuns+rep.Rollbacks == 0 {
+		t.Error("controller never attempted a reconsolidation cycle")
+	}
+}

@@ -18,6 +18,8 @@ type Summary struct {
 	MaxCVR          float64          `json:"max_cvr"`
 	PerPMCVR        map[int]float64  `json:"per_pm_cvr"`
 	Events          []MigrationEvent `json:"events"`
+	// Faults carries the fault-injection digest; omitted on fault-free runs.
+	Faults *FaultReport `json:"faults,omitempty"`
 }
 
 // Summary digests the report.
@@ -32,6 +34,7 @@ func (r *Report) Summary() Summary {
 		MaxCVR:          r.CVR.Max(),
 		PerPMCVR:        r.CVR.All(),
 		Events:          r.Events,
+		Faults:          r.Faults,
 	}
 }
 

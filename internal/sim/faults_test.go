@@ -1,0 +1,304 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/faults"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// stubPlan is a hand-scripted FaultPlan for unit tests that need precise
+// control over which faults fire when.
+type stubPlan struct {
+	down      func(pmID, interval int) bool
+	fails     func(interval, vmID, attempt int) bool
+	straggles func(interval, vmID int) bool
+	overshoot func(interval, vmID int) float64
+}
+
+func (p stubPlan) PMDown(pmID, interval int) bool { return p.down != nil && p.down(pmID, interval) }
+func (p stubPlan) MigrationFails(interval, vmID, attempt int) bool {
+	return p.fails != nil && p.fails(interval, vmID, attempt)
+}
+func (p stubPlan) MigrationStraggles(interval, vmID int) bool {
+	return p.straggles != nil && p.straggles(interval, vmID)
+}
+func (p stubPlan) DemandOvershoot(interval, vmID int) float64 {
+	if p.overshoot == nil {
+		return 1
+	}
+	return p.overshoot(interval, vmID)
+}
+
+func faultRun(t *testing.T, cfg Config, seed int64) *Report {
+	t.Helper()
+	placement, table := buildPlacement(t, queueStrategy(), 40, seed)
+	simulator, err := New(placement, table, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simulator.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestFaultFreeRunHasNilFaultReport(t *testing.T) {
+	rep := faultRun(t, Config{Intervals: 20, Rho: 0.01}, 1)
+	if rep.Faults != nil {
+		t.Errorf("fault-free run produced a fault report: %+v", rep.Faults)
+	}
+}
+
+func TestCrashEvacuatesAndRecordsDowntime(t *testing.T) {
+	// PM 0 is down for intervals [3, 8); every tenant must be rehomed and the
+	// outage must appear in the report.
+	plan := stubPlan{down: func(pmID, interval int) bool {
+		return pmID == 0 && interval >= 3 && interval < 8
+	}}
+	rep := faultRun(t, Config{Intervals: 20, Rho: 0.01, Faults: plan}, 1)
+	fr := rep.Faults
+	if fr == nil {
+		t.Fatal("no fault report")
+	}
+	if fr.PMCrashes != 1 {
+		t.Errorf("PMCrashes = %d, want 1", fr.PMCrashes)
+	}
+	if fr.EvacuatedVMs == 0 {
+		t.Error("crash evacuated no VMs")
+	}
+	want := []DowntimeInterval{{PM: 0, Start: 3, End: 8}}
+	if !reflect.DeepEqual(fr.Downtime, want) {
+		t.Errorf("Downtime = %+v, want %+v", fr.Downtime, want)
+	}
+	if fr.Injected() < 1 {
+		t.Errorf("Injected() = %d, want ≥ 1", fr.Injected())
+	}
+}
+
+func TestOpenOutageClosedAtHorizon(t *testing.T) {
+	// PM 0 crashes at interval 5 and never recovers; the report closes the
+	// outage at the horizon.
+	plan := stubPlan{down: func(pmID, interval int) bool { return pmID == 0 && interval >= 5 }}
+	rep := faultRun(t, Config{Intervals: 15, Rho: 0.01, Faults: plan}, 1)
+	want := []DowntimeInterval{{PM: 0, Start: 5, End: 15}}
+	if !reflect.DeepEqual(rep.Faults.Downtime, want) {
+		t.Errorf("Downtime = %+v, want %+v", rep.Faults.Downtime, want)
+	}
+}
+
+func TestEvacueesLandOnUpPMs(t *testing.T) {
+	// Crash PM 0 permanently from interval 2; afterwards no VM may be hosted
+	// on it. Demand overshoot pushes load around to exercise the best-effort
+	// path as well.
+	plan := stubPlan{
+		down:      func(pmID, interval int) bool { return pmID == 0 && interval >= 2 },
+		overshoot: func(interval, vmID int) float64 { return 1.2 },
+	}
+	placement, table := buildPlacement(t, queueStrategy(), 40, 3)
+	simulator, err := New(placement, table, Config{Intervals: 10, Rho: 0.01, EnableMigration: true, Faults: plan},
+		rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := simulator.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := len(simulator.placement.VMsOn(0)); n != 0 {
+		t.Errorf("crashed PM 0 still hosts %d VMs", n)
+	}
+	if rep.Faults.EvacuatedVMs == 0 {
+		t.Error("no VMs evacuated")
+	}
+	if rep.Faults.Overshoots == 0 {
+		t.Error("no overshoots recorded despite a constant 1.2 factor")
+	}
+	// Every evacuee is accounted for: placed (normally or degraded) or stranded.
+	if rep.Faults.StrandedVMs > rep.Faults.EvacuatedVMs {
+		t.Errorf("stranded %d > evacuated %d", rep.Faults.StrandedVMs, rep.Faults.EvacuatedVMs)
+	}
+}
+
+func TestAlwaysFailingMigrationsAreAbandoned(t *testing.T) {
+	// Every attempt fails: each triggered move burns 1 + MaxRetries attempts
+	// and is then abandoned; no migration events are ever committed.
+	plan := stubPlan{
+		fails:     func(interval, vmID, attempt int) bool { return true },
+		overshoot: func(interval, vmID int) float64 { return 2 }, // force breaches
+	}
+	cfg := Config{Intervals: 40, Rho: 0.01, EnableMigration: true, Faults: plan,
+		MaxRetries: 2, RetryBackoff: 1, MoveDeadline: 10}
+	rep := faultRun(t, cfg, 2)
+	fr := rep.Faults
+	if fr.MigrationFailures == 0 {
+		t.Fatal("no migration failures despite fail-everything plan")
+	}
+	if rep.TotalMigrations != 0 {
+		t.Errorf("%d migrations committed under a fail-everything plan", rep.TotalMigrations)
+	}
+	if fr.AbandonedMoves == 0 {
+		t.Error("no moves abandoned despite exhausted retries")
+	}
+	if fr.MigrationRetries == 0 {
+		t.Error("no retries executed")
+	}
+	// Retries are bounded: at most MaxRetries retries per abandoned move.
+	if fr.MigrationRetries > fr.AbandonedMoves*cfg.MaxRetries {
+		t.Errorf("%d retries for %d abandoned moves exceeds MaxRetries=%d bound",
+			fr.MigrationRetries, fr.AbandonedMoves, cfg.MaxRetries)
+	}
+}
+
+func TestRetriesDisabledAbandonsImmediately(t *testing.T) {
+	plan := stubPlan{
+		fails:     func(interval, vmID, attempt int) bool { return true },
+		overshoot: func(interval, vmID int) float64 { return 2 },
+	}
+	cfg := Config{Intervals: 30, Rho: 0.01, EnableMigration: true, Faults: plan, MaxRetries: -1}
+	rep := faultRun(t, cfg, 2)
+	if rep.Faults.MigrationRetries != 0 {
+		t.Errorf("retries executed with MaxRetries disabled: %d", rep.Faults.MigrationRetries)
+	}
+	if rep.Faults.MigrationFailures > 0 && rep.Faults.AbandonedMoves == 0 {
+		t.Error("failures occurred but nothing was abandoned")
+	}
+}
+
+func TestFirstRetrySucceeds(t *testing.T) {
+	// Attempt 1 always fails, attempt 2 always succeeds: every triggered move
+	// lands on its retry, and the straggler flag charges carry-over overhead.
+	plan := stubPlan{
+		fails:     func(interval, vmID, attempt int) bool { return attempt == 1 },
+		straggles: func(interval, vmID int) bool { return true },
+		overshoot: func(interval, vmID int) float64 { return 2 },
+	}
+	cfg := Config{Intervals: 40, Rho: 0.01, EnableMigration: true, Faults: plan}
+	rep := faultRun(t, cfg, 2)
+	fr := rep.Faults
+	if fr.MigrationFailures == 0 || fr.MigrationRetries == 0 {
+		t.Fatalf("failures = %d retries = %d, want both > 0", fr.MigrationFailures, fr.MigrationRetries)
+	}
+	if rep.TotalMigrations == 0 {
+		t.Error("no migrations landed despite retries succeeding")
+	}
+	if fr.AbandonedMoves != 0 {
+		t.Errorf("%d moves abandoned although attempt 2 always succeeds", fr.AbandonedMoves)
+	}
+	if fr.Stragglers != rep.TotalMigrations {
+		t.Errorf("Stragglers = %d, want one per committed migration (%d)", fr.Stragglers, rep.TotalMigrations)
+	}
+}
+
+func TestFaultedRunReplaysBitIdentically(t *testing.T) {
+	sched := faults.CrashTest(7, 60)
+	plan, err := sched.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Intervals: 60, Rho: 0.01, EnableMigration: true, Faults: plan}
+	a := faultRun(t, cfg, 7)
+	b := faultRun(t, cfg, 7)
+	aj, err := json.Marshal(a.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := json.Marshal(b.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("same seed + schedule produced different reports:\n%s\n---\n%s", aj, bj)
+	}
+	if !reflect.DeepEqual(a.Events, b.Events) {
+		t.Error("event logs differ between replays")
+	}
+}
+
+// TestFaultReportGolden locks the fault digest of a canned scenario against
+// testdata/faultreport.golden; regenerate with `go test -run Golden -update`.
+func TestFaultReportGolden(t *testing.T) {
+	sched := faults.CrashTest(7, 60)
+	plan, err := sched.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := faultRun(t, Config{Intervals: 60, Rho: 0.01, EnableMigration: true, Faults: plan}, 7)
+	got, err := json.MarshalIndent(rep.Faults, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "faultreport.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("fault report drifted from golden file (re-run with -update if intended):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+func TestChurnUnderFaults(t *testing.T) {
+	// The open system keeps running through a permanent PM 0 outage:
+	// arrivals avoid the crashed PM, its tenants are evacuated, and the
+	// combined report carries the fault digest.
+	plan := stubPlan{down: func(pmID, interval int) bool { return pmID == 0 && interval >= 10 }}
+	placement, table := buildPlacement(t, queueStrategy(), 30, 53)
+	cfg := defaultChurnConfig()
+	cfg.Sim.Faults = plan
+	cfg.ReservationAwareAdmission = true
+	churn, err := NewChurn(placement, table, cfg, rand.New(rand.NewSource(53)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := churn.Run()
+	if err != nil {
+		t.Fatalf("churn under faults aborted: %v", err)
+	}
+	if rep.Faults == nil || rep.Faults.PMCrashes != 1 {
+		t.Fatalf("fault digest missing or wrong: %+v", rep.Faults)
+	}
+	if n := churn.inner.placement.CountOn(0); n != 0 {
+		t.Errorf("crashed PM 0 hosts %d VMs at the end of the run", n)
+	}
+	if rep.Arrivals == 0 {
+		t.Error("no arrivals admitted despite a mostly-healthy pool")
+	}
+}
+
+func TestFaultSummaryJSONRoundTrip(t *testing.T) {
+	plan := stubPlan{down: func(pmID, interval int) bool { return pmID == 0 && interval >= 2 && interval < 6 }}
+	rep := faultRun(t, Config{Intervals: 10, Rho: 0.01, Faults: plan}, 1)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Summary
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Faults == nil {
+		t.Fatal("summary JSON dropped the fault digest")
+	}
+	if !reflect.DeepEqual(decoded.Faults, rep.Faults) {
+		t.Errorf("fault digest changed across JSON round-trip:\n%+v\n%+v", decoded.Faults, rep.Faults)
+	}
+}

@@ -57,6 +57,18 @@ type Simulator struct {
 	powerOns          int
 	vmViolation       map[int]int // intervals each VM spent on a violated PM
 	vmObserved        map[int]int // intervals each VM was hosted at all
+
+	// Fault-injection state (see faults.go; inert when cfg.Faults is nil).
+	downPMs      map[int]bool    // PMs currently crashed
+	downSince    map[int]int     // crash interval of each down PM
+	overshoot    map[int]float64 // per-VM demand multiplier this interval
+	overheadNext map[int]float64 // straggler overhead carried one extra interval
+	retries      []pendingMove   // failed migrations awaiting retry
+	pendingFrom  map[int]int     // source PM → in-flight retry count
+	stranded     []strandedVM    // evacuees no PM could host yet
+	faults       FaultReport     // running fault accounting
+	evacLatency  int             // Σ intervals stranded evacuees waited
+	evacPlaced   int             // evacuees that found a host
 }
 
 // New builds a simulator over (a clone of) the given placement. table may be
@@ -107,6 +119,11 @@ func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg 
 		perVMMigrations:   make(map[int]int),
 		vmViolation:       make(map[int]int),
 		vmObserved:        make(map[int]int),
+		downPMs:           make(map[int]bool),
+		downSince:         make(map[int]int),
+		overshoot:         make(map[int]float64),
+		overheadNext:      make(map[int]float64),
+		pendingFrom:       make(map[int]int),
 	}, nil
 }
 
@@ -133,6 +150,10 @@ type Report struct {
 	// VMViolationRatio is the fraction of hosted intervals each VM spent on
 	// a capacity-violated PM — the per-tenant SLA view of CVR.
 	VMViolationRatio map[int]float64
+	// Faults summarises injected faults and the degraded behaviour under them
+	// (downtime intervals, evacuation latency, degraded placements). Nil when
+	// the run had no fault plan.
+	Faults *FaultReport
 }
 
 // CycleMigration reports whether the run exhibits the paper's cycle-migration
@@ -174,6 +195,11 @@ func (s *Simulator) Run() (*Report, error) {
 			return nil, err
 		}
 	}
+	return s.report(), nil
+}
+
+// report assembles the final Report from the simulator's accumulated state.
+func (s *Simulator) report() *Report {
 	return &Report{
 		Intervals:          s.cfg.Intervals,
 		TotalMigrations:    len(s.events),
@@ -185,7 +211,8 @@ func (s *Simulator) Run() (*Report, error) {
 		Events:             s.events,
 		PerVMMigrations:    s.perVMMigrations,
 		VMViolationRatio:   s.vmViolationRatios(),
-	}, nil
+		Faults:             s.faultReport(),
+	}
 }
 
 // vmViolationRatios derives each VM's violated-time fraction.
@@ -203,24 +230,41 @@ func (s *Simulator) vmViolationRatios() map[int]float64 {
 // belongs to (-1 when nothing was observed) — the tenant with the worst SLA.
 func (r *Report) WorstVMViolation() (vmID int, ratio float64) {
 	vmID = -1
+	// Break ties toward the smaller id so the answer doesn't depend on map
+	// iteration order.
 	for id, v := range r.VMViolationRatio {
-		if v > ratio || vmID == -1 {
+		if v > ratio || vmID == -1 || (v == ratio && id < vmID) {
 			vmID, ratio = id, v
 		}
 	}
 	return vmID, ratio
 }
 
-// step advances one interval: workload transition, load measurement, and (if
-// enabled) migrations for PMs whose windowed CVR breached ρ.
+// step advances one interval: workload transition, fault injection (PM
+// crashes, evacuations, retry execution), load measurement, and (if enabled)
+// migrations for PMs whose windowed CVR breached ρ.
 func (s *Simulator) step(t int) error {
 	s.fleet.Step(s.rng)
 	states := s.fleet.States()
+
+	// Fault phase: refresh overshoot multipliers, advance crash/recovery
+	// state (evacuating crashed PMs), and re-place stranded evacuees, so the
+	// measurement below sees the post-fault topology.
+	s.computeOvershoot(t)
+	if err := s.applyFaults(t, states); err != nil {
+		return err
+	}
+	if err := s.retryStranded(t, states); err != nil {
+		return err
+	}
 
 	// Measure every powered-on PM.
 	var triggered []int
 	violations := 0
 	for _, pmID := range s.placement.UsedPMs() {
+		if s.pmDown(pmID) {
+			continue // defensive: crashed PMs host nothing measurable
+		}
 		load, err := s.pmLoad(pmID, states)
 		if err != nil {
 			return err
@@ -249,12 +293,36 @@ func (s *Simulator) step(t int) error {
 			triggered = append(triggered, pmID)
 		}
 	}
-	// Overhead charges last one interval.
+	// Overhead charges last one interval — except straggler carry-over, which
+	// lands for one more.
 	for id := range s.overhead {
 		delete(s.overhead, id)
 	}
+	for id, v := range s.overheadNext {
+		s.overhead[id] = v
+		delete(s.overheadNext, id)
+	}
 
 	migrations, stepPowerOns := 0, 0
+	retried, err := s.processRetries(t, states)
+	if err != nil {
+		return err
+	}
+	for _, ev := range retried {
+		s.events = append(s.events, ev)
+		s.perVMMigrations[ev.VMID]++
+		migrations++
+		if ev.PoweredOn {
+			s.powerOns++
+			stepPowerOns++
+		}
+		if s.tracer.Enabled() {
+			s.tracer.Emit(telemetry.MigrationTraceEvent{
+				Interval: t, VMID: ev.VMID, FromPM: ev.FromPM, ToPM: ev.ToPM,
+				PoweredOn: ev.PoweredOn,
+			})
+		}
+	}
 	sort.Ints(triggered)
 	for _, pmID := range triggered {
 		ev, ok, err := s.migrateFrom(t, pmID, states)
@@ -307,9 +375,13 @@ func (s *Simulator) pmLoad(pmID int, states map[int]markov.State) (float64, erro
 }
 
 // vmDemand returns the VM's demand this interval — the exact model level, or
-// the request-modulated level under RequestNoise.
+// the request-modulated level under RequestNoise — scaled by any injected
+// overshoot beyond the declared reservation.
 func (s *Simulator) vmDemand(vm cloud.VM, state markov.State) (float64, error) {
 	level := vm.Demand(state)
+	if f, ok := s.overshoot[vm.ID]; ok {
+		level *= f
+	}
 	if !s.cfg.RequestNoise || level == 0 {
 		return level, nil
 	}
@@ -327,8 +399,12 @@ func (s *Simulator) vmDemand(vm cloud.VM, state markov.State) (float64, error) {
 
 // migrateFrom evicts one VM from an overloaded PM to the scheduler's chosen
 // target. It returns ok=false when no victim or no feasible target exists
-// (the VM then stays put — the system is saturated).
+// (the VM then stays put — the system is saturated), or when the injected
+// fault layer fails the attempt (the move then enters the retry queue).
 func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (MigrationEvent, bool, error) {
+	if s.pendingFrom[fromPM] > 0 {
+		return MigrationEvent{}, false, nil // a move from this PM is already in flight
+	}
 	victim, ok := s.pickVictim(fromPM, states)
 	if !ok {
 		return MigrationEvent{}, false, nil
@@ -341,6 +417,13 @@ func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (Mig
 	if err != nil || !ok {
 		return MigrationEvent{}, false, err
 	}
+	if s.migrationFails(t, victim.ID, fromPM, 1) {
+		// The failed attempt still burned CPU on the source; retry with
+		// backoff under the per-move deadline.
+		s.overhead[fromPM] += demand * s.cfg.MigrationOverhead
+		s.scheduleRetry(t, victim, fromPM, 1, t+s.cfg.MoveDeadline)
+		return MigrationEvent{}, false, nil
+	}
 	if _, err := s.placement.Remove(victim.ID); err != nil {
 		return MigrationEvent{}, false, err
 	}
@@ -349,13 +432,7 @@ func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (Mig
 	}
 	// The source pays the migration's CPU overhead next interval, and both
 	// windows restart so one breach does not double-trigger.
-	s.overhead[fromPM] += demand * s.cfg.MigrationOverhead
-	if w := s.windows[fromPM]; w != nil {
-		w.reset()
-	}
-	if w := s.windows[target]; w != nil {
-		w.reset()
-	}
+	s.chargeMigration(t, fromPM, target, victim.ID, demand)
 	return MigrationEvent{Interval: t, VMID: victim.ID, FromPM: fromPM, ToPM: target, PoweredOn: poweredOn}, true, nil
 }
 
@@ -393,7 +470,7 @@ func (s *Simulator) pickTarget(fromPM int, vm cloud.VM, demand float64, states m
 	used := make(map[int]bool)
 	for _, pmID := range s.placement.UsedPMs() {
 		used[pmID] = true
-		if pmID == fromPM {
+		if pmID == fromPM || s.pmDown(pmID) {
 			continue
 		}
 		load, lerr := s.pmLoad(pmID, states)
@@ -415,7 +492,7 @@ func (s *Simulator) pickTarget(fromPM int, vm cloud.VM, demand float64, states m
 	}
 	// Power on the lowest-id idle PM that can host the VM.
 	for _, pm := range s.placement.PMs() {
-		if used[pm.ID] {
+		if used[pm.ID] || s.pmDown(pm.ID) {
 			continue
 		}
 		if s.targetAdmits(pm.ID, 0, vm, demand) {

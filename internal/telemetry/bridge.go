@@ -24,6 +24,13 @@ type metricsTracer struct {
 	planned  *Counter
 	recons   *Counter
 	released *Counter
+
+	faultsInjected *Counter
+	migRetries     *Counter
+	migAbandoned   *Counter
+	evacuations    *Counter
+	degraded       *Counter
+	rollbacks      *Counter
 }
 
 // NewMetrics returns a tracer that updates reg from every event it sees:
@@ -32,7 +39,9 @@ type metricsTracer struct {
 // mapcal_fallback_solves_total (analytic solve paths vs matrix-backed
 // solvers), placement_decisions_total{decision=...}, sim_steps_total /
 // sim_violations_total / sim_migrations_total / sim_power_ons_total,
-// sim_pms_in_use (gauge), and the reconsolidation counters.
+// sim_pms_in_use (gauge), the reconsolidation counters, and the fault layer
+// (faults_injected_total, migration_retries_total, evacuations_total,
+// degraded_placements_total, reconsolidation_rollbacks_total).
 func NewMetrics(reg *Registry) Tracer {
 	return &metricsTracer{
 		reg:           reg,
@@ -51,6 +60,13 @@ func NewMetrics(reg *Registry) Tracer {
 		planned:       reg.Counter("reconsolidation_moves_total"),
 		recons:        reg.Counter("reconsolidation_runs_total"),
 		released:      reg.Counter("reconsolidation_released_pms_total"),
+
+		faultsInjected: reg.Counter("faults_injected_total"),
+		migRetries:     reg.Counter("migration_retries_total"),
+		migAbandoned:   reg.Counter("migration_retries_abandoned_total"),
+		evacuations:    reg.Counter("evacuations_total"),
+		degraded:       reg.Counter("degraded_placements_total"),
+		rollbacks:      reg.Counter("reconsolidation_rollbacks_total"),
 	}
 }
 
@@ -91,5 +107,20 @@ func (m *metricsTracer) Emit(e Event) {
 		m.recons.Inc()
 		m.planned.Add(uint64(ev.Moves))
 		m.released.Add(uint64(ev.ReleasedPMs))
+	case FaultEvent:
+		switch {
+		case ev.Injected():
+			m.faultsInjected.Inc()
+		case ev.Type == FaultMigrationRetry:
+			m.migRetries.Inc()
+		case ev.Type == FaultRetryAbandoned:
+			m.migAbandoned.Inc()
+		case ev.Type == FaultDegradedPlacement:
+			m.degraded.Inc()
+		}
+	case EvacuationEvent:
+		m.evacuations.Add(uint64(ev.VMs))
+	case RollbackEvent:
+		m.rollbacks.Inc()
 	}
 }

@@ -45,10 +45,11 @@ func (SolveEvent) Kind() string { return "solve" }
 
 // Admission-test outcomes for PlacementEvent.Reason.
 const (
-	ReasonFits        = "fits"              // Eq. (17) satisfied — VM admitted
-	ReasonOverflow    = "capacity_exceeded" // Eq. (17) left side above capacity
-	ReasonVMCap       = "vm_cap"            // would exceed the per-PM VM cap d
-	ReasonHeteroError = "hetero_error"      // exact heterogeneous solve failed
+	ReasonFits         = "fits"              // Eq. (17) satisfied — VM admitted
+	ReasonOverflow     = "capacity_exceeded" // Eq. (17) left side above capacity
+	ReasonVMCap        = "vm_cap"            // would exceed the per-PM VM cap d
+	ReasonHeteroError  = "hetero_error"      // exact heterogeneous solve failed
+	ReasonPeakFallback = "peak_fallback"     // solve failed; admitted under peak provisioning
 )
 
 // PlacementEvent records one QueuingFFD admission test (Algorithm 2): the
@@ -101,15 +102,83 @@ type MigrationTraceEvent struct {
 func (MigrationTraceEvent) Kind() string { return "migration" }
 
 // ReconsolidateEvent records one periodic re-pack executed by the controller.
+// Skipped marks a cycle the controller abandoned gracefully because the
+// re-pack could not place the fleet (e.g. crashed PMs removed too much
+// capacity); Moves/ReleasedPMs stay zero in that case.
 type ReconsolidateEvent struct {
-	Interval    int `json:"interval"`
-	Moves       int `json:"moves"`
-	Deferred    int `json:"deferred"`
-	ReleasedPMs int `json:"released_pms"`
+	Interval    int  `json:"interval"`
+	Moves       int  `json:"moves"`
+	Deferred    int  `json:"deferred"`
+	ReleasedPMs int  `json:"released_pms"`
+	Skipped     bool `json:"skipped,omitempty"`
 }
 
 // Kind returns "reconsolidate".
 func (ReconsolidateEvent) Kind() string { return "reconsolidate" }
+
+// Fault-event types for FaultEvent.Type. The first four are injected faults;
+// the remainder record the graceful-degradation machinery reacting to them.
+const (
+	FaultPMCrash           = "pm_crash"           // a PM went down
+	FaultMigrationFail     = "migration_fail"     // a migration attempt failed
+	FaultMigrationStraggle = "migration_straggle" // a migration ran long
+	FaultDemandOvershoot   = "demand_overshoot"   // demand exceeded declared R_p
+	FaultPMRecover         = "pm_recover"         // a crashed PM came back
+	FaultMigrationRetry    = "migration_retry"    // a failed move was retried
+	FaultRetryAbandoned    = "retry_abandoned"    // retries/deadline exhausted
+	FaultDegradedPlacement = "degraded_placement" // best-effort placement, Eq. (17) bypassed
+)
+
+// FaultEvent records one injected fault or one degradation reaction keyed by
+// Type. PMID/VMID/Attempt are populated where meaningful (crashes carry the
+// PM, migration faults the VM, source PM and attempt number).
+type FaultEvent struct {
+	Interval int    `json:"interval"`
+	Type     string `json:"type"`
+	PMID     int    `json:"pm,omitempty"`
+	VMID     int    `json:"vm,omitempty"`
+	Attempt  int    `json:"attempt,omitempty"`
+}
+
+// Injected reports whether the event records an injected fault (as opposed
+// to the degradation machinery reacting to one) — the faults_injected_total
+// discriminator.
+func (e FaultEvent) Injected() bool {
+	switch e.Type {
+	case FaultPMCrash, FaultMigrationFail, FaultMigrationStraggle, FaultDemandOvershoot:
+		return true
+	}
+	return false
+}
+
+// Kind returns "fault".
+func (FaultEvent) Kind() string { return "fault" }
+
+// EvacuationEvent records the emergency re-placement of a crashed PM's VMs:
+// how many were evacuated, how many only found a degraded (best-effort)
+// host, and how many were stranded with no up PM at all.
+type EvacuationEvent struct {
+	Interval int `json:"interval"`
+	PMID     int `json:"pm"`
+	VMs      int `json:"vms"`
+	Degraded int `json:"degraded,omitempty"`
+	Stranded int `json:"stranded,omitempty"`
+}
+
+// Kind returns "evacuation".
+func (EvacuationEvent) Kind() string { return "evacuation" }
+
+// RollbackEvent records a reconsolidation plan that failed mid-execution and
+// was rolled back: the staged moves were reversed and the placement restored
+// to its pre-plan state instead of aborting the run.
+type RollbackEvent struct {
+	Interval   int    `json:"interval"`
+	RolledBack int    `json:"rolled_back_moves"`
+	Reason     string `json:"reason"`
+}
+
+// Kind returns "rollback".
+func (RollbackEvent) Kind() string { return "rollback" }
 
 // Tracer receives trace events. Implementations must be safe for concurrent
 // Emit calls. Instrumented code guards event construction with Enabled, so a
@@ -224,6 +293,12 @@ func DecodeLine(line []byte) (Record, error) {
 		ev = &MigrationTraceEvent{}
 	case "reconsolidate":
 		ev = &ReconsolidateEvent{}
+	case "fault":
+		ev = &FaultEvent{}
+	case "evacuation":
+		ev = &EvacuationEvent{}
+	case "rollback":
+		ev = &RollbackEvent{}
 	default:
 		return Record{}, fmt.Errorf("telemetry: unknown event kind %q", env.Kind)
 	}
