@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-compare fuzz cover clean
+.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-smoke bench-compare fuzz cover clean
 
 all: build vet test
 
@@ -19,10 +19,12 @@ vet:
 # Race-detector pass over the concurrency-bearing packages: the telemetry
 # registry/tracer (hammered from parallel workers), the experiment runner's
 # parallel table builds, the goroutine-safe solve cache in queuing, the
-# shared log-factorial table in markov, and the solver scratch in linalg.
+# shared log-factorial table in markov, the solver scratch in linalg, and
+# the sharded simulator step loop in sim.
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... \
-		./internal/queuing/... ./internal/markov/... ./internal/linalg/... .
+		./internal/queuing/... ./internal/markov/... ./internal/linalg/... \
+		./internal/sim/... .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -37,12 +39,28 @@ bench-baseline:
 bench-pr2:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime 1x -json . > BENCH_pr2.json
 
+# Snapshot of the fleet-scale engine's numbers (incremental ledger + indexed
+# placement + sharded stepping) across the 10k/100k/1M ladder. The linear
+# placer is skipped at 1M by the benchmark itself.
+bench-pr4:
+	SCALE_BENCH_FULL=1 $(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem \
+		-benchtime 1x -timeout 60m -json ./internal/sim/ ./internal/core/ > BENCH_pr4.json
+
+# Quick scale smoke (n = 10k only) — the CI guard that the scale paths keep
+# working without paying for the full ladder.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem -benchtime 1x \
+		./internal/sim/ ./internal/core/
+
 # Diff two committed benchmark snapshots. Fails when a critical benchmark
 # (Fig7 MapCal or MappingTable, by default) regresses by more than 20%.
+# Pass DIFFFLAGS=-allocs to additionally flag >20% allocs/op growth on the
+# critical set (requires -benchmem snapshots, which all committed ones are).
 OLD ?= BENCH_baseline.json
 NEW ?= BENCH_pr2.json
+DIFFFLAGS ?=
 bench-compare:
-	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW)
+	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) $(DIFFFLAGS)
 
 # Short fuzz smoke of the solver-agreement, MapCal, and fault-plan contracts.
 fuzz:

@@ -97,6 +97,17 @@ type (
 	Move = core.Move
 	// RoundingPolicy rounds heterogeneous switch probabilities.
 	RoundingPolicy = core.RoundingPolicy
+	// Placer selects the first-fit implementation (indexed vs linear scan).
+	Placer = core.Placer
+)
+
+// First-fit placer implementations. PlacerIndexed (the default) answers each
+// placement in O(log m) through a segment-tree index over per-PM headroom;
+// PlacerLinear is the paper's O(m) scan, kept as a cross-validation oracle.
+// Both produce identical placements.
+const (
+	PlacerIndexed = core.PlacerIndexed
+	PlacerLinear  = core.PlacerLinear
 )
 
 // Rounding policies for heterogeneous fleets.

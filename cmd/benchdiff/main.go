@@ -1,13 +1,18 @@
 // Command benchdiff compares two benchmark snapshots produced by
-// `go test -bench . -json` (the format of BENCH_baseline.json / BENCH_pr2.json)
-// and reports the per-benchmark ns/op delta. Benchmarks matching the
-// -critical regexp (the Fig7 MapCal and MappingTable solve-engine targets by
-// default) fail the run when they regress by more than -max-regress.
+// `go test -bench . -json` (the format of BENCH_baseline.json / BENCH_pr2.json
+// / BENCH_pr4.json) and reports the per-benchmark ns/op delta. Benchmarks
+// matching the -critical regexp (the Fig7 MapCal and MappingTable solve-engine
+// targets by default) fail the run when they regress by more than -max-regress.
+// With -allocs, snapshots taken under -benchmem are additionally compared on
+// allocs/op, and a critical benchmark whose allocation count grows by more
+// than -max-alloc-regress fails the run — the guard that keeps the incremental
+// ledger's zero-steady-state-allocation property from silently eroding.
 //
 // Usage:
 //
 //	benchdiff -old BENCH_baseline.json -new BENCH_pr2.json
 //	benchdiff -old a.json -new b.json -critical 'BenchmarkFig5' -max-regress 0.1
+//	benchdiff -old a.json -new b.json -allocs -critical 'BenchmarkScale'
 package main
 
 import (
@@ -27,15 +32,19 @@ func main() {
 		"regexp of benchmarks that must not regress")
 	maxRegress := flag.Float64("max-regress", 0.20,
 		"maximum tolerated ns/op regression for critical benchmarks (0.20 = +20%)")
+	allocs := flag.Bool("allocs", false,
+		"also compare allocs/op (-benchmem snapshots) and fail critical regressions")
+	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20,
+		"maximum tolerated allocs/op regression for critical benchmarks with -allocs")
 	flag.Parse()
 
-	if err := run(*oldPath, *newPath, *critical, *maxRegress, os.Stdout); err != nil {
+	if err := run(*oldPath, *newPath, *critical, *maxRegress, *allocs, *maxAllocRegress, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, critical string, maxRegress float64, out *os.File) error {
+func run(oldPath, newPath, critical string, maxRegress float64, allocs bool, maxAllocRegress float64, out *os.File) error {
 	criticalRE, err := regexp.Compile(critical)
 	if err != nil {
 		return fmt.Errorf("bad -critical pattern: %w", err)
@@ -67,23 +76,50 @@ func run(oldPath, newPath, critical string, maxRegress float64, out *os.File) er
 	}
 
 	var regressed []string
-	fmt.Fprintf(out, "%-60s %14s %14s %9s\n", "benchmark", "old ns/op", "new ns/op", "delta")
+	header := fmt.Sprintf("%-60s %14s %14s %9s", "benchmark", "old ns/op", "new ns/op", "delta")
+	if allocs {
+		header += fmt.Sprintf(" %12s %12s %9s", "old allocs", "new allocs", "Δallocs")
+	}
+	fmt.Fprintln(out, header)
 	for _, name := range names {
-		o, n := oldRes[name].NsPerOp, newRes[name].NsPerOp
+		o, n := oldRes[name], newRes[name]
 		delta := 0.0
-		if o > 0 {
-			delta = n/o - 1
+		if o.NsPerOp > 0 {
+			delta = n.NsPerOp/o.NsPerOp - 1
 		}
-		mark := ""
-		if criticalRE.MatchString(name) {
-			mark = " *"
-			if delta > maxRegress {
-				regressed = append(regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)", name, o, n, 100*delta))
+		isCritical := criticalRE.MatchString(name)
+		if isCritical && delta > maxRegress {
+			regressed = append(regressed, fmt.Sprintf("%s: %.0f → %.0f ns/op (%+.1f%%)",
+				name, o.NsPerOp, n.NsPerOp, 100*delta))
+		}
+		row := fmt.Sprintf("%-60s %14.0f %14.0f %+8.1f%%", name, o.NsPerOp, n.NsPerOp, 100*delta)
+		if allocs {
+			if o.HasMem && n.HasMem {
+				aDelta := 0.0
+				if o.AllocsPerOp > 0 {
+					aDelta = n.AllocsPerOp/o.AllocsPerOp - 1
+				} else if n.AllocsPerOp > 0 {
+					aDelta = 1 // from zero to anything is a full regression
+				}
+				if isCritical && aDelta > maxAllocRegress {
+					regressed = append(regressed, fmt.Sprintf("%s: %.0f → %.0f allocs/op (%+.1f%%)",
+						name, o.AllocsPerOp, n.AllocsPerOp, 100*aDelta))
+				}
+				row += fmt.Sprintf(" %12.0f %12.0f %+8.1f%%", o.AllocsPerOp, n.AllocsPerOp, 100*aDelta)
+			} else {
+				row += fmt.Sprintf(" %12s %12s %9s", "-", "-", "-")
 			}
 		}
-		fmt.Fprintf(out, "%-60s %14.0f %14.0f %+8.1f%%%s\n", name, o, n, 100*delta, mark)
+		if isCritical {
+			row += " *"
+		}
+		fmt.Fprintln(out, row)
 	}
-	fmt.Fprintf(out, "\n* critical (pattern %q, max regression %.0f%%)\n", critical, 100*maxRegress)
+	fmt.Fprintf(out, "\n* critical (pattern %q, max regression %.0f%%", critical, 100*maxRegress)
+	if allocs {
+		fmt.Fprintf(out, ", max allocs/op regression %.0f%%", 100*maxAllocRegress)
+	}
+	fmt.Fprintln(out, ")")
 
 	if len(regressed) > 0 {
 		for _, r := range regressed {

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	simulate -spec fleet.json [-strategy queue|rp|rb|rbex|sbp]
-//	         [-intervals 100] [-migration] [-seed 1]
+//	         [-intervals 100] [-migration] [-seed 1] [-shards 8]
 //	         [-faults schedule.json]
 //	         [-events events.csv] [-series series.csv]
 //	         [-trace run.jsonl] [-metrics-addr 127.0.0.1:9090]
@@ -53,6 +53,7 @@ func run(args []string, stdout io.Writer) error {
 		eventsPath = fs.String("events", "", "write migration events CSV to this path")
 		seriesPath = fs.String("series", "", "write per-interval series CSV to this path")
 		faultsPath = fs.String("faults", "", "replay the JSON fault schedule at this path")
+		shards     = fs.Int("shards", 1, "parallel shards for per-interval stepping (bit-identical for any count)")
 	)
 	var tf telemetry.Flags
 	tf.Register(fs)
@@ -118,6 +119,7 @@ func run(args []string, stdout io.Writer) error {
 		Rho:             fleet.Rho,
 		EnableMigration: *migration,
 		Tracer:          tracer,
+		Shards:          *shards,
 	}
 	if plan != nil {
 		cfg.Faults = plan

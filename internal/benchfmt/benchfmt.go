@@ -1,7 +1,8 @@
 // Package benchfmt parses benchmark snapshots produced by
 // `go test -bench . -json` (the test2json stream committed as
-// BENCH_baseline.json and BENCH_pr2.json). Only the ns/op figure is
-// extracted; custom metrics and allocation counters are ignored.
+// BENCH_baseline.json, BENCH_pr2.json, and BENCH_pr4.json). The ns/op figure
+// is always extracted; when the run used -benchmem, the B/op and allocs/op
+// counters are captured too. Custom metrics are ignored.
 package benchfmt
 
 import (
@@ -19,6 +20,11 @@ type Result struct {
 	Name    string  // full name including sub-benchmark path, without -P suffix
 	Iters   int64   // iteration count of the measurement
 	NsPerOp float64 // reported ns/op
+	// BytesPerOp and AllocsPerOp hold the -benchmem counters; they are only
+	// meaningful when HasMem is true (the snapshot was taken with -benchmem).
+	BytesPerOp  float64
+	AllocsPerOp float64
+	HasMem      bool
 }
 
 // event is the subset of the test2json envelope we care about.
@@ -32,7 +38,7 @@ type event struct {
 //	BenchmarkFig7MapCal/k=64-8   	      62	  18983683 ns/op	...
 //
 // The trailing -N GOMAXPROCS suffix is stripped from the reported name.
-var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op`)
+var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // Parse reads a test2json stream and returns the benchmark results keyed by
 // name. Benchmark result lines are split across multiple Output events by
@@ -71,7 +77,19 @@ func Parse(lines *bufio.Scanner) (map[string]Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchfmt: bad ns/op in %q: %w", line, err)
 		}
-		results[m[1]] = Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		r := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		if m[5] != "" {
+			b, err := strconv.ParseFloat(m[5], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad B/op in %q: %w", line, err)
+			}
+			a, err := strconv.ParseFloat(m[6], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad allocs/op in %q: %w", line, err)
+			}
+			r.BytesPerOp, r.AllocsPerOp, r.HasMem = b, a, true
+		}
+		results[m[1]] = r
 	}
 	return results, nil
 }

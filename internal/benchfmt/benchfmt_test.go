@@ -31,8 +31,15 @@ func TestParse(t *testing.T) {
 	if mc.Iters != 62 || mc.NsPerOp != 18983683 {
 		t.Errorf("MapCal result = %+v", mc)
 	}
-	if mt := res["BenchmarkMappingTable/d=16"]; mt.NsPerOp != 1987829 {
+	if !mc.HasMem || mc.BytesPerOp != 1474006 || mc.AllocsPerOp != 266 {
+		t.Errorf("MapCal -benchmem counters = %+v", mc)
+	}
+	mt := res["BenchmarkMappingTable/d=16"]
+	if mt.NsPerOp != 1987829 {
 		t.Errorf("MappingTable result = %+v", mt)
+	}
+	if mt.HasMem {
+		t.Errorf("MappingTable line has no -benchmem counters but HasMem is set: %+v", mt)
 	}
 }
 

@@ -20,6 +20,10 @@ type Online struct {
 	strategy QueuingFFD
 	table    *queuing.MappingTable
 	place    *cloud.Placement
+	// index is the persistent first-fit index maintained across
+	// Arrive/Depart (nil under PlacerLinear). Its scoring closure reads
+	// o.table at call time, so RefreshTable only has to rescore, not rebuild.
+	index *placeIndex
 }
 
 // NewOnline creates an online consolidator over an (initially empty) PM pool.
@@ -36,7 +40,12 @@ func NewOnline(strategy QueuingFFD, pms []cloud.PM, pOn, pOff float64) (*Online,
 	if err != nil {
 		return nil, err
 	}
-	return &Online{strategy: strategy, table: table, place: place}, nil
+	o := &Online{strategy: strategy, table: table, place: place}
+	if strategy.Placer == PlacerIndexed {
+		spec := strategy.fitSpec(func() *queuing.MappingTable { return o.table })
+		o.index = newPlaceIndex(place, pms, spec)
+	}
+	return o, nil
 }
 
 // Placement exposes the live placement (callers must treat it as read-only;
@@ -52,6 +61,19 @@ func (o *Online) Arrive(vm cloud.VM) (int, error) {
 	if err := vm.Validate(); err != nil {
 		return 0, err
 	}
+	if o.index != nil {
+		pmID, ok := o.index.firstFit(o.place, vm, func(pmID int) bool {
+			return o.strategy.admit(o.place, vm, pmID, o.table)
+		})
+		if !ok {
+			return 0, fmt.Errorf("core: no PM can admit VM %d under Eq. (17): %w", vm.ID, cloud.ErrNoCapacity)
+		}
+		if err := o.place.Assign(vm, pmID); err != nil {
+			return 0, err
+		}
+		o.index.refresh(o.place, pmID)
+		return pmID, nil
+	}
 	for _, pm := range o.place.PMs() {
 		if o.strategy.admit(o.place, vm, pm.ID, o.table) {
 			if err := o.place.Assign(vm, pm.ID); err != nil {
@@ -66,8 +88,14 @@ func (o *Online) Arrive(vm cloud.VM) (int, error) {
 // Depart removes a VM; the PM's queue size shrinks implicitly because the
 // reservation is recomputed from the remaining host set.
 func (o *Online) Depart(vmID int) error {
-	_, err := o.place.Remove(vmID)
-	return err
+	pmID, err := o.place.Remove(vmID)
+	if err != nil {
+		return err
+	}
+	if o.index != nil {
+		o.index.refresh(o.place, pmID)
+	}
+	return nil
 }
 
 // ArriveBatch places a batch of new VMs using the same cluster-and-sort
@@ -107,6 +135,10 @@ func (o *Online) RefreshTable() error {
 		return err
 	}
 	o.table = table
+	if o.index != nil {
+		// The scores embed mapping(k+1); a new table invalidates all of them.
+		o.index.refreshAll(o.place)
+	}
 	return nil
 }
 

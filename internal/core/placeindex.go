@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/fitindex"
+	"repro/internal/telemetry"
+)
+
+// Placer selects the first-fit implementation a strategy's Place uses.
+type Placer int
+
+const (
+	// PlacerIndexed — the zero value — drives first-fit through a segment
+	// tree over per-PM headroom (fitindex.MaxTree): each VM finds its first
+	// feasible PM in O(log m) plus exact-admission probes, turning Place from
+	// O(n·m) into O(n log m). The placement is identical to PlacerLinear's —
+	// the index preserves first-fit order, it only skips PMs the linear scan
+	// would also have rejected.
+	PlacerIndexed Placer = iota
+	// PlacerLinear is the paper's O(m) scan over the id-sorted pool, kept as
+	// the cross-validation oracle for the index (see TestPlacerEquivalence).
+	PlacerLinear
+)
+
+// fitSpec equips a strategy's admission constraint with what the first-fit
+// index needs: need(vm), the demand queried against the index, and
+// score(p, pm), an upper bound on the need the PM can still admit (NegInf for
+// a PM excluded outright, e.g. at its VM cap).
+//
+// Soundness contract: score(p, pm) < need(vm) − capEps must imply that
+// admit(p, vm, pm.ID) is false. The index may only skip PMs the linear scan
+// would also reject; candidates that clear the score filter are still
+// verified with the exact admission test, so over-approximate scores cost
+// probes, never correctness.
+type fitSpec struct {
+	need  func(vm cloud.VM) float64
+	score func(p *cloud.Placement, pm cloud.PM) float64
+}
+
+// placeIndex is a first-fit index over a PM pool: tree position = rank of the
+// PM in ascending-id order, tree value = the strategy's headroom score.
+type placeIndex struct {
+	pms  []cloud.PM  // pool sorted ascending by id
+	pos  map[int]int // PM id → tree position
+	tree *fitindex.MaxTree
+	spec fitSpec
+
+	// Instrumentation: queries = first-fit lookups, probes = exact admission
+	// tests run on index candidates, hits = lookups resolved by their very
+	// first candidate (no false positive).
+	queries, probes, hits uint64
+}
+
+// newPlaceIndex builds the index for the pool under the current placement.
+func newPlaceIndex(p *cloud.Placement, pms []cloud.PM, spec fitSpec) *placeIndex {
+	ordered := append([]cloud.PM(nil), pms...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
+	ix := &placeIndex{
+		pms:  ordered,
+		pos:  make(map[int]int, len(ordered)),
+		tree: fitindex.NewMaxTree(len(ordered)),
+		spec: spec,
+	}
+	for i, pm := range ordered {
+		ix.pos[pm.ID] = i
+		ix.tree.Set(i, spec.score(p, pm))
+	}
+	return ix
+}
+
+// refresh recomputes one PM's score after its host set changed.
+func (ix *placeIndex) refresh(p *cloud.Placement, pmID int) {
+	if i, ok := ix.pos[pmID]; ok {
+		ix.tree.Set(i, ix.spec.score(p, ix.pms[i]))
+	}
+}
+
+// refreshAll recomputes every PM's score — needed when the scoring inputs
+// change wholesale (e.g. Online.RefreshTable swaps the mapping table).
+func (ix *placeIndex) refreshAll(p *cloud.Placement) {
+	for i, pm := range ix.pms {
+		ix.tree.Set(i, ix.spec.score(p, pm))
+	}
+}
+
+// firstFit returns the lowest-id PM admitting vm, visiting candidates in
+// exactly the order a linear scan would: the tree prunes to PMs whose score
+// clears the need, each candidate is verified with the exact admission test,
+// and a false positive (conservative score over-approximating headroom)
+// resumes the search one position further right.
+func (ix *placeIndex) firstFit(p *cloud.Placement, vm cloud.VM, admit func(pmID int) bool) (int, bool) {
+	need := ix.spec.need(vm) - capEps
+	ix.queries++
+	first := true
+	for from := 0; ; {
+		i := ix.tree.FirstAtLeast(from, need)
+		if i < 0 {
+			return 0, false
+		}
+		ix.probes++
+		if admit(ix.pms[i].ID) {
+			if first {
+				ix.hits++
+			}
+			return ix.pms[i].ID, true
+		}
+		first = false
+		from = i + 1
+	}
+}
+
+// emit reports the accumulated index counters as one PlaceIndexEvent.
+func (ix *placeIndex) emit(tr telemetry.Tracer, strategy string) {
+	tr = telemetry.OrNop(tr)
+	if !tr.Enabled() {
+		return
+	}
+	tr.Emit(telemetry.PlaceIndexEvent{
+		Strategy: strategy,
+		Queries:  ix.queries,
+		Probes:   ix.probes,
+		Hits:     ix.hits,
+	})
+}
+
+// firstFitIndexed is the indexed counterpart of firstFit: same placements,
+// O(log m) per VM instead of O(m).
+func firstFitIndexed(vms []cloud.VM, pms []cloud.PM, admit admission, spec fitSpec, tr telemetry.Tracer, strategy string) (*Result, error) {
+	if err := cloud.ValidateVMs(vms); err != nil {
+		return nil, err
+	}
+	placement, err := cloud.NewPlacement(pms)
+	if err != nil {
+		return nil, err
+	}
+	ix := newPlaceIndex(placement, pms, spec)
+	var unplaced []cloud.VM
+	for _, vm := range vms {
+		pmID, ok := ix.firstFit(placement, vm, func(pmID int) bool {
+			return admit(placement, vm, pmID)
+		})
+		if !ok {
+			unplaced = append(unplaced, vm)
+			continue
+		}
+		if err := placement.Assign(vm, pmID); err != nil {
+			return nil, fmt.Errorf("core: assigning VM %d to PM %d: %w", vm.ID, pmID, err)
+		}
+		ix.refresh(placement, pmID)
+	}
+	ix.emit(tr, strategy)
+	return &Result{Placement: placement, Unplaced: unplaced}, nil
+}

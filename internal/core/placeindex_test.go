@@ -1,0 +1,233 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cloud"
+)
+
+// heteroFleet generates VMs with individual switch probabilities — the input
+// that exercises the rounding and exact-hetero admission paths.
+func heteroFleet(rng *rand.Rand, n int) ([]cloud.VM, []cloud.PM) {
+	vms := make([]cloud.VM, n)
+	for i := range vms {
+		vms[i] = cloud.VM{
+			ID:   i,
+			POn:  0.005 + 0.045*rng.Float64(),
+			POff: 0.05 + 0.25*rng.Float64(),
+			Rb:   2 + 18*rng.Float64(),
+			Re:   2 + 18*rng.Float64(),
+		}
+	}
+	pms := make([]cloud.PM, n)
+	for i := range pms {
+		pms[i] = cloud.PM{ID: i, Capacity: 80 + 20*rng.Float64()}
+	}
+	return vms, pms
+}
+
+// diffResults compares two placement results VM by VM; it returns a
+// description of the first difference, or "" when identical.
+func diffResults(a, b *Result) string {
+	if len(a.Unplaced) != len(b.Unplaced) {
+		return fmt.Sprintf("unplaced count %d vs %d", len(a.Unplaced), len(b.Unplaced))
+	}
+	for i := range a.Unplaced {
+		if a.Unplaced[i].ID != b.Unplaced[i].ID {
+			return fmt.Sprintf("unplaced[%d] = VM %d vs VM %d", i, a.Unplaced[i].ID, b.Unplaced[i].ID)
+		}
+	}
+	av, bv := a.Placement.VMs(), b.Placement.VMs()
+	if len(av) != len(bv) {
+		return fmt.Sprintf("placed count %d vs %d", len(av), len(bv))
+	}
+	for _, vm := range av {
+		pa, _ := a.Placement.PMOf(vm.ID)
+		pb, ok := b.Placement.PMOf(vm.ID)
+		if !ok {
+			return fmt.Sprintf("VM %d placed only in first result", vm.ID)
+		}
+		if pa != pb {
+			return fmt.Sprintf("VM %d on PM %d vs PM %d", vm.ID, pa, pb)
+		}
+	}
+	return ""
+}
+
+// withPlacer returns the strategy with the given placer selected.
+func withPlacer(s Strategy, placer Placer) Strategy {
+	switch st := s.(type) {
+	case QueuingFFD:
+		st.Placer = placer
+		return st
+	case FFDByRp:
+		st.Placer = placer
+		return st
+	case FFDByRb:
+		st.Placer = placer
+		return st
+	case RBEX:
+		st.Placer = placer
+		return st
+	}
+	panic("unknown strategy")
+}
+
+// TestPlacerEquivalence is the cross-validation property of the first-fit
+// index: for every strategy, PlacerIndexed must produce the exact placement
+// PlacerLinear does — same VM→PM mapping, same unplaced set — on random
+// fleets. The index may only prune PMs the linear scan would also reject, so
+// any divergence is a soundness or ordering bug.
+func TestPlacerEquivalence(t *testing.T) {
+	strategies := []struct {
+		name   string
+		s      Strategy
+		n      int
+		hetero bool
+	}{
+		{"queue", QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}, 120, false},
+		{"queue-hetero-rounded", QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}, 120, true},
+		{"queue-topk", QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16, Sizing: BlockTopKRe}, 120, false},
+		{"queue-exact-hetero", QueuingFFD{Rho: 0.01, MaxVMsPerPM: 8, ExactHetero: true}, 24, true},
+		{"rp", FFDByRp{}, 150, false},
+		{"rp-capped", FFDByRp{MaxVMsPerPM: 4}, 150, false},
+		{"rb", FFDByRb{}, 150, false},
+		{"rbex", RBEX{Delta: 0.3}, 150, false},
+	}
+	for _, tc := range strategies {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			prop := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				var vms []cloud.VM
+				var pms []cloud.PM
+				if tc.hetero {
+					vms, pms = heteroFleet(rng, tc.n)
+				} else {
+					vms, pms = randomFleet(rng, tc.n)
+				}
+				indexed, err := withPlacer(tc.s, PlacerIndexed).Place(vms, pms)
+				if err != nil {
+					t.Fatalf("indexed place: %v", err)
+				}
+				linear, err := withPlacer(tc.s, PlacerLinear).Place(vms, pms)
+				if err != nil {
+					t.Fatalf("linear place: %v", err)
+				}
+				if diff := diffResults(indexed, linear); diff != "" {
+					t.Logf("seed %d: %s", seed, diff)
+					return false
+				}
+				return true
+			}
+			cfg := &quick.Config{MaxCount: 20}
+			if tc.name == "queue-exact-hetero" {
+				cfg.MaxCount = 5 // O(k²) DP per admission test
+			}
+			if err := quick.Check(prop, cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestPlacerEquivalenceTightPool pins the equivalence where it is most
+// fragile: a pool too small for the fleet, so both placers must agree on the
+// unplaced set, not just the mapping.
+func TestPlacerEquivalenceTightPool(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	vms, _ := randomFleet(rng, 200)
+	pms := mkPool(9, 90) // deliberately insufficient
+	s := QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+	indexed, err := withPlacer(s, PlacerIndexed).Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear, err := withPlacer(s, PlacerLinear).Place(vms, pms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(indexed.Unplaced) == 0 {
+		t.Fatal("expected unplaced VMs on the tight pool")
+	}
+	if diff := diffResults(indexed, linear); diff != "" {
+		t.Fatalf("indexed vs linear: %s", diff)
+	}
+}
+
+// TestOnlinePlacerEquivalence drives two online consolidators — indexed and
+// linear — through one random arrival/departure/refresh sequence and requires
+// identical decisions at every step, exercising the persistent index across
+// mutations and table swaps.
+func TestOnlinePlacerEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pms := mkPool(24, 100)
+	mk := func(placer Placer) *Online {
+		o, err := NewOnline(QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16, Placer: placer}, pms, 0.01, 0.09)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	indexed, linear := mk(PlacerIndexed), mk(PlacerLinear)
+	var placed []int
+	nextID := 0
+	for step := 0; step < 600; step++ {
+		switch r := rng.Float64(); {
+		case r < 0.6 || len(placed) == 0:
+			vm := cloud.VM{
+				ID:   nextID,
+				POn:  0.005 + 0.045*rng.Float64(),
+				POff: 0.05 + 0.25*rng.Float64(),
+				Rb:   2 + 18*rng.Float64(),
+				Re:   2 + 18*rng.Float64(),
+			}
+			nextID++
+			pmA, errA := indexed.Arrive(vm)
+			pmB, errB := linear.Arrive(vm)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("step %d: arrive errors diverge: %v vs %v", step, errA, errB)
+			}
+			if errA != nil {
+				if !errors.Is(errA, cloud.ErrNoCapacity) {
+					t.Fatalf("step %d: unexpected arrive error: %v", step, errA)
+				}
+				continue
+			}
+			if pmA != pmB {
+				t.Fatalf("step %d: VM %d → PM %d (indexed) vs PM %d (linear)", step, vm.ID, pmA, pmB)
+			}
+			placed = append(placed, vm.ID)
+		case r < 0.95:
+			i := rng.Intn(len(placed))
+			id := placed[i]
+			placed[i] = placed[len(placed)-1]
+			placed = placed[:len(placed)-1]
+			if err := indexed.Depart(id); err != nil {
+				t.Fatalf("step %d: indexed depart: %v", step, err)
+			}
+			if err := linear.Depart(id); err != nil {
+				t.Fatalf("step %d: linear depart: %v", step, err)
+			}
+		default:
+			errA, errB := indexed.RefreshTable(), linear.RefreshTable()
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("step %d: refresh errors diverge: %v vs %v", step, errA, errB)
+			}
+		}
+	}
+	if got, want := indexed.Placement().NumVMs(), linear.Placement().NumVMs(); got != want {
+		t.Fatalf("placed VM count: %d vs %d", got, want)
+	}
+	for _, vm := range linear.Placement().VMs() {
+		pa, _ := indexed.Placement().PMOf(vm.ID)
+		pb, _ := linear.Placement().PMOf(vm.ID)
+		if pa != pb {
+			t.Fatalf("final state: VM %d on PM %d (indexed) vs PM %d (linear)", vm.ID, pa, pb)
+		}
+	}
+}

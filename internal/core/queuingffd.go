@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/cluster"
+	"repro/internal/fitindex"
 	"repro/internal/queuing"
 	"repro/internal/telemetry"
 )
@@ -67,6 +68,11 @@ type QueuingFFD struct {
 	// Costs an O(k²) dynamic program per admission test instead of a table
 	// lookup.
 	ExactHetero bool
+	// Placer selects the first-fit implementation: the zero value places
+	// through the segment-tree index (O(n log m)); PlacerLinear keeps the
+	// paper's O(n·m) scan as the cross-validation oracle. Both produce
+	// identical placements.
+	Placer Placer
 	// Tracer receives decision-level telemetry: one SolveEvent per MapCal run
 	// during table precompute and one PlacementEvent per Eq. (17) admission
 	// test, carrying both sides of the constraint and the accept/reject
@@ -116,9 +122,43 @@ func (s QueuingFFD) Place(vms []cloud.VM, pms []cloud.PM) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return firstFit(ordered, pms, func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
+	admit := func(p *cloud.Placement, vm cloud.VM, pmID int) bool {
 		return s.admit(p, vm, pmID, table)
-	})
+	}
+	if s.Placer == PlacerLinear {
+		return firstFit(ordered, pms, admit)
+	}
+	return firstFitIndexed(ordered, pms, admit, s.fitSpec(func() *queuing.MappingTable { return table }), s.Tracer, s.Name())
+}
+
+// fitSpec returns the index scoring for Eq. (17) admission. Under the paper's
+// max-R_e sizing the score is the exact headroom left for a VM whose R_e does
+// not exceed the hosted maximum,
+//
+//	C_j − Σ R_b − max R_e(T_j) · mapping(|T_j|+1),
+//
+// an upper bound in general because the true reservation uses
+// max(R_e^i, max R_e(T_j)) ≥ max R_e(T_j). The top-K and exact-hetero
+// variants fall back to the looser C_j − Σ R_b (their reservation is
+// non-negative), trading extra verification probes for soundness.
+//
+// The table is supplied through a getter so Online can keep one index across
+// RefreshTable calls: the closure reads the current table at score time.
+func (s QueuingFFD) fitSpec(table func() *queuing.MappingTable) fitSpec {
+	return fitSpec{
+		need: func(vm cloud.VM) float64 { return vm.Rb },
+		score: func(p *cloud.Placement, pm cloud.PM) float64 {
+			k := p.CountOn(pm.ID)
+			if k+1 > s.MaxVMsPerPM {
+				return fitindex.NegInf
+			}
+			free := pm.Capacity - p.SumRb(pm.ID)
+			if s.Sizing == BlockMaxRe && !s.ExactHetero {
+				free -= p.MaxRe(pm.ID) * float64(table().Blocks(k+1))
+			}
+			return free
+		},
+	}
 }
 
 // order performs Algorithm 2 lines 7–9: cluster by similar R_e, sort clusters

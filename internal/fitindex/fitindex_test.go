@@ -1,0 +1,160 @@
+package fitindex
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// naiveFirstAtLeast is the linear-scan oracle for MaxTree.FirstAtLeast.
+func naiveFirstAtLeast(scores []float64, from int, need float64) int {
+	for i := from; i < len(scores); i++ {
+		if i >= 0 && scores[i] >= need {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestMaxTreeAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 257} {
+		tree := NewMaxTree(n)
+		scores := make([]float64, n)
+		for i := range scores {
+			scores[i] = NegInf
+		}
+		for op := 0; op < 2000; op++ {
+			if rng.Float64() < 0.5 {
+				i := rng.Intn(n)
+				v := rng.Float64() * 100
+				if rng.Float64() < 0.1 {
+					v = NegInf
+				}
+				scores[i] = v
+				tree.Set(i, v)
+			} else {
+				from := rng.Intn(n+2) - 1
+				need := rng.Float64() * 100
+				got := tree.FirstAtLeast(from, need)
+				want := naiveFirstAtLeast(scores, max(from, 0), need)
+				if got != want {
+					t.Fatalf("n=%d FirstAtLeast(%d, %v) = %d, oracle %d", n, from, need, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxTreeBasics(t *testing.T) {
+	tree := NewMaxTree(4)
+	if tree.Len() != 4 {
+		t.Fatalf("Len = %d", tree.Len())
+	}
+	if got := tree.FirstAtLeast(0, 0); got != -1 {
+		t.Fatalf("empty tree FirstAtLeast = %d", got)
+	}
+	tree.Set(2, 5)
+	tree.Set(3, 9)
+	if got := tree.FirstAtLeast(0, 4); got != 2 {
+		t.Fatalf("FirstAtLeast(0,4) = %d, want 2", got)
+	}
+	if got := tree.FirstAtLeast(3, 4); got != 3 {
+		t.Fatalf("FirstAtLeast(3,4) = %d, want 3", got)
+	}
+	if got := tree.FirstAtLeast(0, 10); got != -1 {
+		t.Fatalf("FirstAtLeast(0,10) = %d, want -1", got)
+	}
+	if got := tree.Get(3); got != 9 {
+		t.Fatalf("Get(3) = %v", got)
+	}
+}
+
+func TestMinTreeAscendOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 2, 5, 64, 130} {
+		tree := NewMinTree(n)
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.2 {
+				vals[i] = PosInf
+			} else {
+				// Coarse values force ties, exercising the index tiebreak.
+				vals[i] = float64(rng.Intn(5))
+			}
+			tree.Set(i, vals[i])
+		}
+		type pair struct {
+			v float64
+			i int
+		}
+		var want []pair
+		for i, v := range vals {
+			if v != PosInf {
+				want = append(want, pair{v, i})
+			}
+		}
+		sort.Slice(want, func(a, b int) bool {
+			if want[a].v != want[b].v {
+				return want[a].v < want[b].v
+			}
+			return want[a].i < want[b].i
+		})
+		var got []pair
+		tree.Ascend(nil, func(pos int, val float64) bool {
+			got = append(got, pair{val, pos})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d visited %d positions, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d position %d: got %+v, want %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMinTreeAscendEarlyStop(t *testing.T) {
+	tree := NewMinTree(8)
+	for i := 0; i < 8; i++ {
+		tree.Set(i, float64(8-i))
+	}
+	visited := 0
+	scratch := tree.Ascend(nil, func(pos int, val float64) bool {
+		visited++
+		return visited < 3
+	})
+	if visited != 3 {
+		t.Fatalf("visited %d, want 3", visited)
+	}
+	// The returned scratch is reusable for the next walk.
+	visited = 0
+	tree.Ascend(scratch, func(pos int, val float64) bool {
+		visited++
+		return true
+	})
+	if visited != 8 {
+		t.Fatalf("reused-scratch walk visited %d, want 8", visited)
+	}
+}
+
+func TestMinTreeAddTracksDeltas(t *testing.T) {
+	tree := NewMinTree(3)
+	tree.Set(0, 1)
+	tree.Set(1, 2)
+	tree.Set(2, 3)
+	tree.Add(1, -1.5) // position 1 now 0.5: new minimum
+	first := -1
+	tree.Ascend(nil, func(pos int, _ float64) bool {
+		first = pos
+		return false
+	})
+	if first != 1 {
+		t.Fatalf("min after Add = position %d, want 1", first)
+	}
+	if got := tree.Get(1); got != 0.5 {
+		t.Fatalf("Get(1) = %v, want 0.5", got)
+	}
+}

@@ -103,7 +103,7 @@ func (c *ChurnSimulator) Run() (*ChurnReport, error) {
 		departProb := 1 / c.cfg.MeanLifetime
 		for _, vm := range c.inner.placement.VMs() {
 			if c.inner.rng.Float64() < departProb {
-				if _, err := c.inner.placement.Remove(vm.ID); err != nil {
+				if _, err := c.inner.detachVM(vm.ID); err != nil {
 					return nil, err
 				}
 				if err := c.fleet.Remove(vm.ID); err != nil {
@@ -148,18 +148,14 @@ func (c *ChurnSimulator) admit(vm cloud.VM) (bool, error) {
 	if err := vm.Validate(); err != nil {
 		return false, err
 	}
-	for _, pm := range c.inner.placement.PMs() {
+	for _, pm := range c.inner.led.pms {
 		if c.inner.pmDown(pm.ID) {
 			continue // crashed PMs admit nothing
 		}
-		ok, err := c.arrivalFits(vm, pm)
-		if err != nil {
-			return false, err
-		}
-		if !ok {
+		if !c.arrivalFits(vm, pm) {
 			continue
 		}
-		if err := c.inner.placement.Assign(vm, pm.ID); err != nil {
+		if err := c.inner.attachVM(vm, pm.ID, vm.Demand(markov.Off)); err != nil {
 			return false, err
 		}
 		if err := c.fleet.Add(vm, markov.Off); err != nil {
@@ -170,25 +166,23 @@ func (c *ChurnSimulator) admit(vm cloud.VM) (bool, error) {
 	return false, nil
 }
 
-func (c *ChurnSimulator) arrivalFits(vm cloud.VM, pm cloud.PM) (bool, error) {
+func (c *ChurnSimulator) arrivalFits(vm cloud.VM, pm cloud.PM) bool {
 	p := c.inner.placement
 	if c.cfg.ReservationAwareAdmission {
 		k := p.CountOn(pm.ID)
 		if k+1 > c.table.MaxVMs() {
-			return false, nil
+			return false
 		}
 		blockSize := vm.Re
 		if hosted := p.MaxRe(pm.ID); hosted > blockSize {
 			blockSize = hosted
 		}
 		footprint := p.SumRb(pm.ID) + vm.Rb + blockSize*float64(c.table.Blocks(k+1))
-		return footprint <= pm.Capacity+1e-9, nil
+		return footprint <= pm.Capacity+1e-9
 	}
-	load, err := c.inner.pmLoad(pm.ID, c.fleet.States())
-	if err != nil {
-		return false, err
-	}
-	return load+vm.Rb <= pm.Capacity+1e-9, nil
+	// The ledger's folded load is exactly what the old pmLoad recomputation
+	// returned for the current states (the last sync pass).
+	return c.inner.effLoad(pm.ID)+vm.Rb <= pm.Capacity+1e-9
 }
 
 // ChurnFromStrategy is a convenience that builds the initial placement with

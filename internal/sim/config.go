@@ -106,6 +106,13 @@ type Config struct {
 	// MoveDeadline is the per-move deadline in intervals: a pending retry older
 	// than this is abandoned even if attempts remain. Zero defaults to 16.
 	MoveDeadline int
+	// Shards splits the per-interval demand-sync and measurement passes over
+	// contiguous PM ranges, one worker per shard. Zero or one runs on the
+	// caller's goroutine. Every PM (and the VMs it hosts) is owned by exactly
+	// one shard and per-shard results merge in shard-index order, so a run is
+	// bit-identical for every shard count. Incompatible with RequestNoise,
+	// whose demand draws consume the shared RNG in placement order.
+	Shards int
 }
 
 // withDefaults fills zero values and validates.
@@ -159,6 +166,15 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.MoveDeadline < 0 {
 		return c, fmt.Errorf("sim: MoveDeadline = %d, want ≥ 0", c.MoveDeadline)
+	}
+	if c.Shards < 0 {
+		return c, fmt.Errorf("sim: Shards = %d, want ≥ 0", c.Shards)
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Shards > 1 && c.RequestNoise {
+		return c, fmt.Errorf("sim: RequestNoise draws from the shared RNG in placement order and cannot run sharded; set Shards ≤ 1")
 	}
 	return c, nil
 }

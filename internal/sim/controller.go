@@ -118,9 +118,7 @@ func (c *Controller) reconsolidate(t int) error {
 	}
 	// Moving VMs resets the affected windows so the re-pack does not
 	// immediately trigger reactive evictions from stale history.
-	for _, w := range c.inner.windows {
-		w.reset()
-	}
+	c.inner.resetWindows()
 	released := 0
 	if after := c.inner.placement.NumUsedPMs(); after < before {
 		released = before - after
@@ -156,10 +154,11 @@ func (c *Controller) executePlan(t int, plan *core.Plan) ([]core.Move, error) {
 				mv.VMID, mv.FromPM, cloud.ErrMigrationFailed)
 		}
 		targetWasIdle := c.inner.placement.CountOn(mv.ToPM) == 0
-		if _, err := c.inner.placement.Remove(mv.VMID); err != nil {
+		demand := c.inner.ledgerDemand(mv.VMID)
+		if _, err := c.inner.detachVM(mv.VMID); err != nil {
 			return executed, err
 		}
-		if err := c.inner.placement.Assign(vm, mv.ToPM); err != nil {
+		if err := c.inner.attachVM(vm, mv.ToPM, demand); err != nil {
 			return executed, err
 		}
 		executed = append(executed, mv)
@@ -191,12 +190,13 @@ func (c *Controller) rollback(t int, executed []core.Move, cause error) {
 		if !ok {
 			continue
 		}
-		if _, err := c.inner.placement.Remove(mv.VMID); err != nil {
+		demand := c.inner.ledgerDemand(mv.VMID)
+		if _, err := c.inner.detachVM(mv.VMID); err != nil {
 			continue
 		}
 		// Assign back to the source host cannot fail: the PM exists and the
 		// VM was just detached.
-		_ = c.inner.placement.Assign(vm, mv.FromPM)
+		_ = c.inner.attachVM(vm, mv.FromPM, demand)
 		// The forward move's event and accounting stay in the log — the
 		// migrations happened; the rollback just moves the VMs home again.
 		ev := MigrationEvent{Interval: t, VMID: mv.VMID, FromPM: mv.ToPM, ToPM: mv.FromPM}

@@ -83,7 +83,8 @@ func (s *Simulator) faultsEnabled() bool { return s.cfg.Faults != nil }
 func (s *Simulator) pmDown(pmID int) bool { return s.downPMs[pmID] }
 
 // computeOvershoot refreshes the per-VM demand multipliers for interval t and
-// emits one fault event per overshoot.
+// emits one fault event per overshoot. It walks the ledger's dense registry
+// (attached VMs only) instead of materialising a sorted VM slice per step.
 func (s *Simulator) computeOvershoot(t int) {
 	for id := range s.overshoot {
 		delete(s.overshoot, id)
@@ -91,14 +92,17 @@ func (s *Simulator) computeOvershoot(t int) {
 	if !s.faultsEnabled() {
 		return
 	}
-	for _, vm := range s.placement.VMs() {
-		f := s.cfg.Faults.DemandOvershoot(t, vm.ID)
+	for vi, id := range s.led.vmIDs {
+		if s.led.vmHome[vi] < 0 {
+			continue
+		}
+		f := s.cfg.Faults.DemandOvershoot(t, id)
 		if f > 1 {
-			s.overshoot[vm.ID] = f
+			s.overshoot[id] = f
 			s.faults.Overshoots++
 			if s.tracer.Enabled() {
 				s.tracer.Emit(telemetry.FaultEvent{
-					Interval: t, Type: telemetry.FaultDemandOvershoot, VMID: vm.ID,
+					Interval: t, Type: telemetry.FaultDemandOvershoot, VMID: id,
 				})
 			}
 		}
@@ -112,12 +116,13 @@ func (s *Simulator) applyFaults(t int, states map[int]markov.State) error {
 	if !s.faultsEnabled() {
 		return nil
 	}
-	for _, pm := range s.placement.PMs() {
+	for _, pm := range s.led.pms {
 		down := s.cfg.Faults.PMDown(pm.ID, t)
 		switch {
 		case down && !s.downPMs[pm.ID]:
 			s.downPMs[pm.ID] = true
 			s.downSince[pm.ID] = t
+			s.led.setDown(pm.ID, true)
 			s.faults.PMCrashes++
 			if s.tracer.Enabled() {
 				s.tracer.Emit(telemetry.FaultEvent{
@@ -129,6 +134,7 @@ func (s *Simulator) applyFaults(t int, states map[int]markov.State) error {
 			}
 		case !down && s.downPMs[pm.ID]:
 			delete(s.downPMs, pm.ID)
+			s.led.setDown(pm.ID, false)
 			s.faults.Downtime = append(s.faults.Downtime,
 				DowntimeInterval{PM: pm.ID, Start: s.downSince[pm.ID], End: t})
 			delete(s.downSince, pm.ID)
@@ -151,7 +157,7 @@ func (s *Simulator) evacuate(t, pmID int, states map[int]markov.State) error {
 	}
 	degraded, strandedN := 0, 0
 	for _, vm := range vms {
-		if _, err := s.placement.Remove(vm.ID); err != nil {
+		if _, err := s.detachVM(vm.ID); err != nil {
 			return err
 		}
 		s.faults.EvacuatedVMs++
@@ -187,18 +193,15 @@ func (s *Simulator) placeEvacuee(t int, vm cloud.VM, exclude int, states map[int
 	if err != nil {
 		return false, false, err
 	}
-	target, poweredOn, ok, err := s.pickTarget(exclude, vm, demand, states)
-	if err != nil {
-		return false, false, err
-	}
+	target, poweredOn, ok := s.pickTarget(exclude, vm, demand)
 	if !ok {
-		target, poweredOn, ok, err = s.bestEffortTarget(vm, demand, states)
-		if err != nil || !ok {
-			return false, false, err
+		target, poweredOn, ok = s.bestEffortTarget(vm, demand)
+		if !ok {
+			return false, false, nil
 		}
 		degraded = true
 	}
-	if err := s.placement.Assign(vm, target); err != nil {
+	if err := s.attachVM(vm, target, demand); err != nil {
 		return false, false, err
 	}
 	if poweredOn {
@@ -217,46 +220,31 @@ func (s *Simulator) placeEvacuee(t int, vm cloud.VM, exclude int, states map[int
 
 // bestEffortTarget picks the least-loaded up PM whose raw capacity fits the
 // VM's current demand, ignoring the reservation policy; if no powered-on PM
-// fits, it powers on the lowest-id idle up PM that does.
-func (s *Simulator) bestEffortTarget(vm cloud.VM, demand float64, states map[int]markov.State) (target int, poweredOn, ok bool, err error) {
-	type candidate struct {
-		pmID int
-		load float64
-	}
-	var on []candidate
-	used := make(map[int]bool)
-	for _, pmID := range s.placement.UsedPMs() {
-		used[pmID] = true
-		if s.pmDown(pmID) {
-			continue
+// fits, it powers on the lowest-id idle up PM that does. Like pickTarget it
+// walks the ledger's trees instead of sorting every candidate.
+func (s *Simulator) bestEffortTarget(vm cloud.VM, demand float64) (target int, poweredOn, ok bool) {
+	l := s.led
+	found := -1
+	l.scratch = l.onTree.Ascend(l.scratch, func(pos int, eff float64) bool {
+		if eff+demand <= l.pms[pos].Capacity+1e-9 {
+			found = pos
+			return false
 		}
-		load, lerr := s.pmLoad(pmID, states)
-		if lerr != nil {
-			return 0, false, false, lerr
-		}
-		on = append(on, candidate{pmID, load})
-	}
-	sort.Slice(on, func(i, j int) bool {
-		if on[i].load != on[j].load {
-			return on[i].load < on[j].load
-		}
-		return on[i].pmID < on[j].pmID
+		return true
 	})
-	for _, c := range on {
-		pm, _ := s.placement.PM(c.pmID)
-		if c.load+demand <= pm.Capacity+1e-9 {
-			return c.pmID, false, true, nil
-		}
+	if found >= 0 {
+		return l.pms[found].ID, false, true
 	}
-	for _, pm := range s.placement.PMs() {
-		if used[pm.ID] || s.pmDown(pm.ID) {
-			continue
+	for from := 0; ; {
+		pos := l.idleTree.FirstAtLeast(from, demand-1e-9)
+		if pos < 0 {
+			return 0, false, false
 		}
-		if demand <= pm.Capacity+1e-9 {
-			return pm.ID, true, true, nil
+		if demand <= l.pms[pos].Capacity+1e-9 {
+			return l.pms[pos].ID, true, true
 		}
+		from = pos + 1
 	}
-	return 0, false, false, nil
 }
 
 // retryStranded re-runs the degradation ladder over the stranded queue,
@@ -350,10 +338,7 @@ func (s *Simulator) processRetries(t int, states map[int]markov.State) ([]Migrat
 		if err != nil {
 			return nil, err
 		}
-		target, poweredOn, ok, err := s.pickTarget(pm.fromPM, pm.vm, demand, states)
-		if err != nil {
-			return nil, err
-		}
+		target, poweredOn, ok := s.pickTarget(pm.fromPM, pm.vm, demand)
 		if !ok {
 			// Pool saturated right now; try again after the base backoff
 			// without consuming an attempt. The deadline still bounds this.
@@ -364,14 +349,14 @@ func (s *Simulator) processRetries(t int, states map[int]markov.State) ([]Migrat
 			continue
 		}
 		if s.migrationFails(t, pm.vm.ID, pm.fromPM, pm.attempt) {
-			s.overhead[pm.fromPM] += demand * s.cfg.MigrationOverhead
+			s.led.charge(s.led.pmPos[pm.fromPM], demand*s.cfg.MigrationOverhead)
 			s.scheduleRetry(t, pm.vm, pm.fromPM, pm.attempt, pm.deadline)
 			continue
 		}
-		if _, err := s.placement.Remove(pm.vm.ID); err != nil {
+		if _, err := s.detachVM(pm.vm.ID); err != nil {
 			return nil, err
 		}
-		if err := s.placement.Assign(pm.vm, target); err != nil {
+		if err := s.attachVM(pm.vm, target, demand); err != nil {
 			return nil, err
 		}
 		s.chargeMigration(t, pm.fromPM, target, pm.vm.ID, demand)
@@ -402,9 +387,10 @@ func (s *Simulator) migrationFails(t, vmID, fromPM, attempt int) bool {
 // resets on both ends so one breach does not double-trigger.
 func (s *Simulator) chargeMigration(t, fromPM, toPM, vmID int, demand float64) {
 	cost := demand * s.cfg.MigrationOverhead
-	s.overhead[fromPM] += cost
+	fromPos := s.led.pmPos[fromPM]
+	s.led.charge(fromPos, cost)
 	if s.faultsEnabled() && s.cfg.Faults.MigrationStraggles(t, vmID) {
-		s.overheadNext[fromPM] += cost
+		s.led.chargeNext(fromPos, cost)
 		s.faults.Stragglers++
 		if s.tracer.Enabled() {
 			s.tracer.Emit(telemetry.FaultEvent{
@@ -412,10 +398,10 @@ func (s *Simulator) chargeMigration(t, fromPM, toPM, vmID int, demand float64) {
 			})
 		}
 	}
-	if w := s.windows[fromPM]; w != nil {
+	if w := s.led.windows[fromPos]; w != nil {
 		w.reset()
 	}
-	if w := s.windows[toPM]; w != nil {
+	if w := s.led.windows[s.led.pmPos[toPM]]; w != nil {
 		w.reset()
 	}
 }

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/cloud"
+	"repro/internal/fitindex"
+	"repro/internal/markov"
+)
+
+// ledger is the simulator's flat, index-addressed mirror of the placement:
+// dense per-PM load accumulators and per-VM demand caches that replace the
+// per-step map walks and full pmLoad recomputations of the original engine.
+//
+// PMs are addressed by *position* — their rank in the id-sorted pool — and
+// VMs by a dense registration index, so the per-interval hot path touches
+// slices, not maps. Each PM's folded load is recomputed with the exact
+// overhead-first, id-ordered summation the old pmLoad used, but only when one
+// of its inputs changed (a VM's state flipped, a migration moved a VM, or an
+// overhead charge landed); untouched PMs keep last interval's bit-identical
+// value.
+//
+// Two fitindex trees answer the scheduler's target queries in O(log m):
+// onTree orders powered-on PMs by (effective load, position) — the old
+// sort-all-candidates scan of pickTarget — and idleTree finds the lowest-id
+// idle PM whose capacity fits a demand. Down PMs are excluded from both.
+type ledger struct {
+	// PM side, indexed by position (= rank of the PM id in the sorted pool).
+	pms          []cloud.PM
+	pmPos        map[int]int // PM id → position
+	eff          []float64   // folded load: overhead + Σ hosted demand
+	overhead     []float64   // migration overhead charged this interval
+	overheadNext []float64   // straggler carry-over for the next interval
+	ovhDirty     []int       // positions that may hold nonzero overhead
+	ovhNextDirty []int       // positions that may hold nonzero overheadNext
+	hosted       [][]int32   // VM indices per PM, sorted by VM id
+	down         []bool      // crashed PMs (mirrors Simulator.downPMs)
+	windows      []*slidingWindow
+
+	onTree   *fitindex.MinTree // eff of up, hosting PMs; +Inf otherwise
+	idleTree *fitindex.MaxTree // capacity of up, idle PMs; -Inf otherwise
+	scratch  fitindex.AscendScratch
+
+	// VM side, indexed by dense registration order.
+	vmIDs   []int
+	vmSpec  []cloud.VM
+	vmState []markov.State
+	vmDem   []float64 // demand currently folded into the host's eff
+	vmBoost []float64 // overshoot multiplier baked into vmDem
+	vmHome  []int32   // host position, -1 when detached
+	vmPos   map[int]int
+
+	// Per-VM SLA accounting (dense counterparts of the old maps).
+	vmObserved  []int
+	vmViolation []int
+}
+
+// newLedger builds an empty ledger over the id-sorted PM pool.
+func newLedger(pms []cloud.PM) *ledger {
+	m := len(pms)
+	l := &ledger{
+		pms:          pms,
+		pmPos:        make(map[int]int, m),
+		eff:          make([]float64, m),
+		overhead:     make([]float64, m),
+		overheadNext: make([]float64, m),
+		hosted:       make([][]int32, m),
+		down:         make([]bool, m),
+		windows:      make([]*slidingWindow, m),
+		onTree:       fitindex.NewMinTree(m),
+		idleTree:     fitindex.NewMaxTree(m),
+		vmPos:        make(map[int]int),
+	}
+	for i, pm := range pms {
+		l.pmPos[pm.ID] = i
+		l.refreshPM(i)
+	}
+	return l
+}
+
+// vmIndex returns the VM's dense index, registering it on first sight with
+// the given state (and that state's exact demand level).
+func (l *ledger) vmIndex(vm cloud.VM, st markov.State) int {
+	if vi, ok := l.vmPos[vm.ID]; ok {
+		return vi
+	}
+	vi := len(l.vmIDs)
+	l.vmPos[vm.ID] = vi
+	l.vmIDs = append(l.vmIDs, vm.ID)
+	l.vmSpec = append(l.vmSpec, vm)
+	l.vmState = append(l.vmState, st)
+	l.vmDem = append(l.vmDem, vm.Demand(st))
+	l.vmBoost = append(l.vmBoost, 1)
+	l.vmHome = append(l.vmHome, -1)
+	l.vmObserved = append(l.vmObserved, 0)
+	l.vmViolation = append(l.vmViolation, 0)
+	return vi
+}
+
+// place attaches a VM to a PM, folding the given current demand into the
+// target's load. The demand becomes the VM's cached contribution until the
+// next sync pass revises it.
+func (l *ledger) place(vm cloud.VM, pmID int, demand float64) {
+	vi := l.vmIndex(vm, markov.Off)
+	l.vmSpec[vi] = vm
+	l.vmDem[vi] = demand
+	pos := l.pmPos[pmID]
+	ids := l.hosted[pos]
+	i := sort.Search(len(ids), func(i int) bool { return l.vmIDs[ids[i]] >= vm.ID })
+	ids = append(ids, 0)
+	copy(ids[i+1:], ids[i:])
+	ids[i] = int32(vi)
+	l.hosted[pos] = ids
+	l.vmHome[vi] = int32(pos)
+	l.recompute(pos)
+}
+
+// displace detaches a VM from its host.
+func (l *ledger) displace(vmID int) {
+	vi := l.vmPos[vmID]
+	pos := int(l.vmHome[vi])
+	ids := l.hosted[pos]
+	i := sort.Search(len(ids), func(i int) bool { return l.vmIDs[ids[i]] >= vmID })
+	copy(ids[i:], ids[i+1:])
+	l.hosted[pos] = ids[:len(ids)-1]
+	l.vmHome[vi] = -1
+	l.recompute(pos)
+}
+
+// fold recomputes the PM's effective load from scratch with the same
+// summation order the old pmLoad used (overhead first, then hosted VMs by
+// ascending id), so the result is bit-identical to a fresh recomputation.
+func (l *ledger) fold(pos int) {
+	load := l.overhead[pos]
+	for _, vi := range l.hosted[pos] {
+		load += l.vmDem[vi]
+	}
+	l.eff[pos] = load
+}
+
+// recompute folds the PM's load and pushes the new value into the trees.
+// Only sequential phases may call it; parallel sync passes call fold and
+// defer the tree refresh to the merge step.
+func (l *ledger) recompute(pos int) {
+	l.fold(pos)
+	l.refreshPM(pos)
+}
+
+// refreshPM re-derives the PM's tree entries from its down/hosting state.
+func (l *ledger) refreshPM(pos int) {
+	switch {
+	case l.down[pos]:
+		l.onTree.Set(pos, fitindex.PosInf)
+		l.idleTree.Set(pos, fitindex.NegInf)
+	case len(l.hosted[pos]) > 0:
+		l.onTree.Set(pos, l.eff[pos])
+		l.idleTree.Set(pos, fitindex.NegInf)
+	default:
+		l.onTree.Set(pos, fitindex.PosInf)
+		l.idleTree.Set(pos, l.pms[pos].Capacity)
+	}
+}
+
+// setDown flips the PM's crash state and its tree membership.
+func (l *ledger) setDown(pmID int, down bool) {
+	pos := l.pmPos[pmID]
+	l.down[pos] = down
+	l.refreshPM(pos)
+}
+
+// charge adds migration overhead to the PM for the current interval.
+func (l *ledger) charge(pos int, delta float64) {
+	l.overhead[pos] += delta
+	l.ovhDirty = append(l.ovhDirty, pos)
+	l.recompute(pos)
+}
+
+// chargeNext queues straggler overhead for the next interval.
+func (l *ledger) chargeNext(pos int, delta float64) {
+	l.overheadNext[pos] += delta
+	l.ovhNextDirty = append(l.ovhNextDirty, pos)
+}
+
+// rotateOverhead expires this interval's overhead charges and promotes the
+// straggler carry-over, refolding every touched PM.
+func (l *ledger) rotateOverhead() {
+	for _, pos := range l.ovhDirty {
+		l.overhead[pos] = 0
+	}
+	for _, pos := range l.ovhNextDirty {
+		l.overhead[pos] = l.overheadNext[pos]
+		l.overheadNext[pos] = 0
+	}
+	for _, pos := range l.ovhDirty {
+		l.recompute(pos)
+	}
+	for _, pos := range l.ovhNextDirty {
+		l.recompute(pos)
+	}
+	l.ovhDirty = append(l.ovhDirty[:0], l.ovhNextDirty...)
+	l.ovhNextDirty = l.ovhNextDirty[:0]
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"sync"
+
+	"repro/internal/markov"
+	"repro/internal/metrics"
+)
+
+// The sharded stepping engine partitions the PM pool into contiguous
+// position ranges and runs the two per-interval passes — demand sync and
+// measurement — on one worker per shard. Every PM position (and with it
+// every hosted VM) is owned by exactly one shard, so the passes write
+// disjoint slices; per-PM arithmetic runs in the same order regardless of
+// the shard count, and per-shard results are merged in shard-index order.
+// A run is therefore bit-identical for any shard count, including 1.
+//
+// Everything that crosses PM boundaries — migrations, evacuations, retries,
+// overhead rotation, and the fitindex tree updates (interior tree nodes are
+// shared between positions) — stays in sequential commit phases.
+
+// shardScratch is the per-worker buffer for one step's passes.
+type shardScratch struct {
+	dirty      []int // PM positions whose folded load changed (tree refresh pending)
+	triggered  []int // PM ids whose windowed CVR breached ρ
+	violations int
+}
+
+// scratchPool recycles shard scratch buffers across steps and simulators.
+var scratchPool = sync.Pool{New: func() any { return new(shardScratch) }}
+
+func (sc *shardScratch) reset() {
+	sc.dirty = sc.dirty[:0]
+	sc.triggered = sc.triggered[:0]
+	sc.violations = 0
+}
+
+// shardBounds splits m positions into k contiguous ranges; entry i covers
+// [bounds[i], bounds[i+1]). k is clamped to [1, m].
+func shardBounds(m, k int) []int {
+	if k > m {
+		k = m
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	base, rem := m/k, m%k
+	pos := 0
+	for i := 0; i < k; i++ {
+		bounds[i] = pos
+		pos += base
+		if i < rem {
+			pos++
+		}
+	}
+	bounds[k] = pos
+	return bounds
+}
+
+// shardCount returns the number of shards this run steps with.
+func (s *Simulator) shardCount() int { return len(s.bounds) - 1 }
+
+// runSharded executes fn over every shard's position range — inline for a
+// single shard, on one goroutine per shard otherwise.
+func (s *Simulator) runSharded(fn func(shard, lo, hi int)) {
+	k := s.shardCount()
+	if k == 1 {
+		fn(0, s.bounds[0], s.bounds[1])
+		return
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < k; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			fn(i, s.bounds[i], s.bounds[i+1])
+		}()
+	}
+	wg.Wait()
+}
+
+// borrowScratches leases one scratch per shard from the pool.
+func (s *Simulator) borrowScratches() []*shardScratch {
+	if s.scr == nil {
+		s.scr = make([]*shardScratch, s.shardCount())
+	}
+	for i := range s.scr {
+		sc := scratchPool.Get().(*shardScratch)
+		sc.reset()
+		s.scr[i] = sc
+	}
+	return s.scr
+}
+
+// releaseScratches returns the step's scratches to the pool.
+func (s *Simulator) releaseScratches() {
+	for i, sc := range s.scr {
+		if sc != nil {
+			scratchPool.Put(sc)
+			s.scr[i] = nil
+		}
+	}
+}
+
+// syncLoads refreshes every hosted VM's cached demand against the new
+// workload states and refolds the PMs whose inputs changed. The per-shard
+// passes touch only slices; the tree refresh for dirty positions happens
+// sequentially afterwards because shards share interior tree nodes.
+func (s *Simulator) syncLoads(states map[int]markov.State, scr []*shardScratch) error {
+	if s.cfg.RequestNoise {
+		// Noise draws from the shared RNG in placement order; config
+		// validation pins noisy runs to a single shard.
+		if err := s.syncRange(states, s.bounds[0], s.bounds[1], scr[0]); err != nil {
+			return err
+		}
+	} else {
+		s.runSharded(func(shard, lo, hi int) {
+			// syncRange only errors on noisy demand draws, excluded above.
+			_ = s.syncRange(states, lo, hi, scr[shard])
+		})
+	}
+	for _, sc := range scr {
+		for _, pos := range sc.dirty {
+			s.led.refreshPM(pos)
+		}
+	}
+	return nil
+}
+
+// syncRange is one shard's demand-sync pass over [lo, hi).
+func (s *Simulator) syncRange(states map[int]markov.State, lo, hi int, sc *shardScratch) error {
+	l := s.led
+	noise := s.cfg.RequestNoise
+	faults := s.faultsEnabled()
+	for pos := lo; pos < hi; pos++ {
+		hosted := l.hosted[pos]
+		if len(hosted) == 0 {
+			continue
+		}
+		changed := false
+		for _, vi := range hosted {
+			id := l.vmIDs[vi]
+			st := states[id]
+			boost := 1.0
+			if faults {
+				if f, ok := s.overshoot[id]; ok {
+					boost = f
+				}
+			}
+			if !noise && st == l.vmState[vi] && boost == l.vmBoost[vi] {
+				continue
+			}
+			d, err := s.vmDemand(l.vmSpec[vi], st)
+			if err != nil {
+				return err
+			}
+			l.vmState[vi] = st
+			l.vmBoost[vi] = boost
+			l.vmDem[vi] = d
+			changed = true
+		}
+		if changed {
+			l.fold(pos)
+			sc.dirty = append(sc.dirty, pos)
+		}
+	}
+	return nil
+}
+
+// measureRange is one shard's measurement pass: violation check, CVR meter,
+// per-VM SLA accounting, sliding window, and migration triggering for every
+// up, hosting PM in [lo, hi). The meter is the shard's own; report merges
+// the meters in shard order.
+func (s *Simulator) measureRange(lo, hi int, meter *metrics.CVRMeter, sc *shardScratch) {
+	l := s.led
+	for pos := lo; pos < hi; pos++ {
+		if len(l.hosted[pos]) == 0 || l.down[pos] {
+			continue
+		}
+		pm := l.pms[pos]
+		violated := l.eff[pos] > pm.Capacity+1e-9
+		if violated {
+			sc.violations++
+		}
+		meter.Observe(pm.ID, violated)
+		// A violated PM degrades every tenant on it; attribute the interval
+		// to each hosted VM for the per-VM SLA view.
+		for _, vi := range l.hosted[pos] {
+			l.vmObserved[vi]++
+			if violated {
+				l.vmViolation[vi]++
+			}
+		}
+		w := l.windows[pos]
+		if w == nil {
+			w = newSlidingWindow(s.cfg.Window)
+			l.windows[pos] = w
+		}
+		w.observe(violated)
+		if s.cfg.EnableMigration && w.cvr() > s.cfg.Rho {
+			sc.triggered = append(sc.triggered, pm.ID)
+		}
+	}
+}

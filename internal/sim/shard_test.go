@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestShardBounds(t *testing.T) {
+	cases := []struct {
+		m, k int
+		want []int
+	}{
+		{10, 1, []int{0, 10}},
+		{10, 2, []int{0, 5, 10}},
+		{10, 3, []int{0, 4, 7, 10}},
+		{10, 4, []int{0, 3, 6, 8, 10}},
+		{3, 8, []int{0, 1, 2, 3}}, // k clamps to m
+		{5, 0, []int{0, 5}},       // k clamps to 1
+	}
+	for _, c := range cases {
+		got := shardBounds(c.m, c.k)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("shardBounds(%d, %d) = %v, want %v", c.m, c.k, got, c.want)
+		}
+	}
+}
+
+func TestShardsConfigValidation(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 20, 1)
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(placement, table, Config{Intervals: 10, Rho: 0.01, Shards: -1}, rng); err == nil {
+		t.Error("negative Shards accepted")
+	}
+	noisy := Config{Intervals: 10, Rho: 0.01, Shards: 4, RequestNoise: true, UsersPerUnit: 1}
+	if _, err := New(placement, table, noisy, rng); err == nil {
+		t.Error("Shards > 1 with RequestNoise accepted")
+	}
+}
+
+// shardRun executes one full simulation of the Fig. 9-style setup (RB packing,
+// migration on) with the given shard count and returns the report.
+func shardRun(t *testing.T, strategy core.Strategy, shards int, faults FaultPlan) *Report {
+	t.Helper()
+	placement, table := buildPlacement(t, strategy, 200, 99)
+	cfg := Config{
+		Intervals:         100,
+		Rho:               0.01,
+		EnableMigration:   true,
+		MigrationOverhead: 0.1,
+		Shards:            shards,
+		Faults:            faults,
+	}
+	s, err := New(placement, table, cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// requireIdenticalReports asserts bit-identical equality of every field the
+// shard count could plausibly perturb: aggregate counters, the per-migration
+// event log, per-PM CVRs, per-VM ratios, and both time series.
+func requireIdenticalReports(t *testing.T, want, got *Report, label string) {
+	t.Helper()
+	if got.Intervals != want.Intervals || got.TotalMigrations != want.TotalMigrations ||
+		got.FinalPMs != want.FinalPMs || got.PowerOns != want.PowerOns {
+		t.Fatalf("%s: scalar report fields diverged: got {%d %d %d %d}, want {%d %d %d %d}",
+			label, got.Intervals, got.TotalMigrations, got.FinalPMs, got.PowerOns,
+			want.Intervals, want.TotalMigrations, want.FinalPMs, want.PowerOns)
+	}
+	if !reflect.DeepEqual(got.Events, want.Events) {
+		t.Fatalf("%s: migration event logs diverged (%d vs %d events)", label, len(got.Events), len(want.Events))
+	}
+	if !reflect.DeepEqual(got.PerVMMigrations, want.PerVMMigrations) {
+		t.Fatalf("%s: per-VM migration counts diverged", label)
+	}
+	// Float comparisons are ==, not approximate: the contract is bit identity.
+	wantCVR, gotCVR := want.CVR.All(), got.CVR.All()
+	if len(wantCVR) != len(gotCVR) {
+		t.Fatalf("%s: CVR covers %d PMs, want %d", label, len(gotCVR), len(wantCVR))
+	}
+	for pm, v := range wantCVR {
+		if gotCVR[pm] != v {
+			t.Fatalf("%s: CVR[%d] = %v, want %v", label, pm, gotCVR[pm], v)
+		}
+	}
+	if got.CVR.Mean() != want.CVR.Mean() || got.CVR.Max() != want.CVR.Max() {
+		t.Fatalf("%s: CVR aggregates diverged", label)
+	}
+	if !reflect.DeepEqual(got.VMViolationRatio, want.VMViolationRatio) {
+		t.Fatalf("%s: per-VM violation ratios diverged", label)
+	}
+	for name, pair := range map[string][2]interface {
+		Len() int
+		At(int) (int, float64)
+	}{
+		"migrations": {want.MigrationsOverTime, got.MigrationsOverTime},
+		"pms":        {want.PMsOverTime, got.PMsOverTime},
+	} {
+		w, g := pair[0], pair[1]
+		if g.Len() != w.Len() {
+			t.Fatalf("%s: %s series length %d, want %d", label, name, g.Len(), w.Len())
+		}
+		for i := 0; i < w.Len(); i++ {
+			ws, wv := w.At(i)
+			gs, gv := g.At(i)
+			if ws != gs || wv != gv {
+				t.Fatalf("%s: %s series diverged at %d: (%d,%v) vs (%d,%v)", label, name, i, gs, gv, ws, wv)
+			}
+		}
+	}
+}
+
+func TestShardCountInvariance(t *testing.T) {
+	// The determinism contract: a run is bit-identical for every shard count.
+	// RB packing on the Fig. 9 config exhibits heavy migration churn, so the
+	// whole measure → trigger → migrate pipeline is exercised.
+	seq := shardRun(t, core.FFDByRb{}, 1, nil)
+	if seq.TotalMigrations == 0 {
+		t.Fatal("config does not trigger migrations; test is vacuous")
+	}
+	for _, shards := range []int{2, 4} {
+		sharded := shardRun(t, core.FFDByRb{}, shards, nil)
+		requireIdenticalReports(t, seq, sharded, "shards=2/4")
+	}
+}
+
+func TestShardCountInvarianceUnderFaults(t *testing.T) {
+	// Faults add the overshoot map, crash evacuation, and retry paths to the
+	// sharded sync/measure passes; the invariance must survive all of them.
+	plan := stubPlan{
+		down: func(pmID, interval int) bool {
+			return pmID%7 == 3 && interval >= 20 && interval < 40
+		},
+		fails: func(interval, vmID, attempt int) bool {
+			return attempt == 1 && (interval+vmID)%11 == 0
+		},
+		overshoot: func(interval, vmID int) float64 {
+			if vmID%13 == 5 && interval%9 == 2 {
+				return 1.5
+			}
+			return 1
+		},
+	}
+	seq := shardRun(t, queueStrategy(), 1, plan)
+	sharded := shardRun(t, queueStrategy(), 4, plan)
+	requireIdenticalReports(t, seq, sharded, "faults shards=4")
+	if seq.Faults == nil || sharded.Faults == nil {
+		t.Fatal("fault plan produced no fault report")
+	}
+	if !reflect.DeepEqual(seq.Faults, sharded.Faults) {
+		t.Fatal("fault reports diverged across shard counts")
+	}
+}
+
+func TestShardedStepRace(t *testing.T) {
+	// Hammer the sharded step loop so `go test -race ./internal/sim` can
+	// observe any unsynchronised access between shard workers. More shards
+	// than cores is fine: the point is concurrent goroutines, not speed.
+	placement, table := buildPlacement(t, core.FFDByRb{}, 120, 7)
+	cfg := Config{
+		Intervals:         200,
+		Rho:               0.01,
+		EnableMigration:   true,
+		MigrationOverhead: 0.1,
+		Shards:            8,
+	}
+	s, err := New(placement, table, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,7 +37,9 @@ type DemandSource interface {
 }
 
 // Simulator advances a placement through time. It owns a clone of the
-// initial placement, so the caller's placement is never mutated.
+// initial placement, so the caller's placement is never mutated. All load
+// accounting runs against the flat ledger (see ledger.go); the placement is
+// kept in lock-step for topology queries and reporting.
 type Simulator struct {
 	cfg       Config
 	placement *cloud.Placement
@@ -46,29 +48,28 @@ type Simulator struct {
 	table     *queuing.MappingTable // only for TargetReservationAware
 	tracer    telemetry.Tracer
 
-	meter    *metrics.CVRMeter
-	windows  map[int]*slidingWindow
-	overhead map[int]float64 // extra source-PM load for the current interval
+	led    *ledger
+	bounds []int                // shard → first owned PM position (see shard.go)
+	meters []*metrics.CVRMeter  // one CVR meter per shard, merged at report
+	scr    []*shardScratch      // per-step scratch leases from scratchPool
+	trig   []int                // reusable triggered-PM buffer
 
 	migrationsPerStep *metrics.TimeSeries
 	pmsInUse          *metrics.TimeSeries
 	events            []MigrationEvent
 	perVMMigrations   map[int]int
 	powerOns          int
-	vmViolation       map[int]int // intervals each VM spent on a violated PM
-	vmObserved        map[int]int // intervals each VM was hosted at all
 
 	// Fault-injection state (see faults.go; inert when cfg.Faults is nil).
-	downPMs      map[int]bool    // PMs currently crashed
-	downSince    map[int]int     // crash interval of each down PM
-	overshoot    map[int]float64 // per-VM demand multiplier this interval
-	overheadNext map[int]float64 // straggler overhead carried one extra interval
-	retries      []pendingMove   // failed migrations awaiting retry
-	pendingFrom  map[int]int     // source PM → in-flight retry count
-	stranded     []strandedVM    // evacuees no PM could host yet
-	faults       FaultReport     // running fault accounting
-	evacLatency  int             // Σ intervals stranded evacuees waited
-	evacPlaced   int             // evacuees that found a host
+	downPMs     map[int]bool    // PMs currently crashed (ledger.down mirror)
+	downSince   map[int]int     // crash interval of each down PM
+	overshoot   map[int]float64 // per-VM demand multiplier this interval
+	retries     []pendingMove   // failed migrations awaiting retry
+	pendingFrom map[int]int     // source PM → in-flight retry count
+	stranded    []strandedVM    // evacuees no PM could host yet
+	faults      FaultReport     // running fault accounting
+	evacLatency int             // Σ intervals stranded evacuees waited
+	evacPlaced  int             // evacuees that found a host
 }
 
 // New builds a simulator over (a clone of) the given placement. table may be
@@ -104,27 +105,37 @@ func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg 
 			return nil, fmt.Errorf("sim: demand source does not cover VM %d", vm.ID)
 		}
 	}
-	return &Simulator{
+	clone := placement.Clone()
+	s := &Simulator{
 		cfg:               cfg,
-		placement:         placement.Clone(),
+		placement:         clone,
 		fleet:             source,
 		rng:               rng,
 		table:             table,
 		tracer:            telemetry.OrNop(cfg.Tracer),
-		meter:             metrics.NewCVRMeter(),
-		windows:           make(map[int]*slidingWindow),
-		overhead:          make(map[int]float64),
+		led:               newLedger(clone.PMs()),
 		migrationsPerStep: metrics.NewTimeSeries("migrations"),
 		pmsInUse:          metrics.NewTimeSeries("pms_in_use"),
 		perVMMigrations:   make(map[int]int),
-		vmViolation:       make(map[int]int),
-		vmObserved:        make(map[int]int),
 		downPMs:           make(map[int]bool),
 		downSince:         make(map[int]int),
 		overshoot:         make(map[int]float64),
-		overheadNext:      make(map[int]float64),
 		pendingFrom:       make(map[int]int),
-	}, nil
+	}
+	s.bounds = shardBounds(len(s.led.pms), cfg.Shards)
+	s.meters = make([]*metrics.CVRMeter, s.shardCount())
+	for i := range s.meters {
+		s.meters[i] = metrics.NewCVRMeter()
+	}
+	// Seed the ledger from the cloned placement: register every VM at its
+	// current state and fold its exact demand into its host.
+	for _, vm := range clone.VMs() {
+		st := states[vm.ID]
+		s.led.vmIndex(vm, st)
+		pmID, _ := clone.PMOf(vm.ID)
+		s.led.place(vm, pmID, vm.Demand(st))
+	}
+	return s, nil
 }
 
 // Report summarises a finished run.
@@ -205,7 +216,7 @@ func (s *Simulator) report() *Report {
 		TotalMigrations:    len(s.events),
 		FinalPMs:           s.placement.NumUsedPMs(),
 		PowerOns:           s.powerOns,
-		CVR:                s.meter,
+		CVR:                s.mergedCVR(),
 		MigrationsOverTime: s.migrationsPerStep,
 		PMsOverTime:        s.pmsInUse,
 		Events:             s.events,
@@ -215,12 +226,26 @@ func (s *Simulator) report() *Report {
 	}
 }
 
+// mergedCVR combines the per-shard CVR meters in shard-index order. Each
+// PM's counts live in exactly one shard's meter, so the merge is a disjoint
+// union and independent of the shard count.
+func (s *Simulator) mergedCVR() *metrics.CVRMeter {
+	if len(s.meters) == 1 {
+		return s.meters[0]
+	}
+	merged := metrics.NewCVRMeter()
+	for _, m := range s.meters {
+		merged.Merge(m)
+	}
+	return merged
+}
+
 // vmViolationRatios derives each VM's violated-time fraction.
 func (s *Simulator) vmViolationRatios() map[int]float64 {
-	out := make(map[int]float64, len(s.vmObserved))
-	for id, observed := range s.vmObserved {
+	out := make(map[int]float64, len(s.led.vmObserved))
+	for vi, observed := range s.led.vmObserved {
 		if observed > 0 {
-			out[id] = float64(s.vmViolation[id]) / float64(observed)
+			out[s.led.vmIDs[vi]] = float64(s.led.vmViolation[vi]) / float64(observed)
 		}
 	}
 	return out
@@ -240,17 +265,25 @@ func (r *Report) WorstVMViolation() (vmID int, ratio float64) {
 	return vmID, ratio
 }
 
-// step advances one interval: workload transition, fault injection (PM
-// crashes, evacuations, retry execution), load measurement, and (if enabled)
-// migrations for PMs whose windowed CVR breached ρ.
+// step advances one interval: workload transition, demand sync into the
+// ledger, fault injection (PM crashes, evacuations, retry execution), load
+// measurement, and (if enabled) migrations for PMs whose windowed CVR
+// breached ρ. The sync and measurement passes run sharded (see shard.go);
+// everything that mutates topology stays sequential.
 func (s *Simulator) step(t int) error {
 	s.fleet.Step(s.rng)
 	states := s.fleet.States()
 
-	// Fault phase: refresh overshoot multipliers, advance crash/recovery
-	// state (evacuating crashed PMs), and re-place stranded evacuees, so the
-	// measurement below sees the post-fault topology.
+	// Overshoot multipliers first (they scale demand), then the demand sync:
+	// the fault phase below routes evacuees through the target trees, which
+	// must reflect this interval's loads.
 	s.computeOvershoot(t)
+	scr := s.borrowScratches()
+	defer s.releaseScratches()
+	if err := s.syncLoads(states, scr); err != nil {
+		return err
+	}
+
 	if err := s.applyFaults(t, states); err != nil {
 		return err
 	}
@@ -258,50 +291,20 @@ func (s *Simulator) step(t int) error {
 		return err
 	}
 
-	// Measure every powered-on PM.
-	var triggered []int
+	// Measure every powered-on PM, one shard per worker.
+	s.runSharded(func(shard, lo, hi int) {
+		s.measureRange(lo, hi, s.meters[shard], scr[shard])
+	})
 	violations := 0
-	for _, pmID := range s.placement.UsedPMs() {
-		if s.pmDown(pmID) {
-			continue // defensive: crashed PMs host nothing measurable
-		}
-		load, err := s.pmLoad(pmID, states)
-		if err != nil {
-			return err
-		}
-		pm, _ := s.placement.PM(pmID)
-		violated := load > pm.Capacity+1e-9
-		if violated {
-			violations++
-		}
-		s.meter.Observe(pmID, violated)
-		// A violated PM degrades every tenant on it; attribute the interval
-		// to each hosted VM for the per-VM SLA view.
-		for _, vm := range s.placement.VMsOn(pmID) {
-			s.vmObserved[vm.ID]++
-			if violated {
-				s.vmViolation[vm.ID]++
-			}
-		}
-		w := s.windows[pmID]
-		if w == nil {
-			w = newSlidingWindow(s.cfg.Window)
-			s.windows[pmID] = w
-		}
-		w.observe(violated)
-		if s.cfg.EnableMigration && w.cvr() > s.cfg.Rho {
-			triggered = append(triggered, pmID)
-		}
+	triggered := s.trig[:0]
+	for _, sc := range scr {
+		violations += sc.violations
+		triggered = append(triggered, sc.triggered...)
 	}
+	s.trig = triggered
 	// Overhead charges last one interval — except straggler carry-over, which
 	// lands for one more.
-	for id := range s.overhead {
-		delete(s.overhead, id)
-	}
-	for id, v := range s.overheadNext {
-		s.overhead[id] = v
-		delete(s.overheadNext, id)
-	}
+	s.led.rotateOverhead()
 
 	migrations, stepPowerOns := 0, 0
 	retried, err := s.processRetries(t, states)
@@ -348,30 +351,62 @@ func (s *Simulator) step(t int) error {
 	s.migrationsPerStep.Append(t, float64(migrations))
 	s.pmsInUse.Append(t, float64(s.placement.NumUsedPMs()))
 	if s.tracer.Enabled() {
-		s.tracer.Emit(telemetry.StepEvent{
+		ev := telemetry.StepEvent{
 			Interval:   t,
 			Violations: violations,
 			Migrations: migrations,
 			PowerOns:   stepPowerOns,
 			PMsInUse:   s.placement.NumUsedPMs(),
-		})
+		}
+		if s.shardCount() > 1 {
+			ev.Shards = s.shardCount()
+		}
+		s.tracer.Emit(ev)
 	}
 	return nil
 }
 
-// pmLoad returns the PM's instantaneous load: Σ demand(state) plus any
-// migration overhead charged this interval, with optional request-level
-// noise.
-func (s *Simulator) pmLoad(pmID int, states map[int]markov.State) (float64, error) {
-	load := s.overhead[pmID]
-	for _, vm := range s.placement.VMsOn(pmID) {
-		d, err := s.vmDemand(vm, states[vm.ID])
-		if err != nil {
-			return 0, err
-		}
-		load += d
+// effLoad returns the PM's current effective load — Σ cached demand of its
+// hosted VMs plus any migration overhead charged this interval — straight
+// from the ledger, replacing the old per-call pmLoad recomputation.
+func (s *Simulator) effLoad(pmID int) float64 {
+	return s.led.eff[s.led.pmPos[pmID]]
+}
+
+// attachVM assigns the VM in both the placement and the ledger, folding the
+// given current demand into the target's load.
+func (s *Simulator) attachVM(vm cloud.VM, pmID int, demand float64) error {
+	if err := s.placement.Assign(vm, pmID); err != nil {
+		return err
 	}
-	return load, nil
+	s.led.place(vm, pmID, demand)
+	return nil
+}
+
+// detachVM removes the VM from both the placement and the ledger, returning
+// its former host.
+func (s *Simulator) detachVM(vmID int) (int, error) {
+	pmID, err := s.placement.Remove(vmID)
+	if err != nil {
+		return 0, err
+	}
+	s.led.displace(vmID)
+	return pmID, nil
+}
+
+// ledgerDemand returns the VM's demand as currently folded into the ledger.
+func (s *Simulator) ledgerDemand(vmID int) float64 {
+	return s.led.vmDem[s.led.vmPos[vmID]]
+}
+
+// resetWindows clears every PM's violation window (after a reconsolidation
+// plan rearranged the fleet).
+func (s *Simulator) resetWindows() {
+	for _, w := range s.led.windows {
+		if w != nil {
+			w.reset()
+		}
+	}
 }
 
 // vmDemand returns the VM's demand this interval — the exact model level, or
@@ -405,7 +440,7 @@ func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (Mig
 	if s.pendingFrom[fromPM] > 0 {
 		return MigrationEvent{}, false, nil // a move from this PM is already in flight
 	}
-	victim, ok := s.pickVictim(fromPM, states)
+	victim, ok := s.pickVictim(fromPM)
 	if !ok {
 		return MigrationEvent{}, false, nil
 	}
@@ -413,21 +448,21 @@ func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (Mig
 	if err != nil {
 		return MigrationEvent{}, false, err
 	}
-	target, poweredOn, ok, err := s.pickTarget(fromPM, victim, demand, states)
-	if err != nil || !ok {
-		return MigrationEvent{}, false, err
+	target, poweredOn, ok := s.pickTarget(fromPM, victim, demand)
+	if !ok {
+		return MigrationEvent{}, false, nil
 	}
 	if s.migrationFails(t, victim.ID, fromPM, 1) {
 		// The failed attempt still burned CPU on the source; retry with
 		// backoff under the per-move deadline.
-		s.overhead[fromPM] += demand * s.cfg.MigrationOverhead
+		s.led.charge(s.led.pmPos[fromPM], demand*s.cfg.MigrationOverhead)
 		s.scheduleRetry(t, victim, fromPM, 1, t+s.cfg.MoveDeadline)
 		return MigrationEvent{}, false, nil
 	}
-	if _, err := s.placement.Remove(victim.ID); err != nil {
+	if _, err := s.detachVM(victim.ID); err != nil {
 		return MigrationEvent{}, false, err
 	}
-	if err := s.placement.Assign(victim, target); err != nil {
+	if err := s.attachVM(victim, target, demand); err != nil {
 		return MigrationEvent{}, false, err
 	}
 	// The source pays the migration's CPU overhead next interval, and both
@@ -440,18 +475,19 @@ func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (Mig
 // current demand (evicting it relieves the overflow fastest); if none is ON,
 // the largest VM overall. A PM hosting a single VM keeps it — migrating the
 // only tenant cannot reduce load pressure anywhere it goes.
-func (s *Simulator) pickVictim(pmID int, states map[int]markov.State) (cloud.VM, bool) {
-	vms := s.placement.VMsOn(pmID)
-	if len(vms) <= 1 {
+func (s *Simulator) pickVictim(pmID int) (cloud.VM, bool) {
+	l := s.led
+	hosted := l.hosted[l.pmPos[pmID]]
+	if len(hosted) <= 1 {
 		return cloud.VM{}, false
 	}
 	var best cloud.VM
 	bestDemand, bestOn := -1.0, false
-	for _, vm := range vms {
-		on := states[vm.ID] == markov.On
-		d := vm.Demand(states[vm.ID])
+	for _, vi := range hosted {
+		on := l.vmState[vi] == markov.On
+		d := l.vmSpec[vi].Demand(l.vmState[vi])
 		if (on && !bestOn) || (on == bestOn && d > bestDemand) {
-			best, bestDemand, bestOn = vm, d, on
+			best, bestDemand, bestOn = l.vmSpec[vi], d, on
 		}
 	}
 	return best, true
@@ -459,47 +495,42 @@ func (s *Simulator) pickVictim(pmID int, states map[int]markov.State) (cloud.VM,
 
 // pickTarget chooses the migration target. Powered-on PMs are preferred in
 // ascending order of *current* load (idle deception: the estimate ignores
-// burstiness); if none fits, an off PM is powered on. ok=false means the
-// whole pool is saturated.
-func (s *Simulator) pickTarget(fromPM int, vm cloud.VM, demand float64, states map[int]markov.State) (target int, poweredOn, ok bool, err error) {
-	type candidate struct {
-		pmID int
-		load float64
-	}
-	var on []candidate
-	used := make(map[int]bool)
-	for _, pmID := range s.placement.UsedPMs() {
-		used[pmID] = true
-		if pmID == fromPM || s.pmDown(pmID) {
-			continue
+// burstiness); if none fits, the lowest-id off PM that can host the VM is
+// powered on. ok=false means the whole pool is saturated. The old
+// sort-every-candidate scan is now an ordered walk of the ledger's trees:
+// onTree yields powered-on PMs by (load, id) lazily, idleTree finds the
+// first idle PM with enough raw capacity in O(log m) per probe.
+func (s *Simulator) pickTarget(fromPM int, vm cloud.VM, demand float64) (target int, poweredOn, ok bool) {
+	l := s.led
+	found := -1
+	l.scratch = l.onTree.Ascend(l.scratch, func(pos int, eff float64) bool {
+		pmID := l.pms[pos].ID
+		if pmID == fromPM {
+			return true
 		}
-		load, lerr := s.pmLoad(pmID, states)
-		if lerr != nil {
-			return 0, false, false, lerr
+		if s.targetAdmits(pmID, eff, vm, demand) {
+			found = pos
+			return false
 		}
-		on = append(on, candidate{pmID, load})
-	}
-	sort.Slice(on, func(i, j int) bool {
-		if on[i].load != on[j].load {
-			return on[i].load < on[j].load
-		}
-		return on[i].pmID < on[j].pmID
+		return true
 	})
-	for _, c := range on {
-		if s.targetAdmits(c.pmID, c.load, vm, demand) {
-			return c.pmID, false, true, nil
-		}
+	if found >= 0 {
+		return l.pms[found].ID, false, true
 	}
-	// Power on the lowest-id idle PM that can host the VM.
-	for _, pm := range s.placement.PMs() {
-		if used[pm.ID] || s.pmDown(pm.ID) {
-			continue
+	// Power on the lowest-id idle PM that can host the VM. The tree prunes
+	// by raw capacity; targetAdmits re-verifies exactly (including the
+	// reservation-aware constraint), so a pruned PM is one the old linear
+	// scan would also have rejected.
+	for from := 0; ; {
+		pos := l.idleTree.FirstAtLeast(from, demand-1e-9)
+		if pos < 0 {
+			return 0, false, false
 		}
-		if s.targetAdmits(pm.ID, 0, vm, demand) {
-			return pm.ID, true, true, nil
+		if pmID := l.pms[pos].ID; s.targetAdmits(pmID, 0, vm, demand) {
+			return pmID, true, true
 		}
+		from = pos + 1
 	}
-	return 0, false, false, nil
 }
 
 // targetAdmits applies the policy's admission test for a migration target.

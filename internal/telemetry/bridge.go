@@ -15,11 +15,16 @@ type metricsTracer struct {
 	accepted *Counter
 	rejected *Counter
 
+	indexQueries *Counter
+	indexProbes  *Counter
+	indexHits    *Counter
+
 	steps      *Counter
 	violations *Counter
 	migrations *Counter
 	powerOns   *Counter
 	pmsInUse   *Gauge
+	shards     *Gauge
 
 	planned  *Counter
 	recons   *Counter
@@ -37,9 +42,10 @@ type metricsTracer struct {
 // mapcal_solve_duration_seconds (histogram), mapcal_solves_total and
 // mapcal_cache_hits_total, mapcal_fastpath_solves_total vs
 // mapcal_fallback_solves_total (analytic solve paths vs matrix-backed
-// solvers), placement_decisions_total{decision=...}, sim_steps_total /
+// solvers), placement_decisions_total{decision=...}, the placement_index_*
+// counters (queries/probes/hits of the indexed first-fit), sim_steps_total /
 // sim_violations_total / sim_migrations_total / sim_power_ons_total,
-// sim_pms_in_use (gauge), the reconsolidation counters, and the fault layer
+// sim_pms_in_use / sim_shards (gauges), the reconsolidation counters, and the fault layer
 // (faults_injected_total, migration_retries_total, evacuations_total,
 // degraded_placements_total, reconsolidation_rollbacks_total).
 func NewMetrics(reg *Registry) Tracer {
@@ -52,11 +58,15 @@ func NewMetrics(reg *Registry) Tracer {
 		solveFallback: reg.Counter("mapcal_fallback_solves_total"),
 		accepted:      reg.Counter(`placement_decisions_total{decision="accept"}`),
 		rejected:      reg.Counter(`placement_decisions_total{decision="reject"}`),
+		indexQueries:  reg.Counter("placement_index_queries_total"),
+		indexProbes:   reg.Counter("placement_index_probes_total"),
+		indexHits:     reg.Counter("placement_index_hits_total"),
 		steps:         reg.Counter("sim_steps_total"),
 		violations:    reg.Counter("sim_violations_total"),
 		migrations:    reg.Counter("sim_migrations_total"),
 		powerOns:      reg.Counter("sim_power_ons_total"),
 		pmsInUse:      reg.Gauge("sim_pms_in_use"),
+		shards:        reg.Gauge("sim_shards"),
 		planned:       reg.Counter("reconsolidation_moves_total"),
 		recons:        reg.Counter("reconsolidation_runs_total"),
 		released:      reg.Counter("reconsolidation_released_pms_total"),
@@ -94,12 +104,19 @@ func (m *metricsTracer) Emit(e Event) {
 		} else {
 			m.rejected.Inc()
 		}
+	case PlaceIndexEvent:
+		m.indexQueries.Add(ev.Queries)
+		m.indexProbes.Add(ev.Probes)
+		m.indexHits.Add(ev.Hits)
 	case StepEvent:
 		m.steps.Inc()
 		m.violations.Add(uint64(ev.Violations))
 		m.migrations.Add(uint64(ev.Migrations))
 		m.powerOns.Add(uint64(ev.PowerOns))
 		m.pmsInUse.Set(float64(ev.PMsInUse))
+		if ev.Shards > 0 {
+			m.shards.Set(float64(ev.Shards))
+		}
 	case MigrationTraceEvent:
 		// Counted via StepEvent (reactive) or ReconsolidateEvent (planned);
 		// the per-move record is for the trace, not the aggregates.

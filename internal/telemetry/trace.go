@@ -73,6 +73,21 @@ type PlacementEvent struct {
 // Kind returns "placement".
 func (PlacementEvent) Kind() string { return "placement" }
 
+// PlaceIndexEvent summarises one indexed first-fit run (core.PlacerIndexed):
+// Queries counts VM lookups against the segment-tree index, Probes the exact
+// admission tests run on index candidates, and Hits the lookups resolved by
+// their very first candidate — i.e. the index named the true first-fit PM
+// with no false positive.
+type PlaceIndexEvent struct {
+	Strategy string `json:"strategy"`
+	Queries  uint64 `json:"queries"`
+	Probes   uint64 `json:"probes"`
+	Hits     uint64 `json:"hits"`
+}
+
+// Kind returns "place_index".
+func (PlaceIndexEvent) Kind() string { return "place_index" }
+
 // StepEvent records one simulator interval: how many powered-on PMs violated
 // capacity, and the migrations and power-ons the dynamic scheduler performed
 // in response.
@@ -82,6 +97,9 @@ type StepEvent struct {
 	Migrations int `json:"migrations"`
 	PowerOns   int `json:"power_ons"`
 	PMsInUse   int `json:"pms_in_use"`
+	// Shards is the worker count the simulator stepped with; omitted on
+	// sequential (single-shard) runs.
+	Shards int `json:"shards,omitempty"`
 }
 
 // Kind returns "sim_step".
@@ -287,6 +305,8 @@ func DecodeLine(line []byte) (Record, error) {
 		ev = &SolveEvent{}
 	case "placement":
 		ev = &PlacementEvent{}
+	case "place_index":
+		ev = &PlaceIndexEvent{}
 	case "sim_step":
 		ev = &StepEvent{}
 	case "migration":
