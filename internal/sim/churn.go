@@ -155,7 +155,7 @@ func (c *ChurnSimulator) admit(vm cloud.VM) (bool, error) {
 		if !c.arrivalFits(vm, pm) {
 			continue
 		}
-		if err := c.inner.attachVM(vm, pm.ID, vm.Demand(markov.Off)); err != nil {
+		if err := c.inner.attachVM(vm, pm.ID, markov.Off, 1, vm.Demand(markov.Off)); err != nil {
 			return false, err
 		}
 		if err := c.fleet.Add(vm, markov.Off); err != nil {

@@ -77,6 +77,12 @@ type Config struct {
 	// RequestNoise modulates each VM's demand by the web-request renewal
 	// process of §V-D instead of the exact R_b/R_p levels: demand =
 	// level · actual/expected requests. Requires UsersPerUnit > 0.
+	//
+	// Noise is drawn once per hosted VM per interval during the demand
+	// sync, and every consumer (measurement, target selection, admission)
+	// reads that cached value. The pre-ledger engine redrew noise on every
+	// load query, so noisy fixed-seed runs are NOT replay-compatible with
+	// runs recorded before the fleet-scale engine; noiseless runs are.
 	RequestNoise bool
 	// UsersPerUnit converts demand units to user populations for the
 	// request generator (Table I expresses demand directly in users, so 1;
@@ -111,7 +117,9 @@ type Config struct {
 	// caller's goroutine. Every PM (and the VMs it hosts) is owned by exactly
 	// one shard and per-shard results merge in shard-index order, so a run is
 	// bit-identical for every shard count. Incompatible with RequestNoise,
-	// whose demand draws consume the shared RNG in placement order.
+	// whose demand draws consume the shared RNG in placement order (and
+	// whose one-draw-per-VM-per-interval caching already diverges from
+	// pre-ledger runs — see the RequestNoise comment).
 	Shards int
 }
 

@@ -155,10 +155,11 @@ func (c *Controller) executePlan(t int, plan *core.Plan) ([]core.Move, error) {
 		}
 		targetWasIdle := c.inner.placement.CountOn(mv.ToPM) == 0
 		demand := c.inner.ledgerDemand(mv.VMID)
+		st, boost := c.inner.ledgerWorkload(mv.VMID)
 		if _, err := c.inner.detachVM(mv.VMID); err != nil {
 			return executed, err
 		}
-		if err := c.inner.attachVM(vm, mv.ToPM, demand); err != nil {
+		if err := c.inner.attachVM(vm, mv.ToPM, st, boost, demand); err != nil {
 			return executed, err
 		}
 		executed = append(executed, mv)
@@ -191,12 +192,13 @@ func (c *Controller) rollback(t int, executed []core.Move, cause error) {
 			continue
 		}
 		demand := c.inner.ledgerDemand(mv.VMID)
+		st, boost := c.inner.ledgerWorkload(mv.VMID)
 		if _, err := c.inner.detachVM(mv.VMID); err != nil {
 			continue
 		}
 		// Assign back to the source host cannot fail: the PM exists and the
 		// VM was just detached.
-		_ = c.inner.attachVM(vm, mv.FromPM, demand)
+		_ = c.inner.attachVM(vm, mv.FromPM, st, boost, demand)
 		// The forward move's event and accounting stay in the log — the
 		// migrations happened; the rollback just moves the VMs home again.
 		ev := MigrationEvent{Interval: t, VMID: mv.VMID, FromPM: mv.ToPM, ToPM: mv.FromPM}

@@ -201,7 +201,7 @@ func (s *Simulator) placeEvacuee(t int, vm cloud.VM, exclude int, states map[int
 		}
 		degraded = true
 	}
-	if err := s.attachVM(vm, target, demand); err != nil {
+	if err := s.attachVM(vm, target, states[vm.ID], s.boostOf(vm.ID), demand); err != nil {
 		return false, false, err
 	}
 	if poweredOn {
@@ -356,7 +356,7 @@ func (s *Simulator) processRetries(t int, states map[int]markov.State) ([]Migrat
 		if _, err := s.detachVM(pm.vm.ID); err != nil {
 			return nil, err
 		}
-		if err := s.attachVM(pm.vm, target, demand); err != nil {
+		if err := s.attachVM(pm.vm, target, states[pm.vm.ID], s.boostOf(pm.vm.ID), demand); err != nil {
 			return nil, err
 		}
 		s.chargeMigration(t, pm.fromPM, target, pm.vm.ID, demand)

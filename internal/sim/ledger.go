@@ -98,11 +98,17 @@ func (l *ledger) vmIndex(vm cloud.VM, st markov.State) int {
 }
 
 // place attaches a VM to a PM, folding the given current demand into the
-// target's load. The demand becomes the VM's cached contribution until the
-// next sync pass revises it.
-func (l *ledger) place(vm cloud.VM, pmID int, demand float64) {
-	vi := l.vmIndex(vm, markov.Off)
+// target's load. st and boost name the workload state and overshoot
+// multiplier the demand was derived from; they are cached alongside it so
+// syncRange's skip check stays sound. A VM re-attached after drifting while
+// detached (a stranded evacuee, say) must not keep the stale state it was
+// detached with — the skip check would then miss a later flip back to that
+// state and leave the wrong demand folded for the rest of the run.
+func (l *ledger) place(vm cloud.VM, pmID int, st markov.State, boost, demand float64) {
+	vi := l.vmIndex(vm, st)
 	l.vmSpec[vi] = vm
+	l.vmState[vi] = st
+	l.vmBoost[vi] = boost
 	l.vmDem[vi] = demand
 	pos := l.pmPos[pmID]
 	ids := l.hosted[pos]
@@ -188,7 +194,13 @@ func (l *ledger) rotateOverhead() {
 		l.overhead[pos] = 0
 	}
 	for _, pos := range l.ovhNextDirty {
-		l.overhead[pos] = l.overheadNext[pos]
+		// += rather than =: the same position can appear twice in
+		// ovhNextDirty (a successful retry and a fresh migration from one
+		// PM both straggling in one interval); assignment would let the
+		// duplicate erase the first promotion. overhead[pos] is zero at
+		// this point — only charge() makes it nonzero, and every such
+		// position was just cleared by the ovhDirty pass above.
+		l.overhead[pos] += l.overheadNext[pos]
 		l.overheadNext[pos] = 0
 	}
 	for _, pos := range l.ovhDirty {

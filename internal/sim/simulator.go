@@ -131,9 +131,8 @@ func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg 
 	// current state and fold its exact demand into its host.
 	for _, vm := range clone.VMs() {
 		st := states[vm.ID]
-		s.led.vmIndex(vm, st)
 		pmID, _ := clone.PMOf(vm.ID)
-		s.led.place(vm, pmID, vm.Demand(st))
+		s.led.place(vm, pmID, st, 1, vm.Demand(st))
 	}
 	return s, nil
 }
@@ -374,13 +373,32 @@ func (s *Simulator) effLoad(pmID int) float64 {
 }
 
 // attachVM assigns the VM in both the placement and the ledger, folding the
-// given current demand into the target's load.
-func (s *Simulator) attachVM(vm cloud.VM, pmID int, demand float64) error {
+// given current demand into the target's load. st and boost must be the
+// workload state and overshoot multiplier the demand was computed from (see
+// ledger.place).
+func (s *Simulator) attachVM(vm cloud.VM, pmID int, st markov.State, boost, demand float64) error {
 	if err := s.placement.Assign(vm, pmID); err != nil {
 		return err
 	}
-	s.led.place(vm, pmID, demand)
+	s.led.place(vm, pmID, st, boost, demand)
 	return nil
+}
+
+// boostOf returns the overshoot multiplier vmDemand bakes into this
+// interval's demand for the VM — the boost value syncRange would cache.
+func (s *Simulator) boostOf(vmID int) float64 {
+	if f, ok := s.overshoot[vmID]; ok {
+		return f
+	}
+	return 1
+}
+
+// ledgerWorkload returns the cached workload state and boost the VM's
+// current ledger demand was derived from, for re-attaching a VM at its
+// unchanged demand (plan execution and rollback).
+func (s *Simulator) ledgerWorkload(vmID int) (markov.State, float64) {
+	vi := s.led.vmPos[vmID]
+	return s.led.vmState[vi], s.led.vmBoost[vi]
 }
 
 // detachVM removes the VM from both the placement and the ledger, returning
@@ -462,7 +480,7 @@ func (s *Simulator) migrateFrom(t, fromPM int, states map[int]markov.State) (Mig
 	if _, err := s.detachVM(victim.ID); err != nil {
 		return MigrationEvent{}, false, err
 	}
-	if err := s.attachVM(victim, target, demand); err != nil {
+	if err := s.attachVM(victim, target, states[victim.ID], s.boostOf(victim.ID), demand); err != nil {
 		return MigrationEvent{}, false, err
 	}
 	// The source pays the migration's CPU overhead next interval, and both
