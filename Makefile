@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-smoke bench-compare fuzz cover clean
+.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-smoke bench-compare bench-compare-pr5 loadgen-smoke fuzz cover clean
 
 all: build vet test
 
@@ -18,13 +18,14 @@ vet:
 
 # Race-detector pass over the concurrency-bearing packages: the telemetry
 # registry/tracer (hammered from parallel workers), the experiment runner's
-# parallel table builds, the goroutine-safe solve cache in queuing, the
-# shared log-factorial table in markov, the solver scratch in linalg, and
-# the sharded simulator step loop in sim.
+# parallel table builds, the goroutine-safe solve cache and table cache in
+# queuing, the shared log-factorial table in markov, the solver scratch in
+# linalg, the sharded simulator step loop in sim, and the group-commit
+# admission service in placesvc (equivalence + concurrent churn + snapshots).
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... \
 		./internal/queuing/... ./internal/markov/... ./internal/linalg/... \
-		./internal/sim/... .
+		./internal/sim/... ./internal/placesvc/... .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -46,11 +47,26 @@ bench-pr4:
 	SCALE_BENCH_FULL=1 $(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem \
 		-benchtime 1x -timeout 60m -json ./internal/sim/ ./internal/core/ > BENCH_pr4.json
 
+# Snapshot of the admission-service numbers: BenchmarkServeAdmit (1/4/16
+# clients) vs BenchmarkSerialAdmit across the 1k/10k/100k PM ladder, plus a
+# loadgen throughput line in the same test2json dialect. Note the concurrency
+# speedup only shows on a multi-core runner; a single-core box measures the
+# queue-hop overhead instead.
+bench-pr5:
+	SCALE_BENCH_FULL=1 $(GO) test -run '^$$' -bench 'Admit' -benchmem \
+		-benchtime 10000x -timeout 30m -json ./internal/placesvc/ > BENCH_pr5.json
+	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 20000 -bench >> BENCH_pr5.json
+
 # Quick scale smoke (n = 10k only) — the CI guard that the scale paths keep
 # working without paying for the full ladder.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkScale' -benchmem -benchtime 1x \
 		./internal/sim/ ./internal/core/
+
+# Loadgen smoke: a short concurrent serving run (1k PMs, 4 clients) — the CI
+# guard that the admission service sustains concurrent clients end to end.
+loadgen-smoke:
+	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 10000
 
 # Diff two committed benchmark snapshots. Fails when a critical benchmark
 # (Fig7 MapCal or MappingTable, by default) regresses by more than 20%.
@@ -61,6 +77,19 @@ NEW ?= BENCH_pr2.json
 DIFFFLAGS ?=
 bench-compare:
 	$(GO) run ./cmd/benchdiff -old $(OLD) -new $(NEW) $(DIFFFLAGS)
+
+# Gate the admission path against its committed snapshot: >20% ns/op or
+# allocs/op regression on the Admit/Loadgen benchmarks fails the target.
+bench-compare-pr5: BENCH_pr5_new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr5.json -new BENCH_pr5_new.json \
+		-critical 'BenchmarkServeAdmit|BenchmarkSerialAdmit|BenchmarkLoadgen' -allocs
+
+# Fresh measurement of the admission benchmarks for bench-compare-pr5 (not
+# committed; delete after comparing).
+BENCH_pr5_new.json:
+	SCALE_BENCH_FULL=1 $(GO) test -run '^$$' -bench 'Admit' -benchmem \
+		-benchtime 10000x -timeout 30m -json ./internal/placesvc/ > $@
+	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 20000 -bench >> $@
 
 # Short fuzz smoke of the solver-agreement, MapCal, and fault-plan contracts.
 fuzz:

@@ -41,6 +41,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/markov"
+	"repro/internal/placesvc"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -175,6 +176,42 @@ func MapCal(k int, pOn, pOff, rho float64) (MapCalResult, error) {
 // NewMappingTable precomputes mapping(k) for all k in [1, d].
 func NewMappingTable(d int, pOn, pOff, rho float64) (*MappingTable, error) {
 	return queuing.NewMappingTable(d, pOn, pOff, rho)
+}
+
+// TableCache memoises whole mapping tables keyed by (d, p_on, p_off, ρ) with
+// singleflight semantics: concurrent requests for the same cohort perform one
+// solve and share the instance. Point QueuingFFD.Tables,
+// ExperimentOptions.Tables, and AdmissionConfig strategies at one cache to
+// share tables across the whole process.
+type TableCache = queuing.TableCache
+
+// NewTableCache creates an empty mapping-table cache.
+func NewTableCache() *TableCache { return queuing.NewTableCache() }
+
+// SharedTables returns the process-wide default table cache, used by every
+// online consolidator whose strategy doesn't carry its own.
+func SharedTables() *TableCache { return queuing.SharedTables() }
+
+// Admission serving (internal/placesvc).
+type (
+	// AdmissionService is the concurrent group-commit front-end over Online:
+	// many callers submit arrivals/departures, one committer batches them,
+	// reads run lock-free against immutable snapshots.
+	AdmissionService = placesvc.Service
+	// AdmissionConfig parameterises an AdmissionService.
+	AdmissionConfig = placesvc.Config
+	// AdmissionSnapshot is an immutable view of the service state.
+	AdmissionSnapshot = placesvc.Snapshot
+	// AdmissionStats is the counter block published with each snapshot.
+	AdmissionStats = placesvc.Stats
+)
+
+// ErrAdmissionClosed is returned for requests submitted after Close.
+var ErrAdmissionClosed = placesvc.ErrClosed
+
+// NewAdmissionService starts an admission service; see placesvc.New.
+func NewAdmissionService(cfg AdmissionConfig) (*AdmissionService, error) {
+	return placesvc.New(cfg)
 }
 
 // Workload model (internal/markov, internal/workload).

@@ -29,6 +29,7 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/queuing"
 	"repro/internal/telemetry"
 )
 
@@ -77,7 +78,9 @@ func run(args []string, stdout io.Writer) error {
 
 	switch *strategy {
 	case "queue":
-		s := core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM, Tracer: tracer}
+		// The shared table cache folds the Place and Table calls below into
+		// one MapCal pass: Place solves the table, Table reuses it.
+		s := core.QueuingFFD{Rho: fleet.Rho, MaxVMsPerPM: fleet.MaxVMsPerPM, Tracer: tracer, Tables: queuing.SharedTables()}
 		res, err := s.Place(fleet.VMs, fleet.PMs)
 		if err != nil {
 			return err

@@ -1,0 +1,277 @@
+// Command loadgen drives the placesvc admission service with N concurrent
+// clients replaying a seeded ON-OFF workload, and reports admission
+// throughput. It is the serving-path counterpart of cmd/simulate: the fleet's
+// transitions come from workload.HashedFleet, whose draws are pure functions
+// of (seed, VM id, interval) — so the workload each client replays is
+// identical at any client count, and two runs with the same seed submit the
+// same requests.
+//
+// Usage:
+//
+//	loadgen [-pms 1000] [-vms 4000] [-clients 4] [-ops 20000] [-batch 256]
+//	        [-maxwait 0] [-seed 42] [-rho 0.01] [-d 16] [-bench]
+//	        [-trace t.jsonl] [-metrics-addr 127.0.0.1:9090]
+//
+// Each client owns a static partition of the fleet and walks it through the
+// ON-OFF chain: an OFF→ON transition submits Arrive, an ON→OFF transition of
+// a placed VM submits Depart. Rejected arrivals (pool exhaustion) are counted
+// and the VM retries at its next OFF→ON transition. The run stops once the
+// clients have submitted -ops requests in total.
+//
+// -bench emits the result as a test2json benchmark line
+// (BenchmarkLoadgen/m=…/clients=…) so the snapshot can be concatenated into a
+// BENCH_*.json file and diffed with cmd/benchdiff.
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/markov"
+	"repro/internal/placesvc"
+	"repro/internal/queuing"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	pms     int
+	vms     int
+	clients int
+	ops     int
+	batch   int
+	maxWait time.Duration
+	seed    int64
+	rho     float64
+	d       int
+	bench   bool
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var cfg config
+	fs.IntVar(&cfg.pms, "pms", 1000, "PM pool size")
+	fs.IntVar(&cfg.vms, "vms", 0, "fleet size (default 4×pms)")
+	fs.IntVar(&cfg.clients, "clients", 4, "concurrent client goroutines")
+	fs.IntVar(&cfg.ops, "ops", 20000, "total requests to submit across all clients")
+	fs.IntVar(&cfg.batch, "batch", 256, "service MaxBatch (1 disables coalescing)")
+	fs.DurationVar(&cfg.maxWait, "maxwait", 0, "service MaxWait batch-fill deadline (0 = commit whatever is queued)")
+	fs.Int64Var(&cfg.seed, "seed", 42, "workload seed")
+	fs.Float64Var(&cfg.rho, "rho", 0.01, "CVR threshold ρ")
+	fs.IntVar(&cfg.d, "d", 16, "max VMs per PM (table dimension)")
+	fs.BoolVar(&cfg.bench, "bench", false, "emit a test2json benchmark line instead of the human summary")
+	var tf telemetry.Flags
+	tf.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if cfg.vms == 0 {
+		cfg.vms = 4 * cfg.pms
+	}
+	if err := validate(cfg); err != nil {
+		fs.Usage()
+		return err
+	}
+	if _, err := tf.Activate(); err != nil {
+		return err
+	}
+	defer tf.Close()
+	if url := tf.MetricsURL(); url != "" {
+		fmt.Fprintln(os.Stderr, "loadgen: serving metrics at", url)
+	}
+	reg := tf.Registry()
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+
+	rng := rand.New(rand.NewSource(cfg.seed))
+	vms, err := workload.GenerateVMs(workload.DefaultFleetParams(workload.PatternEqual, cfg.vms), rng)
+	if err != nil {
+		return err
+	}
+	pms, err := workload.GeneratePMs(cfg.pms, 80, 100, rng)
+	if err != nil {
+		return err
+	}
+	svc, err := placesvc.New(placesvc.Config{
+		Strategy: core.QueuingFFD{Rho: cfg.rho, MaxVMsPerPM: cfg.d, Tables: queuing.SharedTables()},
+		PMs:      pms,
+		POn:      0.01,
+		POff:     0.09,
+		MaxBatch: cfg.batch,
+		MaxWait:  cfg.maxWait,
+		Registry: reg,
+	})
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+
+	// Static round-robin partition: client c owns vms[c], vms[c+clients], …
+	// HashedFleet trajectories are pure functions of (seed, id, t), so each
+	// client stepping only its partition replays exactly the global fleet's
+	// transitions for those VMs.
+	start := time.Now()
+	var wg sync.WaitGroup
+	results := make([]clientResult, cfg.clients)
+	for c := 0; c < cfg.clients; c++ {
+		quota := cfg.ops / cfg.clients
+		if c < cfg.ops%cfg.clients {
+			quota++
+		}
+		var part []cloud.VM
+		for i := c; i < len(vms); i += cfg.clients {
+			part = append(part, vms[i])
+		}
+		if quota == 0 || len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(c, quota int, part []cloud.VM) {
+			defer wg.Done()
+			results[c] = runClient(svc, part, cfg.seed, quota)
+		}(c, quota, part)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total clientResult
+	for _, r := range results {
+		if r.err != nil && total.err == nil {
+			total.err = r.err
+		}
+		total.ops += r.ops
+		total.placed += r.placed
+		total.rejected += r.rejected
+		total.departed += r.departed
+	}
+	if total.err != nil {
+		return total.err
+	}
+	if total.ops == 0 {
+		return fmt.Errorf("no requests submitted")
+	}
+
+	if cfg.bench {
+		// A test2json "output" event carrying a benchmark result line, so the
+		// run concatenates into the BENCH_*.json snapshots benchfmt parses.
+		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d \t%8d\t%12.1f ns/op\n",
+			cfg.pms, cfg.clients, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops))
+		data, err := json.Marshal(struct {
+			Action string
+			Output string
+		}{"output", line})
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(stdout, string(data))
+		return err
+	}
+
+	st := svc.Stats()
+	fmt.Fprintf(stdout, "loadgen: m=%d PMs, %d VMs, %d clients, batch=%d\n", cfg.pms, cfg.vms, cfg.clients, cfg.batch)
+	fmt.Fprintf(stdout, "  %d ops in %v: %.0f ops/sec\n", total.ops, elapsed.Round(time.Millisecond), float64(total.ops)/elapsed.Seconds())
+	fmt.Fprintf(stdout, "  placed %d, rejected %d, departed %d, live %d on %d PMs\n",
+		total.placed, total.rejected, total.departed, st.VMs, st.UsedPMs)
+	fmt.Fprintf(stdout, "  %d commits, mean batch %.1f\n", st.Commits, float64(st.Requests)/float64(st.Commits))
+	return nil
+}
+
+func validate(cfg config) error {
+	if cfg.pms < 1 || cfg.vms < 1 {
+		return fmt.Errorf("-pms and -vms must be ≥ 1")
+	}
+	if cfg.clients < 1 {
+		return fmt.Errorf("-clients must be ≥ 1, got %d", cfg.clients)
+	}
+	if cfg.ops < 1 {
+		return fmt.Errorf("-ops must be ≥ 1, got %d", cfg.ops)
+	}
+	if cfg.batch < 1 {
+		return fmt.Errorf("-batch must be ≥ 1, got %d", cfg.batch)
+	}
+	if cfg.maxWait < 0 {
+		return fmt.Errorf("-maxwait must be ≥ 0, got %v", cfg.maxWait)
+	}
+	if cfg.rho <= 0 || cfg.rho >= 1 {
+		return fmt.Errorf("-rho = %v outside (0,1)", cfg.rho)
+	}
+	if cfg.d < 1 {
+		return fmt.Errorf("-d must be ≥ 1, got %d", cfg.d)
+	}
+	return nil
+}
+
+type clientResult struct {
+	ops      int
+	placed   int
+	rejected int
+	departed int
+	err      error
+}
+
+// runClient walks its partition through the ON-OFF chain and submits the
+// transitions until its quota of requests is spent.
+func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int) clientResult {
+	var res clientResult
+	fleet, err := workload.NewHashedFleet(part, seed)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	prev := make(map[int]markov.State, len(part))
+	placed := make(map[int]bool, len(part))
+	for res.ops < quota {
+		states := fleet.States()
+		for id, st := range states {
+			prev[id] = st
+		}
+		fleet.Step(nil)
+		for _, vm := range part {
+			if res.ops >= quota {
+				return res
+			}
+			now := states[vm.ID]
+			was := prev[vm.ID]
+			switch {
+			case was == markov.Off && now == markov.On && !placed[vm.ID]:
+				res.ops++
+				if _, err := svc.Arrive(vm); err != nil {
+					if errors.Is(err, cloud.ErrNoCapacity) {
+						res.rejected++
+						continue
+					}
+					res.err = err
+					return res
+				}
+				res.placed++
+				placed[vm.ID] = true
+			case was == markov.On && now == markov.Off && placed[vm.ID]:
+				res.ops++
+				if err := svc.Depart(vm.ID); err != nil {
+					res.err = err
+					return res
+				}
+				res.departed++
+				placed[vm.ID] = false
+			}
+		}
+	}
+	return res
+}

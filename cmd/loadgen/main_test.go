@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+
+	"repro/internal/benchfmt"
+)
+
+func TestRunSummary(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-pms", "100", "-vms", "400", "-clients", "4", "-ops", "2000", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"m=100 PMs", "2000 ops", "ops/sec", "commits"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// Two runs with the same seed submit the same workload: the placed/rejected/
+// departed accounting in the summary is identical.
+func TestRunDeterministicWorkload(t *testing.T) {
+	line := func() string {
+		var out strings.Builder
+		if err := run([]string{"-pms", "100", "-clients", "1", "-ops", "2000", "-seed", "11"}, &out); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.Contains(l, "placed") {
+				return l
+			}
+		}
+		t.Fatal("no accounting line in summary")
+		return ""
+	}
+	if a, b := line(), line(); a != b {
+		t.Errorf("same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+// -bench output must round-trip through benchfmt, the parser the benchdiff
+// gate uses on BENCH_*.json snapshots.
+func TestRunBenchOutputParses(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-pms", "100", "-vms", "400", "-clients", "2", "-ops", "1000", "-bench"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := benchfmt.Parse(bufio.NewScanner(strings.NewReader(out.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := results["BenchmarkLoadgen/m=100/clients=2"]
+	if !ok {
+		t.Fatalf("BenchmarkLoadgen missing from parsed results %v", results)
+	}
+	if r.Iters != 1000 || r.NsPerOp <= 0 {
+		t.Errorf("parsed %+v, want 1000 iters and positive ns/op", r)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-pms", "0"},
+		{"-clients", "0"},
+		{"-ops", "0"},
+		{"-batch", "0"},
+		{"-maxwait", "-1s"},
+		{"-rho", "1.5"},
+		{"-d", "0"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/cloud"
@@ -27,12 +28,15 @@ type Online struct {
 }
 
 // NewOnline creates an online consolidator over an (initially empty) PM pool.
-// The mapping table is seeded from the given switch probabilities.
+// The mapping table is seeded from the given switch probabilities. Tables are
+// fetched through the strategy's TableCache (the process-wide shared cache by
+// default), so constructing many Online instances — or refreshing one — for a
+// cohort already seen anywhere in the process reuses the solved table.
 func NewOnline(strategy QueuingFFD, pms []cloud.PM, pOn, pOff float64) (*Online, error) {
 	if strategy.MaxVMsPerPM < 1 {
 		return nil, fmt.Errorf("core: online consolidator needs MaxVMsPerPM ≥ 1, got %d", strategy.MaxVMsPerPM)
 	}
-	table, err := queuing.NewMappingTable(strategy.MaxVMsPerPM, pOn, pOff, strategy.Rho)
+	table, err := strategy.tables().NewMappingTable(strategy.MaxVMsPerPM, pOn, pOff, strategy.Rho)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +104,10 @@ func (o *Online) Depart(vmID int) error {
 
 // ArriveBatch places a batch of new VMs using the same cluster-and-sort
 // scheme as Algorithm 2 ("when a batch of new VMs arrives, we use the same
-// scheme to place them"). VMs that fit nowhere are returned.
+// scheme to place them"). VMs that fit nowhere are returned in unplaced; any
+// failure other than pool exhaustion (a corrupted assignment, a duplicate VM
+// id) aborts the batch and is returned as the error, leaving the
+// already-placed prefix in place.
 func (o *Online) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
 	if err := cloud.ValidateVMs(vms); err != nil {
 		return nil, err
@@ -111,6 +118,9 @@ func (o *Online) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
 	}
 	for _, vm := range ordered {
 		if _, err := o.Arrive(vm); err != nil {
+			if !errors.Is(err, cloud.ErrNoCapacity) {
+				return nil, err
+			}
 			unplaced = append(unplaced, vm)
 		}
 	}
@@ -130,7 +140,7 @@ func (o *Online) RefreshTable() error {
 	if err != nil {
 		return err
 	}
-	table, err := queuing.NewMappingTable(o.strategy.MaxVMsPerPM, pOn, pOff, o.strategy.Rho)
+	table, err := o.strategy.tables().NewMappingTable(o.strategy.MaxVMsPerPM, pOn, pOff, o.strategy.Rho)
 	if err != nil {
 		return err
 	}

@@ -8,6 +8,7 @@ import (
 	"testing/quick"
 
 	"repro/internal/cloud"
+	"repro/internal/queuing"
 )
 
 func newOnlineT(t *testing.T, pms []cloud.PM) *Online {
@@ -154,6 +155,117 @@ func TestOnlineArriveBatchReportsUnplaced(t *testing.T) {
 	}
 	if _, err := o.ArriveBatch([]cloud.VM{{ID: 9, POn: 0, POff: 0.1, Rb: 1, Re: 1}}); err == nil {
 		t.Error("invalid batch accepted")
+	}
+}
+
+// Regression: ArriveBatch must distinguish pool exhaustion (the VM lands in
+// unplaced) from real errors (the batch aborts). A VM whose id duplicates an
+// already-placed VM fails Assign — before the fix it silently joined
+// unplaced, masking the corruption.
+func TestOnlineArriveBatchAbortsOnRealError(t *testing.T) {
+	o := newOnlineT(t, mkPool(4, 100))
+	if _, err := o.Arrive(mkVM(7, 10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// A batch holding a duplicate of the placed VM: the duplicate passes
+	// validation and Eq. (17), then Assign rejects it.
+	unplaced, err := o.ArriveBatch([]cloud.VM{mkVM(1, 10, 5), mkVM(7, 10, 5)})
+	if err == nil {
+		t.Fatal("batch with duplicate VM id did not abort")
+	}
+	if errors.Is(err, cloud.ErrNoCapacity) {
+		t.Errorf("abort error %v wrongly wraps ErrNoCapacity", err)
+	}
+	if unplaced != nil {
+		t.Errorf("aborted batch returned unplaced = %v", unplaced)
+	}
+	// Genuine exhaustion still reports unplaced without an error.
+	tiny := newOnlineT(t, mkPool(1, 25))
+	unplaced, err = tiny.ArriveBatch([]cloud.VM{mkVM(1, 15, 2), mkVM(2, 15, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unplaced) != 1 {
+		t.Errorf("expected 1 unplaced on exhaustion, got %d", len(unplaced))
+	}
+}
+
+// After RefreshTable swaps the mapping table, refreshAll must leave the
+// persistent index in exactly the state a fresh build over the same placement
+// would produce — every PM's cached headroom score identical.
+func TestOnlineRefreshAllMatchesFreshIndex(t *testing.T) {
+	s := QueuingFFD{Rho: 0.20, MaxVMsPerPM: 16}
+	pms := mkPool(8, 60)
+	o, err := NewOnline(s, pms, 0.01, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.index == nil {
+		t.Fatal("default placer did not build an index")
+	}
+	// Burstier-than-seed VMs, so the refreshed table (mean p_on = 0.3,
+	// p_off = 0.05) demands more blocks and every score tightens.
+	for id := 0; id < 12; id++ {
+		vm := cloud.VM{ID: id, POn: 0.3, POff: 0.05, Rb: 8, Re: 6}
+		if _, err := o.Arrive(vm); err != nil {
+			t.Fatalf("arrival %d rejected: %v", id, err)
+		}
+	}
+	before := make([]float64, o.index.tree.Len())
+	for i := range before {
+		before[i] = o.index.tree.Get(i)
+	}
+	if err := o.RefreshTable(); err != nil {
+		t.Fatal(err)
+	}
+	fresh := newPlaceIndex(o.place, pms, s.fitSpec(func() *queuing.MappingTable { return o.table }))
+	tightened := false
+	for i := 0; i < fresh.tree.Len(); i++ {
+		got, want := o.index.tree.Get(i), fresh.tree.Get(i)
+		if got != want {
+			t.Errorf("pos %d: rescored %v, fresh build %v", i, got, want)
+		}
+		if got != before[i] {
+			tightened = true
+		}
+	}
+	if !tightened {
+		t.Error("refresh changed no score; scenario does not exercise rescoring")
+	}
+	// Overflows must agree with a direct audit of the tightened table.
+	want := cloud.CheckReserved(o.Placement(), o.Table())
+	got := o.Overflows()
+	if len(got) != len(want) {
+		t.Fatalf("Overflows reported %d violations, CheckReserved %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i].PMID != want[i].PMID {
+			t.Errorf("violation %d: PM %d vs %d", i, got[i].PMID, want[i].PMID)
+		}
+	}
+}
+
+// Depart of an unknown VM id must error without disturbing the index: the
+// same arrivals succeed afterwards, and scores stay untouched.
+func TestOnlineDepartUnknownKeepsIndexIntact(t *testing.T) {
+	o := newOnlineT(t, mkPool(3, 100))
+	if _, err := o.Arrive(mkVM(1, 10, 5)); err != nil {
+		t.Fatal(err)
+	}
+	before := make([]float64, o.index.tree.Len())
+	for i := range before {
+		before[i] = o.index.tree.Get(i)
+	}
+	if err := o.Depart(42); err == nil {
+		t.Fatal("departing unknown VM accepted")
+	}
+	for i := range before {
+		if got := o.index.tree.Get(i); got != before[i] {
+			t.Errorf("pos %d: score drifted %v → %v after failed depart", i, before[i], got)
+		}
+	}
+	if pmID, err := o.Arrive(mkVM(2, 10, 5)); err != nil || pmID != 0 {
+		t.Errorf("arrival after failed depart: pm %d, err %v", pmID, err)
 	}
 }
 

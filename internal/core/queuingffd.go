@@ -84,6 +84,25 @@ type QueuingFFD struct {
 	// so every table build after the first is served from cache; hits are
 	// visible in the trace as SolveEvents with cache_hit = true.
 	Cache *queuing.SolveCache
+	// Tables optionally memoises whole mapping tables keyed by
+	// (d, p_on, p_off, ρ) with singleflight semantics, so concurrent
+	// refreshes of the same cohort solve once and independently constructed
+	// consumers share tables. When set it takes precedence over Cache for
+	// Table calls; cache hits emit no SolveEvents at all (the table was not
+	// solved). Online consolidators always use a table cache — Tables when
+	// set, queuing.SharedTables() otherwise.
+	Tables *queuing.TableCache
+}
+
+// tables returns the strategy's table cache, defaulting to the process-wide
+// shared cache. Only the Online path consults this unconditionally; offline
+// Table calls use Tables solely when explicitly set, preserving their traced
+// solve-per-build behavior.
+func (s QueuingFFD) tables() *queuing.TableCache {
+	if s.Tables != nil {
+		return s.Tables
+	}
+	return queuing.SharedTables()
 }
 
 // Name returns "QUEUE".
@@ -103,10 +122,16 @@ func (s QueuingFFD) Table(vms []cloud.VM) (*queuing.MappingTable, error) {
 	if err != nil {
 		return nil, err
 	}
-	if s.Cache != nil {
-		return s.Cache.NewMappingTable(s.MaxVMsPerPM, pOn, pOff, s.Rho, s.Tracer)
+	build := func() (*queuing.MappingTable, error) {
+		if s.Cache != nil {
+			return s.Cache.NewMappingTable(s.MaxVMsPerPM, pOn, pOff, s.Rho, s.Tracer)
+		}
+		return queuing.NewMappingTableTraced(s.MaxVMsPerPM, pOn, pOff, s.Rho, s.Tracer)
 	}
-	return queuing.NewMappingTableTraced(s.MaxVMsPerPM, pOn, pOff, s.Rho, s.Tracer)
+	if s.Tables != nil {
+		return s.Tables.Get(s.MaxVMsPerPM, pOn, pOff, s.Rho, build)
+	}
+	return build()
 }
 
 // Place runs the complete Algorithm 2.
@@ -159,6 +184,14 @@ func (s QueuingFFD) fitSpec(table func() *queuing.MappingTable) fitSpec {
 			return free
 		},
 	}
+}
+
+// Order exposes the Algorithm 2 cluster-and-sort (lines 7–9) for callers
+// that apply placements themselves — the batched admission service orders
+// each coalesced arrival batch with it before committing. The input is not
+// mutated; the returned slice is freshly allocated.
+func (s QueuingFFD) Order(vms []cloud.VM) ([]cloud.VM, error) {
+	return s.order(vms)
 }
 
 // order performs Algorithm 2 lines 7–9: cluster by similar R_e, sort clusters

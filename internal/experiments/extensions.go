@@ -24,7 +24,7 @@ func runAblate(opt Options) error {
 	if err != nil {
 		return err
 	}
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}
@@ -84,7 +84,7 @@ func runAblate(opt Options) error {
 // server power model: total energy per strategy over the evaluation period,
 // including the per-migration cost.
 func runEnergy(opt Options) error {
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}
@@ -123,7 +123,7 @@ func init() {
 // load only (RB — the idle-deception admission). The table contrasts the two
 // admission rules under identical churn.
 func runChurn(opt Options) error {
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}
@@ -172,7 +172,7 @@ func runChurn(opt Options) error {
 // reactive migration plus periodic reconsolidation with Algorithm 2 — the
 // §IV-E "recalculation" closed into a control loop.
 func runRecon(opt Options) error {
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}

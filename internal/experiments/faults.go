@@ -36,7 +36,7 @@ func runFaultCVR(opt Options) error {
 	if err != nil {
 		return err
 	}
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}

@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"repro/internal/faults"
+	"repro/internal/queuing"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -54,6 +55,13 @@ type Options struct {
 	// (default: faults.CrashTest — the 5%-PM-crash scenario). Other
 	// experiments ignore it.
 	Faults *faults.Schedule
+	// Tables, when set, deduplicates the mapping-table build every experiment
+	// starts with: experiments sharing a cache (and the same (d, p_on, p_off,
+	// ρ) cohort) solve the table once and share the instance — including with
+	// core.Online and placesvc services pointed at the same cache. Nil keeps
+	// the historical build-per-experiment behaviour, which tracing tests rely
+	// on (a cache hit emits no SolveEvents).
+	Tables *queuing.TableCache
 }
 
 func (o Options) withDefaults() (Options, error) {
@@ -108,6 +116,18 @@ func (o Options) withDefaults() (Options, error) {
 		return o, fmt.Errorf("experiments: workers = %d, want ≥ 0", o.Workers)
 	}
 	return o, nil
+}
+
+// mappingTable builds the options' homogeneous mapping table, through the
+// Tables cache when one is configured.
+func (o Options) mappingTable() (*queuing.MappingTable, error) {
+	build := func() (*queuing.MappingTable, error) {
+		return ParallelMappingTable(o.D, o.POn, o.POff, o.Rho, o.Workers, o.Tracer)
+	}
+	if o.Tables == nil {
+		return build()
+	}
+	return o.Tables.Get(o.D, o.POn, o.POff, o.Rho, build)
 }
 
 // fleetParams builds the Fig. 5 fleet parameters for a pattern with the

@@ -16,7 +16,7 @@ import (
 // each placement without live migration. RP is omitted as in the paper — its
 // CVR is identically zero by construction.
 func runFig6(opt Options) error {
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}
@@ -136,7 +136,7 @@ func fig9Scenario(opt Options, s core.Strategy, pattern workload.Pattern, table 
 // used at the end of the evaluation period (energy) for QUEUE, RB and RB-EX,
 // as avg/min/max over repeated trials.
 func runFig9(opt Options) error {
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}
@@ -184,7 +184,7 @@ func runFig9(opt Options) error {
 // for one R_b = R_e run of each strategy, bucketed over the evaluation
 // period.
 func runFig10(opt Options) error {
-	table, err := ParallelMappingTable(opt.D, opt.POn, opt.POff, opt.Rho, opt.Workers, opt.Tracer)
+	table, err := opt.mappingTable()
 	if err != nil {
 		return err
 	}

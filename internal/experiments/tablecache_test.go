@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/queuing"
+)
+
+// Experiments pointed at one TableCache — and an Online controller on the
+// same cohort — share a single mapping-table solve.
+func TestExperimentsShareTableCache(t *testing.T) {
+	cache := queuing.NewTableCache()
+	var buf bytes.Buffer
+	opt := smallOptions(&buf)
+	opt.Tables = cache
+	for _, id := range []string{"churn", "recon"} {
+		if err := Run(id, opt); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+	}
+	if got := cache.Solves(); got != 1 {
+		t.Errorf("two experiments performed %d table solves, want 1", got)
+	}
+	// The paper-default cohort (d=16, 0.01/0.09, ρ=0.01) is what the
+	// experiments above solved; an Online controller on the same cohort and
+	// cache reuses their table.
+	pms := []cloud.PM{{ID: 0, Capacity: 100}}
+	s := core.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16, Tables: cache}
+	if _, err := core.NewOnline(s, pms, 0.01, 0.09); err != nil {
+		t.Fatal(err)
+	}
+	if got := cache.Solves(); got != 1 {
+		t.Errorf("Online on the shared cache re-solved: %d solves, want 1", got)
+	}
+	if got, want := cache.Hits(), uint64(2); got < want {
+		t.Errorf("cache recorded %d hits, want ≥ %d", got, want)
+	}
+}

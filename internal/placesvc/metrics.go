@@ -1,0 +1,45 @@
+package placesvc
+
+import "repro/internal/telemetry"
+
+// svcMetrics bundles the placesvc_* instruments. A nil *svcMetrics disables
+// instrumentation; call sites guard with one pointer check.
+type svcMetrics struct {
+	placements   *telemetry.Counter // placesvc_placements_total
+	rejections   *telemetry.Counter // placesvc_rejections_total
+	departures   *telemetry.Counter // placesvc_departures_total
+	requests     *telemetry.Counter // placesvc_requests_total
+	commits      *telemetry.Counter // placesvc_commits_total
+	refreshes    *telemetry.Counter // placesvc_table_refreshes_total
+	rebuilds     *telemetry.Counter // placesvc_snapshot_rebuilds_total
+	batchSize    *telemetry.Histogram
+	queueLatency *telemetry.Timer
+	queueDepth   *telemetry.Gauge
+	vms          *telemetry.Gauge
+	usedPMs      *telemetry.Gauge
+	version      *telemetry.Gauge
+}
+
+// batchSizeBuckets cover the MaxBatch range in powers of two.
+var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
+
+func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &svcMetrics{
+		placements:   reg.Counter("placesvc_placements_total"),
+		rejections:   reg.Counter("placesvc_rejections_total"),
+		departures:   reg.Counter("placesvc_departures_total"),
+		requests:     reg.Counter("placesvc_requests_total"),
+		commits:      reg.Counter("placesvc_commits_total"),
+		refreshes:    reg.Counter("placesvc_table_refreshes_total"),
+		rebuilds:     reg.Counter("placesvc_snapshot_rebuilds_total"),
+		batchSize:    reg.Histogram("placesvc_batch_size", batchSizeBuckets),
+		queueLatency: reg.Timer("placesvc_queue_latency_seconds"),
+		queueDepth:   reg.Gauge("placesvc_queue_depth"),
+		vms:          reg.Gauge("placesvc_vms"),
+		usedPMs:      reg.Gauge("placesvc_used_pms"),
+		version:      reg.Gauge("placesvc_snapshot_version"),
+	}
+}

@@ -1,0 +1,519 @@
+// Package placesvc is the high-throughput admission service over the §IV-E
+// online consolidation scheme: many concurrent callers submit VM arrivals and
+// departures, a single committer goroutine drains them through a batched
+// group-commit pipeline, and monitoring reads run lock-free against an
+// atomically-swapped immutable snapshot.
+//
+// The pipeline shape follows the infinite-server packing view of the online
+// problem (Stolyar): admission throughput — not the packing itself — is the
+// bottleneck once a single placement costs O(log m), so requests are
+// coalesced into batches of up to MaxBatch, each batch's arrivals are ordered
+// with the Algorithm-2 cluster-and-sort, and every admission runs through the
+// persistent segment-tree first-fit index of core.Online. Within one commit,
+// departures apply first (they free capacity), arrivals second, table
+// refreshes last (they observe the post-commit fleet).
+//
+// Determinism contract: placements depend only on the order in which requests
+// commit. With MaxBatch = 1, or with a single client awaiting each response,
+// commit order equals submission order and the service reproduces the
+// sequential core.Online placement bit-identically (see
+// TestServeEquivalence). Under concurrent clients the interleaving — and
+// therefore the placement — is scheduling-dependent, but every committed
+// state satisfies Eq. (17).
+package placesvc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("placesvc: service closed")
+
+// Config parameterises a Service.
+type Config struct {
+	// Strategy is the admission policy (Eq. 17 via its mapping table).
+	// MaxVMsPerPM must be ≥ 1. Its Tables cache — the process-wide shared
+	// cache when nil — also serves the service's RefreshTable solves.
+	Strategy core.QueuingFFD
+	// PMs is the pool the service admits into.
+	PMs []cloud.PM
+	// POn, POff seed the initial mapping table.
+	POn, POff float64
+	// MaxBatch caps how many requests one commit coalesces (default 256).
+	// MaxBatch = 1 disables coalescing: every request commits alone, making
+	// commit order equal submission order.
+	MaxBatch int
+	// MaxWait bounds how long the committer waits to fill a batch after the
+	// first request arrives. The default 0 never waits: the committer takes
+	// whatever is queued and commits immediately, so batches form naturally
+	// under load and latency stays minimal when idle.
+	MaxWait time.Duration
+	// QueueCap is the submission queue capacity (default 4096). Submitters
+	// block when the queue is full — backpressure, not load shedding.
+	QueueCap int
+	// Registry receives placesvc_* metrics (placements/sec counters,
+	// batch-size and queue-latency histograms, fleet gauges). Nil disables
+	// instrumentation at the cost of one branch per commit.
+	Registry *telemetry.Registry
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.Strategy.MaxVMsPerPM < 1 {
+		return c, fmt.Errorf("placesvc: strategy needs MaxVMsPerPM ≥ 1, got %d", c.Strategy.MaxVMsPerPM)
+	}
+	switch c.Strategy.Method {
+	case core.ClusterRangeBuckets, core.ClusterKMeans, core.ClusterNone, core.ClusterQuantiles:
+	default:
+		return c, fmt.Errorf("placesvc: unknown cluster method %d", c.Strategy.Method)
+	}
+	if c.MaxBatch == 0 {
+		c.MaxBatch = 256
+	}
+	if c.MaxBatch < 1 {
+		return c, fmt.Errorf("placesvc: MaxBatch must be ≥ 1, got %d", c.MaxBatch)
+	}
+	if c.MaxWait < 0 {
+		return c, fmt.Errorf("placesvc: MaxWait must be ≥ 0, got %v", c.MaxWait)
+	}
+	if c.QueueCap == 0 {
+		c.QueueCap = 4096
+	}
+	if c.QueueCap < 1 {
+		return c, fmt.Errorf("placesvc: QueueCap must be ≥ 1, got %d", c.QueueCap)
+	}
+	return c, nil
+}
+
+// reqKind discriminates the request union. The arrival/departure kinds double
+// as snapshot-journal op kinds.
+type reqKind uint8
+
+const (
+	reqArrive reqKind = iota + 1
+	reqArriveBatch
+	reqDepart
+	reqRefresh
+)
+
+// request is one queued operation plus its in-place response. Requests are
+// pooled; the done channel (capacity 1) hands the request back to the waiter,
+// which returns it to the pool after reading the response fields.
+type request struct {
+	kind reqKind
+	vm   cloud.VM   // reqArrive
+	vms  []cloud.VM // reqArriveBatch
+	vmID int        // reqDepart
+	enq  time.Time  // submission time, set only when metrics are enabled
+
+	// Response, written by the committer before signalling done.
+	pmID     int
+	unplaced []cloud.VM
+	err      error
+	fatal    bool // batch abort flag, set mid-apply
+
+	done chan struct{}
+}
+
+func (r *request) reset() {
+	*r = request{done: r.done}
+}
+
+// Stats is the O(1) counter block published with every snapshot.
+type Stats struct {
+	// Version counts commits; it increases by exactly 1 per commit.
+	Version uint64
+	// VMs and UsedPMs describe the fleet as of this snapshot.
+	VMs     int
+	UsedPMs int
+	// Placed, Rejected and Departed count VMs (not requests): one batch
+	// arrival of 10 VMs with 2 rejections adds 8 and 2.
+	Placed   uint64
+	Rejected uint64
+	Departed uint64
+	// Requests counts committed requests, Commits committed batches;
+	// Requests/Commits is the realised mean batch size.
+	Requests uint64
+	Commits  uint64
+	// Refreshes counts applied RefreshTable requests.
+	Refreshes uint64
+}
+
+// Service is the concurrent admission front-end. All mutation methods are
+// safe for concurrent use and block until their request commits; Snapshot and
+// Stats never block on the committer.
+type Service struct {
+	strategy core.QueuingFFD
+	online   *core.Online
+	maxBatch int
+	maxWait  time.Duration
+
+	mu     sync.RWMutex // guards closed vs. sends on ch
+	closed bool
+	ch     chan *request
+	wg     sync.WaitGroup
+	pool   sync.Pool
+
+	// Committer-owned state (no locking: single goroutine).
+	stats   Stats
+	base    *cloud.Placement // immutable snapshot base
+	journal []op             // ops applied since base was cloned
+	batch   []*request       // reused per-commit scratch
+	arrs    []arrival        // reused per-commit scratch
+	avms    []cloud.VM       // reused per-commit scratch
+
+	snap syncSnapshot
+
+	metrics *svcMetrics
+}
+
+// arrival links one VM awaiting placement back to its request. Plain Arrive
+// requests carry exactly one; ArriveBatch requests contribute one per VM.
+type arrival struct {
+	vm  cloud.VM
+	req *request
+}
+
+// New builds the service and starts its committer. Close releases it.
+func New(cfg Config) (*Service, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	online, err := core.NewOnline(cfg.Strategy, cfg.PMs, cfg.POn, cfg.POff)
+	if err != nil {
+		return nil, err
+	}
+	s := &Service{
+		strategy: cfg.Strategy,
+		online:   online,
+		maxBatch: cfg.MaxBatch,
+		maxWait:  cfg.MaxWait,
+		ch:       make(chan *request, cfg.QueueCap),
+		base:     online.Placement().Clone(),
+		metrics:  newSvcMetrics(cfg.Registry),
+	}
+	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
+	s.publish()
+	s.wg.Add(1)
+	go s.run()
+	return s, nil
+}
+
+// Arrive places one VM and returns the chosen PM id. Pool exhaustion is
+// reported as an error wrapping cloud.ErrNoCapacity.
+func (s *Service) Arrive(vm cloud.VM) (int, error) {
+	r := s.get(reqArrive)
+	r.vm = vm
+	if err := s.submit(r); err != nil {
+		return 0, err
+	}
+	pmID, err := r.pmID, r.err
+	s.put(r)
+	return pmID, err
+}
+
+// ArriveBatch places a batch with the Online.ArriveBatch contract: VMs no PM
+// can admit come back in unplaced; any other failure aborts the batch's
+// remaining VMs and is returned as the error. The batch's VMs are ordered
+// together with every other arrival coalesced into the same commit.
+func (s *Service) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
+	if err := cloud.ValidateVMs(vms); err != nil {
+		return nil, err
+	}
+	if len(vms) == 0 {
+		return nil, nil
+	}
+	r := s.get(reqArriveBatch)
+	r.vms = vms
+	if err := s.submit(r); err != nil {
+		return nil, err
+	}
+	unplaced, err = r.unplaced, r.err
+	s.put(r)
+	return unplaced, err
+}
+
+// Depart removes a VM.
+func (s *Service) Depart(vmID int) error {
+	r := s.get(reqDepart)
+	r.vmID = vmID
+	if err := s.submit(r); err != nil {
+		return err
+	}
+	err := r.err
+	s.put(r)
+	return err
+}
+
+// RefreshTable recomputes the mapping table from the fleet's rounded switch
+// probabilities (§IV-E periodic recalculation). The solve goes through the
+// strategy's table cache, so concurrent refreshes of the same cohort —
+// within this service or across services sharing the cache — solve once.
+func (s *Service) RefreshTable() error {
+	r := s.get(reqRefresh)
+	if err := s.submit(r); err != nil {
+		return err
+	}
+	err := r.err
+	s.put(r)
+	return err
+}
+
+// Snapshot returns the immutable state published by the latest commit.
+// Reading it never blocks admission.
+func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
+
+// Stats returns the latest published counters.
+func (s *Service) Stats() Stats { return s.snap.Load().Stats() }
+
+// Close stops the committer after draining every queued request. Requests
+// submitted after Close fail with ErrClosed; Close itself is idempotent.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.ch)
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+func (s *Service) get(kind reqKind) *request {
+	r := s.pool.Get().(*request)
+	r.reset()
+	r.kind = kind
+	return r
+}
+
+func (s *Service) put(r *request) { s.pool.Put(r) }
+
+// submit enqueues the request and waits for its commit. The RLock pairs with
+// Close's Lock so a send can never race the channel close; a full queue
+// blocks the submitter (backpressure) while the committer keeps draining.
+func (s *Service) submit(r *request) error {
+	if s.metrics != nil {
+		r.enq = time.Now()
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.put(r)
+		return ErrClosed
+	}
+	s.ch <- r
+	s.mu.RUnlock()
+	<-r.done
+	return nil
+}
+
+// run is the committer: block for one request, coalesce up to maxBatch
+// (waiting at most maxWait when configured), commit, repeat. A closed channel
+// keeps delivering its buffered requests, so every queued request commits
+// before the committer exits.
+func (s *Service) run() {
+	defer s.wg.Done()
+	var timer *time.Timer
+	for {
+		first, ok := <-s.ch
+		if !ok {
+			return
+		}
+		s.batch = append(s.batch[:0], first)
+		if s.maxWait > 0 {
+			if timer == nil {
+				timer = time.NewTimer(s.maxWait)
+			} else {
+				timer.Reset(s.maxWait)
+			}
+		collect:
+			for len(s.batch) < s.maxBatch {
+				select {
+				case r, chOpen := <-s.ch:
+					if !chOpen {
+						break collect
+					}
+					s.batch = append(s.batch, r)
+				case <-timer.C:
+					break collect
+				}
+			}
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+		} else {
+		drain:
+			for len(s.batch) < s.maxBatch {
+				select {
+				case r, chOpen := <-s.ch:
+					if !chOpen {
+						break drain
+					}
+					s.batch = append(s.batch, r)
+				default:
+					break drain
+				}
+			}
+		}
+		s.commit(s.batch)
+	}
+}
+
+// commit applies one coalesced batch: departures, then Algorithm-2-ordered
+// arrivals, then refreshes; publishes the snapshot; finally answers every
+// waiter. Responding after publication guarantees a client that reads the
+// snapshot after its response sees a version ≥ the commit that placed it.
+func (s *Service) commit(batch []*request) {
+	if m := s.metrics; m != nil {
+		now := time.Now()
+		m.commits.Inc()
+		m.requests.Add(uint64(len(batch)))
+		m.batchSize.Observe(float64(len(batch)))
+		for _, r := range batch {
+			m.queueLatency.Observe(now.Sub(r.enq))
+		}
+		m.queueDepth.Set(float64(len(s.ch)))
+	}
+	s.stats.Commits++
+	s.stats.Requests += uint64(len(batch))
+
+	// Phase 1: departures, in submission order.
+	for _, r := range batch {
+		if r.kind != reqDepart {
+			continue
+		}
+		if r.err = s.online.Depart(r.vmID); r.err == nil {
+			s.journal = append(s.journal, op{kind: reqDepart, vmID: r.vmID})
+			s.stats.Departed++
+			if s.metrics != nil {
+				s.metrics.departures.Inc()
+			}
+		}
+	}
+
+	// Phase 2: arrivals, ordered across the whole batch.
+	s.arrs = s.arrs[:0]
+	for _, r := range batch {
+		switch r.kind {
+		case reqArrive:
+			s.arrs = append(s.arrs, arrival{vm: r.vm, req: r})
+		case reqArriveBatch:
+			for _, vm := range r.vms {
+				s.arrs = append(s.arrs, arrival{vm: vm, req: r})
+			}
+		}
+	}
+	for _, a := range s.order(s.arrs) {
+		r := a.req
+		if r.fatal {
+			continue // a real error already aborted this batch request
+		}
+		pmID, err := s.online.Arrive(a.vm)
+		if err == nil {
+			s.journal = append(s.journal, op{kind: reqArrive, vm: a.vm, pmID: pmID})
+			s.stats.Placed++
+			if s.metrics != nil {
+				s.metrics.placements.Inc()
+			}
+			if r.kind == reqArrive {
+				r.pmID = pmID
+			}
+			continue
+		}
+		if r.kind == reqArrive {
+			r.err = err
+			if errors.Is(err, cloud.ErrNoCapacity) {
+				s.stats.Rejected++
+				if s.metrics != nil {
+					s.metrics.rejections.Inc()
+				}
+			}
+			continue
+		}
+		// Batch member: exhaustion collects, anything else aborts the batch.
+		if errors.Is(err, cloud.ErrNoCapacity) {
+			r.unplaced = append(r.unplaced, a.vm)
+			s.stats.Rejected++
+			if s.metrics != nil {
+				s.metrics.rejections.Inc()
+			}
+		} else {
+			r.err = err
+			r.unplaced = nil
+			r.fatal = true
+		}
+	}
+
+	// Phase 3: refreshes observe the post-commit fleet; coalesced refreshes
+	// in one batch are idempotent, so the first applies and the rest share
+	// its result.
+	refreshed := false
+	var refreshErr error
+	for _, r := range batch {
+		if r.kind != reqRefresh {
+			continue
+		}
+		if !refreshed {
+			refreshErr = s.online.RefreshTable()
+			refreshed = true
+			if refreshErr == nil {
+				s.stats.Refreshes++
+				if s.metrics != nil {
+					s.metrics.refreshes.Inc()
+				}
+			}
+		}
+		r.err = refreshErr
+	}
+
+	s.publish()
+	for _, r := range batch {
+		r.done <- struct{}{}
+	}
+}
+
+// order applies the Algorithm-2 cluster-and-sort across the batch's
+// arrivals. Zero or one arrival commits as-is; an ordering failure (a
+// strategy misconfiguration caught at New, so effectively unreachable) falls
+// back to submission order, which is always safe — ordering is a packing
+// heuristic, not a correctness requirement.
+func (s *Service) order(arrs []arrival) []arrival {
+	if len(arrs) < 2 {
+		return arrs
+	}
+	s.avms = s.avms[:0]
+	for _, a := range arrs {
+		s.avms = append(s.avms, a.vm)
+	}
+	ordered, err := s.strategy.Order(s.avms)
+	if err != nil {
+		return arrs
+	}
+	// Re-link ordered VMs to their requests. Ids can repeat across a batch
+	// (the duplicate fails Assign later), so pair each ordered VM with the
+	// first not-yet-taken arrival of that id.
+	byID := make(map[int][]int, len(arrs))
+	for i, a := range arrs {
+		byID[a.vm.ID] = append(byID[a.vm.ID], i)
+	}
+	out := make([]arrival, 0, len(arrs))
+	for _, vm := range ordered {
+		idxs := byID[vm.ID]
+		i := idxs[0]
+		byID[vm.ID] = idxs[1:]
+		out = append(out, arrs[i])
+	}
+	return out
+}

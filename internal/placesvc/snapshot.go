@@ -1,0 +1,128 @@
+package placesvc
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cloud"
+	"repro/internal/queuing"
+)
+
+// op is one committed mutation in the snapshot journal: an arrival with its
+// chosen PM, or a departure. Entries are immutable once appended.
+type op struct {
+	kind reqKind // reqArrive or reqDepart
+	vm   cloud.VM
+	pmID int
+	vmID int
+}
+
+// Snapshot is an immutable view of the service state as of one commit.
+//
+// Publication is O(1): the snapshot holds the stats block, the current
+// mapping table, a shared immutable base placement, and the journal of ops
+// committed since the base was cloned. The committer re-clones the base only
+// when the journal outgrows half the fleet, so snapshot upkeep costs O(1)
+// amortised per admission instead of an O(fleet) clone per commit.
+//
+// Placement and Overflows materialise the full placement on demand (clone
+// base, replay journal — O(fleet)) and memoise it, so concurrent monitoring
+// readers of the same snapshot pay for one materialisation. None of this ever
+// touches the live placement, so reads never block — and are never blocked
+// by — admission.
+type Snapshot struct {
+	stats Stats
+	table *queuing.MappingTable
+	base  *cloud.Placement
+	ops   []op
+
+	once   sync.Once
+	mat    *cloud.Placement
+	matErr error
+}
+
+// Version returns the commit number that published this snapshot.
+func (s *Snapshot) Version() uint64 { return s.stats.Version }
+
+// Stats returns the snapshot's counter block.
+func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Table returns the mapping table in force at this snapshot.
+func (s *Snapshot) Table() *queuing.MappingTable { return s.table }
+
+// Placement materialises the placement as of this snapshot. The result is
+// memoised and shared: callers must treat it as read-only.
+func (s *Snapshot) Placement() (*cloud.Placement, error) {
+	s.once.Do(func() {
+		p := s.base.Clone()
+		for _, o := range s.ops {
+			switch o.kind {
+			case reqArrive:
+				if err := p.Assign(o.vm, o.pmID); err != nil {
+					s.matErr = fmt.Errorf("placesvc: replaying journal: %w", err)
+					return
+				}
+			case reqDepart:
+				if _, err := p.Remove(o.vmID); err != nil {
+					s.matErr = fmt.Errorf("placesvc: replaying journal: %w", err)
+					return
+				}
+			}
+		}
+		s.mat = p
+	})
+	return s.mat, s.matErr
+}
+
+// Overflows audits the snapshot against its own table: PMs whose host set no
+// longer satisfies Eq. (17) — possible after a refresh tightened the mapping.
+func (s *Snapshot) Overflows() ([]cloud.Violation, error) {
+	p, err := s.Placement()
+	if err != nil {
+		return nil, err
+	}
+	return cloud.CheckReserved(p, s.table), nil
+}
+
+// syncSnapshot is the atomically-swapped snapshot cell.
+type syncSnapshot struct {
+	p atomic.Pointer[Snapshot]
+}
+
+func (c *syncSnapshot) Load() *Snapshot { return c.p.Load() }
+
+// rebuildMinOps is the journal length below which the committer never
+// re-clones the base — tiny fleets would otherwise re-clone every commit.
+const rebuildMinOps = 64
+
+// publish refreshes the committer's snapshot cell after a commit (and once at
+// construction). When the journal has outgrown max(rebuildMinOps, fleet/2)
+// the base is re-cloned from the live placement and the journal restarts —
+// never truncated in place, because published snapshots still reference the
+// old backing array.
+func (s *Service) publish() {
+	live := s.online.Placement()
+	s.stats.Version = s.stats.Commits
+	s.stats.VMs = live.NumVMs()
+	s.stats.UsedPMs = live.NumUsedPMs()
+	if n := len(s.journal); n > rebuildMinOps && n > live.NumVMs()/2 {
+		s.base = live.Clone()
+		s.journal = nil
+		if s.metrics != nil {
+			s.metrics.rebuilds.Inc()
+		}
+	}
+	snap := &Snapshot{
+		stats: s.stats,
+		table: s.online.Table(),
+		base:  s.base,
+		ops:   s.journal,
+	}
+	s.snap.p.Store(snap)
+	if m := s.metrics; m != nil {
+		m.version.Set(float64(s.stats.Version))
+		m.vms.Set(float64(s.stats.VMs))
+		m.usedPMs.Set(float64(s.stats.UsedPMs))
+	}
+}

@@ -1,0 +1,122 @@
+package queuing
+
+import (
+	"errors"
+	"sync"
+	"testing"
+)
+
+func TestTableCacheSingleflight(t *testing.T) {
+	c := NewTableCache()
+	const workers = 16
+	var wg sync.WaitGroup
+	tables := make([]*MappingTable, workers)
+	errs := make([]error, workers)
+	start := make(chan struct{})
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-start
+			tables[i], errs[i] = c.NewMappingTable(16, 0.01, 0.09, 0.01)
+		}(i)
+	}
+	close(start)
+	wg.Wait()
+	for i := 0; i < workers; i++ {
+		if errs[i] != nil {
+			t.Fatalf("worker %d: %v", i, errs[i])
+		}
+		if tables[i] != tables[0] {
+			t.Errorf("worker %d got a distinct table instance", i)
+		}
+	}
+	if got := c.Solves(); got != 1 {
+		t.Errorf("concurrent same-cohort builds performed %d solves, want exactly 1", got)
+	}
+	if got := c.Hits(); got != workers-1 {
+		t.Errorf("hits = %d, want %d", got, workers-1)
+	}
+	// A direct build must agree with the cached table entry for entry.
+	direct, err := NewMappingTable(16, 0.01, 0.09, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k <= 16; k++ {
+		if tables[0].Blocks(k) != direct.Blocks(k) {
+			t.Errorf("cached mapping(%d) = %d, direct = %d", k, tables[0].Blocks(k), direct.Blocks(k))
+		}
+	}
+}
+
+func TestTableCacheDistinctCohorts(t *testing.T) {
+	c := NewTableCache()
+	if _, err := c.NewMappingTable(8, 0.01, 0.09, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewMappingTable(8, 0.02, 0.09, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.NewMappingTable(9, 0.01, 0.09, 0.01); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Solves(); got != 3 {
+		t.Errorf("3 distinct cohorts performed %d solves, want 3", got)
+	}
+	if got := c.Len(); got != 3 {
+		t.Errorf("cache holds %d entries, want 3", got)
+	}
+}
+
+func TestTableCacheFailedBuildRetries(t *testing.T) {
+	c := NewTableCache()
+	boom := errors.New("boom")
+	calls := 0
+	build := func() (*MappingTable, error) {
+		calls++
+		if calls == 1 {
+			return nil, boom
+		}
+		return NewMappingTable(4, 0.01, 0.09, 0.01)
+	}
+	if _, err := c.Get(4, 0.01, 0.09, 0.01, build); !errors.Is(err, boom) {
+		t.Fatalf("first build error = %v, want boom", err)
+	}
+	table, err := c.Get(4, 0.01, 0.09, 0.01, build)
+	if err != nil {
+		t.Fatalf("retry after failed build: %v", err)
+	}
+	if table == nil || calls != 2 {
+		t.Errorf("retry did not rebuild (calls = %d)", calls)
+	}
+	// Third call is a pure hit.
+	if _, err := c.Get(4, 0.01, 0.09, 0.01, build); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Errorf("hit re-invoked build (calls = %d)", calls)
+	}
+}
+
+func TestTableCacheInvalidInput(t *testing.T) {
+	c := NewTableCache()
+	if _, err := c.NewMappingTable(0, 0.01, 0.09, 0.01); err == nil {
+		t.Error("d = 0 accepted")
+	}
+	if got := c.Len(); got != 0 {
+		t.Errorf("failed build left %d entries cached", got)
+	}
+}
+
+func TestTableCacheOverflowClears(t *testing.T) {
+	c := NewTableCache()
+	for i := 0; i < tableCacheMaxEntries+4; i++ {
+		pOn := 0.001 + float64(i)*1e-6
+		if _, err := c.NewMappingTable(2, pOn, 0.09, 0.01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.Len(); got > tableCacheMaxEntries {
+		t.Errorf("cache grew to %d entries, bound is %d", got, tableCacheMaxEntries)
+	}
+}
