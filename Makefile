@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-smoke bench-compare bench-compare-pr5 loadgen-smoke fuzz cover clean
+.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-pr6 bench-smoke bench-compare bench-compare-pr5 bench-compare-pr6 loadgen-smoke metrics-smoke fuzz cover clean
 
 all: build vet test
 
@@ -20,12 +20,13 @@ vet:
 # registry/tracer (hammered from parallel workers), the experiment runner's
 # parallel table builds, the goroutine-safe solve cache and table cache in
 # queuing, the shared log-factorial table in markov, the solver scratch in
-# linalg, the sharded simulator step loop in sim, and the group-commit
-# admission service in placesvc (equivalence + concurrent churn + snapshots).
+# linalg, the sharded simulator step loop in sim, the group-commit admission
+# service in placesvc (equivalence + concurrent churn + snapshots), and the
+# observability plane in obs (flight-recorder emit/dump, window merges).
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... \
 		./internal/queuing/... ./internal/markov/... ./internal/linalg/... \
-		./internal/sim/... ./internal/placesvc/... .
+		./internal/sim/... ./internal/placesvc/... ./internal/obs/... .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -57,6 +58,36 @@ bench-pr5:
 		-benchtime 10000x -timeout 30m -json ./internal/placesvc/ > BENCH_pr5.json
 	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 20000 -bench >> BENCH_pr5.json
 
+# Snapshot of the observability-plane overhead: the obs-sensitive hot paths
+# (BenchmarkScaleStep, BenchmarkServeAdmit) measured obs-off into
+# BENCH_pr6_off.json and obs-on (OBS_BENCH=1 attaches a full obs.Plane to the
+# same benchmarks, same names) into BENCH_pr6.json. bench-compare-pr6 diffs
+# the pair; the acceptance bar is single-digit-percent obs-on overhead.
+# The off and on runs are interleaved (three alternating rounds, -count 2
+# each) and benchfmt keeps the fastest run per name, so the comparison is
+# minimum-vs-minimum across rounds taken under the same machine conditions.
+# Measuring one side entirely before the other instead lets clock/neighbor
+# drift on a shared box masquerade as obs overhead — the second side measures
+# uniformly slower regardless of the code under test.
+PR6BENCH = $(GO) test -run '^$$' -bench 'BenchmarkScaleStep|BenchmarkServeAdmit' \
+	-benchmem -benchtime 500x -count 2 -timeout 10m -json ./internal/sim/ ./internal/placesvc/
+bench-pr6:
+	rm -f BENCH_pr6_off.json BENCH_pr6.json
+	for i in 1 2 3; do \
+		$(PR6BENCH) >> BENCH_pr6_off.json && \
+		OBS_BENCH=1 $(PR6BENCH) >> BENCH_pr6.json || exit 1; \
+	done
+
+# Gate the obs-on overhead against the obs-off snapshot: >20% ns/op regression
+# on the obs-sensitive benchmarks fails the target. ns/op only: attaching the
+# plane adds a small fixed number of allocations per *step* (boxing one
+# StepEvent for the tracer, ~5 allocs against a 10k-VM sweep), which is
+# negligible in absolute terms but an unbounded percentage of the tiny
+# obs-off baseline, so an allocs gate would always trip on it.
+bench-compare-pr6:
+	$(GO) run ./cmd/benchdiff -old BENCH_pr6_off.json -new BENCH_pr6.json \
+		-critical 'BenchmarkScaleStep|BenchmarkServeAdmit'
+
 # Quick scale smoke (n = 10k only) — the CI guard that the scale paths keep
 # working without paying for the full ladder.
 bench-smoke:
@@ -67,6 +98,13 @@ bench-smoke:
 # guard that the admission service sustains concurrent clients end to end.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 10000
+
+# Metrics smoke: scrape /metrics (exposition-conformance-checked), hit
+# /debug/flight and /debug/pprof during a live loadgen run — the CI guard for
+# the observability endpoints. Runs via the scrape-during-run test so the
+# scrape happens while the service is serving.
+metrics-smoke:
+	$(GO) test -run TestMetricsScrapeDuringRun -v ./cmd/loadgen/
 
 # Diff two committed benchmark snapshots. Fails when a critical benchmark
 # (Fig7 MapCal or MappingTable, by default) regresses by more than 20%.

@@ -7,6 +7,10 @@
 //	burstsim -list
 //	burstsim -exp fig5 [-seed 1] [-trials 10] [-intervals 100]
 //	burstsim -all
+//
+// The shared observability flags apply: -trace writes the JSONL event stream,
+// -metrics-addr serves /metrics, /debug/flight and /debug/pprof for the run,
+// -flight dumps the flight-recorder ring on faults and at exit.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -42,6 +47,8 @@ func run(args []string, stdout io.Writer) error {
 		vmCounts  = fs.String("vms", "", "comma-separated fleet sizes (default 50,100,200,400)")
 		faultSpec = fs.String("faults", "", "JSON fault schedule for the faultcvr experiment (default: built-in 5% crash scenario)")
 	)
+	var of obs.Flags
+	of.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -53,6 +60,15 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 
+	tracer, err := of.Activate()
+	if err != nil {
+		return err
+	}
+	defer of.Close()
+	if url := of.MetricsURL(); url != "" {
+		fmt.Fprintln(os.Stderr, "burstsim: serving metrics at", url)
+	}
+
 	opt := experiments.Options{
 		Out:       stdout,
 		Seed:      *seed,
@@ -60,6 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		Intervals: *intervals,
 		Rho:       *rho,
 		D:         *d,
+		Tracer:    tracer,
 	}
 	if *vmCounts != "" {
 		counts, err := parseInts(*vmCounts)
@@ -77,12 +94,18 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	if *all {
-		return experiments.RunAll(opt)
+		if err := experiments.RunAll(opt); err != nil {
+			return err
+		}
+		return of.Close()
 	}
 	if *exp == "" {
 		return fmt.Errorf("nothing to do: pass -list, -all, or -exp <id>")
 	}
-	return experiments.Run(*exp, opt)
+	if err := experiments.Run(*exp, opt); err != nil {
+		return err
+	}
+	return of.Close()
 }
 
 func parseInts(s string) ([]int, error) {

@@ -29,8 +29,8 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/queuing"
-	"repro/internal/telemetry"
 )
 
 func main() {
@@ -47,7 +47,7 @@ func run(args []string, stdout io.Writer) error {
 		strategy = fs.String("strategy", "queue", "placement strategy: queue, rp, rb, rbex")
 		delta    = fs.Float64("delta", 0.3, "reserve fraction for rbex")
 	)
-	var tf telemetry.Flags
+	var tf obs.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

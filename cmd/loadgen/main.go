@@ -11,6 +11,7 @@
 //	loadgen [-pms 1000] [-vms 4000] [-clients 4] [-ops 20000] [-batch 256]
 //	        [-maxwait 0] [-seed 42] [-rho 0.01] [-d 16] [-bench]
 //	        [-trace t.jsonl] [-metrics-addr 127.0.0.1:9090]
+//	        [-flight dumps.jsonl] [-flight-cap 4096]
 //
 // Each client owns a static partition of the fleet and walks it through the
 // ON-OFF chain: an OFF→ON transition submits Arrive, an ON→OFF transition of
@@ -29,6 +30,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sync"
@@ -37,11 +39,16 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/markov"
+	"repro/internal/obs"
 	"repro/internal/placesvc"
 	"repro/internal/queuing"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// onMetricsURL is a test hook invoked with the served /metrics URL once the
+// observability endpoint is up.
+var onMetricsURL = func(string) {}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -76,7 +83,7 @@ func run(args []string, stdout io.Writer) error {
 	fs.Float64Var(&cfg.rho, "rho", 0.01, "CVR threshold ρ")
 	fs.IntVar(&cfg.d, "d", 16, "max VMs per PM (table dimension)")
 	fs.BoolVar(&cfg.bench, "bench", false, "emit a test2json benchmark line instead of the human summary")
-	var tf telemetry.Flags
+	var tf obs.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -94,10 +101,18 @@ func run(args []string, stdout io.Writer) error {
 	defer tf.Close()
 	if url := tf.MetricsURL(); url != "" {
 		fmt.Fprintln(os.Stderr, "loadgen: serving metrics at", url)
+		onMetricsURL(url)
 	}
 	reg := tf.Registry()
 	if reg == nil {
 		reg = telemetry.NewRegistry()
+	}
+	// End-to-end Arrive latency rolls through the plane's window when the live
+	// plane is on (exporting loadgen_admit_window_seconds quantile gauges), a
+	// standalone window otherwise — the summary always has p50/p99.
+	admitWin := obs.NewWindowedTimer(0, 0, nil)
+	if plane := tf.Plane(); plane != nil {
+		admitWin = plane.AdmitLatency
 	}
 
 	rng := rand.New(rand.NewSource(cfg.seed))
@@ -117,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 		MaxBatch: cfg.batch,
 		MaxWait:  cfg.maxWait,
 		Registry: reg,
+		Obs:      tf.Plane(),
 	})
 	if err != nil {
 		return err
@@ -145,7 +161,7 @@ func run(args []string, stdout io.Writer) error {
 		wg.Add(1)
 		go func(c, quota int, part []cloud.VM) {
 			defer wg.Done()
-			results[c] = runClient(svc, part, cfg.seed, quota)
+			results[c] = runClient(svc, part, cfg.seed, quota, admitWin)
 		}(c, quota, part)
 	}
 	wg.Wait()
@@ -168,11 +184,21 @@ func run(args []string, stdout io.Writer) error {
 		return fmt.Errorf("no requests submitted")
 	}
 
+	admitQs := admitWin.Quantiles(0.50, 0.99)
+	var p50, p99 time.Duration
+	if !math.IsNaN(admitQs[0]) { // NaN when the run had no arrivals
+		p50 = time.Duration(admitQs[0] * float64(time.Second))
+		p99 = time.Duration(admitQs[1] * float64(time.Second))
+	}
+
 	if cfg.bench {
 		// A test2json "output" event carrying a benchmark result line, so the
 		// run concatenates into the BENCH_*.json snapshots benchfmt parses.
-		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d \t%8d\t%12.1f ns/op\n",
-			cfg.pms, cfg.clients, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops))
+		// The rolling admit quantiles ride along as custom metrics, which
+		// benchfmt ignores and humans can still read off the snapshot.
+		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\n",
+			cfg.pms, cfg.clients, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops),
+			p50.Nanoseconds(), p99.Nanoseconds())
 		data, err := json.Marshal(struct {
 			Action string
 			Output string
@@ -190,6 +216,7 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "  placed %d, rejected %d, departed %d, live %d on %d PMs\n",
 		total.placed, total.rejected, total.departed, st.VMs, st.UsedPMs)
 	fmt.Fprintf(stdout, "  %d commits, mean batch %.1f\n", st.Commits, float64(st.Requests)/float64(st.Commits))
+	fmt.Fprintf(stdout, "  admit latency p50 %v, p99 %v (rolling window)\n", p50, p99)
 	return nil
 }
 
@@ -228,7 +255,7 @@ type clientResult struct {
 
 // runClient walks its partition through the ON-OFF chain and submits the
 // transitions until its quota of requests is spent.
-func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int) clientResult {
+func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int, admit *obs.WindowedTimer) clientResult {
 	var res clientResult
 	fleet, err := workload.NewHashedFleet(part, seed)
 	if err != nil {
@@ -252,7 +279,10 @@ func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int) cl
 			switch {
 			case was == markov.Off && now == markov.On && !placed[vm.ID]:
 				res.ops++
-				if _, err := svc.Arrive(vm); err != nil {
+				t0 := time.Now()
+				_, err := svc.Arrive(vm)
+				admit.Observe(time.Since(t0))
+				if err != nil {
 					if errors.Is(err, cloud.ErrNoCapacity) {
 						res.rejected++
 						continue

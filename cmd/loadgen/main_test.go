@@ -2,10 +2,16 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
 	"strings"
 	"testing"
 
 	"repro/internal/benchfmt"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 func TestRunSummary(t *testing.T) {
@@ -78,5 +84,101 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// TestRunSummaryAdmitLatency checks the rolling p50/p99 line lands in the
+// human summary.
+func TestRunSummaryAdmitLatency(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-pms", "100", "-ops", "2000", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "admit latency p50 ") {
+		t.Errorf("summary missing admit latency quantiles:\n%s", out.String())
+	}
+}
+
+// TestRunBenchCarriesAdmitQuantiles: the -bench line appends the admit p50/p99
+// as custom metrics, which benchfmt must keep ignoring.
+func TestRunBenchCarriesAdmitQuantiles(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-pms", "100", "-ops", "1000", "-bench"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "p50-admit-ns") || !strings.Contains(out.String(), "p99-admit-ns") {
+		t.Errorf("bench line missing admit quantile metrics:\n%s", out.String())
+	}
+	if _, err := benchfmt.Parse(bufio.NewScanner(strings.NewReader(out.String()))); err != nil {
+		t.Errorf("benchfmt rejects bench line with custom metrics: %v", err)
+	}
+}
+
+// TestMetricsScrapeDuringRun starts loadgen with the live ops endpoint and,
+// through the onMetricsURL hook (called while the run is active), scrapes
+// /metrics, checks the exposition is format-conformant, and exercises
+// /debug/flight and /debug/pprof. This is the smoke check `make metrics-smoke`
+// runs in CI.
+func TestMetricsScrapeDuringRun(t *testing.T) {
+	defer func(old func(string)) { onMetricsURL = old }(onMetricsURL)
+	var scraped []byte
+	var flight obs.Dump
+	var scrapeErr error
+	onMetricsURL = func(metricsURL string) {
+		base := strings.TrimSuffix(metricsURL, "/metrics")
+		get := func(path string) []byte {
+			resp, err := http.Get(base + path)
+			if err != nil {
+				scrapeErr = err
+				return nil
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				scrapeErr = err
+				return nil
+			}
+			if resp.StatusCode != http.StatusOK {
+				scrapeErr = fmt.Errorf("GET %s: %s", path, resp.Status)
+				return nil
+			}
+			return body
+		}
+		scraped = get("/metrics")
+		if body := get("/debug/flight"); body != nil {
+			if err := json.Unmarshal(body, &flight); err != nil {
+				scrapeErr = fmt.Errorf("/debug/flight: %w", err)
+			}
+		}
+		if body := get("/debug/pprof/cmdline"); len(body) == 0 && scrapeErr == nil {
+			scrapeErr = fmt.Errorf("/debug/pprof/cmdline empty")
+		}
+	}
+	var out strings.Builder
+	err := run([]string{"-pms", "100", "-ops", "2000", "-seed", "7", "-metrics-addr", "127.0.0.1:0"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scrapeErr != nil {
+		t.Fatal(scrapeErr)
+	}
+	if scraped == nil {
+		t.Fatal("onMetricsURL hook never ran; -metrics-addr wiring broken")
+	}
+	if err := telemetry.ValidateExposition(scraped); err != nil {
+		t.Fatalf("scrape not exposition-conformant: %v\n%s", err, scraped)
+	}
+	for _, family := range []string{
+		`loadgen_admit_window_seconds{q="0.99"}`,
+		"# HELP obs_idc ",
+		"obs_flight_events",
+		"process_goroutines",
+	} {
+		if !strings.Contains(string(scraped), family) {
+			t.Errorf("scrape missing %q", family)
+		}
+	}
+	if flight.Trigger != obs.TriggerHTTP {
+		t.Errorf("/debug/flight trigger = %q, want %q", flight.Trigger, obs.TriggerHTTP)
 	}
 }

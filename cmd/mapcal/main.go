@@ -25,6 +25,7 @@ import (
 	"strings"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/queuing"
 	"repro/internal/telemetry"
 )
@@ -50,7 +51,7 @@ func run(args []string, stdout io.Writer) error {
 		pOns   = fs.String("pons", "", "comma-separated per-VM p_on values (hetero)")
 		pOffs  = fs.String("poffs", "", "comma-separated per-VM p_off values (hetero)")
 	)
-	var tf telemetry.Flags
+	var tf obs.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

@@ -9,11 +9,14 @@
 //	         [-faults schedule.json]
 //	         [-events events.csv] [-series series.csv]
 //	         [-trace run.jsonl] [-metrics-addr 127.0.0.1:9090]
+//	         [-flight dumps.jsonl] [-flight-cap 4096]
 //
 // -trace records decision-level telemetry (MapCal solves, Eq. (17) admission
 // tests, per-interval simulator steps, migrations) as JSON lines;
-// -metrics-addr serves the same signals as Prometheus /metrics plus expvar
-// for the duration of the run. -faults replays a deterministic fault schedule
+// -metrics-addr serves the same signals as Prometheus /metrics plus expvar,
+// /debug/flight and /debug/pprof for the duration of the run; -flight keeps a
+// flight-recorder ring of recent events and dumps it on faults (and once at
+// exit) to the given file. -faults replays a deterministic fault schedule
 // (PM crashes, flaky migrations, demand overshoot — see internal/faults) and
 // surfaces the degraded-behaviour digest in the JSON summary.
 package main
@@ -28,6 +31,7 @@ import (
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/faults"
+	"repro/internal/obs"
 	"repro/internal/queuing"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -55,7 +59,7 @@ func run(args []string, stdout io.Writer) error {
 		faultsPath = fs.String("faults", "", "replay the JSON fault schedule at this path")
 		shards     = fs.Int("shards", 1, "parallel shards for per-interval stepping (bit-identical for any count)")
 	)
-	var tf telemetry.Flags
+	var tf obs.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
 		return err

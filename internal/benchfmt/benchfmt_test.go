@@ -43,6 +43,27 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// countStream repeats one benchmark name the way `-count 3` does; Parse must
+// keep the fastest run, not the last.
+const countStream = `{"Action":"output","Package":"repro","Output":"BenchmarkScaleStep/n=10-1 \t 100\t 900 ns/op\t 16 B/op\t 2 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkScaleStep/n=10-1 \t 100\t 700 ns/op\t 16 B/op\t 2 allocs/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkScaleStep/n=10-1 \t 100\t 800 ns/op\t 16 B/op\t 2 allocs/op\n"}
+`
+
+func TestParseKeepsMinAcrossCountRuns(t *testing.T) {
+	res, err := Parse(bufio.NewScanner(strings.NewReader(countStream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := res["BenchmarkScaleStep/n=10"]
+	if !ok {
+		t.Fatalf("result missing: %v", res)
+	}
+	if r.NsPerOp != 700 {
+		t.Errorf("NsPerOp = %v, want the minimum 700 across the -count runs", r.NsPerOp)
+	}
+}
+
 func TestParseRejectsGarbage(t *testing.T) {
 	if _, err := Parse(bufio.NewScanner(strings.NewReader("not json\n"))); err == nil {
 		t.Fatal("accepted a non-JSON line")

@@ -9,6 +9,15 @@ import (
 
 // Histogram buckets observations over a fixed range, used to render CVR
 // distributions across PMs (the per-PM scatter behind Fig. 6).
+//
+// This is the offline, single-goroutine histogram for report rendering: fixed
+// equal-width buckets, out-of-range tallies, ASCII bars. For live
+// instrumentation — anything concurrent, exported, or quantile-driven at
+// runtime — use telemetry.Histogram and its HistogramSnapshot.Quantile
+// instead, which is the canonical quantile implementation for new code
+// (obs.WindowedTimer merges into it rather than reimplementing).
+// TestQuantileCrossValidation pins the two implementations to within one
+// bucket width of each other.
 type Histogram struct {
 	min, max float64
 	counts   []int

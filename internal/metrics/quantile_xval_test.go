@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+// TestQuantileCrossValidation feeds identical data through the repo's two
+// histogram quantile implementations — metrics.Histogram (offline report
+// rendering) and telemetry.HistogramSnapshot (streaming instruments, the
+// canonical one for new code) — over the same bucket layout, and requires
+// their estimates to agree within one bucket width. The two interpolate
+// slightly differently inside a bucket (metrics spreads rank across the
+// bucket's count, telemetry across count-minus-below), so exact equality is
+// not expected; divergence beyond a bucket means one of them regressed.
+func TestQuantileCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	datasets := map[string][]float64{
+		"uniform": func() []float64 {
+			vs := make([]float64, 5000)
+			for i := range vs {
+				vs[i] = rng.Float64() * 10
+			}
+			return vs
+		}(),
+		"bimodal": func() []float64 {
+			vs := make([]float64, 5000)
+			for i := range vs {
+				if i%2 == 0 {
+					vs[i] = 1 + rng.NormFloat64()*0.1
+				} else {
+					vs[i] = 8 + rng.NormFloat64()*0.5
+				}
+			}
+			return vs
+		}(),
+		"heavy_tail": func() []float64 {
+			vs := make([]float64, 5000)
+			for i := range vs {
+				vs[i] = math.Abs(rng.NormFloat64()) * math.Abs(rng.NormFloat64()) * 3
+			}
+			return vs
+		}(),
+	}
+	const buckets = 64
+	for name, values := range datasets {
+		t.Run(name, func(t *testing.T) {
+			offline, err := FromValues(values, buckets)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Rebuild the same layout as a cumulative telemetry snapshot:
+			// one BucketCount per bucket upper edge plus the +Inf bucket.
+			snap := telemetry.HistogramSnapshot{Count: uint64(offline.Total())}
+			var cum uint64
+			under, over := offline.OutOfRange()
+			cum += uint64(under)
+			var width float64
+			for i := 0; i < offline.Buckets(); i++ {
+				lo, hi := offline.BucketBounds(i)
+				width = hi - lo
+				cum += uint64(offline.Count(i))
+				snap.Buckets = append(snap.Buckets, telemetry.BucketCount{UpperBound: hi, Count: cum})
+			}
+			cum += uint64(over)
+			snap.Buckets = append(snap.Buckets, telemetry.BucketCount{UpperBound: math.Inf(1), Count: cum})
+
+			for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99} {
+				a, err := offline.Quantile(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				b := snap.Quantile(q)
+				if math.IsNaN(b) {
+					t.Fatalf("q=%v: telemetry quantile NaN on %d observations", q, snap.Count)
+				}
+				if diff := math.Abs(a - b); diff > width+1e-9 {
+					t.Errorf("q=%v: metrics=%v telemetry=%v, diverge by %v > bucket width %v",
+						q, a, b, diff, width)
+				}
+			}
+		})
+	}
+}

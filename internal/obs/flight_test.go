@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/telemetry"
+)
+
+func TestFlightRecorderRingEviction(t *testing.T) {
+	f := NewFlightRecorder(RecorderOptions{Cap: 4})
+	for i := 0; i < 10; i++ {
+		f.Emit(telemetry.StepEvent{Interval: i})
+	}
+	d := f.Snapshot(TriggerManual)
+	if d.TotalEvents != 10 || d.DroppedEvents != 6 || len(d.Events) != 4 {
+		t.Fatalf("total=%d dropped=%d kept=%d, want 10/6/4",
+			d.TotalEvents, d.DroppedEvents, len(d.Events))
+	}
+	_, recs, err := ParseDump(mustJSON(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Oldest-first: intervals 6..9 with their original sequence numbers.
+	for i, rec := range recs {
+		se, ok := rec.Event.(*telemetry.StepEvent)
+		if !ok {
+			t.Fatalf("event %d: %T, want StepEvent", i, rec.Event)
+		}
+		if se.Interval != 6+i || rec.Seq != uint64(7+i) {
+			t.Fatalf("event %d: interval %d seq %d, want %d/%d",
+				i, se.Interval, rec.Seq, 6+i, 7+i)
+		}
+	}
+}
+
+func TestFlightRecorderAutoDumpTriggers(t *testing.T) {
+	cases := []struct {
+		name    string
+		ev      telemetry.Event
+		trigger string
+	}{
+		{"pm_crash", telemetry.FaultEvent{Interval: 3, Type: telemetry.FaultPMCrash, PMID: 7}, TriggerPMCrash},
+		{"rollback", telemetry.RollbackEvent{Interval: 4, RolledBack: 2, Reason: "pm_crash"}, TriggerRollback},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var dumps []Dump
+			f := NewFlightRecorder(RecorderOptions{Cap: 16, OnDump: func(d Dump) { dumps = append(dumps, d) }})
+			f.Emit(telemetry.StepEvent{Interval: 1})
+			f.Emit(telemetry.FaultEvent{Interval: 2, Type: telemetry.FaultPMRecover}) // not a trigger
+			if len(dumps) != 0 {
+				t.Fatalf("dump before trigger: %+v", dumps)
+			}
+			f.Emit(tc.ev)
+			if len(dumps) != 1 {
+				t.Fatalf("dumps = %d, want 1", len(dumps))
+			}
+			if dumps[0].Trigger != tc.trigger {
+				t.Fatalf("trigger = %q, want %q", dumps[0].Trigger, tc.trigger)
+			}
+			if len(dumps[0].Events) != 3 {
+				t.Fatalf("dump carries %d events, want 3", len(dumps[0].Events))
+			}
+		})
+	}
+}
+
+func TestFlightRecorderStormTrigger(t *testing.T) {
+	var dumps []Dump
+	f := NewFlightRecorder(RecorderOptions{
+		Cap:            32,
+		StormThreshold: 5,
+		OnDump:         func(d Dump) { dumps = append(dumps, d) },
+	})
+	// Rejections via the trace stream (overflow-reason placement events).
+	for i := 0; i < 4; i++ {
+		f.Emit(telemetry.PlacementEvent{VMID: i, Accepted: false, Reason: telemetry.ReasonOverflow})
+	}
+	if len(dumps) != 0 {
+		t.Fatalf("dump below threshold after 4 rejections")
+	}
+	// Out-of-band rejections (the placesvc path) push it over.
+	f.NoteRejections(1)
+	if len(dumps) != 1 || dumps[0].Trigger != TriggerStorm {
+		t.Fatalf("dumps = %+v, want one storm dump", dumps)
+	}
+	// The dump reset the counter; more rejections must re-accumulate, and
+	// the cooldown (Cap/2 = 16 events) must pass.
+	f.NoteRejections(5)
+	if len(dumps) != 1 {
+		t.Fatalf("storm dump fired inside cooldown")
+	}
+	for i := 0; i < 16; i++ {
+		f.Emit(telemetry.StepEvent{Interval: i})
+	}
+	f.NoteRejections(5)
+	if len(dumps) != 2 {
+		t.Fatalf("dumps = %d after cooldown passed, want 2", len(dumps))
+	}
+}
+
+func TestFlightRecorderAcceptedPlacementsDoNotCount(t *testing.T) {
+	var dumps int
+	f := NewFlightRecorder(RecorderOptions{Cap: 16, StormThreshold: 2, OnDump: func(Dump) { dumps++ }})
+	for i := 0; i < 10; i++ {
+		f.Emit(telemetry.PlacementEvent{VMID: i, Accepted: true, Reason: telemetry.ReasonFits})
+		f.Emit(telemetry.PlacementEvent{VMID: i, Accepted: false, Reason: telemetry.ReasonVMCap})
+	}
+	if dumps != 0 {
+		t.Fatalf("non-overflow placements triggered %d storm dumps", dumps)
+	}
+}
+
+func TestFlightHandler(t *testing.T) {
+	f := NewFlightRecorder(RecorderOptions{Cap: 8})
+	f.Emit(telemetry.StepEvent{Interval: 42, Violations: 1})
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var d Dump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	if d.Trigger != TriggerHTTP || len(d.Events) != 1 {
+		t.Fatalf("dump = %+v", d)
+	}
+	_, recs, err := ParseDump(mustJSON(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se := recs[0].Event.(*telemetry.StepEvent); se.Interval != 42 {
+		t.Fatalf("roundtrip interval = %d", se.Interval)
+	}
+}
+
+// TestFlightRecorderRace drives concurrent emitters against snapshot dumps;
+// meaningful under -race (satellite: flight-recorder emit/dump race
+// coverage).
+func TestFlightRecorderRace(t *testing.T) {
+	f := NewFlightRecorder(RecorderOptions{Cap: 64, OnDump: func(Dump) {}})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3000; i++ {
+				switch i % 3 {
+				case 0:
+					f.Emit(telemetry.StepEvent{Interval: i})
+				case 1:
+					f.Emit(telemetry.FaultEvent{Interval: i, Type: telemetry.FaultPMCrash, PMID: g})
+				default:
+					f.NoteRejections(1)
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 100; i++ {
+		d := f.Snapshot(TriggerManual)
+		if len(d.Events) > 64 {
+			t.Errorf("dump of %d events exceeds cap", len(d.Events))
+			break
+		}
+	}
+	wg.Wait()
+	// 2 of every 3 iterations emit an event; NoteRejections does not.
+	if got := f.Stats().Total; got != 4*2000 {
+		t.Fatalf("Total = %d, want %d", got, 4*2000)
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

@@ -1,0 +1,303 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// ProbeOptions configures the streaming estimators. Zero values take the
+// defaults noted per field.
+type ProbeOptions struct {
+	// IDCBlock is the number of simulator intervals aggregated into one
+	// counting block for the index-of-dispersion estimator (the window
+	// parameter of markov.IndexOfDispersion, applied online). Default 10.
+	IDCBlock int
+	// IDCBlocks is how many completed blocks the IDC ring keeps; the gauge
+	// reads Var/Mean over that ring. Default 30.
+	IDCBlocks int
+	// DriftWindow is the number of recent intervals the windowed p_on /
+	// p_off MLE sums transitions over. Default 100.
+	DriftWindow int
+	// CVWindow is the number of recent interarrival gaps the CV estimator
+	// keeps. Default 256.
+	CVWindow int
+	// EWMAAlpha is the smoothing factor of the overflow-rate EWMA.
+	// Default 0.1.
+	EWMAAlpha float64
+}
+
+func (o ProbeOptions) withDefaults() ProbeOptions {
+	if o.IDCBlock <= 0 {
+		o.IDCBlock = 10
+	}
+	if o.IDCBlocks <= 1 {
+		o.IDCBlocks = 30
+	}
+	if o.DriftWindow <= 0 {
+		o.DriftWindow = 100
+	}
+	if o.CVWindow <= 1 {
+		o.CVWindow = 256
+	}
+	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
+		o.EWMAAlpha = 0.1
+	}
+	return o
+}
+
+// driftCell is one interval's transition tallies for the windowed MLE.
+type driftCell struct {
+	offOn, onOff    int
+	fromOff, fromOn int
+}
+
+// Probes computes windowed online burstiness estimators from the trace
+// stream and publishes them as gauges:
+//
+//	obs_idc                 — index of dispersion for counts of the fleet's
+//	                          ON process (Mi et al. §II): Var/Mean of ON-VM
+//	                          block sums over a ring of recent blocks
+//	obs_on_fraction         — ON VMs / hosted VMs, last interval
+//	obs_p_on, obs_p_off     — windowed MLE of the ON-OFF transition rates
+//	                          (Σ transitions / Σ opportunities), drifting
+//	                          with the live fleet rather than the declared
+//	                          workload parameters
+//	obs_interarrival_cv     — coefficient of variation of recent admission
+//	                          interarrival gaps (CV > 1 ⇒ burstier than
+//	                          Poisson)
+//	obs_overflow_rate_ewma  — EWMA of per-interval violations per
+//	                          powered-on PM
+//
+// Undefined estimators (not enough data yet) read NaN, which the exposition
+// writer renders verbatim.
+//
+// Probes is a telemetry.Tracer: feed it StepEvents (alone or in a Multi
+// fan-out) and call ObserveArrival from admission paths. Gauge writes are
+// atomic stores; the estimator state behind them is mutex-guarded.
+type Probes struct {
+	opt ProbeOptions
+
+	idcG, onFracG, pOnG, pOffG, cvG, ewmaG *telemetry.Gauge
+
+	mu sync.Mutex
+
+	// IDC state: per-interval ON counts aggregated into blocks.
+	blockAcc    float64
+	blockFill   int
+	blocks      []float64
+	blockNext   int
+	blockFilled int
+
+	// p_on/p_off drift state: ring of per-interval transition tallies plus
+	// running sums, and the previous interval's occupancy to derive the
+	// opportunity counts.
+	drift       []driftCell
+	driftNext   int
+	driftFilled int
+	driftSum    driftCell
+	prevVMs     int
+	prevOn      int
+	havePrev    bool
+
+	// Interarrival CV state: ring of gaps with running sum / sum-of-squares
+	// (recomputed from the ring periodically to shed float drift).
+	gaps       []float64
+	gapNext    int
+	gapFilled  int
+	gapSum     float64
+	gapSumSq   float64
+	gapPushes  int
+	lastArrive time.Time
+	haveArrive bool
+
+	// Overflow EWMA state.
+	ewma     float64
+	haveEWMA bool
+}
+
+// NewProbes registers the probe gauges on reg and returns the estimator set.
+func NewProbes(reg *telemetry.Registry, opt ProbeOptions) *Probes {
+	opt = opt.withDefaults()
+	reg.Help("obs_idc", "Streaming index of dispersion for counts of the fleet ON process (Mi et al. SII); NaN until two blocks complete.")
+	reg.Help("obs_on_fraction", "Fraction of hosted VMs in the ON state, last simulated interval.")
+	reg.Help("obs_p_on", "Windowed MLE of the OFF->ON transition probability observed in the live fleet.")
+	reg.Help("obs_p_off", "Windowed MLE of the ON->OFF transition probability observed in the live fleet.")
+	reg.Help("obs_interarrival_cv", "Coefficient of variation of recent admission interarrival gaps; NaN until two gaps observed.")
+	reg.Help("obs_overflow_rate_ewma", "EWMA of per-interval capacity violations per powered-on PM.")
+	p := &Probes{
+		opt:     opt,
+		idcG:    reg.Gauge("obs_idc"),
+		onFracG: reg.Gauge("obs_on_fraction"),
+		pOnG:    reg.Gauge("obs_p_on"),
+		pOffG:   reg.Gauge("obs_p_off"),
+		cvG:     reg.Gauge("obs_interarrival_cv"),
+		ewmaG:   reg.Gauge("obs_overflow_rate_ewma"),
+		blocks:  make([]float64, opt.IDCBlocks),
+		drift:   make([]driftCell, opt.DriftWindow),
+		gaps:    make([]float64, opt.CVWindow),
+	}
+	nan := math.NaN()
+	p.idcG.Set(nan)
+	p.onFracG.Set(nan)
+	p.pOnG.Set(nan)
+	p.pOffG.Set(nan)
+	p.cvG.Set(nan)
+	p.ewmaG.Set(nan)
+	return p
+}
+
+// Enabled returns true.
+func (p *Probes) Enabled() bool { return true }
+
+// Emit folds simulator step events into the estimators; other event kinds
+// are ignored.
+func (p *Probes) Emit(e telemetry.Event) {
+	ev, ok := e.(telemetry.StepEvent)
+	if !ok {
+		return
+	}
+	p.mu.Lock()
+	p.stepLocked(ev)
+	p.mu.Unlock()
+}
+
+func (p *Probes) stepLocked(ev telemetry.StepEvent) {
+	// ON fraction.
+	if ev.VMs > 0 {
+		p.onFracG.Set(float64(ev.OnVMs) / float64(ev.VMs))
+	}
+
+	// Windowed transition-rate MLE: opportunities come from the previous
+	// interval's occupancy (a VM OFF at t-1 could have taken OFF→ON at t).
+	if p.havePrev {
+		cell := driftCell{
+			offOn:   ev.OffOn,
+			onOff:   ev.OnOff,
+			fromOff: p.prevVMs - p.prevOn,
+			fromOn:  p.prevOn,
+		}
+		old := p.drift[p.driftNext]
+		if p.driftFilled == len(p.drift) {
+			p.driftSum.offOn -= old.offOn
+			p.driftSum.onOff -= old.onOff
+			p.driftSum.fromOff -= old.fromOff
+			p.driftSum.fromOn -= old.fromOn
+		} else {
+			p.driftFilled++
+		}
+		p.drift[p.driftNext] = cell
+		p.driftNext = (p.driftNext + 1) % len(p.drift)
+		p.driftSum.offOn += cell.offOn
+		p.driftSum.onOff += cell.onOff
+		p.driftSum.fromOff += cell.fromOff
+		p.driftSum.fromOn += cell.fromOn
+		if p.driftSum.fromOff > 0 {
+			p.pOnG.Set(float64(p.driftSum.offOn) / float64(p.driftSum.fromOff))
+		}
+		if p.driftSum.fromOn > 0 {
+			p.pOffG.Set(float64(p.driftSum.onOff) / float64(p.driftSum.fromOn))
+		}
+	}
+	p.prevVMs, p.prevOn = ev.VMs, ev.OnVMs
+	p.havePrev = ev.VMs > 0
+
+	// IDC: aggregate per-interval ON counts into blocks; Var/Mean over the
+	// block ring once at least two blocks completed.
+	p.blockAcc += float64(ev.OnVMs)
+	p.blockFill++
+	if p.blockFill >= p.opt.IDCBlock {
+		if p.blockFilled == len(p.blocks) {
+			// ring full: overwrite oldest
+		} else {
+			p.blockFilled++
+		}
+		p.blocks[p.blockNext] = p.blockAcc
+		p.blockNext = (p.blockNext + 1) % len(p.blocks)
+		p.blockAcc, p.blockFill = 0, 0
+		if p.blockFilled >= 2 {
+			mean, varc := meanVar(p.blocks[:p.blockFilled])
+			if mean > 0 {
+				p.idcG.Set(varc / mean)
+			}
+		}
+	}
+
+	// Overflow-rate EWMA.
+	if ev.PMsInUse > 0 {
+		rate := float64(ev.Violations) / float64(ev.PMsInUse)
+		if !p.haveEWMA {
+			p.ewma = rate
+			p.haveEWMA = true
+		} else {
+			p.ewma += p.opt.EWMAAlpha * (rate - p.ewma)
+		}
+		p.ewmaG.Set(p.ewma)
+	}
+}
+
+// ObserveArrival folds one admission arrival (at time t) into the
+// interarrival-CV estimator. Out-of-order timestamps clamp to a zero gap.
+func (p *Probes) ObserveArrival(t time.Time) {
+	p.mu.Lock()
+	if p.haveArrive {
+		gap := t.Sub(p.lastArrive).Seconds()
+		if gap < 0 {
+			gap = 0
+		}
+		if p.gapFilled == len(p.gaps) {
+			old := p.gaps[p.gapNext]
+			p.gapSum -= old
+			p.gapSumSq -= old * old
+		} else {
+			p.gapFilled++
+		}
+		p.gaps[p.gapNext] = gap
+		p.gapNext = (p.gapNext + 1) % len(p.gaps)
+		p.gapSum += gap
+		p.gapSumSq += gap * gap
+		p.gapPushes++
+		if p.gapPushes >= 4096 {
+			// Re-derive the running sums from the ring to shed float
+			// cancellation drift.
+			p.gapPushes = 0
+			p.gapSum, p.gapSumSq = 0, 0
+			for _, g := range p.gaps[:p.gapFilled] {
+				p.gapSum += g
+				p.gapSumSq += g * g
+			}
+		}
+		if p.gapFilled >= 2 {
+			n := float64(p.gapFilled)
+			mean := p.gapSum / n
+			if mean > 0 {
+				varc := p.gapSumSq/n - mean*mean
+				if varc < 0 {
+					varc = 0
+				}
+				p.cvG.Set(math.Sqrt(varc) / mean)
+			}
+		}
+	}
+	if t.After(p.lastArrive) {
+		p.lastArrive = t
+	}
+	p.haveArrive = true
+	p.mu.Unlock()
+}
+
+// meanVar returns the mean and population variance of xs.
+func meanVar(xs []float64) (mean, variance float64) {
+	n := float64(len(xs))
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= n
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	return mean, variance / n
+}

@@ -1,0 +1,176 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/markov"
+	"repro/internal/telemetry"
+)
+
+func newTestProbes(opt ProbeOptions) (*Probes, *telemetry.Registry) {
+	reg := telemetry.NewRegistry()
+	return NewProbes(reg, opt), reg
+}
+
+func gauge(t *testing.T, reg *telemetry.Registry, name string) float64 {
+	t.Helper()
+	v, ok := reg.Snapshot().Gauges[name]
+	if !ok {
+		t.Fatalf("gauge %s not registered", name)
+	}
+	return v
+}
+
+// TestProbesIDCMatchesOffline pins the streaming IDC to the offline
+// reference: a single-VM fleet's ON indicator fed through StepEvents must
+// reproduce markov.IndexOfDispersion over the same trace and window.
+func TestProbesIDCMatchesOffline(t *testing.T) {
+	const window, blocks = 10, 30
+	chain, err := markov.NewOnOff(0.3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := chain.Trace(markov.Off, window*blocks, rand.New(rand.NewSource(7)))
+
+	want, err := markov.IndexOfDispersion(trace, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, reg := newTestProbes(ProbeOptions{IDCBlock: window, IDCBlocks: blocks})
+	for i, st := range trace {
+		on := 0
+		if st == markov.On {
+			on = 1
+		}
+		p.Emit(telemetry.StepEvent{Interval: i, VMs: 1, OnVMs: on, PMsInUse: 1})
+	}
+	got := gauge(t, reg, "obs_idc")
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("streaming IDC = %g, offline = %g", got, want)
+	}
+}
+
+func TestProbesIDCUndefinedUntilTwoBlocks(t *testing.T) {
+	p, reg := newTestProbes(ProbeOptions{IDCBlock: 5})
+	for i := 0; i < 9; i++ { // one full block plus a partial one
+		p.Emit(telemetry.StepEvent{Interval: i, VMs: 2, OnVMs: 1})
+	}
+	if v := gauge(t, reg, "obs_idc"); !math.IsNaN(v) {
+		t.Fatalf("IDC after one block = %g, want NaN", v)
+	}
+}
+
+// TestProbesTransitionDrift checks the windowed MLE against hand-counted
+// transitions: the estimator divides observed switches by the occupancy of
+// the source state in the previous interval.
+func TestProbesTransitionDrift(t *testing.T) {
+	p, reg := newTestProbes(ProbeOptions{DriftWindow: 100})
+	// Interval 0: 10 VMs, 4 ON. Interval 1: 3 OFF→ON, 1 ON→OFF.
+	p.Emit(telemetry.StepEvent{Interval: 0, VMs: 10, OnVMs: 4})
+	p.Emit(telemetry.StepEvent{Interval: 1, VMs: 10, OnVMs: 6, OffOn: 3, OnOff: 1})
+	if got, want := gauge(t, reg, "obs_p_on"), 3.0/6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p_on = %g, want %g", got, want)
+	}
+	if got, want := gauge(t, reg, "obs_p_off"), 1.0/4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("p_off = %g, want %g", got, want)
+	}
+	if got, want := gauge(t, reg, "obs_on_fraction"), 0.6; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("on_fraction = %g, want %g", got, want)
+	}
+}
+
+// TestProbesDriftMatchesEstimateOnOff feeds a sampled single-VM chain and
+// compares the windowed MLE to markov.EstimateOnOff over the same steps.
+func TestProbesDriftMatchesEstimateOnOff(t *testing.T) {
+	const steps = 400
+	chain, err := markov.NewOnOff(0.25, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := chain.Trace(markov.Off, steps, rand.New(rand.NewSource(11)))
+	est, err := markov.EstimateOnOff(trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, reg := newTestProbes(ProbeOptions{DriftWindow: steps}) // window covers it all
+	for i, st := range trace {
+		ev := telemetry.StepEvent{Interval: i, VMs: 1}
+		if st == markov.On {
+			ev.OnVMs = 1
+		}
+		if i > 0 {
+			if trace[i-1] == markov.Off && st == markov.On {
+				ev.OffOn = 1
+			}
+			if trace[i-1] == markov.On && st == markov.Off {
+				ev.OnOff = 1
+			}
+		}
+		p.Emit(ev)
+	}
+	if got := gauge(t, reg, "obs_p_on"); math.Abs(got-est.POn) > 1e-12 {
+		t.Fatalf("windowed p_on = %g, EstimateOnOff = %g", got, est.POn)
+	}
+	if got := gauge(t, reg, "obs_p_off"); math.Abs(got-est.POff) > 1e-12 {
+		t.Fatalf("windowed p_off = %g, EstimateOnOff = %g", got, est.POff)
+	}
+}
+
+func TestProbesInterarrivalCV(t *testing.T) {
+	p, reg := newTestProbes(ProbeOptions{CVWindow: 64})
+	base := time.Unix(1_700_000_000, 0)
+
+	// Constant gaps: CV → 0.
+	for i := 0; i < 10; i++ {
+		p.ObserveArrival(base.Add(time.Duration(i) * time.Millisecond))
+	}
+	if v := gauge(t, reg, "obs_interarrival_cv"); math.Abs(v) > 1e-9 {
+		t.Fatalf("CV of constant gaps = %g, want 0", v)
+	}
+
+	// A bursty train (gap pattern 0,0,0,9ms repeating) is burstier than its
+	// mean: CV well above 1.
+	p2, reg2 := newTestProbes(ProbeOptions{CVWindow: 64})
+	ts := base
+	for i := 0; i < 40; i++ {
+		if i%4 == 3 {
+			ts = ts.Add(9 * time.Millisecond)
+		}
+		p2.ObserveArrival(ts)
+	}
+	if v := gauge(t, reg2, "obs_interarrival_cv"); v < 1 {
+		t.Fatalf("CV of bursty train = %g, want > 1", v)
+	}
+
+	// Out-of-order timestamp clamps to zero gap, never negative stats.
+	p.ObserveArrival(base.Add(-time.Second))
+	if v := gauge(t, reg, "obs_interarrival_cv"); math.IsNaN(v) || v < 0 {
+		t.Fatalf("CV after out-of-order arrival = %g", v)
+	}
+}
+
+func TestProbesOverflowEWMA(t *testing.T) {
+	p, reg := newTestProbes(ProbeOptions{EWMAAlpha: 0.5})
+	p.Emit(telemetry.StepEvent{Interval: 0, VMs: 1, PMsInUse: 10, Violations: 2}) // rate 0.2
+	if got := gauge(t, reg, "obs_overflow_rate_ewma"); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("EWMA seed = %g, want 0.2", got)
+	}
+	p.Emit(telemetry.StepEvent{Interval: 1, VMs: 1, PMsInUse: 10, Violations: 0})
+	if got := gauge(t, reg, "obs_overflow_rate_ewma"); math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("EWMA after zero interval = %g, want 0.1", got)
+	}
+}
+
+func TestProbesIgnoreOtherEvents(t *testing.T) {
+	p, reg := newTestProbes(ProbeOptions{})
+	p.Emit(telemetry.PlacementEvent{VMID: 1, Accepted: true})
+	p.Emit(telemetry.FaultEvent{Type: telemetry.FaultPMCrash})
+	if v := gauge(t, reg, "obs_on_fraction"); !math.IsNaN(v) {
+		t.Fatalf("on_fraction moved on non-step events: %g", v)
+	}
+}

@@ -1,0 +1,194 @@
+// Package obs is the live observability plane: a flight recorder of recent
+// trace events, streaming burstiness probes (index of dispersion,
+// interarrival CV, ON-fraction and p_on drift, overflow-rate EWMA), and
+// sliding-window latency trackers giving rolling p50/p95/p99 for the hot
+// placesvc and simulator paths. It layers on internal/telemetry — every
+// component either implements telemetry.Tracer or exports through a
+// telemetry.Registry — and depends on nothing else.
+//
+// The plane is built to ride in the hot path: enabling it must cost
+// single-digit percent on BenchmarkScaleStep and BenchmarkServeAdmit, and it
+// never perturbs simulation state (the fixed-shard determinism contract —
+// bit-identical Reports with obs on or off — is covered by test).
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// DefWindowBounds are the default WindowedTimer bucket bounds in seconds:
+// finer-grained at the microsecond end than telemetry.DefDurationBuckets
+// because the spans it tracks (queue wait, batch apply, snapshot publish,
+// sim steps) live between 100ns and ~1s.
+var DefWindowBounds = []float64{
+	250e-9, 500e-9, 1e-6, 2.5e-6, 5e-6, 10e-6, 25e-6, 50e-6, 100e-6,
+	250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3,
+	250e-3, 500e-3, 1, 2.5, 5,
+}
+
+// WindowedTimer is a sliding-window duration histogram: a ring of per-window
+// bucket arrays rotated on a fixed period, merged on read. Quantiles read
+// from it therefore cover roughly the last windows×period of observations
+// and forget anything older — the rolling-SLO view, where a cumulative
+// histogram would dilute a fresh regression under hours of healthy history.
+//
+// Observe is mutex-guarded (one lock, two array writes); Snapshot merges the
+// live windows into a telemetry.HistogramSnapshot so quantile estimation is
+// shared with the cumulative histograms rather than reimplemented.
+type WindowedTimer struct {
+	mu     sync.Mutex
+	bounds []float64
+	period time.Duration
+	now    func() time.Time
+
+	wins   [][]uint64 // per window: len(bounds)+1 non-cumulative counts
+	sums   []float64
+	counts []uint64
+	cur    int       // window receiving observations
+	start  time.Time // start of the current window; zero until first touch
+}
+
+// NewWindowedTimer returns a timer of `windows` sub-windows each `period`
+// long. Non-positive arguments take the defaults (12 windows × 5s — a one
+// minute rolling view); nil bounds take DefWindowBounds.
+func NewWindowedTimer(windows int, period time.Duration, bounds []float64) *WindowedTimer {
+	if windows <= 0 {
+		windows = 12
+	}
+	if period <= 0 {
+		period = 5 * time.Second
+	}
+	if bounds == nil {
+		bounds = DefWindowBounds
+	}
+	sorted := make([]float64, len(bounds))
+	copy(sorted, bounds)
+	for i := 1; i < len(sorted); i++ {
+		if sorted[i] <= sorted[i-1] {
+			panic("obs: window bounds not strictly increasing")
+		}
+	}
+	w := &WindowedTimer{
+		bounds: sorted,
+		period: period,
+		now:    time.Now,
+		wins:   make([][]uint64, windows),
+		sums:   make([]float64, windows),
+		counts: make([]uint64, windows),
+	}
+	for i := range w.wins {
+		w.wins[i] = make([]uint64, len(sorted)+1)
+	}
+	return w
+}
+
+// Observe records one duration.
+func (w *WindowedTimer) Observe(d time.Duration) { w.ObserveSeconds(d.Seconds()) }
+
+// ObserveSeconds records one sample, in seconds.
+func (w *WindowedTimer) ObserveSeconds(v float64) {
+	w.observeAt(w.now(), v)
+}
+
+// ObserveAt records one duration against a caller-supplied clock reading —
+// the hot-path variant for callers that already timed a span and can lend
+// that timestamp for window rotation instead of paying another clock read.
+func (w *WindowedTimer) ObserveAt(now time.Time, d time.Duration) {
+	w.observeAt(now, d.Seconds())
+}
+
+func (w *WindowedTimer) observeAt(now time.Time, v float64) {
+	w.mu.Lock()
+	w.advance(now)
+	i := sort.SearchFloat64s(w.bounds, v)
+	w.wins[w.cur][i]++
+	w.sums[w.cur] += v
+	w.counts[w.cur]++
+	w.mu.Unlock()
+}
+
+// advance rotates expired windows so w.cur covers the interval containing
+// now. Callers hold the lock.
+func (w *WindowedTimer) advance(now time.Time) {
+	if w.start.IsZero() {
+		w.start = now
+		return
+	}
+	elapsed := now.Sub(w.start)
+	if elapsed < w.period {
+		return
+	}
+	steps := int(elapsed / w.period)
+	if steps >= len(w.wins) {
+		// Idle longer than the whole ring: every window expired.
+		for i := range w.wins {
+			clearWindow(w.wins[i])
+			w.sums[i] = 0
+			w.counts[i] = 0
+		}
+		w.cur = 0
+		w.start = now
+		return
+	}
+	for ; steps > 0; steps-- {
+		w.cur = (w.cur + 1) % len(w.wins)
+		clearWindow(w.wins[w.cur])
+		w.sums[w.cur] = 0
+		w.counts[w.cur] = 0
+		w.start = w.start.Add(w.period)
+	}
+}
+
+func clearWindow(counts []uint64) {
+	for i := range counts {
+		counts[i] = 0
+	}
+}
+
+// Snapshot merges the live windows into one cumulative histogram snapshot.
+func (w *WindowedTimer) Snapshot() telemetry.HistogramSnapshot {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.advance(w.now())
+	hs := telemetry.HistogramSnapshot{
+		Buckets: make([]telemetry.BucketCount, len(w.bounds)+1),
+	}
+	var cum uint64
+	for i := range hs.Buckets {
+		for win := range w.wins {
+			cum += w.wins[win][i]
+		}
+		bound := math.Inf(1)
+		if i < len(w.bounds) {
+			bound = w.bounds[i]
+		}
+		hs.Buckets[i] = telemetry.BucketCount{UpperBound: bound, Count: cum}
+	}
+	for i := range w.sums {
+		hs.Sum += w.sums[i]
+		hs.Count += w.counts[i]
+	}
+	return hs
+}
+
+// Quantile estimates the q-quantile over the rolling window; NaN when no
+// samples are live.
+func (w *WindowedTimer) Quantile(q float64) float64 {
+	return w.Snapshot().Quantile(q)
+}
+
+// Quantiles estimates several quantiles from one merge — the gauge-refresh
+// path, which reads p50/p95/p99 together every sampler tick.
+func (w *WindowedTimer) Quantiles(qs ...float64) []float64 {
+	hs := w.Snapshot()
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		out[i] = hs.Quantile(q)
+	}
+	return out
+}

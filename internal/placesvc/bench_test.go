@@ -9,7 +9,20 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 )
+
+// benchObs returns the obs plane the admission benchmarks attach: nil by
+// default, a full plane when OBS_BENCH is set. Bench names stay identical so
+// benchdiff can diff the obs-off vs obs-on snapshots (make bench-pr6).
+func benchObs(b *testing.B) *obs.Plane {
+	if os.Getenv("OBS_BENCH") == "" {
+		return nil
+	}
+	p := obs.NewPlane(obs.Options{})
+	b.Cleanup(func() { p.Close() })
+	return p
+}
 
 // serveBenchM mirrors the core scale sweep: 1k PMs by default, the
 // 1k/10k/100k ladder under SCALE_BENCH_FULL=1.
@@ -64,6 +77,7 @@ func BenchmarkServeAdmit(b *testing.B) {
 					PMs:      mkPool(m, 100),
 					POn:      0.01,
 					POff:     0.09,
+					Obs:      benchObs(b),
 				})
 				if err != nil {
 					b.Fatal(err)

@@ -27,6 +27,23 @@ func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
 	if reg == nil {
 		return nil
 	}
+	for family, text := range map[string]string{
+		"placesvc_placements_total":        "VMs admitted and placed.",
+		"placesvc_rejections_total":        "VM arrivals rejected for lack of capacity.",
+		"placesvc_departures_total":        "VMs departed.",
+		"placesvc_requests_total":          "Requests committed, all kinds.",
+		"placesvc_commits_total":           "Batches committed.",
+		"placesvc_table_refreshes_total":   "Applied mapping-table refreshes.",
+		"placesvc_snapshot_rebuilds_total": "Snapshot base re-clones (journal outgrew the fleet).",
+		"placesvc_batch_size":              "Requests coalesced per commit.",
+		"placesvc_queue_latency_seconds":   "Submit-to-commit-pickup latency (cumulative histogram).",
+		"placesvc_queue_depth":             "Queued requests at last commit.",
+		"placesvc_vms":                     "VMs in the fleet as of the latest snapshot.",
+		"placesvc_used_pms":                "PMs hosting at least one VM.",
+		"placesvc_snapshot_version":        "Commit number of the published snapshot.",
+	} {
+		reg.Help(family, text)
+	}
 	return &svcMetrics{
 		placements:   reg.Counter("placesvc_placements_total"),
 		rejections:   reg.Counter("placesvc_rejections_total"),

@@ -30,11 +30,18 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
 // ErrClosed is returned for requests submitted after Close.
 var ErrClosed = errors.New("placesvc: service closed")
+
+// obsSampleEvery is the commit-level span-timing sample rate: one commit in
+// this many gets its queue-wait / batch-apply / snapshot-publish spans timed
+// into the obs windows. Keyed off the commit counter, so which commits are
+// sampled is deterministic.
+const obsSampleEvery = 8
 
 // Config parameterises a Service.
 type Config struct {
@@ -62,6 +69,12 @@ type Config struct {
 	// batch-size and queue-latency histograms, fleet gauges). Nil disables
 	// instrumentation at the cost of one branch per commit.
 	Registry *telemetry.Registry
+	// Obs attaches the live observability plane: rolling queue-wait,
+	// batch-apply and snapshot-publish latency windows, the interarrival
+	// burstiness probe, and capacity-rejection storms feeding the flight
+	// recorder. Nil disables it; the committer then pays one branch per
+	// commit, same as Registry.
+	Obs *obs.Plane
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -171,6 +184,7 @@ type Service struct {
 	snap syncSnapshot
 
 	metrics *svcMetrics
+	obs     *obs.Plane
 }
 
 // arrival links one VM awaiting placement back to its request. Plain Arrive
@@ -198,6 +212,7 @@ func New(cfg Config) (*Service, error) {
 		ch:       make(chan *request, cfg.QueueCap),
 		base:     online.Placement().Clone(),
 		metrics:  newSvcMetrics(cfg.Registry),
+		obs:      cfg.Obs,
 	}
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.publish()
@@ -301,7 +316,7 @@ func (s *Service) put(r *request) { s.pool.Put(r) }
 // Close's Lock so a send can never race the channel close; a full queue
 // blocks the submitter (backpressure) while the committer keeps draining.
 func (s *Service) submit(r *request) error {
-	if s.metrics != nil {
+	if s.metrics != nil || s.obs != nil {
 		r.enq = time.Now()
 	}
 	s.mu.RLock()
@@ -376,16 +391,39 @@ func (s *Service) run() {
 // waiter. Responding after publication guarantees a client that reads the
 // snapshot after its response sees a version ≥ the commit that placed it.
 func (s *Service) commit(batch []*request) {
+	// Span timing is sampled one commit in obsSampleEvery: the rolling
+	// quantiles only need a uniform subsample, and skipping the clock reads
+	// and window pushes on the other commits keeps the obs-on overhead on
+	// BenchmarkServeAdmit single-digit. Sampling keys off the commit number,
+	// so it is deterministic and load-independent. The interarrival probe is
+	// NOT sampled — thinning a point process changes its CV — and arrival
+	// stamps cost nothing extra here (submit already took them).
+	sampled := s.obs != nil && s.stats.Commits%obsSampleEvery == 0
+	var applyStart time.Time
+	if s.metrics != nil || sampled {
+		applyStart = time.Now()
+	}
 	if m := s.metrics; m != nil {
-		now := time.Now()
 		m.commits.Inc()
 		m.requests.Add(uint64(len(batch)))
 		m.batchSize.Observe(float64(len(batch)))
 		for _, r := range batch {
-			m.queueLatency.Observe(now.Sub(r.enq))
+			m.queueLatency.Observe(applyStart.Sub(r.enq))
 		}
 		m.queueDepth.Set(float64(len(s.ch)))
 	}
+	if o := s.obs; o != nil {
+		for _, r := range batch {
+			if sampled {
+				o.QueueWait.ObserveAt(applyStart, applyStart.Sub(r.enq))
+			}
+			if r.kind == reqArrive || r.kind == reqArriveBatch {
+				// Submission times drive the interarrival-CV burstiness probe.
+				o.Probes.ObserveArrival(r.enq)
+			}
+		}
+	}
+	rejectedBefore := s.stats.Rejected
 	s.stats.Commits++
 	s.stats.Requests += uint64(len(batch))
 
@@ -478,7 +516,27 @@ func (s *Service) commit(batch []*request) {
 		r.err = refreshErr
 	}
 
+	var pubStart time.Time
+	if sampled {
+		pubStart = time.Now()
+	}
 	s.publish()
+	if o := s.obs; o != nil {
+		if sampled {
+			now := time.Now()
+			// BatchApply spans the three apply phases; SnapshotPublish the
+			// publication that follows them.
+			o.BatchApply.ObserveAt(pubStart, pubStart.Sub(applyStart))
+			o.SnapshotPublish.ObserveAt(now, now.Sub(pubStart))
+		}
+		if d := s.stats.Rejected - rejectedBefore; d > 0 {
+			// Feed capacity rejections to the flight recorder's storm
+			// trigger; placesvc emits no trace events, so this is the
+			// out-of-band path. Never sampled: storms must count every
+			// rejection.
+			o.ObserveRejections(int(d))
+		}
+	}
 	for _, r := range batch {
 		r.done <- struct{}{}
 	}

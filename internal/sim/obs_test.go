@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// obsRun mirrors shardRun but lets the caller attach a tracer.
+func obsRun(t *testing.T, shards int, faults FaultPlan, tracer telemetry.Tracer) *Report {
+	t.Helper()
+	placement, table := buildPlacement(t, core.FFDByRb{}, 200, 99)
+	cfg := Config{
+		Intervals:         100,
+		Rho:               0.01,
+		EnableMigration:   true,
+		MigrationOverhead: 0.1,
+		Shards:            shards,
+		Faults:            faults,
+		Tracer:            tracer,
+	}
+	s, err := New(placement, table, cfg, rand.New(rand.NewSource(99)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestReportInvarianceUnderObs extends the shard-count determinism contract
+// to the observability plane: attaching a full obs.Plane (flight recorder +
+// probes + windows) must leave the Report bit-identical to an untraced run,
+// sequential and sharded, with and without faults.
+func TestReportInvarianceUnderObs(t *testing.T) {
+	plan := stubPlan{
+		down: func(pmID, interval int) bool {
+			return pmID%7 == 3 && interval >= 20 && interval < 40
+		},
+		fails: func(interval, vmID, attempt int) bool {
+			return attempt == 1 && (interval+vmID)%11 == 0
+		},
+		overshoot: func(interval, vmID int) float64 {
+			if vmID%13 == 5 && interval%9 == 2 {
+				return 1.5
+			}
+			return 1
+		},
+	}
+	for _, tc := range []struct {
+		name   string
+		shards int
+		plan   FaultPlan
+	}{
+		{"seq", 1, nil},
+		{"sharded", 4, nil},
+		{"sharded_faults", 4, plan},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			bare := obsRun(t, tc.shards, tc.plan, nil)
+			plane := obs.NewPlane(obs.Options{})
+			defer plane.Close()
+			traced := obsRun(t, tc.shards, tc.plan, plane)
+			requireIdenticalReports(t, bare, traced, "obs on vs off")
+			if !reflect.DeepEqual(bare.Faults, traced.Faults) {
+				t.Fatal("fault reports diverged under obs")
+			}
+		})
+	}
+}
+
+// stepCollector keeps every StepEvent it sees.
+type stepCollector struct {
+	steps []telemetry.StepEvent
+}
+
+func (c *stepCollector) Enabled() bool { return true }
+func (c *stepCollector) Emit(e telemetry.Event) {
+	if se, ok := e.(telemetry.StepEvent); ok {
+		c.steps = append(c.steps, se)
+	}
+}
+
+// TestStepEventProbeFields checks the occupancy and timing fields the sync
+// pass tallies for the streaming probes: fleet size constant, ON counts
+// consistent with the reported transitions, timings populated.
+func TestStepEventProbeFields(t *testing.T) {
+	col := &stepCollector{}
+	obsRun(t, 4, nil, col)
+	if len(col.steps) != 100 {
+		t.Fatalf("collected %d step events, want 100", len(col.steps))
+	}
+	sawOn := false
+	for i, se := range col.steps {
+		if se.VMs != 200 {
+			t.Fatalf("step %d: VMs = %d, want 200", i, se.VMs)
+		}
+		if se.OnVMs < 0 || se.OnVMs > se.VMs {
+			t.Fatalf("step %d: OnVMs = %d out of range", i, se.OnVMs)
+		}
+		if se.OnVMs > 0 {
+			sawOn = true
+		}
+		if se.DurationNs <= 0 || se.ShardMaxNs <= 0 {
+			t.Fatalf("step %d: timings not populated: dur=%d shardMax=%d", i, se.DurationNs, se.ShardMaxNs)
+		}
+		if se.DurationNs < se.ShardMaxNs {
+			t.Fatalf("step %d: shard time %d exceeds whole step %d", i, se.ShardMaxNs, se.DurationNs)
+		}
+		if i > 0 {
+			// Flow conservation: ON delta equals OFF→ON minus ON→OFF.
+			if got, want := se.OnVMs-col.steps[i-1].OnVMs, se.OffOn-se.OnOff; got != want {
+				t.Fatalf("step %d: ON delta %d, transitions say %d", i, got, want)
+			}
+		}
+	}
+	if !sawOn {
+		t.Fatal("fleet never turned ON; probe fields untested")
+	}
+}
+
+// TestFaultTriggeredFlightDump runs a crash-heavy plan with a full plane
+// attached and requires automatic pm_crash dumps carrying the fault event.
+func TestFaultTriggeredFlightDump(t *testing.T) {
+	var dumps []obs.Dump
+	plane := obs.NewPlane(obs.Options{
+		FlightCap: 256,
+		OnDump:    func(d obs.Dump) { dumps = append(dumps, d) },
+	})
+	defer plane.Close()
+	plan := stubPlan{
+		down: func(pmID, interval int) bool {
+			return pmID%5 == 2 && interval >= 30 && interval < 50
+		},
+	}
+	obsRun(t, 1, plan, plane)
+	if len(dumps) == 0 {
+		t.Fatal("no automatic flight dump despite PM crashes")
+	}
+	first := dumps[0]
+	if first.Trigger != obs.TriggerPMCrash {
+		t.Fatalf("first dump trigger %q, want %q", first.Trigger, obs.TriggerPMCrash)
+	}
+	_, recs, err := obs.ParseDump(mustMarshal(t, first))
+	if err != nil {
+		t.Fatal(err)
+	}
+	crash := false
+	for _, rec := range recs {
+		if fe, ok := rec.Event.(*telemetry.FaultEvent); ok && fe.Type == telemetry.FaultPMCrash {
+			crash = true
+		}
+	}
+	if !crash {
+		t.Fatal("pm_crash dump does not contain the crash event")
+	}
+}
+
+func mustMarshal(t *testing.T, d obs.Dump) []byte {
+	t.Helper()
+	buf, err := json.Marshal(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf
+}

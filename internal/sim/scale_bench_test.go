@@ -8,8 +8,23 @@ import (
 
 	"repro/internal/cloud"
 	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
+
+// benchTracer returns the tracer the scale benchmarks step with: nil by
+// default, a full obs.Plane when OBS_BENCH is set. The bench names stay
+// identical either way so benchdiff can diff obs-off vs obs-on snapshots
+// (make bench-pr6).
+func benchTracer(b *testing.B) telemetry.Tracer {
+	if os.Getenv("OBS_BENCH") == "" {
+		return nil
+	}
+	p := obs.NewPlane(obs.Options{})
+	b.Cleanup(func() { p.Close() })
+	return p
+}
 
 // scaleN returns the fleet sizes for the scale benchmarks. The full sweep
 // (10k, 100k, 1M) runs when SCALE_BENCH_FULL is set; plain `go test -bench`
@@ -69,6 +84,7 @@ func BenchmarkScaleStep(b *testing.B) {
 					EnableMigration:   true,
 					MigrationOverhead: 0.1,
 					Shards:            shards,
+					Tracer:            benchTracer(b),
 				}
 				s, err := NewWithSource(placement, nil, cfg, fleet, rand.New(rand.NewSource(1)))
 				if err != nil {

@@ -24,6 +24,12 @@ type shardScratch struct {
 	dirty      []int // PM positions whose folded load changed (tree refresh pending)
 	triggered  []int // PM ids whose windowed CVR breached ρ
 	violations int
+
+	// Occupancy tallies for the StepEvent probe fields, filled by the sync
+	// pass only when the run is traced. Pure measurement: they never feed
+	// back into simulation state.
+	vms, on, offOn, onOff int
+	elapsedNs             int64 // this shard's measurement-pass wall time
 }
 
 // scratchPool recycles shard scratch buffers across steps and simulators.
@@ -33,6 +39,8 @@ func (sc *shardScratch) reset() {
 	sc.dirty = sc.dirty[:0]
 	sc.triggered = sc.triggered[:0]
 	sc.violations = 0
+	sc.vms, sc.on, sc.offOn, sc.onOff = 0, 0, 0, 0
+	sc.elapsedNs = 0
 }
 
 // shardBounds splits m positions into k contiguous ranges; entry i covers
@@ -109,16 +117,17 @@ func (s *Simulator) releaseScratches() {
 // passes touch only slices; the tree refresh for dirty positions happens
 // sequentially afterwards because shards share interior tree nodes.
 func (s *Simulator) syncLoads(states map[int]markov.State, scr []*shardScratch) error {
+	count := s.tracer.Enabled()
 	if s.cfg.RequestNoise {
 		// Noise draws from the shared RNG in placement order; config
 		// validation pins noisy runs to a single shard.
-		if err := s.syncRange(states, s.bounds[0], s.bounds[1], scr[0]); err != nil {
+		if err := s.syncRange(states, s.bounds[0], s.bounds[1], scr[0], count); err != nil {
 			return err
 		}
 	} else {
 		s.runSharded(func(shard, lo, hi int) {
 			// syncRange only errors on noisy demand draws, excluded above.
-			_ = s.syncRange(states, lo, hi, scr[shard])
+			_ = s.syncRange(states, lo, hi, scr[shard], count)
 		})
 	}
 	for _, sc := range scr {
@@ -129,8 +138,11 @@ func (s *Simulator) syncLoads(states map[int]markov.State, scr []*shardScratch) 
 	return nil
 }
 
-// syncRange is one shard's demand-sync pass over [lo, hi).
-func (s *Simulator) syncRange(states map[int]markov.State, lo, hi int, sc *shardScratch) error {
+// syncRange is one shard's demand-sync pass over [lo, hi). With count set
+// (traced runs) it also tallies fleet occupancy and ON-OFF transitions into
+// the scratch — riding the existing hosted-VM walk so obs-on avoids a second
+// O(VMs) pass and obs-off pays one predictable branch per VM.
+func (s *Simulator) syncRange(states map[int]markov.State, lo, hi int, sc *shardScratch, count bool) error {
 	l := s.led
 	noise := s.cfg.RequestNoise
 	faults := s.faultsEnabled()
@@ -138,6 +150,9 @@ func (s *Simulator) syncRange(states map[int]markov.State, lo, hi int, sc *shard
 		hosted := l.hosted[pos]
 		if len(hosted) == 0 {
 			continue
+		}
+		if count {
+			sc.vms += len(hosted)
 		}
 		changed := false
 		for _, vi := range hosted {
@@ -149,8 +164,22 @@ func (s *Simulator) syncRange(states map[int]markov.State, lo, hi int, sc *shard
 					boost = f
 				}
 			}
+			if count {
+				// Branch-free ON tally (Off = 0, On = 1); the transition
+				// tallies sit past the same state comparison the fast path
+				// already takes, so an unchanged VM pays two predictable
+				// branches and one add.
+				sc.on += int(st)
+			}
 			if !noise && st == l.vmState[vi] && boost == l.vmBoost[vi] {
 				continue
+			}
+			if count && st != l.vmState[vi] {
+				if st == markov.On {
+					sc.offOn++
+				} else {
+					sc.onOff++
+				}
 			}
 			d, err := s.vmDemand(l.vmSpec[vi], st)
 			if err != nil {

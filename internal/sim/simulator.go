@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"time"
 
 	"repro/internal/cloud"
 	"repro/internal/markov"
@@ -49,10 +50,10 @@ type Simulator struct {
 	tracer    telemetry.Tracer
 
 	led    *ledger
-	bounds []int                // shard → first owned PM position (see shard.go)
-	meters []*metrics.CVRMeter  // one CVR meter per shard, merged at report
-	scr    []*shardScratch      // per-step scratch leases from scratchPool
-	trig   []int                // reusable triggered-PM buffer
+	bounds []int               // shard → first owned PM position (see shard.go)
+	meters []*metrics.CVRMeter // one CVR meter per shard, merged at report
+	scr    []*shardScratch     // per-step scratch leases from scratchPool
+	trig   []int               // reusable triggered-PM buffer
 
 	migrationsPerStep *metrics.TimeSeries
 	pmsInUse          *metrics.TimeSeries
@@ -270,6 +271,11 @@ func (r *Report) WorstVMViolation() (vmID int, ratio float64) {
 // breached ρ. The sync and measurement passes run sharded (see shard.go);
 // everything that mutates topology stays sequential.
 func (s *Simulator) step(t int) error {
+	traced := s.tracer.Enabled()
+	var stepStart time.Time
+	if traced {
+		stepStart = time.Now()
+	}
 	s.fleet.Step(s.rng)
 	states := s.fleet.States()
 
@@ -292,6 +298,12 @@ func (s *Simulator) step(t int) error {
 
 	// Measure every powered-on PM, one shard per worker.
 	s.runSharded(func(shard, lo, hi int) {
+		if traced {
+			t0 := time.Now()
+			s.measureRange(lo, hi, s.meters[shard], scr[shard])
+			scr[shard].elapsedNs = time.Since(t0).Nanoseconds()
+			return
+		}
 		s.measureRange(lo, hi, s.meters[shard], scr[shard])
 	})
 	violations := 0
@@ -349,7 +361,7 @@ func (s *Simulator) step(t int) error {
 	}
 	s.migrationsPerStep.Append(t, float64(migrations))
 	s.pmsInUse.Append(t, float64(s.placement.NumUsedPMs()))
-	if s.tracer.Enabled() {
+	if traced {
 		ev := telemetry.StepEvent{
 			Interval:   t,
 			Violations: violations,
@@ -360,6 +372,20 @@ func (s *Simulator) step(t int) error {
 		if s.shardCount() > 1 {
 			ev.Shards = s.shardCount()
 		}
+		// Occupancy tallies from the sync pass and the per-shard / whole-step
+		// timings — the streaming-probe inputs (internal/obs).
+		var shardMax int64
+		for _, sc := range scr {
+			ev.VMs += sc.vms
+			ev.OnVMs += sc.on
+			ev.OffOn += sc.offOn
+			ev.OnOff += sc.onOff
+			if sc.elapsedNs > shardMax {
+				shardMax = sc.elapsedNs
+			}
+		}
+		ev.ShardMaxNs = shardMax
+		ev.DurationNs = time.Since(stepStart).Nanoseconds()
 		s.tracer.Emit(ev)
 	}
 	return nil

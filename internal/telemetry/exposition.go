@@ -1,0 +1,268 @@
+package telemetry
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidateExposition checks a Prometheus text-format (0.0.4) payload for the
+// structural rules a scraper relies on: metric and label names well formed,
+// label values using only legal escapes (\\ \" \n), any `# HELP` line
+// preceding its family's `# TYPE` line, at most one HELP and one TYPE per
+// family, no metadata after the family's first sample, parseable sample
+// values (including +Inf/-Inf/NaN), histogram `_bucket` samples carrying an
+// `le` label with a `+Inf` bucket present per labelled series, and
+// consecutive buckets of one series cumulative (non-decreasing). It returns
+// nil on a conforming payload and a line-numbered error otherwise.
+//
+// It is intentionally a validator, not a parser: CI scrapes /metrics during a
+// loadgen smoke run and feeds the body here.
+func ValidateExposition(data []byte) error {
+	v := expoValidator{
+		typeOf:   make(map[string]string),
+		helpSeen: make(map[string]bool),
+		sampled:  make(map[string]bool),
+		infSeen:  make(map[string]bool),
+		lastCum:  make(map[string]uint64),
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if err := v.line(line); err != nil {
+			return fmt.Errorf("exposition line %d: %w", i+1, err)
+		}
+	}
+	for fam, kind := range v.typeOf {
+		if kind == "histogram" && v.sampled[fam] {
+			for series, ok := range v.infSeen {
+				if strings.HasPrefix(series, fam+"|") && !ok {
+					return fmt.Errorf("histogram %s: series %q has no le=\"+Inf\" bucket", fam, series)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+type expoValidator struct {
+	typeOf   map[string]string // family → declared type
+	helpSeen map[string]bool
+	sampled  map[string]bool   // families with at least one sample emitted
+	infSeen  map[string]bool   // "family|labels-minus-le" → saw le="+Inf"
+	lastCum  map[string]uint64 // bucket cumulative count per series
+}
+
+func (v *expoValidator) line(line string) error {
+	switch {
+	case line == "":
+		return nil // blank lines are ignored by scrapers
+	case strings.HasPrefix(line, "# HELP "):
+		rest := line[len("# HELP "):]
+		fam, _, _ := strings.Cut(rest, " ")
+		if err := checkFamilyName(fam); err != nil {
+			return err
+		}
+		if v.helpSeen[fam] {
+			return fmt.Errorf("duplicate HELP for family %s", fam)
+		}
+		if _, ok := v.typeOf[fam]; ok {
+			return fmt.Errorf("HELP for %s after its TYPE line", fam)
+		}
+		if v.sampled[fam] {
+			return fmt.Errorf("HELP for %s after its samples", fam)
+		}
+		v.helpSeen[fam] = true
+		return nil
+	case strings.HasPrefix(line, "# TYPE "):
+		rest := line[len("# TYPE "):]
+		fam, kind, ok := strings.Cut(rest, " ")
+		if !ok {
+			return fmt.Errorf("TYPE line missing a type: %q", line)
+		}
+		if err := checkFamilyName(fam); err != nil {
+			return err
+		}
+		switch kind {
+		case "counter", "gauge", "histogram", "summary", "untyped":
+		default:
+			return fmt.Errorf("unknown metric type %q for family %s", kind, fam)
+		}
+		if _, dup := v.typeOf[fam]; dup {
+			return fmt.Errorf("duplicate TYPE for family %s", fam)
+		}
+		if v.sampled[fam] {
+			return fmt.Errorf("TYPE for %s after its samples", fam)
+		}
+		v.typeOf[fam] = kind
+		return nil
+	case strings.HasPrefix(line, "#"):
+		return nil // free-form comment
+	}
+	return v.sample(line)
+}
+
+// sample validates one sample line: name{labels} value [timestamp].
+func (v *expoValidator) sample(line string) error {
+	name, labels, rest, err := splitSample(line)
+	if err != nil {
+		return err
+	}
+	if err := checkFamilyName(name); err != nil {
+		return err
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 {
+		return fmt.Errorf("want `value [timestamp]` after series, got %q", rest)
+	}
+	if _, err := parseSampleValue(fields[0]); err != nil {
+		return err
+	}
+	if len(fields) == 2 {
+		if _, err := strconv.ParseInt(fields[1], 10, 64); err != nil {
+			return fmt.Errorf("bad timestamp %q", fields[1])
+		}
+	}
+
+	fam := name
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base := strings.TrimSuffix(name, suffix)
+		if base != name && (v.typeOf[base] == "histogram" || v.typeOf[base] == "summary") {
+			fam = base
+			break
+		}
+	}
+	if _, typed := v.typeOf[fam]; !typed {
+		return fmt.Errorf("sample for %s has no preceding TYPE line", name)
+	}
+	v.sampled[fam] = true
+
+	if v.typeOf[fam] == "histogram" && strings.HasSuffix(name, "_bucket") {
+		le, others, ok := extractLE(labels)
+		if !ok {
+			return fmt.Errorf("histogram bucket %s missing le label", name)
+		}
+		series := fam + "|" + others
+		if _, seen := v.infSeen[series]; !seen {
+			v.infSeen[series] = false
+		}
+		if le == "+Inf" {
+			v.infSeen[series] = true
+		}
+		cum, err := strconv.ParseUint(fields[0], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bucket count %q not a non-negative integer", fields[0])
+		}
+		if prev, ok := v.lastCum[series]; ok && cum < prev {
+			return fmt.Errorf("histogram %s buckets not cumulative: %d after %d", fam, cum, prev)
+		}
+		v.lastCum[series] = cum
+	}
+	return nil
+}
+
+// splitSample splits `name{labels} value ...` into its parts, validating the
+// label syntax (names, quoting, escapes) as it scans.
+func splitSample(line string) (name, labels, rest string, err error) {
+	i := strings.IndexAny(line, "{ ")
+	if i < 0 {
+		return "", "", "", fmt.Errorf("sample %q has no value", line)
+	}
+	name = line[:i]
+	if line[i] == ' ' {
+		return name, "", line[i+1:], nil
+	}
+	// Scan the label body; values may contain spaces and escaped quotes, so
+	// the closing brace must be found by real tokenising, not IndexByte.
+	s := line[i+1:]
+	for {
+		if len(s) > 0 && s[0] == '}' {
+			return name, line[i+1 : len(line)-len(s)], strings.TrimPrefix(s[1:], " "), nil
+		}
+		j := strings.Index(s, "=\"")
+		if j < 0 {
+			return "", "", "", fmt.Errorf("malformed label body in %q", line)
+		}
+		if err := checkLabelName(s[:j]); err != nil {
+			return "", "", "", err
+		}
+		s = s[j+2:]
+		for { // consume the quoted value
+			k := strings.IndexAny(s, `\"`)
+			if k < 0 {
+				return "", "", "", fmt.Errorf("unterminated label value in %q", line)
+			}
+			if s[k] == '"' {
+				s = s[k+1:]
+				break
+			}
+			if k+1 >= len(s) || !strings.ContainsRune(`\"n`, rune(s[k+1])) {
+				return "", "", "", fmt.Errorf("illegal escape in label value in %q", line)
+			}
+			s = s[k+2:]
+		}
+		s = strings.TrimPrefix(s, ",")
+	}
+}
+
+// extractLE pulls the le label out of a validated label body, returning its
+// value and the remaining labels (the bucket-series identity).
+func extractLE(labels string) (le, others string, ok bool) {
+	for _, part := range strings.Split(labels, ",") {
+		k, v, found := strings.Cut(part, "=")
+		if found && k == "le" {
+			le = strings.Trim(v, `"`)
+			ok = true
+			continue
+		}
+		if others != "" {
+			others += ","
+		}
+		others += part
+	}
+	return le, others, ok
+}
+
+// parseSampleValue accepts any Go float plus the exposition spellings of the
+// non-finite values.
+func parseSampleValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "Inf", "NaN":
+		return 0, nil
+	}
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad sample value %q", s)
+	}
+	return f, nil
+}
+
+// checkFamilyName validates a metric name: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func checkFamilyName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty metric name")
+	}
+	for i, c := range name {
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid metric name %q", name)
+		}
+	}
+	return nil
+}
+
+// checkLabelName validates a label name: [a-zA-Z_][a-zA-Z0-9_]*.
+func checkLabelName(name string) error {
+	if name == "" {
+		return fmt.Errorf("empty label name")
+	}
+	for i, c := range name {
+		ok := c == '_' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return fmt.Errorf("invalid label name %q", name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestWritePrometheusHelpBeforeType(t *testing.T) {
+	r := NewRegistry()
+	r.Help("demo_total", "A demo counter.")
+	r.Counter("demo_total").Inc()
+	r.Gauge("unhelped") // family without HELP still renders
+
+	out := r.PrometheusString()
+	helpIdx := strings.Index(out, "# HELP demo_total A demo counter.\n")
+	typeIdx := strings.Index(out, "# TYPE demo_total counter\n")
+	if helpIdx < 0 || typeIdx < 0 {
+		t.Fatalf("missing HELP or TYPE line:\n%s", out)
+	}
+	if helpIdx > typeIdx {
+		t.Fatalf("HELP after TYPE:\n%s", out)
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestWritePrometheusHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Help("weird", "line one\nline two with back\\slash")
+	r.Gauge("weird").Set(1)
+	out := r.PrometheusString()
+	want := `# HELP weird line one\nline two with back\\slash` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped HELP missing:\n%s", out)
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestWritePrometheusNaNInfGauges(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g_nan").Set(math.NaN())
+	r.Gauge("g_pinf").Set(math.Inf(1))
+	r.Gauge("g_ninf").Set(math.Inf(-1))
+	out := r.PrometheusString()
+	for _, want := range []string{"g_nan NaN\n", "g_pinf +Inf\n", "g_ninf -Inf\n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	name := WithLabels("esc_total", "path", `C:\dir "quoted"`+"\nnext")
+	r.Counter(name).Inc()
+	out := r.PrometheusString()
+	want := `esc_total{path="C:\\dir \"quoted\"\nnext"} 1` + "\n"
+	if !strings.Contains(out, want) {
+		t.Fatalf("escaped series missing, want %q in:\n%s", want, out)
+	}
+	if err := ValidateExposition([]byte(out)); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, out)
+	}
+}
+
+func TestWithLabels(t *testing.T) {
+	if got := WithLabels("fam"); got != "fam" {
+		t.Errorf("no labels: %q", got)
+	}
+	got := WithLabels("fam", "a", "1", "b", "x y")
+	if got != `fam{a="1",b="x y"}` {
+		t.Errorf("WithLabels = %q", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("odd pair count did not panic")
+		}
+	}()
+	WithLabels("fam", "only-name")
+}
+
+func TestValidateExpositionFullRegistry(t *testing.T) {
+	r := NewRegistry()
+	r.Help("reqs_total", "Requests.")
+	r.Counter(`reqs_total{code="200"}`).Add(3)
+	r.Counter(`reqs_total{code="500"}`).Inc()
+	r.Gauge("temp").Set(-3.5)
+	r.Timer("lat_seconds").Observe(3 * time.Millisecond)
+	r.Histogram("sizes", []float64{1, 2, 5}).Observe(1.5)
+	if err := ValidateExposition([]byte(r.PrometheusString())); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, r.PrometheusString())
+	}
+}
+
+func TestValidateExpositionRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"help after type", "# TYPE a counter\n# HELP a text\na 1\n"},
+		{"help after sample", "# TYPE a counter\na 1\n# HELP a text\n"},
+		{"dup type", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+		{"unknown type", "# TYPE a widget\na 1\n"},
+		{"untyped sample", "a 1\n"},
+		{"bad value", "# TYPE a gauge\na one\n"},
+		{"bad metric name", "# TYPE 0a gauge\n0a 1\n"},
+		{"bad label name", "# TYPE a gauge\na{0x=\"1\"} 1\n"},
+		{"bad escape", "# TYPE a gauge\na{l=\"\\q\"} 1\n"},
+		{"unterminated value", "# TYPE a gauge\na{l=\"x} 1\n"},
+		{"bucket without le", "# TYPE h histogram\nh_bucket{x=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+		{"non-cumulative buckets", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+		{"no inf bucket", "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateExposition([]byte(tc.body)); err == nil {
+				t.Fatalf("accepted invalid exposition:\n%s", tc.body)
+			}
+		})
+	}
+}
+
+func TestValidateExpositionAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"empty", ""},
+		{"comment", "# just a comment\n# TYPE a gauge\na 1\n"},
+		{"timestamped", "# TYPE a gauge\na 1 1700000000000\n"},
+		{"spaced label value", "# TYPE a gauge\na{l=\"x y, z\"} 1\n"},
+		{"escaped quote in value", "# TYPE a gauge\na{l=\"say \\\"hi\\\"\"} 1\n"},
+		{"nan", "# TYPE a gauge\na NaN\n"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := ValidateExposition([]byte(tc.body)); err != nil {
+				t.Fatalf("rejected valid exposition: %v\n%s", err, tc.body)
+			}
+		})
+	}
+}
+
+func TestEncodeLineRoundtrip(t *testing.T) {
+	at := time.Unix(1_700_000_000, 12345)
+	line, err := EncodeLine(7, at, StepEvent{Interval: 3, VMs: 5, OnVMs: 2, DurationNs: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := DecodeLine(line)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Seq != 7 || !rec.Time.Equal(at) {
+		t.Fatalf("envelope roundtrip: seq %d time %v", rec.Seq, rec.Time)
+	}
+	se, ok := rec.Event.(*StepEvent)
+	if !ok {
+		t.Fatalf("event type %T", rec.Event)
+	}
+	if se.Interval != 3 || se.VMs != 5 || se.OnVMs != 2 || se.DurationNs != 1000 {
+		t.Fatalf("payload roundtrip: %+v", se)
+	}
+}

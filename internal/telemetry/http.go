@@ -28,11 +28,19 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // Close shuts the endpoint down.
 func (s *Server) Close() error { return s.srv.Close() }
 
+// Mount attaches an extra handler to a telemetry Server's mux — the hook the
+// obs plane uses to expose /debug/flight and /debug/pprof beside /metrics.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Serve starts an HTTP endpoint on addr exposing the registry at /metrics
 // (Prometheus text format) and the process expvars — including a "telemetry"
-// var mirroring the registry snapshot — at /debug/vars. It returns once the
-// listener is bound; serving continues in a background goroutine until Close.
-func Serve(addr string, r *Registry) (*Server, error) {
+// var mirroring the registry snapshot — at /debug/vars, plus any extra
+// mounts. It returns once the listener is bound; serving continues in a
+// background goroutine until Close.
+func Serve(addr string, r *Registry, mounts ...Mount) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
@@ -41,6 +49,9 @@ func Serve(addr string, r *Registry) (*Server, error) {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", r.Handler())
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return &Server{ln: ln, srv: srv}, nil

@@ -10,9 +10,9 @@ import (
 )
 
 // WritePrometheus renders every registered instrument in the Prometheus text
-// exposition format (version 0.0.4): a `# TYPE` header per metric family
-// followed by its samples, families and series in lexical order so output is
-// deterministic and diff-friendly.
+// exposition format (version 0.0.4): an optional `# HELP` line then a
+// `# TYPE` header per metric family followed by its samples, families and
+// series in lexical order so output is deterministic and diff-friendly.
 func (r *Registry) WritePrometheus(w io.Writer) error {
 	return r.Snapshot().WritePrometheus(w)
 }
@@ -39,6 +39,11 @@ func (s Snapshot) WritePrometheus(w io.Writer) error {
 	for _, sr := range bySeries {
 		family, labels := SplitSeries(sr.name)
 		if !typed[family] {
+			if help, ok := s.Help[family]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(help)); err != nil {
+					return err
+				}
+			}
 			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", family, sr.kind); err != nil {
 				return err
 			}
@@ -81,6 +86,13 @@ func writeHistogram(w io.Writer, family, labels string, h HistogramSnapshot) err
 	}
 	_, err := fmt.Fprintf(w, "%s_count%s %d\n", family, suffix, h.Count)
 	return err
+}
+
+// escapeHelp escapes HELP text per the exposition format: backslash and
+// newline become \\ and \n (quotes are legal verbatim in HELP lines).
+func escapeHelp(text string) string {
+	text = strings.ReplaceAll(text, `\`, `\\`)
+	return strings.ReplaceAll(text, "\n", `\n`)
 }
 
 // formatFloat renders a float the way Prometheus expects, with +Inf/-Inf/NaN

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -103,6 +104,7 @@ var DefBuckets = []float64{0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 
 type Registry struct {
 	mu    sync.RWMutex
 	kinds map[string]string
+	help  map[string]string // per metric family, not per series
 	cnts  map[string]*Counter
 	gags  map[string]*Gauge
 	hists map[string]*Histogram
@@ -112,10 +114,26 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		kinds: make(map[string]string),
+		help:  make(map[string]string),
 		cnts:  make(map[string]*Counter),
 		gags:  make(map[string]*Gauge),
 		hists: make(map[string]*Histogram),
 	}
+}
+
+// Help records the HELP text for a metric family (the bare family name, no
+// label body). The exposition writer emits it as a `# HELP` line before the
+// family's `# TYPE` line. Re-registering replaces the text.
+func (r *Registry) Help(family, text string) {
+	if err := checkSeries(family); err != nil {
+		panic("telemetry: " + err.Error())
+	}
+	if fam, _ := SplitSeries(family); fam != family {
+		panic(fmt.Sprintf("telemetry: Help takes a bare family name, got series %q", family))
+	}
+	r.mu.Lock()
+	r.help[family] = text
+	r.mu.Unlock()
 }
 
 // Counter returns the counter with the given series name, creating it on
@@ -224,6 +242,11 @@ type HistogramSnapshot struct {
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
 // inside the containing bucket; the +Inf bucket reports its lower bound.
+//
+// This is the repo's canonical bucketed-quantile implementation: the rolling
+// windows in internal/obs merge into a HistogramSnapshot and delegate here,
+// and metrics.Histogram.Quantile (offline report rendering) is cross-validated
+// against it in internal/metrics.TestQuantileCrossValidation.
 func (h HistogramSnapshot) Quantile(q float64) float64 {
 	if h.Count == 0 || len(h.Buckets) == 0 {
 		return math.NaN()
@@ -255,6 +278,8 @@ type Snapshot struct {
 	Counters   map[string]uint64
 	Gauges     map[string]float64
 	Histograms map[string]HistogramSnapshot
+	// Help carries per-family HELP text registered via Registry.Help.
+	Help map[string]string
 }
 
 // Snapshot copies the current value of every registered instrument.
@@ -265,6 +290,10 @@ func (r *Registry) Snapshot() Snapshot {
 		Counters:   make(map[string]uint64, len(r.cnts)),
 		Gauges:     make(map[string]float64, len(r.gags)),
 		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+		Help:       make(map[string]string, len(r.help)),
+	}
+	for fam, text := range r.help {
+		s.Help[fam] = text
 	}
 	for name, c := range r.cnts {
 		s.Counters[name] = c.Value()
@@ -327,6 +356,60 @@ func checkSeries(name string) error {
 		}
 	}
 	return nil
+}
+
+// EscapeLabelValue escapes a label value for the Prometheus text exposition:
+// backslash, double-quote and newline become \\, \" and \n.
+func EscapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 4)
+	for _, c := range v {
+		switch c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
+}
+
+// WithLabels builds a series name from a family and alternating label
+// name/value pairs, escaping each value for the exposition format:
+//
+//	WithLabels("obs_window_seconds", "q", "0.99")
+//	  → `obs_window_seconds{q="0.99"}`
+//
+// It panics on an odd pair count (a programming error, like a bad series
+// name).
+func WithLabels(family string, kv ...string) string {
+	if len(kv) == 0 {
+		return family
+	}
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: WithLabels(%q): odd label name/value count %d", family, len(kv)))
+	}
+	var b strings.Builder
+	b.WriteString(family)
+	b.WriteByte('{')
+	for i := 0; i < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
 }
 
 // SplitSeries splits a series name into its metric family and the label body

@@ -90,7 +90,9 @@ func (PlaceIndexEvent) Kind() string { return "place_index" }
 
 // StepEvent records one simulator interval: how many powered-on PMs violated
 // capacity, and the migrations and power-ons the dynamic scheduler performed
-// in response.
+// in response. The occupancy fields (VMs, OnVMs, OffOn, OnOff) feed the
+// streaming burstiness probes in internal/obs; the timing fields are
+// measurement-only and never influence simulation state.
 type StepEvent struct {
 	Interval   int `json:"interval"`
 	Violations int `json:"violations"`
@@ -100,6 +102,19 @@ type StepEvent struct {
 	// Shards is the worker count the simulator stepped with; omitted on
 	// sequential (single-shard) runs.
 	Shards int `json:"shards,omitempty"`
+	// VMs and OnVMs count the hosted fleet and how many of its ON-OFF
+	// sources were in the ON state this interval.
+	VMs   int `json:"vms,omitempty"`
+	OnVMs int `json:"on_vms,omitempty"`
+	// OffOn / OnOff count the state transitions taken entering this
+	// interval (OFF→ON and ON→OFF respectively) — the numerators of the
+	// windowed p_on / p_off drift estimators.
+	OffOn int `json:"off_on,omitempty"`
+	OnOff int `json:"on_off,omitempty"`
+	// DurationNs is the wall-clock time of the whole step; ShardMaxNs the
+	// slowest shard's measurement pass. Both are zero when untimed.
+	DurationNs int64 `json:"duration_ns,omitempty"`
+	ShardMaxNs int64 `json:"shard_max_ns,omitempty"`
 }
 
 // Kind returns "sim_step".
@@ -233,6 +248,24 @@ type envelope struct {
 	Time  int64           `json:"t_unix_ns"`
 	Kind  string          `json:"kind"`
 	Event json.RawMessage `json:"event"`
+}
+
+// EncodeLine renders one event as a JSONL envelope line (no trailing
+// newline): the same wire format JSONL writes and DecodeLine parses. It is
+// the building block for alternative trace sinks — the obs flight recorder
+// serialises its ring through it so dumps stay line-compatible with full
+// traces.
+func EncodeLine(seq uint64, t time.Time, e Event) ([]byte, error) {
+	payload, err := json.Marshal(e)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(envelope{
+		Seq:   seq,
+		Time:  t.UnixNano(),
+		Kind:  e.Kind(),
+		Event: payload,
+	})
 }
 
 // JSONL writes events as JSON lines. It is safe for concurrent use; lines

@@ -181,17 +181,17 @@ func TestMetricsBridge(t *testing.T) {
 
 	s := reg.Snapshot()
 	checks := map[string]uint64{
-		"mapcal_solves_total":                        2,
-		"mapcal_cache_hits_total":                    1,
+		"mapcal_solves_total":                          2,
+		"mapcal_cache_hits_total":                      1,
 		`placement_decisions_total{decision="accept"}`: 1,
 		`placement_decisions_total{decision="reject"}`: 2,
-		"sim_steps_total":                    1,
-		"sim_violations_total":               3,
-		"sim_migrations_total":               2,
-		"sim_power_ons_total":                1,
-		"reconsolidation_runs_total":         1,
-		"reconsolidation_moves_total":        4,
-		"reconsolidation_released_pms_total": 2,
+		"sim_steps_total":                              1,
+		"sim_violations_total":                         3,
+		"sim_migrations_total":                         2,
+		"sim_power_ons_total":                          1,
+		"reconsolidation_runs_total":                   1,
+		"reconsolidation_moves_total":                  4,
+		"reconsolidation_released_pms_total":           2,
 	}
 	for name, want := range checks {
 		if got := s.Counters[name]; got != want {
