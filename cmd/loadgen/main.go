@@ -33,6 +33,7 @@ import (
 	"math"
 	"math/rand"
 	"os"
+	"runtime"
 	"sync"
 	"time"
 
@@ -131,6 +132,7 @@ func run(args []string, stdout io.Writer) error {
 		POff:     0.09,
 		MaxBatch: cfg.batch,
 		MaxWait:  cfg.maxWait,
+		Workers:  runtime.GOMAXPROCS(0),
 		Registry: reg,
 		Obs:      tf.Plane(),
 	})
@@ -195,9 +197,16 @@ func run(args []string, stdout io.Writer) error {
 		// A test2json "output" event carrying a benchmark result line, so the
 		// run concatenates into the BENCH_*.json snapshots benchfmt parses.
 		// The rolling admit quantiles ride along as custom metrics, which
-		// benchfmt ignores and humans can still read off the snapshot.
-		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\n",
-			cfg.pms, cfg.clients, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops),
+		// benchfmt ignores and humans can still read off the snapshot. The
+		// GOMAXPROCS suffix follows the testing-package convention — omitted
+		// at 1, -P otherwise — so benchfmt keys each procs level of a matrix
+		// run separately and legacy single-core snapshots keep their keys.
+		suffix := ""
+		if p := runtime.GOMAXPROCS(0); p != 1 {
+			suffix = fmt.Sprintf("-%d", p)
+		}
+		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d%s \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\n",
+			cfg.pms, cfg.clients, suffix, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops),
 			p50.Nanoseconds(), p99.Nanoseconds())
 		data, err := json.Marshal(struct {
 			Action string
@@ -211,7 +220,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	st := svc.Stats()
-	fmt.Fprintf(stdout, "loadgen: m=%d PMs, %d VMs, %d clients, batch=%d\n", cfg.pms, cfg.vms, cfg.clients, cfg.batch)
+	fmt.Fprintf(stdout, "loadgen: m=%d PMs, %d VMs, %d clients, batch=%d, gomaxprocs=%d\n",
+		cfg.pms, cfg.vms, cfg.clients, cfg.batch, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(stdout, "  %d ops in %v: %.0f ops/sec\n", total.ops, elapsed.Round(time.Millisecond), float64(total.ops)/elapsed.Seconds())
 	fmt.Fprintf(stdout, "  placed %d, rejected %d, departed %d, live %d on %d PMs\n",
 		total.placed, total.rejected, total.departed, st.VMs, st.UsedPMs)

@@ -12,6 +12,7 @@ import (
 	"repro/internal/benchfmt"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
+	"runtime"
 )
 
 func TestRunSummary(t *testing.T) {
@@ -61,9 +62,18 @@ func TestRunBenchOutputParses(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, ok := results["BenchmarkLoadgen/m=100/clients=2"]
+	// The bench line carries the GOMAXPROCS suffix the way the testing
+	// package does, so the parsed key depends on the runner's proc count.
+	key := "BenchmarkLoadgen/m=100/clients=2"
+	if p := runtime.GOMAXPROCS(0); p != 1 {
+		key = fmt.Sprintf("%s-%d", key, p)
+	}
+	r, ok := results[key]
 	if !ok {
-		t.Fatalf("BenchmarkLoadgen missing from parsed results %v", results)
+		t.Fatalf("%s missing from parsed results %v", key, results)
+	}
+	if r.Name != "BenchmarkLoadgen/m=100/clients=2" || r.Procs != runtime.GOMAXPROCS(0) {
+		t.Errorf("parsed (Name, Procs) = (%q, %d), want the run's GOMAXPROCS dimension", r.Name, r.Procs)
 	}
 	if r.Iters != 1000 || r.NsPerOp <= 0 {
 		t.Errorf("parsed %+v, want 1000 iters and positive ns/op", r)
@@ -74,6 +84,7 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-pms", "0"},
 		{"-clients", "0"},
+		{"-clients", "-3"},
 		{"-ops", "0"},
 		{"-batch", "0"},
 		{"-maxwait", "-1s"},
@@ -84,6 +95,26 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		if err := run(args, &out); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+	// The client-count rejection must say what was wrong, not just fail.
+	var out strings.Builder
+	err := run([]string{"-clients", "-3"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "-clients must be ≥ 1") {
+		t.Errorf("-clients -3 error = %v, want a message naming the flag and bound", err)
+	}
+}
+
+// TestRunSummaryReportsGOMAXPROCS: the human summary names the proc count the
+// run used, so matrix runs driven via the GOMAXPROCS env var are
+// self-describing.
+func TestRunSummaryReportsGOMAXPROCS(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-pms", "100", "-ops", "500", "-seed", "7"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("gomaxprocs=%d", runtime.GOMAXPROCS(0))
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("summary missing %q:\n%s", want, out.String())
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 // Result is one benchmark's parsed measurement.
 type Result struct {
 	Name    string  // full name including sub-benchmark path, without -P suffix
+	Procs   int     // GOMAXPROCS of the run (the -P name suffix; 1 when absent)
 	Iters   int64   // iteration count of the measurement
 	NsPerOp float64 // reported ns/op
 	// BytesPerOp and AllocsPerOp hold the -benchmem counters; they are only
@@ -25,6 +26,18 @@ type Result struct {
 	BytesPerOp  float64
 	AllocsPerOp float64
 	HasMem      bool
+}
+
+// Key is the map key a Result is stored under: the bare Name at Procs = 1
+// (matching every snapshot taken before the GOMAXPROCS matrix existed — the
+// testing package only appends the -P suffix when GOMAXPROCS ≠ 1) and
+// Name-P otherwise, so one snapshot can hold a -cpu 1,4,8 matrix without the
+// procs levels colliding, and diffs line up like-for-like per level.
+func (r Result) Key() string {
+	if r.Procs <= 1 {
+		return r.Name
+	}
+	return fmt.Sprintf("%s-%d", r.Name, r.Procs)
 }
 
 // event is the subset of the test2json envelope we care about.
@@ -37,13 +50,15 @@ type event struct {
 //
 //	BenchmarkFig7MapCal/k=64-8   	      62	  18983683 ns/op	...
 //
-// The trailing -N GOMAXPROCS suffix is stripped from the reported name.
+// The trailing -N GOMAXPROCS suffix is stripped from the reported name and
+// parsed into Result.Procs.
 var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
 
 // Parse reads a test2json stream and returns the benchmark results keyed by
-// name. Benchmark result lines are split across multiple Output events by
-// test2json, so the stream's Output payloads are reassembled into logical
-// lines before matching.
+// Result.Key — the bare name for single-proc runs, name-P per GOMAXPROCS
+// level in a -cpu matrix. Benchmark result lines are split across multiple
+// Output events by test2json, so the stream's Output payloads are
+// reassembled into logical lines before matching.
 func Parse(lines *bufio.Scanner) (map[string]Result, error) {
 	var buf strings.Builder
 	for lines.Scan() {
@@ -77,7 +92,14 @@ func Parse(lines *bufio.Scanner) (map[string]Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("benchfmt: bad ns/op in %q: %w", line, err)
 		}
-		r := Result{Name: m[1], Iters: iters, NsPerOp: ns}
+		procs := 1
+		if m[2] != "" {
+			procs, err = strconv.Atoi(m[2][1:]) // drop the leading '-'
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad GOMAXPROCS suffix in %q: %w", line, err)
+			}
+		}
+		r := Result{Name: m[1], Procs: procs, Iters: iters, NsPerOp: ns}
 		if m[5] != "" {
 			b, err := strconv.ParseFloat(m[5], 64)
 			if err != nil {
@@ -89,11 +111,11 @@ func Parse(lines *bufio.Scanner) (map[string]Result, error) {
 			}
 			r.BytesPerOp, r.AllocsPerOp, r.HasMem = b, a, true
 		}
-		// A name repeats when the snapshot was taken with -count N; keep
+		// A key repeats when the snapshot was taken with -count N; keep
 		// the fastest run. The minimum is the noise-robust statistic on a
 		// shared box — scheduler interference only ever adds time.
-		if prev, ok := results[m[1]]; !ok || r.NsPerOp < prev.NsPerOp {
-			results[m[1]] = r
+		if prev, ok := results[r.Key()]; !ok || r.NsPerOp < prev.NsPerOp {
+			results[r.Key()] = r
 		}
 	}
 	return results, nil

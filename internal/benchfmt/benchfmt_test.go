@@ -24,9 +24,12 @@ func TestParse(t *testing.T) {
 	if len(res) != 2 {
 		t.Fatalf("parsed %d results, want 2: %v", len(res), res)
 	}
-	mc, ok := res["BenchmarkFig7MapCal/k=64"]
+	mc, ok := res["BenchmarkFig7MapCal/k=64-8"]
 	if !ok {
-		t.Fatalf("BenchmarkFig7MapCal/k=64 missing (GOMAXPROCS suffix not stripped?): %v", res)
+		t.Fatalf("BenchmarkFig7MapCal/k=64-8 missing (multi-proc runs key as Name-P): %v", res)
+	}
+	if mc.Name != "BenchmarkFig7MapCal/k=64" || mc.Procs != 8 {
+		t.Errorf("(Name, Procs) = (%q, %d), want the suffix parsed off the name", mc.Name, mc.Procs)
 	}
 	if mc.Iters != 62 || mc.NsPerOp != 18983683 {
 		t.Errorf("MapCal result = %+v", mc)
@@ -34,7 +37,7 @@ func TestParse(t *testing.T) {
 	if !mc.HasMem || mc.BytesPerOp != 1474006 || mc.AllocsPerOp != 266 {
 		t.Errorf("MapCal -benchmem counters = %+v", mc)
 	}
-	mt := res["BenchmarkMappingTable/d=16"]
+	mt := res["BenchmarkMappingTable/d=16-8"]
 	if mt.NsPerOp != 1987829 {
 		t.Errorf("MappingTable result = %+v", mt)
 	}
@@ -80,5 +83,42 @@ func TestParseFileBaseline(t *testing.T) {
 	}
 	if _, ok := res["BenchmarkMappingTable/d=64"]; !ok {
 		t.Errorf("baseline snapshot lacks BenchmarkMappingTable/d=64")
+	}
+}
+
+// matrixStream is a -cpu 1,4,8 run: one name at three GOMAXPROCS levels.
+// The testing package omits the suffix at GOMAXPROCS = 1, so the single-proc
+// level keys as the bare name — the same key every pre-matrix snapshot used.
+const matrixStream = `{"Action":"output","Package":"repro","Output":"BenchmarkServeAdmit/m=1000/clients=4 \t 100\t 900 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkServeAdmit/m=1000/clients=4-4 \t 100\t 400 ns/op\n"}
+{"Action":"output","Package":"repro","Output":"BenchmarkServeAdmit/m=1000/clients=4-8 \t 100\t 300 ns/op\n"}
+`
+
+func TestParseProcsMatrix(t *testing.T) {
+	res, err := Parse(bufio.NewScanner(strings.NewReader(matrixStream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 3 {
+		t.Fatalf("parsed %d results, want 3 distinct procs levels: %v", len(res), res)
+	}
+	for key, procs, ns := "BenchmarkServeAdmit/m=1000/clients=4", 1, 900.0; ; {
+		r, ok := res[key]
+		if !ok {
+			t.Fatalf("%s missing: %v", key, res)
+		}
+		if r.Procs != procs || r.NsPerOp != ns {
+			t.Errorf("%s = %+v, want procs %d, %v ns/op", key, r, procs, ns)
+		}
+		if r.Name != "BenchmarkServeAdmit/m=1000/clients=4" {
+			t.Errorf("%s Name = %q, want suffix-free name", key, r.Name)
+		}
+		if procs == 1 {
+			key, procs, ns = key+"-4", 4, 400
+		} else if procs == 4 {
+			key, procs, ns = "BenchmarkServeAdmit/m=1000/clients=4-8", 8, 300
+		} else {
+			break
+		}
 	}
 }

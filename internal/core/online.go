@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"repro/internal/cloud"
 	"repro/internal/queuing"
@@ -25,6 +26,14 @@ type Online struct {
 	// Arrive/Depart (nil under PlacerLinear). Its scoring closure reads
 	// o.table at call time, so RefreshTable only has to rescore, not rebuild.
 	index *placeIndex
+
+	// Workers caps how many goroutines the bulk rescoring paths —
+	// RefreshTable's whole-index rebuild and RefreshPMs' dirty-set rescore —
+	// fan out over. Values ≤ 1 run on the caller's goroutine. Scores are pure
+	// functions of the placement, so every worker count yields bit-identical
+	// index state; Workers only changes wall-clock. Callers must not mutate
+	// the Online concurrently with these methods (the usual Online contract).
+	Workers int
 }
 
 // NewOnline creates an online consolidator over an (initially empty) PM pool.
@@ -102,6 +111,43 @@ func (o *Online) Depart(vmID int) error {
 	return nil
 }
 
+// DepartNoRefresh removes a VM without rescoring its former host in the
+// first-fit index, returning the PM the VM was on. It exists for bulk
+// departure application: callers remove a whole batch, collect the touched
+// PM ids, and rescore them once with RefreshPMs — the index is stale in
+// between, so nothing may run Arrive until the rescore lands. The final index
+// state is identical to per-departure Depart calls (scores are functions of
+// the final placement; intermediate values are never observed).
+func (o *Online) DepartNoRefresh(vmID int) (int, error) {
+	return o.place.Remove(vmID)
+}
+
+// RefreshPMs rescores the given PMs in the first-fit index — the second half
+// of the DepartNoRefresh protocol. Duplicate and unknown ids are tolerated
+// (deduped and skipped respectively); the rescoring fans out over
+// Workers goroutines and merges deterministically, so the resulting index is
+// bit-identical at every worker count. A no-op under PlacerLinear.
+func (o *Online) RefreshPMs(pmIDs []int) {
+	if o.index == nil || len(pmIDs) == 0 {
+		return
+	}
+	positions := make([]int, 0, len(pmIDs))
+	for _, id := range pmIDs {
+		if pos, ok := o.index.posOf(id); ok {
+			positions = append(positions, pos)
+		}
+	}
+	sort.Ints(positions)
+	// Dedup in place: the same PM often sheds several VMs in one batch.
+	uniq := positions[:0]
+	for i, pos := range positions {
+		if i == 0 || pos != positions[i-1] {
+			uniq = append(uniq, pos)
+		}
+	}
+	o.index.refreshPositions(o.place, uniq, o.Workers)
+}
+
 // ArriveBatch places a batch of new VMs using the same cluster-and-sort
 // scheme as Algorithm 2 ("when a batch of new VMs arrives, we use the same
 // scheme to place them"). VMs that fit nowhere are returned in unplaced; any
@@ -147,7 +193,9 @@ func (o *Online) RefreshTable() error {
 	o.table = table
 	if o.index != nil {
 		// The scores embed mapping(k+1); a new table invalidates all of them.
-		o.index.refreshAll(o.place)
+		// The rebuild fans out over Workers and merges with one bottom-up
+		// Fill — bit-identical to the sequential rescore at any worker count.
+		o.index.refreshAllParallel(o.place, o.Workers)
 	}
 	return nil
 }

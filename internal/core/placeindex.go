@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cloud"
 	"repro/internal/fitindex"
@@ -42,11 +43,20 @@ type fitSpec struct {
 
 // placeIndex is a first-fit index over a PM pool: tree position = rank of the
 // PM in ascending-id order, tree value = the strategy's headroom score.
+//
+// Position lookup is SoA-flat for the common dense-id pool: posDense maps
+// PM id → tree position through one slice read; posMap is the fallback for
+// sparse or negative id spaces. Scores are pure functions of (placement, PM),
+// so rescoring work can fan out over contiguous position ranges — see
+// refreshRange / refreshAllParallel — and merge deterministically: the tree
+// state after a rescore depends only on the scores, never the worker count.
 type placeIndex struct {
-	pms  []cloud.PM  // pool sorted ascending by id
-	pos  map[int]int // PM id → tree position
-	tree *fitindex.MaxTree
-	spec fitSpec
+	pms      []cloud.PM // pool sorted ascending by id
+	posDense []int32    // PM id → position, -1 = absent (dense id space)
+	posMap   map[int]int
+	tree     *fitindex.MaxTree
+	spec     fitSpec
+	scratch  []float64 // reusable score buffer for wholesale rebuilds
 
 	// Instrumentation: queries = first-fit lookups, probes = exact admission
 	// tests run on index candidates, hits = lookups resolved by their very
@@ -60,20 +70,51 @@ func newPlaceIndex(p *cloud.Placement, pms []cloud.PM, spec fitSpec) *placeIndex
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].ID < ordered[j].ID })
 	ix := &placeIndex{
 		pms:  ordered,
-		pos:  make(map[int]int, len(ordered)),
 		tree: fitindex.NewMaxTree(len(ordered)),
 		spec: spec,
 	}
+	// Dense direct-index lookup when the id space is not much larger than the
+	// pool (the generated fleets use ids 0..m-1); map fallback otherwise.
+	dense := len(ordered) > 0 && ordered[0].ID >= 0 &&
+		ordered[len(ordered)-1].ID < 4*len(ordered)
+	if dense {
+		ix.posDense = make([]int32, ordered[len(ordered)-1].ID+1)
+		for i := range ix.posDense {
+			ix.posDense[i] = -1
+		}
+		for i, pm := range ordered {
+			ix.posDense[pm.ID] = int32(i)
+		}
+	} else {
+		ix.posMap = make(map[int]int, len(ordered))
+		for i, pm := range ordered {
+			ix.posMap[pm.ID] = i
+		}
+	}
 	for i, pm := range ordered {
-		ix.pos[pm.ID] = i
 		ix.tree.Set(i, spec.score(p, pm))
 	}
 	return ix
 }
 
+// posOf returns the tree position of a PM id.
+func (ix *placeIndex) posOf(pmID int) (int, bool) {
+	if ix.posDense != nil {
+		if pmID < 0 || pmID >= len(ix.posDense) {
+			return 0, false
+		}
+		if i := ix.posDense[pmID]; i >= 0 {
+			return int(i), true
+		}
+		return 0, false
+	}
+	i, ok := ix.posMap[pmID]
+	return i, ok
+}
+
 // refresh recomputes one PM's score after its host set changed.
 func (ix *placeIndex) refresh(p *cloud.Placement, pmID int) {
-	if i, ok := ix.pos[pmID]; ok {
+	if i, ok := ix.posOf(pmID); ok {
 		ix.tree.Set(i, ix.spec.score(p, ix.pms[i]))
 	}
 }
@@ -81,9 +122,83 @@ func (ix *placeIndex) refresh(p *cloud.Placement, pmID int) {
 // refreshAll recomputes every PM's score — needed when the scoring inputs
 // change wholesale (e.g. Online.RefreshTable swaps the mapping table).
 func (ix *placeIndex) refreshAll(p *cloud.Placement) {
-	for i, pm := range ix.pms {
-		ix.tree.Set(i, ix.spec.score(p, pm))
+	ix.refreshAllParallel(p, 1)
+}
+
+// refreshAllParallel is refreshAll with the scoring fanned out over workers
+// contiguous position ranges. Scores land in a flat buffer (each worker owns
+// a disjoint range) and one sequential bottom-up Fill rebuilds the tree in
+// O(m) — cheaper than m point updates even single-threaded, and bit-identical
+// at every worker count because each slot's value is a pure function of the
+// placement.
+func (ix *placeIndex) refreshAllParallel(p *cloud.Placement, workers int) {
+	m := len(ix.pms)
+	if cap(ix.scratch) < m {
+		ix.scratch = make([]float64, m)
 	}
+	scores := ix.scratch[:m]
+	parallelRanges(m, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			scores[i] = ix.spec.score(p, ix.pms[i])
+		}
+	})
+	ix.tree.Fill(scores)
+}
+
+// refreshPositions rescores the given tree positions, fanning the score
+// computation out over workers contiguous sub-ranges of the list and merging
+// with sequential point updates in list order. The positions slice must not
+// contain duplicates (callers dedup); order does not affect the result.
+func (ix *placeIndex) refreshPositions(p *cloud.Placement, positions []int, workers int) {
+	n := len(positions)
+	if n == 0 {
+		return
+	}
+	if cap(ix.scratch) < n {
+		ix.scratch = make([]float64, n)
+	}
+	vals := ix.scratch[:n]
+	parallelRanges(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			vals[i] = ix.spec.score(p, ix.pms[positions[i]])
+		}
+	})
+	for i, pos := range positions {
+		ix.tree.Set(pos, vals[i])
+	}
+}
+
+// parallelRangeMin is the smallest per-worker range worth a goroutine: below
+// it the fork/join overhead dwarfs the scoring work.
+const parallelRangeMin = 256
+
+// parallelRanges partitions [0, n) into contiguous ranges and runs fn on one
+// goroutine per range — inline when a single worker (or a tiny n) makes the
+// fan-out pointless. fn must only write state disjoint per range.
+func parallelRanges(n, workers int, fn func(lo, hi int)) {
+	if workers > n/parallelRangeMin {
+		workers = n / parallelRangeMin
+	}
+	if workers < 2 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	base, rem := n/workers, n%workers
+	lo := 0
+	for w := 0; w < workers; w++ {
+		hi := lo + base
+		if w < rem {
+			hi++
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+		lo = hi
+	}
+	wg.Wait()
 }
 
 // firstFit returns the lowest-id PM admitting vm, visiting candidates in

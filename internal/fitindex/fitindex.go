@@ -61,6 +61,30 @@ func (t *MaxTree) Set(i int, score float64) {
 // Get returns the score at position i.
 func (t *MaxTree) Get(i int) float64 { return t.max[t.size+i] }
 
+// Fill replaces every position's score in one pass: the leaves are loaded
+// from scores (positions past len(scores) become NegInf) and the interior is
+// rebuilt bottom-up, costing O(m) instead of the O(m log m) of m point Sets.
+// This is the wholesale-rebuild primitive behind parallel rescoring: workers
+// compute score slices independently, and one sequential Fill merges them —
+// the tree state depends only on the scores, never on the worker count.
+func (t *MaxTree) Fill(scores []float64) {
+	for i := 0; i < t.size; i++ {
+		if i < len(scores) && i < t.n {
+			t.max[t.size+i] = scores[i]
+		} else {
+			t.max[t.size+i] = NegInf
+		}
+	}
+	for p := t.size - 1; p >= 1; p-- {
+		l, r := t.max[2*p], t.max[2*p+1]
+		if l >= r {
+			t.max[p] = l
+		} else {
+			t.max[p] = r
+		}
+	}
+}
+
 // FirstAtLeast returns the smallest position p ≥ from with score ≥ need, or
 // -1 when no such position exists. This is the first-fit query: with scores
 // holding per-PM residual headroom, it finds the lowest-indexed PM that can
@@ -158,6 +182,23 @@ func (t *MinTree) Add(i int, delta float64) { t.Set(i, t.min[t.size+i]+delta) }
 
 // Get returns the value at position i.
 func (t *MinTree) Get(i int) float64 { return t.min[t.size+i] }
+
+// Fill replaces every position's value in one bottom-up pass — the MinTree
+// counterpart of MaxTree.Fill. Positions past len(values) become PosInf.
+func (t *MinTree) Fill(values []float64) {
+	for i := 0; i < t.size; i++ {
+		p := t.size + i
+		if i < len(values) && i < t.n {
+			t.min[p] = values[i]
+		} else {
+			t.min[p] = PosInf
+		}
+		t.arg[p] = int32(i)
+	}
+	for p := t.size - 1; p >= 1; p-- {
+		t.pull(p)
+	}
+}
 
 // heapNode is one frontier entry of the Ascend walk: a tree node together
 // with its subtree minimum.

@@ -116,6 +116,85 @@ func TestMinTreeAscendOrder(t *testing.T) {
 	}
 }
 
+// Fill must leave both trees in exactly the state an equivalent Set loop
+// would: same answers to every query, regardless of the tree's prior content.
+func TestFillMatchesSetLoop(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 2, 3, 7, 8, 100, 257} {
+		scores := make([]float64, n)
+		for i := range scores {
+			if rng.Float64() < 0.15 {
+				scores[i] = NegInf
+			} else {
+				scores[i] = rng.Float64() * 100
+			}
+		}
+
+		// MaxTree: Fill over a dirtied tree vs. per-position Set.
+		filled := NewMaxTree(n)
+		for i := 0; i < n; i++ {
+			filled.Set(i, rng.Float64()*1000) // stale content Fill must erase
+		}
+		filled.Fill(scores)
+		setTree := NewMaxTree(n)
+		for i, v := range scores {
+			setTree.Set(i, v)
+		}
+		for trial := 0; trial < 200; trial++ {
+			from := rng.Intn(n+2) - 1
+			need := rng.Float64() * 100
+			if got, want := filled.FirstAtLeast(from, need), setTree.FirstAtLeast(from, need); got != want {
+				t.Fatalf("n=%d MaxTree FirstAtLeast(%d, %v): Fill %d, Set loop %d", n, from, need, got, want)
+			}
+		}
+		for i := 0; i < n; i++ {
+			if filled.Get(i) != setTree.Get(i) {
+				t.Fatalf("n=%d MaxTree Get(%d): Fill %v, Set loop %v", n, i, filled.Get(i), setTree.Get(i))
+			}
+		}
+
+		// MinTree: same comparison on the Ascend order.
+		vals := make([]float64, n)
+		for i := range vals {
+			if rng.Float64() < 0.2 {
+				vals[i] = PosInf
+			} else {
+				vals[i] = float64(rng.Intn(5)) // ties exercise the index tiebreak
+			}
+		}
+		filledMin := NewMinTree(n)
+		for i := 0; i < n; i++ {
+			filledMin.Set(i, rng.Float64()*1000)
+		}
+		filledMin.Fill(vals)
+		setMin := NewMinTree(n)
+		for i, v := range vals {
+			setMin.Set(i, v)
+		}
+		type pair struct {
+			v float64
+			i int
+		}
+		var got, want []pair
+		filledMin.Ascend(nil, func(pos int, val float64) bool {
+			got = append(got, pair{val, pos})
+			return true
+		})
+		setMin.Ascend(nil, func(pos int, val float64) bool {
+			want = append(want, pair{val, pos})
+			return true
+		})
+		if len(got) != len(want) {
+			t.Fatalf("n=%d MinTree Ascend visited %d, want %d", n, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("n=%d MinTree Ascend[%d]: Fill %+v, Set loop %+v", n, i, got[i], want[i])
+			}
+		}
+	}
+}
+
 func TestMinTreeAscendEarlyStop(t *testing.T) {
 	tree := NewMinTree(8)
 	for i := 0; i < 8; i++ {

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -77,7 +78,11 @@ func BenchmarkServeAdmit(b *testing.B) {
 					PMs:      mkPool(m, 100),
 					POn:      0.01,
 					POff:     0.09,
-					Obs:      benchObs(b),
+					// Track the -cpu matrix level: each GOMAXPROCS level
+					// measures the committer fanned out over that many
+					// workers, the deployment default.
+					Workers: runtime.GOMAXPROCS(0),
+					Obs:     benchObs(b),
 				})
 				if err != nil {
 					b.Fatal(err)
@@ -133,6 +138,56 @@ func BenchmarkSerialAdmit(b *testing.B) {
 					b.Fatal(err)
 				}
 				window = append(window, i)
+			}
+		})
+	}
+}
+
+// BenchmarkBatchApply measures one committed churn cycle — a 1024-VM batched
+// departure, the same VMs batch-arriving back, and a table refresh — as a
+// function of Config.Workers. The departure rescore and the post-refresh
+// index rebuild are the committer phases that fan out over workers; arrivals
+// stay sequential by contract. On a single-core box every workers level
+// degenerates to the sequential walk (the fan-out helper collapses to one
+// range), so cross-level deltas only mean something on a multi-core runner.
+func BenchmarkBatchApply(b *testing.B) {
+	const m = 4096
+	const batch = 1024
+	vms := make([]cloud.VM, batch)
+	ids := make([]int, batch)
+	for i := range vms {
+		vms[i] = mkVM(i, 5, 3)
+		ids[i] = i
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("m=%d/batch=%d/workers=%d", m, batch, workers), func(b *testing.B) {
+			svc, err := New(Config{
+				Strategy: paperStrategy(),
+				PMs:      mkPool(m, 100),
+				POn:      0.01,
+				POff:     0.09,
+				Workers:  workers,
+				Obs:      benchObs(b),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer svc.Close()
+			if _, err := svc.ArriveBatch(vms); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if missing, err := svc.DepartBatch(ids); err != nil || len(missing) != 0 {
+					b.Fatalf("depart: %v (missing %d)", err, len(missing))
+				}
+				if unplaced, err := svc.ArriveBatch(vms); err != nil || len(unplaced) != 0 {
+					b.Fatalf("arrive: %v (unplaced %d)", err, len(unplaced))
+				}
+				if err := svc.RefreshTable(); err != nil {
+					b.Fatal(err)
+				}
 			}
 		})
 	}

@@ -12,6 +12,7 @@ type svcMetrics struct {
 	commits      *telemetry.Counter // placesvc_commits_total
 	refreshes    *telemetry.Counter // placesvc_table_refreshes_total
 	rebuilds     *telemetry.Counter // placesvc_snapshot_rebuilds_total
+	adoptions    *telemetry.Counter // placesvc_snapshot_adoptions_total
 	batchSize    *telemetry.Histogram
 	queueLatency *telemetry.Timer
 	queueDepth   *telemetry.Gauge
@@ -28,19 +29,20 @@ func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
 		return nil
 	}
 	for family, text := range map[string]string{
-		"placesvc_placements_total":        "VMs admitted and placed.",
-		"placesvc_rejections_total":        "VM arrivals rejected for lack of capacity.",
-		"placesvc_departures_total":        "VMs departed.",
-		"placesvc_requests_total":          "Requests committed, all kinds.",
-		"placesvc_commits_total":           "Batches committed.",
-		"placesvc_table_refreshes_total":   "Applied mapping-table refreshes.",
-		"placesvc_snapshot_rebuilds_total": "Snapshot base re-clones (journal outgrew the fleet).",
-		"placesvc_batch_size":              "Requests coalesced per commit.",
-		"placesvc_queue_latency_seconds":   "Submit-to-commit-pickup latency (cumulative histogram).",
-		"placesvc_queue_depth":             "Queued requests at last commit.",
-		"placesvc_vms":                     "VMs in the fleet as of the latest snapshot.",
-		"placesvc_used_pms":                "PMs hosting at least one VM.",
-		"placesvc_snapshot_version":        "Commit number of the published snapshot.",
+		"placesvc_placements_total":         "VMs admitted and placed.",
+		"placesvc_rejections_total":         "VM arrivals rejected for lack of capacity.",
+		"placesvc_departures_total":         "VMs departed.",
+		"placesvc_requests_total":           "Requests committed, all kinds.",
+		"placesvc_commits_total":            "Batches committed.",
+		"placesvc_table_refreshes_total":    "Applied mapping-table refreshes.",
+		"placesvc_snapshot_rebuilds_total":  "Snapshot base re-clones (fallback: op ring outgrew the fleet with no reader materialisation to adopt).",
+		"placesvc_snapshot_adoptions_total": "Reader-materialised snapshots adopted as the new base (the clone-free rebase path).",
+		"placesvc_batch_size":               "Requests coalesced per commit.",
+		"placesvc_queue_latency_seconds":    "Submit-to-commit-pickup latency (cumulative histogram).",
+		"placesvc_queue_depth":              "Queued requests at last commit.",
+		"placesvc_vms":                      "VMs in the fleet as of the latest snapshot.",
+		"placesvc_used_pms":                 "PMs hosting at least one VM.",
+		"placesvc_snapshot_version":         "Commit number of the published snapshot.",
 	} {
 		reg.Help(family, text)
 	}
@@ -52,6 +54,7 @@ func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
 		commits:      reg.Counter("placesvc_commits_total"),
 		refreshes:    reg.Counter("placesvc_table_refreshes_total"),
 		rebuilds:     reg.Counter("placesvc_snapshot_rebuilds_total"),
+		adoptions:    reg.Counter("placesvc_snapshot_adoptions_total"),
 		batchSize:    reg.Histogram("placesvc_batch_size", batchSizeBuckets),
 		queueLatency: reg.Timer("placesvc_queue_latency_seconds"),
 		queueDepth:   reg.Gauge("placesvc_queue_depth"),

@@ -11,7 +11,11 @@
 // with the Algorithm-2 cluster-and-sort, and every admission runs through the
 // persistent segment-tree first-fit index of core.Online. Within one commit,
 // departures apply first (they free capacity), arrivals second, table
-// refreshes last (they observe the post-commit fleet).
+// refreshes last (they observe the post-commit fleet). The per-PM halves of a
+// commit — rescoring the PMs a departure phase touched and rebuilding the
+// whole index after a refresh — fan out over Config.Workers goroutines with a
+// deterministic merge; snapshots publish through a lock-free op ring (see
+// ring.go) so monitoring reads never cost the commit path a clone.
 //
 // Determinism contract: placements depend only on the order in which requests
 // commit. With MaxBatch = 1, or with a single client awaiting each response,
@@ -57,6 +61,18 @@ type Config struct {
 	// MaxBatch = 1 disables coalescing: every request commits alone, making
 	// commit order equal submission order.
 	MaxBatch int
+	// Workers caps how many goroutines the committer fans the per-PM work of
+	// one commit over: the rescoring of PMs touched by the batch's departures
+	// and the whole-index rebuild after a table refresh both partition over
+	// contiguous PM sub-ranges and merge in deterministic position order.
+	// Arrivals always apply sequentially in Algorithm-2 order through the
+	// first-fit tree. Scores are pure functions of the committed placement,
+	// so every worker count produces bit-identical placements, snapshots and
+	// stats for the same commit sequence — Workers = 1 (the default; 0 means
+	// 1) reproduces the fully-sequential committer exactly, mirroring the
+	// MaxBatch = 1 ≡ sequential-Online contract. Set runtime.GOMAXPROCS(0)
+	// to use every core.
+	Workers int
 	// MaxWait bounds how long the committer waits to fill a batch after the
 	// first request arrives. The default 0 never waits: the committer takes
 	// whatever is queued and commits immediately, so batches form naturally
@@ -95,6 +111,12 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxWait < 0 {
 		return c, fmt.Errorf("placesvc: MaxWait must be ≥ 0, got %v", c.MaxWait)
 	}
+	if c.Workers == 0 {
+		c.Workers = 1
+	}
+	if c.Workers < 1 {
+		return c, fmt.Errorf("placesvc: Workers must be ≥ 1, got %d", c.Workers)
+	}
 	if c.QueueCap == 0 {
 		c.QueueCap = 4096
 	}
@@ -105,13 +127,14 @@ func (c Config) withDefaults() (Config, error) {
 }
 
 // reqKind discriminates the request union. The arrival/departure kinds double
-// as snapshot-journal op kinds.
+// as snapshot op-ring kinds.
 type reqKind uint8
 
 const (
 	reqArrive reqKind = iota + 1
 	reqArriveBatch
 	reqDepart
+	reqDepartBatch
 	reqRefresh
 )
 
@@ -119,15 +142,17 @@ const (
 // pooled; the done channel (capacity 1) hands the request back to the waiter,
 // which returns it to the pool after reading the response fields.
 type request struct {
-	kind reqKind
-	vm   cloud.VM   // reqArrive
-	vms  []cloud.VM // reqArriveBatch
-	vmID int        // reqDepart
-	enq  time.Time  // submission time, set only when metrics are enabled
+	kind  reqKind
+	vm    cloud.VM   // reqArrive
+	vms   []cloud.VM // reqArriveBatch
+	vmID  int        // reqDepart
+	vmIDs []int      // reqDepartBatch
+	enq   time.Time  // submission time, set only when metrics are enabled
 
 	// Response, written by the committer before signalling done.
 	pmID     int
 	unplaced []cloud.VM
+	missing  []int // reqDepartBatch: ids that were not placed
 	err      error
 	fatal    bool // batch abort flag, set mid-apply
 
@@ -174,12 +199,13 @@ type Service struct {
 	pool   sync.Pool
 
 	// Committer-owned state (no locking: single goroutine).
-	stats   Stats
-	base    *cloud.Placement // immutable snapshot base
-	journal []op             // ops applied since base was cloned
-	batch   []*request       // reused per-commit scratch
-	arrs    []arrival        // reused per-commit scratch
-	avms    []cloud.VM       // reused per-commit scratch
+	stats Stats
+	base  *cloud.Placement // immutable snapshot base
+	ring  *opRing          // lock-free op log since base (see ring.go)
+	batch []*request       // reused per-commit scratch
+	arrs  []arrival        // reused per-commit scratch
+	avms  []cloud.VM       // reused per-commit scratch
+	dirty []int            // reused per-commit scratch: PMs touched by departures
 
 	snap syncSnapshot
 
@@ -204,6 +230,7 @@ func New(cfg Config) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
+	online.Workers = cfg.Workers
 	s := &Service{
 		strategy: cfg.Strategy,
 		online:   online,
@@ -211,6 +238,7 @@ func New(cfg Config) (*Service, error) {
 		maxWait:  cfg.MaxWait,
 		ch:       make(chan *request, cfg.QueueCap),
 		base:     online.Placement().Clone(),
+		ring:     newOpRing(),
 		metrics:  newSvcMetrics(cfg.Registry),
 		obs:      cfg.Obs,
 	}
@@ -265,6 +293,26 @@ func (s *Service) Depart(vmID int) error {
 	err := r.err
 	s.put(r)
 	return err
+}
+
+// DepartBatch removes a batch of VMs in one request — the departure
+// counterpart of ArriveBatch. All removals commit together; ids that were not
+// placed come back in missing (the batch's other departures still apply).
+// Batched departures are where the committer's parallel rescore earns its
+// keep: the batch frees capacity across many PMs, and the touched PMs are
+// rescored in one fan-out instead of one tree update per departure.
+func (s *Service) DepartBatch(vmIDs []int) (missing []int, err error) {
+	if len(vmIDs) == 0 {
+		return nil, nil
+	}
+	r := s.get(reqDepartBatch)
+	r.vmIDs = vmIDs
+	if err := s.submit(r); err != nil {
+		return nil, err
+	}
+	missing, err = r.missing, r.err
+	s.put(r)
+	return missing, err
 }
 
 // RefreshTable recomputes the mapping table from the fleet's rounded switch
@@ -427,19 +475,43 @@ func (s *Service) commit(batch []*request) {
 	s.stats.Commits++
 	s.stats.Requests += uint64(len(batch))
 
-	// Phase 1: departures, in submission order.
+	// Phase 1: departures, in submission order. Removals mutate the placement
+	// immediately; rescoring the PMs they touched is deferred, collected in
+	// s.dirty, and fanned out across the configured Workers once the whole
+	// phase has applied — the fit index is stale in between, which is safe
+	// because nothing consults it until the arrivals of phase 2, and the
+	// deferred rescore reads the final post-departure placement (identical
+	// scores to per-departure refreshes, at any worker count).
+	s.dirty = s.dirty[:0]
 	for _, r := range batch {
-		if r.kind != reqDepart {
-			continue
-		}
-		if r.err = s.online.Depart(r.vmID); r.err == nil {
-			s.journal = append(s.journal, op{kind: reqDepart, vmID: r.vmID})
-			s.stats.Departed++
-			if s.metrics != nil {
-				s.metrics.departures.Inc()
+		switch r.kind {
+		case reqDepart:
+			var pmID int
+			if pmID, r.err = s.online.DepartNoRefresh(r.vmID); r.err == nil {
+				s.ring.append(op{kind: reqDepart, vmID: r.vmID})
+				s.dirty = append(s.dirty, pmID)
+				s.stats.Departed++
+				if s.metrics != nil {
+					s.metrics.departures.Inc()
+				}
+			}
+		case reqDepartBatch:
+			for _, vmID := range r.vmIDs {
+				pmID, err := s.online.DepartNoRefresh(vmID)
+				if err != nil {
+					r.missing = append(r.missing, vmID)
+					continue
+				}
+				s.ring.append(op{kind: reqDepart, vmID: vmID})
+				s.dirty = append(s.dirty, pmID)
+				s.stats.Departed++
+				if s.metrics != nil {
+					s.metrics.departures.Inc()
+				}
 			}
 		}
 	}
+	s.online.RefreshPMs(s.dirty)
 
 	// Phase 2: arrivals, ordered across the whole batch.
 	s.arrs = s.arrs[:0]
@@ -460,7 +532,7 @@ func (s *Service) commit(batch []*request) {
 		}
 		pmID, err := s.online.Arrive(a.vm)
 		if err == nil {
-			s.journal = append(s.journal, op{kind: reqArrive, vm: a.vm, pmID: pmID})
+			s.ring.append(op{kind: reqArrive, vm: a.vm, pmID: pmID})
 			s.stats.Placed++
 			if s.metrics != nil {
 				s.metrics.placements.Inc()

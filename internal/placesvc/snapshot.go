@@ -9,7 +9,7 @@ import (
 	"repro/internal/queuing"
 )
 
-// op is one committed mutation in the snapshot journal: an arrival with its
+// op is one committed mutation in the snapshot op ring: an arrival with its
 // chosen PM, or a departure. Entries are immutable once appended.
 type op struct {
 	kind reqKind // reqArrive or reqDepart
@@ -20,30 +20,51 @@ type op struct {
 
 // Snapshot is an immutable view of the service state as of one commit.
 //
-// Publication is O(1): the snapshot holds the stats block, the current
-// mapping table, a shared immutable base placement, and the journal of ops
-// committed since the base was cloned. The committer re-clones the base only
-// when the journal outgrows half the fleet, so snapshot upkeep costs O(1)
-// amortised per admission instead of an O(fleet) clone per commit.
+// Publication is O(1) and allocation-light: the snapshot holds the stats
+// block, the current mapping table, a shared immutable base placement, and a
+// window into the lock-free op ring — (head, skip, count) locating the ops
+// committed since the base, plus the append position at publish time
+// (endChunk, endOff) so the committer can later adopt this snapshot's
+// materialisation as a new base. The committer never clones on the commit
+// path while readers keep materialising: each materialised placement is
+// recycled as the next base (see Service.publish), so snapshot upkeep stays
+// O(1) per admission with no clone bursts.
 //
 // Placement and Overflows materialise the full placement on demand (clone
-// base, replay journal — O(fleet)) and memoise it, so concurrent monitoring
-// readers of the same snapshot pay for one materialisation. None of this ever
-// touches the live placement, so reads never block — and are never blocked
-// by — admission.
+// base, replay the ring window — O(fleet + count)) and memoise it, so
+// concurrent monitoring readers of the same snapshot pay for one
+// materialisation. None of this ever touches the live placement, so reads
+// never block — and are never blocked by — admission.
 type Snapshot struct {
 	stats Stats
 	table *queuing.MappingTable
 	base  *cloud.Placement
-	ops   []op
 
-	once   sync.Once
-	mat    *cloud.Placement
-	matErr error
+	// Ring window, relative to base: replay `count` ops starting at
+	// head.ops[skip]. epoch names the base lineage; endChunk/endOff is the
+	// ring's append position when this snapshot was published.
+	head     *opChunk
+	skip     int
+	count    int
+	epoch    uint64
+	endChunk *opChunk
+	endOff   int
+
+	once     sync.Once
+	mat      *cloud.Placement
+	matErr   error
+	matReady atomic.Bool // publication edge from reader to committer
 }
 
 // Version returns the commit number that published this snapshot.
 func (s *Snapshot) Version() uint64 { return s.stats.Version }
+
+// Epoch returns the snapshot-base lineage this snapshot belongs to. The epoch
+// advances every time the committer swaps the shared base placement —
+// adopting a reader-materialised snapshot or the clone fallback; two
+// snapshots with equal epochs share one base and differ only in their ring
+// windows.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Stats returns the snapshot's counter block.
 func (s *Snapshot) Stats() Stats { return s.stats }
@@ -51,26 +72,36 @@ func (s *Snapshot) Stats() Stats { return s.stats }
 // Table returns the mapping table in force at this snapshot.
 func (s *Snapshot) Table() *queuing.MappingTable { return s.table }
 
-// Placement materialises the placement as of this snapshot. The result is
-// memoised and shared: callers must treat it as read-only.
+// Placement materialises the placement as of this snapshot: clone the shared
+// base, replay the ring window. The result is memoised and shared — callers
+// must treat it as read-only (the committer may adopt it as the next base).
 func (s *Snapshot) Placement() (*cloud.Placement, error) {
 	s.once.Do(func() {
 		p := s.base.Clone()
-		for _, o := range s.ops {
+		c, idx := s.head, s.skip
+		for i := 0; i < s.count; i++ {
+			if idx == opChunkSize {
+				c, idx = c.next, 0
+			}
+			o := c.ops[idx]
+			idx++
 			switch o.kind {
 			case reqArrive:
 				if err := p.Assign(o.vm, o.pmID); err != nil {
-					s.matErr = fmt.Errorf("placesvc: replaying journal: %w", err)
+					s.matErr = fmt.Errorf("placesvc: replaying op ring: %w", err)
+					s.matReady.Store(true)
 					return
 				}
 			case reqDepart:
 				if _, err := p.Remove(o.vmID); err != nil {
-					s.matErr = fmt.Errorf("placesvc: replaying journal: %w", err)
+					s.matErr = fmt.Errorf("placesvc: replaying op ring: %w", err)
+					s.matReady.Store(true)
 					return
 				}
 			}
 		}
 		s.mat = p
+		s.matReady.Store(true)
 	})
 	return s.mat, s.matErr
 }
@@ -92,32 +123,57 @@ type syncSnapshot struct {
 
 func (c *syncSnapshot) Load() *Snapshot { return c.p.Load() }
 
-// rebuildMinOps is the journal length below which the committer never
-// re-clones the base — tiny fleets would otherwise re-clone every commit.
+// rebuildMinOps is the ring-window length below which the committer never
+// swaps the base — tiny fleets would otherwise rebase every commit.
 const rebuildMinOps = 64
 
+// cloneFallbackFactor scales the clone-fallback threshold relative to the
+// adoption threshold: the committer only pays an O(fleet) clone when the
+// window has outgrown the fleet itself and no reader materialisation is
+// available to adopt (nobody is reading snapshots, so nobody pays replay
+// either — the clone just bounds ring memory).
+const cloneFallbackFactor = 4
+
 // publish refreshes the committer's snapshot cell after a commit (and once at
-// construction). When the journal has outgrown max(rebuildMinOps, fleet/2)
-// the base is re-cloned from the live placement and the journal restarts —
-// never truncated in place, because published snapshots still reference the
-// old backing array.
+// construction). When the ring window outgrows max(rebuildMinOps, fleet/2)
+// the committer prefers *adopting* the latest snapshot's reader-materialised
+// placement as the new base — O(1), no copying, sound because the
+// materialisation is exactly base+window at that snapshot's position and its
+// epoch proves the lineage. The O(fleet) live-placement clone survives only
+// as a fallback at cloneFallbackFactor× the threshold, for services nobody
+// reads. Old snapshots keep their chunks alive; nothing is truncated.
 func (s *Service) publish() {
 	live := s.online.Placement()
 	s.stats.Version = s.stats.Commits
 	s.stats.VMs = live.NumVMs()
 	s.stats.UsedPMs = live.NumUsedPMs()
-	if n := len(s.journal); n > rebuildMinOps && n > live.NumVMs()/2 {
-		s.base = live.Clone()
-		s.journal = nil
-		if s.metrics != nil {
-			s.metrics.rebuilds.Inc()
+	if limit := max(rebuildMinOps, live.NumVMs()/2); s.ring.count > limit {
+		if prev := s.snap.Load(); prev != nil && prev.epoch == s.ring.epoch &&
+			prev.count > 0 && prev.matReady.Load() && prev.matErr == nil {
+			s.base = prev.mat
+			s.ring.adopt(prev)
+			if s.metrics != nil {
+				s.metrics.adoptions.Inc()
+			}
+		}
+		if s.ring.count > cloneFallbackFactor*limit {
+			s.base = live.Clone()
+			s.ring.rebase()
+			if s.metrics != nil {
+				s.metrics.rebuilds.Inc()
+			}
 		}
 	}
 	snap := &Snapshot{
-		stats: s.stats,
-		table: s.online.Table(),
-		base:  s.base,
-		ops:   s.journal,
+		stats:    s.stats,
+		table:    s.online.Table(),
+		base:     s.base,
+		head:     s.ring.head,
+		skip:     s.ring.skip,
+		count:    s.ring.count,
+		epoch:    s.ring.epoch,
+		endChunk: s.ring.tail,
+		endOff:   s.ring.tail.n,
 	}
 	s.snap.p.Store(snap)
 	if m := s.metrics; m != nil {

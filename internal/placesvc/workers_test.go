@@ -1,0 +1,217 @@
+package placesvc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// workersScript drives one service through a fixed request sequence from a
+// single goroutine — awaiting every response, so commit order equals
+// submission order — and returns the final placement (VM id → PM id) plus
+// stats. The sequence mixes single and batched arrivals and departures with
+// periodic table refreshes so every parallelised committer path runs:
+// deferred departure rescores, the whole-index refresh rebuild, and the
+// Algorithm-2-ordered arrival phase.
+func workersScript(t *testing.T, workers, pms int, pmCap float64) (map[int]int, Stats) {
+	t.Helper()
+	svc := newServiceT(t, Config{
+		PMs:      mkPool(pms, pmCap),
+		MaxBatch: 64,
+		Workers:  workers,
+	})
+	rng := rand.New(rand.NewSource(7))
+	live := map[int]bool{}
+	next := 0
+	newVM := func() cloud.VM {
+		id := next
+		next++
+		return mkVM(id, 0.5+rng.Float64(), 1+rng.Float64()*3)
+	}
+	for round := 0; round < 40; round++ {
+		// A burst of batched arrivals.
+		var vms []cloud.VM
+		for i := 0; i < 5+rng.Intn(20); i++ {
+			vms = append(vms, newVM())
+		}
+		unplaced, err := svc.ArriveBatch(vms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rejected := map[int]bool{}
+		for _, vm := range unplaced {
+			rejected[vm.ID] = true
+		}
+		for _, vm := range vms {
+			if !rejected[vm.ID] {
+				live[vm.ID] = true
+			}
+		}
+		// Single arrivals, tolerating pool exhaustion in the storm variant.
+		for i := 0; i < rng.Intn(4); i++ {
+			vm := newVM()
+			if _, err := svc.Arrive(vm); err == nil {
+				live[vm.ID] = true
+			} else if !errors.Is(err, cloud.ErrNoCapacity) {
+				t.Fatal(err)
+			}
+		}
+		// A batched departure of a deterministic subset of the fleet —
+		// the parallel rescore path — plus one unknown id.
+		var departs []int
+		for id := 0; id < next; id++ {
+			if live[id] && rng.Intn(4) == 0 {
+				departs = append(departs, id)
+				delete(live, id)
+			}
+		}
+		departs = append(departs, 1_000_000+round) // never placed
+		missing, err := svc.DepartBatch(departs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(missing) != 1 || missing[0] != 1_000_000+round {
+			t.Fatalf("round %d: missing = %v, want exactly the unknown id", round, missing)
+		}
+		// Periodic refresh: the parallel whole-index rebuild.
+		if round%5 == 4 {
+			if err := svc.RefreshTable(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := svc.Snapshot()
+	p, err := snap.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int]int{}
+	for _, vm := range p.VMs() {
+		pmID, ok := p.PMOf(vm.ID)
+		if !ok {
+			t.Fatalf("VM %d in VMs() but PMOf misses it", vm.ID)
+		}
+		got[vm.ID] = pmID
+	}
+	return got, snap.Stats()
+}
+
+// TestCommitWorkersInvariance is the determinism contract of Config.Workers:
+// for one committed request sequence, every worker count yields bit-identical
+// placements and stats — the parallel fan-out only reorders score
+// computation, never the committed state. Runs plain and under an
+// ErrNoCapacity storm (a pool too small for the fleet, so arrivals reject
+// mid-batch and departures free fragmented capacity).
+func TestCommitWorkersInvariance(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		pms   int
+		pmCap float64
+	}{
+		{"plain", 400, 100},
+		// A few dozen VM slots against ~700 arrivals: most of the run is an
+		// ErrNoCapacity storm, with departures freeing fragmented slots.
+		{"nocapacity-storm", 5, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			refPlace, refStats := workersScript(t, 1, tc.pms, tc.pmCap)
+			if tc.name == "nocapacity-storm" && refStats.Rejected == 0 {
+				t.Fatal("storm variant rejected nothing; the pool is too roomy to exercise ErrNoCapacity")
+			}
+			for _, workers := range []int{2, 8} {
+				place, stats := workersScript(t, workers, tc.pms, tc.pmCap)
+				if stats != refStats {
+					t.Errorf("Workers=%d stats = %+v, want the Workers=1 stats %+v", workers, stats, refStats)
+				}
+				if len(place) != len(refPlace) {
+					t.Fatalf("Workers=%d placed %d VMs, Workers=1 placed %d", workers, len(place), len(refPlace))
+				}
+				for vmID, pmID := range refPlace {
+					if got, ok := place[vmID]; !ok || got != pmID {
+						t.Fatalf("Workers=%d: VM %d on PM %d, want PM %d (first divergence)", workers, vmID, got, pmID)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestWorkersConcurrentChurn exercises the parallel committer under
+// concurrent Arrive/Depart/RefreshTable clients at several worker counts.
+// Interleaving is scheduling-dependent, so there is no cross-run bit-identity
+// to assert; what must hold at every worker count — and under the race
+// detector — is that each committed snapshot is internally consistent and
+// the final fleet accounts for every client's outcome.
+func TestWorkersConcurrentChurn(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			svc := newServiceT(t, Config{
+				PMs:      mkPool(60, 3), // small: ErrNoCapacity storms under churn
+				MaxBatch: 32,
+				Workers:  workers,
+			})
+			var placed, rejected, departed atomicCounter
+			var wg sync.WaitGroup
+			for c := 0; c < 4; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					for i := 0; i < 300; i++ {
+						id := c*10_000 + i
+						_, err := svc.Arrive(mkVM(id, 1, 2))
+						switch {
+						case err == nil:
+							placed.inc()
+						case errors.Is(err, cloud.ErrNoCapacity):
+							rejected.inc()
+						default:
+							t.Errorf("arrive: %v", err)
+							return
+						}
+						if err == nil && i%2 == 1 {
+							if err := svc.Depart(id); err != nil {
+								t.Errorf("depart: %v", err)
+								return
+							}
+							departed.inc()
+						}
+						if i%100 == 99 {
+							if err := svc.RefreshTable(); err != nil {
+								t.Errorf("refresh: %v", err)
+								return
+							}
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			st := svc.Stats()
+			if st.Placed != placed.n || st.Rejected != rejected.n || st.Departed != departed.n {
+				t.Errorf("stats (placed %d, rejected %d, departed %d) != client view (%d, %d, %d)",
+					st.Placed, st.Rejected, st.Departed, placed.n, rejected.n, departed.n)
+			}
+			p, err := svc.Snapshot().Placement()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := int(placed.n - departed.n); p.NumVMs() != want {
+				t.Errorf("final fleet holds %d VMs, want placed-departed = %d", p.NumVMs(), want)
+			}
+		})
+	}
+}
+
+type atomicCounter struct {
+	mu sync.Mutex
+	n  uint64
+}
+
+func (c *atomicCounter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}

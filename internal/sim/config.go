@@ -187,47 +187,5 @@ func (c Config) withDefaults() (Config, error) {
 	return c, nil
 }
 
-// slidingWindow tracks the last Window booleans (capacity violations) of one
-// PM to evaluate the migration trigger.
-type slidingWindow struct {
-	size       int
-	buf        []bool
-	next       int
-	filled     int
-	violations int
-}
-
-func newSlidingWindow(size int) *slidingWindow {
-	return &slidingWindow{size: size, buf: make([]bool, size)}
-}
-
-func (w *slidingWindow) observe(violated bool) {
-	if w.filled == w.size {
-		if w.buf[w.next] {
-			w.violations--
-		}
-	} else {
-		w.filled++
-	}
-	w.buf[w.next] = violated
-	if violated {
-		w.violations++
-	}
-	w.next = (w.next + 1) % w.size
-}
-
-// cvr returns the violation ratio over the filled part of the window.
-func (w *slidingWindow) cvr() float64 {
-	if w.filled == 0 {
-		return 0
-	}
-	return float64(w.violations) / float64(w.filled)
-}
-
-// reset clears the window (used after a migration relieves the PM).
-func (w *slidingWindow) reset() {
-	for i := range w.buf {
-		w.buf[i] = false
-	}
-	w.next, w.filled, w.violations = 0, 0, 0
-}
+// The per-PM violation sliding windows live in the ledger, flattened into
+// parallel columns (winBuf/winNext/winFilled/winViol) — see ledger.go.

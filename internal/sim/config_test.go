@@ -40,54 +40,5 @@ func TestConfigValidation(t *testing.T) {
 	}
 }
 
-func TestSlidingWindowBasics(t *testing.T) {
-	w := newSlidingWindow(4)
-	if w.cvr() != 0 {
-		t.Error("empty window should have CVR 0")
-	}
-	w.observe(true)
-	w.observe(false)
-	if w.cvr() != 0.5 {
-		t.Errorf("cvr = %v, want 0.5", w.cvr())
-	}
-	w.observe(false)
-	w.observe(false)
-	if w.cvr() != 0.25 {
-		t.Errorf("cvr = %v, want 0.25", w.cvr())
-	}
-	// Fifth observation evicts the first (true): CVR drops to 0.
-	w.observe(false)
-	if w.cvr() != 0 {
-		t.Errorf("cvr after eviction = %v, want 0", w.cvr())
-	}
-}
-
-func TestSlidingWindowEvictionAccounting(t *testing.T) {
-	w := newSlidingWindow(3)
-	for i := 0; i < 10; i++ {
-		w.observe(true)
-	}
-	if w.cvr() != 1 {
-		t.Errorf("all-true window cvr = %v", w.cvr())
-	}
-	for i := 0; i < 3; i++ {
-		w.observe(false)
-	}
-	if w.cvr() != 0 {
-		t.Errorf("all-false window cvr = %v", w.cvr())
-	}
-}
-
-func TestSlidingWindowReset(t *testing.T) {
-	w := newSlidingWindow(3)
-	w.observe(true)
-	w.observe(true)
-	w.reset()
-	if w.cvr() != 0 || w.filled != 0 || w.violations != 0 {
-		t.Error("reset did not clear window")
-	}
-	w.observe(false)
-	if w.cvr() != 0 {
-		t.Error("post-reset observation wrong")
-	}
-}
+// The sliding-window tests live in ledger_test.go (TestLedgerWindow*): the
+// windows are flattened into the ledger's SoA columns.

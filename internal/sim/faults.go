@@ -398,12 +398,8 @@ func (s *Simulator) chargeMigration(t, fromPM, toPM, vmID int, demand float64) {
 			})
 		}
 	}
-	if w := s.led.windows[fromPos]; w != nil {
-		w.reset()
-	}
-	if w := s.led.windows[s.led.pmPos[toPM]]; w != nil {
-		w.reset()
-	}
+	s.led.winReset(fromPos)
+	s.led.winReset(s.led.pmPos[toPM])
 }
 
 // faultReport snapshots the fault accounting for the final report, closing

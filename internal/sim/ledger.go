@@ -27,6 +27,8 @@ import (
 type ledger struct {
 	// PM side, indexed by position (= rank of the PM id in the sorted pool).
 	pms          []cloud.PM
+	pmID32       []int32     // hot column: pms[pos].ID
+	pmCap        []float64   // hot column: pms[pos].Capacity
 	pmPos        map[int]int // PM id → position
 	eff          []float64   // folded load: overhead + Σ hosted demand
 	overhead     []float64   // migration overhead charged this interval
@@ -35,7 +37,18 @@ type ledger struct {
 	ovhNextDirty []int       // positions that may hold nonzero overheadNext
 	hosted       [][]int32   // VM indices per PM, sorted by VM id
 	down         []bool      // crashed PMs (mirrors Simulator.downPMs)
-	windows      []*slidingWindow
+
+	// Per-PM violation windows, flattened structure-of-arrays style: PM pos p
+	// owns winBuf[p*winSize : (p+1)*winSize] as a ring buffer of the last
+	// winSize violation booleans, with its cursor, fill level and running
+	// violation count in the parallel int32 columns. One contiguous block for
+	// the whole fleet replaces a pointer chase per measured PM, and the
+	// measurement pass walks the columns cache-linearly in position order.
+	winSize   int
+	winBuf    []bool
+	winNext   []int32
+	winFilled []int32
+	winViol   []int32
 
 	onTree   *fitindex.MinTree // eff of up, hosting PMs; +Inf otherwise
 	idleTree *fitindex.MaxTree // capacity of up, idle PMs; -Inf otherwise
@@ -55,27 +68,85 @@ type ledger struct {
 	vmViolation []int
 }
 
-// newLedger builds an empty ledger over the id-sorted PM pool.
-func newLedger(pms []cloud.PM) *ledger {
+// newLedger builds an empty ledger over the id-sorted PM pool, with
+// violation windows of the given length (the Config.Window setting).
+func newLedger(pms []cloud.PM, window int) *ledger {
+	if window < 1 {
+		window = 1
+	}
 	m := len(pms)
 	l := &ledger{
 		pms:          pms,
+		pmID32:       make([]int32, m),
+		pmCap:        make([]float64, m),
 		pmPos:        make(map[int]int, m),
 		eff:          make([]float64, m),
 		overhead:     make([]float64, m),
 		overheadNext: make([]float64, m),
 		hosted:       make([][]int32, m),
 		down:         make([]bool, m),
-		windows:      make([]*slidingWindow, m),
+		winSize:      window,
+		winBuf:       make([]bool, m*window),
+		winNext:      make([]int32, m),
+		winFilled:    make([]int32, m),
+		winViol:      make([]int32, m),
 		onTree:       fitindex.NewMinTree(m),
 		idleTree:     fitindex.NewMaxTree(m),
 		vmPos:        make(map[int]int),
 	}
 	for i, pm := range pms {
+		l.pmID32[i] = int32(pm.ID)
+		l.pmCap[i] = pm.Capacity
 		l.pmPos[pm.ID] = i
 		l.refreshPM(i)
 	}
 	return l
+}
+
+// winObserve pushes one violation observation into the PM's window,
+// evicting the oldest once the window is full.
+func (l *ledger) winObserve(pos int, violated bool) {
+	base := pos * l.winSize
+	next := int(l.winNext[pos])
+	if int(l.winFilled[pos]) == l.winSize {
+		if l.winBuf[base+next] {
+			l.winViol[pos]--
+		}
+	} else {
+		l.winFilled[pos]++
+	}
+	l.winBuf[base+next] = violated
+	if violated {
+		l.winViol[pos]++
+	}
+	if next++; next == l.winSize {
+		next = 0
+	}
+	l.winNext[pos] = int32(next)
+}
+
+// winCVR returns the violation ratio over the filled part of the PM's window.
+func (l *ledger) winCVR(pos int) float64 {
+	if l.winFilled[pos] == 0 {
+		return 0
+	}
+	return float64(l.winViol[pos]) / float64(l.winFilled[pos])
+}
+
+// winReset clears one PM's window (after a migration relieves it).
+func (l *ledger) winReset(pos int) {
+	base := pos * l.winSize
+	clear(l.winBuf[base : base+l.winSize])
+	l.winNext[pos], l.winFilled[pos], l.winViol[pos] = 0, 0, 0
+}
+
+// resetWindows clears every PM's window (after a reconsolidation plan
+// rearranged the fleet).
+func (l *ledger) resetWindows() {
+	clear(l.winBuf)
+	clear(l.winNext)
+	clear(l.winFilled)
+	clear(l.winViol)
 }
 
 // vmIndex returns the VM's dense index, registering it on first sight with
@@ -163,7 +234,7 @@ func (l *ledger) refreshPM(pos int) {
 		l.idleTree.Set(pos, fitindex.NegInf)
 	default:
 		l.onTree.Set(pos, fitindex.PosInf)
-		l.idleTree.Set(pos, l.pms[pos].Capacity)
+		l.idleTree.Set(pos, l.pmCap[pos])
 	}
 }
 

@@ -13,7 +13,7 @@ func TestPlaceRecachesWorkloadState(t *testing.T) {
 	// place must cache the state/boost the given demand was derived from;
 	// a VM re-attached after drifting while detached must not keep the
 	// stale state it was detached with.
-	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}})
+	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}}, 4)
 	vm := cloud.VM{ID: 7, POn: 0.1, POff: 0.1, Rb: 1, Re: 2}
 	l.place(vm, 0, markov.On, 1.5, vm.Demand(markov.On)*1.5)
 	vi := l.vmPos[vm.ID]
@@ -91,7 +91,7 @@ func TestRotateOverheadDuplicateStragglerCarryOver(t *testing.T) {
 	// The same position can land in ovhNextDirty twice — a successful retry
 	// and a fresh migration from one PM both straggling in one interval.
 	// The promote pass must keep both carried-over charges.
-	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}, {ID: 1, Capacity: 10}})
+	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}, {ID: 1, Capacity: 10}}, 4)
 	l.charge(0, 1.0)
 	l.chargeNext(0, 0.5)
 	l.charge(0, 2.0)
@@ -106,5 +106,72 @@ func TestRotateOverheadDuplicateStragglerCarryOver(t *testing.T) {
 	l.rotateOverhead()
 	if l.overhead[0] != 0 || l.eff[0] != 0 {
 		t.Errorf("after expiry overhead = %v, eff = %v, want 0, 0", l.overhead[0], l.eff[0])
+	}
+}
+
+func TestLedgerWindowBasics(t *testing.T) {
+	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}}, 4)
+	if l.winCVR(0) != 0 {
+		t.Error("empty window should have CVR 0")
+	}
+	l.winObserve(0, true)
+	l.winObserve(0, false)
+	if l.winCVR(0) != 0.5 {
+		t.Errorf("cvr = %v, want 0.5", l.winCVR(0))
+	}
+	l.winObserve(0, false)
+	l.winObserve(0, false)
+	if l.winCVR(0) != 0.25 {
+		t.Errorf("cvr = %v, want 0.25", l.winCVR(0))
+	}
+	// Fifth observation evicts the first (true): CVR drops to 0.
+	l.winObserve(0, false)
+	if l.winCVR(0) != 0 {
+		t.Errorf("cvr after eviction = %v, want 0", l.winCVR(0))
+	}
+}
+
+func TestLedgerWindowEvictionAccounting(t *testing.T) {
+	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}}, 3)
+	for i := 0; i < 10; i++ {
+		l.winObserve(0, true)
+	}
+	if l.winCVR(0) != 1 {
+		t.Errorf("all-true window cvr = %v", l.winCVR(0))
+	}
+	for i := 0; i < 3; i++ {
+		l.winObserve(0, false)
+	}
+	if l.winCVR(0) != 0 {
+		t.Errorf("all-false window cvr = %v", l.winCVR(0))
+	}
+}
+
+func TestLedgerWindowResetAndIsolation(t *testing.T) {
+	// Windows of neighbouring PMs share one flat buffer; observations and
+	// resets on one position must never leak into another.
+	l := newLedger([]cloud.PM{{ID: 0, Capacity: 10}, {ID: 1, Capacity: 10}, {ID: 2, Capacity: 10}}, 3)
+	for i := 0; i < 5; i++ {
+		l.winObserve(0, true)
+		l.winObserve(2, true)
+	}
+	l.winObserve(1, true)
+	l.winObserve(1, true)
+	l.winReset(1)
+	if l.winCVR(1) != 0 || l.winFilled[1] != 0 || l.winViol[1] != 0 {
+		t.Error("reset did not clear window")
+	}
+	if l.winCVR(0) != 1 || l.winCVR(2) != 1 {
+		t.Errorf("reset of pos 1 bled into neighbours: cvr = %v, %v", l.winCVR(0), l.winCVR(2))
+	}
+	l.winObserve(1, false)
+	if l.winCVR(1) != 0 {
+		t.Error("post-reset observation wrong")
+	}
+	l.resetWindows()
+	for pos := 0; pos < 3; pos++ {
+		if l.winCVR(pos) != 0 || l.winFilled[pos] != 0 {
+			t.Errorf("resetWindows left pos %d dirty", pos)
+		}
 	}
 }

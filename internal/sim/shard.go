@@ -208,12 +208,12 @@ func (s *Simulator) measureRange(lo, hi int, meter *metrics.CVRMeter, sc *shardS
 		if len(l.hosted[pos]) == 0 || l.down[pos] {
 			continue
 		}
-		pm := l.pms[pos]
-		violated := l.eff[pos] > pm.Capacity+1e-9
+		pmID := int(l.pmID32[pos])
+		violated := l.eff[pos] > l.pmCap[pos]+1e-9
 		if violated {
 			sc.violations++
 		}
-		meter.Observe(pm.ID, violated)
+		meter.Observe(pmID, violated)
 		// A violated PM degrades every tenant on it; attribute the interval
 		// to each hosted VM for the per-VM SLA view.
 		for _, vi := range l.hosted[pos] {
@@ -222,14 +222,9 @@ func (s *Simulator) measureRange(lo, hi int, meter *metrics.CVRMeter, sc *shardS
 				l.vmViolation[vi]++
 			}
 		}
-		w := l.windows[pos]
-		if w == nil {
-			w = newSlidingWindow(s.cfg.Window)
-			l.windows[pos] = w
-		}
-		w.observe(violated)
-		if s.cfg.EnableMigration && w.cvr() > s.cfg.Rho {
-			sc.triggered = append(sc.triggered, pm.ID)
+		l.winObserve(pos, violated)
+		if s.cfg.EnableMigration && l.winCVR(pos) > s.cfg.Rho {
+			sc.triggered = append(sc.triggered, pmID)
 		}
 	}
 }

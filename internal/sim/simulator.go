@@ -114,7 +114,7 @@ func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg 
 		rng:               rng,
 		table:             table,
 		tracer:            telemetry.OrNop(cfg.Tracer),
-		led:               newLedger(clone.PMs()),
+		led:               newLedger(clone.PMs(), cfg.Window),
 		migrationsPerStep: metrics.NewTimeSeries("migrations"),
 		pmsInUse:          metrics.NewTimeSeries("pms_in_use"),
 		perVMMigrations:   make(map[int]int),
@@ -446,11 +446,7 @@ func (s *Simulator) ledgerDemand(vmID int) float64 {
 // resetWindows clears every PM's violation window (after a reconsolidation
 // plan rearranged the fleet).
 func (s *Simulator) resetWindows() {
-	for _, w := range s.led.windows {
-		if w != nil {
-			w.reset()
-		}
-	}
+	s.led.resetWindows()
 }
 
 // vmDemand returns the VM's demand this interval — the exact model level, or
