@@ -29,7 +29,7 @@ race:
 	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... \
 		./internal/queuing/... ./internal/markov/... ./internal/linalg/... \
 		./internal/sim/... ./internal/placesvc/... ./internal/core/... \
-		./internal/fitindex/... ./internal/obs/... .
+		./internal/fitindex/... ./internal/obs/... ./internal/admission/... .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -172,11 +172,13 @@ BENCH_pr5_new.json:
 		-benchtime 10000x -timeout 30m -json ./internal/placesvc/ > $@
 	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 20000 -bench >> $@
 
-# Short fuzz smoke of the solver-agreement, MapCal, and fault-plan contracts.
+# Short fuzz smoke of the solver-agreement, MapCal, fault-plan, and
+# admission-config contracts.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSolverAgreement -fuzztime 10s ./internal/queuing/
 	$(GO) test -run '^$$' -fuzz FuzzMapCal -fuzztime 10s ./internal/queuing/
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/faults/
+	$(GO) test -run '^$$' -fuzz FuzzAdmissionConfig -fuzztime 10s ./internal/admission/
 
 cover:
 	$(GO) test -cover ./...

@@ -134,8 +134,8 @@ func TestPublicOnlineFlow(t *testing.T) {
 }
 
 func TestPublicExperimentSurface(t *testing.T) {
-	if len(repro.ListExperiments()) != 14 {
-		t.Errorf("expected 14 experiments, got %d", len(repro.ListExperiments()))
+	if len(repro.ListExperiments()) != 15 {
+		t.Errorf("expected 15 experiments, got %d", len(repro.ListExperiments()))
 	}
 	var buf bytes.Buffer
 	opt := repro.ExperimentOptions{Out: &buf, Seed: 1, TraceLen: 50}

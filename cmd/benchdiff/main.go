@@ -36,15 +36,17 @@ func main() {
 		"also compare allocs/op (-benchmem snapshots) and fail critical regressions")
 	maxAllocRegress := flag.Float64("max-alloc-regress", 0.20,
 		"maximum tolerated allocs/op regression for critical benchmarks with -allocs")
+	maxShedRegress := flag.Float64("max-shed-regress", 0.05,
+		"maximum tolerated absolute rejected-frac increase for critical benchmarks carrying the metric")
 	flag.Parse()
 
-	if err := run(*oldPath, *newPath, *critical, *maxRegress, *allocs, *maxAllocRegress, os.Stdout); err != nil {
+	if err := run(*oldPath, *newPath, *critical, *maxRegress, *allocs, *maxAllocRegress, *maxShedRegress, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
 }
 
-func run(oldPath, newPath, critical string, maxRegress float64, allocs bool, maxAllocRegress float64, out *os.File) error {
+func run(oldPath, newPath, critical string, maxRegress float64, allocs bool, maxAllocRegress, maxShedRegress float64, out *os.File) error {
 	criticalRE, err := regexp.Compile(critical)
 	if err != nil {
 		return fmt.Errorf("bad -critical pattern: %w", err)
@@ -110,6 +112,17 @@ func run(oldPath, newPath, critical string, maxRegress float64, allocs bool, max
 				row += fmt.Sprintf(" %12s %12s %9s", "-", "-", "-")
 			}
 		}
+		// rejected-frac (loadgen's shed rate) is gated on the absolute
+		// increase, not a ratio — a baseline of exactly 0 is the common case
+		// and any ratio against it is degenerate.
+		if o.HasRejectedFrac && n.HasRejectedFrac {
+			sDelta := n.RejectedFrac - o.RejectedFrac
+			if isCritical && sDelta > maxShedRegress {
+				regressed = append(regressed, fmt.Sprintf("%s: rejected-frac %.3f → %.3f (+%.3f absolute)",
+					name, o.RejectedFrac, n.RejectedFrac, sDelta))
+			}
+			row += fmt.Sprintf("  rejected-frac %.3f → %.3f", o.RejectedFrac, n.RejectedFrac)
+		}
 		if isCritical {
 			row += " *"
 		}
@@ -119,13 +132,14 @@ func run(oldPath, newPath, critical string, maxRegress float64, allocs bool, max
 	if allocs {
 		fmt.Fprintf(out, ", max allocs/op regression %.0f%%", 100*maxAllocRegress)
 	}
+	fmt.Fprintf(out, ", max rejected-frac increase %.2f", maxShedRegress)
 	fmt.Fprintln(out, ")")
 
 	if len(regressed) > 0 {
 		for _, r := range regressed {
 			fmt.Fprintln(out, "REGRESSION:", r)
 		}
-		return fmt.Errorf("%d critical benchmark(s) regressed beyond %.0f%%", len(regressed), 100*maxRegress)
+		return fmt.Errorf("%d critical benchmark(s) regressed beyond the gates", len(regressed))
 	}
 	return nil
 }

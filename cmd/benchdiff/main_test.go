@@ -1,0 +1,74 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeSnapshot wraps benchmark result lines in a minimal test2json stream.
+func writeSnapshot(t *testing.T, name string, lines ...string) string {
+	t.Helper()
+	var body string
+	for _, l := range lines {
+		b, err := jsonOutputEvent(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body += b
+	}
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func jsonOutputEvent(line string) (string, error) {
+	return fmt.Sprintf("{\"Action\":\"output\",\"Output\":%q}\n", line+"\n"), nil
+}
+
+func devNull(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestRunPassesWithinGates(t *testing.T) {
+	old := writeSnapshot(t, "old.json",
+		"BenchmarkLoadgen/m=50/clients=4 \t 2000\t 3000.0 ns/op\t 0.010000 rejected-frac")
+	new := writeSnapshot(t, "new.json",
+		"BenchmarkLoadgen/m=50/clients=4 \t 2000\t 3100.0 ns/op\t 0.030000 rejected-frac")
+	if err := run(old, new, "BenchmarkLoadgen", 0.20, false, 0.20, 0.05, devNull(t)); err != nil {
+		t.Errorf("within-gates diff failed: %v", err)
+	}
+}
+
+func TestRunFailsOnShedRegression(t *testing.T) {
+	old := writeSnapshot(t, "old.json",
+		"BenchmarkLoadgen/m=50/clients=4 \t 2000\t 3000.0 ns/op\t 0.010000 rejected-frac")
+	new := writeSnapshot(t, "new.json",
+		"BenchmarkLoadgen/m=50/clients=4 \t 2000\t 3000.0 ns/op\t 0.200000 rejected-frac")
+	if err := run(old, new, "BenchmarkLoadgen", 0.20, false, 0.20, 0.05, devNull(t)); err == nil {
+		t.Error("shed-fraction regression beyond the gate accepted")
+	}
+	// Non-critical benchmarks never fail the run.
+	if err := run(old, new, "BenchmarkMapCal", 0.20, false, 0.20, 0.05, devNull(t)); err != nil {
+		t.Errorf("non-critical shed regression failed the run: %v", err)
+	}
+}
+
+func TestRunFailsOnNsRegression(t *testing.T) {
+	old := writeSnapshot(t, "old.json",
+		"BenchmarkMappingTable/d=16 \t 600\t 1000.0 ns/op")
+	new := writeSnapshot(t, "new.json",
+		"BenchmarkMappingTable/d=16 \t 600\t 1500.0 ns/op")
+	if err := run(old, new, "BenchmarkMappingTable", 0.20, false, 0.20, 0.05, devNull(t)); err == nil {
+		t.Error("50% ns/op regression on a critical benchmark accepted")
+	}
+}

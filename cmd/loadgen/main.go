@@ -10,6 +10,7 @@
 //
 //	loadgen [-pms 1000] [-vms 4000] [-clients 4] [-ops 20000] [-batch 256]
 //	        [-maxwait 0] [-seed 42] [-rho 0.01] [-d 16] [-bench]
+//	        [-admission policy.json] [-rate 0] [-cv 3.5]
 //	        [-trace t.jsonl] [-metrics-addr 127.0.0.1:9090]
 //	        [-flight dumps.jsonl] [-flight-cap 4096]
 //
@@ -19,9 +20,18 @@
 // and the VM retries at its next OFF→ON transition. The run stops once the
 // clients have submitted -ops requests in total.
 //
+// -admission loads an admission-policy JSON config (internal/admission) into
+// the service; policy-refused arrivals are counted as shed, separately from
+// capacity rejections, and the summary reports the combined rejected
+// fraction. -rate paces arrival submissions to a mean of that many arrivals
+// per second fleet-wide, with Gamma-distributed gaps of the given -cv
+// (default 3.5, the paper's bursty regime; 0 = submit as fast as possible) —
+// the knob that makes a calibrated token bucket meaningful under test.
+//
 // -bench emits the result as a test2json benchmark line
 // (BenchmarkLoadgen/m=…/clients=…) so the snapshot can be concatenated into a
-// BENCH_*.json file and diffed with cmd/benchdiff.
+// BENCH_*.json file and diffed with cmd/benchdiff; the rejected fraction
+// rides along as a `rejected-frac` custom metric benchdiff gates on.
 package main
 
 import (
@@ -37,6 +47,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/markov"
@@ -59,16 +70,19 @@ func main() {
 }
 
 type config struct {
-	pms     int
-	vms     int
-	clients int
-	ops     int
-	batch   int
-	maxWait time.Duration
-	seed    int64
-	rho     float64
-	d       int
-	bench   bool
+	pms      int
+	vms      int
+	clients  int
+	ops      int
+	batch    int
+	maxWait  time.Duration
+	seed     int64
+	rho      float64
+	d        int
+	bench    bool
+	admPath  string
+	rate     float64
+	arriveCV float64
 }
 
 func run(args []string, stdout io.Writer) error {
@@ -84,6 +98,9 @@ func run(args []string, stdout io.Writer) error {
 	fs.Float64Var(&cfg.rho, "rho", 0.01, "CVR threshold ρ")
 	fs.IntVar(&cfg.d, "d", 16, "max VMs per PM (table dimension)")
 	fs.BoolVar(&cfg.bench, "bench", false, "emit a test2json benchmark line instead of the human summary")
+	fs.StringVar(&cfg.admPath, "admission", "", "admission-policy JSON config for the service (default: always admit)")
+	fs.Float64Var(&cfg.rate, "rate", 0, "mean arrival submissions/sec fleet-wide (0 = unpaced)")
+	fs.Float64Var(&cfg.arriveCV, "cv", 3.5, "coefficient of variation of the Gamma arrival gaps for -rate")
 	var tf obs.Flags
 	tf.Register(fs)
 	if err := fs.Parse(args); err != nil {
@@ -116,6 +133,14 @@ func run(args []string, stdout io.Writer) error {
 		admitWin = plane.AdmitLatency
 	}
 
+	var admCfg *admission.Config
+	if cfg.admPath != "" {
+		var err error
+		if admCfg, err = admission.Load(cfg.admPath); err != nil {
+			return err
+		}
+	}
+
 	rng := rand.New(rand.NewSource(cfg.seed))
 	vms, err := workload.GenerateVMs(workload.DefaultFleetParams(workload.PatternEqual, cfg.vms), rng)
 	if err != nil {
@@ -126,15 +151,16 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	svc, err := placesvc.New(placesvc.Config{
-		Strategy: core.QueuingFFD{Rho: cfg.rho, MaxVMsPerPM: cfg.d, Tables: queuing.SharedTables()},
-		PMs:      pms,
-		POn:      0.01,
-		POff:     0.09,
-		MaxBatch: cfg.batch,
-		MaxWait:  cfg.maxWait,
-		Workers:  runtime.GOMAXPROCS(0),
-		Registry: reg,
-		Obs:      tf.Plane(),
+		Strategy:  core.QueuingFFD{Rho: cfg.rho, MaxVMsPerPM: cfg.d, Tables: queuing.SharedTables()},
+		PMs:       pms,
+		POn:       0.01,
+		POff:      0.09,
+		MaxBatch:  cfg.batch,
+		MaxWait:   cfg.maxWait,
+		Workers:   runtime.GOMAXPROCS(0),
+		Registry:  reg,
+		Obs:       tf.Plane(),
+		Admission: admCfg,
 	})
 	if err != nil {
 		return err
@@ -160,11 +186,20 @@ func run(args []string, stdout io.Writer) error {
 		if quota == 0 || len(part) == 0 {
 			continue
 		}
+		// Each paced client submits at rate/clients with its own Gamma gap
+		// stream, so the aggregate arrival stream has the configured mean.
+		var pace *workload.ArrivalProcess
+		if cfg.rate > 0 {
+			paceRNG := rand.New(rand.NewSource(cfg.seed + int64(c)))
+			if pace, err = workload.NewArrivalProcess(cfg.rate/float64(cfg.clients), cfg.arriveCV, paceRNG); err != nil {
+				return err
+			}
+		}
 		wg.Add(1)
-		go func(c, quota int, part []cloud.VM) {
+		go func(c, quota int, part []cloud.VM, pace *workload.ArrivalProcess) {
 			defer wg.Done()
-			results[c] = runClient(svc, part, cfg.seed, quota, admitWin)
-		}(c, quota, part)
+			results[c] = runClient(svc, part, cfg.seed, quota, admitWin, pace)
+		}(c, quota, part, pace)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
@@ -177,6 +212,7 @@ func run(args []string, stdout io.Writer) error {
 		total.ops += r.ops
 		total.placed += r.placed
 		total.rejected += r.rejected
+		total.shed += r.shed
 		total.departed += r.departed
 	}
 	if total.err != nil {
@@ -184,6 +220,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if total.ops == 0 {
 		return fmt.Errorf("no requests submitted")
+	}
+
+	// Rejected fraction over arrival submissions only (departures are never
+	// refused): policy sheds and capacity rejections both count against it.
+	arrivalOps := total.placed + total.rejected + total.shed
+	rejectedFrac := 0.0
+	if arrivalOps > 0 {
+		rejectedFrac = float64(total.rejected+total.shed) / float64(arrivalOps)
 	}
 
 	admitQs := admitWin.Quantiles(0.50, 0.99)
@@ -205,9 +249,9 @@ func run(args []string, stdout io.Writer) error {
 		if p := runtime.GOMAXPROCS(0); p != 1 {
 			suffix = fmt.Sprintf("-%d", p)
 		}
-		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d%s \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\n",
+		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d%s \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\t%12.6f rejected-frac\n",
 			cfg.pms, cfg.clients, suffix, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops),
-			p50.Nanoseconds(), p99.Nanoseconds())
+			p50.Nanoseconds(), p99.Nanoseconds(), rejectedFrac)
 		data, err := json.Marshal(struct {
 			Action string
 			Output string
@@ -223,8 +267,9 @@ func run(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "loadgen: m=%d PMs, %d VMs, %d clients, batch=%d, gomaxprocs=%d\n",
 		cfg.pms, cfg.vms, cfg.clients, cfg.batch, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(stdout, "  %d ops in %v: %.0f ops/sec\n", total.ops, elapsed.Round(time.Millisecond), float64(total.ops)/elapsed.Seconds())
-	fmt.Fprintf(stdout, "  placed %d, rejected %d, departed %d, live %d on %d PMs\n",
-		total.placed, total.rejected, total.departed, st.VMs, st.UsedPMs)
+	fmt.Fprintf(stdout, "  placed %d, rejected %d, shed %d, departed %d, live %d on %d PMs\n",
+		total.placed, total.rejected, total.shed, total.departed, st.VMs, st.UsedPMs)
+	fmt.Fprintf(stdout, "  rejected-fraction %.3f over %d arrivals\n", rejectedFrac, arrivalOps)
 	fmt.Fprintf(stdout, "  %d commits, mean batch %.1f\n", st.Commits, float64(st.Requests)/float64(st.Commits))
 	fmt.Fprintf(stdout, "  admit latency p50 %v, p99 %v (rolling window)\n", p50, p99)
 	return nil
@@ -252,6 +297,12 @@ func validate(cfg config) error {
 	if cfg.d < 1 {
 		return fmt.Errorf("-d must be ≥ 1, got %d", cfg.d)
 	}
+	if cfg.rate < 0 || math.IsNaN(cfg.rate) || math.IsInf(cfg.rate, 0) {
+		return fmt.Errorf("-rate = %v, want finite and ≥ 0", cfg.rate)
+	}
+	if cfg.rate > 0 && (cfg.arriveCV <= 0 || math.IsNaN(cfg.arriveCV) || math.IsInf(cfg.arriveCV, 0)) {
+		return fmt.Errorf("-cv = %v, want finite and > 0", cfg.arriveCV)
+	}
 	return nil
 }
 
@@ -259,13 +310,15 @@ type clientResult struct {
 	ops      int
 	placed   int
 	rejected int
+	shed     int
 	departed int
 	err      error
 }
 
 // runClient walks its partition through the ON-OFF chain and submits the
-// transitions until its quota of requests is spent.
-func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int, admit *obs.WindowedTimer) clientResult {
+// transitions until its quota of requests is spent. A non-nil pace sleeps a
+// Gamma-distributed gap before each arrival submission.
+func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int, admit *obs.WindowedTimer, pace *workload.ArrivalProcess) clientResult {
 	var res clientResult
 	fleet, err := workload.NewHashedFleet(part, seed)
 	if err != nil {
@@ -288,11 +341,18 @@ func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int, ad
 			was := prev[vm.ID]
 			switch {
 			case was == markov.Off && now == markov.On && !placed[vm.ID]:
+				if pace != nil {
+					time.Sleep(time.Duration(pace.NextGapNs()))
+				}
 				res.ops++
 				t0 := time.Now()
 				_, err := svc.Arrive(vm)
 				admit.Observe(time.Since(t0))
 				if err != nil {
+					if errors.Is(err, admission.ErrShed) {
+						res.shed++
+						continue
+					}
 					if errors.Is(err, cloud.ErrNoCapacity) {
 						res.rejected++
 						continue

@@ -6,6 +6,8 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -78,6 +80,9 @@ func TestRunBenchOutputParses(t *testing.T) {
 	if r.Iters != 1000 || r.NsPerOp <= 0 {
 		t.Errorf("parsed %+v, want 1000 iters and positive ns/op", r)
 	}
+	if !r.HasRejectedFrac || r.RejectedFrac < 0 || r.RejectedFrac > 1 {
+		t.Errorf("rejected-frac = (%v, %v), want the custom metric parsed in [0,1]", r.RejectedFrac, r.HasRejectedFrac)
+	}
 }
 
 func TestRunRejectsBadFlags(t *testing.T) {
@@ -90,6 +95,10 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-maxwait", "-1s"},
 		{"-rho", "1.5"},
 		{"-d", "0"},
+		{"-rate", "-1"},
+		{"-rate", "100", "-cv", "0"},
+		{"-rate", "100", "-cv", "-2"},
+		{"-admission", "/no/such/policy.json"},
 	} {
 		var out strings.Builder
 		if err := run(args, &out); err == nil {
@@ -211,5 +220,51 @@ func TestMetricsScrapeDuringRun(t *testing.T) {
 	}
 	if flight.Trigger != obs.TriggerHTTP {
 		t.Errorf("/debug/flight trigger = %q, want %q", flight.Trigger, obs.TriggerHTTP)
+	}
+}
+
+// A starved token bucket sheds nearly every arrival: the summary must report
+// the shed count and the rejected fraction, and the run must not error.
+func TestRunWithAdmissionPolicySheds(t *testing.T) {
+	policy := filepath.Join(t.TempDir(), "policy.json")
+	body := `{"token_bucket": {"capacity": 1, "refill_per_sec": 0.000001}}`
+	if err := os.WriteFile(policy, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run([]string{"-pms", "100", "-vms", "400", "-clients", "2", "-ops", "1000",
+		"-admission", policy}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "shed") || !strings.Contains(got, "rejected-fraction") {
+		t.Fatalf("summary missing shed accounting:\n%s", got)
+	}
+	var frac float64
+	var arrivals int
+	for _, l := range strings.Split(got, "\n") {
+		if strings.Contains(l, "rejected-fraction") {
+			if _, err := fmt.Sscanf(strings.TrimSpace(l), "rejected-fraction %f over %d arrivals", &frac, &arrivals); err != nil {
+				t.Fatalf("cannot parse %q: %v", l, err)
+			}
+		}
+	}
+	if frac < 0.9 {
+		t.Errorf("rejected-fraction = %v under a starved bucket, want ≈ 1", frac)
+	}
+}
+
+// A paced run sleeps Gamma gaps between arrivals; at a high rate this stays
+// fast while exercising the -rate/-cv path end to end.
+func TestRunPacedArrivals(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-pms", "50", "-vms", "200", "-clients", "2", "-ops", "300",
+		"-rate", "200000", "-cv", "3.5"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "300 ops") {
+		t.Errorf("paced run summary:\n%s", out.String())
 	}
 }

@@ -7,6 +7,7 @@
 //	simulate -spec fleet.json [-strategy queue|rp|rb|rbex|sbp]
 //	         [-intervals 100] [-migration] [-seed 1] [-shards 8]
 //	         [-faults schedule.json]
+//	         [-arrivals 0.5] [-lifetime 300] [-admission policy.json]
 //	         [-events events.csv] [-series series.csv]
 //	         [-trace run.jsonl] [-metrics-addr 127.0.0.1:9090]
 //	         [-flight dumps.jsonl] [-flight-cap 4096]
@@ -19,15 +20,25 @@
 // exit) to the given file. -faults replays a deterministic fault schedule
 // (PM crashes, flaky migrations, demand overshoot — see internal/faults) and
 // surfaces the degraded-behaviour digest in the JSON summary.
+//
+// -arrivals > 0 opens the system: each interval one new tenant arrives with
+// that probability and every placed tenant departs with probability
+// 1/-lifetime, and the summary gains arrival/departure/rejection counters.
+// -admission loads an admission-policy JSON config (see internal/admission;
+// same Parse/validate discipline as -faults) that sheds arrivals before the
+// Eq. (17) placement test; it requires -arrivals and composes with -faults —
+// the policy reads degraded-fleet utilisation, so crash windows tighten it.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 
+	"repro/internal/admission"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/faults"
@@ -58,6 +69,9 @@ func run(args []string, stdout io.Writer) error {
 		seriesPath = fs.String("series", "", "write per-interval series CSV to this path")
 		faultsPath = fs.String("faults", "", "replay the JSON fault schedule at this path")
 		shards     = fs.Int("shards", 1, "parallel shards for per-interval stepping (bit-identical for any count)")
+		arrivals   = fs.Float64("arrivals", 0, "per-interval tenant arrival probability (0 = closed system)")
+		lifetime   = fs.Float64("lifetime", 0, "mean tenancy in intervals for -arrivals runs (default 4×intervals)")
+		admPath    = fs.String("admission", "", "admission-policy JSON config for -arrivals runs (sheds before Eq. (17))")
 	)
 	var tf obs.Flags
 	tf.Register(fs)
@@ -70,6 +84,10 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return err
 	}
+	if err := validateChurnFlags(*arrivals, *lifetime, *admPath); err != nil {
+		fs.Usage()
+		return err
+	}
 	var plan *faults.Plan
 	if *faultsPath != "" {
 		sched, err := faults.Load(*faultsPath)
@@ -79,6 +97,14 @@ func run(args []string, stdout io.Writer) error {
 		if plan, err = sched.Compile(); err != nil {
 			return err
 		}
+	}
+	var admCfg *admission.Config
+	if *admPath != "" {
+		c, err := admission.Load(*admPath)
+		if err != nil {
+			return err
+		}
+		admCfg = c
 	}
 	tracer, err := tf.Activate()
 	if err != nil {
@@ -128,17 +154,48 @@ func run(args []string, stdout io.Writer) error {
 	if plan != nil {
 		cfg.Faults = plan
 	}
-	simulator, err := sim.New(res.Placement, table, cfg, rand.New(rand.NewSource(*seed)))
-	if err != nil {
-		return err
-	}
-	rep, err := simulator.Run()
-	if err != nil {
-		return err
-	}
-
-	if err := rep.WriteJSON(stdout); err != nil {
-		return err
+	rng := rand.New(rand.NewSource(*seed))
+	var rep *sim.Report
+	if *arrivals > 0 {
+		life := *lifetime
+		if life == 0 {
+			life = 4 * float64(*intervals)
+		}
+		ccfg := sim.ChurnConfig{
+			Sim:          cfg,
+			ArrivalProb:  *arrivals,
+			MeanLifetime: life,
+			NewVM: func(arrival int, r *rand.Rand) cloud.VM {
+				return cloud.VM{ID: 1_000_000 + arrival, POn: pOn, POff: pOff,
+					Rb: 2 + 18*r.Float64(), Re: 2 + 18*r.Float64()}
+			},
+			// The queue strategy admits under Eq. (17); the others on load.
+			ReservationAwareAdmission: *strategy == "queue",
+			Admission:                 admCfg,
+		}
+		churn, err := sim.NewChurn(res.Placement, table, ccfg, rng)
+		if err != nil {
+			return err
+		}
+		crep, err := churn.Run()
+		if err != nil {
+			return err
+		}
+		if err := crep.WriteJSON(stdout); err != nil {
+			return err
+		}
+		rep = crep.Report
+	} else {
+		simulator, err := sim.New(res.Placement, table, cfg, rng)
+		if err != nil {
+			return err
+		}
+		if rep, err = simulator.Run(); err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(stdout); err != nil {
+			return err
+		}
 	}
 	if *eventsPath != "" {
 		if err := writeFile(*eventsPath, rep.WriteEventsCSV); err != nil {
@@ -172,6 +229,27 @@ func validateFlags(spec, strategy string, intervals int, delta, epsilon float64)
 	}
 	if epsilon <= 0 || epsilon >= 1 {
 		return fmt.Errorf("-epsilon = %v outside (0,1)", epsilon)
+	}
+	return nil
+}
+
+// validateChurnFlags checks the open-system flag combination: -admission and
+// -lifetime only act on arrivals, so requiring -arrivals keeps a silently
+// inert policy from masquerading as a run with one.
+func validateChurnFlags(arrivals, lifetime float64, admPath string) error {
+	if arrivals < 0 || arrivals > 1 || math.IsNaN(arrivals) {
+		return fmt.Errorf("-arrivals = %v outside [0,1]", arrivals)
+	}
+	if lifetime < 0 || math.IsNaN(lifetime) || math.IsInf(lifetime, 0) {
+		return fmt.Errorf("-lifetime = %v, want finite and ≥ 0", lifetime)
+	}
+	if arrivals == 0 {
+		if admPath != "" {
+			return fmt.Errorf("-admission needs -arrivals > 0 (policies act on arrivals)")
+		}
+		if lifetime != 0 {
+			return fmt.Errorf("-lifetime needs -arrivals > 0")
+		}
 	}
 	return nil
 }

@@ -273,3 +273,67 @@ func TestRunWithFaultSchedule(t *testing.T) {
 		t.Error("fault digest present on a fault-free run")
 	}
 }
+
+func TestRunOpenSystemWithAdmission(t *testing.T) {
+	spec := writeSpec(t)
+	policy := filepath.Join(t.TempDir(), "admission.json")
+	body := `{"occupancy": {"shed_above": 0.01, "resume_below": 0.005}}`
+	if err := os.WriteFile(policy, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A near-zero shed threshold refuses every arrival: sheds counted,
+	// nothing rejected by the placement test.
+	var buf bytes.Buffer
+	if err := run([]string{"-spec", spec, "-intervals", "30",
+		"-arrivals", "1", "-admission", policy}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var shedRun sim.ChurnSummary
+	if err := json.Unmarshal(buf.Bytes(), &shedRun); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, buf.String())
+	}
+	if shedRun.ShedArrivals == 0 {
+		t.Error("no arrivals shed despite a near-zero occupancy threshold")
+	}
+	if shedRun.Arrivals != 0 || shedRun.RejectedArrivals != 0 {
+		t.Errorf("arrivals = %d, rejected = %d; want 0 past a closed gate",
+			shedRun.Arrivals, shedRun.RejectedArrivals)
+	}
+	// Without a policy the same open run admits and never sheds.
+	buf.Reset()
+	if err := run([]string{"-spec", spec, "-intervals", "30", "-arrivals", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	var open sim.ChurnSummary
+	if err := json.Unmarshal(buf.Bytes(), &open); err != nil {
+		t.Fatal(err)
+	}
+	if open.ShedArrivals != 0 {
+		t.Errorf("sheds = %d without a policy", open.ShedArrivals)
+	}
+	if open.Arrivals+open.RejectedArrivals == 0 {
+		t.Error("open system saw no arrivals at p=1")
+	}
+}
+
+func TestChurnFlagValidation(t *testing.T) {
+	spec := writeSpec(t)
+	policy := filepath.Join(t.TempDir(), "admission.json")
+	if err := os.WriteFile(policy, []byte(`{}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-spec", spec, "-arrivals", "1.5"},
+		{"-spec", spec, "-arrivals", "-0.1"},
+		{"-spec", spec, "-lifetime", "100"},                    // -lifetime without -arrivals
+		{"-spec", spec, "-admission", policy},                  // -admission without -arrivals
+		{"-spec", spec, "-arrivals", "0.5", "-lifetime", "-1"}, // bad lifetime
+		{"-spec", spec, "-arrivals", "0.5", "-admission", "/no/such/policy.json"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}

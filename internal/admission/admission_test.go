@@ -1,0 +1,323 @@
+package admission
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestClassString(t *testing.T) {
+	for _, tc := range []struct {
+		c    Class
+		want string
+	}{
+		{ClassBatch, "batch"}, {ClassStandard, "standard"}, {ClassCritical, "critical"},
+	} {
+		if got := tc.c.String(); got != tc.want {
+			t.Errorf("%d.String() = %q, want %q", tc.c, got, tc.want)
+		}
+		back, err := ParseClass(tc.want)
+		if err != nil || back != tc.c {
+			t.Errorf("ParseClass(%q) = %v, %v; want %v, nil", tc.want, back, err, tc.c)
+		}
+	}
+	if _, err := ParseClass("premium"); err == nil {
+		t.Error("ParseClass(premium): want error")
+	}
+}
+
+func TestTokenBucketRefillAndCharge(t *testing.T) {
+	tb, err := NewTokenBucket(TokenBucketConfig{Capacity: 10, RefillPerSec: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts full: 10 back-to-back unit requests admit, the 11th sheds.
+	for i := 0; i < 10; i++ {
+		if d := tb.Decide(Request{TimeNs: 0, Cost: 1}); !d.Admit {
+			t.Fatalf("request %d shed with %v tokens", i, tb.Tokens())
+		}
+	}
+	if d := tb.Decide(Request{TimeNs: 0, Cost: 1}); d.Admit {
+		t.Fatal("11th request admitted from an empty bucket")
+	} else if d.Reason != "token_bucket" {
+		t.Fatalf("shed reason = %q, want token_bucket", d.Reason)
+	}
+	// 5ms at 1000 tokens/s refills 5 tokens.
+	if d := tb.Decide(Request{TimeNs: 5_000_000, Cost: 5}); !d.Admit {
+		t.Fatalf("cost-5 request shed after 5ms refill (tokens=%v)", tb.Tokens())
+	}
+	if tb.Tokens() > 1e-9 {
+		t.Fatalf("tokens = %v after draining refill, want 0", tb.Tokens())
+	}
+	// Refill clamps at capacity.
+	tb.Decide(Request{TimeNs: 1_000_000_000_000, Cost: 1})
+	if got := tb.Tokens(); got != 9 {
+		t.Fatalf("tokens = %v after long idle + 1 charge, want capacity-1 = 9", got)
+	}
+	// A timestamp regression is zero elapsed time, not a negative refill.
+	before := tb.Tokens()
+	tb.Decide(Request{TimeNs: 1, Cost: 1})
+	if got := tb.Tokens(); got != before-1 {
+		t.Fatalf("tokens = %v after clock regression, want %v", got, before-1)
+	}
+}
+
+func TestTokenBucketCriticalExemption(t *testing.T) {
+	tb, err := NewTokenBucket(TokenBucketConfig{Capacity: 1, RefillPerSec: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Decide(Request{Cost: 1}) // drain
+	if d := tb.Decide(Request{Cost: 1, Class: ClassCritical}); !d.Admit {
+		t.Fatal("critical request shed despite default exemption")
+	}
+	if tb.Tokens() != 0 {
+		t.Fatalf("exempt critical consumed tokens: %v", tb.Tokens())
+	}
+
+	off := false
+	tb2, err := NewTokenBucket(TokenBucketConfig{Capacity: 1, RefillPerSec: 1, ExemptCritical: &off})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2.Decide(Request{Cost: 1})
+	if d := tb2.Decide(Request{Cost: 1, Class: ClassCritical}); d.Admit {
+		t.Fatal("critical request admitted with exemption disabled and an empty bucket")
+	}
+}
+
+func TestOccupancyGateHysteresisAndClasses(t *testing.T) {
+	g, err := NewOccupancyGate(OccupancyConfig{ShedAbove: 0.9, ResumeBelow: 0.8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default batch band sits one width below: shed ≥ 0.8, resume ≤ 0.7.
+	step := func(occ float64, class Class) bool {
+		return g.Decide(Request{Occupancy: occ, Class: class}).Admit
+	}
+	if !step(0.75, ClassStandard) || !step(0.75, ClassBatch) {
+		t.Fatal("admitting below both bands failed")
+	}
+	if step(0.85, ClassBatch) {
+		t.Fatal("batch admitted at 0.85, above its shed threshold 0.8")
+	}
+	if !step(0.85, ClassStandard) {
+		t.Fatal("standard shed at 0.85, below its shed threshold 0.9")
+	}
+	if step(0.95, ClassStandard) {
+		t.Fatal("standard admitted at 0.95")
+	}
+	if !step(0.95, ClassCritical) {
+		t.Fatal("critical shed without shed_critical")
+	}
+	// Hysteresis: back inside the band keeps shedding…
+	if step(0.85, ClassStandard) {
+		t.Fatal("standard admitted at 0.85 while shedding — hysteresis broken")
+	}
+	if !g.Shedding() {
+		t.Fatal("Shedding() = false inside the band after a shed crossing")
+	}
+	// …until occupancy drops below resume.
+	if !step(0.79, ClassStandard) {
+		t.Fatal("standard still shed at 0.79, below resume_below 0.8")
+	}
+	// Batch resumes only below its own lower resume threshold.
+	if step(0.75, ClassBatch) {
+		t.Fatal("batch admitted at 0.75 while its gate (resume ≤ 0.7) is shedding")
+	}
+	if !step(0.65, ClassBatch) {
+		t.Fatal("batch still shed at 0.65")
+	}
+
+	// shed_critical pulls critical into the main gate.
+	gc, err := NewOccupancyGate(OccupancyConfig{ShedAbove: 0.9, ResumeBelow: 0.8, ShedCritical: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.Decide(Request{Occupancy: 0.95, Class: ClassCritical}).Admit {
+		t.Fatal("critical admitted at 0.95 with shed_critical=true")
+	}
+
+	// Unknown occupancy neither sheds nor moves the gates.
+	if !g.Decide(Request{Occupancy: math.NaN(), Class: ClassBatch}).Admit {
+		t.Fatal("NaN occupancy shed a request")
+	}
+}
+
+// TestPolicyDeterminism pins the package contract: two pipelines compiled
+// from the same Config fed the same request sequence make bit-identical
+// decisions — no clock, no RNG.
+func TestPolicyDeterminism(t *testing.T) {
+	cfg := Config{
+		TokenBucket: &TokenBucketConfig{Capacity: 50, RefillPerSec: 180},
+		Occupancy:   &OccupancyConfig{ShedAbove: 0.9, ResumeBelow: 0.8},
+	}
+	mk := func() *Pipeline {
+		p, err := cfg.Compile()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	if a.Name() != "occupancy+token_bucket" {
+		t.Fatalf("pipeline name = %q", a.Name())
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	proc, err := workload.NewArrivalProcess(200, 3.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now int64
+	sheds := 0
+	for i := 0; i < 20_000; i++ {
+		now += proc.NextGapNs()
+		r := Request{
+			TimeNs:    now,
+			Cost:      1 + i%3,
+			Class:     Classes[i%len(Classes)],
+			Occupancy: 0.5 + 0.5*math.Sin(float64(i)/500), // sweeps through both bands
+		}
+		da, db := a.Decide(r), b.Decide(r)
+		if da != db {
+			t.Fatalf("request %d: decisions diverge: %+v vs %+v", i, da, db)
+		}
+		if !da.Admit {
+			sheds++
+		}
+	}
+	if sheds == 0 {
+		t.Fatal("replay exercised no shed path — determinism check vacuous")
+	}
+}
+
+// TestTokenBucketCalibration pins the SNIPPETS H5 lesson. The calibrated
+// bucket (capacity ≈ one mean-second of burst depth, refill 5% above the mean
+// rate) smooths a Gamma CV≈3.5 stream: rejected-fraction stays below 10%. A
+// miscalibrated bucket — capacity near the per-request cost, refill below the
+// mean rate — degenerates into pure load shedding on the same stream.
+func TestTokenBucketCalibration(t *testing.T) {
+	const (
+		rate = 200.0
+		cv   = 3.5
+		n    = 100_000
+	)
+	run := func(cfg TokenBucketConfig, seed int64) float64 {
+		t.Helper()
+		tb, err := NewTokenBucket(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc, err := workload.NewArrivalProcess(rate, cv, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var now int64
+		shed := 0
+		for i := 0; i < n; i++ {
+			now += proc.NextGapNs()
+			if !tb.Decide(Request{TimeNs: now, Cost: 1}).Admit {
+				shed++
+			}
+		}
+		return float64(shed) / n
+	}
+
+	for seed := int64(1); seed <= 3; seed++ {
+		if frac := run(Calibrated(rate), seed); frac >= 0.10 {
+			t.Errorf("seed %d: calibrated bucket shed %.1f%% of a CV=%.1f stream, want < 10%% (burst smoothing)",
+				seed, 100*frac, cv)
+		}
+	}
+	// The H5 trap: capacity ≈ cost and refill at 40% of the mean rate caps
+	// throughput instead of absorbing bursts.
+	miscal := TokenBucketConfig{Capacity: 1, RefillPerSec: 0.4 * rate}
+	if frac := run(miscal, 1); frac < 0.5 {
+		t.Errorf("miscalibrated bucket shed only %.1f%% — expected it to degenerate into load shedding (> 50%%)",
+			100*frac)
+	}
+}
+
+// TestAdmittedQueueWaitImproves drives a virtual-time single-server queue
+// (service rate just above the mean arrival rate, so bursts are what build
+// the backlog) and checks the calibrated bucket improves the p99 queue wait
+// of admitted requests versus admitting everything: shedding the deepest
+// bursts is exactly what shortens the tail.
+func TestAdmittedQueueWaitImproves(t *testing.T) {
+	const (
+		rate = 200.0
+		cv   = 3.5
+		n    = 100_000
+	)
+	mu := 1.10 * rate // service rate just above the mean arrival rate
+	serviceNs := int64(1e9 / mu)
+	arrivals := make([]int64, n)
+	proc, err := workload.NewArrivalProcess(rate, cv, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var now int64
+	for i := range arrivals {
+		now += proc.NextGapNs()
+		arrivals[i] = now
+	}
+
+	// FIFO single server: wait = max(0, busyUntil - t).
+	simulate := func(policy Policy) (waits []int64, shed int) {
+		var busyUntil int64
+		for _, t0 := range arrivals {
+			if !policy.Decide(Request{TimeNs: t0, Cost: 1}).Admit {
+				shed++
+				continue
+			}
+			start := max(busyUntil, t0)
+			waits = append(waits, start-t0)
+			busyUntil = start + serviceNs
+		}
+		return waits, shed
+	}
+	p99 := func(w []int64) int64 {
+		s := append([]int64(nil), w...)
+		sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+		return s[(len(s)*99)/100]
+	}
+
+	baseWaits, _ := simulate(NoOp{})
+	tb, err := NewTokenBucket(Calibrated(rate))
+	if err != nil {
+		t.Fatal(err)
+	}
+	admWaits, shed := simulate(tb)
+
+	if frac := float64(shed) / n; frac >= 0.10 {
+		t.Fatalf("calibrated bucket shed %.1f%% in the queue sim, want < 10%%", 100*frac)
+	}
+	basP99, admP99 := p99(baseWaits), p99(admWaits)
+	if admP99 >= basP99 {
+		t.Fatalf("admitted p99 wait %v ns did not improve on always-admit p99 %v ns", admP99, basP99)
+	}
+	t.Logf("p99 queue wait: always-admit %.2fms → calibrated bucket %.2fms (shed %.2f%%)",
+		float64(basP99)/1e6, float64(admP99)/1e6, 100*float64(shed)/n)
+}
+
+func TestPipelineOccupancyShedsBeforeBucket(t *testing.T) {
+	cfg := Config{
+		TokenBucket: &TokenBucketConfig{Capacity: 5, RefillPerSec: 1},
+		Occupancy:   &OccupancyConfig{ShedAbove: 0.9, ResumeBelow: 0.8},
+	}
+	p, err := cfg.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Decide(Request{Occupancy: 0.95, Cost: 1})
+	if d.Admit || d.Reason != "occupancy" {
+		t.Fatalf("decision = %+v, want occupancy shed", d)
+	}
+	if p.tb.Tokens() != 5 {
+		t.Fatalf("occupancy shed consumed tokens: %v", p.tb.Tokens())
+	}
+}

@@ -1,0 +1,249 @@
+package admission
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"time"
+)
+
+// Config is the JSON-serialisable admission-policy specification, mirroring
+// the faults.Schedule pattern: hand-written JSON with unknown fields
+// rejected, validated up front, compiled into the runtime Policy. The zero
+// value compiles to the always-admit NoOp policy.
+//
+// Example (testdata/admission_example.json):
+//
+//	{
+//	  "token_bucket": {"capacity": 200, "refill_per_sec": 210},
+//	  "occupancy": {"shed_above": 0.97, "resume_below": 0.9},
+//	  "deadlines": {"batch_ms": 2000, "standard_ms": 500, "critical_ms": 100}
+//	}
+type Config struct {
+	// TokenBucket enables the burst-smoothing rate limiter.
+	TokenBucket *TokenBucketConfig `json:"token_bucket,omitempty"`
+	// Occupancy enables the threshold gate with its hysteresis band.
+	Occupancy *OccupancyConfig `json:"occupancy,omitempty"`
+	// Deadlines sets per-class default queueing deadlines, applied by the
+	// serving plane to requests whose context carries none.
+	Deadlines *DeadlineConfig `json:"deadlines,omitempty"`
+}
+
+// TokenBucketConfig sizes the token bucket.
+//
+// Calibration (the SNIPPETS H5 lesson): the bucket charges 1 token per VM,
+// so Capacity must be large relative to that cost — it is the burst depth
+// the plane absorbs without shedding — and RefillPerSec must be at or
+// slightly above the mean arrival rate so debt drains between bursts. A
+// capacity near the per-request cost, or a refill below the mean rate,
+// degenerates the bucket into pure load shedding: it caps throughput instead
+// of smoothing bursts. Calibrated(rate) encodes the rule; the calibration
+// test pins that the defaults shed < 10% of a Gamma CV≈3.5 stream.
+type TokenBucketConfig struct {
+	// Capacity is the bucket size in tokens (1 token = 1 VM).
+	Capacity float64 `json:"capacity"`
+	// RefillPerSec is the sustained admission rate in tokens per second.
+	RefillPerSec float64 `json:"refill_per_sec"`
+	// ExemptCritical bypasses the bucket for ClassCritical (default true).
+	ExemptCritical *bool `json:"exempt_critical,omitempty"`
+}
+
+func (c TokenBucketConfig) exemptCritical() bool {
+	return c.ExemptCritical == nil || *c.ExemptCritical
+}
+
+func (c TokenBucketConfig) validate() error {
+	if math.IsNaN(c.Capacity) || math.IsInf(c.Capacity, 0) || c.Capacity < 1 {
+		return fmt.Errorf("admission: token_bucket.capacity = %v, want ≥ 1", c.Capacity)
+	}
+	if math.IsNaN(c.RefillPerSec) || math.IsInf(c.RefillPerSec, 0) || c.RefillPerSec <= 0 {
+		return fmt.Errorf("admission: token_bucket.refill_per_sec = %v, want > 0", c.RefillPerSec)
+	}
+	return nil
+}
+
+// Calibrated returns the burst-smoothing bucket for a stream with the given
+// mean arrival rate (VMs per second): one mean-second of burst depth
+// (floored at 64 tokens so slow streams still absorb bursts) and a refill 5%
+// above the mean so the bucket recovers between bursts instead of running a
+// permanent deficit.
+func Calibrated(meanPerSec float64) TokenBucketConfig {
+	return TokenBucketConfig{
+		Capacity:     math.Max(64, meanPerSec),
+		RefillPerSec: 1.05 * meanPerSec,
+	}
+}
+
+// OccupancyConfig shapes the threshold gate. Occupancy is the caller's fleet
+// slot occupancy in [0, 1].
+type OccupancyConfig struct {
+	// ShedAbove starts shedding standard-class (and below) requests once
+	// occupancy reaches it.
+	ShedAbove float64 `json:"shed_above"`
+	// ResumeBelow stops shedding once occupancy falls back to it — the
+	// hysteresis band [ResumeBelow, ShedAbove] prevents flapping.
+	ResumeBelow float64 `json:"resume_below"`
+	// BatchShedAbove / BatchResumeBelow give ClassBatch its own band so
+	// low-priority work sheds first. Both default to a band one width below
+	// the main one: BatchShedAbove = ResumeBelow, BatchResumeBelow =
+	// ResumeBelow - (ShedAbove - ResumeBelow), floored at 0.
+	BatchShedAbove   float64 `json:"batch_shed_above,omitempty"`
+	BatchResumeBelow float64 `json:"batch_resume_below,omitempty"`
+	// ShedCritical lets the main gate shed ClassCritical too (default false:
+	// critical work rides through overload).
+	ShedCritical bool `json:"shed_critical,omitempty"`
+}
+
+// batchBand resolves the batch-class hysteresis band with its defaults.
+func (c OccupancyConfig) batchBand() (shed, resume float64) {
+	shed, resume = c.BatchShedAbove, c.BatchResumeBelow
+	if shed == 0 {
+		shed = c.ResumeBelow
+	}
+	if resume == 0 {
+		resume = math.Max(0, c.ResumeBelow-(c.ShedAbove-c.ResumeBelow))
+	}
+	return shed, resume
+}
+
+func (c OccupancyConfig) validate() error {
+	for name, v := range map[string]float64{
+		"shed_above":         c.ShedAbove,
+		"resume_below":       c.ResumeBelow,
+		"batch_shed_above":   c.BatchShedAbove,
+		"batch_resume_below": c.BatchResumeBelow,
+	} {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("admission: occupancy.%s = %v outside [0,1]", name, v)
+		}
+	}
+	if c.ShedAbove <= 0 {
+		return fmt.Errorf("admission: occupancy.shed_above = %v, want > 0", c.ShedAbove)
+	}
+	if c.ResumeBelow > c.ShedAbove {
+		return fmt.Errorf("admission: occupancy band inverted: resume_below %v > shed_above %v",
+			c.ResumeBelow, c.ShedAbove)
+	}
+	bShed, bResume := c.batchBand()
+	if bResume > bShed {
+		return fmt.Errorf("admission: occupancy batch band inverted: batch_resume_below %v > batch_shed_above %v",
+			bResume, bShed)
+	}
+	return nil
+}
+
+// DeadlineConfig sets per-class default queueing deadlines in milliseconds.
+// Zero means no default for that class. The serving plane applies the
+// class's default to requests whose context carries no deadline of its own;
+// an expired request is skipped at commit time — never applied — and its
+// waiter gets context.DeadlineExceeded.
+type DeadlineConfig struct {
+	BatchMs    int64 `json:"batch_ms,omitempty"`
+	StandardMs int64 `json:"standard_ms,omitempty"`
+	CriticalMs int64 `json:"critical_ms,omitempty"`
+}
+
+func (c DeadlineConfig) validate() error {
+	for name, v := range map[string]int64{
+		"batch_ms": c.BatchMs, "standard_ms": c.StandardMs, "critical_ms": c.CriticalMs,
+	} {
+		if v < 0 {
+			return fmt.Errorf("admission: deadlines.%s = %d, want ≥ 0", name, v)
+		}
+	}
+	return nil
+}
+
+// Validate checks every configured section.
+func (c Config) Validate() error {
+	if c.TokenBucket != nil {
+		if err := c.TokenBucket.validate(); err != nil {
+			return err
+		}
+	}
+	if c.Occupancy != nil {
+		if err := c.Occupancy.validate(); err != nil {
+			return err
+		}
+	}
+	if c.Deadlines != nil {
+		if err := c.Deadlines.validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Compile validates the config and builds its Policy pipeline. An empty
+// config compiles to the NoOp always-admit pipeline.
+func (c Config) Compile() (*Pipeline, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	p := &Pipeline{name: "noop"}
+	if c.Occupancy != nil {
+		gate, err := NewOccupancyGate(*c.Occupancy)
+		if err != nil {
+			return nil, err
+		}
+		p.occ = gate
+		p.name = gate.Name()
+	}
+	if c.TokenBucket != nil {
+		tb, err := NewTokenBucket(*c.TokenBucket)
+		if err != nil {
+			return nil, err
+		}
+		p.tb = tb
+		if p.occ != nil {
+			p.name = p.occ.Name() + "+" + tb.Name()
+		} else {
+			p.name = tb.Name()
+		}
+	}
+	return p, nil
+}
+
+// Deadline returns the class's default queueing deadline (0 = none).
+func (c Config) Deadline(class Class) time.Duration {
+	if c.Deadlines == nil {
+		return 0
+	}
+	switch class {
+	case ClassBatch:
+		return time.Duration(c.Deadlines.BatchMs) * time.Millisecond
+	case ClassStandard:
+		return time.Duration(c.Deadlines.StandardMs) * time.Millisecond
+	case ClassCritical:
+		return time.Duration(c.Deadlines.CriticalMs) * time.Millisecond
+	}
+	return 0
+}
+
+// Parse reads a JSON config. Unknown fields are rejected so a typo in a
+// policy file fails loudly instead of silently admitting everything —
+// the same contract as faults.Parse.
+func Parse(r io.Reader) (*Config, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var c Config
+	if err := dec.Decode(&c); err != nil {
+		return nil, fmt.Errorf("admission: bad policy config: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// Load reads and validates a JSON policy file.
+func Load(path string) (*Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Parse(f)
+}

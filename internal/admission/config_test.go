@@ -1,0 +1,108 @@
+package admission
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseRejectsUnknownFields(t *testing.T) {
+	_, err := Parse(strings.NewReader(`{"token_bucket": {"capacity": 10, "refill_per_sec": 5, "burst": 3}}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	_, err = Parse(strings.NewReader(`{"rate_limit": {}}`))
+	if err == nil {
+		t.Fatal("unknown top-level field accepted")
+	}
+}
+
+func TestParseValidates(t *testing.T) {
+	for name, body := range map[string]string{
+		"zero capacity":    `{"token_bucket": {"capacity": 0, "refill_per_sec": 5}}`,
+		"zero refill":      `{"token_bucket": {"capacity": 10, "refill_per_sec": 0}}`,
+		"occ out of range": `{"occupancy": {"shed_above": 1.5, "resume_below": 0.8}}`,
+		"band inverted":    `{"occupancy": {"shed_above": 0.7, "resume_below": 0.9}}`,
+		"batch inverted":   `{"occupancy": {"shed_above": 0.9, "resume_below": 0.8, "batch_shed_above": 0.5, "batch_resume_below": 0.6}}`,
+		"negative ms":      `{"deadlines": {"standard_ms": -1}}`,
+		"bad json":         `{"token_bucket":`,
+	} {
+		if _, err := Parse(strings.NewReader(body)); err == nil {
+			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestCompileEmptyIsNoOp(t *testing.T) {
+	p, err := Config{}.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "noop" {
+		t.Fatalf("empty config pipeline name = %q, want noop", p.Name())
+	}
+	for i := 0; i < 100; i++ {
+		if !p.Decide(Request{TimeNs: int64(i), Cost: 1}).Admit {
+			t.Fatal("empty pipeline shed a request")
+		}
+	}
+}
+
+func TestConfigDeadlines(t *testing.T) {
+	c := Config{Deadlines: &DeadlineConfig{BatchMs: 2000, StandardMs: 500, CriticalMs: 100}}
+	for _, tc := range []struct {
+		class Class
+		want  time.Duration
+	}{
+		{ClassBatch, 2 * time.Second},
+		{ClassStandard, 500 * time.Millisecond},
+		{ClassCritical, 100 * time.Millisecond},
+	} {
+		if got := c.Deadline(tc.class); got != tc.want {
+			t.Errorf("Deadline(%v) = %v, want %v", tc.class, got, tc.want)
+		}
+	}
+	var none Config
+	if got := none.Deadline(ClassStandard); got != 0 {
+		t.Errorf("Deadline with no config = %v, want 0", got)
+	}
+}
+
+func TestCalibratedDefaults(t *testing.T) {
+	c := Calibrated(200)
+	if c.Capacity < 64 || c.RefillPerSec <= 200 {
+		t.Fatalf("Calibrated(200) = %+v — capacity must absorb bursts and refill must exceed the mean rate", c)
+	}
+	if err := c.validate(); err != nil {
+		t.Fatal(err)
+	}
+	slow := Calibrated(2)
+	if slow.Capacity != 64 {
+		t.Fatalf("Calibrated(2).Capacity = %v, want the 64-token floor", slow.Capacity)
+	}
+}
+
+// TestLoadExampleConfig keeps the checked-in exemplar valid, mirroring the
+// faults_example.json test.
+func TestLoadExampleConfig(t *testing.T) {
+	c, err := Load("../../testdata/admission_example.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := c.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Name() != "occupancy+token_bucket" {
+		t.Fatalf("example pipeline = %q, want occupancy+token_bucket", p.Name())
+	}
+	if got := c.Deadline(ClassCritical); got != 100*time.Millisecond {
+		t.Fatalf("example critical deadline = %v", got)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load("../../testdata/definitely_not_here.json"); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}

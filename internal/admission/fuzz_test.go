@@ -1,0 +1,73 @@
+package admission
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzAdmissionConfig feeds arbitrary bytes through Parse and, for configs
+// that survive validation, checks the Compile → Decide → re-marshal path:
+// compiled pipelines never panic, decisions replay deterministically, and the
+// config round-trips through JSON to a pipeline with identical decisions.
+func FuzzAdmissionConfig(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"token_bucket": {"capacity": 200, "refill_per_sec": 210}}`))
+	f.Add([]byte(`{"occupancy": {"shed_above": 0.97, "resume_below": 0.9, "shed_critical": true}}`))
+	f.Add([]byte(`{"token_bucket": {"capacity": 1, "refill_per_sec": 0.5, "exempt_critical": false}, "occupancy": {"shed_above": 0.5, "resume_below": 0.5}}`))
+	f.Add([]byte(`{"deadlines": {"batch_ms": 2000, "standard_ms": 500, "critical_ms": 100}}`))
+	f.Add([]byte(`{"token_bucket": {"capacity": -1, "refill_per_sec": 210}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := Parse(bytes.NewReader(data))
+		if err != nil {
+			return // malformed or invalid input is rejected, not processed
+		}
+		replay := func() []Decision {
+			p, err := c.Compile()
+			if err != nil {
+				t.Fatalf("Parse accepted %q but Compile rejected it: %v", data, err)
+			}
+			if p.Name() == "" {
+				t.Fatal("compiled pipeline has an empty name")
+			}
+			var out []Decision
+			var now int64
+			for i := 0; i < 64; i++ {
+				now += int64(i%7) * 1_000_000
+				d := p.Decide(Request{
+					TimeNs:    now,
+					Cost:      1 + i%4,
+					Class:     Classes[i%len(Classes)],
+					Occupancy: float64(i%11) / 10,
+				})
+				if d.Admit && d.Reason != "" {
+					t.Fatalf("admit decision carries shed reason %q", d.Reason)
+				}
+				if !d.Admit && d.Reason == "" {
+					t.Fatal("shed decision carries no reason")
+				}
+				out = append(out, d)
+			}
+			return out
+		}
+		first, second := replay(), replay()
+		for i := range first {
+			if first[i] != second[i] {
+				t.Fatalf("decision %d diverged across identical replays: %+v vs %+v", i, first[i], second[i])
+			}
+		}
+		// JSON round-trip: an emitted config re-parses and validates.
+		out, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if _, err := Parse(bytes.NewReader(out)); err != nil {
+			t.Fatalf("round-trip parse of %s: %v", out, err)
+		}
+		for _, class := range Classes {
+			if c.Deadline(class) < 0 {
+				t.Fatalf("negative deadline for %v", class)
+			}
+		}
+	})
+}

@@ -2,7 +2,9 @@
 // `go test -bench . -json` (the test2json stream committed as
 // BENCH_baseline.json, BENCH_pr2.json, and BENCH_pr4.json). The ns/op figure
 // is always extracted; when the run used -benchmem, the B/op and allocs/op
-// counters are captured too. Custom metrics are ignored.
+// counters are captured too. Of the custom metrics, only `rejected-frac`
+// (loadgen's shed+rejected arrival fraction) is parsed — benchdiff gates on
+// it; the rest are ignored.
 package benchfmt
 
 import (
@@ -26,6 +28,11 @@ type Result struct {
 	BytesPerOp  float64
 	AllocsPerOp float64
 	HasMem      bool
+	// RejectedFrac is loadgen's `rejected-frac` custom metric — the fraction
+	// of arrivals refused by admission policy (shed) or capacity (rejected).
+	// Only meaningful when HasRejectedFrac is true.
+	RejectedFrac    float64
+	HasRejectedFrac bool
 }
 
 // Key is the map key a Result is stored under: the bare Name at Procs = 1
@@ -53,6 +60,10 @@ type event struct {
 // The trailing -N GOMAXPROCS suffix is stripped from the reported name and
 // parsed into Result.Procs.
 var resultLine = regexp.MustCompile(`^(Benchmark\S+?)(-\d+)?\s+(\d+)\s+([0-9.]+) ns/op(?:\s+([0-9.]+) B/op\s+([0-9.]+) allocs/op)?`)
+
+// rejectedFracMetric matches loadgen's shed-rate custom metric anywhere after
+// the standard counters on a result line.
+var rejectedFracMetric = regexp.MustCompile(`\s([0-9.]+(?:[eE][+-]?[0-9]+)?) rejected-frac\b`)
 
 // Parse reads a test2json stream and returns the benchmark results keyed by
 // Result.Key — the bare name for single-proc runs, name-P per GOMAXPROCS
@@ -110,6 +121,13 @@ func Parse(lines *bufio.Scanner) (map[string]Result, error) {
 				return nil, fmt.Errorf("benchfmt: bad allocs/op in %q: %w", line, err)
 			}
 			r.BytesPerOp, r.AllocsPerOp, r.HasMem = b, a, true
+		}
+		if fm := rejectedFracMetric.FindStringSubmatch(line); fm != nil {
+			frac, err := strconv.ParseFloat(fm[1], 64)
+			if err != nil {
+				return nil, fmt.Errorf("benchfmt: bad rejected-frac in %q: %w", line, err)
+			}
+			r.RejectedFrac, r.HasRejectedFrac = frac, true
 		}
 		// A key repeats when the snapshot was taken with -count N; keep
 		// the fastest run. The minimum is the noise-robust statistic on a

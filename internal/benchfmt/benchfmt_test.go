@@ -122,3 +122,30 @@ func TestParseProcsMatrix(t *testing.T) {
 		}
 	}
 }
+
+// loadgenStream carries loadgen's custom metrics; only rejected-frac is
+// parsed, the admit quantiles stay ignored.
+const loadgenStream = `{"Action":"output","Output":"BenchmarkLoadgen/m=50/clients=4 \t    2000\t      3100.5 ns/op\t      812345 p50-admit-ns\t     9912345 p99-admit-ns\t    0.042000 rejected-frac\n"}
+{"Action":"output","Output":"BenchmarkLoadgen/m=100/clients=4 \t    2000\t      4100.5 ns/op\t      812345 p50-admit-ns\t     9912345 p99-admit-ns\n"}
+`
+
+func TestParseRejectedFrac(t *testing.T) {
+	res, err := Parse(bufio.NewScanner(strings.NewReader(loadgenStream)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFrac, ok := res["BenchmarkLoadgen/m=50/clients=4"]
+	if !ok {
+		t.Fatalf("loadgen result missing: %v", res)
+	}
+	if !withFrac.HasRejectedFrac || withFrac.RejectedFrac != 0.042 {
+		t.Errorf("rejected-frac = (%v, %v), want (0.042, true)", withFrac.RejectedFrac, withFrac.HasRejectedFrac)
+	}
+	if withFrac.NsPerOp != 3100.5 {
+		t.Errorf("ns/op = %v alongside custom metrics", withFrac.NsPerOp)
+	}
+	plain := res["BenchmarkLoadgen/m=100/clients=4"]
+	if plain.HasRejectedFrac {
+		t.Errorf("HasRejectedFrac set on a line without the metric: %+v", plain)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 
+	"repro/internal/admission"
 	"repro/internal/faults"
 	"repro/internal/queuing"
 	"repro/internal/telemetry"
@@ -52,9 +53,14 @@ type Options struct {
 	// (telemetry.JSONL and the metrics bridge are). Nil disables tracing.
 	Tracer telemetry.Tracer
 	// Faults overrides the fault schedule used by the faultcvr experiment
-	// (default: faults.CrashTest — the 5%-PM-crash scenario). Other
-	// experiments ignore it.
+	// (default: faults.CrashTest — the 5%-PM-crash scenario) and, when set,
+	// composes a crash schedule into admissioncvr. Other experiments ignore
+	// it.
 	Faults *faults.Schedule
+	// Admission overrides the admission-policy config used by the
+	// admissioncvr experiment (default: a 0.9/0.8 occupancy hysteresis
+	// gate). Other experiments ignore it.
+	Admission *admission.Config
 	// Tables, when set, deduplicates the mapping-table build every experiment
 	// starts with: experiments sharing a cache (and the same (d, p_on, p_off,
 	// ρ) cohort) solve the table once and share the instance — including with

@@ -13,12 +13,13 @@ import (
 
 // Dump triggers, recorded in Dump.Trigger.
 const (
-	TriggerHTTP     = "http"              // GET /debug/flight
-	TriggerFinal    = "final"             // plane Close (end of run)
-	TriggerManual   = "manual"            // explicit Snapshot call
-	TriggerPMCrash  = "fault:pm_crash"    // FaultEvent pm_crash observed
-	TriggerRollback = "fault:rollback"    // reconsolidation plan rolled back
-	TriggerStorm    = "storm:no_capacity" // ErrNoCapacity rejections over threshold
+	TriggerHTTP      = "http"              // GET /debug/flight
+	TriggerFinal     = "final"             // plane Close (end of run)
+	TriggerManual    = "manual"            // explicit Snapshot call
+	TriggerPMCrash   = "fault:pm_crash"    // FaultEvent pm_crash observed
+	TriggerRollback  = "fault:rollback"    // reconsolidation plan rolled back
+	TriggerStorm     = "storm:no_capacity" // ErrNoCapacity rejections over threshold
+	TriggerShedStorm = "storm:shed"        // admission-policy sheds over threshold
 )
 
 // Dump is one flight-recorder snapshot: the trigger, capture metadata, and
@@ -83,6 +84,7 @@ type FlightRecorder struct {
 	filled   int    // live slots, ≤ cap
 	seq      uint64 // total events ever emitted
 	rejects  int    // capacity rejections since the last dump
+	sheds    int    // admission-policy sheds since the last dump
 	dumps    uint64 // dumps taken (any trigger)
 	lastAuto uint64 // seq at the last automatic dump
 	haveAuto bool
@@ -162,6 +164,25 @@ func (f *FlightRecorder) NoteRejections(n int) {
 	f.fireLocked(trigger)
 }
 
+// NoteSheds adds admission-policy sheds to the shed-storm counter — the
+// admission layer sits ahead of the committer and emits no trace events — and
+// dumps with the storm:shed trigger when the threshold is crossed, mirroring
+// NoteRejections / storm:no_capacity. Sheds and capacity rejections count
+// separately: a shed storm means the policy is refusing work, a rejection
+// storm means Eq. (17) is.
+func (f *FlightRecorder) NoteSheds(n int) {
+	if n <= 0 {
+		return
+	}
+	f.mu.Lock()
+	f.sheds += n
+	trigger := ""
+	if f.stormThr > 0 && f.sheds >= f.stormThr {
+		trigger = TriggerShedStorm
+	}
+	f.fireLocked(trigger)
+}
+
 // fireLocked takes an automatic dump for trigger (when set, allowed by the
 // cooldown, and a sink is attached), releasing the lock before invoking the
 // sink. It always releases f.mu.
@@ -212,6 +233,7 @@ func (f *FlightRecorder) dumpLocked(trigger string) Dump {
 		d.Events = append(d.Events, json.RawMessage(line))
 	}
 	f.rejects = 0
+	f.sheds = 0
 	f.dumps++
 	return d
 }

@@ -102,6 +102,39 @@ func TestFlightRecorderStormTrigger(t *testing.T) {
 	}
 }
 
+func TestFlightRecorderShedStormTrigger(t *testing.T) {
+	var dumps []Dump
+	f := NewFlightRecorder(RecorderOptions{
+		Cap:            32,
+		StormThreshold: 5,
+		OnDump:         func(d Dump) { dumps = append(dumps, d) },
+	})
+	f.NoteSheds(4)
+	if len(dumps) != 0 {
+		t.Fatalf("shed dump below threshold after 4 sheds")
+	}
+	// Sheds and capacity rejections accumulate independently: 4 sheds plus 4
+	// rejections must not trip either storm.
+	f.NoteRejections(4)
+	if len(dumps) != 0 {
+		t.Fatalf("storm fired from mixed sub-threshold counters: %+v", dumps)
+	}
+	f.NoteSheds(1)
+	if len(dumps) != 1 || dumps[0].Trigger != TriggerShedStorm {
+		t.Fatalf("dumps = %+v, want one storm:shed dump", dumps)
+	}
+	// The dump reset both counters; re-accumulate past the cooldown.
+	for i := 0; i < 16; i++ {
+		f.Emit(telemetry.StepEvent{Interval: i})
+	}
+	f.NoteSheds(5)
+	if len(dumps) != 2 || dumps[1].Trigger != TriggerShedStorm {
+		t.Fatalf("dumps = %d after cooldown passed, want a second storm:shed", len(dumps))
+	}
+	f.NoteSheds(0)
+	f.NoteSheds(-3)
+}
+
 func TestFlightRecorderAcceptedPlacementsDoNotCount(t *testing.T) {
 	var dumps int
 	f := NewFlightRecorder(RecorderOptions{Cap: 16, StormThreshold: 2, OnDump: func(Dump) { dumps++ }})

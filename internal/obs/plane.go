@@ -187,6 +187,11 @@ func (p *Plane) Emit(e telemetry.Event) {
 // the trace stream (placesvc) to the flight recorder's storm trigger.
 func (p *Plane) ObserveRejections(n int) { p.Recorder.NoteRejections(n) }
 
+// ObserveSheds forwards admission-policy shed tallies (placesvc's admission
+// layer, which also sits outside the trace stream) to the flight recorder's
+// storm:shed trigger.
+func (p *Plane) ObserveSheds(n int) { p.Recorder.NoteSheds(n) }
+
 // RefreshGauges recomputes every sampled gauge: rolling window quantiles,
 // flight-recorder stats, and runtime memory/goroutine stats. The sampler
 // calls it on a timer; tests and Close call it directly.

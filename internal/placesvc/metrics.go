@@ -1,6 +1,9 @@
 package placesvc
 
-import "repro/internal/telemetry"
+import (
+	"repro/internal/admission"
+	"repro/internal/telemetry"
+)
 
 // svcMetrics bundles the placesvc_* instruments. A nil *svcMetrics disables
 // instrumentation; call sites guard with one pointer check.
@@ -19,12 +22,19 @@ type svcMetrics struct {
 	vms          *telemetry.Gauge
 	usedPMs      *telemetry.Gauge
 	version      *telemetry.Gauge
+
+	// Admission-layer backpressure instruments, registered only when the
+	// service carries a policy (policyName != ""). sheds indexes by
+	// admission.Class.
+	sheds         []*telemetry.Counter // admission_sheds_total{policy,class}
+	admQueueDepth *telemetry.Gauge     // admission_queue_depth
+	shedEwma      *telemetry.Gauge     // admission_shed_rate_ewma
 }
 
 // batchSizeBuckets cover the MaxBatch range in powers of two.
 var batchSizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024}
 
-func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
+func newSvcMetrics(reg *telemetry.Registry, policyName string) *svcMetrics {
 	if reg == nil {
 		return nil
 	}
@@ -46,7 +56,7 @@ func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
 	} {
 		reg.Help(family, text)
 	}
-	return &svcMetrics{
+	m := &svcMetrics{
 		placements:   reg.Counter("placesvc_placements_total"),
 		rejections:   reg.Counter("placesvc_rejections_total"),
 		departures:   reg.Counter("placesvc_departures_total"),
@@ -62,4 +72,17 @@ func newSvcMetrics(reg *telemetry.Registry) *svcMetrics {
 		usedPMs:      reg.Gauge("placesvc_used_pms"),
 		version:      reg.Gauge("placesvc_snapshot_version"),
 	}
+	if policyName != "" {
+		reg.Help("admission_sheds_total", "VMs shed by the admission policy, by policy and class.")
+		reg.Help("admission_queue_depth", "Committer queue depth as observed at the latest admission decision.")
+		reg.Help("admission_shed_rate_ewma", "EWMA of the per-decision shed fraction (α = 1/64).")
+		m.sheds = make([]*telemetry.Counter, len(admission.Classes))
+		for i, class := range admission.Classes {
+			m.sheds[i] = reg.Counter(telemetry.WithLabels("admission_sheds_total",
+				"policy", policyName, "class", class.String()))
+		}
+		m.admQueueDepth = reg.Gauge("admission_queue_depth")
+		m.shedEwma = reg.Gauge("admission_shed_rate_ewma")
+	}
+	return m
 }

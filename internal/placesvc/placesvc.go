@@ -27,11 +27,15 @@
 package placesvc
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/obs"
@@ -91,6 +95,13 @@ type Config struct {
 	// recorder. Nil disables it; the committer then pays one branch per
 	// commit, same as Registry.
 	Obs *obs.Plane
+	// Admission attaches the admission-control layer ahead of the committer:
+	// arrivals run through the compiled policy pipeline at submit time —
+	// before they enter the queue, so sheds are real backpressure — and the
+	// config's per-class deadlines become default contexts for Arrive*.
+	// Nil (or an empty config, which compiles to the no-op policy) leaves
+	// the service bit-identical to an unconfigured one.
+	Admission *admission.Config
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -138,6 +149,19 @@ const (
 	reqRefresh
 )
 
+// Cancellation states of a queued request. A cancellable waiter and the
+// committer race on state with CAS: the waiter moves pending → abandoned when
+// its context fires (and returns immediately, never touching the request
+// again), the committer moves pending → claimed when it picks the batch up.
+// Whoever loses the race defers to the winner: an abandoned request is
+// skipped at commit time — never applied — and pooled by the committer; a
+// claimed request is answered normally even if the context fires late.
+const (
+	reqPending int32 = iota
+	reqClaimed
+	reqAbandoned
+)
+
 // request is one queued operation plus its in-place response. Requests are
 // pooled; the done channel (capacity 1) hands the request back to the waiter,
 // which returns it to the pool after reading the response fields.
@@ -148,6 +172,12 @@ type request struct {
 	vmID  int        // reqDepart
 	vmIDs []int      // reqDepartBatch
 	enq   time.Time  // submission time, set only when metrics are enabled
+
+	// cancellable marks requests submitted with a cancellable context; only
+	// those pay the CAS on state at commit pickup. state is a plain int32
+	// accessed with atomic package functions because reset copies the struct.
+	cancellable bool
+	state       int32
 
 	// Response, written by the committer before signalling done.
 	pmID     int
@@ -211,7 +241,21 @@ type Service struct {
 
 	metrics *svcMetrics
 	obs     *obs.Plane
+
+	// Admission layer. policy is nil when no Admission config was given;
+	// admMu serialises Decide (policies are single-writer) and guards
+	// shedEwma. slots is the fleet's total VM-slot count, the denominator of
+	// the occupancy fed to the policy.
+	admMu    sync.Mutex
+	policy   *admission.Pipeline
+	admCfg   *admission.Config
+	slots    float64
+	shedEwma float64
 }
+
+// shedEwmaAlpha smooths the per-decision shed indicator into the
+// admission_shed_rate_ewma gauge: 1/64 ≈ the last ~64 decisions dominate.
+const shedEwmaAlpha = 1.0 / 64
 
 // arrival links one VM awaiting placement back to its request. Plain Arrive
 // requests carry exactly one; ArriveBatch requests contribute one per VM.
@@ -231,6 +275,14 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	online.Workers = cfg.Workers
+	var policy *admission.Pipeline
+	policyName := ""
+	if cfg.Admission != nil {
+		if policy, err = cfg.Admission.Compile(); err != nil {
+			return nil, err
+		}
+		policyName = policy.Name()
+	}
 	s := &Service{
 		strategy: cfg.Strategy,
 		online:   online,
@@ -239,8 +291,11 @@ func New(cfg Config) (*Service, error) {
 		ch:       make(chan *request, cfg.QueueCap),
 		base:     online.Placement().Clone(),
 		ring:     newOpRing(),
-		metrics:  newSvcMetrics(cfg.Registry),
+		metrics:  newSvcMetrics(cfg.Registry, policyName),
 		obs:      cfg.Obs,
+		policy:   policy,
+		admCfg:   cfg.Admission,
+		slots:    float64(len(cfg.PMs) * cfg.Strategy.MaxVMsPerPM),
 	}
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.publish()
@@ -250,11 +305,42 @@ func New(cfg Config) (*Service, error) {
 }
 
 // Arrive places one VM and returns the chosen PM id. Pool exhaustion is
-// reported as an error wrapping cloud.ErrNoCapacity.
+// reported as an error wrapping cloud.ErrNoCapacity; an admission-policy shed
+// (only possible when Config.Admission is set) as one wrapping
+// admission.ErrShed. Equivalent to ArriveClass with a background context and
+// ClassStandard.
 func (s *Service) Arrive(vm cloud.VM) (int, error) {
+	return s.arrive(context.Background(), vm, admission.ClassStandard)
+}
+
+// ArriveCtx is Arrive honoring ctx while queued: if ctx fires before the
+// committer picks the request up, the request is skipped at commit time —
+// never applied — and ArriveCtx returns ctx.Err(). Once the committer claims
+// the request, the placement commits and is returned even if ctx fires late.
+func (s *Service) ArriveCtx(ctx context.Context, vm cloud.VM) (int, error) {
+	return s.arrive(ctx, vm, admission.ClassStandard)
+}
+
+// ArriveClass is ArriveCtx with an explicit priority class. The class feeds
+// the admission policy (lower classes shed first) and selects the config's
+// default deadline, applied when ctx carries none.
+func (s *Service) ArriveClass(ctx context.Context, vm cloud.VM, class admission.Class) (int, error) {
+	return s.arrive(ctx, vm, class)
+}
+
+func (s *Service) arrive(ctx context.Context, vm cloud.VM, class admission.Class) (int, error) {
+	if s.policy != nil {
+		if err := s.admit(1, class); err != nil {
+			return 0, err
+		}
+		var cancel context.CancelFunc
+		if ctx, cancel = s.deadlineCtx(ctx, class); cancel != nil {
+			defer cancel()
+		}
+	}
 	r := s.get(reqArrive)
 	r.vm = vm
-	if err := s.submit(r); err != nil {
+	if err := s.submitCtx(ctx, r); err != nil {
 		return 0, err
 	}
 	pmID, err := r.pmID, r.err
@@ -267,15 +353,40 @@ func (s *Service) Arrive(vm cloud.VM) (int, error) {
 // remaining VMs and is returned as the error. The batch's VMs are ordered
 // together with every other arrival coalesced into the same commit.
 func (s *Service) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
+	return s.arriveBatch(context.Background(), vms, admission.ClassStandard)
+}
+
+// ArriveBatchCtx is ArriveBatch honoring ctx while queued, with the ArriveCtx
+// cancellation contract. The admission policy charges the whole batch at once
+// (cost = len(vms)): a shed rejects the batch entire, before it queues.
+func (s *Service) ArriveBatchCtx(ctx context.Context, vms []cloud.VM) (unplaced []cloud.VM, err error) {
+	return s.arriveBatch(ctx, vms, admission.ClassStandard)
+}
+
+// ArriveBatchClass is ArriveBatchCtx with an explicit priority class.
+func (s *Service) ArriveBatchClass(ctx context.Context, vms []cloud.VM, class admission.Class) (unplaced []cloud.VM, err error) {
+	return s.arriveBatch(ctx, vms, class)
+}
+
+func (s *Service) arriveBatch(ctx context.Context, vms []cloud.VM, class admission.Class) (unplaced []cloud.VM, err error) {
 	if err := cloud.ValidateVMs(vms); err != nil {
 		return nil, err
 	}
 	if len(vms) == 0 {
 		return nil, nil
 	}
+	if s.policy != nil {
+		if err := s.admit(len(vms), class); err != nil {
+			return nil, err
+		}
+		var cancel context.CancelFunc
+		if ctx, cancel = s.deadlineCtx(ctx, class); cancel != nil {
+			defer cancel()
+		}
+	}
 	r := s.get(reqArriveBatch)
 	r.vms = vms
-	if err := s.submit(r); err != nil {
+	if err := s.submitCtx(ctx, r); err != nil {
 		return nil, err
 	}
 	unplaced, err = r.unplaced, r.err
@@ -285,14 +396,78 @@ func (s *Service) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
 
 // Depart removes a VM.
 func (s *Service) Depart(vmID int) error {
+	return s.DepartCtx(context.Background(), vmID)
+}
+
+// DepartCtx is Depart honoring ctx while queued, with the ArriveCtx
+// cancellation contract. Departures free capacity, so they never run through
+// the admission policy and carry no default deadline — only the caller's own
+// ctx can expire them.
+func (s *Service) DepartCtx(ctx context.Context, vmID int) error {
 	r := s.get(reqDepart)
 	r.vmID = vmID
-	if err := s.submit(r); err != nil {
+	if err := s.submitCtx(ctx, r); err != nil {
 		return err
 	}
 	err := r.err
 	s.put(r)
 	return err
+}
+
+// admit runs one policy decision for an arrival of the given VM count and
+// class, charging metrics and the obs shed-storm counter on a shed. Decisions
+// serialise under admMu: policies are single-writer, and the lock also makes
+// the wall-clock timestamps fed to the policy non-decreasing.
+func (s *Service) admit(cost int, class admission.Class) error {
+	occ := math.NaN()
+	if s.slots > 0 {
+		occ = float64(s.snap.Load().Stats().VMs) / s.slots
+	}
+	s.admMu.Lock()
+	d := s.policy.Decide(admission.Request{
+		TimeNs:    time.Now().UnixNano(),
+		Cost:      cost,
+		Class:     class,
+		Occupancy: occ,
+	})
+	shedInd := 0.0
+	if !d.Admit {
+		shedInd = 1
+	}
+	s.shedEwma += shedEwmaAlpha * (shedInd - s.shedEwma)
+	ewma := s.shedEwma
+	s.admMu.Unlock()
+	if m := s.metrics; m != nil {
+		m.admQueueDepth.Set(float64(len(s.ch)))
+		m.shedEwma.Set(ewma)
+	}
+	if d.Admit {
+		return nil
+	}
+	if m := s.metrics; m != nil {
+		m.sheds[class].Add(uint64(cost))
+	}
+	if o := s.obs; o != nil {
+		o.ObserveSheds(cost)
+	}
+	return fmt.Errorf("placesvc: %s arrival shed by %s policy: %w", class, d.Reason, admission.ErrShed)
+}
+
+// deadlineCtx applies the admission config's default deadline for class when
+// ctx carries none of its own. The returned cancel is nil when ctx is passed
+// through unchanged.
+func (s *Service) deadlineCtx(ctx context.Context, class admission.Class) (context.Context, context.CancelFunc) {
+	if s.admCfg == nil {
+		return ctx, nil
+	}
+	d := s.admCfg.Deadline(class)
+	if d <= 0 {
+		return ctx, nil
+	}
+	if _, has := ctx.Deadline(); has {
+		return ctx, nil
+	}
+	return context.WithTimeout(ctx, d)
 }
 
 // DepartBatch removes a batch of VMs in one request — the departure
@@ -379,6 +554,54 @@ func (s *Service) submit(r *request) error {
 	return nil
 }
 
+// submitCtx is submit honoring ctx. Non-cancellable contexts (background,
+// valueless) take the exact submit path, preserving the bit-identical
+// equivalence contract; cancellable ones race the committer on the request's
+// state word — see the reqPending state machine. Whichever side loses its CAS
+// defers to the winner, so a request is either applied and answered, or
+// abandoned and skipped, never both and never leaked.
+func (s *Service) submitCtx(ctx context.Context, r *request) error {
+	if ctx.Done() == nil {
+		return s.submit(r)
+	}
+	if err := ctx.Err(); err != nil {
+		s.put(r)
+		return err
+	}
+	r.cancellable = true
+	if s.metrics != nil || s.obs != nil {
+		r.enq = time.Now()
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		s.put(r)
+		return ErrClosed
+	}
+	select {
+	case s.ch <- r:
+		s.mu.RUnlock()
+	case <-ctx.Done():
+		// Never enqueued: the waiter still owns the request.
+		s.mu.RUnlock()
+		s.put(r)
+		return ctx.Err()
+	}
+	select {
+	case <-r.done:
+		return nil
+	case <-ctx.Done():
+		if atomic.CompareAndSwapInt32(&r.state, reqPending, reqAbandoned) {
+			// Ownership passed to the committer, which will skip and pool
+			// the request; the waiter must not touch it again.
+			return ctx.Err()
+		}
+		// The committer claimed it first: the answer is imminent.
+		<-r.done
+		return nil
+	}
+}
+
 // run is the committer: block for one request, coalesce up to maxBatch
 // (waiting at most maxWait when configured), commit, repeat. A closed channel
 // keeps delivering its buffered requests, so every queued request commits
@@ -439,6 +662,22 @@ func (s *Service) run() {
 // waiter. Responding after publication guarantees a client that reads the
 // snapshot after its response sees a version ≥ the commit that placed it.
 func (s *Service) commit(batch []*request) {
+	// Phase 0: claim. Cancellable requests race their waiters on the state
+	// word; one the waiter abandoned first is dropped from the batch here —
+	// before any counting or applying — and pooled by the committer, which
+	// now owns it. Its waiter has already returned ctx.Err() and will never
+	// touch it again. Non-cancellable requests skip the CAS entirely.
+	kept := batch[:0]
+	for _, r := range batch {
+		if r.cancellable && !atomic.CompareAndSwapInt32(&r.state, reqPending, reqClaimed) {
+			s.put(r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	if batch = kept; len(batch) == 0 {
+		return
+	}
 	// Span timing is sampled one commit in obsSampleEvery: the rolling
 	// quantiles only need a uniform subsample, and skipping the clock reads
 	// and window pushes on the other commits keeps the obs-on overhead on

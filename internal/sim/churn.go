@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/admission"
 	"repro/internal/cloud"
 	"repro/internal/core"
 	"repro/internal/markov"
@@ -12,6 +13,11 @@ import (
 	"repro/internal/queuing"
 	"repro/internal/workload"
 )
+
+// churnIntervalNs is the virtual duration of one simulation interval (1s) —
+// the clock fed to admission policies, so a seeded run replays its shed
+// decisions bit-identically regardless of wall time.
+const churnIntervalNs = int64(1e9)
 
 // ChurnConfig extends a simulation into an open system: tenants arrive and
 // depart during the run, exercising the paper's §IV-E online operations under
@@ -32,6 +38,16 @@ type ChurnConfig struct {
 	// mapping table (the QUEUE way); false admits on current load only
 	// (the burstiness-unaware way).
 	ReservationAwareAdmission bool
+	// Admission runs arrivals through an admission-policy pipeline *before*
+	// the Eq. (17) placement test: a shed arrival is refused outright and
+	// counted in ChurnReport.ShedArrivals, separate from capacity
+	// rejections. The policy sees degraded-fleet occupancy — placed VMs over
+	// the slots of alive (non-crashed) PMs — so a fault plan's crash windows
+	// raise occupancy and an occupancy gate sheds exactly when the fleet is
+	// degraded. Policies run on virtual time (one interval = 1s), so a fixed
+	// seed and a fixed policy replay bit-identical shed decisions. Nil
+	// disables the layer.
+	Admission *admission.Config
 }
 
 func (c ChurnConfig) validate() error {
@@ -56,6 +72,9 @@ type ChurnReport struct {
 	Arrivals         int
 	Departures       int
 	RejectedArrivals int
+	// ShedArrivals counts arrivals refused by the admission policy before
+	// reaching the Eq. (17) placement test (zero without a policy).
+	ShedArrivals int
 	// FinalVMs is the tenant count at the end of the run.
 	FinalVMs int
 	// VMsOverTime tracks the tenant population per interval.
@@ -64,10 +83,11 @@ type ChurnReport struct {
 
 // ChurnSimulator wraps the core simulator with tenant arrivals/departures.
 type ChurnSimulator struct {
-	inner *Simulator
-	fleet *workload.FleetStates // the mutable demand source behind inner
-	cfg   ChurnConfig
-	table *queuing.MappingTable
+	inner  *Simulator
+	fleet  *workload.FleetStates // the mutable demand source behind inner
+	cfg    ChurnConfig
+	table  *queuing.MappingTable
+	policy *admission.Pipeline // nil without an Admission config
 }
 
 // NewChurn builds an open-system simulator over (a clone of) the placement.
@@ -89,7 +109,13 @@ func NewChurn(placement *cloud.Placement, table *queuing.MappingTable, cfg Churn
 	if err != nil {
 		return nil, err
 	}
-	return &ChurnSimulator{inner: inner, fleet: fleet, cfg: cfg, table: table}, nil
+	var policy *admission.Pipeline
+	if cfg.Admission != nil {
+		if policy, err = cfg.Admission.Compile(); err != nil {
+			return nil, err
+		}
+	}
+	return &ChurnSimulator{inner: inner, fleet: fleet, cfg: cfg, table: table, policy: policy}, nil
 }
 
 // Run executes the configured intervals with churn and returns the combined
@@ -117,14 +143,23 @@ func (c *ChurnSimulator) Run() (*ChurnReport, error) {
 		if c.inner.rng.Float64() < c.cfg.ArrivalProb {
 			vm := c.cfg.NewVM(nextArrival, c.inner.rng)
 			nextArrival++
-			placed, err := c.admit(vm)
-			if err != nil {
-				return nil, err
-			}
-			if placed {
-				rep.Arrivals++
+			if c.policy != nil && !c.policy.Decide(admission.Request{
+				TimeNs:    int64(t) * churnIntervalNs,
+				Cost:      1,
+				Class:     admission.ClassStandard,
+				Occupancy: c.occupancy(),
+			}).Admit {
+				rep.ShedArrivals++
 			} else {
-				rep.RejectedArrivals++
+				placed, err := c.admit(vm)
+				if err != nil {
+					return nil, err
+				}
+				if placed {
+					rep.Arrivals++
+				} else {
+					rep.RejectedArrivals++
+				}
 			}
 		}
 		if c.inner.placement.NumVMs() > 0 {
@@ -164,6 +199,27 @@ func (c *ChurnSimulator) admit(vm cloud.VM) (bool, error) {
 		return true, nil
 	}
 	return false, nil
+}
+
+// occupancy is the degraded-fleet utilisation fed to the admission policy:
+// folded load over the capacity of alive (non-crashed) PMs. Crashed PMs drop
+// out of the denominator, so a fault plan's crash windows push occupancy up
+// and threshold policies shed exactly while the fleet is degraded. (The
+// serving plane's placesvc uses slot occupancy instead — there the per-PM VM
+// cap is the binding resource; in the simulator it is folded load.)
+func (c *ChurnSimulator) occupancy() float64 {
+	capSum, loadSum := 0.0, 0.0
+	for _, pm := range c.inner.led.pms {
+		if c.inner.pmDown(pm.ID) {
+			continue
+		}
+		capSum += pm.Capacity
+		loadSum += c.inner.effLoad(pm.ID)
+	}
+	if capSum <= 0 {
+		return math.NaN()
+	}
+	return loadSum / capSum
 }
 
 func (c *ChurnSimulator) arrivalFits(vm cloud.VM, pm cloud.PM) bool {

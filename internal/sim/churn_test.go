@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/admission"
 	"repro/internal/cloud"
 	"repro/internal/core"
 )
@@ -233,4 +234,80 @@ func fleetFor(t *testing.T, n int, seed int64) ([]cloud.VM, []cloud.PM) {
 	vms := placement.VMs()
 	pms := placement.PMs()
 	return vms, pms
+}
+
+// TestChurnAdmissionPolicySheds wires an occupancy-gate admission policy into
+// churn: with a near-zero threshold every arrival sheds (counted separately
+// from capacity rejections), the fleet only drains, and the same seed +
+// policy replays identical shed counts — the shed-determinism contract.
+func TestChurnAdmissionPolicySheds(t *testing.T) {
+	run := func() *ChurnReport {
+		placement, table := buildPlacement(t, queueStrategy(), 40, 54)
+		rng := rand.New(rand.NewSource(54))
+		cfg := defaultChurnConfig()
+		cfg.ReservationAwareAdmission = true
+		cfg.Admission = &admission.Config{
+			Occupancy: &admission.OccupancyConfig{ShedAbove: 0.01, ResumeBelow: 0},
+		}
+		cs, err := NewChurn(placement, table, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cs.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	rep := run()
+	if rep.ShedArrivals == 0 {
+		t.Fatal("an occupancy gate with a near-zero threshold shed nothing")
+	}
+	if rep.Arrivals != 0 {
+		t.Errorf("%d arrivals admitted past a fully-closed gate", rep.Arrivals)
+	}
+	if rep.RejectedArrivals != 0 {
+		t.Errorf("%d capacity rejections counted — sheds must not reach Eq. (17)", rep.RejectedArrivals)
+	}
+	again := run()
+	if again.ShedArrivals != rep.ShedArrivals || again.Departures != rep.Departures {
+		t.Errorf("replay diverged: sheds %d vs %d, departures %d vs %d",
+			rep.ShedArrivals, again.ShedArrivals, rep.Departures, again.Departures)
+	}
+}
+
+// TestChurnAdmissionNoOpUnchanged pins that an empty admission config leaves
+// the run bit-identical to no config at all.
+func TestChurnAdmissionNoOpUnchanged(t *testing.T) {
+	run := func(adm *admission.Config) *ChurnReport {
+		placement, table := buildPlacement(t, queueStrategy(), 30, 55)
+		rng := rand.New(rand.NewSource(55))
+		cfg := defaultChurnConfig()
+		cfg.Admission = adm
+		cs, err := NewChurn(placement, table, cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := cs.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	bare, noop := run(nil), run(&admission.Config{})
+	if bare.Arrivals != noop.Arrivals || bare.Departures != noop.Departures ||
+		bare.RejectedArrivals != noop.RejectedArrivals || noop.ShedArrivals != 0 ||
+		bare.CVR.Mean() != noop.CVR.Mean() {
+		t.Errorf("no-op policy changed the run: %+v vs %+v", bare, noop)
+	}
+}
+
+// TestChurnAdmissionBadConfigRejected: an invalid policy fails NewChurn.
+func TestChurnAdmissionBadConfigRejected(t *testing.T) {
+	placement, table := buildPlacement(t, queueStrategy(), 10, 56)
+	cfg := defaultChurnConfig()
+	cfg.Admission = &admission.Config{Occupancy: &admission.OccupancyConfig{ShedAbove: 2}}
+	if _, err := NewChurn(placement, table, cfg, rand.New(rand.NewSource(56))); err == nil {
+		t.Fatal("invalid admission config accepted")
+	}
 }

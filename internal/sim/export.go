@@ -45,6 +45,38 @@ func (r *Report) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Summary())
 }
 
+// ChurnSummary extends Summary with the open-system counters, for runs with
+// tenant arrivals and departures.
+type ChurnSummary struct {
+	Summary
+	Arrivals         int `json:"arrivals"`
+	Departures       int `json:"departures"`
+	RejectedArrivals int `json:"rejected_arrivals"`
+	// ShedArrivals counts admission-policy refusals taken before the
+	// placement test (zero without a policy).
+	ShedArrivals int `json:"shed_arrivals"`
+	FinalVMs     int `json:"final_vms"`
+}
+
+// Summary digests the churn report, embedding the closed-system digest.
+func (r *ChurnReport) Summary() ChurnSummary {
+	return ChurnSummary{
+		Summary:          r.Report.Summary(),
+		Arrivals:         r.Arrivals,
+		Departures:       r.Departures,
+		RejectedArrivals: r.RejectedArrivals,
+		ShedArrivals:     r.ShedArrivals,
+		FinalVMs:         r.FinalVMs,
+	}
+}
+
+// WriteJSON writes the churn summary as indented JSON.
+func (r *ChurnReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Summary())
+}
+
 // WriteEventsCSV writes the migration log as CSV
 // (interval,vm,from_pm,to_pm,powered_on).
 func (r *Report) WriteEventsCSV(w io.Writer) error {

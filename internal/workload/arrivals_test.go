@@ -1,0 +1,95 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewArrivalProcessValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, tc := range []struct {
+		name     string
+		rate, cv float64
+		rng      *rand.Rand
+	}{
+		{"zero rate", 0, 1, rng},
+		{"negative rate", -5, 1, rng},
+		{"nan rate", math.NaN(), 1, rng},
+		{"inf rate", math.Inf(1), 1, rng},
+		{"zero cv", 100, 0, rng},
+		{"nan cv", 100, math.NaN(), rng},
+		{"nil rng", 100, 1, nil},
+	} {
+		if _, err := NewArrivalProcess(tc.rate, tc.cv, tc.rng); err == nil {
+			t.Errorf("%s: want error, got nil", tc.name)
+		}
+	}
+}
+
+// TestArrivalProcessMoments checks the sampler hits the requested mean rate
+// and CV for both the Poisson (CV=1) and the bursty (CV=3.5, k≈0.082) regime.
+func TestArrivalProcessMoments(t *testing.T) {
+	const n = 200_000
+	for _, tc := range []struct {
+		name     string
+		rate, cv float64
+	}{
+		{"poisson", 200, 1.0},
+		{"bursty-cv3.5", 200, 3.5},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			p, err := NewArrivalProcess(tc.rate, tc.cv, rand.New(rand.NewSource(42)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sum, sumSq float64
+			for i := 0; i < n; i++ {
+				g := p.NextGap()
+				if g < 0 {
+					t.Fatalf("negative gap %v", g)
+				}
+				sum += g
+				sumSq += g * g
+			}
+			mean := sum / n
+			variance := sumSq/n - mean*mean
+			cv := math.Sqrt(variance) / mean
+			wantMean := 1 / tc.rate
+			if math.Abs(mean-wantMean) > 0.05*wantMean {
+				t.Errorf("mean gap = %v, want %v ±5%%", mean, wantMean)
+			}
+			if math.Abs(cv-tc.cv) > 0.1*tc.cv {
+				t.Errorf("gap CV = %v, want %v ±10%%", cv, tc.cv)
+			}
+		})
+	}
+}
+
+func TestArrivalProcessDeterministic(t *testing.T) {
+	mk := func() *ArrivalProcess {
+		p, err := NewArrivalProcess(150, 3.5, rand.New(rand.NewSource(7)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	a, b := mk(), mk()
+	for i := 0; i < 1000; i++ {
+		if ga, gb := a.NextGapNs(), b.NextGapNs(); ga != gb {
+			t.Fatalf("draw %d: %d != %d — same seed must replay identically", i, ga, gb)
+		}
+	}
+}
+
+func TestNextGapNsNonNegative(t *testing.T) {
+	p, err := NewArrivalProcess(1e6, 3.5, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10_000; i++ {
+		if ns := p.NextGapNs(); ns < 0 {
+			t.Fatalf("NextGapNs = %d, want ≥ 0", ns)
+		}
+	}
+}
