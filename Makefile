@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-smoke bench-compare bench-compare-pr5 bench-compare-pr6 bench-compare-pr7 loadgen-smoke metrics-smoke fuzz cover clean
+.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr9 bench-smoke bench-compare bench-compare-pr5 bench-compare-pr6 bench-compare-pr7 bench-compare-pr9 loadgen-smoke metrics-smoke fuzz cover clean
 
 all: build vet test
 
@@ -23,13 +23,16 @@ vet:
 # linalg, the sharded simulator step loop in sim, the group-commit admission
 # service in placesvc (equivalence + concurrent churn + snapshots + the
 # lock-free op ring and Workers fan-out), the parallel rescore ranges in core,
-# the bulk-filled segment trees in fitindex, and the observability plane in
-# obs (flight-recorder emit/dump, window merges).
+# the bulk-filled segment trees in fitindex, the observability plane in
+# obs (flight-recorder emit/dump, window merges), and the federated placement
+# plane in shardsvc (power-of-d routing over lock-free snapshots, owner-map
+# reconciliation, background rebalancer vs concurrent churn).
 race:
 	$(GO) test -race ./internal/telemetry/... ./internal/experiments/... \
 		./internal/queuing/... ./internal/markov/... ./internal/linalg/... \
 		./internal/sim/... ./internal/placesvc/... ./internal/core/... \
-		./internal/fitindex/... ./internal/obs/... ./internal/admission/... .
+		./internal/fitindex/... ./internal/obs/... ./internal/admission/... \
+		./internal/shardsvc/... .
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
@@ -118,6 +121,43 @@ endef
 bench-pr7:
 	$(call PR7RUN,BENCH_pr7.json)
 
+# Federated-plane snapshot: BenchmarkShardAdmit sweeps the shard ladder
+# (1/2/4/8 shards × 1/4/16 clients at 1k PMs; shards=1 is the single-committer
+# baseline the federation must not tax), BenchmarkRouterPick isolates the
+# power-of-d draw, and loadgen throughput lines at -shards 1 and -shards 4
+# carry the end-to-end rejected-frac metric. Rounds are interleaved (three
+# rounds, -count 2 each) and benchfmt keeps the fastest run per name — the
+# same drift-resistance rationale as bench-pr6/pr7. On a single-core host the
+# multi-shard levels measure routing overhead, not parallel committer speedup;
+# record on a multi-core runner for meaningful cross-shard deltas.
+PR9BENCH = $(GO) test -run '^$$' -bench 'BenchmarkShardAdmit|BenchmarkRouterPick' \
+	-benchmem -benchtime 2000x -count 2 -timeout 30m -json ./internal/shardsvc/
+define PR9RUN
+	rm -f $(1)
+	for i in 1 2 3; do \
+		$(PR9BENCH) >> $(1) || exit 1; \
+	done
+	for s in 1 4; do \
+		$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 20000 -shards $$s -bench >> $(1) || exit 1; \
+	done
+endef
+bench-pr9:
+	$(call PR9RUN,BENCH_pr9.json)
+
+# Gate the federated plane against the committed snapshot: >20% ns/op or
+# allocs/op regression on ShardAdmit/Loadgen fails the target, and so does a
+# >5% absolute rejected-frac increase on the loadgen lines (the federation may
+# not buy throughput by shedding more work).
+bench-compare-pr9: BENCH_pr9_new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr9.json -new BENCH_pr9_new.json \
+		-critical 'BenchmarkShardAdmit|BenchmarkLoadgen' -allocs \
+		-max-regress 0.20 -max-shed-regress 0.05
+
+# Fresh measurement of the federated benchmarks for bench-compare-pr9 (not
+# committed; delete after comparing).
+BENCH_pr9_new.json:
+	$(call PR9RUN,$@)
+
 # Gate the multi-core hot paths against the committed matrix: >20% ns/op or
 # allocs/op regression on any (benchmark, procs) level fails the target.
 bench-compare-pr7: BENCH_pr7_new.json
@@ -139,8 +179,12 @@ bench-smoke:
 
 # Loadgen smoke: a short concurrent serving run (1k PMs, 4 clients) — the CI
 # guard that the admission service sustains concurrent clients end to end.
+# The second run fronts the same pool with a 4-shard federation (power-of-d
+# routing + background rebalancer) so the federated plane gets the same
+# end-to-end guard.
 loadgen-smoke:
 	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 10000
+	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 10000 -shards 4
 
 # Metrics smoke: scrape /metrics (exposition-conformance-checked), hit
 # /debug/flight and /debug/pprof during a live loadgen run — the CI guard for

@@ -43,6 +43,7 @@ import (
 	"repro/internal/markov"
 	"repro/internal/placesvc"
 	"repro/internal/queuing"
+	"repro/internal/shardsvc"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -212,6 +213,27 @@ var ErrAdmissionClosed = placesvc.ErrClosed
 // NewAdmissionService starts an admission service; see placesvc.New.
 func NewAdmissionService(cfg AdmissionConfig) (*AdmissionService, error) {
 	return placesvc.New(cfg)
+}
+
+// Federated admission serving (internal/shardsvc).
+type (
+	// Federation fronts several independent AdmissionService shards with
+	// power-of-d-choices routing over their lock-free snapshots, plus a
+	// background rebalancer migrating VMs when shard headroom skews.
+	Federation = shardsvc.Federation
+	// FederationConfig parameterises a Federation.
+	FederationConfig = shardsvc.Config
+	// FederationStats is the federation's routing/rebalance counter block.
+	FederationStats = shardsvc.FedStats
+	// RebalanceConfig shapes the federation's background rebalancer.
+	RebalanceConfig = shardsvc.RebalanceConfig
+)
+
+// NewFederation partitions the PM pool into shards and starts one admission
+// service per shard; see shardsvc.New. A MaxShards = 1 federation is
+// bit-identical to a single AdmissionService.
+func NewFederation(cfg FederationConfig) (*Federation, error) {
+	return shardsvc.New(cfg)
 }
 
 // Workload model (internal/markov, internal/workload).

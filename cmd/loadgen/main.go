@@ -9,7 +9,8 @@
 // Usage:
 //
 //	loadgen [-pms 1000] [-vms 4000] [-clients 4] [-ops 20000] [-batch 256]
-//	        [-maxwait 0] [-seed 42] [-rho 0.01] [-d 16] [-bench]
+//	        [-maxwait 0] [-workers GOMAXPROCS] [-shards 1] [-seed 42]
+//	        [-rho 0.01] [-d 16] [-bench]
 //	        [-admission policy.json] [-rate 0] [-cv 3.5]
 //	        [-trace t.jsonl] [-metrics-addr 127.0.0.1:9090]
 //	        [-flight dumps.jsonl] [-flight-cap 4096]
@@ -28,10 +29,17 @@
 // (default 3.5, the paper's bursty regime; 0 = submit as fast as possible) —
 // the knob that makes a calibrated token bucket meaningful under test.
 //
+// -shards > 1 swaps the single service for a shardsvc.Federation: the PM
+// pool splits into that many independent shards and each arrival routes by
+// power-of-two-choices over the shards' snapshot headroom. -workers sets each
+// committer's fan-out width (default GOMAXPROCS).
+//
 // -bench emits the result as a test2json benchmark line
-// (BenchmarkLoadgen/m=…/clients=…) so the snapshot can be concatenated into a
-// BENCH_*.json file and diffed with cmd/benchdiff; the rejected fraction
-// rides along as a `rejected-frac` custom metric benchdiff gates on.
+// (BenchmarkLoadgen/m=…/clients=…, gaining a /shards=N component only when
+// -shards > 1 so single-service snapshots keep their keys) so the snapshot
+// can be concatenated into a BENCH_*.json file and diffed with cmd/benchdiff;
+// the rejected fraction rides along as a `rejected-frac` custom metric
+// benchdiff gates on.
 package main
 
 import (
@@ -54,6 +62,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/placesvc"
 	"repro/internal/queuing"
+	"repro/internal/shardsvc"
 	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
@@ -61,6 +70,16 @@ import (
 // onMetricsURL is a test hook invoked with the served /metrics URL once the
 // observability endpoint is up.
 var onMetricsURL = func(string) {}
+
+// admitter is the slice of the admission surface the clients drive —
+// satisfied by both *placesvc.Service and *shardsvc.Federation, so -shards
+// swaps the backend without touching the client loop.
+type admitter interface {
+	Arrive(vm cloud.VM) (int, error)
+	Depart(vmID int) error
+	Stats() placesvc.Stats
+	Close() error
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -76,6 +95,8 @@ type config struct {
 	ops      int
 	batch    int
 	maxWait  time.Duration
+	workers  int
+	shards   int
 	seed     int64
 	rho      float64
 	d        int
@@ -94,6 +115,8 @@ func run(args []string, stdout io.Writer) error {
 	fs.IntVar(&cfg.ops, "ops", 20000, "total requests to submit across all clients")
 	fs.IntVar(&cfg.batch, "batch", 256, "service MaxBatch (1 disables coalescing)")
 	fs.DurationVar(&cfg.maxWait, "maxwait", 0, "service MaxWait batch-fill deadline (0 = commit whatever is queued)")
+	fs.IntVar(&cfg.workers, "workers", runtime.GOMAXPROCS(0), "committer fan-out width per shard")
+	fs.IntVar(&cfg.shards, "shards", 1, "independent placesvc shards fronted by power-of-2 routing (1 = single service)")
 	fs.Int64Var(&cfg.seed, "seed", 42, "workload seed")
 	fs.Float64Var(&cfg.rho, "rho", 0.01, "CVR threshold ρ")
 	fs.IntVar(&cfg.d, "d", 16, "max VMs per PM (table dimension)")
@@ -150,18 +173,37 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	svc, err := placesvc.New(placesvc.Config{
-		Strategy:  core.QueuingFFD{Rho: cfg.rho, MaxVMsPerPM: cfg.d, Tables: queuing.SharedTables()},
-		PMs:       pms,
-		POn:       0.01,
-		POff:      0.09,
-		MaxBatch:  cfg.batch,
-		MaxWait:   cfg.maxWait,
-		Workers:   runtime.GOMAXPROCS(0),
-		Registry:  reg,
-		Obs:       tf.Plane(),
-		Admission: admCfg,
-	})
+	strategy := core.QueuingFFD{Rho: cfg.rho, MaxVMsPerPM: cfg.d, Tables: queuing.SharedTables()}
+	var svc admitter
+	if cfg.shards > 1 {
+		svc, err = shardsvc.New(shardsvc.Config{
+			Strategy:  strategy,
+			PMs:       pms,
+			POn:       0.01,
+			POff:      0.09,
+			MaxShards: cfg.shards,
+			Seed:      uint64(cfg.seed),
+			MaxBatch:  cfg.batch,
+			MaxWait:   cfg.maxWait,
+			Workers:   cfg.workers,
+			Registry:  reg,
+			Obs:       tf.Plane(),
+			Admission: admCfg,
+		})
+	} else {
+		svc, err = placesvc.New(placesvc.Config{
+			Strategy:  strategy,
+			PMs:       pms,
+			POn:       0.01,
+			POff:      0.09,
+			MaxBatch:  cfg.batch,
+			MaxWait:   cfg.maxWait,
+			Workers:   cfg.workers,
+			Registry:  reg,
+			Obs:       tf.Plane(),
+			Admission: admCfg,
+		})
+	}
 	if err != nil {
 		return err
 	}
@@ -249,8 +291,14 @@ func run(args []string, stdout io.Writer) error {
 		if p := runtime.GOMAXPROCS(0); p != 1 {
 			suffix = fmt.Sprintf("-%d", p)
 		}
-		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d%s \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\t%12.6f rejected-frac\n",
-			cfg.pms, cfg.clients, suffix, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops),
+		// The shards component appears only in federated runs so legacy
+		// single-service snapshot keys stay comparable across PRs.
+		shardsPart := ""
+		if cfg.shards > 1 {
+			shardsPart = fmt.Sprintf("/shards=%d", cfg.shards)
+		}
+		line := fmt.Sprintf("BenchmarkLoadgen/m=%d/clients=%d%s%s \t%8d\t%12.1f ns/op\t%12d p50-admit-ns\t%12d p99-admit-ns\t%12.6f rejected-frac\n",
+			cfg.pms, cfg.clients, shardsPart, suffix, total.ops, float64(elapsed.Nanoseconds())/float64(total.ops),
 			p50.Nanoseconds(), p99.Nanoseconds(), rejectedFrac)
 		data, err := json.Marshal(struct {
 			Action string
@@ -264,8 +312,8 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	st := svc.Stats()
-	fmt.Fprintf(stdout, "loadgen: m=%d PMs, %d VMs, %d clients, batch=%d, gomaxprocs=%d\n",
-		cfg.pms, cfg.vms, cfg.clients, cfg.batch, runtime.GOMAXPROCS(0))
+	fmt.Fprintf(stdout, "loadgen: m=%d PMs, %d VMs, %d clients, batch=%d, shards=%d, workers=%d, gomaxprocs=%d\n",
+		cfg.pms, cfg.vms, cfg.clients, cfg.batch, cfg.shards, cfg.workers, runtime.GOMAXPROCS(0))
 	fmt.Fprintf(stdout, "  %d ops in %v: %.0f ops/sec\n", total.ops, elapsed.Round(time.Millisecond), float64(total.ops)/elapsed.Seconds())
 	fmt.Fprintf(stdout, "  placed %d, rejected %d, shed %d, departed %d, live %d on %d PMs\n",
 		total.placed, total.rejected, total.shed, total.departed, st.VMs, st.UsedPMs)
@@ -290,6 +338,12 @@ func validate(cfg config) error {
 	}
 	if cfg.maxWait < 0 {
 		return fmt.Errorf("-maxwait must be ≥ 0, got %v", cfg.maxWait)
+	}
+	if cfg.workers < 1 {
+		return fmt.Errorf("-workers must be ≥ 1, got %d", cfg.workers)
+	}
+	if cfg.shards < 1 {
+		return fmt.Errorf("-shards must be ≥ 1, got %d", cfg.shards)
 	}
 	if cfg.rho <= 0 || cfg.rho >= 1 {
 		return fmt.Errorf("-rho = %v outside (0,1)", cfg.rho)
@@ -318,7 +372,7 @@ type clientResult struct {
 // runClient walks its partition through the ON-OFF chain and submits the
 // transitions until its quota of requests is spent. A non-nil pace sleeps a
 // Gamma-distributed gap before each arrival submission.
-func runClient(svc *placesvc.Service, part []cloud.VM, seed int64, quota int, admit *obs.WindowedTimer, pace *workload.ArrivalProcess) clientResult {
+func runClient(svc admitter, part []cloud.VM, seed int64, quota int, admit *obs.WindowedTimer, pace *workload.ArrivalProcess) clientResult {
 	var res clientResult
 	fleet, err := workload.NewHashedFleet(part, seed)
 	if err != nil {

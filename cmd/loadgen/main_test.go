@@ -85,6 +85,59 @@ func TestRunBenchOutputParses(t *testing.T) {
 	}
 }
 
+// A federated run (-shards > 1) completes, reports its shard count, and the
+// bench key gains the shards component — while -shards 1 keeps the legacy
+// key, so historical snapshots stay diffable.
+func TestRunFederated(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-pms", "100", "-vms", "400", "-clients", "4", "-ops", "2000", "-shards", "4", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.String(); !strings.Contains(got, "shards=4") {
+		t.Errorf("summary missing shards=4:\n%s", got)
+	}
+
+	out.Reset()
+	if err := run([]string{"-pms", "100", "-vms", "400", "-clients", "2", "-ops", "1000", "-shards", "4", "-bench"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	results, err := benchfmt.Parse(bufio.NewScanner(strings.NewReader(out.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := "BenchmarkLoadgen/m=100/clients=2/shards=4"
+	if p := runtime.GOMAXPROCS(0); p != 1 {
+		key = fmt.Sprintf("%s-%d", key, p)
+	}
+	if _, ok := results[key]; !ok {
+		t.Fatalf("%s missing from parsed results %v", key, results)
+	}
+}
+
+// -workers is a real knob now, not a GOMAXPROCS hardcode: a single-worker
+// single-client run still completes deterministically.
+func TestRunWorkersFlag(t *testing.T) {
+	line := func(workers string) string {
+		var out strings.Builder
+		if err := run([]string{"-pms", "100", "-clients", "1", "-ops", "1000", "-seed", "11", "-workers", workers}, &out); err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range strings.Split(out.String(), "\n") {
+			if strings.Contains(l, "placed") {
+				return l
+			}
+		}
+		t.Fatal("no accounting line in summary")
+		return ""
+	}
+	// The Workers = N determinism contract, observed end to end: worker
+	// counts never change the accounting.
+	if a, b := line("1"), line("4"); a != b {
+		t.Errorf("worker count changed the workload accounting:\n%s\n%s", a, b)
+	}
+}
+
 func TestRunRejectsBadFlags(t *testing.T) {
 	for _, args := range [][]string{
 		{"-pms", "0"},
@@ -98,6 +151,9 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-rate", "-1"},
 		{"-rate", "100", "-cv", "0"},
 		{"-rate", "100", "-cv", "-2"},
+		{"-workers", "0"},
+		{"-shards", "0"},
+		{"-shards", "-2"},
 		{"-admission", "/no/such/policy.json"},
 	} {
 		var out strings.Builder

@@ -21,6 +21,12 @@
 // (PM crashes, flaky migrations, demand overshoot — see internal/faults) and
 // surfaces the degraded-behaviour digest in the JSON summary.
 //
+// -shards here parallelises the *stepping engine* over position ranges of
+// one shared placement — bit-identical for any count, a pure speed knob. It
+// is unrelated to cmd/loadgen -shards, which federates the serving plane
+// into independent placesvc shards (internal/shardsvc) whose placements
+// genuinely differ from a single service's.
+//
 // -arrivals > 0 opens the system: each interval one new tenant arrives with
 // that probability and every placed tenant departs with probability
 // 1/-lifetime, and the summary gains arrival/departure/rejection counters.

@@ -29,6 +29,29 @@ type Config struct {
 	// Deadlines sets per-class default queueing deadlines, applied by the
 	// serving plane to requests whose context carries none.
 	Deadlines *DeadlineConfig `json:"deadlines,omitempty"`
+	// Scope places the compiled pipeline in a federated (multi-shard)
+	// deployment: "shard" compiles one independent pipeline per placesvc
+	// shard (each shard's token bucket and occupancy gate see only that
+	// shard's traffic and fleet), "global" compiles a single pipeline at the
+	// federation front door thresholding on fleet-wide occupancy. Empty
+	// defaults to "shard" — the conservative reading that keeps a one-shard
+	// federation bit-identical to a standalone service. Single-service
+	// deployments ignore the field (there is only one scope).
+	Scope string `json:"scope,omitempty"`
+}
+
+// Scope values accepted by Config.Scope.
+const (
+	ScopeShard  = "shard"
+	ScopeGlobal = "global"
+)
+
+// EffectiveScope resolves the scope with its default.
+func (c Config) EffectiveScope() string {
+	if c.Scope == "" {
+		return ScopeShard
+	}
+	return c.Scope
 }
 
 // TokenBucketConfig sizes the token bucket.
@@ -172,6 +195,11 @@ func (c Config) Validate() error {
 		if err := c.Deadlines.validate(); err != nil {
 			return err
 		}
+	}
+	switch c.Scope {
+	case "", ScopeShard, ScopeGlobal:
+	default:
+		return fmt.Errorf("admission: scope = %q, want %q or %q", c.Scope, ScopeShard, ScopeGlobal)
 	}
 	return nil
 }

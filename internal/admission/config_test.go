@@ -25,10 +25,27 @@ func TestParseValidates(t *testing.T) {
 		"band inverted":    `{"occupancy": {"shed_above": 0.7, "resume_below": 0.9}}`,
 		"batch inverted":   `{"occupancy": {"shed_above": 0.9, "resume_below": 0.8, "batch_shed_above": 0.5, "batch_resume_below": 0.6}}`,
 		"negative ms":      `{"deadlines": {"standard_ms": -1}}`,
+		"bad scope":        `{"scope": "regional"}`,
 		"bad json":         `{"token_bucket":`,
 	} {
 		if _, err := Parse(strings.NewReader(body)); err == nil {
 			t.Errorf("%s: want error, got nil", name)
+		}
+	}
+}
+
+func TestConfigScope(t *testing.T) {
+	for body, want := range map[string]string{
+		`{}`:                  ScopeShard, // default: per-shard pipelines
+		`{"scope": "shard"}`:  ScopeShard,
+		`{"scope": "global"}`: ScopeGlobal,
+	} {
+		c, err := Parse(strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("%s: %v", body, err)
+		}
+		if got := c.EffectiveScope(); got != want {
+			t.Errorf("%s: EffectiveScope() = %q, want %q", body, got, want)
 		}
 	}
 }
@@ -98,6 +115,22 @@ func TestLoadExampleConfig(t *testing.T) {
 	}
 	if got := c.Deadline(ClassCritical); got != 100*time.Millisecond {
 		t.Fatalf("example critical deadline = %v", got)
+	}
+}
+
+// TestLoadFederatedConfig keeps the globally-scoped exemplar valid: the
+// schema the shardsvc federation loads when one pipeline should front every
+// shard.
+func TestLoadFederatedConfig(t *testing.T) {
+	c, err := Load("../../testdata/admission_federated.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.EffectiveScope(); got != ScopeGlobal {
+		t.Fatalf("federated example scope = %q, want global", got)
+	}
+	if _, err := c.Compile(); err != nil {
+		t.Fatal(err)
 	}
 }
 

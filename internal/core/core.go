@@ -69,6 +69,34 @@ func firstFit(vms []cloud.VM, pms []cloud.PM, admit admission) (*Result, error) 
 	return &Result{Placement: placement, Unplaced: unplaced}, nil
 }
 
+// ShardBounds splits m contiguous positions into k ranges: entry i covers
+// [bounds[i], bounds[i+1]). Range sizes differ by at most one, with earlier
+// ranges taking the remainder; k is clamped to [1, m] (and to 1 when m = 0,
+// yielding the single empty range). This is the house partitioning rule for
+// every range-scoped fleet construction: the simulator's sharded stepping
+// passes and the shardsvc federation's per-shard PM ranges both cut with it,
+// so "shard i's PMs" means the same thing everywhere.
+func ShardBounds(m, k int) []int {
+	if k > m {
+		k = m
+	}
+	if k < 1 {
+		k = 1
+	}
+	bounds := make([]int, k+1)
+	base, rem := m/k, m%k
+	pos := 0
+	for i := 0; i < k; i++ {
+		bounds[i] = pos
+		pos += base
+		if i < rem {
+			pos++
+		}
+	}
+	bounds[k] = pos
+	return bounds
+}
+
 // sortByDecreasing returns a copy of vms sorted by the given key descending,
 // with ties broken by id for determinism — the "Decrease" in FFD.
 func sortByDecreasing(vms []cloud.VM, key func(cloud.VM) float64) []cloud.VM {

@@ -20,6 +20,7 @@ const (
 	TriggerRollback  = "fault:rollback"    // reconsolidation plan rolled back
 	TriggerStorm     = "storm:no_capacity" // ErrNoCapacity rejections over threshold
 	TriggerShedStorm = "storm:shed"        // admission-policy sheds over threshold
+	TriggerSkew      = "storm:skew"        // shard headroom skew breached the rebalance band
 )
 
 // Dump is one flight-recorder snapshot: the trigger, capture metadata, and
@@ -181,6 +182,17 @@ func (f *FlightRecorder) NoteSheds(n int) {
 		trigger = TriggerShedStorm
 	}
 	f.fireLocked(trigger)
+}
+
+// NoteSkew records that the shardsvc rebalancer observed inter-shard
+// headroom skew beyond its hysteresis band and dumps with the storm:skew
+// trigger. Unlike rejections and sheds there is no accumulation threshold —
+// the rebalancer already debounces (it fires once per skewed round), so each
+// note is itself storm evidence; the recorder's cooldown still rate-limits
+// the dumps.
+func (f *FlightRecorder) NoteSkew() {
+	f.mu.Lock()
+	f.fireLocked(TriggerSkew)
 }
 
 // fireLocked takes an automatic dump for trigger (when set, allowed by the

@@ -135,6 +135,31 @@ func TestFlightRecorderShedStormTrigger(t *testing.T) {
 	f.NoteSheds(-3)
 }
 
+func TestFlightRecorderSkewTrigger(t *testing.T) {
+	var dumps []Dump
+	f := NewFlightRecorder(RecorderOptions{
+		Cap:    32,
+		OnDump: func(d Dump) { dumps = append(dumps, d) },
+	})
+	// Skew has no accumulation threshold: the first note dumps immediately.
+	f.NoteSkew()
+	if len(dumps) != 1 || dumps[0].Trigger != TriggerSkew {
+		t.Fatalf("dumps = %+v, want one storm:skew dump", dumps)
+	}
+	// A second note inside the cooldown (Cap/2 = 16 events) is suppressed.
+	f.NoteSkew()
+	if len(dumps) != 1 {
+		t.Fatalf("dumps = %d inside cooldown, want 1", len(dumps))
+	}
+	for i := 0; i < 16; i++ {
+		f.Emit(telemetry.StepEvent{Interval: i})
+	}
+	f.NoteSkew()
+	if len(dumps) != 2 || dumps[1].Trigger != TriggerSkew {
+		t.Fatalf("dumps = %d after cooldown passed, want a second storm:skew", len(dumps))
+	}
+}
+
 func TestFlightRecorderAcceptedPlacementsDoNotCount(t *testing.T) {
 	var dumps int
 	f := NewFlightRecorder(RecorderOptions{Cap: 16, StormThreshold: 2, OnDump: func(Dump) { dumps++ }})

@@ -192,6 +192,12 @@ func (p *Plane) ObserveRejections(n int) { p.Recorder.NoteRejections(n) }
 // storm:shed trigger.
 func (p *Plane) ObserveSheds(n int) { p.Recorder.NoteSheds(n) }
 
+// ObserveSkew forwards a shardsvc rebalancer skew detection — inter-shard
+// headroom spread beyond the hysteresis band — to the flight recorder's
+// storm:skew trigger, dumping the recent event window for post-mortem of
+// what drove the imbalance.
+func (p *Plane) ObserveSkew() { p.Recorder.NoteSkew() }
+
 // RefreshGauges recomputes every sampled gauge: rolling window quantiles,
 // flight-recorder stats, and runtime memory/goroutine stats. The sampler
 // calls it on a timer; tests and Close call it directly.

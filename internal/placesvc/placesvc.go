@@ -30,7 +30,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -244,12 +243,13 @@ type Service struct {
 
 	// Admission layer. policy is nil when no Admission config was given;
 	// admMu serialises Decide (policies are single-writer) and guards
-	// shedEwma. slots is the fleet's total VM-slot count, the denominator of
-	// the occupancy fed to the policy.
+	// shedEwma. slots is the fleet's total VM-slot count (PMs ×
+	// MaxVMsPerPM), stamped into every snapshot so Occupancy/Headroom reads
+	// are O(1).
 	admMu    sync.Mutex
 	policy   *admission.Pipeline
 	admCfg   *admission.Config
-	slots    float64
+	slots    int
 	shedEwma float64
 }
 
@@ -295,7 +295,7 @@ func New(cfg Config) (*Service, error) {
 		obs:      cfg.Obs,
 		policy:   policy,
 		admCfg:   cfg.Admission,
-		slots:    float64(len(cfg.PMs) * cfg.Strategy.MaxVMsPerPM),
+		slots:    len(cfg.PMs) * cfg.Strategy.MaxVMsPerPM,
 	}
 	s.pool.New = func() any { return &request{done: make(chan struct{}, 1)} }
 	s.publish()
@@ -419,10 +419,9 @@ func (s *Service) DepartCtx(ctx context.Context, vmID int) error {
 // serialise under admMu: policies are single-writer, and the lock also makes
 // the wall-clock timestamps fed to the policy non-decreasing.
 func (s *Service) admit(cost int, class admission.Class) error {
-	occ := math.NaN()
-	if s.slots > 0 {
-		occ = float64(s.snap.Load().Stats().VMs) / s.slots
-	}
+	// The published snapshot's O(1) occupancy summary — NaN on a slotless
+	// (empty-pool) service, which the gate treats as "no reading".
+	occ := s.snap.Load().Occupancy()
 	s.admMu.Lock()
 	d := s.policy.Decide(admission.Request{
 		TimeNs:    time.Now().UnixNano(),
@@ -510,6 +509,11 @@ func (s *Service) Snapshot() *Snapshot { return s.snap.Load() }
 
 // Stats returns the latest published counters.
 func (s *Service) Stats() Stats { return s.snap.Load().Stats() }
+
+// QueueDepth returns the number of requests currently buffered ahead of the
+// committer — an instantaneous backpressure reading. Safe for concurrent
+// use; the shardsvc federation exports it per shard.
+func (s *Service) QueueDepth() int { return len(s.ch) }
 
 // Close stops the committer after draining every queued request. Requests
 // submitted after Close fail with ErrClosed; Close itself is idempotent.

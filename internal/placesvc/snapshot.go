@@ -2,6 +2,7 @@ package placesvc
 
 import (
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 
@@ -39,6 +40,7 @@ type Snapshot struct {
 	stats Stats
 	table *queuing.MappingTable
 	base  *cloud.Placement
+	slots int // fleet slot count: PMs × MaxVMsPerPM, fixed at construction
 
 	// Ring window, relative to base: replay `count` ops starting at
 	// head.ops[skip]. epoch names the base lineage; endChunk/endOff is the
@@ -68,6 +70,30 @@ func (s *Snapshot) Epoch() uint64 { return s.epoch }
 
 // Stats returns the snapshot's counter block.
 func (s *Snapshot) Stats() Stats { return s.stats }
+
+// Slots returns the fleet's total Eq. (17) admission slots — PMs ×
+// MaxVMsPerPM, the hard ceiling on how many VMs the mapping table ever lets
+// the service host at once.
+func (s *Snapshot) Slots() int { return s.slots }
+
+// Headroom returns the free Eq. (17) slot count as of this snapshot:
+// Slots() minus the placed VMs. It is the O(1) load summary the shardsvc
+// router's power-of-d choice and the admission OccupancyGate read instead of
+// recomputing occupancy from a materialised placement — like Placement and
+// Overflows it is derived once per snapshot, but from the published stats
+// block alone, so reading it never replays the op ring.
+func (s *Snapshot) Headroom() int { return s.slots - s.stats.VMs }
+
+// Occupancy returns the fleet slot occupancy VMs/Slots in [0, 1] — the
+// denominator-normalised complement of Headroom, in the units the admission
+// OccupancyGate thresholds on. NaN when the service has no slots (an empty
+// PM pool), which the gate treats as "no reading".
+func (s *Snapshot) Occupancy() float64 {
+	if s.slots <= 0 {
+		return math.NaN()
+	}
+	return float64(s.stats.VMs) / float64(s.slots)
+}
 
 // Table returns the mapping table in force at this snapshot.
 func (s *Snapshot) Table() *queuing.MappingTable { return s.table }
@@ -168,6 +194,7 @@ func (s *Service) publish() {
 		stats:    s.stats,
 		table:    s.online.Table(),
 		base:     s.base,
+		slots:    s.slots,
 		head:     s.ring.head,
 		skip:     s.ring.skip,
 		count:    s.ring.count,

@@ -1,0 +1,71 @@
+package placesvc
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cloud"
+)
+
+// The snapshot headroom summary: Slots is PMs × MaxVMsPerPM, Headroom tracks
+// placed VMs commit by commit, Occupancy is their ratio — all O(1) reads of
+// the published stats block, never a placement materialisation.
+func TestSnapshotHeadroom(t *testing.T) {
+	svc := newServiceT(t, Config{PMs: mkPool(4, 100), MaxBatch: 1})
+	wantSlots := 4 * paperStrategy().MaxVMsPerPM
+
+	snap := svc.Snapshot()
+	if got := snap.Slots(); got != wantSlots {
+		t.Fatalf("Slots() = %d, want %d", got, wantSlots)
+	}
+	if got := snap.Headroom(); got != wantSlots {
+		t.Errorf("empty-fleet Headroom() = %d, want %d", got, wantSlots)
+	}
+	if got := snap.Occupancy(); got != 0 {
+		t.Errorf("empty-fleet Occupancy() = %v, want 0", got)
+	}
+
+	for i := 0; i < 5; i++ {
+		if _, err := svc.Arrive(mkVM(i, 5, 3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap = svc.Snapshot()
+	if got := snap.Headroom(); got != wantSlots-5 {
+		t.Errorf("Headroom() = %d after 5 arrivals, want %d", got, wantSlots-5)
+	}
+	if got, want := snap.Occupancy(), 5.0/float64(wantSlots); got != want {
+		t.Errorf("Occupancy() = %v, want %v", got, want)
+	}
+
+	if err := svc.Depart(2); err != nil {
+		t.Fatal(err)
+	}
+	snap = svc.Snapshot()
+	if got := snap.Headroom(); got != wantSlots-4 {
+		t.Errorf("Headroom() = %d after a departure, want %d", got, wantSlots-4)
+	}
+
+	// Old snapshots keep their own headroom: immutability extends to the
+	// summary fields.
+	old := snap
+	if _, err := svc.Arrive(mkVM(9, 5, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if got := old.Headroom(); got != wantSlots-4 {
+		t.Errorf("old snapshot Headroom() drifted to %d, want %d", got, wantSlots-4)
+	}
+}
+
+// A slotless service (empty PM pool) reports NaN occupancy — the "no
+// reading" sentinel the admission OccupancyGate passes through.
+func TestSnapshotOccupancyEmptyPool(t *testing.T) {
+	svc := newServiceT(t, Config{PMs: []cloud.PM{}, MaxBatch: 1})
+	snap := svc.Snapshot()
+	if got := snap.Slots(); got != 0 {
+		t.Fatalf("Slots() = %d for an empty pool, want 0", got)
+	}
+	if got := snap.Occupancy(); !math.IsNaN(got) {
+		t.Errorf("Occupancy() = %v for an empty pool, want NaN", got)
+	}
+}

@@ -1,0 +1,653 @@
+package shardsvc
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/admission"
+	"repro/internal/cloud"
+	"repro/internal/core"
+	"repro/internal/placesvc"
+	"repro/internal/telemetry"
+)
+
+func paperStrategy() core.QueuingFFD {
+	return core.QueuingFFD{Rho: 0.01, MaxVMsPerPM: 16}
+}
+
+func mkVM(id int, rb, re float64) cloud.VM {
+	return cloud.VM{ID: id, POn: 0.01, POff: 0.09, Rb: rb, Re: re}
+}
+
+func mkPool(n int, capacity float64) []cloud.PM {
+	pms := make([]cloud.PM, n)
+	for i := range pms {
+		pms[i] = cloud.PM{ID: i, Capacity: capacity}
+	}
+	return pms
+}
+
+func newFedT(t *testing.T, cfg Config) *Federation {
+	t.Helper()
+	if cfg.Strategy.MaxVMsPerPM == 0 {
+		cfg.Strategy = paperStrategy()
+	}
+	if cfg.PMs == nil {
+		cfg.PMs = mkPool(50, 100)
+	}
+	if cfg.POn == 0 {
+		cfg.POn, cfg.POff = 0.01, 0.09
+	}
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	return f
+}
+
+func TestNewValidation(t *testing.T) {
+	base := Config{Strategy: paperStrategy(), PMs: mkPool(4, 100), POn: 0.01, POff: 0.09}
+	if _, err := New(Config{Strategy: paperStrategy(), POn: 0.01, POff: 0.09}); err == nil {
+		t.Error("empty PM pool accepted")
+	}
+	bad := base
+	bad.MaxShards = -1
+	if _, err := New(bad); err == nil {
+		t.Error("negative MaxShards accepted")
+	}
+	bad = base
+	bad.D = -2
+	if _, err := New(bad); err == nil {
+		t.Error("negative D accepted")
+	}
+	bad = base
+	bad.Rebalance = RebalanceConfig{SkewAbove: 0.1, SettleBelow: 0.3}
+	if _, err := New(bad); err == nil {
+		t.Error("inverted rebalance band accepted")
+	}
+	bad = base
+	bad.Admission = &admission.Config{Scope: "regional"}
+	if _, err := New(bad); err == nil {
+		t.Error("bad admission scope accepted")
+	}
+
+	// MaxShards clamps to the pool size: 16 shards over 4 PMs is 4 shards.
+	wide := base
+	wide.MaxShards = 16
+	f, err := New(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if got := f.NumShards(); got != 4 {
+		t.Fatalf("NumShards = %d with 4 PMs, want clamp to 4", got)
+	}
+}
+
+// assertSameState compares the federation's shard-0 state against a plain
+// service bit for bit: placement, stats and snapshot summaries.
+func assertSameState(t *testing.T, f *Federation, svc *placesvc.Service) {
+	t.Helper()
+	fedSnap := f.Shard(0).Snapshot()
+	svcSnap := svc.Snapshot()
+	if fs, ss := fedSnap.Stats(), svcSnap.Stats(); fs != ss {
+		t.Fatalf("stats diverged:\n federation %+v\n service    %+v", fs, ss)
+	}
+	if fedSnap.Slots() != svcSnap.Slots() || fedSnap.Headroom() != svcSnap.Headroom() {
+		t.Fatalf("snapshot summaries diverged: slots %d/%d headroom %d/%d",
+			fedSnap.Slots(), svcSnap.Slots(), fedSnap.Headroom(), svcSnap.Headroom())
+	}
+	got, err := fedSnap.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := svcSnap.Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumVMs() != want.NumVMs() {
+		t.Fatalf("placement holds %d VMs, want %d", got.NumVMs(), want.NumVMs())
+	}
+	for _, vm := range want.VMs() {
+		wantPM, _ := want.PMOf(vm.ID)
+		gotPM, ok := got.PMOf(vm.ID)
+		if !ok || gotPM != wantPM {
+			t.Fatalf("VM %d on PM %d (ok=%v), want PM %d", vm.ID, gotPM, ok, wantPM)
+		}
+	}
+}
+
+// The MaxShards = 1 ≡ single-service contract: one shard owns the whole pool
+// in given order and the router degenerates to the constant shard 0, so a
+// fixed sequential request stream must reproduce a plain placesvc.Service
+// bit-identically — same PM per arrival, same error classification, same
+// final placement, stats and snapshot summaries. Extends the MaxBatch = 1 ≡
+// sequential-Online and Workers = N contracts one layer up.
+func TestShardEquivalenceMaxShards1(t *testing.T) {
+	// storm shrinks the pool so ErrNoCapacity rejections dominate: the
+	// equivalence must hold through the forwarding-free rejection path too.
+	// admission adds a non-trivial occupancy policy; its per-shard scope
+	// must compile the identical pipeline a plain service gets.
+	cases := map[string]struct {
+		pms       int
+		admission *admission.Config
+	}{
+		"plain": {pms: 20},
+		"storm": {pms: 2},
+		"admission": {pms: 20, admission: &admission.Config{
+			Occupancy: &admission.OccupancyConfig{ShedAbove: 0.35, ResumeBelow: 0.25},
+		}},
+	}
+	for name, tc := range cases {
+		t.Run(name, func(t *testing.T) {
+			strategy := paperStrategy()
+			pms := mkPool(tc.pms, 100)
+			fed := newFedT(t, Config{
+				Strategy: strategy, PMs: pms, MaxShards: 1,
+				MaxBatch: 1, Admission: tc.admission,
+			})
+			svc, err := placesvc.New(placesvc.Config{
+				Strategy: strategy, PMs: pms, POn: 0.01, POff: 0.09,
+				MaxBatch: 1, Admission: tc.admission,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer svc.Close()
+
+			rng := rand.New(rand.NewSource(77))
+			live := []int{}
+			for step := 0; step < 400; step++ {
+				switch {
+				case rng.Float64() < 0.25 && len(live) > 0:
+					i := rng.Intn(len(live))
+					id := live[i]
+					live = append(live[:i], live[i+1:]...)
+					errFed := fed.Depart(id)
+					errSvc := svc.Depart(id)
+					if (errFed == nil) != (errSvc == nil) {
+						t.Fatalf("step %d: depart(%d) federation err %v, service err %v", step, id, errFed, errSvc)
+					}
+				default:
+					vm := mkVM(step, 2+30*rng.Float64(), 2+18*rng.Float64())
+					pmFed, errFed := fed.Arrive(vm)
+					pmSvc, errSvc := svc.Arrive(vm)
+					if (errFed == nil) != (errSvc == nil) {
+						t.Fatalf("step %d: arrive(%d) federation err %v, service err %v", step, vm.ID, errFed, errSvc)
+					}
+					if errFed != nil {
+						fedCap := errors.Is(errFed, cloud.ErrNoCapacity)
+						svcCap := errors.Is(errSvc, cloud.ErrNoCapacity)
+						fedShed := errors.Is(errFed, admission.ErrShed)
+						svcShed := errors.Is(errSvc, admission.ErrShed)
+						if fedCap != svcCap || fedShed != svcShed {
+							t.Fatalf("step %d: rejection class diverged: federation %v, service %v", step, errFed, errSvc)
+						}
+						continue
+					}
+					if pmFed != pmSvc {
+						t.Fatalf("step %d: VM %d on PM %d via federation, PM %d via service", step, vm.ID, pmFed, pmSvc)
+					}
+					live = append(live, vm.ID)
+				}
+			}
+			assertSameState(t, fed, svc)
+			if fs := fed.FedStats(); fs.Forwards != 0 {
+				t.Fatalf("single-shard federation forwarded %d arrivals", fs.Forwards)
+			}
+		})
+	}
+}
+
+// Batch operations pass through a single-shard federation verbatim.
+func TestShardBatchEquivalenceMaxShards1(t *testing.T) {
+	strategy := paperStrategy()
+	pms := mkPool(3, 60)
+	fed := newFedT(t, Config{Strategy: strategy, PMs: pms, MaxShards: 1, MaxBatch: 1})
+	svc, err := placesvc.New(placesvc.Config{
+		Strategy: strategy, PMs: pms, POn: 0.01, POff: 0.09, MaxBatch: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	rng := rand.New(rand.NewSource(5))
+	batch := make([]cloud.VM, 24)
+	for i := range batch {
+		batch[i] = mkVM(i, 2+18*rng.Float64(), 2+18*rng.Float64())
+	}
+	unFed, err := fed.ArriveBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unSvc, err := svc.ArriveBatch(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(unFed) != len(unSvc) {
+		t.Fatalf("federation left %d unplaced, service %d", len(unFed), len(unSvc))
+	}
+	for i := range unFed {
+		if unFed[i].ID != unSvc[i].ID {
+			t.Errorf("unplaced[%d]: id %d vs %d", i, unFed[i].ID, unSvc[i].ID)
+		}
+	}
+
+	ids := []int{batch[0].ID, batch[5].ID, 9999, batch[2].ID}
+	missFed, err := fed.DepartBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	missSvc, err := svc.DepartBatch(ids)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(missFed) != len(missSvc) {
+		t.Fatalf("federation missing %v, service %v", missFed, missSvc)
+	}
+	for i := range missFed {
+		if missFed[i] != missSvc[i] {
+			t.Fatalf("federation missing %v, service %v", missFed, missSvc)
+		}
+	}
+	assertSameState(t, fed, svc)
+}
+
+// Routing replay: two federations with equal seed, shard count and D route a
+// fixed sequential stream identically — every VM lands on the same shard and
+// the same PM, and the per-shard routing counters match.
+func TestRouterDeterminism(t *testing.T) {
+	mk := func() *Federation {
+		return newFedT(t, Config{PMs: mkPool(40, 100), MaxShards: 4, D: 2, Seed: 42})
+	}
+	a, b := mk(), mk()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		vm := mkVM(i, 2+20*rng.Float64(), 2+10*rng.Float64())
+		pmA, errA := a.Arrive(vm)
+		pmB, errB := b.Arrive(vm)
+		if (errA == nil) != (errB == nil) || pmA != pmB {
+			t.Fatalf("arrival %d diverged: (%d, %v) vs (%d, %v)", i, pmA, errA, pmB, errB)
+		}
+	}
+	sa, sb := a.FedStats(), b.FedStats()
+	for i := range sa.Routed {
+		if sa.Routed[i] != sb.Routed[i] {
+			t.Fatalf("shard %d routed %d vs %d", i, sa.Routed[i], sb.Routed[i])
+		}
+	}
+	for i := 0; i < a.NumShards(); i++ {
+		if av, bv := a.Shard(i).Stats().VMs, b.Shard(i).Stats().VMs; av != bv {
+			t.Fatalf("shard %d holds %d vs %d VMs", i, av, bv)
+		}
+	}
+}
+
+// The raw router replays too, and a different seed reroutes: the sequence is
+// a pure function of (seed, draw counter, headroom reads).
+func TestRouterSeedSequence(t *testing.T) {
+	head := func(int) int { return 10 } // uniform: choice is hash-driven
+	seq := func(seed uint64) []int {
+		r := newRouter(8, 2, seed)
+		out := make([]int, 200)
+		for i := range out {
+			out[i] = r.pick(head)
+		}
+		return out
+	}
+	a, b := seq(1), seq(1)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pick %d: %d vs %d with equal seeds", i, a[i], b[i])
+		}
+	}
+	c := seq(2)
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("seed change did not alter the routing sequence")
+	}
+}
+
+// Power-of-d picks the roomier candidate: with one shard drained the router
+// must send (nearly) everything elsewhere once headroom separates.
+func TestRouterPrefersHeadroom(t *testing.T) {
+	heads := []int{0, 50}
+	r := newRouter(2, 2, 7)
+	for i := 0; i < 100; i++ {
+		if got := r.pick(func(i int) int { return heads[i] }); got != 1 {
+			t.Fatalf("pick %d chose the empty shard", i)
+		}
+	}
+}
+
+// A routed shard out of real capacity forwards to its siblings: the arrival
+// still lands, on the shard that can hold it, and the forward is counted.
+func TestForwardOnFullShard(t *testing.T) {
+	// Shard 0's single PM is too small for any VM, so every arrival routed
+	// there must forward to shard 1.
+	// Shard 1's single PM also caps at 16 Eq. (17) slots, so stay below it.
+	pms := []cloud.PM{{ID: 0, Capacity: 1}, {ID: 1, Capacity: 1000}}
+	fed := newFedT(t, Config{PMs: pms, MaxShards: 2, Seed: 3})
+	for i := 0; i < 12; i++ {
+		if _, err := fed.Arrive(mkVM(i, 20, 5)); err != nil {
+			t.Fatalf("arrive %d: %v", i, err)
+		}
+	}
+	if got := fed.Shard(1).Stats().VMs; got != 12 {
+		t.Fatalf("shard 1 holds %d VMs, want all 12", got)
+	}
+	fs := fed.FedStats()
+	if fs.Forwards == 0 {
+		t.Fatal("no forwards counted despite an uninhabitable shard")
+	}
+	if fs.Rejections != 0 {
+		t.Fatalf("rejections = %d, want 0 (shard 1 had room)", fs.Rejections)
+	}
+	// Departures route home through the owner index even for forwarded VMs.
+	for i := 0; i < 12; i++ {
+		if err := fed.Depart(i); err != nil {
+			t.Fatalf("depart %d: %v", i, err)
+		}
+	}
+	if got := fed.Stats().VMs; got != 0 {
+		t.Fatalf("fleet holds %d VMs after departing all, want 0", got)
+	}
+}
+
+// When every shard is out of capacity the arrival fails with ErrNoCapacity —
+// the same classification a single service gives — and is counted rejected.
+func TestAllShardsFullRejects(t *testing.T) {
+	fed := newFedT(t, Config{PMs: mkPool(2, 10), MaxShards: 2})
+	placed := 0
+	for i := 0; i < 50; i++ {
+		if _, err := fed.Arrive(mkVM(i, 8, 1)); err == nil {
+			placed++
+		}
+	}
+	if placed == 0 || placed == 50 {
+		t.Fatalf("placed %d of 50, want the pool to fill partway", placed)
+	}
+	_, err := fed.Arrive(mkVM(999, 8, 1))
+	if !errors.Is(err, cloud.ErrNoCapacity) {
+		t.Fatalf("full-fleet arrival error = %v, want ErrNoCapacity", err)
+	}
+	if fs := fed.FedStats(); fs.Rejections == 0 {
+		t.Fatal("no rejections counted on a full fleet")
+	}
+}
+
+// Global admission scope: one pipeline fronts the federation, deciding on
+// fleet-wide occupancy before any shard sees the request.
+func TestGlobalAdmissionScope(t *testing.T) {
+	fed := newFedT(t, Config{
+		PMs: mkPool(4, 1000), MaxShards: 2,
+		Admission: &admission.Config{
+			Scope:     admission.ScopeGlobal,
+			Occupancy: &admission.OccupancyConfig{ShedAbove: 0.5, ResumeBelow: 0.4},
+		},
+	})
+	// 4 PMs × 16 slots = 64; the gate arms once occupancy reaches 0.5, so
+	// the 32 fills succeed and the 33rd standard arrival sheds.
+	for i := 0; i < 32; i++ {
+		if _, err := fed.Arrive(mkVM(i, 1, 1)); err != nil {
+			t.Fatalf("arrive %d: %v", i, err)
+		}
+	}
+	_, err := fed.Arrive(mkVM(100, 1, 1))
+	if !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("over-occupancy standard arrival error = %v, want ErrShed", err)
+	}
+	// Critical rides through the gate (ShedCritical false).
+	if _, err := fed.ArriveClass(context.Background(), mkVM(101, 1, 1), admission.ClassCritical); err != nil {
+		t.Fatalf("critical arrival shed: %v", err)
+	}
+	if fs := fed.FedStats(); fs.Sheds == 0 {
+		t.Fatal("global sheds not counted")
+	}
+}
+
+// skewFed builds a 2-shard federation with shard 0 loaded and shard 1 empty
+// by driving shard 0 directly — the rebalancer reads shard snapshots, not the
+// router, so this is a legitimate way to manufacture skew.
+func skewFed(t *testing.T, reb RebalanceConfig, tracer telemetry.Tracer, loaded int) *Federation {
+	t.Helper()
+	fed := newFedT(t, Config{
+		PMs: mkPool(2, 1000), MaxShards: 2, Rebalance: reb, Tracer: tracer,
+	})
+	for i := 0; i < loaded; i++ {
+		if _, err := fed.Shard(0).Arrive(mkVM(i, 1, 1)); err != nil {
+			t.Fatalf("loading shard 0: %v", err)
+		}
+	}
+	return fed
+}
+
+// One rebalance round on a skewed fleet moves load until the spread settles
+// inside the band; the next round is a no-op — convergence without
+// oscillation.
+func TestRebalanceConverges(t *testing.T) {
+	reb := RebalanceConfig{SkewAbove: 0.2, SettleBelow: 0.1}
+	// 2 PMs → 1 per shard → 16 slots per shard; 12 VMs on shard 0 give
+	// occ0 = 0.75, occ1 = 0, spread 0.75 — far past the band.
+	fed := skewFed(t, reb, nil, 12)
+
+	moves, err := fed.RebalanceOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("skewed fleet rebalanced zero VMs")
+	}
+	snaps := fed.ShardSnapshots()
+	occ0 := float64(snaps[0].Stats().VMs) / float64(snaps[0].Slots())
+	occ1 := float64(snaps[1].Stats().VMs) / float64(snaps[1].Slots())
+	spread := occ0 - occ1
+	if spread < 0 {
+		spread = -spread
+	}
+	if spread > reb.SkewAbove {
+		t.Fatalf("spread %v still above SkewAbove %v after a round", spread, reb.SkewAbove)
+	}
+	if fed.Stats().VMs != 12 {
+		t.Fatalf("fleet holds %d VMs after rebalance, want 12", fed.Stats().VMs)
+	}
+	again, err := fed.RebalanceOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != 0 {
+		t.Fatalf("settled fleet moved %d more VMs", again)
+	}
+	fs := fed.FedStats()
+	if fs.RebalanceRounds != 1 || fs.RebalanceMoves != uint64(moves) || fs.RebalanceFailed != 0 {
+		t.Fatalf("rebalance counters %+v, want 1 round / %d moves / 0 failed", fs, moves)
+	}
+	// Rebalanced VMs depart through the owner index from their new shard.
+	for i := 0; i < 12; i++ {
+		if err := fed.Depart(i); err != nil {
+			t.Fatalf("depart %d after rebalance: %v", i, err)
+		}
+	}
+}
+
+// A balanced fleet never triggers a round.
+func TestRebalanceNoOpOnBalance(t *testing.T) {
+	fed := newFedT(t, Config{
+		PMs: mkPool(2, 1000), MaxShards: 2,
+		Rebalance: RebalanceConfig{SkewAbove: 0.2, SettleBelow: 0.1},
+	})
+	for i := 0; i < 12; i++ {
+		shard := i % 2
+		if _, err := fed.Shard(shard).Arrive(mkVM(i, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, err := fed.RebalanceOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 0 {
+		t.Fatalf("balanced fleet moved %d VMs", moves)
+	}
+	if fs := fed.FedStats(); fs.RebalanceRounds != 0 {
+		t.Fatalf("balanced fleet counted %d rounds", fs.RebalanceRounds)
+	}
+}
+
+// recTracer records migration trace events.
+type recTracer struct {
+	mu  sync.Mutex
+	evs []telemetry.MigrationTraceEvent
+}
+
+func (r *recTracer) Enabled() bool { return true }
+func (r *recTracer) Emit(e telemetry.Event) {
+	if m, ok := e.(telemetry.MigrationTraceEvent); ok {
+		r.mu.Lock()
+		r.evs = append(r.evs, m)
+		r.mu.Unlock()
+	}
+}
+
+// The hysteresis guard: a VM moved in round r is not a candidate in round
+// r+1, so consecutive rounds never bounce the same VM back and forth even
+// when the donor flips sides between rounds.
+func TestRebalanceNoReoscillation(t *testing.T) {
+	tracer := &recTracer{}
+	reb := RebalanceConfig{SkewAbove: 0.2, SettleBelow: 0.1}
+	fed := skewFed(t, reb, tracer, 12) // shard 0: 12/16 = 0.75, shard 1 empty
+
+	if _, err := fed.RebalanceOnce(); err != nil { // round 1: shard 0 donates
+		t.Fatal(err)
+	}
+	// Flip the skew: drain shard 0 entirely so shard 1 (holding only VMs
+	// moved in round 1) becomes the donor.
+	p, err := fed.Shard(0).Snapshot().Placement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, vm := range p.VMs() {
+		if err := fed.Shard(0).Depart(vm.ID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Round 2: every candidate on the donor moved last round — the guard
+	// must hold them all, moving nothing.
+	moves, err := fed.RebalanceOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves != 0 {
+		t.Fatalf("round 2 moved %d VMs that migrated in round 1", moves)
+	}
+	// Round 3: the embargo has lapsed; the still-skewed fleet rebalances.
+	moves, err = fed.RebalanceOnce()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moves == 0 {
+		t.Fatal("round 3 moved nothing despite lapsed embargo")
+	}
+	// No VM appears in two consecutive trace rounds.
+	byRound := map[int]map[int]bool{}
+	tracer.mu.Lock()
+	defer tracer.mu.Unlock()
+	for _, ev := range tracer.evs {
+		if !ev.Planned {
+			t.Fatalf("rebalance move traced unplanned: %+v", ev)
+		}
+		if byRound[ev.Interval] == nil {
+			byRound[ev.Interval] = map[int]bool{}
+		}
+		byRound[ev.Interval][ev.VMID] = true
+	}
+	for round, vms := range byRound {
+		for id := range vms {
+			if byRound[round+1][id] {
+				t.Fatalf("VM %d moved in consecutive rounds %d and %d", id, round, round+1)
+			}
+		}
+	}
+}
+
+// Concurrent churn through every entry point, with the background rebalancer
+// ticking — the -race workout.
+func TestFederationConcurrentChurn(t *testing.T) {
+	fed := newFedT(t, Config{
+		PMs: mkPool(16, 100), MaxShards: 4, Seed: 11,
+		Rebalance: RebalanceConfig{Interval: 1, SkewAbove: 0.3, SettleBelow: 0.15},
+	})
+	const clients, ops = 8, 100
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			base := (c + 1) * 1_000_000
+			live := []int{}
+			for i := 0; i < ops; i++ {
+				if len(live) > 10 {
+					if err := fed.Depart(live[0]); err != nil {
+						t.Errorf("client %d depart: %v", c, err)
+						return
+					}
+					live = live[1:]
+				}
+				id := base + i
+				if _, err := fed.Arrive(mkVM(id, 2, 1)); err != nil {
+					if errors.Is(err, cloud.ErrNoCapacity) {
+						continue
+					}
+					t.Errorf("client %d arrive: %v", c, err)
+					return
+				}
+				live = append(live, id)
+			}
+			for _, id := range live {
+				if err := fed.Depart(id); err != nil {
+					t.Errorf("client %d drain: %v", c, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if got := fed.Stats().VMs; got != 0 {
+		t.Fatalf("fleet holds %d VMs after full drain, want 0", got)
+	}
+	if err := fed.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Registry export: the shardsvc_* families land with per-shard labels.
+func TestFederationMetrics(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	fed := newFedT(t, Config{PMs: mkPool(8, 100), MaxShards: 2, Registry: reg})
+	for i := 0; i < 10; i++ {
+		if _, err := fed.Arrive(mkVM(i, 2, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := reg.Snapshot()
+	sawRouted := false
+	for name, v := range snap.Counters {
+		fam, _ := telemetry.SplitSeries(name)
+		if fam == "shardsvc_routed_total" && v > 0 {
+			sawRouted = true
+		}
+	}
+	if !sawRouted {
+		t.Fatal("no shardsvc_routed_total series with a positive count")
+	}
+}

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 
+	"repro/internal/core"
 	"repro/internal/markov"
 	"repro/internal/metrics"
 )
@@ -44,27 +45,10 @@ func (sc *shardScratch) reset() {
 }
 
 // shardBounds splits m positions into k contiguous ranges; entry i covers
-// [bounds[i], bounds[i+1]). k is clamped to [1, m].
-func shardBounds(m, k int) []int {
-	if k > m {
-		k = m
-	}
-	if k < 1 {
-		k = 1
-	}
-	bounds := make([]int, k+1)
-	base, rem := m/k, m%k
-	pos := 0
-	for i := 0; i < k; i++ {
-		bounds[i] = pos
-		pos += base
-		if i < rem {
-			pos++
-		}
-	}
-	bounds[k] = pos
-	return bounds
-}
+// [bounds[i], bounds[i+1]). k is clamped to [1, m]. Delegates to the house
+// partitioning rule so the simulator and the shardsvc federation cut ranges
+// identically.
+func shardBounds(m, k int) []int { return core.ShardBounds(m, k) }
 
 // shardCount returns the number of shards this run steps with.
 func (s *Simulator) shardCount() int { return len(s.bounds) - 1 }
