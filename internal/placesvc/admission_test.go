@@ -408,3 +408,50 @@ func TestShedDecisionsDeterministic(t *testing.T) {
 		t.Fatal("trajectory never shed — determinism check vacuous")
 	}
 }
+
+// TestArriveMigratedBypassesAdmission pins the internal migration path's
+// contract: ArriveMigrated ignores the admission policy entirely — it is the
+// re-arrival half of a shard-to-shard move, already-admitted capacity that a
+// shed would evict — and stays out of client-stream accounting: a
+// capacity-refused migration returns ErrNoCapacity without counting toward
+// Stats.Rejected (the migration layer keeps its own failure tally).
+func TestArriveMigratedBypassesAdmission(t *testing.T) {
+	svc := newServiceT(t, Config{
+		PMs: mkPool(1, 1000),
+		Admission: &admission.Config{
+			Occupancy: &admission.OccupancyConfig{ShedAbove: 0.1, ResumeBelow: 0.05},
+		},
+	})
+	// Two critical arrivals ride through the gate (ShedCritical off) and push
+	// occupancy to 2/16 = 0.125 — past ShedAbove, arming it.
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := svc.ArriveClass(ctx, mkVM(i, 1, 1), admission.ClassCritical); err != nil {
+			t.Fatalf("critical fill %d: %v", i, err)
+		}
+	}
+	if _, err := svc.Arrive(mkVM(100, 1, 1)); !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("standard arrival err = %v, want ErrShed", err)
+	}
+	// Migrations land regardless of the armed gate, all the way to capacity.
+	for i := 2; i < 16; i++ {
+		if _, err := svc.ArriveMigrated(mkVM(i, 1, 1)); err != nil {
+			t.Fatalf("migration %d: %v", i, err)
+		}
+	}
+	// The pool is full: one more migration is refused on capacity — a real
+	// ErrNoCapacity to its caller, invisible to the rejection counters.
+	if _, err := svc.ArriveMigrated(mkVM(200, 1, 1)); !errors.Is(err, cloud.ErrNoCapacity) {
+		t.Fatalf("migration into full pool err = %v, want ErrNoCapacity", err)
+	}
+	st := svc.Stats()
+	if st.VMs != 16 {
+		t.Fatalf("fleet holds %d VMs, want 16", st.VMs)
+	}
+	if st.Rejected != 0 {
+		t.Fatalf("Stats.Rejected = %d after a refused migration, want 0", st.Rejected)
+	}
+	if st.Placed != 16 {
+		t.Fatalf("Stats.Placed = %d, want 16", st.Placed)
+	}
+}

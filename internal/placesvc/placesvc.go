@@ -178,6 +178,13 @@ type request struct {
 	cancellable bool
 	state       int32
 
+	// migrate marks an ArriveMigrated request: an internal shard-to-shard
+	// move, not a client arrival. The committer places it normally but keeps
+	// it out of the client-stream accounting — no interarrival-probe sample,
+	// and a capacity failure is reported to the caller without counting as a
+	// Rejected VM or feeding the rejection-storm trigger.
+	migrate bool
+
 	// Response, written by the committer before signalling done.
 	pmID     int
 	unplaced []cloud.VM
@@ -326,6 +333,30 @@ func (s *Service) ArriveCtx(ctx context.Context, vm cloud.VM) (int, error) {
 // default deadline, applied when ctx carries none.
 func (s *Service) ArriveClass(ctx context.Context, vm cloud.VM, class admission.Class) (int, error) {
 	return s.arrive(ctx, vm, class)
+}
+
+// ArriveMigrated places one VM through the internal migration path: the
+// arrival half of a shard-to-shard move (shardsvc rebalance transfers and
+// their rollbacks). The VM is live, already-admitted capacity in flight
+// between fleets, so the admission policy never sees it — re-running
+// admission could shed, i.e. evict, a placed VM — mirroring the departure
+// contract (departures free capacity and skip admission too). It is also
+// kept out of client-stream accounting: no default class deadline, no
+// interarrival-probe sample (thinning or padding a point process changes its
+// CV), and a capacity failure returns cloud.ErrNoCapacity without counting
+// toward Stats.Rejected or the rejection-storm trigger — the migration layer
+// does its own failure bookkeeping. The Eq. (17) capacity test itself still
+// applies in full.
+func (s *Service) ArriveMigrated(vm cloud.VM) (int, error) {
+	r := s.get(reqArrive)
+	r.vm = vm
+	r.migrate = true
+	if err := s.submit(r); err != nil {
+		return 0, err
+	}
+	pmID, err := r.pmID, r.err
+	s.put(r)
+	return pmID, err
 }
 
 func (s *Service) arrive(ctx context.Context, vm cloud.VM, class admission.Class) (int, error) {
@@ -708,8 +739,10 @@ func (s *Service) commit(batch []*request) {
 			if sampled {
 				o.QueueWait.ObserveAt(applyStart, applyStart.Sub(r.enq))
 			}
-			if r.kind == reqArrive || r.kind == reqArriveBatch {
+			if (r.kind == reqArrive && !r.migrate) || r.kind == reqArriveBatch {
 				// Submission times drive the interarrival-CV burstiness probe.
+				// Migrations are internal re-arrivals, not client load, and
+				// would distort the CV.
 				o.Probes.ObserveArrival(r.enq)
 			}
 		}
@@ -787,7 +820,7 @@ func (s *Service) commit(batch []*request) {
 		}
 		if r.kind == reqArrive {
 			r.err = err
-			if errors.Is(err, cloud.ErrNoCapacity) {
+			if errors.Is(err, cloud.ErrNoCapacity) && !r.migrate {
 				s.stats.Rejected++
 				if s.metrics != nil {
 					s.metrics.rejections.Inc()

@@ -22,6 +22,7 @@ type fedMetrics struct {
 	rebRounds *telemetry.Counter // rounds that observed skew
 	rebMoves  *telemetry.Counter // VMs migrated between shards
 	rebFailed *telemetry.Counter // moves the recipient refused
+	rebErrors *telemetry.Counter // rounds that aborted with an error
 
 	headroomG []*telemetry.Gauge // per-shard snapshot headroom
 	queueG    []*telemetry.Gauge // per-shard submission-queue depth
@@ -41,6 +42,7 @@ func newFedMetrics(reg *telemetry.Registry, n int) *fedMetrics {
 		m.rebRounds = new(telemetry.Counter)
 		m.rebMoves = new(telemetry.Counter)
 		m.rebFailed = new(telemetry.Counter)
+		m.rebErrors = new(telemetry.Counter)
 		return m
 	}
 	reg.Help("shardsvc_routed_total", "Arrivals the power-of-d router sent to each shard.")
@@ -50,6 +52,7 @@ func newFedMetrics(reg *telemetry.Registry, n int) *fedMetrics {
 	reg.Help("shardsvc_rebalance_rounds_total", "Rebalance rounds that observed occupancy skew past the band.")
 	reg.Help("shardsvc_rebalance_moves_total", "VMs migrated between shards by the rebalancer.")
 	reg.Help("shardsvc_rebalance_failed_total", "Rebalance moves refused by the recipient shard.")
+	reg.Help("shardsvc_rebalance_errors_total", "Rebalance rounds that aborted with an error (including any VM-evicting rollback failure); the background ticker cannot return errors, so failed rounds surface here.")
 	reg.Help("shardsvc_headroom", "Free Eq. (17) slots per shard, sampled at routing time.")
 	reg.Help("shardsvc_queue_depth", "Submission-queue depth per shard, sampled at routing time.")
 	m.headroomG = make([]*telemetry.Gauge, n)
@@ -69,6 +72,7 @@ func newFedMetrics(reg *telemetry.Registry, n int) *fedMetrics {
 	m.rebRounds = reg.Counter("shardsvc_rebalance_rounds_total")
 	m.rebMoves = reg.Counter("shardsvc_rebalance_moves_total")
 	m.rebFailed = reg.Counter("shardsvc_rebalance_failed_total")
+	m.rebErrors = reg.Counter("shardsvc_rebalance_errors_total")
 	return m
 }
 
@@ -87,6 +91,7 @@ type FedStats struct {
 	RebalanceRounds uint64
 	RebalanceMoves  uint64
 	RebalanceFailed uint64
+	RebalanceErrors uint64
 }
 
 // FedStats returns the federation counters.
@@ -99,6 +104,7 @@ func (f *Federation) FedStats() FedStats {
 		RebalanceRounds: m.rebRounds.Value(),
 		RebalanceMoves:  m.rebMoves.Value(),
 		RebalanceFailed: m.rebFailed.Value(),
+		RebalanceErrors: m.rebErrors.Value(),
 	}
 	for i, c := range m.routed {
 		st.Routed[i] = c.Value()

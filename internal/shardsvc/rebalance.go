@@ -66,7 +66,10 @@ func (c RebalanceConfig) validate() error {
 	return nil
 }
 
-// rebalanceLoop is the background ticker driving RebalanceOnce.
+// rebalanceLoop is the background ticker driving RebalanceOnce. Round errors
+// have no caller to return to here; RebalanceOnce counts every failed round
+// in shardsvc_rebalance_errors_total (FedStats.RebalanceErrors), so ticker
+// deployments observe them through metrics rather than silently losing them.
 func (f *Federation) rebalanceLoop() {
 	defer f.wg.Done()
 	t := time.NewTicker(f.reb.Interval)
@@ -92,12 +95,30 @@ func (f *Federation) rebalanceLoop() {
 // donor in ascending VM-id order, skipping any VM moved in the previous
 // round, so two consecutive rounds never bounce the same VM back (the
 // anti-oscillation guard the tests pin). Each move departs the donor and
-// re-arrives on the recipient — the recipient's own Eq. (17) test decides
-// placement — rolling back to the donor if the recipient is full, and is
-// traced as a planned MigrationTraceEvent with the round as its interval,
-// reusing the simulator's migration accounting so existing trace tooling
-// reads federation rebalances unchanged.
+// re-arrives on the recipient through placesvc.ArriveMigrated — the
+// admission-bypassing migration path: a move is already-admitted capacity in
+// flight, so only the recipient's Eq. (17) capacity test decides placement,
+// and internal moves never consume admission tokens, shed, or pollute the
+// shed metrics and storm triggers (departures skip admission for the same
+// reason). A capacity-refused move rolls back to the donor on the same path,
+// so a shard's admission policy can never evict the VM on re-arrival; each
+// completed move is traced as a planned MigrationTraceEvent with the round
+// as its interval, reusing the simulator's migration accounting so existing
+// trace tooling reads federation rebalances unchanged.
+//
+// A non-nil error (also counted in shardsvc_rebalance_errors_total, so the
+// background ticker's discarded returns stay observable) means the round
+// aborted; the eviction error additionally means a VM was lost to a
+// depart/re-arrive race with concurrent client churn on the donor.
 func (f *Federation) RebalanceOnce() (moves int, err error) {
+	moves, err = f.rebalanceOnce()
+	if err != nil {
+		f.metrics.rebErrors.Inc()
+	}
+	return moves, err
+}
+
+func (f *Federation) rebalanceOnce() (moves int, err error) {
 	if len(f.shards) == 1 {
 		return 0, nil
 	}
@@ -158,12 +179,14 @@ func (f *Federation) RebalanceOnce() (moves int, err error) {
 			// Departed between snapshot and now (concurrent churn); skip.
 			continue
 		}
-		toPM, aerr := f.shards[recip].Arrive(vm)
+		toPM, aerr := f.shards[recip].ArriveMigrated(vm)
 		if aerr != nil {
 			f.metrics.rebFailed.Inc()
-			if _, rerr := f.shards[donor].Arrive(vm); rerr != nil {
-				// Rollback failed too: the VM is evicted. Surface it —
-				// callers treat a rebalance error as lost capacity.
+			if _, rerr := f.shards[donor].ArriveMigrated(vm); rerr != nil {
+				// The rollback also bypasses admission, so it can only fail
+				// if concurrent client arrivals consumed the slot the Depart
+				// freed. Then the VM is evicted; surface it — callers treat a
+				// rebalance error as lost capacity.
 				f.clearOwner(vm.ID)
 				return moves, fmt.Errorf("shardsvc: rebalance evicted VM %d (recipient: %v; rollback: %w)",
 					vm.ID, aerr, rerr)

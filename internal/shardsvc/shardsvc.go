@@ -296,8 +296,11 @@ func (f *Federation) ArriveClass(ctx context.Context, vm cloud.VM, class admissi
 // ArriveBatch routes a whole batch to the power-of-D shard, then forwards the
 // VMs it could not place to the remaining shards (most headroom first) as
 // sub-batches. VMs no shard can admit come back in unplaced; any other
-// failure aborts forwarding and is returned after the owner index is
-// reconciled against the shard snapshots.
+// failure aborts forwarding, and unplaced then holds the full still-unplaced
+// remainder — every VM of vms that landed on no shard, audited against the
+// failing shard's snapshot (a mid-apply abort under-reports its own
+// unplaced) with the owner index reconciled along the way — so a caller may
+// retry exactly the returned VMs without double-placing the rest.
 func (f *Federation) ArriveBatch(vms []cloud.VM) (unplaced []cloud.VM, err error) {
 	return f.ArriveBatchClass(context.Background(), vms, admission.ClassStandard)
 }
@@ -330,8 +333,7 @@ func (f *Federation) ArriveBatchClass(ctx context.Context, vms []cloud.VM, class
 	f.noteRouted(shard)
 	unplaced, err = f.shards[shard].ArriveBatchClass(ctx, vms, class)
 	if err != nil {
-		f.reconcileOwners(vms, shard)
-		return unplaced, err
+		return f.unplacedAfterAbort(vms, shard), err
 	}
 	f.ownBatch(vms, unplaced, shard)
 	if len(unplaced) == 0 || len(f.shards) == 1 {
@@ -342,8 +344,10 @@ func (f *Federation) ArriveBatchClass(ctx context.Context, vms []cloud.VM, class
 		sub := unplaced
 		rest, ferr := f.shards[next].ArriveBatchClass(ctx, sub, class)
 		if ferr != nil {
-			f.reconcileOwners(sub, next)
-			return rest, ferr
+			// sub is already the remainder after every earlier shard, so the
+			// audited subset of it that missed `next` too is the batch-wide
+			// still-unplaced set.
+			return f.unplacedAfterAbort(sub, next), ferr
 		}
 		f.ownBatch(sub, rest, next)
 		unplaced = rest
@@ -590,18 +594,29 @@ func (f *Federation) ownBatch(vms, unplaced []cloud.VM, shard int) {
 	f.mu.Unlock()
 }
 
-// reconcileOwners repairs the owner index after a batch aborted mid-apply:
-// the shard's snapshot placement is ground truth for which of vms landed.
-func (f *Federation) reconcileOwners(vms []cloud.VM, shard int) {
+// unplacedAfterAbort audits a sub-batch that aborted mid-apply on shard: the
+// shard's snapshot placement (published before the erroring call returned) is
+// ground truth for which of vms landed. Owners are recorded for the VMs that
+// did; the rest come back as the still-unplaced remainder — placesvc clears a
+// batch request's unplaced list on a fatal abort, so the failing call's own
+// result cannot be trusted to enumerate them.
+func (f *Federation) unplacedAfterAbort(vms []cloud.VM, shard int) []cloud.VM {
 	p, err := f.shards[shard].Snapshot().Placement()
 	if err != nil {
-		return // unauditable snapshot; departures for these ids fall back to shard 0
+		// Unauditable snapshot: assume nothing landed (a retry may then
+		// double-place, but this needs the op-ring replay itself to fail);
+		// departures for these ids fall back to shard 0.
+		return vms
 	}
+	rest := make([]cloud.VM, 0, len(vms))
 	f.mu.Lock()
 	for _, vm := range vms {
 		if _, ok := p.PMOf(vm.ID); ok {
 			f.owner[vm.ID] = shard
+		} else {
+			rest = append(rest, vm)
 		}
 	}
 	f.mu.Unlock()
+	return rest
 }

@@ -651,3 +651,123 @@ func TestFederationMetrics(t *testing.T) {
 		t.Fatal("no shardsvc_routed_total series with a positive count")
 	}
 }
+
+// Rebalance moves are internal migrations, not client arrivals: they bypass
+// the per-shard admission pipeline on both legs (recipient move and donor
+// rollback). With a gate that sheds every standard arrival past 10%
+// occupancy, a skewed fleet must still converge without losing a VM, without
+// a failed move, and without charging admission's shed accounting — under
+// the old client-path Arrive the gate would shed the rollback and evict live
+// capacity.
+func TestRebalanceBypassesAdmission(t *testing.T) {
+	reb := RebalanceConfig{SkewAbove: 0.2, SettleBelow: 0.1}
+	fed := newFedT(t, Config{
+		PMs: mkPool(2, 1000), MaxShards: 2, Rebalance: reb,
+		Admission: &admission.Config{
+			Occupancy: &admission.OccupancyConfig{ShedAbove: 0.1, ResumeBelow: 0.05},
+		},
+	})
+	// Load shard 0 to 12/16 = 0.75 occupancy with critical arrivals — they
+	// ride through its armed gate (ShedCritical off), shard 1 stays empty.
+	ctx := context.Background()
+	for i := 0; i < 12; i++ {
+		if _, err := fed.Shard(0).ArriveClass(ctx, mkVM(i, 1, 1), admission.ClassCritical); err != nil {
+			t.Fatalf("loading shard 0: %v", err)
+		}
+	}
+	moves, err := fed.RebalanceOnce()
+	if err != nil {
+		t.Fatalf("rebalance under armed per-shard gates: %v", err)
+	}
+	if moves < 3 {
+		// Move 3 is the first the recipient's gate (armed at 2/16 = 0.125)
+		// would have shed on the client path.
+		t.Fatalf("moved %d VMs, want enough to cross the recipient's gate (≥ 3)", moves)
+	}
+	if got := fed.Stats().VMs; got != 12 {
+		t.Fatalf("fleet holds %d VMs after rebalance, want 12 (no eviction)", got)
+	}
+	fs := fed.FedStats()
+	if fs.RebalanceFailed != 0 || fs.RebalanceErrors != 0 {
+		t.Fatalf("rebalance counters failed=%d errors=%d, want 0/0", fs.RebalanceFailed, fs.RebalanceErrors)
+	}
+	// The policy itself is still live for clients: both shards now sit past
+	// ShedAbove, so a standard arrival sheds.
+	if _, err := fed.Arrive(mkVM(100, 1, 1)); !errors.Is(err, admission.ErrShed) {
+		t.Fatalf("standard client arrival err = %v, want ErrShed", err)
+	}
+}
+
+// A round that aborts — here a real (non-capacity) duplicate-id failure on
+// the recipient — is counted in shardsvc_rebalance_errors_total, so the
+// background ticker's discarded error returns stay observable, and the VM is
+// rolled back to the donor rather than lost.
+func TestRebalanceErrorCountedAndRolledBack(t *testing.T) {
+	reb := RebalanceConfig{SkewAbove: 0.2, SettleBelow: 0.1}
+	fed := newFedT(t, Config{PMs: mkPool(2, 1000), MaxShards: 2, Rebalance: reb})
+	// Shard 1 already hosts a VM with id 0 — the donor's first candidate id —
+	// so the migration re-arrival fails with a real error, not capacity.
+	if _, err := fed.Shard(1).Arrive(mkVM(0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := fed.Shard(0).Arrive(mkVM(i, 1, 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	moves, err := fed.RebalanceOnce()
+	if err == nil {
+		t.Fatal("round with a duplicate-id collision reported no error")
+	}
+	if errors.Is(err, cloud.ErrNoCapacity) {
+		t.Fatalf("abort error %v wrongly wraps ErrNoCapacity", err)
+	}
+	if moves != 0 {
+		t.Fatalf("aborted round reported %d moves, want 0", moves)
+	}
+	fs := fed.FedStats()
+	if fs.RebalanceErrors != 1 || fs.RebalanceFailed != 1 || fs.RebalanceRounds != 1 {
+		t.Fatalf("counters errors=%d failed=%d rounds=%d, want 1/1/1",
+			fs.RebalanceErrors, fs.RebalanceFailed, fs.RebalanceRounds)
+	}
+	// The rollback landed: nothing was evicted.
+	if got := fed.Stats().VMs; got != 13 {
+		t.Fatalf("fleet holds %d VMs, want 13", got)
+	}
+}
+
+// A batch that aborts mid-apply (duplicate VM id — a real error, not
+// capacity) returns the full still-unplaced remainder, audited against the
+// failing shard's snapshot: placesvc clears the batch's own unplaced list on
+// a fatal abort, so the federation must reconstruct which VMs landed before
+// a caller can safely retry the rest.
+func TestArriveBatchAbortReturnsRemainder(t *testing.T) {
+	fed := newFedT(t, Config{PMs: mkPool(2, 1000), MaxShards: 1})
+	if _, err := fed.Arrive(mkVM(7, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	batch := []cloud.VM{mkVM(20, 1, 1), mkVM(7, 1, 1), mkVM(21, 1, 1)}
+	unplaced, err := fed.ArriveBatch(batch)
+	if err == nil {
+		t.Fatal("batch with duplicate VM id did not abort")
+	}
+	p, perr := fed.Shard(0).Snapshot().Placement()
+	if perr != nil {
+		t.Fatal(perr)
+	}
+	returned := map[int]bool{}
+	for _, vm := range unplaced {
+		returned[vm.ID] = true
+		if _, ok := p.PMOf(vm.ID); ok {
+			t.Errorf("VM %d reported unplaced but present in the placement", vm.ID)
+		}
+	}
+	for _, vm := range batch {
+		if _, ok := p.PMOf(vm.ID); !ok && !returned[vm.ID] {
+			t.Errorf("VM %d neither placed nor reported unplaced", vm.ID)
+		}
+	}
+	if returned[7] {
+		t.Error("VM 7 reported unplaced despite hosting the original placement")
+	}
+}
