@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr9 bench-smoke bench-compare bench-compare-pr5 bench-compare-pr6 bench-compare-pr7 bench-compare-pr9 loadgen-smoke metrics-smoke fuzz cover clean
+.PHONY: all build test vet race bench bench-baseline bench-pr2 bench-pr4 bench-pr5 bench-pr6 bench-pr7 bench-pr9 bench-pr10 bench-smoke bench-compare bench-compare-pr5 bench-compare-pr6 bench-compare-pr7 bench-compare-pr9 bench-compare-pr10 loadgen-smoke metrics-smoke fuzz cover clean
 
 all: build vet test
 
@@ -158,6 +158,43 @@ bench-compare-pr9: BENCH_pr9_new.json
 BENCH_pr9_new.json:
 	$(call PR9RUN,$@)
 
+# Transient-engine snapshot (PR 10): BenchmarkTransientClosedForm sweeps
+# k ∈ {16,64,256} × t ∈ {10,10³,10⁶} (each iteration a cold closed-form
+# forecast — the t-rows must be flat, demonstrating t-independence),
+# BenchmarkTransientMatrix runs the O(t·k²) oracle on the horizons it can
+# afford (its t=10³ row against the closed form's is the ≥100× headline;
+# t=10⁶ is omitted — minutes per op is the point of the closed form), and
+# BenchmarkForecastCurve/BenchmarkForecastCacheHit cover the batched
+# autoscaler query and the steady-state cache hit. The fast and oracle sets
+# need very different -benchtime budgets, so each round runs them as two
+# invocations; rounds are interleaved (three rounds, -count 2 each) and
+# benchfmt keeps the fastest run per name — the same drift-resistance
+# rationale as bench-pr6/pr7/pr9.
+PR10FAST = $(GO) test -run '^$$' -bench 'BenchmarkTransientClosedForm|BenchmarkForecast' \
+	-benchmem -benchtime 1000x -count 2 -timeout 30m -json ./internal/queuing/
+PR10ORACLE = $(GO) test -run '^$$' -bench 'BenchmarkTransientMatrix' \
+	-benchmem -benchtime 3x -count 2 -timeout 30m -json ./internal/queuing/
+define PR10RUN
+	rm -f $(1)
+	for i in 1 2 3; do \
+		$(PR10FAST) >> $(1) && \
+		$(PR10ORACLE) >> $(1) || exit 1; \
+	done
+endef
+bench-pr10:
+	$(call PR10RUN,BENCH_pr10.json)
+
+# Gate the transient engine against the committed snapshot: >20% ns/op or
+# allocs/op regression on any transient/forecast benchmark fails the target.
+bench-compare-pr10: BENCH_pr10_new.json
+	$(GO) run ./cmd/benchdiff -old BENCH_pr10.json -new BENCH_pr10_new.json \
+		-critical 'BenchmarkTransient|BenchmarkForecast' -allocs
+
+# Fresh measurement of the transient benchmarks for bench-compare-pr10 (not
+# committed; delete after comparing).
+BENCH_pr10_new.json:
+	$(call PR10RUN,$@)
+
 # Gate the multi-core hot paths against the committed matrix: >20% ns/op or
 # allocs/op regression on any (benchmark, procs) level fails the target.
 bench-compare-pr7: BENCH_pr7_new.json
@@ -216,10 +253,11 @@ BENCH_pr5_new.json:
 		-benchtime 10000x -timeout 30m -json ./internal/placesvc/ > $@
 	$(GO) run ./cmd/loadgen -pms 1000 -clients 4 -ops 20000 -bench >> $@
 
-# Short fuzz smoke of the solver-agreement, MapCal, fault-plan, and
-# admission-config contracts.
+# Short fuzz smoke of the solver-agreement, transient-agreement, MapCal,
+# fault-plan, and admission-config contracts.
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzSolverAgreement -fuzztime 10s ./internal/queuing/
+	$(GO) test -run '^$$' -fuzz FuzzTransientAgreement -fuzztime 10s ./internal/queuing/
 	$(GO) test -run '^$$' -fuzz FuzzMapCal -fuzztime 10s ./internal/queuing/
 	$(GO) test -run '^$$' -fuzz FuzzFaultPlan -fuzztime 10s ./internal/faults/
 	$(GO) test -run '^$$' -fuzz FuzzAdmissionConfig -fuzztime 10s ./internal/admission/

@@ -138,10 +138,47 @@ type (
 	Transient = queuing.Transient
 )
 
-// NewTransient wraps a busy-blocks chain for transient queries.
+// NewTransient wraps a busy-blocks chain for transient queries, served by the
+// closed-form engine (t-independent per query).
 func NewTransient(k int, pOn, pOff float64) (*Transient, error) {
 	return queuing.NewTransient(k, pOn, pOff)
 }
+
+// TransientSolver selects the engine behind a Transient: the closed-form
+// Binomial-convolution fast path or the O(t·k²) matrix-power oracle it is
+// cross-validated against.
+type TransientSolver = queuing.TransientSolver
+
+const (
+	// TransientAuto picks the fast path (currently the closed form).
+	TransientAuto = queuing.TransientAuto
+	// TransientClosedForm forces the t-independent convolution engine.
+	TransientClosedForm = queuing.TransientClosedForm
+	// TransientMatrix forces the matrix-power oracle (cross-validation only).
+	TransientMatrix = queuing.TransientMatrix
+)
+
+// NewTransientWithSolver wraps a busy-blocks chain with an explicit engine.
+func NewTransientWithSolver(k int, pOn, pOff float64, solver TransientSolver) (*Transient, error) {
+	return queuing.NewTransientWithSolver(k, pOn, pOff, solver)
+}
+
+// ErrNeverViolates is returned (wrapped) by Transient.MeanTimeToViolation
+// when the reservation covers every block, so the violation set is empty.
+var ErrNeverViolates = queuing.ErrNeverViolates
+
+// ForecastCache memoises transient occupancy forecasts keyed by
+// (k, busy, p_on, p_off, bucketed horizon) with singleflight semantics — the
+// serving-plane companion to TableCache. Hits are bit-identical to cold
+// solves.
+type ForecastCache = queuing.ForecastCache
+
+// NewForecastCache creates an empty forecast cache.
+func NewForecastCache() *ForecastCache { return queuing.NewForecastCache() }
+
+// SharedForecasts returns the process-wide default forecast cache, used by
+// the obs probes and the simulator's forecast hook when none is injected.
+func SharedForecasts() *ForecastCache { return queuing.SharedForecasts() }
 
 // SweepPoint is one row of a sensitivity sweep over ρ or k.
 type SweepPoint = queuing.SweepPoint

@@ -6,7 +6,7 @@
 //
 //	simulate -spec fleet.json [-strategy queue|rp|rb|rbex|sbp]
 //	         [-intervals 100] [-migration] [-seed 1] [-shards 8]
-//	         [-faults schedule.json]
+//	         [-forecast 10] [-faults schedule.json]
 //	         [-arrivals 0.5] [-lifetime 300] [-admission policy.json]
 //	         [-events events.csv] [-series series.csv]
 //	         [-trace run.jsonl] [-metrics-addr 127.0.0.1:9090]
@@ -26,6 +26,14 @@
 // is unrelated to cmd/loadgen -shards, which federates the serving plane
 // into independent placesvc shards (internal/shardsvc) whose placements
 // genuinely differ from a single service's.
+//
+// -forecast > 0 runs the closed-form transient forecast hook each interval:
+// every powered-on PM's probability of exceeding its reservation within that
+// many intervals, conditioned on its current busy count. The summary JSON
+// gains a "forecasts" digest (run-level mean/max violation probability plus
+// the final interval's per-PM report). Solves are served from the shared
+// forecast cache, so steady-state fleets cost one solve per distinct
+// (VMs, busy) shape. Works in both closed and -arrivals (churn) runs.
 //
 // -arrivals > 0 opens the system: each interval one new tenant arrives with
 // that probability and every placed tenant departs with probability
@@ -78,6 +86,7 @@ func run(args []string, stdout io.Writer) error {
 		arrivals   = fs.Float64("arrivals", 0, "per-interval tenant arrival probability (0 = closed system)")
 		lifetime   = fs.Float64("lifetime", 0, "mean tenancy in intervals for -arrivals runs (default 4×intervals)")
 		admPath    = fs.String("admission", "", "admission-policy JSON config for -arrivals runs (sheds before Eq. (17))")
+		forecast   = fs.Int("forecast", 0, "transient forecast horizon in intervals (0 = off)")
 	)
 	var tf obs.Flags
 	tf.Register(fs)
@@ -93,6 +102,10 @@ func run(args []string, stdout io.Writer) error {
 	if err := validateChurnFlags(*arrivals, *lifetime, *admPath); err != nil {
 		fs.Usage()
 		return err
+	}
+	if *forecast < 0 {
+		fs.Usage()
+		return fmt.Errorf("-forecast = %d, want ≥ 0", *forecast)
 	}
 	var plan *faults.Plan
 	if *faultsPath != "" {
@@ -159,6 +172,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if plan != nil {
 		cfg.Faults = plan
+	}
+	if *forecast > 0 {
+		cfg.Forecast = &sim.ForecastConfig{Horizon: *forecast}
 	}
 	rng := rand.New(rand.NewSource(*seed))
 	var rep *sim.Report

@@ -159,6 +159,37 @@ func (m *Matrix) VecMul(v []float64) ([]float64, error) {
 	return out, nil
 }
 
+// VecMulInto computes the row-vector product v·m into dst, the
+// allocation-free form of VecMul for iterated stepping: the caller
+// double-buffers two vectors and swaps them between steps. dst must have
+// length cols, v length rows, and the two must not share backing storage —
+// rows are accumulated into dst as they stream, so aliasing would corrupt the
+// product.
+func (m *Matrix) VecMulInto(dst, v []float64) error {
+	if len(v) != m.rows {
+		return fmt.Errorf("linalg: vector length %d does not match %d rows", len(v), m.rows)
+	}
+	if len(dst) != m.cols {
+		return fmt.Errorf("linalg: destination length %d does not match %d cols", len(dst), m.cols)
+	}
+	if len(v) > 0 && len(dst) > 0 && &dst[0] == &v[0] {
+		return fmt.Errorf("linalg: VecMulInto destination aliases the input vector")
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, a := range v {
+		if a == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, b := range row {
+			dst[j] += a * b
+		}
+	}
+	return nil
+}
+
 // Pow returns m raised to the t-th power via exponentiation by squaring.
 // t must be non-negative; Pow(0) is the identity.
 func (m *Matrix) Pow(t int) (*Matrix, error) {

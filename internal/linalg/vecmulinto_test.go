@@ -1,0 +1,71 @@
+package linalg
+
+import (
+	"testing"
+)
+
+func TestVecMulIntoMatchesVecMul(t *testing.T) {
+	m := NewMatrix(3, 4)
+	vals := []float64{
+		0.5, 0.25, 0.125, 0.125,
+		0, 1, 0, 0,
+		0.1, 0.2, 0.3, 0.4,
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 4; j++ {
+			m.Set(i, j, vals[i*4+j])
+		}
+	}
+	v := []float64{0.2, 0.3, 0.5}
+	want, err := m.VecMul(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := []float64{-1, -1, -1, -1} // stale contents must be overwritten
+	if err := m.VecMulInto(dst, v); err != nil {
+		t.Fatal(err)
+	}
+	for j := range want {
+		if dst[j] != want[j] {
+			t.Fatalf("dst[%d] = %v, want %v", j, dst[j], want[j])
+		}
+	}
+}
+
+func TestVecMulIntoValidation(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(1, 1, 1)
+	if err := m.VecMulInto(make([]float64, 2), make([]float64, 3)); err == nil {
+		t.Error("accepted wrong vector length")
+	}
+	if err := m.VecMulInto(make([]float64, 3), make([]float64, 2)); err == nil {
+		t.Error("accepted wrong destination length")
+	}
+	v := []float64{0.5, 0.5}
+	if err := m.VecMulInto(v, v); err == nil {
+		t.Error("accepted aliased destination")
+	}
+}
+
+// TestVecMulIntoNoAllocs pins the whole point of the Into form: iterated
+// stepping with caller scratch must not allocate.
+func TestVecMulIntoNoAllocs(t *testing.T) {
+	n := 33
+	m := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		m.Set(i, (i+1)%n, 1)
+	}
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[0] = 1
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := m.VecMulInto(next, cur); err != nil {
+			t.Fatal(err)
+		}
+		cur, next = next, cur
+	})
+	if allocs != 0 {
+		t.Fatalf("VecMulInto allocates %v objects per step, want 0", allocs)
+	}
+}

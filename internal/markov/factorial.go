@@ -81,6 +81,23 @@ func BinomialPMFRow(n int, p float64) []float64 {
 	return row
 }
 
+// BinomialPMFRowInto writes the PMF of B(n, p) into dst, which must have
+// length n+1 — the allocation-free form of BinomialPMFRow for callers that
+// sweep many (n, p) pairs through reused scratch (the transient fast path
+// evaluates one row per forecast horizon). Validation matches BinomialPMFRow.
+func BinomialPMFRowInto(dst []float64, n int, p float64) {
+	if n < 0 {
+		panic("markov: BinomialPMFRowInto needs n ≥ 0")
+	}
+	if len(dst) != n+1 {
+		panic("markov: BinomialPMFRowInto dst length must be n+1")
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		panic("markov: binomial probability out of [0,1]")
+	}
+	fillBinomialRow(dst, n, p)
+}
+
 // fillBinomialRow writes the PMF of B(n, p) into row, which must have length
 // n+1.
 func fillBinomialRow(row []float64, n int, p float64) {

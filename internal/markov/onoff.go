@@ -112,6 +112,48 @@ func (c OnOff) TransitionMatrix() [2][2]float64 {
 	}
 }
 
+// Lambda returns the second eigenvalue λ = 1 − p_on − p_off of the one-step
+// matrix. It is the chain's memory: the lag-1 autocorrelation of the ON
+// indicator, and the geometric rate at which any initial condition forgets
+// itself (|λ| < 1 whenever both probabilities are positive and not both 1).
+func (c OnOff) Lambda() float64 { return 1 - c.POn - c.POff }
+
+// TStepOn returns the closed-form t-step ON probabilities of the chain:
+//
+//	turnOn = Pr{X_t = ON | X_0 = OFF} = π_on·(1 − λᵗ)
+//	stayOn = Pr{X_t = ON | X_0 = ON}  = π_on + π_off·λᵗ
+//
+// with π_on = p_on/(p_on+p_off) and λ = 1 − p_on − p_off. Both follow from
+// diagonalising the 2×2 matrix: p(t) = π_on + (p(0) − π_on)·λᵗ. λᵗ is
+// evaluated as math.Pow(λ, t), which is exact for the sign alternation of
+// negative λ at integer exponents, and the results are clamped to [0, 1]
+// against round-off so downstream binomial rows never see p slightly outside
+// the unit interval. t must be ≥ 0; t = 0 returns (0, 1).
+func (c OnOff) TStepOn(t int) (turnOn, stayOn float64) {
+	if t < 0 {
+		panic("markov: TStepOn needs t ≥ 0")
+	}
+	if t == 0 {
+		return 0, 1
+	}
+	piOn := c.StationaryOn()
+	lt := math.Pow(c.Lambda(), float64(t))
+	turnOn = piOn * (1 - lt)
+	stayOn = piOn + (1-piOn)*lt
+	return clampUnit(turnOn), clampUnit(stayOn)
+}
+
+// clampUnit clamps a probability to [0, 1] against floating-point round-off.
+func clampUnit(p float64) float64 {
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
 // OnFraction returns the empirical fraction of ON states in a trace; it
 // converges to StationaryOn for long traces.
 func OnFraction(trace []State) float64 {

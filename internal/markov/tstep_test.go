@@ -1,0 +1,149 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// iterTStep computes the t-step ON probabilities by iterating the 2×2
+// one-step matrix — the brute-force oracle for TStepOn's closed form.
+func iterTStep(c OnOff, t int) (turnOn, stayOn float64) {
+	p := c.TransitionMatrix()
+	// rowOff/rowOn are the distributions after t steps from OFF and ON.
+	rowOff := [2]float64{1, 0}
+	rowOn := [2]float64{0, 1}
+	step := func(v [2]float64) [2]float64 {
+		return [2]float64{
+			v[0]*p[0][0] + v[1]*p[1][0],
+			v[0]*p[0][1] + v[1]*p[1][1],
+		}
+	}
+	for i := 0; i < t; i++ {
+		rowOff = step(rowOff)
+		rowOn = step(rowOn)
+	}
+	return rowOff[1], rowOn[1]
+}
+
+// TestTStepOnAgainstIteratedMatrix checks the closed form against the
+// iterated one-step matrix across chain regimes: slow-mixing positive λ, the
+// memoryless λ = 0 boundary (p_on + p_off = 1), oscillating negative λ, and
+// the exactly periodic λ = −1 chain.
+func TestTStepOnAgainstIteratedMatrix(t *testing.T) {
+	chains := [][2]float64{
+		{0.01, 0.09}, // the paper's cohort, λ = 0.9
+		{0.05, 0.15},
+		{0.3, 0.4},
+		{0.2, 0.8}, // λ = 0: one step reaches stationarity
+		{0.5, 0.5},
+		{0.9, 0.8}, // λ = −0.7: oscillating approach
+		{1, 1},     // λ = −1: periodic, never mixes
+	}
+	steps := []int{0, 1, 2, 3, 5, 10, 37, 100, 1000}
+	for _, pr := range chains {
+		c, err := NewOnOff(pr[0], pr[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range steps {
+			turnOn, stayOn := c.TStepOn(n)
+			wantTurn, wantStay := iterTStep(c, n)
+			if d := math.Abs(turnOn - wantTurn); d > 1e-12 {
+				t.Errorf("p=%v/%v t=%d: turnOn %v vs iterated %v (|Δ|=%g)",
+					pr[0], pr[1], n, turnOn, wantTurn, d)
+			}
+			if d := math.Abs(stayOn - wantStay); d > 1e-12 {
+				t.Errorf("p=%v/%v t=%d: stayOn %v vs iterated %v (|Δ|=%g)",
+					pr[0], pr[1], n, stayOn, wantStay, d)
+			}
+			if turnOn < 0 || turnOn > 1 || stayOn < 0 || stayOn > 1 {
+				t.Errorf("p=%v/%v t=%d: probabilities (%v, %v) outside [0,1]",
+					pr[0], pr[1], n, turnOn, stayOn)
+			}
+		}
+	}
+}
+
+// TestTStepOnLimits pins the boundary semantics: t = 0 is the identity, and
+// large t converges to the stationary ON fraction from both start states.
+func TestTStepOnLimits(t *testing.T) {
+	c, err := NewOnOff(0.01, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if turnOn, stayOn := c.TStepOn(0); turnOn != 0 || stayOn != 1 {
+		t.Fatalf("TStepOn(0) = (%v, %v), want (0, 1)", turnOn, stayOn)
+	}
+	turnOn, stayOn := c.TStepOn(1)
+	if math.Abs(turnOn-c.POn) > 1e-15 || math.Abs(stayOn-(1-c.POff)) > 1e-15 {
+		t.Fatalf("TStepOn(1) = (%v, %v), want (%v, %v)", turnOn, stayOn, c.POn, 1-c.POff)
+	}
+	pi := c.StationaryOn()
+	turnOn, stayOn = c.TStepOn(1_000_000)
+	if math.Abs(turnOn-pi) > 1e-12 || math.Abs(stayOn-pi) > 1e-12 {
+		t.Fatalf("TStepOn(1e6) = (%v, %v), want both ≈ π_on = %v", turnOn, stayOn, pi)
+	}
+}
+
+// TestTStepOnNegativePanics pins the contract that negative horizons are a
+// programming error.
+func TestTStepOnNegativePanics(t *testing.T) {
+	c, err := NewOnOff(0.1, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TStepOn(-1) did not panic")
+		}
+	}()
+	c.TStepOn(-1)
+}
+
+// TestLambdaIsAutocorrelationBase ties Lambda to the chain's established
+// signature: Lambdaᵗ must equal TheoreticalAutocorrelation(t).
+func TestLambdaIsAutocorrelationBase(t *testing.T) {
+	c, err := NewOnOff(0.05, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lag := range []int{0, 1, 2, 7, 20} {
+		want := c.TheoreticalAutocorrelation(lag)
+		got := math.Pow(c.Lambda(), float64(lag))
+		if got != want {
+			t.Fatalf("Lambda^%d = %v, TheoreticalAutocorrelation = %v", lag, got, want)
+		}
+	}
+}
+
+// TestBinomialPMFRowInto checks the in-place row against the allocating form
+// bit for bit, and its validation panics.
+func TestBinomialPMFRowInto(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 33} {
+		for _, p := range []float64{0, 0.25, 0.5, 0.99, 1} {
+			want := BinomialPMFRow(n, p)
+			dst := make([]float64, n+1)
+			for i := range dst {
+				dst[i] = math.NaN() // stale scratch must be fully overwritten
+			}
+			BinomialPMFRowInto(dst, n, p)
+			for i := range want {
+				if dst[i] != want[i] {
+					t.Fatalf("n=%d p=%g: dst[%d]=%v, want %v", n, p, i, dst[i], want[i])
+				}
+			}
+		}
+	}
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("short dst", func() { BinomialPMFRowInto(make([]float64, 3), 3, 0.5) })
+	mustPanic("negative n", func() { BinomialPMFRowInto(nil, -1, 0.5) })
+	mustPanic("bad p", func() { BinomialPMFRowInto(make([]float64, 3), 2, 1.5) })
+	mustPanic("NaN p", func() { BinomialPMFRowInto(make([]float64, 3), 2, math.NaN()) })
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/queuing"
 	"repro/internal/telemetry"
 )
 
@@ -27,6 +28,16 @@ type ProbeOptions struct {
 	// EWMAAlpha is the smoothing factor of the overflow-rate EWMA.
 	// Default 0.1.
 	EWMAAlpha float64
+	// ForecastHorizon is the transient lookahead, in simulator intervals,
+	// of the obs_transient_* gauges. Default 10 — the paper's "stabilized
+	// merely within 10σ or so" scale.
+	ForecastHorizon int
+	// ForecastRho is the CVR budget the forecast reservation is derived
+	// with (the ρ handed to MapCal on the drifting estimates). Default 0.01.
+	ForecastRho float64
+	// Forecasts is the transient forecast cache consulted by the
+	// obs_transient_* gauges; nil uses queuing.SharedForecasts().
+	Forecasts *queuing.ForecastCache
 }
 
 func (o ProbeOptions) withDefaults() ProbeOptions {
@@ -44,6 +55,15 @@ func (o ProbeOptions) withDefaults() ProbeOptions {
 	}
 	if o.EWMAAlpha <= 0 || o.EWMAAlpha > 1 {
 		o.EWMAAlpha = 0.1
+	}
+	if o.ForecastHorizon <= 0 {
+		o.ForecastHorizon = 10
+	}
+	if o.ForecastRho <= 0 || o.ForecastRho >= 1 {
+		o.ForecastRho = 0.01
+	}
+	if o.Forecasts == nil {
+		o.Forecasts = queuing.SharedForecasts()
 	}
 	return o
 }
@@ -70,6 +90,17 @@ type driftCell struct {
 //	                          Poisson)
 //	obs_overflow_rate_ewma  — EWMA of per-interval violations per
 //	                          powered-on PM
+//	obs_transient_violation — closed-form predicted Pr{overrun} at the
+//	                          configured horizon for a representative PM
+//	                          (mean VMs per powered-on PM, proportional
+//	                          busy count), with the reservation re-derived
+//	                          by MapCal at the *drifting* p_on/p_off
+//	                          estimates — the forward-looking complement of
+//	                          the backward-looking overflow EWMA
+//	obs_transient_mixing_steps — closed-form mixing time (intervals to
+//	                          within 1% TV of stationarity) of that same
+//	                          representative chain; how much history the
+//	                          fleet's current burstiness makes relevant
 //
 // Undefined estimators (not enough data yet) read NaN, which the exposition
 // writer renders verbatim.
@@ -81,8 +112,16 @@ type Probes struct {
 	opt ProbeOptions
 
 	idcG, onFracG, pOnG, pOffG, cvG, ewmaG *telemetry.Gauge
+	violG, mixG                            *telemetry.Gauge
 
 	mu sync.Mutex
+
+	// Transient forecast state: the mixing-time memo key (the closed-form
+	// scan is cheap but not free, and the quantized key changes rarely once
+	// the drift window fills).
+	mixValid        bool
+	mixK            int
+	mixPOn, mixPOff float64
 
 	// IDC state: per-interval ON counts aggregated into blocks.
 	blockAcc    float64
@@ -127,6 +166,8 @@ func NewProbes(reg *telemetry.Registry, opt ProbeOptions) *Probes {
 	reg.Help("obs_p_off", "Windowed MLE of the ON->OFF transition probability observed in the live fleet.")
 	reg.Help("obs_interarrival_cv", "Coefficient of variation of recent admission interarrival gaps; NaN until two gaps observed.")
 	reg.Help("obs_overflow_rate_ewma", "EWMA of per-interval capacity violations per powered-on PM.")
+	reg.Help("obs_transient_violation", "Closed-form predicted probability that a representative PM overruns its MapCal reservation obs.ForecastHorizon intervals ahead, computed from the windowed p_on/p_off drift estimates; NaN until the drift estimators are defined.")
+	reg.Help("obs_transient_mixing_steps", "Closed-form mixing time (intervals to within 1% total variation of stationarity) of the representative PM busy-blocks chain at the drift estimates; NaN until drift is defined or if beyond the search cap.")
 	p := &Probes{
 		opt:     opt,
 		idcG:    reg.Gauge("obs_idc"),
@@ -135,6 +176,8 @@ func NewProbes(reg *telemetry.Registry, opt ProbeOptions) *Probes {
 		pOffG:   reg.Gauge("obs_p_off"),
 		cvG:     reg.Gauge("obs_interarrival_cv"),
 		ewmaG:   reg.Gauge("obs_overflow_rate_ewma"),
+		violG:   reg.Gauge("obs_transient_violation"),
+		mixG:    reg.Gauge("obs_transient_mixing_steps"),
 		blocks:  make([]float64, opt.IDCBlocks),
 		drift:   make([]driftCell, opt.DriftWindow),
 		gaps:    make([]float64, opt.CVWindow),
@@ -146,6 +189,8 @@ func NewProbes(reg *telemetry.Registry, opt ProbeOptions) *Probes {
 	p.pOffG.Set(nan)
 	p.cvG.Set(nan)
 	p.ewmaG.Set(nan)
+	p.violG.Set(nan)
+	p.mixG.Set(nan)
 	return p
 }
 
@@ -236,6 +281,95 @@ func (p *Probes) stepLocked(ev telemetry.StepEvent) {
 		}
 		p.ewmaG.Set(p.ewma)
 	}
+
+	// Transient forecast gauges, fed by the drift estimates above.
+	p.forecastLocked(ev)
+}
+
+// mixingTol and mixingMaxT parameterize the obs_transient_mixing_steps scan:
+// 1% total variation, capped at ~10⁶ intervals (chains slower than that read
+// NaN — at that point "not yet mixed" is the answer).
+const (
+	mixingTol  = 0.01
+	mixingMaxT = 1 << 20
+)
+
+// forecastLocked refreshes obs_transient_violation and
+// obs_transient_mixing_steps from the current drift estimates: it models the
+// representative PM — mean VMs per powered-on PM, busy count proportional to
+// the fleet ON fraction — re-derives its reservation with MapCal at the
+// drifting (p_on, p_off), and asks the shared forecast cache for the
+// probability that chain overruns the reservation ForecastHorizon intervals
+// out. Estimates are quantized before keying the cache so a slowly drifting
+// fleet maps onto a bounded set of closed-form solves. Gauges keep their last
+// value while the estimators are undefined (no transitions in the window yet,
+// or an empty fleet).
+func (p *Probes) forecastLocked(ev telemetry.StepEvent) {
+	if p.driftSum.fromOff <= 0 || p.driftSum.fromOn <= 0 || ev.VMs <= 0 || ev.PMsInUse <= 0 {
+		return
+	}
+	pOn := quantizeProb(float64(p.driftSum.offOn) / float64(p.driftSum.fromOff))
+	pOff := quantizeProb(float64(p.driftSum.onOff) / float64(p.driftSum.fromOn))
+	if pOn <= 0 || pOff <= 0 {
+		// A window with no OFF→ON (or no ON→OFF) transitions has no valid
+		// irreducible chain to forecast with.
+		return
+	}
+	k := int(math.Round(float64(ev.VMs) / float64(ev.PMsInUse)))
+	if k < 1 {
+		k = 1
+	}
+	busy := int(math.Round(float64(k) * float64(ev.OnVMs) / float64(ev.VMs)))
+	if busy > k {
+		busy = k
+	}
+	res, err := queuing.MapCal(k, pOn, pOff, p.opt.ForecastRho)
+	if err != nil {
+		return
+	}
+	if v, err := p.opt.Forecasts.ViolationAt(k, busy, pOn, pOff, p.opt.ForecastHorizon, res.K); err == nil {
+		p.violG.Set(v)
+	}
+	p.mixingLocked(k, pOn, pOff)
+}
+
+// mixingLocked refreshes the mixing-time gauge, memoised on its quantized
+// (k, p_on, p_off) key.
+func (p *Probes) mixingLocked(k int, pOn, pOff float64) {
+	if p.mixValid && p.mixK == k && p.mixPOn == pOn && p.mixPOff == pOff {
+		return
+	}
+	p.mixValid = true
+	p.mixK, p.mixPOn, p.mixPOff = k, pOn, pOff
+	tr, err := queuing.NewTransient(k, pOn, pOff)
+	if err != nil {
+		p.mixG.Set(math.NaN())
+		return
+	}
+	mt, err := tr.MixingTime(mixingTol, mixingMaxT)
+	if err != nil {
+		p.mixG.Set(math.NaN())
+		return
+	}
+	p.mixG.Set(float64(mt))
+}
+
+// quantizeProb rounds a drift estimate to 1e-3 (three significant digits
+// below 1e-3, so small rates stay distinguishable from zero) to keep the
+// forecast-cache keys stable under estimator jitter.
+func quantizeProb(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	if x >= 1 {
+		return 1
+	}
+	if x >= 1e-3 {
+		return math.Round(x*1000) / 1000
+	}
+	e := math.Floor(math.Log10(x))
+	scale := math.Pow(10, 2-e)
+	return math.Round(x*scale) / scale
 }
 
 // ObserveArrival folds one admission arrival (at time t) into the

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/queuing"
+	"repro/internal/telemetry"
+)
+
+// TestProbesTransientForecastGauges checks the forward-looking probe family
+// end to end: after the drift estimators come alive, obs_transient_violation
+// must equal the closed-form forecast for the representative PM (mean VMs per
+// powered-on PM, proportional busy count, MapCal reservation at the drift
+// estimates), and obs_transient_mixing_steps the closed-form mixing time of
+// that chain — bit-identical to direct queuing calls.
+func TestProbesTransientForecastGauges(t *testing.T) {
+	const horizon = 25
+	cache := queuing.NewForecastCache()
+	p, reg := newTestProbes(ProbeOptions{ForecastHorizon: horizon, Forecasts: cache})
+
+	p.Emit(telemetry.StepEvent{Interval: 0, VMs: 10, OnVMs: 5, PMsInUse: 2})
+	if v := gauge(t, reg, "obs_transient_violation"); !math.IsNaN(v) {
+		t.Fatalf("violation gauge before drift defined = %g, want NaN", v)
+	}
+	if v := gauge(t, reg, "obs_transient_mixing_steps"); !math.IsNaN(v) {
+		t.Fatalf("mixing gauge before drift defined = %g, want NaN", v)
+	}
+
+	// Interval 1: 2 OFF→ON of 5 OFF, 2 ON→OFF of 5 ON ⇒ p̂_on = p̂_off = 0.4,
+	// and the symmetric churn keeps the estimates at 0.4 on every later
+	// interval too. Representative PM: k = round(10/2) = 5 VMs,
+	// busy = round(5 · 5/10) = 3 (round half away from zero).
+	p.Emit(telemetry.StepEvent{Interval: 1, VMs: 10, OnVMs: 5, OffOn: 2, OnOff: 2, PMsInUse: 2})
+
+	res, err := queuing.MapCal(5, 0.4, 0.4, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantViol, err := queuing.NewForecastCache().ViolationAt(5, 3, 0.4, 0.4, horizon, res.K)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(t, reg, "obs_transient_violation"); got != wantViol {
+		t.Fatalf("obs_transient_violation = %g, want %g", got, wantViol)
+	}
+	tr, err := queuing.NewTransient(5, 0.4, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantMix, err := tr.MixingTime(0.01, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gauge(t, reg, "obs_transient_mixing_steps"); got != float64(wantMix) {
+		t.Fatalf("obs_transient_mixing_steps = %g, want %d", got, wantMix)
+	}
+	if cache.Solves() == 0 {
+		t.Fatal("probe did not consult its forecast cache")
+	}
+
+	// A repeat of the same interval shape must hit the cache, not re-solve.
+	solves, hits := cache.Solves(), cache.Hits()
+	p.Emit(telemetry.StepEvent{Interval: 2, VMs: 10, OnVMs: 5, OffOn: 2, OnOff: 2, PMsInUse: 2})
+	if cache.Solves() != solves || cache.Hits() != hits+1 {
+		t.Fatalf("steady-state interval did not hit the cache (solves %d → %d, hits %d → %d)",
+			solves, cache.Solves(), hits, cache.Hits())
+	}
+}
+
+// TestProbesForecastHelpRegistered pins the gauge-naming contract: the new
+// family appears in the registry with help text, NaN-initialised.
+func TestProbesForecastHelpRegistered(t *testing.T) {
+	_, reg := newTestProbes(ProbeOptions{})
+	snap := reg.Snapshot()
+	for _, name := range []string{"obs_transient_violation", "obs_transient_mixing_steps"} {
+		v, ok := snap.Gauges[name]
+		if !ok {
+			t.Fatalf("gauge %s not registered", name)
+		}
+		if !math.IsNaN(v) {
+			t.Fatalf("gauge %s initialised to %g, want NaN", name, v)
+		}
+		if snap.Help[name] == "" {
+			t.Fatalf("gauge %s has no help text", name)
+		}
+	}
+}
+
+// TestQuantizeProb pins the cache-key quantization: 1e-3 grid in the bulk,
+// three significant digits below it, exact at the boundaries.
+func TestQuantizeProb(t *testing.T) {
+	for _, tt := range []struct{ in, want float64 }{
+		{0, 0}, {1, 1}, {1.5, 1}, {-0.2, 0},
+		{0.5, 0.5}, {0.1234, 0.123}, {0.9996, 1},
+		{0.0004567, 0.000457}, {3.21e-7, 3.21e-7},
+	} {
+		if got := quantizeProb(tt.in); math.Abs(got-tt.want) > tt.want*1e-12 {
+			t.Errorf("quantizeProb(%g) = %g, want %g", tt.in, got, tt.want)
+		}
+	}
+}

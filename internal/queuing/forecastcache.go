@@ -1,0 +1,176 @@
+package queuing
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/markov"
+)
+
+// forecastKey identifies one transient forecast: a cohort (k, p_on, p_off),
+// a starting busy count, and a bucketed horizon. Forecasts are pure functions
+// of the key — the closed-form solve is deterministic — so equal keys always
+// yield bit-identical distributions and a cached slice can be shared freely
+// (entries are immutable after construction; accessors copy or reduce).
+type forecastKey struct {
+	k, from   int
+	pOn, pOff float64
+	t         int // bucketed horizon (BucketHorizon)
+}
+
+// forecastEntry is one in-flight or completed solve. The leader closes done
+// after storing dist; waiters block on done instead of re-solving.
+type forecastEntry struct {
+	done chan struct{}
+	dist []float64
+}
+
+// ForecastCache memoises transient occupancy forecasts keyed
+// (k, from, p_on, p_off, t-bucket) with singleflight semantics, mirroring
+// TableCache: when the obs probes, the per-interval sim hook, and a future
+// autoscaler all ask for the same PM shape at the same horizon, exactly one
+// closed-form solve runs and the rest share its distribution.
+//
+// Horizons are quantized by BucketHorizon before keying, so a drifting
+// horizon (say t, t+1, … as a deadline approaches) maps onto a bounded set of
+// entries; callers that need the exact horizon solve directly with Transient.
+// Cache hits are bit-identical to cold solves at the bucketed horizon — the
+// stored slice is written once by the leader and never mutated.
+//
+// Failed solves are not cached — the failing caller gets the error and the
+// next request retries. The cache is safe for concurrent use.
+type ForecastCache struct {
+	mu sync.Mutex
+	m  map[forecastKey]*forecastEntry
+
+	solves atomic.Uint64 // solves actually performed (including failed ones)
+	hits   atomic.Uint64 // requests served without solving (cached or joined)
+}
+
+// forecastCacheMaxEntries bounds the cache. A fleet of heterogeneous PMs
+// sweeping drifting (p_on, p_off) estimates can generate an unbounded stream
+// of distinct keys; when the bound is hit the cache is cleared wholesale,
+// exactly as TableCache does (entries rebuild in O(k), and a full clear
+// avoids eviction bookkeeping on the hot path).
+const forecastCacheMaxEntries = 4096
+
+// NewForecastCache returns an empty cache.
+func NewForecastCache() *ForecastCache {
+	return &ForecastCache{m: make(map[forecastKey]*forecastEntry)}
+}
+
+// sharedForecasts is the process-wide default cache, handed out by
+// SharedForecasts.
+var sharedForecasts = NewForecastCache()
+
+// SharedForecasts returns the process-wide forecast cache. Independently
+// constructed consumers — obs probes, simulators, controllers — default to it
+// so identical forecasts solve once per process.
+func SharedForecasts() *ForecastCache { return sharedForecasts }
+
+// Solves returns the number of closed-form solves the cache actually ran.
+func (c *ForecastCache) Solves() uint64 { return c.solves.Load() }
+
+// Hits returns the number of requests served without a solve.
+func (c *ForecastCache) Hits() uint64 { return c.hits.Load() }
+
+// Len returns the number of completed or in-flight entries.
+func (c *ForecastCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// BucketHorizon quantizes a forecast horizon for cache keying: exact for
+// t ≤ 64, then rounded down to a granularity of 2^(⌊log₂ t⌋ − 6) — at most
+// ~1.6% relative error, so a horizon sweep touches O(log t) buckets past the
+// exact range instead of one entry per step. Short horizons, where the
+// transient actually moves, are never coarsened. Negative t is returned
+// unchanged (the solve rejects it).
+func BucketHorizon(t int) int {
+	if t <= 64 {
+		return t
+	}
+	g := 1 << (bits.Len(uint(t)) - 7)
+	return t - t%g
+}
+
+// distributionAt returns the cached occupancy distribution for the bucketed
+// horizon, solving on a miss. The returned slice is the shared cache entry:
+// callers must not mutate it.
+func (c *ForecastCache) distributionAt(k, from int, pOn, pOff float64, t int) ([]float64, error) {
+	if t < 0 {
+		return nil, fmt.Errorf("queuing: negative time %d", t)
+	}
+	key := forecastKey{k: k, from: from, pOn: pOn, pOff: pOff, t: BucketHorizon(t)}
+	c.mu.Lock()
+	if e, ok := c.m[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		if e.dist != nil {
+			c.hits.Add(1)
+			return e.dist, nil
+		}
+		// The leader failed; fall through to retry as a new leader.
+		return c.distributionAt(k, from, pOn, pOff, t)
+	}
+	if len(c.m) >= forecastCacheMaxEntries {
+		c.m = make(map[forecastKey]*forecastEntry)
+	}
+	e := &forecastEntry{done: make(chan struct{})}
+	c.m[key] = e
+	c.mu.Unlock()
+
+	c.solves.Add(1)
+	dist, err := c.solve(key)
+	if err != nil {
+		c.mu.Lock()
+		// Only forget our own entry: the map may have been cleared and the
+		// slot re-claimed by a newer leader while we were building.
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+		close(e.done)
+		return nil, err
+	}
+	e.dist = dist
+	close(e.done)
+	return dist, nil
+}
+
+// solve runs the closed-form transient solve for one key.
+func (c *ForecastCache) solve(key forecastKey) ([]float64, error) {
+	tr, err := NewTransient(key.k, key.pOn, key.pOff)
+	if err != nil {
+		return nil, err
+	}
+	return tr.OccupancyAt(key.t, key.from)
+}
+
+// DistributionAt returns a copy of the occupancy distribution t steps (after
+// BucketHorizon quantization) from `from` busy blocks on a (k, pOn, pOff)
+// chain. The copy keeps cache entries immutable in the face of callers that
+// normalize or scale in place.
+func (c *ForecastCache) DistributionAt(k, from int, pOn, pOff float64, t int) ([]float64, error) {
+	dist, err := c.distributionAt(k, from, pOn, pOff, t)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(dist))
+	copy(out, dist)
+	return out, nil
+}
+
+// ViolationAt returns Pr{θ(t) > kBlocks} for the cached (bucketed-horizon)
+// forecast — the tail reduction the hot planes actually consume, computed
+// from the shared entry without copying.
+func (c *ForecastCache) ViolationAt(k, from int, pOn, pOff float64, t, kBlocks int) (float64, error) {
+	dist, err := c.distributionAt(k, from, pOn, pOff, t)
+	if err != nil {
+		return 0, err
+	}
+	return markov.TailFromStationary(dist, kBlocks), nil
+}

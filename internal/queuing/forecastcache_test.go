@@ -1,0 +1,202 @@
+package queuing
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/markov"
+)
+
+// TestForecastCacheHitBitIdentical pins the determinism contract: a cache
+// hit must return exactly the bits a cold closed-form solve produces at the
+// bucketed horizon.
+func TestForecastCacheHitBitIdentical(t *testing.T) {
+	const k, from, horizon = 16, 5, 200
+	cache := NewForecastCache()
+	cold, err := cache.DistributionAt(k, from, 0.05, 0.15, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Solves() != 1 || cache.Hits() != 0 {
+		t.Fatalf("after cold solve: solves=%d hits=%d", cache.Solves(), cache.Hits())
+	}
+	hit, err := cache.DistributionAt(k, from, 0.05, 0.15, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cache.Solves() != 1 || cache.Hits() != 1 {
+		t.Fatalf("after hit: solves=%d hits=%d", cache.Solves(), cache.Hits())
+	}
+	tr, err := NewTransient(k, 0.05, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := tr.OccupancyAt(BucketHorizon(horizon), from)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cold[i] != want[i] || hit[i] != want[i] {
+			t.Fatalf("state %d: cold=%v hit=%v direct=%v — must be bit-identical",
+				i, cold[i], hit[i], want[i])
+		}
+	}
+	// The returned slices are copies: mutating one must not poison the cache.
+	hit[0] = -1
+	again, err := cache.DistributionAt(k, from, 0.05, 0.15, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != want[0] {
+		t.Fatal("cache entry mutated through a returned copy")
+	}
+}
+
+// TestForecastCacheViolationAt checks the tail reduction against the full
+// distribution, and that a nearby horizon in the same bucket shares the entry.
+func TestForecastCacheViolationAt(t *testing.T) {
+	const k, from, kBlocks = 12, 3, 4
+	cache := NewForecastCache()
+	for _, horizon := range []int{0, 1, 10, 64, 1000} {
+		v, err := cache.ViolationAt(k, from, 0.01, 0.09, horizon, kBlocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist, err := cache.DistributionAt(k, from, 0.01, 0.09, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := markov.TailFromStationary(dist, kBlocks); v != want {
+			t.Fatalf("t=%d: ViolationAt=%v, tail of DistributionAt=%v", horizon, v, want)
+		}
+	}
+	// 1000 and 1001 land in one bucket: no extra solve.
+	solves := cache.Solves()
+	if _, err := cache.ViolationAt(k, from, 0.01, 0.09, 1001, kBlocks); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Solves() != solves {
+		t.Fatalf("t=1001 re-solved despite sharing the t=1000 bucket (%d → %d solves)", solves, cache.Solves())
+	}
+	if _, err := cache.ViolationAt(k, from, 0.01, 0.09, -1, kBlocks); err == nil {
+		t.Error("accepted negative horizon")
+	}
+	if _, err := cache.ViolationAt(k, from, 0, 0.09, 1, kBlocks); err == nil {
+		t.Error("accepted pOn = 0")
+	}
+	if cache.Len() == 0 {
+		t.Fatal("valid entries not retained")
+	}
+}
+
+// TestBucketHorizon pins the quantization contract: exact through 64, then
+// rounded down with bounded relative error, monotone and idempotent.
+func TestBucketHorizon(t *testing.T) {
+	for _, tt := range []struct{ in, want int }{
+		{0, 0}, {1, 1}, {64, 64}, {65, 65}, {127, 127},
+		{128, 128}, {129, 128}, {1000, 1000}, {1001, 1000},
+		{1_000_000, 999_424},
+	} {
+		if got := BucketHorizon(tt.in); got != tt.want {
+			t.Errorf("BucketHorizon(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+	prev := 0
+	for v := 0; v < 1<<14; v++ {
+		b := BucketHorizon(v)
+		if b > v {
+			t.Fatalf("BucketHorizon(%d) = %d exceeds input", v, b)
+		}
+		if v > 64 && float64(v-b) > 0.017*float64(v) {
+			t.Fatalf("BucketHorizon(%d) = %d: relative error %g too coarse", v, b, float64(v-b)/float64(v))
+		}
+		if b < prev {
+			t.Fatalf("BucketHorizon not monotone at %d: %d < %d", v, b, prev)
+		}
+		if BucketHorizon(b) != b {
+			t.Fatalf("BucketHorizon(%d) = %d not idempotent", v, b)
+		}
+		prev = b
+	}
+}
+
+// TestForecastCacheSingleflight hammers one key from many goroutines: only
+// the leader may solve, and everyone must see identical bits.
+func TestForecastCacheSingleflight(t *testing.T) {
+	cache := NewForecastCache()
+	const workers = 16
+	results := make([][]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			dist, err := cache.DistributionAt(24, 6, 0.05, 0.15, 500)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[w] = dist
+		}(w)
+	}
+	wg.Wait()
+	if cache.Solves() != 1 {
+		t.Fatalf("%d solves for one key, want 1", cache.Solves())
+	}
+	if cache.Hits() != workers-1 {
+		t.Fatalf("%d hits, want %d", cache.Hits(), workers-1)
+	}
+	for w := 1; w < workers; w++ {
+		for i := range results[0] {
+			if results[w][i] != results[0][i] {
+				t.Fatalf("worker %d saw different bits at state %d", w, i)
+			}
+		}
+	}
+}
+
+// TestForecastCacheBound fills the cache past its entry bound and checks the
+// wholesale clear, mirroring TableCache's eviction discipline.
+func TestForecastCacheBound(t *testing.T) {
+	cache := NewForecastCache()
+	for i := 0; i < forecastCacheMaxEntries; i++ {
+		pOn := 0.1 + float64(i)*1e-6
+		if _, err := cache.ViolationAt(1, 0, pOn, 0.5, 10, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if cache.Len() != forecastCacheMaxEntries {
+		t.Fatalf("cache holds %d entries, want %d", cache.Len(), forecastCacheMaxEntries)
+	}
+	if _, err := cache.ViolationAt(1, 0, 0.2, 0.5, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 1 {
+		t.Fatalf("cache holds %d entries after clear, want 1", cache.Len())
+	}
+}
+
+// TestForecastCacheFailedSolveForgotten checks that a failed solve is not
+// cached: the same key must be retryable and must not poison Len.
+func TestForecastCacheFailedSolveForgotten(t *testing.T) {
+	cache := NewForecastCache()
+	if _, err := cache.DistributionAt(4, 0, 2, 0.5, 10); err == nil {
+		t.Fatal("accepted pOn = 2")
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("failed solve left %d entries", cache.Len())
+	}
+	if _, err := cache.DistributionAt(4, 0, 0.2, 0.5, 10); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedForecastsIsProcessWide pins the default-instance contract.
+func TestSharedForecastsIsProcessWide(t *testing.T) {
+	if SharedForecasts() != SharedForecasts() {
+		t.Fatal("SharedForecasts returned distinct instances")
+	}
+	if _, err := SharedForecasts().ViolationAt(8, 2, 0.01, 0.09, 10, 2); err != nil {
+		t.Fatal(err)
+	}
+}

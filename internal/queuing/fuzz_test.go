@@ -58,6 +58,63 @@ func FuzzMapCal(f *testing.F) {
 	})
 }
 
+// FuzzTransientAgreement enforces the transient fast-path acceptance bound
+// on arbitrary inputs: the closed-form convolution and the matrix-power
+// oracle must produce the same t-step occupancy distribution within 1e-10,
+// from any starting busy count. The horizon is capped so the O(t·k²) oracle
+// stays cheap per exec; the closed form is t-independent.
+func FuzzTransientAgreement(f *testing.F) {
+	f.Add(8, 0.01, 0.09, 100, 0)
+	f.Add(1, 0.5, 0.5, 1, 1)
+	f.Add(16, 0.99, 0.01, 1000, 16)
+	f.Add(3, 1.0, 1.0, 7, 2) // periodic λ = −1 chain
+	f.Fuzz(func(t *testing.T, k int, pOn, pOff float64, steps, from int) {
+		if k > 48 {
+			k %= 48
+		}
+		if steps < 0 {
+			steps = -steps
+		}
+		if steps > 1024 {
+			steps %= 1024 // cap the O(t·k²) oracle walk
+		}
+		fast, err := NewTransient(k, pOn, pOff)
+		if err != nil {
+			return // invalid input rejected, fine
+		}
+		if from < 0 {
+			from = -from
+		}
+		from %= k + 1
+		oracle, err := NewTransientWithSolver(k, pOn, pOff, TransientMatrix)
+		if err != nil {
+			t.Fatalf("oracle rejected input the fast path accepted: %v", err)
+		}
+		a, err := fast.OccupancyAt(steps, from)
+		if err != nil {
+			t.Fatalf("closed form: %v", err)
+		}
+		b, err := oracle.OccupancyAt(steps, from)
+		if err != nil {
+			t.Fatalf("oracle: %v", err)
+		}
+		sum := 0.0
+		for i := range a {
+			if d := math.Abs(a[i] - b[i]); d > 1e-10 {
+				t.Fatalf("|closed−oracle| = %g at state %d (k=%d p=%v/%v t=%d from=%d)",
+					d, i, k, pOn, pOff, steps, from)
+			}
+			if a[i] < 0 || math.IsNaN(a[i]) {
+				t.Fatalf("bad closed-form mass %v at state %d", a[i], i)
+			}
+			sum += a[i]
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("closed-form distribution sums to %v", sum)
+		}
+	})
+}
+
 // FuzzSolverAgreement enforces the fast-path acceptance bound on arbitrary
 // inputs: the closed-form Binomial path and the Gaussian matrix solve must
 // produce the same K and stationary distributions within 1e-10.

@@ -1,0 +1,319 @@
+package queuing
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/linalg"
+)
+
+// The closed-form transient engine must be indistinguishable from the
+// matrix-power oracle. This file pins (a) the 1e-10 agreement bound across a
+// (k, p_on, p_off, t, initial) grid, (b) the oracle's monotone-t sweep memo,
+// (c) the ForecastCurve batching, (d) the MixingTime fast path, and (e) the
+// MeanTimeToViolation sentinel discipline.
+
+// transientPair builds the same chain on both engines.
+func transientPair(t *testing.T, k int, pOn, pOff float64) (fast, oracle *Transient) {
+	t.Helper()
+	fast, err := NewTransient(k, pOn, pOff)
+	if err != nil {
+		t.Fatalf("closed form: %v", err)
+	}
+	oracle, err = NewTransientWithSolver(k, pOn, pOff, TransientMatrix)
+	if err != nil {
+		t.Fatalf("oracle: %v", err)
+	}
+	return fast, oracle
+}
+
+// TestTransientDefaultIsFastPath pins that plain NewTransient routes through
+// the closed form — the tentpole routing, observable through Solver().
+func TestTransientDefaultIsFastPath(t *testing.T) {
+	tr, err := NewTransient(8, 0.01, 0.09)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Solver().IsFastPath() || tr.Solver().String() != "closed_form" {
+		t.Fatalf("NewTransient routed through %q", tr.Solver())
+	}
+	if TransientMatrix.IsFastPath() || TransientMatrix.String() != "matrix_power" {
+		t.Fatalf("TransientMatrix labelled %q, fast=%v", TransientMatrix, TransientMatrix.IsFastPath())
+	}
+	if _, err := NewTransientWithSolver(8, 0.01, 0.09, TransientSolver(99)); err == nil {
+		t.Fatal("accepted unknown solver")
+	}
+}
+
+// TestTransientSolverAgreement sweeps chains, horizons, and initial
+// conditions and demands closed form and oracle distributions agree within
+// 1e-10 — the acceptance bound of the fast-path engine.
+func TestTransientSolverAgreement(t *testing.T) {
+	chains := [][2]float64{
+		{0.01, 0.09}, // the paper's cohort, λ = 0.9
+		{0.05, 0.15},
+		{0.3, 0.4},
+		{0.2, 0.8}, // λ = 0
+		{0.9, 0.8}, // λ = −0.7
+		{1, 1},     // λ = −1, periodic
+	}
+	for _, k := range []int{1, 2, 5, 16, 33} {
+		for _, pr := range chains {
+			pOn, pOff := pr[0], pr[1]
+			fast, oracle := transientPair(t, k, pOn, pOff)
+			initials := [][]float64{nil}
+			for _, from := range []int{0, k / 2, k} {
+				pm := make([]float64, k+1)
+				pm[from] = 1
+				initials = append(initials, pm)
+			}
+			mixed := make([]float64, k+1)
+			for i := range mixed {
+				mixed[i] = 1 / float64(k+1)
+			}
+			initials = append(initials, mixed)
+			for _, steps := range []int{0, 1, 2, 10, 137, 1000} {
+				for ii, initial := range initials {
+					name := fmt.Sprintf("k=%d,p=%g/%g,t=%d,init=%d", k, pOn, pOff, steps, ii)
+					a, err := fast.DistributionAt(steps, initial)
+					if err != nil {
+						t.Fatalf("%s: closed: %v", name, err)
+					}
+					b, err := oracle.DistributionAt(steps, initial)
+					if err != nil {
+						t.Fatalf("%s: oracle: %v", name, err)
+					}
+					sum := 0.0
+					for i := range a {
+						if d := math.Abs(a[i] - b[i]); d > 1e-10 {
+							t.Errorf("%s: |closed−oracle| = %g at state %d", name, d, i)
+						}
+						sum += a[i]
+					}
+					if math.Abs(sum-1) > 1e-9 {
+						t.Errorf("%s: closed distribution sums to %v", name, sum)
+					}
+				}
+			}
+			// Tail queries ride the same engines; spot-check them too.
+			for _, steps := range []int{0, 3, 50} {
+				va, err := fast.ViolationProbabilityAt(steps, k/2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				vb, err := oracle.ViolationProbabilityAt(steps, k/2)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d := math.Abs(va - vb); d > 1e-10 {
+					t.Errorf("k=%d p=%g/%g t=%d: violation |closed−oracle| = %g", k, pOn, pOff, steps, d)
+				}
+			}
+		}
+	}
+}
+
+// TestOccupancyAtAgreesAcrossEngines checks the point-mass convenience form
+// against DistributionAt on both engines and across engines.
+func TestOccupancyAtAgreesAcrossEngines(t *testing.T) {
+	const k = 12
+	fast, oracle := transientPair(t, k, 0.05, 0.15)
+	for from := 0; from <= k; from++ {
+		for _, steps := range []int{0, 1, 7, 64} {
+			pm := make([]float64, k+1)
+			pm[from] = 1
+			want, err := fast.DistributionAt(steps, pm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := fast.OccupancyAt(steps, from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("from=%d t=%d: OccupancyAt[%d]=%v, DistributionAt=%v", from, steps, i, got[i], want[i])
+				}
+			}
+			ob, err := oracle.OccupancyAt(steps, from)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if d := math.Abs(got[i] - ob[i]); d > 1e-10 {
+					t.Fatalf("from=%d t=%d: |closed−oracle| = %g at state %d", from, steps, d, i)
+				}
+			}
+		}
+	}
+	if _, err := fast.OccupancyAt(-1, 0); err == nil {
+		t.Error("accepted negative time")
+	}
+	if _, err := fast.OccupancyAt(1, k+1); err == nil {
+		t.Error("accepted from > k")
+	}
+	if _, err := fast.OccupancyAt(1, -1); err == nil {
+		t.Error("accepted negative from")
+	}
+}
+
+// TestOracleSweepMemo pins the satellite: a monotone-t sweep on the oracle
+// resumes from the previous endpoint instead of restarting at t = 0, and the
+// resumed results stay bit-identical to cold solves.
+func TestOracleSweepMemo(t *testing.T) {
+	const k = 16
+	oracle, err := NewTransientWithSolver(k, 0.05, 0.15, TransientMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v100, err := oracle.ViolationProbabilityAt(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.OracleSteps(); got != 100 {
+		t.Fatalf("after t=100 query: %d oracle steps, want 100", got)
+	}
+	v150, err := oracle.ViolationProbabilityAt(150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.OracleSteps(); got != 150 {
+		t.Fatalf("monotone sweep to t=150 took %d total steps, want 150 (incremental)", got)
+	}
+	// Resumed answers must be bit-identical to a cold solve.
+	cold, err := NewTransientWithSolver(k, 0.05, 0.15, TransientMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c100, err := cold.ViolationProbabilityAt(100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold2, err := NewTransientWithSolver(k, 0.05, 0.15, TransientMatrix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c150, err := cold2.ViolationProbabilityAt(150, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v100 != c100 || v150 != c150 {
+		t.Fatalf("memoised sweep (%v, %v) differs from cold solves (%v, %v)", v100, v150, c100, c150)
+	}
+	// A non-monotone query restarts from scratch…
+	if _, err := oracle.ViolationProbabilityAt(50, 3); err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.OracleSteps(); got != 200 {
+		t.Fatalf("backwards query took %d total steps, want 200 (fresh 50-step walk)", got)
+	}
+	// …and the memo also keys on the initial condition.
+	pm := make([]float64, k+1)
+	pm[2] = 1
+	if _, err := oracle.DistributionAt(10, pm); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := oracle.DistributionAt(25, pm); err != nil {
+		t.Fatal(err)
+	}
+	if got := oracle.OracleSteps(); got != 225 {
+		t.Fatalf("point-mass sweep took %d total steps, want 225 (200 + 10 + 15 incremental)", got)
+	}
+}
+
+// TestForecastCurveMatchesPointQueries checks the batched curve against
+// point queries on both engines, and its validation.
+func TestForecastCurveMatchesPointQueries(t *testing.T) {
+	const k, kBlocks = 10, 2
+	fast, oracle := transientPair(t, k, 0.05, 0.15)
+	for _, tr := range []*Transient{fast, oracle} {
+		curve, err := tr.ForecastCurve(3, 40, kBlocks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(curve) != 38 {
+			t.Fatalf("curve length %d, want 38", len(curve))
+		}
+		fresh, err := NewTransientWithSolver(k, 0.05, 0.15, tr.Solver())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, got := range curve {
+			want, err := fresh.ViolationProbabilityAt(3+i, kBlocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("%v: curve[%d] = %v, point query = %v", tr.Solver(), i, got, want)
+			}
+		}
+	}
+	if _, err := fast.ForecastCurve(-1, 5, kBlocks); err == nil {
+		t.Error("accepted negative t0")
+	}
+	if _, err := fast.ForecastCurve(5, 4, kBlocks); err == nil {
+		t.Error("accepted empty span")
+	}
+}
+
+// TestMixingTimeClosedMatchesOracle demands the fast path return the same
+// mixing time as the iterated-TV oracle across chains and tolerances.
+func TestMixingTimeClosedMatchesOracle(t *testing.T) {
+	chains := [][2]float64{{0.01, 0.09}, {0.05, 0.15}, {0.3, 0.4}, {0.2, 0.8}, {0.9, 0.8}}
+	for _, k := range []int{1, 4, 16} {
+		for _, pr := range chains {
+			fast, oracle := transientPair(t, k, pr[0], pr[1])
+			for _, tol := range []float64{0.1, 0.01, 1e-4, 1e-8} {
+				got, err := fast.MixingTime(tol, 10_000)
+				if err != nil {
+					t.Fatalf("k=%d p=%g/%g tol=%g: closed: %v", k, pr[0], pr[1], tol, err)
+				}
+				want, err := oracle.MixingTime(tol, 10_000)
+				if err != nil {
+					t.Fatalf("k=%d p=%g/%g tol=%g: oracle: %v", k, pr[0], pr[1], tol, err)
+				}
+				if got != want {
+					t.Errorf("k=%d p=%g/%g tol=%g: closed mixing time %d, oracle %d", k, pr[0], pr[1], tol, got, want)
+				}
+			}
+		}
+	}
+	// The periodic λ = −1 chain never mixes; both engines must say so.
+	fast, oracle := transientPair(t, 4, 1, 1)
+	if _, err := fast.MixingTime(0.01, 500); err == nil {
+		t.Error("closed form claimed the periodic chain mixes")
+	}
+	if _, err := oracle.MixingTime(0.01, 500); err == nil {
+		t.Error("oracle claimed the periodic chain mixes")
+	}
+}
+
+// TestMeanTimeToViolationSentinels pins the errors.Is discipline: a full
+// reservation wraps ErrNeverViolates, and a numerically absorbing chain (the
+// pOn → 0 regression: NewOnOff rejects exactly 0, and a denormal pOn drives
+// the escape probabilities below the Gaussian pivot threshold) wraps
+// linalg.ErrSingular.
+func TestMeanTimeToViolationSentinels(t *testing.T) {
+	tr, err := NewTransient(6, 0.05, 0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.MeanTimeToViolation(6); !errors.Is(err, ErrNeverViolates) {
+		t.Fatalf("kBlocks = k: err = %v, want ErrNeverViolates", err)
+	}
+	if _, err := tr.MeanTimeToViolation(7); err == nil || errors.Is(err, ErrNeverViolates) {
+		t.Fatalf("kBlocks > k: err = %v, want plain range error", err)
+	}
+	if _, err := NewTransient(4, 0, 0.5); err == nil {
+		t.Fatal("pOn = 0 accepted (Proposition 1 requires p_on > 0)")
+	}
+	sing, err := NewTransient(4, 5e-324, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sing.MeanTimeToViolation(2); !errors.Is(err, linalg.ErrSingular) {
+		t.Fatalf("denormal pOn: err = %v, want linalg.ErrSingular", err)
+	}
+}

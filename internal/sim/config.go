@@ -112,6 +112,13 @@ type Config struct {
 	// MoveDeadline is the per-move deadline in intervals: a pending retry older
 	// than this is abandoned even if attempts remain. Zero defaults to 16.
 	MoveDeadline int
+	// Forecast enables the per-interval transient forecast hook (see
+	// forecast.go): closed-form busy-blocks look-ahead per powered-on PM,
+	// exposed through ForecastConfig.OnReport and Report.Forecasts. Requires
+	// a mapping table (it supplies the chain parameters and reservations).
+	// Nil disables the hook; the Report is then bit-identical to earlier
+	// engines.
+	Forecast *ForecastConfig
 	// Shards splits the per-interval demand-sync and measurement passes over
 	// contiguous PM ranges, one worker per shard. Zero or one runs on the
 	// caller's goroutine. Every PM (and the VMs it hosts) is owned by exactly
@@ -183,6 +190,13 @@ func (c Config) withDefaults() (Config, error) {
 	}
 	if c.Shards > 1 && c.RequestNoise {
 		return c, fmt.Errorf("sim: RequestNoise draws from the shared RNG in placement order and cannot run sharded; set Shards ≤ 1")
+	}
+	if c.Forecast != nil {
+		fc, err := c.Forecast.withDefaults()
+		if err != nil {
+			return c, err
+		}
+		c.Forecast = &fc // copy: never mutate the caller's config
 	}
 	return c, nil
 }

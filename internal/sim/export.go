@@ -20,6 +20,9 @@ type Summary struct {
 	Events          []MigrationEvent `json:"events"`
 	// Faults carries the fault-injection digest; omitted on fault-free runs.
 	Faults *FaultReport `json:"faults,omitempty"`
+	// Forecasts carries the transient forecast digest; omitted when the run
+	// had no forecast hook.
+	Forecasts *ForecastDigest `json:"forecasts,omitempty"`
 }
 
 // Summary digests the report.
@@ -35,6 +38,7 @@ func (r *Report) Summary() Summary {
 		PerPMCVR:        r.CVR.All(),
 		Events:          r.Events,
 		Faults:          r.Faults,
+		Forecasts:       r.Forecasts,
 	}
 }
 

@@ -1,0 +1,199 @@
+package sim
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/queuing"
+)
+
+// forecastRun executes a small migration-heavy run with the forecast hook
+// attached, collecting every per-interval report.
+func forecastRun(t *testing.T, fc ForecastConfig) (*Report, []ForecastReport, *queuing.MappingTable) {
+	t.Helper()
+	placement, table := buildPlacement(t, core.FFDByRb{}, 100, 7)
+	var got []ForecastReport
+	fc.OnReport = func(r ForecastReport) { got = append(got, r) }
+	cfg := Config{
+		Intervals:         40,
+		Rho:               0.01,
+		EnableMigration:   true,
+		MigrationOverhead: 0.1,
+		Forecast:          &fc,
+	}
+	s, err := New(placement, table, cfg, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep, got, table
+}
+
+// TestForecastReportMatchesDirectQueries checks every per-PM probability the
+// hook emits against a direct closed-form query with the same parameters —
+// bit-identical, because both go through the deterministic forecast cache —
+// and the internal consistency of each report's aggregates.
+func TestForecastReportMatchesDirectQueries(t *testing.T) {
+	const horizon = 5
+	cache := queuing.NewForecastCache()
+	rep, reports, table := forecastRun(t, ForecastConfig{Horizon: horizon, Cache: cache})
+	if len(reports) != 40 {
+		t.Fatalf("collected %d reports, want 40", len(reports))
+	}
+	if cache.Solves() == 0 {
+		t.Fatal("hook never consulted its cache")
+	}
+	fresh := queuing.NewForecastCache()
+	for _, r := range reports {
+		if r.Horizon != horizon {
+			t.Fatalf("interval %d: horizon %d, want %d", r.Interval, r.Horizon, horizon)
+		}
+		if len(r.PMs) == 0 {
+			t.Fatalf("interval %d: no powered-on PMs forecast", r.Interval)
+		}
+		sum, max := 0.0, 0.0
+		for _, pm := range r.PMs {
+			if pm.Busy < 0 || pm.Busy > pm.VMs {
+				t.Fatalf("interval %d PM %d: busy %d outside [0,%d]", r.Interval, pm.PMID, pm.Busy, pm.VMs)
+			}
+			kt := pm.VMs
+			if kt > table.MaxVMs() {
+				kt = table.MaxVMs()
+			}
+			if want := table.Blocks(kt); pm.Blocks != want {
+				t.Fatalf("interval %d PM %d: blocks %d, want mapping(%d) = %d",
+					r.Interval, pm.PMID, pm.Blocks, kt, want)
+			}
+			want, err := fresh.ViolationAt(pm.VMs, pm.Busy, table.POn(), table.POff(), horizon, pm.Blocks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if pm.Violation != want {
+				t.Fatalf("interval %d PM %d: violation %v, direct query %v — must be bit-identical",
+					r.Interval, pm.PMID, pm.Violation, want)
+			}
+			sum += pm.Violation
+			if pm.Violation > max {
+				max = pm.Violation
+			}
+		}
+		if want := sum / float64(len(r.PMs)); r.MeanViolation != want {
+			t.Fatalf("interval %d: mean %v, want %v", r.Interval, r.MeanViolation, want)
+		}
+		if r.MaxViolation != max {
+			t.Fatalf("interval %d: max %v, want %v", r.Interval, r.MaxViolation, max)
+		}
+	}
+	// The digest must aggregate exactly what the stream delivered.
+	d := rep.Forecasts
+	if d == nil {
+		t.Fatal("report carries no forecast digest")
+	}
+	if d.Horizon != horizon || d.Intervals != len(reports) {
+		t.Fatalf("digest {horizon %d, intervals %d}, want {%d, %d}", d.Horizon, d.Intervals, horizon, len(reports))
+	}
+	sum, max := 0.0, 0.0
+	for _, r := range reports {
+		sum += r.MeanViolation
+		if r.MaxViolation > max {
+			max = r.MaxViolation
+		}
+	}
+	if want := sum / float64(len(reports)); d.MeanViolation != want {
+		t.Fatalf("digest mean %v, want %v", d.MeanViolation, want)
+	}
+	if d.MaxViolation != max {
+		t.Fatalf("digest max %v, want %v", d.MaxViolation, max)
+	}
+	last := reports[len(reports)-1]
+	if d.Final == nil || d.Final.Interval != last.Interval || len(d.Final.PMs) != len(last.PMs) {
+		t.Fatal("digest final report does not match the last stream report")
+	}
+}
+
+// TestForecastHookIsReadOnly pins the hook's central contract: enabling it
+// must leave every other Report field bit-identical to a bare run.
+func TestForecastHookIsReadOnly(t *testing.T) {
+	bare := obsRun(t, 1, nil, nil, 0)
+	forecast := obsRun(t, 1, nil, nil, 10)
+	if forecast.Forecasts == nil {
+		t.Fatal("forecast run carries no digest")
+	}
+	forecast.Forecasts = nil // compare everything else bit-for-bit
+	requireIdenticalReports(t, bare, forecast, "forecast on vs off")
+}
+
+// TestForecastEvery checks the stride: Every = 3 over 40 intervals fires at
+// t = 0, 3, …, 39 — 14 passes.
+func TestForecastEvery(t *testing.T) {
+	rep, reports, _ := forecastRun(t, ForecastConfig{Horizon: 5, Every: 3, Cache: queuing.NewForecastCache()})
+	if len(reports) != 14 {
+		t.Fatalf("Every=3 over 40 intervals fired %d times, want 14", len(reports))
+	}
+	for i, r := range reports {
+		if r.Interval != 3*i {
+			t.Fatalf("report %d at interval %d, want %d", i, r.Interval, 3*i)
+		}
+	}
+	if rep.Forecasts.Intervals != 14 {
+		t.Fatalf("digest intervals %d, want 14", rep.Forecasts.Intervals)
+	}
+}
+
+// TestForecastValidation covers the config and constructor guards.
+func TestForecastValidation(t *testing.T) {
+	placement, table := buildPlacement(t, core.FFDByRb{}, 20, 7)
+	base := Config{Intervals: 5, Rho: 0.01}
+	for name, cfg := range map[string]Config{
+		"negative_horizon": func() Config { c := base; c.Forecast = &ForecastConfig{Horizon: -1}; return c }(),
+		"negative_every":   func() Config { c := base; c.Forecast = &ForecastConfig{Every: -2}; return c }(),
+	} {
+		if _, err := New(placement.Clone(), table, cfg, rand.New(rand.NewSource(1))); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	noTable := base
+	noTable.Forecast = &ForecastConfig{}
+	if _, err := New(placement.Clone(), nil, noTable, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("forecast without a mapping table accepted")
+	}
+	// Defaults fill without mutating the caller's config.
+	fc := &ForecastConfig{}
+	ok := base
+	ok.Forecast = fc
+	if _, err := New(placement.Clone(), table, ok, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+	if fc.Horizon != 0 || fc.Every != 0 || fc.Cache != nil {
+		t.Fatal("withDefaults mutated the caller's ForecastConfig")
+	}
+}
+
+// TestForecastSummaryJSON checks the export surface: the digest appears under
+// "forecasts" when enabled and is omitted entirely when not.
+func TestForecastSummaryJSON(t *testing.T) {
+	rep, _, _ := forecastRun(t, ForecastConfig{Horizon: 5, Cache: queuing.NewForecastCache()})
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"forecasts"`, `"mean_violation"`, `"final"`, `"pm_id"`} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("summary JSON missing %s", want)
+		}
+	}
+	bare := obsRun(t, 1, nil, nil, 0)
+	buf.Reset()
+	if err := bare.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"forecasts"`) {
+		t.Fatal("bare summary leaks a forecasts field")
+	}
+}

@@ -11,8 +11,9 @@ import (
 	"repro/internal/telemetry"
 )
 
-// obsRun mirrors shardRun but lets the caller attach a tracer.
-func obsRun(t *testing.T, shards int, faults FaultPlan, tracer telemetry.Tracer) *Report {
+// obsRun mirrors shardRun but lets the caller attach a tracer and the
+// transient forecast hook (forecastHorizon > 0 enables it).
+func obsRun(t *testing.T, shards int, faults FaultPlan, tracer telemetry.Tracer, forecastHorizon int) *Report {
 	t.Helper()
 	placement, table := buildPlacement(t, core.FFDByRb{}, 200, 99)
 	cfg := Config{
@@ -23,6 +24,9 @@ func obsRun(t *testing.T, shards int, faults FaultPlan, tracer telemetry.Tracer)
 		Shards:            shards,
 		Faults:            faults,
 		Tracer:            tracer,
+	}
+	if forecastHorizon > 0 {
+		cfg.Forecast = &ForecastConfig{Horizon: forecastHorizon}
 	}
 	s, err := New(placement, table, cfg, rand.New(rand.NewSource(99)))
 	if err != nil {
@@ -55,22 +59,30 @@ func TestReportInvarianceUnderObs(t *testing.T) {
 		},
 	}
 	for _, tc := range []struct {
-		name   string
-		shards int
-		plan   FaultPlan
+		name     string
+		shards   int
+		plan     FaultPlan
+		forecast int
 	}{
-		{"seq", 1, nil},
-		{"sharded", 4, nil},
-		{"sharded_faults", 4, plan},
+		{"seq", 1, nil, 0},
+		{"sharded", 4, nil, 0},
+		{"sharded_faults", 4, plan, 0},
+		// The transient forecast hook (PR 10) must be equally invariant: the
+		// obs plane's own forecast probes and the sim hook share the
+		// process-wide cache, and hits are bit-identical to cold solves.
+		{"sharded_forecast", 4, plan, 10},
 	} {
 		t.Run(tc.name, func(t *testing.T) {
-			bare := obsRun(t, tc.shards, tc.plan, nil)
+			bare := obsRun(t, tc.shards, tc.plan, nil, tc.forecast)
 			plane := obs.NewPlane(obs.Options{})
 			defer plane.Close()
-			traced := obsRun(t, tc.shards, tc.plan, plane)
+			traced := obsRun(t, tc.shards, tc.plan, plane, tc.forecast)
 			requireIdenticalReports(t, bare, traced, "obs on vs off")
 			if !reflect.DeepEqual(bare.Faults, traced.Faults) {
 				t.Fatal("fault reports diverged under obs")
+			}
+			if tc.forecast > 0 && bare.Forecasts == nil {
+				t.Fatal("forecast hook enabled but digest missing")
 			}
 		})
 	}
@@ -93,7 +105,7 @@ func (c *stepCollector) Emit(e telemetry.Event) {
 // consistent with the reported transitions, timings populated.
 func TestStepEventProbeFields(t *testing.T) {
 	col := &stepCollector{}
-	obsRun(t, 4, nil, col)
+	obsRun(t, 4, nil, col, 0)
 	if len(col.steps) != 100 {
 		t.Fatalf("collected %d step events, want 100", len(col.steps))
 	}
@@ -140,7 +152,7 @@ func TestFaultTriggeredFlightDump(t *testing.T) {
 			return pmID%5 == 2 && interval >= 30 && interval < 50
 		},
 	}
-	obsRun(t, 1, plan, plane)
+	obsRun(t, 1, plan, plane, 0)
 	if len(dumps) == 0 {
 		t.Fatal("no automatic flight dump despite PM crashes")
 	}

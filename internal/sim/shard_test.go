@@ -97,6 +97,9 @@ func requireIdenticalReports(t *testing.T, want, got *Report, label string) {
 	if !reflect.DeepEqual(got.VMViolationRatio, want.VMViolationRatio) {
 		t.Fatalf("%s: per-VM violation ratios diverged", label)
 	}
+	if !reflect.DeepEqual(got.Forecasts, want.Forecasts) {
+		t.Fatalf("%s: forecast digests diverged", label)
+	}
 	for name, pair := range map[string][2]interface {
 		Len() int
 		At(int) (int, float64)

@@ -61,6 +61,13 @@ type Simulator struct {
 	perVMMigrations   map[int]int
 	powerOns          int
 
+	// Forecast-hook accumulators (see forecast.go; inert when cfg.Forecast
+	// is nil).
+	fcCount int
+	fcSum   float64
+	fcMax   float64
+	fcLast  *ForecastReport
+
 	// Fault-injection state (see faults.go; inert when cfg.Faults is nil).
 	downPMs     map[int]bool    // PMs currently crashed (ledger.down mirror)
 	downSince   map[int]int     // crash interval of each down PM
@@ -99,6 +106,9 @@ func NewWithSource(placement *cloud.Placement, table *queuing.MappingTable, cfg 
 	}
 	if cfg.Policy == TargetReservationAware && table == nil {
 		return nil, fmt.Errorf("sim: TargetReservationAware needs a mapping table")
+	}
+	if cfg.Forecast != nil && table == nil {
+		return nil, fmt.Errorf("sim: Forecast needs a mapping table (chain parameters and reservations)")
 	}
 	states := source.States()
 	for _, vm := range placement.VMs() {
@@ -165,6 +175,9 @@ type Report struct {
 	// (downtime intervals, evacuation latency, degraded placements). Nil when
 	// the run had no fault plan.
 	Faults *FaultReport
+	// Forecasts digests the transient forecast stream. Nil when the run had
+	// no ForecastConfig, so bare Reports are unchanged.
+	Forecasts *ForecastDigest
 }
 
 // CycleMigration reports whether the run exhibits the paper's cycle-migration
@@ -223,6 +236,7 @@ func (s *Simulator) report() *Report {
 		PerVMMigrations:    s.perVMMigrations,
 		VMViolationRatio:   s.vmViolationRatios(),
 		Faults:             s.faultReport(),
+		Forecasts:          s.forecastDigest(),
 	}
 }
 
@@ -361,6 +375,13 @@ func (s *Simulator) step(t int) error {
 	}
 	s.migrationsPerStep.Append(t, float64(migrations))
 	s.pmsInUse.Append(t, float64(s.placement.NumUsedPMs()))
+	// Forecast after migrations settle, so the look-ahead conditions on the
+	// interval's final placement. Read-only: no RNG draws, no ledger writes.
+	if s.cfg.Forecast != nil && t%s.cfg.Forecast.Every == 0 {
+		if err := s.forecastStep(t); err != nil {
+			return err
+		}
+	}
 	if traced {
 		ev := telemetry.StepEvent{
 			Interval:   t,
